@@ -1,0 +1,452 @@
+//! The Abstract Analog Instruction Set container.
+
+use crate::instruction::{Generator, GeneratorRef, Instruction};
+use crate::variable::{Variable, VariableId, VariableKind, VariableRegistry};
+use qturbo_hamiltonian::{Hamiltonian, PauliString};
+use std::collections::BTreeSet;
+
+/// Errors raised when validating device programs against an AAIS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AaisError {
+    /// A variable value violates its hardware bounds.
+    VariableOutOfBounds {
+        /// Name of the offending variable.
+        name: String,
+        /// The assigned value.
+        value: f64,
+        /// Allowed lower bound.
+        lower: f64,
+        /// Allowed upper bound.
+        upper: f64,
+    },
+    /// Two sites are closer than the minimum allowed spacing.
+    SitesTooClose {
+        /// First site index.
+        site_a: usize,
+        /// Second site index.
+        site_b: usize,
+        /// Distance between the two sites.
+        distance: f64,
+        /// Minimum allowed spacing.
+        minimum: f64,
+    },
+    /// The pulse would run longer than the device coherence window allows.
+    EvolutionTooLong {
+        /// Requested duration.
+        requested: f64,
+        /// Maximum allowed duration.
+        maximum: f64,
+    },
+    /// A value slice of the wrong length was supplied.
+    WrongValueCount {
+        /// Expected number of values (one per registered variable).
+        expected: usize,
+        /// Number of values provided.
+        provided: usize,
+    },
+}
+
+impl std::fmt::Display for AaisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AaisError::VariableOutOfBounds { name, value, lower, upper } => write!(
+                f,
+                "variable {name} = {value} is outside its hardware range [{lower}, {upper}]"
+            ),
+            AaisError::SitesTooClose { site_a, site_b, distance, minimum } => write!(
+                f,
+                "sites {site_a} and {site_b} are {distance} apart, below the minimum spacing {minimum}"
+            ),
+            AaisError::EvolutionTooLong { requested, maximum } => {
+                write!(f, "evolution time {requested} exceeds the device maximum {maximum}")
+            }
+            AaisError::WrongValueCount { expected, provided } => {
+                write!(f, "expected {expected} variable values, got {provided}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AaisError {}
+
+/// An Abstract Analog Instruction Set: the programmable Hamiltonian of an
+/// analog quantum simulator (paper §2.1).
+///
+/// An AAIS owns a [`VariableRegistry`] of device variables and a list of
+/// [`Instruction`]s whose generators describe how variable settings translate
+/// into Hamiltonian-term strengths. Concrete AAIS builders for Rydberg and
+/// Heisenberg devices live in [`crate::rydberg`] and [`crate::heisenberg`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aais {
+    name: String,
+    num_sites: usize,
+    registry: VariableRegistry,
+    instructions: Vec<Instruction>,
+    max_evolution_time: f64,
+    min_site_spacing: Option<f64>,
+    site_positions: Vec<Vec<VariableId>>,
+}
+
+impl Aais {
+    /// Creates an AAIS. Intended for the device-specific builders in this
+    /// crate; most users obtain an AAIS from [`crate::rydberg::rydberg_aais`]
+    /// or [`crate::heisenberg::heisenberg_aais`].
+    ///
+    /// `site_positions` holds, per site, the coordinate variables of that site
+    /// (one entry for 1-D layouts, two for 2-D layouts); it is empty for
+    /// devices without position degrees of freedom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site_positions` references variables outside the registry
+    /// or `max_evolution_time` is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        num_sites: usize,
+        registry: VariableRegistry,
+        instructions: Vec<Instruction>,
+        max_evolution_time: f64,
+        min_site_spacing: Option<f64>,
+        site_positions: Vec<Vec<VariableId>>,
+    ) -> Self {
+        assert!(max_evolution_time > 0.0, "maximum evolution time must be positive");
+        for coords in &site_positions {
+            for id in coords {
+                assert!(id.index() < registry.len(), "site position variable out of range");
+            }
+        }
+        Aais {
+            name: name.into(),
+            num_sites,
+            registry,
+            instructions,
+            max_evolution_time,
+            min_site_spacing,
+            site_positions,
+        }
+    }
+
+    /// Device name (e.g. `"rydberg"`, `"heisenberg"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits / atoms the AAIS addresses.
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// Registry of all device variables.
+    pub fn registry(&self) -> &VariableRegistry {
+        &self.registry
+    }
+
+    /// The instructions of the AAIS.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Maximum machine evolution time supported by the device (e.g. 4 µs for
+    /// QuEra's Aquila).
+    pub fn max_evolution_time(&self) -> f64 {
+        self.max_evolution_time
+    }
+
+    /// Minimum spacing between site-position variables, if the device has
+    /// position constraints.
+    pub fn min_site_spacing(&self) -> Option<f64> {
+        self.min_site_spacing
+    }
+
+    /// The coordinate variables of every site, in site order (empty when the
+    /// device has no position degrees of freedom). Each inner slice holds one
+    /// variable per spatial dimension.
+    pub fn site_positions(&self) -> &[Vec<VariableId>] {
+        &self.site_positions
+    }
+
+    /// Euclidean distance between two sites for a given variable assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either site has no position variables.
+    pub fn site_distance(&self, site_a: usize, site_b: usize, values: &[f64]) -> f64 {
+        let a = &self.site_positions[site_a];
+        let b = &self.site_positions[site_b];
+        assert!(!a.is_empty() && !b.is_empty(), "sites have no position variables");
+        a.iter()
+            .zip(b.iter())
+            .map(|(ia, ib)| {
+                let d = values[ia.index()] - values[ib.index()];
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// All `(instruction, generator)` references, in canonical order. Each
+    /// reference corresponds to one synthesized variable of the compiler.
+    pub fn generator_refs(&self) -> Vec<GeneratorRef> {
+        let mut refs = Vec::new();
+        for (i, instruction) in self.instructions.iter().enumerate() {
+            for g in 0..instruction.generators().len() {
+                refs.push(GeneratorRef { instruction: i, generator: g });
+            }
+        }
+        refs
+    }
+
+    /// Looks up a generator by reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference does not belong to this AAIS.
+    pub fn generator(&self, generator_ref: GeneratorRef) -> &Generator {
+        &self.instructions[generator_ref.instruction].generators()[generator_ref.generator]
+    }
+
+    /// Looks up the instruction owning a generator reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference does not belong to this AAIS.
+    pub fn instruction_of(&self, generator_ref: GeneratorRef) -> &Instruction {
+        &self.instructions[generator_ref.instruction]
+    }
+
+    /// The set of non-identity Pauli strings any instruction can produce.
+    pub fn producible_terms(&self) -> BTreeSet<PauliString> {
+        let mut set = BTreeSet::new();
+        for instruction in &self.instructions {
+            for generator in instruction.generators() {
+                for (string, _) in generator.effects() {
+                    set.insert(string.clone());
+                }
+            }
+        }
+        set
+    }
+
+    /// Default variable assignment: every variable at its initial guess.
+    pub fn default_values(&self) -> Vec<f64> {
+        self.registry.iter().map(Variable::initial_guess).collect()
+    }
+
+    /// Evaluates the device Hamiltonian `H_sim` for a full variable assignment
+    /// (indexed by [`VariableId::index`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AaisError::WrongValueCount`] when the slice length does not
+    /// match the registry size.
+    pub fn hamiltonian(&self, values: &[f64]) -> Result<Hamiltonian, AaisError> {
+        if values.len() != self.registry.len() {
+            return Err(AaisError::WrongValueCount {
+                expected: self.registry.len(),
+                provided: values.len(),
+            });
+        }
+        let mut h = Hamiltonian::new(self.num_sites);
+        for instruction in &self.instructions {
+            for generator in instruction.generators() {
+                let strength = generator.value(values);
+                if strength == 0.0 {
+                    continue;
+                }
+                for (string, weight) in generator.effects() {
+                    h.add_term(strength * weight, string.clone());
+                }
+            }
+        }
+        Ok(h)
+    }
+
+    /// Validates a variable assignment against hardware bounds and (when the
+    /// device has positions) the minimum site spacing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate_values(&self, values: &[f64]) -> Result<(), AaisError> {
+        if values.len() != self.registry.len() {
+            return Err(AaisError::WrongValueCount {
+                expected: self.registry.len(),
+                provided: values.len(),
+            });
+        }
+        for variable in self.registry.iter() {
+            let value = values[variable.id().index()];
+            if !variable.admits(value) {
+                return Err(AaisError::VariableOutOfBounds {
+                    name: variable.name().to_string(),
+                    value,
+                    lower: variable.lower(),
+                    upper: variable.upper(),
+                });
+            }
+        }
+        if let Some(minimum) = self.min_site_spacing {
+            for a in 0..self.site_positions.len() {
+                for b in (a + 1)..self.site_positions.len() {
+                    let distance = self.site_distance(a, b, values);
+                    if distance < minimum {
+                        return Err(AaisError::SitesTooClose {
+                            site_a: a,
+                            site_b: b,
+                            distance,
+                            minimum,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a requested machine evolution time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AaisError::EvolutionTooLong`] when `duration` exceeds
+    /// [`Aais::max_evolution_time`].
+    pub fn validate_duration(&self, duration: f64) -> Result<(), AaisError> {
+        if duration > self.max_evolution_time * (1.0 + 1e-9) {
+            return Err(AaisError::EvolutionTooLong {
+                requested: duration,
+                maximum: self.max_evolution_time,
+            });
+        }
+        Ok(())
+    }
+
+    /// Ids of all runtime-dynamic variables.
+    pub fn dynamic_variables(&self) -> Vec<VariableId> {
+        self.registry.ids_of_kind(VariableKind::RuntimeDynamic)
+    }
+
+    /// Ids of all runtime-fixed variables.
+    pub fn fixed_variables(&self) -> Vec<VariableId> {
+        self.registry.ids_of_kind(VariableKind::RuntimeFixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::instruction::InstructionKind;
+    use qturbo_hamiltonian::Pauli;
+
+    /// A tiny hand-built AAIS: one detuning-like instruction on a single site.
+    fn toy_aais() -> Aais {
+        let mut registry = VariableRegistry::new();
+        let delta = registry.register("Delta", VariableKind::RuntimeDynamic, -20.0, 20.0, 0.0);
+        let instruction = Instruction::new(
+            "detuning_0",
+            InstructionKind::Dynamic,
+            vec![delta],
+            vec![Generator::new(
+                Expr::var(delta).scaled(0.5),
+                vec![(PauliString::single(0, Pauli::Z), 1.0)],
+            )],
+            Some(delta),
+        );
+        Aais::new("toy", 1, registry, vec![instruction], 4.0, None, Vec::new())
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let aais = toy_aais();
+        assert_eq!(aais.name(), "toy");
+        assert_eq!(aais.num_sites(), 1);
+        assert_eq!(aais.instructions().len(), 1);
+        assert_eq!(aais.max_evolution_time(), 4.0);
+        assert_eq!(aais.generator_refs().len(), 1);
+        assert_eq!(aais.dynamic_variables().len(), 1);
+        assert!(aais.fixed_variables().is_empty());
+        assert!(aais.min_site_spacing().is_none());
+        assert!(aais.site_positions().is_empty());
+        let gref = aais.generator_refs()[0];
+        assert_eq!(aais.instruction_of(gref).name(), "detuning_0");
+        assert_eq!(aais.generator(gref).effects().len(), 1);
+    }
+
+    #[test]
+    fn hamiltonian_evaluation() {
+        let aais = toy_aais();
+        let h = aais.hamiltonian(&[4.0]).unwrap();
+        assert_eq!(h.coefficient(&PauliString::single(0, Pauli::Z)), 2.0);
+        let zero = aais.hamiltonian(&[0.0]).unwrap();
+        assert!(zero.is_empty());
+        assert!(aais.hamiltonian(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn producible_terms_and_defaults() {
+        let aais = toy_aais();
+        let terms = aais.producible_terms();
+        assert_eq!(terms.len(), 1);
+        assert!(terms.contains(&PauliString::single(0, Pauli::Z)));
+        assert_eq!(aais.default_values(), vec![0.0]);
+    }
+
+    #[test]
+    fn validation_of_bounds_and_duration() {
+        let aais = toy_aais();
+        assert!(aais.validate_values(&[10.0]).is_ok());
+        let err = aais.validate_values(&[50.0]).unwrap_err();
+        assert!(matches!(err, AaisError::VariableOutOfBounds { .. }));
+        assert!(err.to_string().contains("Delta"));
+        assert!(aais.validate_values(&[1.0, 2.0]).is_err());
+        assert!(aais.validate_duration(3.9).is_ok());
+        let err = aais.validate_duration(10.0).unwrap_err();
+        assert!(matches!(err, AaisError::EvolutionTooLong { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn spacing_validation() {
+        let mut registry = VariableRegistry::new();
+        let x0 = registry.register("x_0", VariableKind::RuntimeFixed, 0.0, 75.0, 0.0);
+        let x1 = registry.register("x_1", VariableKind::RuntimeFixed, 0.0, 75.0, 10.0);
+        let instruction = Instruction::new(
+            "vdw_0_1",
+            InstructionKind::Fixed,
+            vec![x0, x1],
+            vec![Generator::new(
+                Expr::inverse_power_distance(862690.0 / 4.0, x0, x1, 6),
+                vec![(PauliString::two(0, Pauli::Z, 1, Pauli::Z), 1.0)],
+            )],
+            None,
+        );
+        let aais = Aais::new(
+            "spacing",
+            2,
+            registry,
+            vec![instruction],
+            4.0,
+            Some(4.0),
+            vec![vec![x0], vec![x1]],
+        );
+        assert!(aais.validate_values(&[0.0, 10.0]).is_ok());
+        assert!((aais.site_distance(0, 1, &[0.0, 10.0]) - 10.0).abs() < 1e-12);
+        let err = aais.validate_values(&[0.0, 2.0]).unwrap_err();
+        assert!(matches!(err, AaisError::SitesTooClose { .. }));
+        assert!(err.to_string().contains("minimum"));
+    }
+
+    #[test]
+    fn error_type_is_well_behaved() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<AaisError>();
+        let err = AaisError::WrongValueCount { expected: 2, provided: 3 };
+        assert!(err.to_string().contains('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_non_positive_max_time() {
+        let registry = VariableRegistry::new();
+        let _ = Aais::new("bad", 1, registry, Vec::new(), 0.0, None, Vec::new());
+    }
+}

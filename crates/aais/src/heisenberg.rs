@@ -1,0 +1,230 @@
+//! The Heisenberg AAIS: superconducting / trapped-ion style analog simulators
+//! (paper §2.1.2).
+//!
+//! Instruction set: `{ a_{P_i} · P_i,  a_{P_iP_j} · P_iP_j }` with `P ∈ {X, Y, Z}`
+//! and the two-qubit instructions restricted to the device connectivity. All
+//! amplitudes are runtime-dynamic and each amplitude is the time-critical
+//! variable of its own instruction.
+//!
+//! The amplitude bounds default to values representative of the pulse-level
+//! calibrations the paper cites (Qiskit Experiments / IonQ); absolute numbers
+//! only set the scale of the machine evolution time, not the comparison shape.
+
+use crate::aais::Aais;
+use crate::expr::Expr;
+use crate::instruction::{Generator, Instruction, InstructionKind};
+use crate::variable::{VariableKind, VariableRegistry};
+use qturbo_hamiltonian::{Pauli, PauliString};
+
+/// Which qubit pairs support two-qubit instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Connectivity {
+    /// Nearest-neighbour chain `(i, i+1)`.
+    Chain,
+    /// Nearest-neighbour cycle `(i, i+1 mod N)`.
+    Cycle,
+    /// An explicit edge list.
+    Custom(Vec<(usize, usize)>),
+}
+
+impl Connectivity {
+    /// The edge list for a device with `num_qubits` qubits.
+    pub fn edges(&self, num_qubits: usize) -> Vec<(usize, usize)> {
+        match self {
+            Connectivity::Chain => (0..num_qubits.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            Connectivity::Cycle => (0..num_qubits).map(|i| (i, (i + 1) % num_qubits)).collect(),
+            Connectivity::Custom(edges) => edges.clone(),
+        }
+    }
+}
+
+/// Configuration of the Heisenberg AAIS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeisenbergOptions {
+    /// Maximum magnitude of single-qubit amplitudes `a_{P_i}` (MHz).
+    pub single_qubit_max: f64,
+    /// Maximum magnitude of two-qubit amplitudes `a_{P_iP_j}` (MHz).
+    pub two_qubit_max: f64,
+    /// Maximum machine evolution time (µs).
+    pub max_evolution_time: f64,
+    /// Two-qubit connectivity of the device.
+    pub connectivity: Connectivity,
+}
+
+impl Default for HeisenbergOptions {
+    fn default() -> Self {
+        HeisenbergOptions {
+            single_qubit_max: 20.0,
+            two_qubit_max: 2.0,
+            max_evolution_time: 100.0,
+            connectivity: Connectivity::Chain,
+        }
+    }
+}
+
+impl HeisenbergOptions {
+    /// Options with a cyclic connectivity, used when the target model is a
+    /// ring (e.g. the Ising cycle benchmarks).
+    pub fn with_cycle_connectivity() -> Self {
+        HeisenbergOptions { connectivity: Connectivity::Cycle, ..HeisenbergOptions::default() }
+    }
+}
+
+/// Builds the Heisenberg AAIS for `num_qubits` qubits.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2` or the connectivity references qubits out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+/// let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+/// // 3 single-qubit instructions per qubit + 3 per chain edge.
+/// assert_eq!(aais.instructions().len(), 4 * 3 + 3 * 3);
+/// ```
+pub fn heisenberg_aais(num_qubits: usize, options: &HeisenbergOptions) -> Aais {
+    assert!(num_qubits >= 2, "a Heisenberg AAIS needs at least two qubits");
+    let mut registry = VariableRegistry::new();
+    let mut instructions = Vec::new();
+
+    for i in 0..num_qubits {
+        for pauli in Pauli::NON_IDENTITY {
+            let amplitude = registry.register(
+                format!("a_{pauli}{i}"),
+                VariableKind::RuntimeDynamic,
+                -options.single_qubit_max,
+                options.single_qubit_max,
+                0.0,
+            );
+            let generator =
+                Generator::new(Expr::var(amplitude), vec![(PauliString::single(i, pauli), 1.0)]);
+            instructions.push(Instruction::new(
+                format!("single_{pauli}_{i}"),
+                InstructionKind::Dynamic,
+                vec![amplitude],
+                vec![generator],
+                Some(amplitude),
+            ));
+        }
+    }
+
+    for (i, j) in options.connectivity.edges(num_qubits) {
+        assert!(i < num_qubits && j < num_qubits && i != j, "invalid connectivity edge ({i}, {j})");
+        for pauli in Pauli::NON_IDENTITY {
+            let amplitude = registry.register(
+                format!("a_{pauli}{i}{pauli}{j}"),
+                VariableKind::RuntimeDynamic,
+                -options.two_qubit_max,
+                options.two_qubit_max,
+                0.0,
+            );
+            let generator = Generator::new(
+                Expr::var(amplitude),
+                vec![(PauliString::two(i, pauli, j, pauli), 1.0)],
+            );
+            instructions.push(Instruction::new(
+                format!("coupling_{pauli}_{i}_{j}"),
+                InstructionKind::Dynamic,
+                vec![amplitude],
+                vec![generator],
+                Some(amplitude),
+            ));
+        }
+    }
+
+    Aais::new(
+        "heisenberg",
+        num_qubits,
+        registry,
+        instructions,
+        options.max_evolution_time,
+        None,
+        Vec::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_connectivity_counts() {
+        let aais = heisenberg_aais(5, &HeisenbergOptions::default());
+        assert_eq!(aais.instructions().len(), 5 * 3 + 4 * 3);
+        assert_eq!(aais.num_sites(), 5);
+        assert!(aais.fixed_variables().is_empty());
+        assert_eq!(aais.dynamic_variables().len(), 5 * 3 + 4 * 3);
+    }
+
+    #[test]
+    fn cycle_connectivity_adds_wraparound_edge() {
+        let aais = heisenberg_aais(5, &HeisenbergOptions::with_cycle_connectivity());
+        assert_eq!(aais.instructions().len(), 5 * 3 + 5 * 3);
+        assert!(aais.instructions().iter().any(|i| i.name() == "coupling_Z_4_0"));
+    }
+
+    #[test]
+    fn custom_connectivity() {
+        let options = HeisenbergOptions {
+            connectivity: Connectivity::Custom(vec![(0, 2)]),
+            ..HeisenbergOptions::default()
+        };
+        let aais = heisenberg_aais(3, &options);
+        assert_eq!(aais.instructions().len(), 3 * 3 + 3);
+        assert_eq!(Connectivity::Custom(vec![(0, 2)]).edges(3), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn hamiltonian_evaluation_is_linear_in_amplitudes() {
+        let aais = heisenberg_aais(2, &HeisenbergOptions::default());
+        let mut values = aais.default_values();
+        let a_x0 = aais.registry().iter().find(|v| v.name() == "a_X0").unwrap().id().index();
+        let a_zz = aais.registry().iter().find(|v| v.name() == "a_Z0Z1").unwrap().id().index();
+        values[a_x0] = 1.5;
+        values[a_zz] = -0.75;
+        let h = aais.hamiltonian(&values).unwrap();
+        assert_eq!(h.coefficient(&PauliString::single(0, Pauli::X)), 1.5);
+        assert_eq!(h.coefficient(&PauliString::two(0, Pauli::Z, 1, Pauli::Z)), -0.75);
+    }
+
+    #[test]
+    fn bounds_follow_options() {
+        let options = HeisenbergOptions {
+            single_qubit_max: 7.0,
+            two_qubit_max: 0.5,
+            ..HeisenbergOptions::default()
+        };
+        let aais = heisenberg_aais(3, &options);
+        let single = aais.registry().iter().find(|v| v.name() == "a_Y1").unwrap();
+        assert_eq!(single.upper(), 7.0);
+        assert_eq!(single.lower(), -7.0);
+        let pair = aais.registry().iter().find(|v| v.name() == "a_X1X2").unwrap();
+        assert_eq!(pair.upper(), 0.5);
+    }
+
+    #[test]
+    fn every_instruction_has_a_time_critical_variable() {
+        let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+        assert!(aais.instructions().iter().all(|i| i.time_critical().is_some()));
+        assert!(aais.instructions().iter().all(|i| i.kind() == InstructionKind::Dynamic));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two qubits")]
+    fn rejects_single_qubit_device() {
+        let _ = heisenberg_aais(1, &HeisenbergOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid connectivity edge")]
+    fn rejects_out_of_range_edges() {
+        let options = HeisenbergOptions {
+            connectivity: Connectivity::Custom(vec![(0, 9)]),
+            ..HeisenbergOptions::default()
+        };
+        let _ = heisenberg_aais(3, &options);
+    }
+}

@@ -1,0 +1,289 @@
+//! Analog instructions and their Hamiltonian-term generators.
+
+use crate::expr::Expr;
+use crate::variable::VariableId;
+use qturbo_hamiltonian::PauliString;
+
+/// One coefficient generator of an instruction.
+///
+/// A generator is a pair of a coefficient expression `g(x)` over device
+/// variables and a list of Hamiltonian-term effects: switching the
+/// instruction on contributes `weight · g(x)` to the strength of every listed
+/// Pauli string. The synthesized variables of QTurbo's global linear system
+/// (paper §4.1) are exactly `α = g(x) · T_sim`, one per generator.
+///
+/// For example the Van der Waals instruction of the Rydberg AAIS has a single
+/// generator with `g(x) = C6 / (4·|x_i − x_j|⁶)` and effects
+/// `{Z_iZ_j: +1, Z_i: −1, Z_j: −1}` (the identity part is dropped as a global
+/// phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generator {
+    expr: Expr,
+    effects: Vec<(PauliString, f64)>,
+}
+
+impl Generator {
+    /// Creates a generator from its coefficient expression and term effects.
+    ///
+    /// Identity effects are dropped; they only shift the global phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no non-identity effect remains.
+    pub fn new(expr: Expr, effects: Vec<(PauliString, f64)>) -> Self {
+        let effects: Vec<(PauliString, f64)> =
+            effects.into_iter().filter(|(s, w)| !s.is_identity() && *w != 0.0).collect();
+        assert!(!effects.is_empty(), "generator must affect at least one non-identity term");
+        Generator { expr, effects }
+    }
+
+    /// The coefficient expression `g(x)`.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The `(Pauli string, weight)` effects of this generator.
+    pub fn effects(&self) -> &[(PauliString, f64)] {
+        &self.effects
+    }
+
+    /// Evaluates `g(x)` for a dense variable-value slice.
+    pub fn value(&self, values: &[f64]) -> f64 {
+        self.expr.eval_slice(values)
+    }
+}
+
+/// Whether the instruction is controlled by runtime-fixed or runtime-dynamic
+/// variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionKind {
+    /// Controlled by runtime-fixed variables (e.g. Van der Waals interaction
+    /// set by atom positions).
+    Fixed,
+    /// Controlled by runtime-dynamic variables (e.g. detuning, Rabi drive).
+    Dynamic,
+}
+
+/// One instruction of an Abstract Analog Instruction Set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    name: String,
+    kind: InstructionKind,
+    variables: Vec<VariableId>,
+    generators: Vec<Generator>,
+    time_critical: Option<VariableId>,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    ///
+    /// `time_critical` is the variable that directly scales the instruction's
+    /// amplitude (paper §5.1); it must be listed in `variables` and every
+    /// generator expression must be linear and homogeneous in it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the generator expressions reference variables outside
+    /// `variables`, when `time_critical` is not one of `variables`, or when a
+    /// generator is not linear-homogeneous in the time-critical variable.
+    pub fn new(
+        name: impl Into<String>,
+        kind: InstructionKind,
+        variables: Vec<VariableId>,
+        generators: Vec<Generator>,
+        time_critical: Option<VariableId>,
+    ) -> Self {
+        let name = name.into();
+        assert!(!generators.is_empty(), "instruction {name} has no generators");
+        for generator in &generators {
+            for var in generator.expr().variables() {
+                assert!(
+                    variables.contains(&var),
+                    "instruction {name}: generator references unlisted variable {var}"
+                );
+            }
+        }
+        if let Some(tc) = time_critical {
+            assert!(
+                variables.contains(&tc),
+                "instruction {name}: time-critical variable {tc} is not listed"
+            );
+            for generator in &generators {
+                assert!(
+                    generator.expr().is_linear_homogeneous_in(tc),
+                    "instruction {name}: generator {} is not linear-homogeneous in its \
+                     time-critical variable {tc}",
+                    generator.expr()
+                );
+            }
+        }
+        Instruction { name, kind, variables, generators, time_critical }
+    }
+
+    /// Instruction name (e.g. `"vdw_0_1"`, `"rabi_2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fixed or dynamic.
+    pub fn kind(&self) -> InstructionKind {
+        self.kind
+    }
+
+    /// The device variables this instruction is controlled by.
+    pub fn variables(&self) -> &[VariableId] {
+        &self.variables
+    }
+
+    /// The coefficient generators.
+    pub fn generators(&self) -> &[Generator] {
+        &self.generators
+    }
+
+    /// The time-critical variable, if the instruction has one.
+    pub fn time_critical(&self) -> Option<VariableId> {
+        self.time_critical
+    }
+}
+
+/// Reference to one generator of one instruction within an AAIS; this is the
+/// index space of the synthesized variables in the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GeneratorRef {
+    /// Index of the instruction in the AAIS.
+    pub instruction: usize,
+    /// Index of the generator within the instruction.
+    pub generator: usize,
+}
+
+impl std::fmt::Display for GeneratorRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}.{}", self.instruction, self.generator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::{VariableKind, VariableRegistry};
+    use qturbo_hamiltonian::Pauli;
+
+    fn setup() -> (VariableRegistry, VariableId, VariableId) {
+        let mut reg = VariableRegistry::new();
+        let omega = reg.register("Omega", VariableKind::RuntimeDynamic, 0.0, 2.5, 0.0);
+        let phi = reg.register("phi", VariableKind::RuntimeDynamic, -3.2, 3.2, 0.0);
+        (reg, omega, phi)
+    }
+
+    fn rabi_generators(omega: VariableId, phi: VariableId) -> Vec<Generator> {
+        vec![
+            Generator::new(
+                Expr::Product(vec![
+                    Expr::var(omega),
+                    Expr::constant(0.5),
+                    Expr::Cos(Box::new(Expr::var(phi))),
+                ]),
+                vec![(PauliString::single(0, Pauli::X), 1.0)],
+            ),
+            Generator::new(
+                Expr::Product(vec![
+                    Expr::var(omega),
+                    Expr::constant(-0.5),
+                    Expr::Sin(Box::new(Expr::var(phi))),
+                ]),
+                vec![(PauliString::single(0, Pauli::Y), 1.0)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn builds_a_rabi_instruction() {
+        let (_reg, omega, phi) = setup();
+        let instr = Instruction::new(
+            "rabi_0",
+            InstructionKind::Dynamic,
+            vec![omega, phi],
+            rabi_generators(omega, phi),
+            Some(omega),
+        );
+        assert_eq!(instr.name(), "rabi_0");
+        assert_eq!(instr.kind(), InstructionKind::Dynamic);
+        assert_eq!(instr.generators().len(), 2);
+        assert_eq!(instr.time_critical(), Some(omega));
+        assert_eq!(instr.variables().len(), 2);
+        let g = &instr.generators()[0];
+        assert_eq!(g.effects().len(), 1);
+        assert!((g.value(&[2.5, 0.0]) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generator_drops_identity_effects() {
+        let (_reg, omega, _phi) = setup();
+        let g = Generator::new(
+            Expr::var(omega),
+            vec![
+                (PauliString::identity(), 0.25),
+                (PauliString::single(0, Pauli::Z), -0.5),
+                (PauliString::single(1, Pauli::Z), 0.0),
+            ],
+        );
+        assert_eq!(g.effects().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one non-identity term")]
+    fn generator_requires_real_effects() {
+        let (_reg, omega, _phi) = setup();
+        let _ = Generator::new(Expr::var(omega), vec![(PauliString::identity(), 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlisted variable")]
+    fn instruction_rejects_unlisted_variables() {
+        let (_reg, omega, phi) = setup();
+        let _ = Instruction::new(
+            "bad",
+            InstructionKind::Dynamic,
+            vec![omega],
+            rabi_generators(omega, phi),
+            Some(omega),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not linear-homogeneous")]
+    fn instruction_rejects_non_homogeneous_time_critical() {
+        let (_reg, omega, phi) = setup();
+        let _ = Instruction::new(
+            "bad",
+            InstructionKind::Dynamic,
+            vec![omega, phi],
+            rabi_generators(omega, phi),
+            Some(phi),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "is not listed")]
+    fn instruction_rejects_foreign_time_critical() {
+        let mut reg = VariableRegistry::new();
+        let omega = reg.register("Omega", VariableKind::RuntimeDynamic, 0.0, 2.5, 0.0);
+        let phi = reg.register("phi", VariableKind::RuntimeDynamic, -3.2, 3.2, 0.0);
+        let other = reg.register("other", VariableKind::RuntimeDynamic, 0.0, 1.0, 0.0);
+        let _ = Instruction::new(
+            "bad",
+            InstructionKind::Dynamic,
+            vec![omega, phi],
+            rabi_generators(omega, phi),
+            Some(other),
+        );
+    }
+
+    #[test]
+    fn generator_ref_display_and_order() {
+        let a = GeneratorRef { instruction: 0, generator: 1 };
+        let b = GeneratorRef { instruction: 1, generator: 0 };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "g0.1");
+    }
+}

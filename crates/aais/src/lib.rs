@@ -1,0 +1,45 @@
+//! Abstract Analog Instruction Sets (AAIS) for the QTurbo compiler.
+//!
+//! An AAIS (paper §2.1) describes the programmable Hamiltonian of an analog
+//! quantum simulator: a set of [`Instruction`]s whose [`Generator`]s map
+//! device [`Variable`] settings (amplitudes, phases, atom positions) onto
+//! Hamiltonian-term strengths via symbolic [`Expr`]essions.
+//!
+//! Two concrete instruction sets are provided, matching the paper:
+//!
+//! * [`rydberg`] — neutral-atom devices (QuEra Aquila): Van der Waals
+//!   interactions set by runtime-fixed atom positions, plus detuning and Rabi
+//!   drive instructions;
+//! * [`heisenberg`] — superconducting / trapped-ion devices: directly tunable
+//!   single- and two-qubit Pauli amplitudes.
+//!
+//! The compiled output is a [`PulseSchedule`]: per-segment variable
+//! assignments with durations, validated against hardware bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+//!
+//! let aais = rydberg_aais(3, &RydbergOptions::default());
+//! assert_eq!(aais.num_sites(), 3);
+//! // One synthesized variable (generator) per instruction coefficient.
+//! assert!(aais.generator_refs().len() >= aais.instructions().len());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod aais;
+pub mod expr;
+pub mod heisenberg;
+pub mod instruction;
+pub mod pulse;
+pub mod rydberg;
+pub mod variable;
+
+pub use aais::{Aais, AaisError};
+pub use expr::Expr;
+pub use instruction::{Generator, GeneratorRef, Instruction, InstructionKind};
+pub use pulse::{PulseSchedule, PulseSegment};
+pub use variable::{Variable, VariableId, VariableKind, VariableRegistry};

@@ -1,0 +1,239 @@
+//! Pulse schedules: the compiled output handed to the analog device.
+
+use crate::aais::{Aais, AaisError};
+use crate::variable::VariableKind;
+use qturbo_hamiltonian::Hamiltonian;
+
+/// One piecewise-constant segment of a pulse schedule: a full assignment of
+/// every device variable held for `duration`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseSegment {
+    duration: f64,
+    values: Vec<f64>,
+}
+
+impl PulseSegment {
+    /// Creates a segment from a duration and a dense variable assignment
+    /// (indexed by [`crate::variable::VariableId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is negative or not finite.
+    pub fn new(duration: f64, values: Vec<f64>) -> Self {
+        assert!(duration.is_finite() && duration >= 0.0, "segment duration must be non-negative");
+        PulseSegment { duration, values }
+    }
+
+    /// Duration of the segment (machine time).
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// The variable assignment during this segment.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A compiled pulse schedule: a sequence of piecewise-constant segments.
+///
+/// The total duration is the "execution time" metric of the paper's
+/// evaluation; the per-segment Hamiltonians drive the device emulator in
+/// `qturbo-quantum`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PulseSchedule {
+    segments: Vec<PulseSegment>,
+}
+
+impl PulseSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a schedule from segments.
+    pub fn from_segments(segments: Vec<PulseSegment>) -> Self {
+        PulseSchedule { segments }
+    }
+
+    /// Appends a segment.
+    pub fn push(&mut self, segment: PulseSegment) {
+        self.segments.push(segment);
+    }
+
+    /// The segments in execution order.
+    pub fn segments(&self) -> &[PulseSegment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` when the schedule has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total machine execution time (the paper's "Execution Time" metric).
+    pub fn total_duration(&self) -> f64 {
+        self.segments.iter().map(PulseSegment::duration).sum()
+    }
+
+    /// Evaluates the simulator Hamiltonian of every segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AaisError::WrongValueCount`] when a segment's assignment
+    /// does not match the AAIS registry.
+    pub fn hamiltonians(&self, aais: &Aais) -> Result<Vec<(Hamiltonian, f64)>, AaisError> {
+        self.segments
+            .iter()
+            .map(|segment| Ok((aais.hamiltonian(segment.values())?, segment.duration())))
+            .collect()
+    }
+
+    /// Validates the schedule against the device: variable bounds, site
+    /// spacing, total duration, and immutability of runtime-fixed variables
+    /// across segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated device constraint.
+    pub fn validate(&self, aais: &Aais) -> Result<(), AaisError> {
+        for segment in &self.segments {
+            aais.validate_values(segment.values())?;
+        }
+        aais.validate_duration(self.total_duration())?;
+        // Runtime-fixed variables must not change between segments.
+        if let Some(first) = self.segments.first() {
+            for variable in aais.registry().iter() {
+                if variable.kind() != VariableKind::RuntimeFixed {
+                    continue;
+                }
+                let reference = first.values()[variable.id().index()];
+                for segment in &self.segments[1..] {
+                    let value = segment.values()[variable.id().index()];
+                    if (value - reference).abs() > 1e-9 {
+                        return Err(AaisError::VariableOutOfBounds {
+                            name: format!("{} (runtime-fixed changed between segments)", variable.name()),
+                            value,
+                            lower: reference,
+                            upper: reference,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for PulseSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "PulseSchedule: {} segment(s), total duration {:.4}",
+            self.num_segments(),
+            self.total_duration()
+        )?;
+        for (i, segment) in self.segments.iter().enumerate() {
+            writeln!(f, "  segment {i}: duration {:.4}", segment.duration())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rydberg::{rydberg_aais, RydbergOptions};
+
+    fn toy_schedule(aais: &Aais) -> PulseSchedule {
+        let values = aais.default_values();
+        PulseSchedule::from_segments(vec![
+            PulseSegment::new(0.4, values.clone()),
+            PulseSegment::new(0.4, values),
+        ])
+    }
+
+    #[test]
+    fn durations_accumulate() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let schedule = toy_schedule(&aais);
+        assert_eq!(schedule.num_segments(), 2);
+        assert!(!schedule.is_empty());
+        assert!((schedule.total_duration() - 0.8).abs() < 1e-12);
+        assert!(PulseSchedule::new().is_empty());
+    }
+
+    #[test]
+    fn hamiltonians_per_segment() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let schedule = toy_schedule(&aais);
+        let hs = schedule.hamiltonians(&aais).unwrap();
+        assert_eq!(hs.len(), 2);
+        // Default values: drives off, but Van der Waals from the initial
+        // layout is always on.
+        assert!(hs[0].0.num_terms() > 0);
+        assert_eq!(hs[0].1, 0.4);
+    }
+
+    #[test]
+    fn validation_checks_bounds_duration_and_fixed_vars() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let good = toy_schedule(&aais);
+        assert!(good.validate(&aais).is_ok());
+
+        // Exceeding the device's maximum evolution time.
+        let long = PulseSchedule::from_segments(vec![PulseSegment::new(10.0, aais.default_values())]);
+        assert!(matches!(long.validate(&aais), Err(AaisError::EvolutionTooLong { .. })));
+
+        // Out-of-range dynamic variable.
+        let mut values = aais.default_values();
+        let omega_index = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "Omega_0")
+            .unwrap()
+            .id()
+            .index();
+        values[omega_index] = 100.0;
+        let bad = PulseSchedule::from_segments(vec![PulseSegment::new(0.1, values)]);
+        assert!(matches!(bad.validate(&aais), Err(AaisError::VariableOutOfBounds { .. })));
+
+        // Runtime-fixed variable changing between segments.
+        let mut moved = aais.default_values();
+        moved[0] += 5.0;
+        let drift = PulseSchedule::from_segments(vec![
+            PulseSegment::new(0.1, aais.default_values()),
+            PulseSegment::new(0.1, moved),
+        ]);
+        let err = drift.validate(&aais).unwrap_err();
+        assert!(err.to_string().contains("runtime-fixed"));
+    }
+
+    #[test]
+    fn wrong_value_count_is_reported() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let schedule = PulseSchedule::from_segments(vec![PulseSegment::new(0.1, vec![0.0; 2])]);
+        assert!(matches!(schedule.hamiltonians(&aais), Err(AaisError::WrongValueCount { .. })));
+        assert!(schedule.validate(&aais).is_err());
+    }
+
+    #[test]
+    fn display_mentions_segments() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let schedule = toy_schedule(&aais);
+        let text = schedule.to_string();
+        assert!(text.contains("2 segment(s)"));
+        assert!(text.contains("segment 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_duration() {
+        let _ = PulseSegment::new(-1.0, vec![]);
+    }
+}

@@ -1,0 +1,468 @@
+//! The Rydberg AAIS: neutral-atom analog quantum simulators such as QuEra's
+//! Aquila (paper §2.1.1).
+//!
+//! Instruction set (per atom `i`, atom pair `(i, j)`):
+//!
+//! * Van der Waals interaction `C6/|x_i − x_j|⁶ · n̂_i n̂_j` — controlled by the
+//!   runtime-fixed atom positions,
+//! * detuning `−Δ_i · n̂_i`,
+//! * Rabi drive `Ω_i/2 · cos φ_i · X_i  −  Ω_i/2 · sin φ_i · Y_i`.
+//!
+//! Expanding `n̂ = (I − Z)/2` gives the generator effects used below; identity
+//! contributions are dropped as a global phase.
+//!
+//! ## Substitutions relative to the physical Aquila device
+//!
+//! * Atom positions may be laid out in 1-D or 2-D. The physical chamber is
+//!   roughly 75 µm × 76 µm; for benchmark sizes that cannot geometrically fit
+//!   (e.g. 93-atom chains) the position window is widened automatically and
+//!   this is reported through [`RydbergOptions::position_window`].
+//! * Van der Waals pairs beyond [`RydbergOptions::interaction_cutoff`] (in
+//!   layout-graph distance) are truncated; at twice the nearest-neighbour
+//!   spacing the coupling is already 64× weaker, and the paper's
+//!   "Ising cycle +" model captures exactly that next-nearest tail.
+
+use crate::aais::Aais;
+use crate::expr::Expr;
+use crate::instruction::{Generator, Instruction, InstructionKind};
+use crate::variable::{VariableId, VariableKind, VariableRegistry};
+use qturbo_hamiltonian::{Pauli, PauliString};
+
+/// Geometric layout hint used to seed the runtime-fixed position variables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Layout {
+    /// Atoms on a straight line with the given initial spacing (µm).
+    Line {
+        /// Initial nearest-neighbour spacing in µm.
+        spacing: f64,
+    },
+    /// Atoms on a ring with the given initial spacing (µm); requires 2-D.
+    Ring {
+        /// Initial nearest-neighbour spacing in µm.
+        spacing: f64,
+    },
+}
+
+/// Number of spatial dimensions of the atom positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dimensions {
+    /// One-dimensional positions (the scalar case of the paper's examples).
+    One,
+    /// Two-dimensional positions (the physical Aquila geometry).
+    Two,
+}
+
+/// Configuration of the Rydberg AAIS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RydbergOptions {
+    /// Van der Waals coefficient `C6` (862 690 MHz·µm⁶ on Aquila).
+    pub c6: f64,
+    /// Maximum detuning magnitude `|Δ|` (MHz).
+    pub delta_max: f64,
+    /// Maximum Rabi amplitude `Ω` (MHz).
+    pub omega_max: f64,
+    /// Maximum machine evolution time (µs). Aquila allows 4 µs.
+    pub max_evolution_time: f64,
+    /// Minimum allowed spacing between atoms (µm).
+    pub min_spacing: f64,
+    /// Side length of the square position window (µm); `None` widens the
+    /// physical 75 µm window automatically when the layout needs more room.
+    pub position_window: Option<f64>,
+    /// Van der Waals pairs farther apart than this in layout-graph distance
+    /// are omitted from the instruction set; `None` keeps every pair.
+    pub interaction_cutoff: Option<usize>,
+    /// Initial geometric layout of the atoms.
+    pub layout: Layout,
+    /// Spatial dimensionality of the position variables.
+    pub dimensions: Dimensions,
+}
+
+impl Default for RydbergOptions {
+    fn default() -> Self {
+        RydbergOptions {
+            c6: 862_690.0,
+            delta_max: 20.0,
+            omega_max: 2.5,
+            max_evolution_time: 4.0,
+            min_spacing: 4.0,
+            position_window: None,
+            interaction_cutoff: Some(2),
+            layout: Layout::Line { spacing: 9.0 },
+            dimensions: Dimensions::Two,
+        }
+    }
+}
+
+impl RydbergOptions {
+    /// Aquila-like options in angular-frequency units (rad/µs), matching the
+    /// paper's real-device experiments (§7.4). `omega_max` differs between the
+    /// Ising-cycle (6.28 rad/µs) and PXP (13.8 rad/µs) studies, so it is a
+    /// parameter here.
+    pub fn aquila_rad_per_us(omega_max: f64) -> Self {
+        RydbergOptions {
+            // 2π × 862 690 MHz µm⁶ expressed in rad/µs µm⁶.
+            c6: 5_420_441.0,
+            delta_max: 125.0,
+            omega_max,
+            max_evolution_time: 4.0,
+            min_spacing: 4.0,
+            position_window: None,
+            interaction_cutoff: Some(2),
+            layout: Layout::Ring { spacing: 6.0 },
+            dimensions: Dimensions::Two,
+        }
+    }
+
+    /// One-dimensional variant used by small worked examples (mirrors the
+    /// scalar-position simplification of the paper's §5.2).
+    pub fn one_dimensional() -> Self {
+        RydbergOptions {
+            dimensions: Dimensions::One,
+            layout: Layout::Line { spacing: 9.0 },
+            ..RydbergOptions::default()
+        }
+    }
+}
+
+/// Builds the Rydberg AAIS for `num_atoms` atoms with the given options.
+///
+/// # Panics
+///
+/// Panics if `num_atoms < 2`, or if a ring layout is requested with 1-D
+/// positions.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+/// let aais = rydberg_aais(3, &RydbergOptions::default());
+/// // 3 atoms in a line with cutoff 2: vdW pairs (0,1), (1,2), (0,2)
+/// // plus 3 detunings and 3 Rabi drives.
+/// assert_eq!(aais.instructions().len(), 3 + 3 + 3);
+/// assert_eq!(aais.num_sites(), 3);
+/// ```
+pub fn rydberg_aais(num_atoms: usize, options: &RydbergOptions) -> Aais {
+    assert!(num_atoms >= 2, "a Rydberg AAIS needs at least two atoms");
+    if matches!(options.layout, Layout::Ring { .. }) {
+        assert!(
+            options.dimensions == Dimensions::Two,
+            "a ring layout requires two-dimensional positions"
+        );
+    }
+
+    let initial_positions = initial_positions(num_atoms, options);
+    let window = options.position_window.unwrap_or_else(|| {
+        let needed = initial_positions
+            .iter()
+            .flat_map(|coords| coords.iter().copied())
+            .fold(0.0_f64, f64::max)
+            + options.min_spacing;
+        needed.max(75.0)
+    });
+
+    let mut registry = VariableRegistry::new();
+    let mut site_positions: Vec<Vec<VariableId>> = Vec::with_capacity(num_atoms);
+    for (i, coords) in initial_positions.iter().enumerate() {
+        let mut ids = Vec::with_capacity(coords.len());
+        for (axis, &value) in coords.iter().enumerate() {
+            let axis_name = ["x", "y"][axis];
+            let id = registry.register(
+                format!("{axis_name}_{i}"),
+                VariableKind::RuntimeFixed,
+                0.0,
+                window,
+                value,
+            );
+            ids.push(id);
+        }
+        site_positions.push(ids);
+    }
+
+    let mut instructions = Vec::new();
+
+    // Van der Waals interactions.
+    for i in 0..num_atoms {
+        for j in (i + 1)..num_atoms {
+            let graph_distance = match options.layout {
+                Layout::Line { .. } => j - i,
+                Layout::Ring { .. } => (j - i).min(num_atoms - (j - i)),
+            };
+            if let Some(cutoff) = options.interaction_cutoff {
+                if graph_distance > cutoff {
+                    continue;
+                }
+            }
+            let expr = pair_coupling_expr(options.c6, &site_positions[i], &site_positions[j]);
+            let mut variables: Vec<VariableId> = site_positions[i].clone();
+            variables.extend(site_positions[j].iter().copied());
+            let generator = Generator::new(
+                expr,
+                vec![
+                    (PauliString::two(i, Pauli::Z, j, Pauli::Z), 1.0),
+                    (PauliString::single(i, Pauli::Z), -1.0),
+                    (PauliString::single(j, Pauli::Z), -1.0),
+                ],
+            );
+            instructions.push(Instruction::new(
+                format!("vdw_{i}_{j}"),
+                InstructionKind::Fixed,
+                variables,
+                vec![generator],
+                None,
+            ));
+        }
+    }
+
+    // Detuning instructions: −Δ_i n̂_i contributes +Δ_i/2 to Z_i.
+    for i in 0..num_atoms {
+        let delta = registry.register(
+            format!("Delta_{i}"),
+            VariableKind::RuntimeDynamic,
+            -options.delta_max,
+            options.delta_max,
+            0.0,
+        );
+        let generator = Generator::new(
+            Expr::var(delta).scaled(0.5),
+            vec![(PauliString::single(i, Pauli::Z), 1.0)],
+        );
+        instructions.push(Instruction::new(
+            format!("detuning_{i}"),
+            InstructionKind::Dynamic,
+            vec![delta],
+            vec![generator],
+            Some(delta),
+        ));
+    }
+
+    // Rabi drives: Ω_i/2 cos φ_i X_i  −  Ω_i/2 sin φ_i Y_i.
+    for i in 0..num_atoms {
+        let omega = registry.register(
+            format!("Omega_{i}"),
+            VariableKind::RuntimeDynamic,
+            0.0,
+            options.omega_max,
+            0.0,
+        );
+        let phi = registry.register(
+            format!("phi_{i}"),
+            VariableKind::RuntimeDynamic,
+            -std::f64::consts::PI,
+            std::f64::consts::PI,
+            0.0,
+        );
+        let cos_generator = Generator::new(
+            Expr::Product(vec![
+                Expr::var(omega),
+                Expr::constant(0.5),
+                Expr::Cos(Box::new(Expr::var(phi))),
+            ]),
+            vec![(PauliString::single(i, Pauli::X), 1.0)],
+        );
+        let sin_generator = Generator::new(
+            Expr::Product(vec![
+                Expr::var(omega),
+                Expr::constant(-0.5),
+                Expr::Sin(Box::new(Expr::var(phi))),
+            ]),
+            vec![(PauliString::single(i, Pauli::Y), 1.0)],
+        );
+        instructions.push(Instruction::new(
+            format!("rabi_{i}"),
+            InstructionKind::Dynamic,
+            vec![omega, phi],
+            vec![cos_generator, sin_generator],
+            Some(omega),
+        ));
+    }
+
+    Aais::new(
+        "rydberg",
+        num_atoms,
+        registry,
+        instructions,
+        options.max_evolution_time,
+        Some(options.min_spacing),
+        site_positions,
+    )
+}
+
+/// `C6/4 · r⁻⁶` with `r` the distance between two sites (1-D or 2-D).
+fn pair_coupling_expr(c6: f64, a: &[VariableId], b: &[VariableId]) -> Expr {
+    if a.len() == 1 {
+        Expr::inverse_power_distance(c6 / 4.0, a[0], b[0], 6)
+    } else {
+        // (dx² + dy²)⁻³ · C6/4
+        let squared_terms: Vec<Expr> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&ia, &ib)| {
+                Expr::Pow(Box::new(Expr::difference(Expr::var(ia), Expr::var(ib))), 2)
+            })
+            .collect();
+        Expr::Product(vec![
+            Expr::constant(c6 / 4.0),
+            Expr::Pow(Box::new(Expr::Sum(squared_terms)), -3),
+        ])
+    }
+}
+
+/// Initial coordinates for every atom according to the layout hint.
+fn initial_positions(num_atoms: usize, options: &RydbergOptions) -> Vec<Vec<f64>> {
+    match (options.layout, options.dimensions) {
+        (Layout::Line { spacing }, Dimensions::One) => {
+            (0..num_atoms).map(|i| vec![options.min_spacing + i as f64 * spacing]).collect()
+        }
+        (Layout::Line { spacing }, Dimensions::Two) => (0..num_atoms)
+            .map(|i| vec![options.min_spacing + i as f64 * spacing, options.min_spacing])
+            .collect(),
+        (Layout::Ring { spacing }, _) => {
+            let radius =
+                (spacing * num_atoms as f64 / (2.0 * std::f64::consts::PI)).max(options.min_spacing);
+            let center = radius + options.min_spacing;
+            (0..num_atoms)
+                .map(|i| {
+                    let angle = 2.0 * std::f64::consts::PI * i as f64 / num_atoms as f64;
+                    vec![center + radius * angle.cos(), center + radius * angle.sin()]
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qturbo_hamiltonian::PauliString;
+
+    #[test]
+    fn instruction_counts_scale_with_cutoff() {
+        let n = 6;
+        let chain = rydberg_aais(n, &RydbergOptions::default());
+        // cutoff 2 on a line: (n-1) + (n-2) pairs + n detunings + n rabi.
+        assert_eq!(chain.instructions().len(), (n - 1) + (n - 2) + n + n);
+        let all_pairs = rydberg_aais(
+            n,
+            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+        );
+        assert_eq!(all_pairs.instructions().len(), n * (n - 1) / 2 + 2 * n);
+    }
+
+    #[test]
+    fn ring_layout_includes_wraparound_pair() {
+        let n = 6;
+        let options = RydbergOptions {
+            layout: Layout::Ring { spacing: 6.0 },
+            interaction_cutoff: Some(1),
+            ..RydbergOptions::default()
+        };
+        let aais = rydberg_aais(n, &options);
+        // Ring with cutoff 1: n nearest-neighbour pairs (including (0, n-1)).
+        assert_eq!(aais.instructions().len(), n + 2 * n);
+        assert!(aais.instructions().iter().any(|i| i.name() == "vdw_0_5"));
+    }
+
+    #[test]
+    fn worked_example_from_the_paper_one_dimensional() {
+        // Paper §5.2: with T = 0.8 µs and the three-atom Ising chain, the
+        // solved positions are x = (0, 7.46, 14.92) µm and the Van der Waals
+        // coupling C6/(4·7.46⁶) ≈ 1.25 MHz.
+        let options = RydbergOptions::one_dimensional();
+        let aais = rydberg_aais(3, &options);
+        let mut values = aais.default_values();
+        // Positions are the first three registered variables.
+        values[0] = 0.0;
+        values[1] = 7.46;
+        values[2] = 14.92;
+        let vdw01 = aais
+            .instructions()
+            .iter()
+            .find(|i| i.name() == "vdw_0_1")
+            .expect("vdw_0_1 exists");
+        let coupling = vdw01.generators()[0].value(&values);
+        assert!((coupling - 1.25).abs() < 0.01, "coupling was {coupling}");
+    }
+
+    #[test]
+    fn two_dimensional_coupling_matches_euclidean_distance() {
+        let aais = rydberg_aais(2, &RydbergOptions::default());
+        let mut values = aais.default_values();
+        // Place atoms at (0, 0) and (3, 4): distance 5.
+        values[0] = 0.0;
+        values[1] = 0.0;
+        values[2] = 3.0;
+        values[3] = 4.0;
+        let vdw = &aais.instructions()[0];
+        let coupling = vdw.generators()[0].value(&values);
+        let expected = 862_690.0 / (4.0 * 5.0_f64.powi(6));
+        assert!((coupling - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn hamiltonian_contains_expected_terms() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let mut values = aais.default_values();
+        // Switch on the first detuning and the second Rabi drive.
+        let delta_0 = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "Delta_0")
+            .map(|v| v.id().index())
+            .unwrap();
+        let omega_1 = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "Omega_1")
+            .map(|v| v.id().index())
+            .unwrap();
+        values[delta_0] = 2.0;
+        values[omega_1] = 2.0;
+        let h = aais.hamiltonian(&values).unwrap();
+        // Z_0 receives +Delta_0/2 = 1.0 from the detuning minus the (always-on)
+        // Van der Waals contributions of the default layout (~0.41 at 9 µm).
+        let vdw_nn = 862_690.0 / (4.0 * 9.0_f64.powi(6));
+        let vdw_nnn = 862_690.0 / (4.0 * 18.0_f64.powi(6));
+        let z0 = h.coefficient(&PauliString::single(0, Pauli::Z));
+        assert!((z0 - (1.0 - vdw_nn - vdw_nnn)).abs() < 1e-9, "z0 was {z0}");
+        assert!((h.coefficient(&PauliString::single(1, Pauli::X)) - 1.0).abs() < 1e-9);
+        // Van der Waals terms from the default layout are present on ZZ.
+        assert!(h.coefficient(&PauliString::two(0, Pauli::Z, 1, Pauli::Z)) > 0.0);
+    }
+
+    #[test]
+    fn aquila_preset_and_bounds() {
+        let options = RydbergOptions::aquila_rad_per_us(6.28);
+        let aais = rydberg_aais(12, &options);
+        let omega = aais.registry().iter().find(|v| v.name() == "Omega_3").unwrap();
+        assert_eq!(omega.upper(), 6.28);
+        let delta = aais.registry().iter().find(|v| v.name() == "Delta_3").unwrap();
+        assert_eq!(delta.upper(), 125.0);
+        assert_eq!(aais.max_evolution_time(), 4.0);
+        assert_eq!(aais.site_positions().len(), 12);
+        assert_eq!(aais.site_positions()[0].len(), 2);
+    }
+
+    #[test]
+    fn default_layout_respects_min_spacing() {
+        let aais = rydberg_aais(10, &RydbergOptions::default());
+        let values = aais.default_values();
+        assert!(aais.validate_values(&values).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two atoms")]
+    fn rejects_single_atom() {
+        let _ = rydberg_aais(1, &RydbergOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires two-dimensional")]
+    fn ring_requires_two_dimensions() {
+        let options = RydbergOptions {
+            layout: Layout::Ring { spacing: 6.0 },
+            dimensions: Dimensions::One,
+            ..RydbergOptions::default()
+        };
+        let _ = rydberg_aais(4, &options);
+    }
+}

@@ -1,0 +1,209 @@
+//! Device variables: runtime-fixed and runtime-dynamic amplitude variables.
+
+use std::fmt;
+
+/// Identifier of a device variable inside a [`VariableRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VariableId(pub(crate) usize);
+
+impl VariableId {
+    /// Index of the variable inside its registry.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VariableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Whether a variable can change during program execution.
+///
+/// * Runtime **fixed** variables (e.g. atom positions in a Rydberg array)
+///   must be chosen before the program starts and stay constant.
+/// * Runtime **dynamic** variables (e.g. Rabi amplitude, detuning, phase)
+///   can change between time segments of the pulse schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariableKind {
+    /// Fixed once program execution starts (paper: "runtime fixed variables").
+    RuntimeFixed,
+    /// Adjustable during execution (paper: "runtime dynamic variables").
+    RuntimeDynamic,
+}
+
+/// A device amplitude variable with its hardware bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    id: VariableId,
+    name: String,
+    kind: VariableKind,
+    lower: f64,
+    upper: f64,
+    initial_guess: f64,
+}
+
+impl Variable {
+    /// Identifier of this variable.
+    pub fn id(&self) -> VariableId {
+        self.id
+    }
+
+    /// Human readable name (e.g. `"x_3"`, `"Omega_1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runtime fixed or runtime dynamic.
+    pub fn kind(&self) -> VariableKind {
+        self.kind
+    }
+
+    /// Hardware lower bound.
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// Hardware upper bound.
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// Initial guess used to seed nonlinear solvers.
+    pub fn initial_guess(&self) -> f64 {
+        self.initial_guess
+    }
+
+    /// Returns `true` when `value` lies within the hardware bounds, with a
+    /// small relative tolerance.
+    pub fn admits(&self, value: f64) -> bool {
+        let span = (self.upper - self.lower).abs().max(1.0);
+        let tol = 1e-9 * span;
+        value >= self.lower - tol && value <= self.upper + tol
+    }
+}
+
+/// Registry owning every variable of an AAIS.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VariableRegistry {
+    variables: Vec<Variable>,
+}
+
+impl VariableRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new variable and returns its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        kind: VariableKind,
+        lower: f64,
+        upper: f64,
+        initial_guess: f64,
+    ) -> VariableId {
+        assert!(lower <= upper, "variable lower bound exceeds upper bound");
+        let id = VariableId(self.variables.len());
+        self.variables.push(Variable {
+            id,
+            name: name.into(),
+            kind,
+            lower,
+            upper,
+            initial_guess: initial_guess.clamp(lower, upper),
+        });
+        id
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Returns `true` when no variable has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.variables.is_empty()
+    }
+
+    /// Looks up a variable by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this registry.
+    pub fn get(&self, id: VariableId) -> &Variable {
+        &self.variables[id.0]
+    }
+
+    /// Iterates over all variables in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Variable> {
+        self.variables.iter()
+    }
+
+    /// Ids of all variables of the given kind.
+    pub fn ids_of_kind(&self, kind: VariableKind) -> Vec<VariableId> {
+        self.variables.iter().filter(|v| v.kind == kind).map(|v| v.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = VariableRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.register("x_0", VariableKind::RuntimeFixed, 0.0, 75.0, 10.0);
+        let b = reg.register("Omega_0", VariableKind::RuntimeDynamic, 0.0, 2.5, 0.0);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(a).name(), "x_0");
+        assert_eq!(reg.get(b).kind(), VariableKind::RuntimeDynamic);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(a.to_string(), "v0");
+    }
+
+    #[test]
+    fn bounds_and_admits() {
+        let mut reg = VariableRegistry::new();
+        let id = reg.register("Delta", VariableKind::RuntimeDynamic, -20.0, 20.0, 0.0);
+        let v = reg.get(id);
+        assert!(v.admits(0.0));
+        assert!(v.admits(20.0));
+        assert!(v.admits(-20.0));
+        assert!(!v.admits(25.0));
+        assert_eq!(v.lower(), -20.0);
+        assert_eq!(v.upper(), 20.0);
+    }
+
+    #[test]
+    fn initial_guess_is_clamped() {
+        let mut reg = VariableRegistry::new();
+        let id = reg.register("phi", VariableKind::RuntimeDynamic, -1.0, 1.0, 5.0);
+        assert_eq!(reg.get(id).initial_guess(), 1.0);
+    }
+
+    #[test]
+    fn ids_of_kind_filters() {
+        let mut reg = VariableRegistry::new();
+        let a = reg.register("x", VariableKind::RuntimeFixed, 0.0, 1.0, 0.0);
+        let _b = reg.register("w", VariableKind::RuntimeDynamic, 0.0, 1.0, 0.0);
+        let c = reg.register("y", VariableKind::RuntimeFixed, 0.0, 1.0, 0.0);
+        assert_eq!(reg.ids_of_kind(VariableKind::RuntimeFixed), vec![a, c]);
+        assert_eq!(reg.iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds upper bound")]
+    fn rejects_inverted_bounds() {
+        let mut reg = VariableRegistry::new();
+        reg.register("bad", VariableKind::RuntimeDynamic, 1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,517 @@
+//! The SimuQ-style baseline compiler: solve the global mixed system
+//! monolithically with a multi-start nonlinear solver and indicator rounding.
+
+use crate::system::GlobalMixedSystem;
+use qturbo_aais::{Aais, AaisError, PulseSchedule, PulseSegment, VariableKind};
+use qturbo_hamiltonian::{Hamiltonian, PiecewiseHamiltonian};
+use qturbo_math::{LevenbergMarquardt, MathError, Vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Errors produced by the baseline compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The target is empty or larger than the device.
+    InvalidTarget {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// No restart produced a solution below the failure threshold — the
+    /// baseline "fails to yield a solution" (paper §3).
+    NoSolution {
+        /// Best relative error achieved across all restarts.
+        best_relative_error: f64,
+    },
+    /// The produced schedule violates a device constraint.
+    DeviceConstraint(AaisError),
+    /// An underlying numerical routine failed.
+    Numerical(MathError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::InvalidTarget { reason } => write!(f, "invalid target: {reason}"),
+            BaselineError::NoSolution { best_relative_error } => write!(
+                f,
+                "the global mixed solver did not find a solution (best relative error {:.1}%)",
+                best_relative_error * 100.0
+            ),
+            BaselineError::DeviceConstraint(inner) => write!(f, "device constraint violated: {inner}"),
+            BaselineError::Numerical(inner) => write!(f, "numerical failure: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<MathError> for BaselineError {
+    fn from(err: MathError) -> Self {
+        BaselineError::Numerical(err)
+    }
+}
+
+impl From<AaisError> for BaselineError {
+    fn from(err: AaisError) -> Self {
+        BaselineError::DeviceConstraint(err)
+    }
+}
+
+/// Configuration of the baseline compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineOptions {
+    /// Base number of multi-start attempts.
+    pub base_restarts: usize,
+    /// One extra restart is added for every `restart_divisor` unknowns,
+    /// mimicking how solver effort grows with problem size.
+    pub restart_divisor: usize,
+    /// Hard cap on the number of restarts.
+    pub max_restarts: usize,
+    /// Iteration budget of each nonlinear solve.
+    pub solver_iterations: usize,
+    /// Relative error above which the compilation is declared failed.
+    pub failure_threshold: f64,
+    /// RNG seed for the multi-start initial guesses.
+    pub seed: u64,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        BaselineOptions {
+            base_restarts: 3,
+            restart_divisor: 40,
+            max_restarts: 8,
+            solver_iterations: 200,
+            failure_threshold: 0.25,
+            seed: 7,
+        }
+    }
+}
+
+/// Statistics of one baseline compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineStats {
+    /// Wall-clock compilation time.
+    pub compile_time: Duration,
+    /// Number of restarts performed.
+    pub restarts: usize,
+    /// Number of unknowns of the global mixed system (per segment).
+    pub num_unknowns: usize,
+    /// Number of pulse segments produced.
+    pub num_segments: usize,
+}
+
+/// The result of a successful baseline compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// The compiled pulse schedule.
+    pub schedule: PulseSchedule,
+    /// Total machine execution time.
+    pub execution_time: f64,
+    /// Absolute compilation error `‖B_sim − B_tar‖₁` summed over segments.
+    pub absolute_error: f64,
+    /// `‖B_tar‖₁` summed over segments.
+    pub target_norm: f64,
+    /// Compilation statistics.
+    pub stats: BaselineStats,
+}
+
+impl BaselineResult {
+    /// Relative error as a fraction.
+    pub fn relative_error(&self) -> f64 {
+        if self.target_norm == 0.0 {
+            0.0
+        } else {
+            self.absolute_error / self.target_norm
+        }
+    }
+}
+
+/// A SimuQ-style analog compiler: one global mixed continuous/binary system,
+/// solved monolithically (paper §2.2 / §3).
+///
+/// # Example
+///
+/// ```
+/// use qturbo_baseline::BaselineCompiler;
+/// use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+/// use qturbo_hamiltonian::models::ising_chain;
+///
+/// let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+/// let result = BaselineCompiler::new().compile(&ising_chain(3, 1.0, 1.0), 1.0, &aais).unwrap();
+/// assert!(result.relative_error() < 0.25);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BaselineCompiler {
+    options: BaselineOptions,
+}
+
+impl BaselineCompiler {
+    /// A baseline compiler with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A baseline compiler with explicit options.
+    pub fn with_options(options: BaselineOptions) -> Self {
+        BaselineCompiler { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &BaselineOptions {
+        &self.options
+    }
+
+    /// Compiles a time-independent target Hamiltonian.
+    ///
+    /// # Errors
+    ///
+    /// See [`BaselineError`]; in particular [`BaselineError::NoSolution`] when
+    /// the monolithic solver cannot reach the accuracy threshold.
+    pub fn compile(
+        &self,
+        target: &Hamiltonian,
+        target_time: f64,
+        aais: &Aais,
+    ) -> Result<BaselineResult, BaselineError> {
+        self.compile_segments(&[(target.clone(), target_time)], aais)
+    }
+
+    /// Compiles a piecewise-constant time-dependent target, solving the full
+    /// mixed system once per segment (runtime-fixed variables are frozen at
+    /// the first segment's solution).
+    ///
+    /// # Errors
+    ///
+    /// See [`BaselineError`].
+    pub fn compile_piecewise(
+        &self,
+        target: &PiecewiseHamiltonian,
+        aais: &Aais,
+    ) -> Result<BaselineResult, BaselineError> {
+        let segments: Vec<(Hamiltonian, f64)> = target
+            .segments()
+            .iter()
+            .map(|segment| (segment.hamiltonian.clone(), segment.duration))
+            .collect();
+        self.compile_segments(&segments, aais)
+    }
+
+    fn compile_segments(
+        &self,
+        segments: &[(Hamiltonian, f64)],
+        aais: &Aais,
+    ) -> Result<BaselineResult, BaselineError> {
+        let start = Instant::now();
+        if segments.is_empty() {
+            return Err(BaselineError::InvalidTarget { reason: "no segments".to_string() });
+        }
+        for (hamiltonian, duration) in segments {
+            if hamiltonian.num_qubits() > aais.num_sites() {
+                return Err(BaselineError::InvalidTarget {
+                    reason: format!(
+                        "target needs {} qubits, device has {}",
+                        hamiltonian.num_qubits(),
+                        aais.num_sites()
+                    ),
+                });
+            }
+            if hamiltonian.without_identity().is_empty() || *duration <= 0.0 {
+                return Err(BaselineError::InvalidTarget {
+                    reason: "empty segment or non-positive duration".to_string(),
+                });
+            }
+        }
+
+        let num_variables = aais.registry().len();
+        let per_segment_budget = aais.max_evolution_time() / segments.len() as f64;
+
+        let mut schedule = PulseSchedule::new();
+        let mut absolute_error = 0.0;
+        let mut target_norm = 0.0;
+        let mut total_restarts = 0;
+        let mut num_unknowns = 0;
+        // Runtime-fixed variables frozen after the first segment.
+        let mut frozen_fixed: Option<Vec<f64>> = None;
+
+        for (segment_index, (hamiltonian, duration)) in segments.iter().enumerate() {
+            let system = GlobalMixedSystem::build(aais, hamiltonian, *duration);
+            num_unknowns = system.num_unknowns();
+            let indicators = system.indicator_instructions().to_vec();
+
+            let restarts = (self.options.base_restarts
+                + system.num_unknowns() / self.options.restart_divisor.max(1))
+            .min(self.options.max_restarts)
+            .max(1);
+
+            let mut lower = Vec::with_capacity(system.num_unknowns());
+            let mut upper = Vec::with_capacity(system.num_unknowns());
+            for variable in aais.registry().iter() {
+                if variable.kind() == VariableKind::RuntimeFixed {
+                    if let Some(frozen) = &frozen_fixed {
+                        let value = frozen[variable.id().index()];
+                        lower.push(value);
+                        upper.push(value);
+                        continue;
+                    }
+                }
+                lower.push(variable.lower());
+                upper.push(variable.upper());
+            }
+            // Evolution time.
+            lower.push(1e-3_f64.min(per_segment_budget * 0.5));
+            upper.push(per_segment_budget);
+            // Indicators (continuous relaxation of the binary variables).
+            for _ in &indicators {
+                lower.push(0.0);
+                upper.push(1.0);
+            }
+
+            let residual_fn = |params: &[f64]| -> Vec<f64> {
+                let values = &params[..num_variables];
+                let time = params[num_variables];
+                let indicator_map: BTreeMap<usize, f64> = indicators
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &instruction)| (instruction, params[num_variables + 1 + k]))
+                    .collect();
+                system.residuals(aais, values, time, &indicator_map)
+            };
+
+            let mut rng = StdRng::seed_from_u64(
+                self.options.seed.wrapping_add(segment_index as u64).wrapping_mul(0x5851_F42D),
+            );
+            let mut best: Option<(f64, Vector)> = None;
+            let solver =
+                LevenbergMarquardt::new().with_max_iterations(self.options.solver_iterations);
+            for _ in 0..restarts {
+                total_restarts += 1;
+                let mut initial = Vec::with_capacity(system.num_unknowns());
+                for (variable, (&lo, &hi)) in
+                    aais.registry().iter().zip(lower.iter().zip(upper.iter()))
+                {
+                    let span = hi - lo;
+                    let jitter =
+                        if span > 0.0 { (rng.gen::<f64>() - 0.5) * 0.1 * span } else { 0.0 };
+                    initial.push((variable.initial_guess() + jitter).clamp(lo, hi));
+                }
+                // The baseline does not optimize the evolution time: it starts
+                // near the target duration (as a term-matching solver naturally
+                // does) and keeps whatever the solver settles on.
+                let time_guess = (duration * (1.0 + rng.gen::<f64>()))
+                    .clamp(lower[num_variables], per_segment_budget);
+                initial.push(time_guess);
+                for _ in &indicators {
+                    initial.push(0.6 + 0.4 * rng.gen::<f64>());
+                }
+                let outcome = solver
+                    .solve(&residual_fn, Vector::from(initial), &lower, &upper)
+                    .map_err(BaselineError::from)?;
+                let cost = outcome.residual_l1();
+                if best.as_ref().map_or(true, |(best_cost, _)| cost < *best_cost) {
+                    best = Some((cost, outcome.solution));
+                }
+            }
+            let (_, mut solution) = best.expect("at least one restart runs");
+
+            // Round the indicator variables and polish with them pinned. An
+            // indicator is rounded to 1 whenever the relaxed instruction makes
+            // a non-negligible contribution (the relaxation freely trades the
+            // indicator against the amplitude, so thresholding the raw value
+            // would switch off instructions that are actually in use); its
+            // time-critical amplitude absorbs the relaxed indicator so the
+            // polish starts from an equivalent point.
+            let mut pinned_lower = lower.clone();
+            let mut pinned_upper = upper.clone();
+            for (k, &instruction_index) in indicators.iter().enumerate() {
+                let index = num_variables + 1 + k;
+                let gate = solution[index];
+                let instruction = &aais.instructions()[instruction_index];
+                let lookup = |id: qturbo_aais::VariableId| solution[id.index()];
+                let contribution = instruction
+                    .generators()
+                    .iter()
+                    .map(|g| (g.expr().eval(&lookup) * gate).abs())
+                    .fold(0.0_f64, f64::max);
+                let rounded = if contribution > 1e-6 { 1.0 } else { 0.0 };
+                if rounded == 1.0 {
+                    if let Some(tc) = instruction.time_critical() {
+                        let variable = aais.registry().get(tc);
+                        solution[tc.index()] = (solution[tc.index()] * gate)
+                            .clamp(variable.lower(), variable.upper());
+                    }
+                }
+                solution[index] = rounded;
+                pinned_lower[index] = rounded;
+                pinned_upper[index] = rounded;
+            }
+            let polished = solver
+                .solve(&residual_fn, solution.clone(), &pinned_lower, &pinned_upper)
+                .map_err(BaselineError::from)?;
+            let solution = if polished.residual_l1() <= residual_fn(solution.as_slice())
+                .iter()
+                .map(|r| r.abs())
+                .sum::<f64>()
+            {
+                polished.solution
+            } else {
+                solution
+            };
+
+            // Materialize the segment.
+            let mut values: Vec<f64> = solution.as_slice()[..num_variables].to_vec();
+            let time = solution[num_variables];
+            let indicator_map: BTreeMap<usize, f64> = indicators
+                .iter()
+                .enumerate()
+                .map(|(k, &instruction)| (instruction, solution[num_variables + 1 + k]))
+                .collect();
+            // Indicator = 0: force the instruction's time-critical amplitude to
+            // zero so the hardware actually realizes the gated-off instruction.
+            for (&instruction, &gate) in &indicator_map {
+                if gate == 0.0 {
+                    if let Some(tc) = aais.instructions()[instruction].time_critical() {
+                        values[tc.index()] = 0.0_f64
+                            .clamp(aais.registry().get(tc).lower(), aais.registry().get(tc).upper());
+                    }
+                }
+            }
+
+            absolute_error += system.absolute_error(aais, &values, time, &indicator_map);
+            target_norm += system.target_norm_l1();
+            if frozen_fixed.is_none() {
+                frozen_fixed = Some(values.clone());
+            }
+            schedule.push(PulseSegment::new(time, values));
+        }
+
+        let relative_error =
+            if target_norm == 0.0 { 0.0 } else { absolute_error / target_norm };
+        if relative_error > self.options.failure_threshold {
+            return Err(BaselineError::NoSolution { best_relative_error: relative_error });
+        }
+        schedule.validate(aais)?;
+
+        Ok(BaselineResult {
+            execution_time: schedule.total_duration(),
+            schedule,
+            absolute_error,
+            target_norm,
+            stats: BaselineStats {
+                compile_time: start.elapsed(),
+                restarts: total_restarts,
+                num_unknowns,
+                num_segments: segments.len(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+    use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+    use qturbo_hamiltonian::models::{heisenberg_chain, ising_chain};
+
+    #[test]
+    fn compiles_small_heisenberg_targets() {
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        let target = ising_chain(3, 1.0, 1.0);
+        let result = BaselineCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        assert!(result.relative_error() < 0.25);
+        assert!(result.execution_time <= aais.max_evolution_time());
+        assert!(result.stats.restarts >= 1);
+        assert!(result.stats.num_unknowns > aais.registry().len());
+        assert!(result.schedule.validate(&aais).is_ok());
+    }
+
+    #[test]
+    fn compiles_small_rydberg_targets() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let target = ising_chain(3, 1.0, 1.0);
+        let result = BaselineCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        assert!(result.relative_error() < 0.25, "relative error {}", result.relative_error());
+        assert!(result.execution_time > 0.0);
+    }
+
+    #[test]
+    fn baseline_pulses_are_longer_than_the_theoretical_minimum() {
+        // The Heisenberg chain needs at least 0.5 µs (two-qubit amplitude cap);
+        // the baseline, which does not optimize the evolution time, settles on
+        // something noticeably longer.
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        let target = heisenberg_chain(3, 1.0, 1.0);
+        let result = BaselineCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        assert!(result.execution_time > 0.5 * 1.2, "execution time {}", result.execution_time);
+    }
+
+    #[test]
+    fn rejects_invalid_targets() {
+        let aais = heisenberg_aais(2, &HeisenbergOptions::default());
+        let too_large = ising_chain(4, 1.0, 1.0);
+        assert!(matches!(
+            BaselineCompiler::new().compile(&too_large, 1.0, &aais),
+            Err(BaselineError::InvalidTarget { .. })
+        ));
+        let empty = Hamiltonian::new(2);
+        assert!(BaselineCompiler::new().compile(&empty, 1.0, &aais).is_err());
+        assert!(BaselineCompiler::new()
+            .compile(&ising_chain(2, 1.0, 1.0), 0.0, &aais)
+            .is_err());
+    }
+
+    #[test]
+    fn failure_threshold_triggers_no_solution() {
+        // With a tiny iteration budget and an impossible threshold the solver
+        // reports failure instead of returning a bad pulse.
+        let aais = rydberg_aais(4, &RydbergOptions::default());
+        let target = ising_chain(4, 1.0, 1.0);
+        let compiler = BaselineCompiler::with_options(BaselineOptions {
+            solver_iterations: 1,
+            base_restarts: 1,
+            max_restarts: 1,
+            failure_threshold: 1e-9,
+            ..BaselineOptions::default()
+        });
+        let result = compiler.compile(&target, 1.0, &aais);
+        assert!(matches!(result, Err(BaselineError::NoSolution { .. })));
+        let message = result.unwrap_err().to_string();
+        assert!(message.contains("did not find a solution"));
+    }
+
+    #[test]
+    fn piecewise_targets_freeze_fixed_variables() {
+        use qturbo_hamiltonian::models::mis_chain;
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let target = mis_chain(3, 1.0, 1.0, 1.0, 1.0, 2);
+        let result = BaselineCompiler::with_options(BaselineOptions {
+            failure_threshold: 0.6,
+            ..BaselineOptions::default()
+        })
+        .compile_piecewise(&target, &aais)
+        .unwrap();
+        assert_eq!(result.stats.num_segments, 2);
+        // Atom positions must not move between segments.
+        let first = result.schedule.segments()[0].values();
+        let second = result.schedule.segments()[1].values();
+        for coords in aais.site_positions() {
+            for id in coords {
+                assert!((first[id.index()] - second[id.index()]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn error_type_is_well_behaved() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<BaselineError>();
+        let err: BaselineError = MathError::SingularMatrix.into();
+        assert!(err.to_string().contains("numerical"));
+        let err: BaselineError =
+            AaisError::EvolutionTooLong { requested: 9.0, maximum: 4.0 }.into();
+        assert!(err.to_string().contains("constraint"));
+    }
+}

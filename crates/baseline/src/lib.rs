@@ -1,0 +1,40 @@
+//! SimuQ-style baseline compiler for analog quantum simulation.
+//!
+//! This crate reproduces the *structure* of the baseline the QTurbo paper
+//! compares against (SimuQ, POPL 2024): the compilation problem is expressed
+//! as a single **global mixed equation system** over every device variable,
+//! the machine evolution time, and one binary indicator per dynamic
+//! instruction (paper §2.2), and that system is solved monolithically with a
+//! multi-start nonlinear solver plus indicator rounding.
+//!
+//! The two limitations the paper attributes to this approach emerge naturally:
+//!
+//! * compilation time grows steeply with system size (the solver effort is a
+//!   function of the total number of unknowns, and each iteration factors a
+//!   dense matrix of that size),
+//! * the returned machine evolution time is feasible but usually far from
+//!   minimal, and on hard instances the solver fails to reach the accuracy
+//!   threshold at all ([`BaselineError::NoSolution`]).
+//!
+//! # Example
+//!
+//! ```
+//! use qturbo_baseline::BaselineCompiler;
+//! use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+//! use qturbo_hamiltonian::models::ising_chain;
+//!
+//! let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+//! let result = BaselineCompiler::new().compile(&ising_chain(3, 1.0, 1.0), 1.0, &aais).unwrap();
+//! println!("baseline pulse length: {} µs", result.execution_time);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod compiler;
+pub mod system;
+
+pub use compiler::{
+    BaselineCompiler, BaselineError, BaselineOptions, BaselineResult, BaselineStats,
+};
+pub use system::GlobalMixedSystem;

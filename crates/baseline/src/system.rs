@@ -1,0 +1,230 @@
+//! The global mixed equation system of the SimuQ-style baseline (paper §2.2).
+//!
+//! Unlike QTurbo, the baseline does not introduce synthesized variables: it
+//! matches every Hamiltonian term directly against the *nonlinear* expression
+//! `Σ_g  s_i · g(x) · T_sim · w_g` over all device variables `x`, the machine
+//! evolution time `T_sim`, and one indicator variable `s_i ∈ {0, 1}` per
+//! dynamic instruction — a single large mixed continuous/binary system.
+
+use qturbo_aais::{Aais, InstructionKind, VariableId};
+use qturbo_hamiltonian::{Hamiltonian, PauliString};
+use std::collections::BTreeMap;
+
+/// One row of the global mixed system: a Hamiltonian term and its target
+/// coefficient × target time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermEquation {
+    /// The Hamiltonian term this row matches.
+    pub term: PauliString,
+    /// Required value of `coefficient × time` for this term.
+    pub target: f64,
+}
+
+/// The baseline's global mixed equation system for one target segment.
+#[derive(Debug, Clone)]
+pub struct GlobalMixedSystem {
+    equations: Vec<TermEquation>,
+    /// Indices (into the AAIS instruction list) of dynamic instructions, each
+    /// carrying one indicator variable.
+    indicator_instructions: Vec<usize>,
+    /// L1 weight of target terms no instruction can produce.
+    unrealizable_error: f64,
+    num_variables: usize,
+}
+
+impl GlobalMixedSystem {
+    /// Builds the mixed system for `target` evolving for `target_time`.
+    pub fn build(aais: &Aais, target: &Hamiltonian, target_time: f64) -> Self {
+        let producible = aais.producible_terms();
+        let mut rows: BTreeMap<PauliString, f64> = BTreeMap::new();
+        for term in &producible {
+            rows.insert(term.clone(), 0.0);
+        }
+        let mut unrealizable_error = 0.0;
+        for (coefficient, term) in target.terms() {
+            if term.is_identity() {
+                continue;
+            }
+            if producible.contains(term) {
+                rows.insert(term.clone(), coefficient * target_time);
+            } else {
+                unrealizable_error += (coefficient * target_time).abs();
+            }
+        }
+        let equations = rows
+            .into_iter()
+            .map(|(term, target)| TermEquation { term, target })
+            .collect();
+        let indicator_instructions = aais
+            .instructions()
+            .iter()
+            .enumerate()
+            .filter(|(_, instruction)| instruction.kind() == InstructionKind::Dynamic)
+            .map(|(index, _)| index)
+            .collect();
+        GlobalMixedSystem {
+            equations,
+            indicator_instructions,
+            unrealizable_error,
+            num_variables: aais.registry().len(),
+        }
+    }
+
+    /// The term-matching equations (rows of the system).
+    pub fn equations(&self) -> &[TermEquation] {
+        &self.equations
+    }
+
+    /// Instruction indices that carry an indicator variable.
+    pub fn indicator_instructions(&self) -> &[usize] {
+        &self.indicator_instructions
+    }
+
+    /// L1 weight of target terms the device cannot produce at all.
+    pub fn unrealizable_error(&self) -> f64 {
+        self.unrealizable_error
+    }
+
+    /// Total number of unknowns of the mixed system: every device variable,
+    /// the evolution time, and one indicator per dynamic instruction.
+    pub fn num_unknowns(&self) -> usize {
+        self.num_variables + 1 + self.indicator_instructions.len()
+    }
+
+    /// `‖B_tar‖₁` (including unrealizable terms), the relative-error denominator.
+    pub fn target_norm_l1(&self) -> f64 {
+        self.equations.iter().map(|e| e.target.abs()).sum::<f64>() + self.unrealizable_error
+    }
+
+    /// Evaluates the residual of every equation for a concrete assignment of
+    /// device variables, evolution time and (relaxed) indicator values.
+    pub fn residuals(
+        &self,
+        aais: &Aais,
+        values: &[f64],
+        time: f64,
+        indicators: &BTreeMap<usize, f64>,
+    ) -> Vec<f64> {
+        // Accumulate the simulated coefficient of every term.
+        let mut simulated: BTreeMap<&PauliString, f64> = BTreeMap::new();
+        for equation in &self.equations {
+            simulated.insert(&equation.term, 0.0);
+        }
+        let lookup = |id: VariableId| values[id.index()];
+        for (index, instruction) in aais.instructions().iter().enumerate() {
+            let gate = if instruction.kind() == InstructionKind::Dynamic {
+                indicators.get(&index).copied().unwrap_or(1.0)
+            } else {
+                1.0
+            };
+            if gate == 0.0 {
+                continue;
+            }
+            for generator in instruction.generators() {
+                let strength = generator.expr().eval(&lookup) * gate * time;
+                for (term, weight) in generator.effects() {
+                    if let Some(entry) = simulated.get_mut(term) {
+                        *entry += strength * weight;
+                    }
+                }
+            }
+        }
+        self.equations
+            .iter()
+            .map(|equation| simulated[&equation.term] - equation.target)
+            .collect()
+    }
+
+    /// L1 norm of the residuals plus the unrealizable error: the absolute
+    /// compilation error of a candidate solution.
+    pub fn absolute_error(
+        &self,
+        aais: &Aais,
+        values: &[f64],
+        time: f64,
+        indicators: &BTreeMap<usize, f64>,
+    ) -> f64 {
+        self.residuals(aais, values, time, indicators).iter().map(|r| r.abs()).sum::<f64>()
+            + self.unrealizable_error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+    use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+    use qturbo_hamiltonian::models::{ising_chain, ising_cycle};
+
+    #[test]
+    fn builds_paper_sized_system_for_rydberg() {
+        let aais = rydberg_aais(
+            3,
+            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+        );
+        let target = ising_chain(3, 1.0, 1.0);
+        let system = GlobalMixedSystem::build(&aais, &target, 1.0);
+        // Rows: 3 ZZ + 3 Z + 3 X + 3 Y = 12 (paper §2.2 lists exactly these).
+        assert_eq!(system.equations().len(), 12);
+        // Unknowns: 6 positions + 3 detunings + 3 Omega + 3 phi + T + 6 indicators.
+        assert_eq!(system.num_unknowns(), 15 + 1 + 6);
+        assert_eq!(system.indicator_instructions().len(), 6);
+        assert_eq!(system.unrealizable_error(), 0.0);
+        assert!((system.target_norm_l1() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residuals_vanish_for_an_exact_heisenberg_assignment() {
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        let target = ising_chain(3, 1.0, 1.0);
+        let system = GlobalMixedSystem::build(&aais, &target, 1.0);
+        // Assignment: ZZ couplings 2 MHz, X drives 2 MHz, T = 0.5 µs.
+        let mut values = aais.default_values();
+        for variable in aais.registry().iter() {
+            if variable.name().starts_with("a_Z") && variable.name().contains('Z') && variable.name().len() > 4 {
+                values[variable.id().index()] = 2.0;
+            }
+            if variable.name() == "a_X0" || variable.name() == "a_X1" || variable.name() == "a_X2" {
+                values[variable.id().index()] = 2.0;
+            }
+        }
+        let indicators: BTreeMap<usize, f64> =
+            system.indicator_instructions().iter().map(|&i| (i, 1.0)).collect();
+        let error = system.absolute_error(&aais, &values, 0.5, &indicators);
+        assert!(error < 1e-9, "error {error}");
+    }
+
+    #[test]
+    fn indicators_gate_dynamic_instructions() {
+        let aais = heisenberg_aais(2, &HeisenbergOptions::default());
+        let target = ising_chain(2, 1.0, 1.0);
+        let system = GlobalMixedSystem::build(&aais, &target, 1.0);
+        let mut values = aais.default_values();
+        let a_x0 = aais.registry().iter().find(|v| v.name() == "a_X0").unwrap().id().index();
+        values[a_x0] = 2.0;
+        let x0_instruction = aais
+            .instructions()
+            .iter()
+            .position(|i| i.name() == "single_X_0")
+            .unwrap();
+        let mut indicators: BTreeMap<usize, f64> =
+            system.indicator_instructions().iter().map(|&i| (i, 1.0)).collect();
+        let with = system.absolute_error(&aais, &values, 0.5, &indicators);
+        indicators.insert(x0_instruction, 0.0);
+        let without = system.absolute_error(&aais, &values, 0.5, &indicators);
+        // Gating the X0 instruction removes its (correct) contribution and the
+        // error grows by exactly the X0 target of 1.0.
+        assert!(without > with + 0.9);
+    }
+
+    #[test]
+    fn unrealizable_terms_are_tracked() {
+        let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+        let target = ising_cycle(4, 1.0, 1.0);
+        let system = GlobalMixedSystem::build(&aais, &target, 2.0);
+        assert!((system.unrealizable_error() - 2.0).abs() < 1e-12);
+        let indicators = BTreeMap::new();
+        let values = aais.default_values();
+        assert!(system.absolute_error(&aais, &values, 0.0, &indicators) >= 2.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the individual pipeline stages: the global
+//! linear solve, the localized mixed solves (evolution-time analysis and the
+//! position solve), the L1 refinement, and the state-vector propagator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qturbo::components::partition;
+use qturbo::linear_system::GlobalLinearSystem;
+use qturbo::local_system::{minimal_time_for_instruction, solve_component_at_time};
+use qturbo::refine::refined_targets;
+use qturbo_bench::{device_for, target_for, Device};
+use qturbo_hamiltonian::models::Model;
+use qturbo_quantum::propagate::evolve;
+use qturbo_quantum::StateVector;
+
+fn bench_global_linear_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_linear_system");
+    group.sample_size(10);
+    for &n in &[10usize, 30, 60] {
+        let target = target_for(Model::IsingChain, n);
+        let aais = device_for(Model::IsingChain, n, Device::Rydberg);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&target, &aais), |b, (target, aais)| {
+            b.iter(|| {
+                let system = GlobalLinearSystem::build(aais, target, 1.0).unwrap();
+                system.solve().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_systems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_systems");
+    group.sample_size(10);
+    let n = 12;
+    let target = target_for(Model::IsingChain, n);
+    let aais = device_for(Model::IsingChain, n, Device::Rydberg);
+    let system = GlobalLinearSystem::build(&aais, &target, 1.0).unwrap();
+    let alpha = system.solve().unwrap();
+    let targets: Vec<_> =
+        system.columns().iter().enumerate().map(|(k, g)| (*g, alpha[k])).collect();
+    let components = partition(&aais, true);
+
+    // Evolution-time analysis of one Rabi instruction.
+    let rabi_index = aais.instructions().iter().position(|i| i.name() == "rabi_0").unwrap();
+    group.bench_function("minimal_time_rabi", |b| {
+        b.iter(|| minimal_time_for_instruction(&aais, rabi_index, &targets, 4.0).unwrap());
+    });
+
+    // The (large) fixed component holding every atom position.
+    let fixed = components.iter().find(|c| c.is_fixed()).unwrap();
+    group.bench_function("position_component_solve", |b| {
+        b.iter(|| solve_component_at_time(&aais, fixed, &targets, 0.8, None).unwrap());
+    });
+
+    // L1 refinement over the dynamic synthesized variables.
+    let dynamic_mask: Vec<bool> = system
+        .columns()
+        .iter()
+        .map(|gref| {
+            components
+                .iter()
+                .find(|c| c.generators.contains(gref))
+                .map(|c| c.is_dynamic())
+                .unwrap_or(false)
+        })
+        .collect();
+    group.bench_function("l1_refinement", |b| {
+        b.iter(|| refined_targets(&system, &dynamic_mask, &alpha).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_state_vector_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_vector_evolution");
+    group.sample_size(10);
+    for &n in &[8usize, 12] {
+        let target = target_for(Model::IsingChain, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &target, |b, target| {
+            let initial = StateVector::zero_state(target.num_qubits());
+            b.iter(|| evolve(&initial, target, 0.5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_global_linear_system,
+    bench_local_systems,
+    bench_state_vector_propagation
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 3: compilation time, execution time and relative error for QTurbo
+//! vs the SimuQ-style baseline on the Rydberg device, across four benchmark
+//! models and a sweep of system sizes.
+//!
+//! QTurbo is swept to large sizes; the baseline is run up to a cut-off size
+//! (its monolithic solve becomes the dominant cost — which is the point of
+//! the figure) and reported as missing beyond it, mirroring the missing
+//! SimuQ data points in the paper.
+//!
+//! Run with: `cargo run --release -p qturbo-bench --bin fig3_rydberg`
+
+use qturbo_bench::{compare, print_rows, print_summary, quick_mode, Device};
+use qturbo_hamiltonian::models::Model;
+
+fn main() {
+    let (qturbo_sizes, baseline_cutoff): (Vec<usize>, usize) = if quick_mode() {
+        (vec![5, 9, 13], 9)
+    } else {
+        (vec![5, 9, 13, 21, 33, 48, 63, 93], 13)
+    };
+    let models = [Model::IsingChain, Model::IsingCycle, Model::Kitaev, Model::IsingCyclePlus];
+
+    for model in models {
+        let mut rows = Vec::new();
+        for &n in &qturbo_sizes {
+            let n = n.max(model.min_qubits());
+            let run_baseline = n <= baseline_cutoff;
+            rows.push(compare(model, n, Device::Rydberg, run_baseline));
+        }
+        print_rows(&format!("Figure 3 — {} on the Rydberg device", model.name()), &rows);
+        print_summary(model.name(), &rows);
+    }
+}

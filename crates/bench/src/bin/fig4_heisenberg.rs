@@ -1,0 +1,28 @@
+//! Figure 4: compilation time, execution time and relative error for QTurbo
+//! vs the SimuQ-style baseline on the Heisenberg device, across four benchmark
+//! models and a sweep of system sizes.
+//!
+//! Run with: `cargo run --release -p qturbo-bench --bin fig4_heisenberg`
+
+use qturbo_bench::{compare, print_rows, print_summary, quick_mode, Device};
+use qturbo_hamiltonian::models::Model;
+
+fn main() {
+    let (qturbo_sizes, baseline_cutoff): (Vec<usize>, usize) = if quick_mode() {
+        (vec![4, 8, 12], 8)
+    } else {
+        (vec![4, 8, 12, 20, 32, 48, 64, 93], 16)
+    };
+    let models = [Model::IsingChain, Model::IsingCycle, Model::HeisenbergChain, Model::Kitaev];
+
+    for model in models {
+        let mut rows = Vec::new();
+        for &n in &qturbo_sizes {
+            let n = n.max(model.min_qubits());
+            let run_baseline = n <= baseline_cutoff;
+            rows.push(compare(model, n, Device::Heisenberg, run_baseline));
+        }
+        print_rows(&format!("Figure 4 — {} on the Heisenberg device", model.name()), &rows);
+        print_summary(model.name(), &rows);
+    }
+}

@@ -1,0 +1,174 @@
+//! Figure 6: emulated "real device" study. Compiled pulses from QTurbo and the
+//! baseline are executed on the noisy emulated Aquila device and compared with
+//! the noiseless theory curves ("TH"), for (a) a 12-atom Ising cycle and (b) a
+//! 6-atom PXP chain.
+//!
+//! Run with: `cargo run --release -p qturbo-bench --bin fig6_device`
+
+use qturbo::QTurboCompiler;
+use qturbo_aais::rydberg::{rydberg_aais, Layout, RydbergOptions};
+use qturbo_aais::Aais;
+use qturbo_baseline::{BaselineCompiler, BaselineOptions};
+use qturbo_bench::quick_mode;
+use qturbo_hamiltonian::models::{ising_cycle, pxp};
+use qturbo_hamiltonian::Hamiltonian;
+use qturbo_quantum::observable::{z_average, zz_average};
+use qturbo_quantum::propagate::{evolve, evolve_piecewise};
+use qturbo_quantum::{EmulatedDevice, NoiseModel, StateVector};
+
+struct SeriesPoint {
+    target_time: f64,
+    theory_z: f64,
+    theory_zz: f64,
+    qturbo: CompilerSeries,
+    baseline: Option<CompilerSeries>,
+}
+
+struct CompilerSeries {
+    execution_time: f64,
+    noiseless_z: f64,
+    noiseless_zz: f64,
+    device_z: f64,
+    device_zz: f64,
+}
+
+fn run_compiler_series(
+    segments: &[(Hamiltonian, f64)],
+    num_atoms: usize,
+    cyclic: bool,
+    device: &EmulatedDevice,
+) -> CompilerSeries {
+    let noiseless = evolve_piecewise(&StateVector::zero_state(num_atoms), segments);
+    let run = device.run(segments, num_atoms, cyclic);
+    CompilerSeries {
+        execution_time: segments.iter().map(|(_, d)| d).sum(),
+        noiseless_z: z_average(&noiseless),
+        noiseless_zz: zz_average(&noiseless, cyclic),
+        device_z: run.z_average(),
+        device_zz: run.zz_average(),
+    }
+}
+
+fn study(
+    label: &str,
+    target: &Hamiltonian,
+    target_times: &[f64],
+    aais: &Aais,
+    cyclic: bool,
+    seed: u64,
+) {
+    let num_atoms = target.num_qubits();
+    let noisy = EmulatedDevice::new(NoiseModel::aquila_like(), seed);
+    let baseline = BaselineCompiler::with_options(BaselineOptions {
+        failure_threshold: 0.6,
+        ..BaselineOptions::default()
+    });
+
+    let mut points = Vec::new();
+    for &target_time in target_times {
+        let theory = evolve(&StateVector::zero_state(num_atoms), target, target_time);
+        let qturbo = QTurboCompiler::new()
+            .compile(target, target_time, aais)
+            .expect("QTurbo compiles the device study");
+        let qturbo_segments = qturbo.schedule.hamiltonians(aais).unwrap();
+        let baseline_series = baseline.compile(target, target_time, aais).ok().map(|result| {
+            let segments = result.schedule.hamiltonians(aais).unwrap();
+            run_compiler_series(&segments, num_atoms, cyclic, &noisy)
+        });
+        points.push(SeriesPoint {
+            target_time,
+            theory_z: z_average(&theory),
+            theory_zz: zz_average(&theory, cyclic),
+            qturbo: run_compiler_series(&qturbo_segments, num_atoms, cyclic, &noisy),
+            baseline: baseline_series,
+        });
+    }
+
+    println!("\n=== Figure 6 ({label}) ===");
+    println!(
+        "{:>7} | {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} {:>9} | {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "T_tar",
+        "Z TH",
+        "ZZ TH",
+        "Z qt(TH)",
+        "Z qt",
+        "ZZqt(TH)",
+        "ZZ qt",
+        "T_qt",
+        "Z sq(TH)",
+        "Z sq",
+        "ZZsq(TH)",
+        "ZZ sq",
+        "T_sq"
+    );
+    for p in &points {
+        let baseline_cells = match &p.baseline {
+            Some(b) => format!(
+                "{:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.3}",
+                b.noiseless_z, b.device_z, b.noiseless_zz, b.device_zz, b.execution_time
+            ),
+            None => format!("{:>8} {:>8} {:>8} {:>8} {:>9}", "fail", "fail", "fail", "fail", "-"),
+        };
+        println!(
+            "{:>7.2} | {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.3} | {}",
+            p.target_time,
+            p.theory_z,
+            p.theory_zz,
+            p.qturbo.noiseless_z,
+            p.qturbo.device_z,
+            p.qturbo.noiseless_zz,
+            p.qturbo.device_zz,
+            p.qturbo.execution_time,
+            baseline_cells
+        );
+    }
+
+    // Error-reduction summary against the theory curve (the paper's metric).
+    let mut z_reductions = Vec::new();
+    let mut zz_reductions = Vec::new();
+    for p in &points {
+        if let Some(b) = &p.baseline {
+            let qturbo_z_error = (p.qturbo.device_z - p.theory_z).abs();
+            let baseline_z_error = (b.device_z - p.theory_z).abs();
+            if baseline_z_error > 1e-9 {
+                z_reductions.push(1.0 - qturbo_z_error / baseline_z_error);
+            }
+            let qturbo_zz_error = (p.qturbo.device_zz - p.theory_zz).abs();
+            let baseline_zz_error = (b.device_zz - p.theory_zz).abs();
+            if baseline_zz_error > 1e-9 {
+                zz_reductions.push(1.0 - qturbo_zz_error / baseline_zz_error);
+            }
+        }
+    }
+    let mean =
+        |v: &[f64]| if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
+    println!(
+        "[{label}] average device-error reduction vs theory: Z_avg {:.0}%, ZZ_avg {:.0}%",
+        mean(&z_reductions) * 100.0,
+        mean(&zz_reductions) * 100.0
+    );
+}
+
+fn main() {
+    // (a) 12-atom Ising cycle: J = 0.157, h = 0.785 rad/µs, Ω_max = 6.28 rad/µs.
+    let cycle_atoms = if quick_mode() { 8 } else { 12 };
+    let cycle_target = ising_cycle(cycle_atoms, 0.157, 0.785);
+    let cycle_aais = rydberg_aais(
+        cycle_atoms,
+        &RydbergOptions {
+            layout: Layout::Ring { spacing: 6.5 },
+            ..RydbergOptions::aquila_rad_per_us(6.28)
+        },
+    );
+    let cycle_times: Vec<f64> =
+        if quick_mode() { vec![0.5, 1.0] } else { vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0] };
+    study("a: Ising cycle", &cycle_target, &cycle_times, &cycle_aais, true, 42);
+
+    // (b) 6-atom PXP chain: J = 1.26, h = 0.126 rad/µs, Ω_max = 13.8 rad/µs.
+    let pxp_atoms = 6;
+    let pxp_target = pxp(pxp_atoms, 1.26, 0.126);
+    let pxp_aais = rydberg_aais(pxp_atoms, &RydbergOptions::aquila_rad_per_us(13.8));
+    let pxp_times: Vec<f64> =
+        if quick_mode() { vec![5.0, 20.0] } else { vec![5.0, 10.0, 15.0, 20.0] };
+    study("b: 6-atom PXP chain", &pxp_target, &pxp_times, &pxp_aais, false, 17);
+}

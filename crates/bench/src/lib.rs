@@ -1,0 +1,276 @@
+//! Shared harness utilities for regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure of the paper's
+//! evaluation (see DESIGN.md for the experiment index); this library holds the
+//! model/device construction and the QTurbo-vs-baseline comparison runner they
+//! all share.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use qturbo::{CompilationResult, QTurboCompiler};
+use qturbo_aais::heisenberg::{heisenberg_aais, Connectivity, HeisenbergOptions};
+use qturbo_aais::rydberg::{rydberg_aais, Layout, RydbergOptions};
+use qturbo_aais::Aais;
+use qturbo_baseline::{BaselineCompiler, BaselineOptions, BaselineResult};
+use qturbo_hamiltonian::models::{Model, ModelParams};
+use qturbo_hamiltonian::Hamiltonian;
+
+/// Which analog device family an experiment targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Neutral-atom Rydberg device (Aquila-like AAIS).
+    Rydberg,
+    /// Superconducting / trapped-ion style Heisenberg device.
+    Heisenberg,
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Device::Rydberg => write!(f, "Rydberg"),
+            Device::Heisenberg => write!(f, "Heisenberg"),
+        }
+    }
+}
+
+/// Builds the AAIS appropriate for a benchmark model on the given device.
+///
+/// Ring-shaped models get a ring layout (Rydberg) or cyclic connectivity
+/// (Heisenberg) so the closing bond is realizable, mirroring how SimuQ
+/// instantiates per-device AAIS descriptions.
+pub fn device_for(model: Model, n: usize, device: Device) -> Aais {
+    match device {
+        Device::Rydberg => {
+            let options = match model {
+                Model::IsingCycle | Model::IsingCyclePlus => RydbergOptions {
+                    layout: Layout::Ring { spacing: 8.0 },
+                    ..RydbergOptions::default()
+                },
+                _ => RydbergOptions::default(),
+            };
+            rydberg_aais(n, &options)
+        }
+        Device::Heisenberg => {
+            let options = match model {
+                Model::IsingCycle => HeisenbergOptions::with_cycle_connectivity(),
+                Model::IsingCyclePlus => {
+                    let mut edges: Vec<(usize, usize)> =
+                        (0..n).map(|i| (i, (i + 1) % n)).collect();
+                    edges.extend((0..n).map(|i| (i, (i + 2) % n)));
+                    HeisenbergOptions {
+                        connectivity: Connectivity::Custom(edges),
+                        ..HeisenbergOptions::default()
+                    }
+                }
+                _ => HeisenbergOptions::default(),
+            };
+            heisenberg_aais(n, &options)
+        }
+    }
+}
+
+/// Builds the target Hamiltonian of a (time-independent) benchmark model with
+/// the paper's default parameters (all couplings 1 MHz).
+///
+/// # Panics
+///
+/// Panics for the time-dependent MIS chain; use
+/// [`qturbo_hamiltonian::models::mis_chain`] directly for Fig. 5b.
+pub fn target_for(model: Model, n: usize) -> Hamiltonian {
+    model
+        .build(n, &ModelParams::default())
+        .expect("time-independent benchmark model")
+}
+
+/// One row of a QTurbo-vs-baseline comparison (one model at one size).
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Benchmark model name.
+    pub model: String,
+    /// System size (number of qubits).
+    pub size: usize,
+    /// QTurbo compilation wall-clock time in seconds.
+    pub qturbo_compile: f64,
+    /// QTurbo machine execution time (µs).
+    pub qturbo_execution: f64,
+    /// QTurbo relative error (fraction).
+    pub qturbo_error: f64,
+    /// Baseline compilation time, if the baseline was run and succeeded.
+    pub baseline_compile: Option<f64>,
+    /// Baseline machine execution time.
+    pub baseline_execution: Option<f64>,
+    /// Baseline relative error.
+    pub baseline_error: Option<f64>,
+    /// Whether the baseline was attempted but failed to produce a solution.
+    pub baseline_failed: bool,
+}
+
+impl ComparisonRow {
+    /// Compile-time speedup of QTurbo over the baseline, if available.
+    pub fn speedup(&self) -> Option<f64> {
+        self.baseline_compile.map(|b| b / self.qturbo_compile.max(1e-9))
+    }
+
+    /// Relative reduction of the machine execution time, if available.
+    pub fn execution_reduction(&self) -> Option<f64> {
+        self.baseline_execution.map(|b| 1.0 - self.qturbo_execution / b.max(1e-12))
+    }
+
+    /// Absolute reduction of the relative error, if available.
+    pub fn error_reduction(&self) -> Option<f64> {
+        self.baseline_error.map(|b| b - self.qturbo_error)
+    }
+}
+
+/// Runs QTurbo (always) and the baseline (when `run_baseline` is set) on one
+/// benchmark configuration.
+///
+/// # Panics
+///
+/// Panics if QTurbo itself fails — every benchmark configuration used by the
+/// harness is expected to compile.
+pub fn compare(model: Model, n: usize, device: Device, run_baseline: bool) -> ComparisonRow {
+    let target = target_for(model, n);
+    let aais = device_for(model, n, device);
+    let qturbo = QTurboCompiler::new()
+        .compile(&target, 1.0, &aais)
+        .unwrap_or_else(|e| panic!("QTurbo failed on {model} ({n} qubits, {device}): {e}"));
+
+    let mut row = ComparisonRow {
+        model: model.name().to_string(),
+        size: n,
+        qturbo_compile: qturbo.stats.compile_time.as_secs_f64(),
+        qturbo_execution: qturbo.execution_time,
+        qturbo_error: qturbo.relative_error(),
+        baseline_compile: None,
+        baseline_execution: None,
+        baseline_error: None,
+        baseline_failed: false,
+    };
+    if run_baseline {
+        match baseline_compiler().compile(&target, 1.0, &aais) {
+            Ok(result) => {
+                row.baseline_compile = Some(result.stats.compile_time.as_secs_f64());
+                row.baseline_execution = Some(result.execution_time);
+                row.baseline_error = Some(result.relative_error());
+            }
+            Err(_) => row.baseline_failed = true,
+        }
+    }
+    row
+}
+
+/// The baseline compiler configuration used throughout the harness.
+pub fn baseline_compiler() -> BaselineCompiler {
+    BaselineCompiler::with_options(BaselineOptions {
+        failure_threshold: 0.5,
+        ..BaselineOptions::default()
+    })
+}
+
+/// Convenience: compile with QTurbo, panicking on failure (harness-internal).
+pub fn qturbo_compile(target: &Hamiltonian, time: f64, aais: &Aais) -> CompilationResult {
+    QTurboCompiler::new().compile(target, time, aais).expect("QTurbo compiles")
+}
+
+/// Convenience: compile with the harness baseline.
+pub fn baseline_compile(
+    target: &Hamiltonian,
+    time: f64,
+    aais: &Aais,
+) -> Result<BaselineResult, qturbo_baseline::BaselineError> {
+    baseline_compiler().compile(target, time, aais)
+}
+
+/// Formats an optional value for the comparison tables.
+fn fmt_opt(value: Option<f64>, failed: bool, unit: &str) -> String {
+    match value {
+        Some(v) => format!("{v:10.4}{unit}"),
+        None if failed => format!("{:>10}{unit}", "fail"),
+        None => format!("{:>10}{unit}", "-"),
+    }
+}
+
+/// Prints a table of comparison rows in the layout used by the figure binaries.
+pub fn print_rows(title: &str, rows: &[ComparisonRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<14} {:>5} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9}",
+        "model", "N", "QT compile/s", "QT exec/µs", "QT err%", "SQ compile/s", "SQ exec/µs", "SQ err%"
+    );
+    for row in rows {
+        println!(
+            "{:<14} {:>5} | {:>12.5} {:>12.4} {:>9.3} | {} {} {}",
+            row.model,
+            row.size,
+            row.qturbo_compile,
+            row.qturbo_execution,
+            row.qturbo_error * 100.0,
+            fmt_opt(row.baseline_compile, row.baseline_failed, ""),
+            fmt_opt(row.baseline_execution, row.baseline_failed, ""),
+            fmt_opt(row.baseline_error.map(|e| e * 100.0), row.baseline_failed, ""),
+        );
+    }
+}
+
+/// Prints the per-model summary (average speedup, execution-time reduction,
+/// error reduction) that the paper reports in the box of each sub-figure.
+pub fn print_summary(title: &str, rows: &[ComparisonRow]) {
+    let speedups: Vec<f64> = rows.iter().filter_map(ComparisonRow::speedup).collect();
+    let exec_reductions: Vec<f64> =
+        rows.iter().filter_map(ComparisonRow::execution_reduction).collect();
+    let error_reductions: Vec<f64> =
+        rows.iter().filter_map(ComparisonRow::error_reduction).collect();
+    let failures = rows.iter().filter(|r| r.baseline_failed).count();
+    let mean = |v: &[f64]| if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
+    println!(
+        "[{title}] avg compile speedup: {:.0}x | avg execution reduction: {:.0}% | avg error reduction: {:.1} pp | baseline failures: {failures}",
+        mean(&speedups),
+        mean(&exec_reductions) * 100.0,
+        mean(&error_reductions) * 100.0,
+    );
+}
+
+/// Returns `true` when the harness should use the reduced "quick" grids
+/// (set the environment variable `QTURBO_BENCH_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::var("QTURBO_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_produces_consistent_rows() {
+        let row = compare(Model::IsingChain, 4, Device::Heisenberg, true);
+        assert_eq!(row.model, "Ising chain");
+        assert_eq!(row.size, 4);
+        assert!(row.qturbo_compile > 0.0);
+        assert!(row.qturbo_error < 1e-6);
+        if let Some(speedup) = row.speedup() {
+            assert!(speedup > 0.0);
+        }
+        if let Some(reduction) = row.execution_reduction() {
+            assert!(reduction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn device_builders_cover_both_families() {
+        let rydberg = device_for(Model::IsingCycle, 5, Device::Rydberg);
+        assert_eq!(rydberg.name(), "rydberg");
+        let heisenberg = device_for(Model::IsingCyclePlus, 5, Device::Heisenberg);
+        assert_eq!(heisenberg.name(), "heisenberg");
+        assert_eq!(Device::Rydberg.to_string(), "Rydberg");
+        let target = target_for(Model::Kitaev, 4);
+        assert!(target.num_terms() > 0);
+    }
+
+    #[test]
+    fn quick_mode_reads_environment() {
+        // Not set in the test environment unless exported by the user.
+        let _ = quick_mode();
+    }
+}

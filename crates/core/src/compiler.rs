@@ -1,0 +1,693 @@
+//! The QTurbo compiler driver: ties together the global linear system, the
+//! localized mixed systems, evolution-time optimization, runtime-fixed
+//! variable solving, time-dependent segmentation and accuracy refinement.
+
+use crate::components::{partition, LocalComponent};
+use crate::error::CompileError;
+use crate::linear_system::GlobalLinearSystem;
+use crate::local_system::{
+    minimal_time_for_instruction, residual_for, solve_component_at_time, InstructionTiming,
+    TimingDetail,
+};
+use crate::mapping::{greedy_line_mapping, Mapping};
+use crate::metrics::theorem1_bound;
+use crate::refine::refined_targets;
+use qturbo_aais::{Aais, GeneratorRef, PulseSchedule, PulseSegment, VariableId};
+use qturbo_hamiltonian::{Hamiltonian, PiecewiseHamiltonian};
+use qturbo_math::Vector;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// How target qubits are assigned to device sites.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum MappingStrategy {
+    /// Target qubit `i` goes to device site `i`.
+    #[default]
+    Identity,
+    /// Order the qubits along a path of the interaction graph (Fig. 5a case
+    /// study: compiling a model with an initially unknown mapping).
+    GreedyLine,
+    /// An explicit qubit-to-site assignment.
+    Explicit(Vec<usize>),
+}
+
+/// Configuration of the QTurbo compiler. The boolean switches correspond to
+/// the ablations called out in DESIGN.md.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerOptions {
+    /// Use the bottleneck analysis of paper §5.1 to pick the shortest feasible
+    /// machine evolution time. When disabled a conservative (longer) feasible
+    /// time is used instead.
+    pub optimize_evolution_time: bool,
+    /// Apply the iterative accuracy refinement of paper §6.2.
+    pub refine: bool,
+    /// Decompose the mixed system into localized components (paper §4.2).
+    /// When disabled a single large mixed system is solved after the linear
+    /// stage.
+    pub localize: bool,
+    /// Step `Δt` used when relaxing the evolution time to satisfy runtime
+    /// fixed variable constraints (paper §5.2).
+    pub time_resolution: f64,
+    /// Maximum number of `Δt` relaxation steps before giving up.
+    pub max_relaxation_steps: usize,
+    /// Qubit-to-site mapping strategy.
+    pub mapping: MappingStrategy,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            optimize_evolution_time: true,
+            refine: true,
+            localize: true,
+            time_resolution: 0.05,
+            max_relaxation_steps: 60,
+            mapping: MappingStrategy::Identity,
+        }
+    }
+}
+
+/// Timing and size statistics of one compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilationStats {
+    /// Wall-clock compilation time.
+    pub compile_time: Duration,
+    /// Number of synthesized variables (generators) in the global linear system.
+    pub num_synthesized_variables: usize,
+    /// Number of localized mixed systems.
+    pub num_local_systems: usize,
+    /// Number of pulse segments produced.
+    pub num_segments: usize,
+    /// Number of `Δt` relaxation steps taken for runtime-fixed constraints.
+    pub relaxation_steps: usize,
+    /// Whether the refinement pass improved the error.
+    pub refinement_improved: bool,
+    /// Machine time of every segment.
+    pub segment_times: Vec<f64>,
+}
+
+/// The result of a successful compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilationResult {
+    /// The compiled pulse schedule (validated against the device).
+    pub schedule: PulseSchedule,
+    /// Total machine execution time (sum of segment durations).
+    pub execution_time: f64,
+    /// Absolute compilation error `‖B_sim − B_tar‖₁` summed over segments.
+    pub absolute_error: f64,
+    /// `‖B_tar‖₁` summed over segments (denominator of the relative error).
+    pub target_norm: f64,
+    /// The Theorem 1 a-priori error bound for this compilation.
+    pub error_bound: f64,
+    /// The qubit-to-site mapping that was applied.
+    pub mapping: Mapping,
+    /// Compilation statistics.
+    pub stats: CompilationStats,
+}
+
+impl CompilationResult {
+    /// The paper's relative error metric as a fraction (multiply by 100 for
+    /// per cent).
+    pub fn relative_error(&self) -> f64 {
+        if self.target_norm == 0.0 {
+            0.0
+        } else {
+            self.absolute_error / self.target_norm
+        }
+    }
+}
+
+/// The QTurbo compiler (paper §4–§6).
+///
+/// # Example
+///
+/// ```
+/// use qturbo::{QTurboCompiler, CompilerOptions};
+/// use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+/// use qturbo_hamiltonian::models::ising_chain;
+///
+/// let aais = rydberg_aais(3, &RydbergOptions::default());
+/// let target = ising_chain(3, 1.0, 1.0);
+/// let result = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+/// assert!(result.relative_error() < 0.05);
+/// assert!(result.execution_time <= aais.max_evolution_time());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QTurboCompiler {
+    options: CompilerOptions,
+}
+
+impl QTurboCompiler {
+    /// A compiler with default options (all optimizations enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(options: CompilerOptions) -> Self {
+        QTurboCompiler { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Compiles a time-independent target Hamiltonian evolving for
+    /// `target_time` onto the device described by `aais`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`] for the failure modes (target too large, required
+    /// machine time beyond the device limit, unsatisfiable constraints, …).
+    pub fn compile(
+        &self,
+        target: &Hamiltonian,
+        target_time: f64,
+        aais: &Aais,
+    ) -> Result<CompilationResult, CompileError> {
+        self.compile_segments(&[(target.clone(), target_time)], aais)
+    }
+
+    /// Compiles a piecewise-constant (time-dependent) target Hamiltonian
+    /// (paper §5.3).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_piecewise(
+        &self,
+        target: &PiecewiseHamiltonian,
+        aais: &Aais,
+    ) -> Result<CompilationResult, CompileError> {
+        let segments: Vec<(Hamiltonian, f64)> = target
+            .segments()
+            .iter()
+            .map(|segment| (segment.hamiltonian.clone(), segment.duration))
+            .collect();
+        self.compile_segments(&segments, aais)
+    }
+
+    fn compile_segments(
+        &self,
+        segments: &[(Hamiltonian, f64)],
+        aais: &Aais,
+    ) -> Result<CompilationResult, CompileError> {
+        let start = Instant::now();
+        if segments.is_empty() {
+            return Err(CompileError::EmptyTarget);
+        }
+
+        // -- Mapping -------------------------------------------------------
+        let num_target_qubits =
+            segments.iter().map(|(h, _)| h.num_qubits()).max().unwrap_or(0);
+        let mapping = match &self.options.mapping {
+            MappingStrategy::Identity => Mapping::identity(num_target_qubits),
+            MappingStrategy::GreedyLine => greedy_line_mapping(&segments[0].0),
+            MappingStrategy::Explicit(sites) => Mapping::from_assignment(sites.clone())?,
+        };
+        let mapped: Vec<(Hamiltonian, f64)> = segments
+            .iter()
+            .map(|(h, d)| Ok((mapping.apply(h, aais.num_sites())?, *d)))
+            .collect::<Result<_, CompileError>>()?;
+
+        // -- Stage 1: global linear systems (one per segment) ---------------
+        let generator_refs = aais.generator_refs();
+        let components = partition(aais, self.options.localize);
+        let component_of_column: Vec<usize> = generator_refs
+            .iter()
+            .map(|gref| {
+                components
+                    .iter()
+                    .position(|c| c.generators.contains(gref))
+                    .expect("every generator belongs to a component")
+            })
+            .collect();
+        let dynamic_columns: Vec<bool> = component_of_column
+            .iter()
+            .map(|&c| components[c].is_dynamic())
+            .collect();
+        let fixed_columns: Vec<usize> = (0..generator_refs.len())
+            .filter(|&k| components[component_of_column[k]].is_fixed())
+            .collect();
+
+        let mut systems = Vec::with_capacity(mapped.len());
+        let mut alphas = Vec::with_capacity(mapped.len());
+        for (hamiltonian, duration) in &mapped {
+            let system = GlobalLinearSystem::build(aais, hamiltonian, *duration)?;
+            let alpha = system.solve()?;
+            systems.push(system);
+            alphas.push(alpha);
+        }
+
+        let target_pairs = |alpha: &Vector| -> Vec<(GeneratorRef, f64)> {
+            generator_refs.iter().enumerate().map(|(k, g)| (*g, alpha[k])).collect()
+        };
+
+        // -- Stage 2: evolution-time optimization (paper §5.1) --------------
+        let mut segment_times = Vec::with_capacity(alphas.len());
+        let mut timing_details: Vec<BTreeMap<usize, InstructionTiming>> = Vec::new();
+        for alpha in &alphas {
+            let pairs = target_pairs(alpha);
+            let mut minimal = 0.0_f64;
+            let mut details = BTreeMap::new();
+            for component in &components {
+                if !component.is_dynamic() {
+                    continue;
+                }
+                for &instruction in &component.instructions {
+                    let timing = minimal_time_for_instruction(
+                        aais,
+                        instruction,
+                        &pairs,
+                        aais.max_evolution_time(),
+                    )?;
+                    minimal = minimal.max(timing.minimal_time);
+                    details.insert(instruction, timing);
+                }
+            }
+            // A segment whose only non-zero targets sit on fixed instructions
+            // still needs a non-zero duration.
+            let has_targets = alpha.iter().any(|a| a.abs() > 1e-12);
+            if has_targets && minimal < self.options.time_resolution {
+                minimal = self.options.time_resolution;
+            }
+            if !self.options.optimize_evolution_time && minimal > 0.0 {
+                // Ablation mode: a feasible but deliberately conservative
+                // machine time (what a non-optimizing solver tends to return).
+                minimal = (minimal * 4.0)
+                    .min(aais.max_evolution_time() / segments.len() as f64)
+                    .max(minimal);
+            }
+            segment_times.push(minimal);
+            timing_details.push(details);
+        }
+
+        // -- Stage 3: runtime-fixed variables (paper §5.2 / §5.3) -----------
+        let mut fixed_values: BTreeMap<VariableId, f64> = BTreeMap::new();
+        let mut relaxation_steps = 0usize;
+        let has_fixed_work = !fixed_columns.is_empty()
+            && alphas
+                .iter()
+                .any(|alpha| fixed_columns.iter().any(|&k| alpha[k].abs() > 1e-12));
+        if has_fixed_work {
+            // Reference segment: the one demanding the strongest fixed
+            // couplings per unit machine time.
+            let demand = |i: usize| -> f64 {
+                let t = segment_times[i].max(1e-9);
+                fixed_columns.iter().map(|&k| alphas[i][k].abs()).fold(0.0_f64, f64::max) / t
+            };
+            let reference = (0..alphas.len())
+                .max_by(|&a, &b| demand(a).partial_cmp(&demand(b)).unwrap_or(std::cmp::Ordering::Equal))
+                .unwrap_or(0);
+
+            let mut reference_time = segment_times[reference].max(self.options.time_resolution);
+            loop {
+                let pairs = target_pairs(&alphas[reference]);
+                let mut candidate: BTreeMap<VariableId, f64> = BTreeMap::new();
+                for component in components.iter().filter(|c| c.is_fixed()) {
+                    let solution =
+                        solve_component_at_time(aais, component, &pairs, reference_time, None)?;
+                    candidate.extend(solution.values);
+                }
+                let mut full = aais.default_values();
+                for (var, value) in &candidate {
+                    full[var.index()] = *value;
+                }
+                match aais.validate_values(&full) {
+                    Ok(()) => {
+                        fixed_values = candidate;
+                        segment_times[reference] = reference_time;
+                        break;
+                    }
+                    Err(constraint) => {
+                        relaxation_steps += 1;
+                        reference_time += self.options.time_resolution;
+                        if relaxation_steps >= self.options.max_relaxation_steps
+                            || reference_time > aais.max_evolution_time()
+                        {
+                            return Err(CompileError::DeviceConstraint(constraint));
+                        }
+                    }
+                }
+            }
+
+            // Achieved fixed couplings; other segments stretch their machine
+            // time so the (immutable) fixed couplings integrate to the right
+            // targets (paper §5.3).
+            let registry = aais.registry();
+            let lookup = |id: VariableId| {
+                fixed_values.get(&id).copied().unwrap_or_else(|| registry.get(id).initial_guess())
+            };
+            let achieved_fixed: Vec<(usize, f64)> = fixed_columns
+                .iter()
+                .map(|&k| (k, aais.generator(generator_refs[k]).expr().eval(&lookup)))
+                .collect();
+            for (i, alpha) in alphas.iter().enumerate() {
+                if i == reference {
+                    continue;
+                }
+                let numerator: f64 = achieved_fixed.iter().map(|&(k, g)| g * alpha[k]).sum();
+                let denominator: f64 = achieved_fixed.iter().map(|&(_, g)| g * g).sum();
+                if denominator > 1e-12 {
+                    let stretched = (numerator / denominator).max(0.0);
+                    segment_times[i] = segment_times[i].max(stretched);
+                }
+            }
+        }
+
+        let total_time: f64 = segment_times.iter().sum();
+        if total_time > aais.max_evolution_time() * (1.0 + 1e-9) {
+            return Err(CompileError::EvolutionTimeExceedsDevice {
+                required: total_time,
+                maximum: aais.max_evolution_time(),
+            });
+        }
+
+        // -- Stage 4: dynamic components per segment + refinement -----------
+        let mut schedule = PulseSchedule::new();
+        let mut absolute_error = 0.0;
+        let mut target_norm = 0.0;
+        let mut refinement_improved = false;
+        let mut local_residuals = Vec::new();
+        let mut linear_residual_total = 0.0;
+
+        for (i, alpha) in alphas.iter().enumerate() {
+            let time = segment_times[i];
+            let system = &systems[i];
+            let pairs = target_pairs(alpha);
+            linear_residual_total += system.residual(alpha).norm_l1() + system.unrealizable_error();
+
+            let mut values = aais.default_values();
+            for (var, value) in &fixed_values {
+                values[var.index()] = *value;
+            }
+
+            for component in &components {
+                if component.is_fixed() {
+                    let equations: Vec<(GeneratorRef, f64)> = pairs
+                        .iter()
+                        .filter(|(g, _)| component.generators.contains(g))
+                        .copied()
+                        .collect();
+                    let assignment: BTreeMap<VariableId, f64> = component
+                        .variables
+                        .iter()
+                        .map(|v| (*v, values[v.index()]))
+                        .collect();
+                    local_residuals.push(residual_for(aais, &equations, &assignment, time));
+                    continue;
+                }
+                let warm = warm_start_for(component, &timing_details[i], time);
+                let solution =
+                    solve_component_at_time(aais, component, &pairs, time, warm.as_ref())?;
+                local_residuals.push(solution.residual_l1);
+                for (var, value) in solution.values {
+                    values[var.index()] = value;
+                }
+            }
+
+            let achieved = achieved_alpha(aais, &generator_refs, &values, time);
+            let mut segment_error = system.absolute_error(&achieved);
+
+            if self.options.refine {
+                let refined = refined_targets(system, &dynamic_columns, &achieved)?;
+                let refined_pairs: Vec<(GeneratorRef, f64)> =
+                    generator_refs.iter().enumerate().map(|(k, g)| (*g, refined[k])).collect();
+                let mut candidate_values = values.clone();
+                let mut solved = true;
+                for component in components.iter().filter(|c| c.is_dynamic()) {
+                    let warm: BTreeMap<VariableId, f64> = component
+                        .variables
+                        .iter()
+                        .map(|v| (*v, values[v.index()]))
+                        .collect();
+                    match solve_component_at_time(aais, component, &refined_pairs, time, Some(&warm))
+                    {
+                        Ok(solution) => {
+                            for (var, value) in solution.values {
+                                candidate_values[var.index()] = value;
+                            }
+                        }
+                        Err(_) => {
+                            solved = false;
+                            break;
+                        }
+                    }
+                }
+                if solved {
+                    let candidate_achieved =
+                        achieved_alpha(aais, &generator_refs, &candidate_values, time);
+                    let candidate_error = system.absolute_error(&candidate_achieved);
+                    if candidate_error < segment_error {
+                        values = candidate_values;
+                        segment_error = candidate_error;
+                        refinement_improved = true;
+                    }
+                }
+            }
+
+            absolute_error += segment_error;
+            target_norm += system.target_norm_l1();
+            schedule.push(PulseSegment::new(time, values));
+        }
+
+        schedule.validate(aais)?;
+
+        let matrix_norm = systems.first().map(|s| s.matrix_norm_l1()).unwrap_or(0.0);
+        let error_bound = theorem1_bound(matrix_norm, linear_residual_total, &local_residuals);
+
+        let stats = CompilationStats {
+            compile_time: start.elapsed(),
+            num_synthesized_variables: generator_refs.len(),
+            num_local_systems: components.len(),
+            num_segments: schedule.num_segments(),
+            relaxation_steps,
+            refinement_improved,
+            segment_times,
+        };
+
+        Ok(CompilationResult {
+            execution_time: schedule.total_duration(),
+            schedule,
+            absolute_error,
+            target_norm,
+            error_bound,
+            mapping,
+            stats,
+        })
+    }
+}
+
+/// Warm-start values for a dynamic component derived from the evolution-time
+/// analysis: the time-critical variable is the absorbed product divided by the
+/// chosen machine time; the other variables keep their absorbed solutions.
+fn warm_start_for(
+    component: &LocalComponent,
+    timings: &BTreeMap<usize, InstructionTiming>,
+    time: f64,
+) -> Option<BTreeMap<VariableId, f64>> {
+    if time <= 0.0 {
+        return None;
+    }
+    let mut warm = BTreeMap::new();
+    for instruction in &component.instructions {
+        match timings.get(instruction).map(|t| &t.detail) {
+            Some(TimingDetail::Absorbed { time_critical, scaled_value, others }) => {
+                warm.insert(*time_critical, scaled_value / time);
+                for (var, value) in others {
+                    warm.insert(*var, *value);
+                }
+            }
+            Some(TimingDetail::Minimized { values }) => {
+                for (var, value) in values {
+                    warm.insert(*var, *value);
+                }
+            }
+            Some(TimingDetail::Idle) | None => {}
+        }
+    }
+    if warm.is_empty() {
+        None
+    } else {
+        Some(warm)
+    }
+}
+
+/// Evaluates every synthesized variable `α_k = g_k(x)·T` for a concrete
+/// variable assignment.
+fn achieved_alpha(
+    aais: &Aais,
+    generator_refs: &[GeneratorRef],
+    values: &[f64],
+    time: f64,
+) -> Vector {
+    generator_refs
+        .iter()
+        .map(|gref| aais.generator(*gref).expr().eval_slice(values) * time)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+    use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+    use qturbo_hamiltonian::models::{heisenberg_chain, ising_chain, mis_chain};
+
+    #[test]
+    fn compiles_paper_running_example_to_0_8_microseconds() {
+        // The three-qubit Ising chain on the Rydberg AAIS: the bottleneck is
+        // the Rabi drive at Ω_max = 2.5 MHz, so T_sim = 0.8 µs (paper §5.1).
+        let aais = rydberg_aais(
+            3,
+            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+        );
+        let target = ising_chain(3, 1.0, 1.0);
+        let result = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        assert!(
+            (result.execution_time - 0.8).abs() < 0.02,
+            "execution time was {}",
+            result.execution_time
+        );
+        assert!(result.relative_error() < 0.02, "relative error {}", result.relative_error());
+        assert_eq!(result.stats.num_segments, 1);
+        assert_eq!(result.stats.num_synthesized_variables, 12);
+        assert!(result.stats.num_local_systems >= 7);
+        assert!(result.error_bound >= result.absolute_error - 1e-9);
+        assert!(result.schedule.validate(&aais).is_ok());
+    }
+
+    #[test]
+    fn heisenberg_chain_on_heisenberg_device_is_exact() {
+        let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+        let target = heisenberg_chain(4, 1.0, 1.0);
+        let result = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        assert!(result.relative_error() < 1e-6);
+        // Bottleneck: two-qubit amplitude 2 MHz must integrate to 1 -> 0.5 µs.
+        assert!((result.execution_time - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn evolution_time_optimization_ablation_gives_longer_pulses() {
+        let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+        let target = ising_chain(4, 1.0, 1.0);
+        let optimized = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        let unoptimized = QTurboCompiler::with_options(CompilerOptions {
+            optimize_evolution_time: false,
+            ..CompilerOptions::default()
+        })
+        .compile(&target, 1.0, &aais)
+        .unwrap();
+        assert!(unoptimized.execution_time > optimized.execution_time * 1.5);
+        // Both remain accurate — only the duration differs.
+        assert!(unoptimized.relative_error() < 1e-6);
+    }
+
+    #[test]
+    fn localization_ablation_still_compiles() {
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        let target = ising_chain(3, 1.0, 1.0);
+        let result = QTurboCompiler::with_options(CompilerOptions {
+            localize: false,
+            ..CompilerOptions::default()
+        })
+        .compile(&target, 1.0, &aais)
+        .unwrap();
+        assert_eq!(result.stats.num_local_systems, 1);
+        assert!(result.relative_error() < 1e-6);
+    }
+
+    #[test]
+    fn time_dependent_mis_chain_compiles_piecewise() {
+        let aais = rydberg_aais(4, &RydbergOptions::default());
+        let target = mis_chain(4, 1.0, 1.0, 1.0, 1.0, 4);
+        let result = QTurboCompiler::new().compile_piecewise(&target, &aais).unwrap();
+        assert_eq!(result.stats.num_segments, 4);
+        assert!(result.execution_time <= aais.max_evolution_time());
+        assert!(result.relative_error() < 0.2, "relative error {}", result.relative_error());
+        assert!(result.schedule.validate(&aais).is_ok());
+    }
+
+    #[test]
+    fn greedy_mapping_handles_shuffled_qubit_labels() {
+        use qturbo_hamiltonian::{Pauli, PauliString};
+        // A 4-qubit chain with shuffled labels: path 2-0-3-1.
+        let mut target = Hamiltonian::new(4);
+        for (a, b) in [(2usize, 0usize), (0, 3), (3, 1)] {
+            target.add_term(1.0, PauliString::two(a, Pauli::Z, b, Pauli::Z));
+        }
+        for i in 0..4 {
+            target.add_term(1.0, PauliString::single(i, Pauli::X));
+        }
+        let aais = rydberg_aais(4, &RydbergOptions::default());
+        let identity = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        let mapped = QTurboCompiler::with_options(CompilerOptions {
+            mapping: MappingStrategy::GreedyLine,
+            ..CompilerOptions::default()
+        })
+        .compile(&target, 1.0, &aais)
+        .unwrap();
+        // With the identity mapping the shuffled couplings fall on distant
+        // atom pairs that the truncated AAIS cannot realize; the greedy line
+        // mapping recovers an (almost) exact compilation.
+        assert!(mapped.relative_error() < identity.relative_error());
+        assert!(mapped.relative_error() < 0.02);
+        assert!(!mapped.mapping.is_identity());
+    }
+
+    #[test]
+    fn rejects_targets_beyond_device_capabilities() {
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        // Requires |a|·T = 1000 with |a| ≤ 20 → T = 50 µs < 100 µs: fine.
+        // With 10 000 the required time exceeds the device window.
+        let target = ising_chain(3, 1.0, 10_000.0);
+        let result = QTurboCompiler::new().compile(&target, 1.0, &aais);
+        assert!(matches!(result, Err(CompileError::EvolutionTimeExceedsDevice { .. })));
+    }
+
+    #[test]
+    fn explicit_mapping_is_validated() {
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        let target = ising_chain(3, 1.0, 1.0);
+        let bad = QTurboCompiler::with_options(CompilerOptions {
+            mapping: MappingStrategy::Explicit(vec![0, 0, 1]),
+            ..CompilerOptions::default()
+        })
+        .compile(&target, 1.0, &aais);
+        assert!(matches!(bad, Err(CompileError::InvalidMapping { .. })));
+        let good = QTurboCompiler::with_options(CompilerOptions {
+            mapping: MappingStrategy::Explicit(vec![2, 1, 0]),
+            ..CompilerOptions::default()
+        })
+        .compile(&target, 1.0, &aais)
+        .unwrap();
+        assert!(good.relative_error() < 1e-6);
+    }
+
+    #[test]
+    fn refinement_never_hurts() {
+        let options_on = CompilerOptions::default();
+        let options_off = CompilerOptions { refine: false, ..CompilerOptions::default() };
+        let aais = rydberg_aais(
+            4,
+            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+        );
+        let target = ising_chain(4, 1.0, 1.0);
+        let with = QTurboCompiler::with_options(options_on).compile(&target, 1.0, &aais).unwrap();
+        let without =
+            QTurboCompiler::with_options(options_off).compile(&target, 1.0, &aais).unwrap();
+        assert!(with.absolute_error <= without.absolute_error + 1e-9);
+    }
+
+    #[test]
+    fn stats_report_compile_time_and_segments() {
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        let target = ising_chain(3, 1.0, 1.0);
+        let result = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        assert!(result.stats.compile_time.as_nanos() > 0);
+        assert_eq!(result.stats.segment_times.len(), 1);
+        assert_eq!(result.stats.relaxation_steps, 0);
+        assert_eq!(result.mapping, Mapping::identity(3));
+    }
+}

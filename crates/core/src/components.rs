@@ -1,0 +1,238 @@
+//! Localization: grouping synthesized variables into independent local
+//! systems (paper §4.2).
+//!
+//! Two synthesized variables belong to the same *local mixed system* when
+//! their generator expressions share an amplitude variable (e.g. two Van der
+//! Waals pairs sharing an atom position). Identifying these groups is a
+//! connected-components problem on the bipartite graph of synthesized
+//! variables and amplitude variables; each group can then be solved
+//! independently, which is what makes QTurbo fast.
+
+use qturbo_aais::{Aais, GeneratorRef, InstructionKind, VariableId, VariableKind};
+use std::collections::BTreeMap;
+
+/// A connected component of the synthesized-variable ↔ amplitude-variable
+/// graph: one localized mixed equation system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalComponent {
+    /// Generator references (synthesized variables) in this component, in
+    /// global column order.
+    pub generators: Vec<GeneratorRef>,
+    /// Amplitude variables appearing in the component.
+    pub variables: Vec<VariableId>,
+    /// Instruction indices participating in the component.
+    pub instructions: Vec<usize>,
+    /// Whether the component contains any runtime-fixed variable.
+    pub has_fixed_variables: bool,
+    /// Whether the component contains any runtime-dynamic variable.
+    pub has_dynamic_variables: bool,
+}
+
+impl LocalComponent {
+    /// A component is *dynamic* when it is controlled purely by
+    /// runtime-dynamic variables; such components participate in the
+    /// evolution-time optimization of paper §5.1.
+    pub fn is_dynamic(&self) -> bool {
+        self.has_dynamic_variables && !self.has_fixed_variables
+    }
+
+    /// A component is *fixed* when it involves at least one runtime-fixed
+    /// variable; it is solved after the evolution time has been chosen
+    /// (paper §5.2).
+    pub fn is_fixed(&self) -> bool {
+        self.has_fixed_variables
+    }
+}
+
+/// Simple union–find structure.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Partitions the generators of an AAIS into local components.
+///
+/// When `localize` is `false` every generator is put into a single component;
+/// this is the ablation mode that mimics solving one big mixed system after
+/// the linear stage.
+pub fn partition(aais: &Aais, localize: bool) -> Vec<LocalComponent> {
+    let generator_refs = aais.generator_refs();
+    if generator_refs.is_empty() {
+        return Vec::new();
+    }
+    let n = generator_refs.len();
+    let mut union_find = UnionFind::new(n);
+
+    if localize {
+        // Union generators that share at least one amplitude variable.
+        let mut first_seen: BTreeMap<VariableId, usize> = BTreeMap::new();
+        for (index, gref) in generator_refs.iter().enumerate() {
+            let expr_vars = aais.generator(*gref).expr().variables();
+            // Generators of the same instruction always belong together, even
+            // if one of them happens to reference fewer variables.
+            for var in aais.instruction_of(*gref).variables() {
+                if expr_vars.contains(var) || aais.instruction_of(*gref).time_critical() == Some(*var)
+                {
+                    match first_seen.get(var) {
+                        Some(&other) => union_find.union(index, other),
+                        None => {
+                            first_seen.insert(*var, index);
+                        }
+                    }
+                }
+            }
+        }
+        // Generators belonging to the same instruction are also coupled.
+        let mut first_of_instruction: BTreeMap<usize, usize> = BTreeMap::new();
+        for (index, gref) in generator_refs.iter().enumerate() {
+            match first_of_instruction.get(&gref.instruction) {
+                Some(&other) => union_find.union(index, other),
+                None => {
+                    first_of_instruction.insert(gref.instruction, index);
+                }
+            }
+        }
+    } else {
+        for index in 1..n {
+            union_find.union(0, index);
+        }
+    }
+
+    // Gather components.
+    let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for index in 0..n {
+        let root = union_find.find(index);
+        by_root.entry(root).or_default().push(index);
+    }
+
+    let mut components = Vec::new();
+    for indices in by_root.values() {
+        let generators: Vec<GeneratorRef> = indices.iter().map(|&i| generator_refs[i]).collect();
+        let mut variables = std::collections::BTreeSet::new();
+        let mut instructions = std::collections::BTreeSet::new();
+        for gref in &generators {
+            instructions.insert(gref.instruction);
+            for var in aais.instruction_of(*gref).variables() {
+                variables.insert(*var);
+            }
+        }
+        let has_fixed_variables = variables
+            .iter()
+            .any(|v| aais.registry().get(*v).kind() == VariableKind::RuntimeFixed);
+        let has_dynamic_variables = variables
+            .iter()
+            .any(|v| aais.registry().get(*v).kind() == VariableKind::RuntimeDynamic);
+        components.push(LocalComponent {
+            generators,
+            variables: variables.into_iter().collect(),
+            instructions: instructions.into_iter().collect(),
+            has_fixed_variables,
+            has_dynamic_variables,
+        });
+    }
+    components
+}
+
+/// Returns, for every instruction index, whether the instruction is dynamic.
+pub fn dynamic_instruction_mask(aais: &Aais) -> Vec<bool> {
+    aais.instructions().iter().map(|i| i.kind() == InstructionKind::Dynamic).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+    use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+
+    #[test]
+    fn rydberg_chain_partitions_as_in_the_paper() {
+        // Three atoms, all pairs: the three vdW generators share atom
+        // positions and form ONE fixed component; each detuning is its own
+        // component; each Rabi drive (two generators) is its own component.
+        let aais = rydberg_aais(
+            3,
+            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+        );
+        let components = partition(&aais, true);
+        let fixed: Vec<_> = components.iter().filter(|c| c.is_fixed()).collect();
+        let dynamic: Vec<_> = components.iter().filter(|c| c.is_dynamic()).collect();
+        assert_eq!(fixed.len(), 1);
+        assert_eq!(fixed[0].generators.len(), 3);
+        assert_eq!(dynamic.len(), 6); // 3 detunings + 3 Rabi drives
+        let rabi_components: Vec<_> =
+            dynamic.iter().filter(|c| c.generators.len() == 2).collect();
+        assert_eq!(rabi_components.len(), 3);
+        // Total generators are conserved.
+        let total: usize = components.iter().map(|c| c.generators.len()).sum();
+        assert_eq!(total, aais.generator_refs().len());
+    }
+
+    #[test]
+    fn heisenberg_components_are_all_singletons() {
+        let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+        let components = partition(&aais, true);
+        assert_eq!(components.len(), aais.instructions().len());
+        assert!(components.iter().all(|c| c.is_dynamic()));
+        assert!(components.iter().all(|c| c.generators.len() == 1));
+        assert!(components.iter().all(|c| c.instructions.len() == 1));
+    }
+
+    #[test]
+    fn disabling_localization_gives_one_component() {
+        let aais = rydberg_aais(4, &RydbergOptions::default());
+        let components = partition(&aais, false);
+        assert_eq!(components.len(), 1);
+        assert_eq!(components[0].generators.len(), aais.generator_refs().len());
+        assert!(components[0].has_fixed_variables);
+        assert!(components[0].has_dynamic_variables);
+        assert!(!components[0].is_dynamic());
+        assert!(components[0].is_fixed());
+    }
+
+    #[test]
+    fn interaction_cutoff_splits_fixed_components_for_disjoint_pairs() {
+        // With only nearest-neighbour pairs on 4 atoms in a line, the vdW
+        // generators still chain into one component through shared atoms.
+        let aais = rydberg_aais(
+            4,
+            &RydbergOptions { interaction_cutoff: Some(1), ..RydbergOptions::default() },
+        );
+        let components = partition(&aais, true);
+        let fixed: Vec<_> = components.iter().filter(|c| c.is_fixed()).collect();
+        assert_eq!(fixed.len(), 1);
+        assert_eq!(fixed[0].generators.len(), 3);
+        // 4 atoms * 2 coordinates.
+        assert_eq!(fixed[0].variables.len(), 8);
+    }
+
+    #[test]
+    fn dynamic_mask_matches_instruction_kinds() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let mask = dynamic_instruction_mask(&aais);
+        let n_dynamic = mask.iter().filter(|&&d| d).count();
+        assert_eq!(n_dynamic, 6); // 3 detunings + 3 Rabi
+        assert_eq!(mask.len(), aais.instructions().len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Error type of the QTurbo compiler.
+
+use qturbo_aais::AaisError;
+use qturbo_math::MathError;
+
+/// Errors produced by the QTurbo compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The target Hamiltonian acts on more qubits than the device has sites.
+    TargetTooLarge {
+        /// Qubits required by the target.
+        target_qubits: usize,
+        /// Sites available on the device.
+        device_sites: usize,
+    },
+    /// The target (or one of its segments) is empty.
+    EmptyTarget,
+    /// The target evolution time is not positive.
+    InvalidTargetTime {
+        /// The offending time value.
+        time: f64,
+    },
+    /// The provided qubit-to-site mapping is not a permutation of the right size.
+    InvalidMapping {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// Even at maximum instruction amplitudes, the required evolution cannot
+    /// fit within the device's maximum evolution time.
+    EvolutionTimeExceedsDevice {
+        /// Shortest machine time able to realize the target.
+        required: f64,
+        /// Device maximum.
+        maximum: f64,
+    },
+    /// A nonlinear local system failed to produce a usable solution.
+    LocalSolveFailed {
+        /// Name of the instruction or component that failed.
+        component: String,
+        /// Residual L1 error at the failure point.
+        residual: f64,
+    },
+    /// The compiled schedule violates a device constraint that could not be
+    /// repaired by relaxing the evolution time.
+    DeviceConstraint(AaisError),
+    /// An underlying numerical routine failed.
+    Numerical(MathError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::TargetTooLarge { target_qubits, device_sites } => write!(
+                f,
+                "target needs {target_qubits} qubits but the device has only {device_sites} sites"
+            ),
+            CompileError::EmptyTarget => write!(f, "target Hamiltonian has no terms"),
+            CompileError::InvalidTargetTime { time } => {
+                write!(f, "target evolution time {time} must be positive")
+            }
+            CompileError::InvalidMapping { reason } => write!(f, "invalid mapping: {reason}"),
+            CompileError::EvolutionTimeExceedsDevice { required, maximum } => write!(
+                f,
+                "the target requires at least {required} machine time but the device allows {maximum}"
+            ),
+            CompileError::LocalSolveFailed { component, residual } => {
+                write!(f, "local system '{component}' could not be solved (residual {residual:.3e})")
+            }
+            CompileError::DeviceConstraint(inner) => write!(f, "device constraint violated: {inner}"),
+            CompileError::Numerical(inner) => write!(f, "numerical failure: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::DeviceConstraint(inner) => Some(inner),
+            CompileError::Numerical(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CompileError {
+    fn from(err: MathError) -> Self {
+        CompileError::Numerical(err)
+    }
+}
+
+impl From<AaisError> for CompileError {
+    fn from(err: AaisError) -> Self {
+        CompileError::DeviceConstraint(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompileError::TargetTooLarge { target_qubits: 5, device_sites: 3 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+        assert!(CompileError::EmptyTarget.to_string().contains("no terms"));
+        let e = CompileError::EvolutionTimeExceedsDevice { required: 8.0, maximum: 4.0 };
+        assert!(e.to_string().contains('8'));
+        let e = CompileError::LocalSolveFailed { component: "rabi_1".into(), residual: 0.5 };
+        assert!(e.to_string().contains("rabi_1"));
+        let e = CompileError::InvalidMapping { reason: "duplicate site".into() };
+        assert!(e.to_string().contains("duplicate"));
+        let e = CompileError::InvalidTargetTime { time: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error;
+        let e: CompileError = MathError::SingularMatrix.into();
+        assert!(e.source().is_some());
+        let e: CompileError = AaisError::EvolutionTooLong { requested: 5.0, maximum: 4.0 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("device constraint"));
+        assert!(CompileError::EmptyTarget.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompileError>();
+    }
+}

@@ -1,0 +1,246 @@
+//! Target-qubit to device-site mapping (paper §7.3, Fig. 5a).
+//!
+//! The physics models of Table 2 have regular coupling structures (chains,
+//! cycles), so mapping is not the compilation bottleneck; like the paper we
+//! adopt a simple layout strategy: either the identity, an explicit
+//! user-provided permutation, or a greedy path ordering of the interaction
+//! graph that places strongly coupled qubits on adjacent device sites.
+
+use crate::error::CompileError;
+use qturbo_hamiltonian::{Hamiltonian, PauliString};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A qubit-to-site assignment: target qubit `q` is placed on device site
+/// `sites()[q]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    sites: Vec<usize>,
+}
+
+impl Mapping {
+    /// The identity mapping on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Mapping { sites: (0..n).collect() }
+    }
+
+    /// Builds a mapping from an explicit permutation (target qubit → site).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::InvalidMapping`] if the assignment contains a
+    /// duplicate site.
+    pub fn from_assignment(sites: Vec<usize>) -> Result<Self, CompileError> {
+        let unique: BTreeSet<usize> = sites.iter().copied().collect();
+        if unique.len() != sites.len() {
+            return Err(CompileError::InvalidMapping {
+                reason: "duplicate device site in assignment".to_string(),
+            });
+        }
+        Ok(Mapping { sites })
+    }
+
+    /// The site assigned to each target qubit.
+    pub fn sites(&self) -> &[usize] {
+        &self.sites
+    }
+
+    /// Number of mapped qubits.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns `true` for the empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Largest device site used by the mapping.
+    pub fn max_site(&self) -> Option<usize> {
+        self.sites.iter().max().copied()
+    }
+
+    /// Returns `true` when the mapping leaves every qubit in place.
+    pub fn is_identity(&self) -> bool {
+        self.sites.iter().enumerate().all(|(q, &s)| q == s)
+    }
+
+    /// Relabels a target Hamiltonian into the device frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::InvalidMapping`] if the Hamiltonian touches a
+    /// qubit the mapping does not cover or the mapping needs more sites than
+    /// `device_sites`.
+    pub fn apply(
+        &self,
+        target: &Hamiltonian,
+        device_sites: usize,
+    ) -> Result<Hamiltonian, CompileError> {
+        if let Some(max_site) = self.max_site() {
+            if max_site >= device_sites {
+                return Err(CompileError::InvalidMapping {
+                    reason: format!("mapping uses site {max_site} but the device has {device_sites}"),
+                });
+            }
+        }
+        let mut mapped = Hamiltonian::new(device_sites);
+        for (coefficient, string) in target.terms() {
+            let relabeled: Result<Vec<(usize, qturbo_hamiltonian::Pauli)>, CompileError> = string
+                .iter()
+                .map(|(qubit, op)| {
+                    self.sites.get(qubit).copied().map(|site| (site, op)).ok_or_else(|| {
+                        CompileError::InvalidMapping {
+                            reason: format!("target qubit {qubit} is not mapped"),
+                        }
+                    })
+                })
+                .collect();
+            mapped.add_term(coefficient, PauliString::from_ops(relabeled?));
+        }
+        Ok(mapped)
+    }
+}
+
+/// Greedy path mapping: orders the target qubits along a path of the
+/// interaction graph (strongest couplings first) and assigns them to device
+/// sites `0, 1, 2, …` in that order. For chains and cycles this recovers the
+/// natural embedding regardless of how the input qubits were numbered.
+pub fn greedy_line_mapping(target: &Hamiltonian) -> Mapping {
+    let n = target.num_qubits();
+    // Build the weighted interaction graph from two-qubit terms.
+    let mut weight: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for (coefficient, string) in target.terms() {
+        let support = string.support();
+        if support.len() == 2 {
+            let key = (support[0].min(support[1]), support[0].max(support[1]));
+            *weight.entry(key).or_insert(0.0) += coefficient.abs();
+        }
+    }
+    let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (&(a, b), &w) in &weight {
+        adjacency[a].push((b, w));
+        adjacency[b].push((a, w));
+    }
+    for neighbours in &mut adjacency {
+        neighbours.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    // Start from a vertex of minimal degree (an endpoint for chains) and walk
+    // greedily to the strongest-coupled unvisited neighbour.
+    let start = (0..n).min_by_key(|&q| adjacency[q].len()).unwrap_or(0);
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut current = start;
+    visited[start] = true;
+    order.push(start);
+    while order.len() < n {
+        let next = adjacency[current]
+            .iter()
+            .find(|(q, _)| !visited[*q])
+            .map(|(q, _)| *q)
+            .or_else(|| (0..n).find(|&q| !visited[q]));
+        match next {
+            Some(q) => {
+                visited[q] = true;
+                order.push(q);
+                current = q;
+            }
+            None => break,
+        }
+    }
+
+    // order[k] is the target qubit placed on site k; invert it.
+    let mut sites = vec![0usize; n];
+    for (site, &qubit) in order.iter().enumerate() {
+        sites[qubit] = site;
+    }
+    Mapping { sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qturbo_hamiltonian::models::{ising_chain, ising_cycle};
+    use qturbo_hamiltonian::Pauli;
+
+    #[test]
+    fn identity_mapping_roundtrip() {
+        let mapping = Mapping::identity(4);
+        assert!(mapping.is_identity());
+        assert_eq!(mapping.len(), 4);
+        assert!(!mapping.is_empty());
+        assert_eq!(mapping.max_site(), Some(3));
+        let target = ising_chain(4, 1.0, 1.0);
+        let mapped = mapping.apply(&target, 4).unwrap();
+        assert_eq!(mapped, target);
+    }
+
+    #[test]
+    fn permutation_relabels_terms() {
+        // Swap qubits 0 and 2 of a 3-qubit chain.
+        let mapping = Mapping::from_assignment(vec![2, 1, 0]).unwrap();
+        assert!(!mapping.is_identity());
+        let target = ising_chain(3, 1.0, 0.5);
+        let mapped = mapping.apply(&target, 3).unwrap();
+        // Z0Z1 becomes Z2Z1, i.e. Z1Z2 in canonical order.
+        assert_eq!(mapped.coefficient(&PauliString::two(1, Pauli::Z, 2, Pauli::Z)), 1.0);
+        assert_eq!(mapped.coefficient(&PauliString::single(2, Pauli::X)), 0.5);
+        assert_eq!(mapped.num_terms(), target.num_terms());
+    }
+
+    #[test]
+    fn rejects_bad_assignments() {
+        assert!(Mapping::from_assignment(vec![0, 0]).is_err());
+        let mapping = Mapping::from_assignment(vec![0, 5]).unwrap();
+        let target = ising_chain(2, 1.0, 1.0);
+        assert!(mapping.apply(&target, 3).is_err());
+        let short = Mapping::identity(1);
+        assert!(short.apply(&target, 3).is_err());
+    }
+
+    #[test]
+    fn greedy_mapping_unscrambles_a_shuffled_chain() {
+        // Build a chain whose qubit labels are shuffled: couplings
+        // 2-0, 0-3, 3-1 form the path 2-0-3-1.
+        let mut target = Hamiltonian::new(4);
+        for (a, b) in [(2usize, 0usize), (0, 3), (3, 1)] {
+            target.add_term(1.0, PauliString::two(a, Pauli::Z, b, Pauli::Z));
+        }
+        for i in 0..4 {
+            target.add_term(1.0, PauliString::single(i, Pauli::X));
+        }
+        let mapping = greedy_line_mapping(&target);
+        let mapped = mapping.apply(&target, 4).unwrap();
+        // After mapping, every coupling must be between adjacent sites.
+        for (_, string) in mapped.terms() {
+            let support = string.support();
+            if support.len() == 2 {
+                assert_eq!(support[1] - support[0], 1, "non-adjacent coupling {string}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_mapping_keeps_cycles_almost_adjacent() {
+        let target = ising_cycle(6, 1.0, 1.0);
+        let mapping = greedy_line_mapping(&target);
+        let mapped = mapping.apply(&target, 6).unwrap();
+        // A cycle mapped onto a line has exactly one long (closing) edge.
+        let mut long_edges = 0;
+        for (_, string) in mapped.terms() {
+            let support = string.support();
+            if support.len() == 2 && support[1] - support[0] > 1 {
+                long_edges += 1;
+            }
+        }
+        assert_eq!(long_edges, 1);
+    }
+
+    #[test]
+    fn greedy_mapping_of_identity_chain_is_identity() {
+        let target = ising_chain(5, 1.0, 1.0);
+        let mapping = greedy_line_mapping(&target);
+        let mapped = mapping.apply(&target, 5).unwrap();
+        assert_eq!(mapped, target);
+    }
+}

@@ -1,0 +1,78 @@
+//! Compilation-accuracy metrics (paper §6.1 and §7.1).
+
+use qturbo_math::Vector;
+
+/// The paper's absolute compilation error `E = ‖B_sim − B_tar‖₁` (Equation 9).
+pub fn absolute_error(b_sim: &Vector, b_tar: &Vector) -> f64 {
+    assert_eq!(b_sim.len(), b_tar.len(), "coefficient vectors must have the same length");
+    (b_sim.clone() - b_tar.clone()).norm_l1()
+}
+
+/// The paper's relative error metric
+/// `E = ‖B_sim − B_tar‖₁ / ‖B_tar‖₁ × 100%` (§7.1), returned as a fraction
+/// (multiply by 100 for per cent).
+///
+/// Returns `0` when the target norm is zero (an empty target cannot be
+/// mis-compiled).
+pub fn relative_error(b_sim: &Vector, b_tar: &Vector) -> f64 {
+    let denominator = b_tar.norm_l1();
+    if denominator == 0.0 {
+        0.0
+    } else {
+        absolute_error(b_sim, b_tar) / denominator
+    }
+}
+
+/// The Theorem 1 error bound: `‖M‖₁ · Σ_i ε₂ⁱ + ε₁`, where `ε₁` is the L1
+/// error of the global linear solve and `ε₂ⁱ` the L1 error of the `i`-th
+/// localized mixed system.
+pub fn theorem1_bound(matrix_norm_l1: f64, linear_error: f64, local_errors: &[f64]) -> f64 {
+    matrix_norm_l1 * local_errors.iter().sum::<f64>() + linear_error
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_and_relative_error() {
+        let b_tar = Vector::from(vec![1.0, 1.0, 2.0]);
+        let b_sim = Vector::from(vec![1.0, 0.5, 2.5]);
+        assert!((absolute_error(&b_sim, &b_tar) - 1.0).abs() < 1e-15);
+        assert!((relative_error(&b_sim, &b_tar) - 0.25).abs() < 1e-15);
+        assert_eq!(relative_error(&Vector::zeros(2), &Vector::zeros(2)), 0.0);
+    }
+
+    #[test]
+    fn perfect_compilation_has_zero_error() {
+        let b = Vector::from(vec![0.3, -1.2]);
+        assert_eq!(absolute_error(&b, &b), 0.0);
+        assert_eq!(relative_error(&b, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let _ = absolute_error(&Vector::zeros(2), &Vector::zeros(3));
+    }
+
+    #[test]
+    fn theorem1_bound_combines_contributions() {
+        // ‖M‖₁ = 3, local errors 0.1 + 0.2, linear error 0.05 => 3·0.3 + 0.05.
+        let bound = theorem1_bound(3.0, 0.05, &[0.1, 0.2]);
+        assert!((bound - 0.95).abs() < 1e-15);
+        assert_eq!(theorem1_bound(3.0, 0.0, &[]), 0.0);
+    }
+
+    #[test]
+    fn theorem1_bound_dominates_observed_error_in_a_toy_case() {
+        // A 2x2 system where we can compute everything by hand:
+        // M = I, so the total error is exactly the sum of local errors plus
+        // the (zero) linear error, and the bound is tight.
+        let b_tar = Vector::from(vec![1.0, 1.0]);
+        let b_sim = Vector::from(vec![1.01, 0.98]);
+        let observed = absolute_error(&b_sim, &b_tar);
+        let bound = theorem1_bound(1.0, 0.0, &[0.01, 0.02]);
+        assert!(observed <= bound + 1e-12);
+    }
+}

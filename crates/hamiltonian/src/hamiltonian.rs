@@ -1,0 +1,367 @@
+//! Target Hamiltonians: weighted sums of Pauli strings, optionally piecewise
+//! time-dependent.
+
+use crate::pauli::PauliString;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A time-independent Hamiltonian `H = Σ_i c_i · P_i` over `num_qubits` qubits.
+///
+/// Coefficients are in the compiler's working units (MHz when the target is a
+/// physical model, rad/µs for the real-device experiments; the compiler is
+/// agnostic as long as coefficient × time is dimensionless).
+///
+/// Terms are kept in a canonical (sorted, merged) form so that two
+/// Hamiltonians built from the same physical model compare equal.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
+/// let mut h = Hamiltonian::new(2);
+/// h.add_term(1.0, PauliString::two(0, Pauli::Z, 1, Pauli::Z));
+/// h.add_term(0.5, PauliString::single(0, Pauli::X));
+/// h.add_term(0.5, PauliString::single(0, Pauli::X)); // merged
+/// assert_eq!(h.terms().count(), 2);
+/// assert_eq!(h.coefficient(&PauliString::single(0, Pauli::X)), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Hamiltonian {
+    num_qubits: usize,
+    terms: BTreeMap<PauliString, f64>,
+}
+
+/// Coefficients with magnitude below this threshold are treated as zero and
+/// removed from the canonical form.
+const COEFFICIENT_EPSILON: f64 = 1e-15;
+
+impl Hamiltonian {
+    /// Creates an empty Hamiltonian on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Hamiltonian { num_qubits, terms: BTreeMap::new() }
+    }
+
+    /// Builds a Hamiltonian from `(coefficient, Pauli string)` pairs.
+    pub fn from_terms<I>(num_qubits: usize, terms: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, PauliString)>,
+    {
+        let mut h = Hamiltonian::new(num_qubits);
+        for (coefficient, string) in terms {
+            h.add_term(coefficient, string);
+        }
+        h
+    }
+
+    /// Number of qubits the Hamiltonian acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Adds `coefficient · string`, merging with an existing identical string.
+    ///
+    /// Identity strings (global energy shifts) are accepted and tracked; they
+    /// do not influence dynamics and the compiler ignores them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string acts on a qubit `≥ num_qubits`.
+    pub fn add_term(&mut self, coefficient: f64, string: PauliString) {
+        if let Some(max) = string.max_qubit() {
+            assert!(
+                max < self.num_qubits,
+                "Pauli string {string} acts on qubit {max} but the Hamiltonian has {} qubits",
+                self.num_qubits
+            );
+        }
+        let entry = self.terms.entry(string).or_insert(0.0);
+        *entry += coefficient;
+        if entry.abs() < COEFFICIENT_EPSILON {
+            // Remove cancelled terms to keep the form canonical.
+            let key: Vec<PauliString> = self
+                .terms
+                .iter()
+                .filter(|(_, c)| c.abs() < COEFFICIENT_EPSILON)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// Iterates over `(coefficient, Pauli string)` pairs in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (f64, &PauliString)> + '_ {
+        self.terms.iter().map(|(s, &c)| (c, s))
+    }
+
+    /// Number of (merged, non-zero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Coefficient of `string` (zero if absent).
+    pub fn coefficient(&self, string: &PauliString) -> f64 {
+        self.terms.get(string).copied().unwrap_or(0.0)
+    }
+
+    /// The distinct non-identity Pauli strings appearing in the Hamiltonian.
+    pub fn pauli_strings(&self) -> Vec<PauliString> {
+        self.terms.keys().filter(|s| !s.is_identity()).cloned().collect()
+    }
+
+    /// Sum of absolute coefficients (L1 norm of the coefficient vector),
+    /// excluding the identity term.
+    pub fn coefficient_l1_norm(&self) -> f64 {
+        self.terms
+            .iter()
+            .filter(|(s, _)| !s.is_identity())
+            .map(|(_, c)| c.abs())
+            .sum()
+    }
+
+    /// Returns a copy with every coefficient multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> Hamiltonian {
+        let mut out = Hamiltonian::new(self.num_qubits);
+        for (c, s) in self.terms() {
+            out.add_term(c * factor, s.clone());
+        }
+        out
+    }
+
+    /// Returns a copy without the identity (global phase) term.
+    pub fn without_identity(&self) -> Hamiltonian {
+        let mut out = self.clone();
+        out.terms.remove(&PauliString::identity());
+        out
+    }
+
+    /// Sum of two Hamiltonians (must act on the same number of qubits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn add(&self, other: &Hamiltonian) -> Hamiltonian {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch in Hamiltonian::add");
+        let mut out = self.clone();
+        for (c, s) in other.terms() {
+            out.add_term(c, s.clone());
+        }
+        out
+    }
+
+    /// Maximum absolute coefficient (zero for an empty Hamiltonian).
+    pub fn max_abs_coefficient(&self) -> f64 {
+        self.terms.values().fold(0.0_f64, |acc, c| acc.max(c.abs()))
+    }
+}
+
+impl fmt::Display for Hamiltonian {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (c, s) in self.terms() {
+            if first {
+                write!(f, "{c:+.4}·{s}")?;
+                first = false;
+            } else {
+                write!(f, " {c:+.4}·{s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One constant segment of a piecewise time-dependent Hamiltonian.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// The (constant) Hamiltonian during this segment.
+    pub hamiltonian: Hamiltonian,
+    /// Duration of the segment, in the same time units as the target time.
+    pub duration: f64,
+}
+
+/// A piecewise-constant time-dependent Hamiltonian (paper §5.3).
+///
+/// Any continuously time-dependent Hamiltonian can be approximated by a
+/// piecewise-constant one; [`PiecewiseHamiltonian::discretize`] builds that
+/// approximation from a closure by sampling the midpoint of each segment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PiecewiseHamiltonian {
+    segments: Vec<Segment>,
+}
+
+impl PiecewiseHamiltonian {
+    /// Creates a piecewise Hamiltonian from explicit segments.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        PiecewiseHamiltonian { segments }
+    }
+
+    /// Wraps a single time-independent Hamiltonian evolving for `duration`.
+    pub fn constant(hamiltonian: Hamiltonian, duration: f64) -> Self {
+        PiecewiseHamiltonian { segments: vec![Segment { hamiltonian, duration }] }
+    }
+
+    /// Discretizes `h(t)` on `[0, total_time]` into `num_segments` equal
+    /// pieces, sampling the Hamiltonian at each segment midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_segments == 0` or `total_time <= 0`.
+    pub fn discretize<F>(h_of_t: F, total_time: f64, num_segments: usize) -> Self
+    where
+        F: Fn(f64) -> Hamiltonian,
+    {
+        assert!(num_segments > 0, "need at least one segment");
+        assert!(total_time > 0.0, "total time must be positive");
+        let dt = total_time / num_segments as f64;
+        let segments = (0..num_segments)
+            .map(|k| {
+                let midpoint = (k as f64 + 0.5) * dt;
+                Segment { hamiltonian: h_of_t(midpoint), duration: dt }
+            })
+            .collect();
+        PiecewiseHamiltonian { segments }
+    }
+
+    /// The segments in evolution order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` when there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total target evolution time.
+    pub fn total_time(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Number of qubits (zero if empty).
+    pub fn num_qubits(&self) -> usize {
+        self.segments.first().map_or(0, |s| s.hamiltonian.num_qubits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pauli::Pauli;
+
+    fn zz(i: usize, j: usize) -> PauliString {
+        PauliString::two(i, Pauli::Z, j, Pauli::Z)
+    }
+
+    #[test]
+    fn terms_merge_and_cancel() {
+        let mut h = Hamiltonian::new(3);
+        h.add_term(1.0, zz(0, 1));
+        h.add_term(0.5, zz(0, 1));
+        assert_eq!(h.coefficient(&zz(0, 1)), 1.5);
+        assert_eq!(h.num_terms(), 1);
+        h.add_term(-1.5, zz(0, 1));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "acts on qubit")]
+    fn rejects_out_of_range_qubits() {
+        let mut h = Hamiltonian::new(2);
+        h.add_term(1.0, PauliString::single(5, Pauli::X));
+    }
+
+    #[test]
+    fn from_terms_and_norms() {
+        let h = Hamiltonian::from_terms(
+            2,
+            [
+                (1.0, zz(0, 1)),
+                (-2.0, PauliString::single(0, Pauli::X)),
+                (0.25, PauliString::identity()),
+            ],
+        );
+        assert_eq!(h.num_terms(), 3);
+        assert_eq!(h.coefficient_l1_norm(), 3.0); // identity excluded
+        assert_eq!(h.max_abs_coefficient(), 2.0);
+        assert_eq!(h.without_identity().num_terms(), 2);
+        assert_eq!(h.pauli_strings().len(), 2);
+    }
+
+    #[test]
+    fn scaling_and_addition() {
+        let a = Hamiltonian::from_terms(2, [(1.0, zz(0, 1))]);
+        let b = Hamiltonian::from_terms(2, [(2.0, PauliString::single(1, Pauli::X))]);
+        let sum = a.add(&b);
+        assert_eq!(sum.num_terms(), 2);
+        let scaled = sum.scaled(2.0);
+        assert_eq!(scaled.coefficient(&zz(0, 1)), 2.0);
+        assert_eq!(scaled.coefficient(&PauliString::single(1, Pauli::X)), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit count mismatch")]
+    fn add_requires_matching_qubits() {
+        let a = Hamiltonian::new(2);
+        let b = Hamiltonian::new(3);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn display_contains_terms() {
+        let h = Hamiltonian::from_terms(2, [(1.0, zz(0, 1)), (-0.5, PauliString::single(0, Pauli::X))]);
+        let text = h.to_string();
+        assert!(text.contains("Z0Z1"));
+        assert!(text.contains("X0"));
+        assert_eq!(Hamiltonian::new(1).to_string(), "0");
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let a = Hamiltonian::from_terms(2, [(1.0, zz(0, 1)), (0.5, PauliString::single(0, Pauli::X))]);
+        let b = Hamiltonian::from_terms(2, [(0.5, PauliString::single(0, Pauli::X)), (1.0, zz(0, 1))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn piecewise_constant_and_discretize() {
+        let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
+        let p = PiecewiseHamiltonian::constant(h.clone(), 2.0);
+        assert_eq!(p.num_segments(), 1);
+        assert_eq!(p.total_time(), 2.0);
+        assert_eq!(p.num_qubits(), 1);
+        assert!(!p.is_empty());
+
+        // Linear ramp: coefficient = t on [0, 1], 4 segments sample 0.125, 0.375, ...
+        let ramp = PiecewiseHamiltonian::discretize(
+            |t| Hamiltonian::from_terms(1, [(t, PauliString::single(0, Pauli::Z))]),
+            1.0,
+            4,
+        );
+        assert_eq!(ramp.num_segments(), 4);
+        assert!((ramp.total_time() - 1.0).abs() < 1e-12);
+        let c0 = ramp.segments()[0].hamiltonian.coefficient(&PauliString::single(0, Pauli::Z));
+        assert!((c0 - 0.125).abs() < 1e-12);
+        assert!(PiecewiseHamiltonian::default().is_empty());
+        assert_eq!(PiecewiseHamiltonian::default().num_qubits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn discretize_requires_segments() {
+        let _ = PiecewiseHamiltonian::discretize(|_| Hamiltonian::new(1), 1.0, 0);
+    }
+}

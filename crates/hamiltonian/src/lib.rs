@@ -1,0 +1,34 @@
+//! Target-system representation for the QTurbo analog quantum compiler.
+//!
+//! This crate provides:
+//!
+//! * [`Pauli`] operators and canonical [`PauliString`]s,
+//! * [`Hamiltonian`] — a weighted sum of Pauli strings — and its piecewise
+//!   time-dependent counterpart [`PiecewiseHamiltonian`],
+//! * the benchmark [`models`] of the paper's Table 2 (Ising chain/cycle,
+//!   Kitaev, Ising cycle +, Heisenberg chain, MIS chain, PXP).
+//!
+//! # Example
+//!
+//! ```
+//! use qturbo_hamiltonian::models::{ising_chain, Model, ModelParams};
+//!
+//! // The three-qubit Ising chain used as the running example in the paper.
+//! let h = ising_chain(3, 1.0, 1.0);
+//! assert_eq!(h.num_terms(), 5);
+//!
+//! // The same model through the benchmark-suite enum.
+//! let same = Model::IsingChain.build(3, &ModelParams::default()).unwrap();
+//! assert_eq!(h, same);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod hamiltonian;
+pub mod models;
+pub mod pauli;
+
+pub use hamiltonian::{Hamiltonian, PiecewiseHamiltonian, Segment};
+pub use models::{Model, ModelParams};
+pub use pauli::{Pauli, PauliPhase, PauliString};

@@ -1,0 +1,422 @@
+//! The benchmark model suite of the paper's Table 2.
+//!
+//! Every model is expressed as a sum of Pauli strings; occupation operators
+//! `n̂_i = (I − Z_i)/2` are expanded so that `n̂_i n̂_j` contributes `Z_i`,
+//! `Z_j`, `Z_i Z_j` and identity terms. Identity terms are kept (they are a
+//! global energy shift) and ignored by the compiler.
+//!
+//! All parameters default to 1 MHz and the target evolution time to 1 µs, the
+//! configuration used throughout the paper's evaluation except for the
+//! real-device experiments.
+
+use crate::hamiltonian::{Hamiltonian, PiecewiseHamiltonian};
+use crate::pauli::{Pauli, PauliString};
+
+/// Parameters shared by the benchmark models. All values are angular
+/// frequencies in the compiler's working units (MHz in the paper's
+/// evaluation, rad/µs in the real-device studies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Two-body coupling `J` (or `α` for MIS, `µ/2` prefactor source for Kitaev).
+    pub j: f64,
+    /// Transverse field `h` (or `ω/2` drive for MIS).
+    pub h: f64,
+    /// Kitaev chemical potential `µ`.
+    pub mu: f64,
+    /// Kitaev hopping `t`.
+    pub t_hop: f64,
+    /// MIS on-site detuning magnitude `U`.
+    pub u: f64,
+    /// MIS Rabi drive `ω`.
+    pub omega: f64,
+    /// MIS nearest-neighbour interaction `α`.
+    pub alpha: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams { j: 1.0, h: 1.0, mu: 1.0, t_hop: 1.0, u: 1.0, omega: 1.0, alpha: 1.0 }
+    }
+}
+
+fn zz(i: usize, j: usize) -> PauliString {
+    PauliString::two(i, Pauli::Z, j, Pauli::Z)
+}
+
+fn x(i: usize) -> PauliString {
+    PauliString::single(i, Pauli::X)
+}
+
+fn z(i: usize) -> PauliString {
+    PauliString::single(i, Pauli::Z)
+}
+
+/// Adds `coefficient · n̂_i` expanded into identity and `Z_i` terms.
+fn add_occupation(h: &mut Hamiltonian, coefficient: f64, i: usize) {
+    h.add_term(coefficient * 0.5, PauliString::identity());
+    h.add_term(-coefficient * 0.5, z(i));
+}
+
+/// Adds `coefficient · n̂_i n̂_j` expanded into identity, `Z`, and `ZZ` terms.
+fn add_occupation_pair(h: &mut Hamiltonian, coefficient: f64, i: usize, j: usize) {
+    h.add_term(coefficient * 0.25, PauliString::identity());
+    h.add_term(-coefficient * 0.25, z(i));
+    h.add_term(-coefficient * 0.25, z(j));
+    h.add_term(coefficient * 0.25, zz(i, j));
+}
+
+/// Ising chain: `J·Σ_{i<N} Z_i Z_{i+1} + h·Σ_i X_i`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ising_chain(n: usize, j: f64, h: f64) -> Hamiltonian {
+    assert!(n >= 2, "Ising chain needs at least 2 qubits");
+    let mut ham = Hamiltonian::new(n);
+    for i in 0..n - 1 {
+        ham.add_term(j, zz(i, i + 1));
+    }
+    for i in 0..n {
+        ham.add_term(h, x(i));
+    }
+    ham
+}
+
+/// Ising cycle: `J·Σ_i Z_i Z_{i+1} + h·Σ_i X_i` with periodic boundary.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (a cycle needs at least three distinct edges).
+pub fn ising_cycle(n: usize, j: f64, h: f64) -> Hamiltonian {
+    assert!(n >= 3, "Ising cycle needs at least 3 qubits");
+    let mut ham = Hamiltonian::new(n);
+    for i in 0..n {
+        ham.add_term(j, zz(i, (i + 1) % n));
+    }
+    for i in 0..n {
+        ham.add_term(h, x(i));
+    }
+    ham
+}
+
+/// Kitaev chain: `µ/2·Σ_{i<N} Z_i Z_{i+1} − Σ_i (t·X_i + h·Z_i)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn kitaev(n: usize, mu: f64, t_hop: f64, h: f64) -> Hamiltonian {
+    assert!(n >= 2, "Kitaev chain needs at least 2 qubits");
+    let mut ham = Hamiltonian::new(n);
+    for i in 0..n - 1 {
+        ham.add_term(mu / 2.0, zz(i, i + 1));
+    }
+    for i in 0..n {
+        ham.add_term(-t_hop, x(i));
+        ham.add_term(-h, z(i));
+    }
+    ham
+}
+
+/// Ising cycle with next-nearest-neighbour tail:
+/// `J·Σ_i Z_i Z_{i+1} + J/2⁶·Σ_i Z_i Z_{i+2} + h·Σ_i X_i` (periodic).
+///
+/// The `J/2⁶` factor is the Van der Waals tail at twice the lattice spacing,
+/// following the Rydberg-array Ising study cited by the paper.
+///
+/// # Panics
+///
+/// Panics if `n < 5` (below that the next-nearest edges coincide with
+/// nearest-neighbour ones).
+pub fn ising_cycle_plus(n: usize, j: f64, h: f64) -> Hamiltonian {
+    assert!(n >= 5, "Ising cycle+ needs at least 5 qubits");
+    let mut ham = Hamiltonian::new(n);
+    for i in 0..n {
+        ham.add_term(j, zz(i, (i + 1) % n));
+    }
+    let tail = j / 64.0;
+    for i in 0..n {
+        ham.add_term(tail, zz(i, (i + 2) % n));
+    }
+    for i in 0..n {
+        ham.add_term(h, x(i));
+    }
+    ham
+}
+
+/// Heisenberg chain:
+/// `J·Σ_{i<N} (X_i X_{i+1} + Y_i Y_{i+1} + Z_i Z_{i+1}) + h·Σ_i X_i`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn heisenberg_chain(n: usize, j: f64, h: f64) -> Hamiltonian {
+    assert!(n >= 2, "Heisenberg chain needs at least 2 qubits");
+    let mut ham = Hamiltonian::new(n);
+    for i in 0..n - 1 {
+        ham.add_term(j, PauliString::two(i, Pauli::X, i + 1, Pauli::X));
+        ham.add_term(j, PauliString::two(i, Pauli::Y, i + 1, Pauli::Y));
+        ham.add_term(j, zz(i, i + 1));
+    }
+    for i in 0..n {
+        ham.add_term(h, x(i));
+    }
+    ham
+}
+
+/// PXP / Rydberg-blockade chain: `J·Σ_{i<N} n̂_i n̂_{i+1} + h·Σ_i X_i`.
+///
+/// Under the blockade condition `J ≫ h` this realizes the PXP model
+/// `h·Σ_i P_{i−1} X_i P_{i+1}` of the quantum-scar literature.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn pxp(n: usize, j: f64, h: f64) -> Hamiltonian {
+    assert!(n >= 2, "PXP chain needs at least 2 qubits");
+    let mut ham = Hamiltonian::new(n);
+    for i in 0..n - 1 {
+        add_occupation_pair(&mut ham, j, i, i + 1);
+    }
+    for i in 0..n {
+        ham.add_term(h, x(i));
+    }
+    ham
+}
+
+/// MIS (maximum independent set) annealing chain at normalized time `s ∈ [0, 1]`:
+/// `Σ_i [(1 − 2s)·U·n̂_i + ω/2·X_i] + Σ_{i<N} α·n̂_i n̂_{i+1}`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn mis_chain_at(n: usize, u: f64, omega: f64, alpha: f64, s: f64) -> Hamiltonian {
+    assert!(n >= 2, "MIS chain needs at least 2 qubits");
+    let mut ham = Hamiltonian::new(n);
+    let detuning = (1.0 - 2.0 * s) * u;
+    for i in 0..n {
+        add_occupation(&mut ham, detuning, i);
+        ham.add_term(omega / 2.0, x(i));
+    }
+    for i in 0..n - 1 {
+        add_occupation_pair(&mut ham, alpha, i, i + 1);
+    }
+    ham
+}
+
+/// Time-dependent MIS chain discretized into `num_segments` piecewise-constant
+/// pieces over `total_time` (the annealing parameter `s = t / total_time`).
+pub fn mis_chain(
+    n: usize,
+    u: f64,
+    omega: f64,
+    alpha: f64,
+    total_time: f64,
+    num_segments: usize,
+) -> PiecewiseHamiltonian {
+    PiecewiseHamiltonian::discretize(
+        |t| mis_chain_at(n, u, omega, alpha, t / total_time),
+        total_time,
+        num_segments,
+    )
+}
+
+/// Identifier for a benchmark model from Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Open-boundary transverse-field Ising chain.
+    IsingChain,
+    /// Periodic transverse-field Ising cycle.
+    IsingCycle,
+    /// Kitaev chain.
+    Kitaev,
+    /// Ising cycle with next-nearest-neighbour Van der Waals tail.
+    IsingCyclePlus,
+    /// Heisenberg chain.
+    HeisenbergChain,
+    /// PXP / blockaded Rydberg chain.
+    Pxp,
+    /// Time-dependent maximum-independent-set annealing chain.
+    MisChain,
+}
+
+impl Model {
+    /// All time-independent models.
+    pub const TIME_INDEPENDENT: [Model; 6] = [
+        Model::IsingChain,
+        Model::IsingCycle,
+        Model::Kitaev,
+        Model::IsingCyclePlus,
+        Model::HeisenbergChain,
+        Model::Pxp,
+    ];
+
+    /// Human readable name matching the paper's Table 2.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::IsingChain => "Ising chain",
+            Model::IsingCycle => "Ising cycle",
+            Model::Kitaev => "Kitaev",
+            Model::IsingCyclePlus => "Ising cycle +",
+            Model::HeisenbergChain => "Heis chain",
+            Model::Pxp => "PXP",
+            Model::MisChain => "MIS chain",
+        }
+    }
+
+    /// Whether the model is time dependent (only the MIS chain is).
+    pub fn is_time_dependent(&self) -> bool {
+        matches!(self, Model::MisChain)
+    }
+
+    /// Smallest system size for which the model is defined.
+    pub fn min_qubits(&self) -> usize {
+        match self {
+            Model::IsingCycle => 3,
+            Model::IsingCyclePlus => 5,
+            _ => 2,
+        }
+    }
+
+    /// Builds the time-independent Hamiltonian for `n` qubits, or `None` for
+    /// time-dependent models.
+    pub fn build(&self, n: usize, params: &ModelParams) -> Option<Hamiltonian> {
+        match self {
+            Model::IsingChain => Some(ising_chain(n, params.j, params.h)),
+            Model::IsingCycle => Some(ising_cycle(n, params.j, params.h)),
+            Model::Kitaev => Some(kitaev(n, params.mu, params.t_hop, params.h)),
+            Model::IsingCyclePlus => Some(ising_cycle_plus(n, params.j, params.h)),
+            Model::HeisenbergChain => Some(heisenberg_chain(n, params.j, params.h)),
+            Model::Pxp => Some(pxp(n, params.j, params.h)),
+            Model::MisChain => None,
+        }
+    }
+
+    /// Builds the model as a piecewise Hamiltonian over `total_time`.
+    ///
+    /// Time-independent models become a single constant segment; the MIS
+    /// chain is discretized into `num_segments` pieces.
+    pub fn build_piecewise(
+        &self,
+        n: usize,
+        params: &ModelParams,
+        total_time: f64,
+        num_segments: usize,
+    ) -> PiecewiseHamiltonian {
+        match self.build(n, params) {
+            Some(h) => PiecewiseHamiltonian::constant(h, total_time),
+            None => mis_chain(n, params.u, params.omega, params.alpha, total_time, num_segments),
+        }
+    }
+}
+
+impl std::fmt::Display for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ising_chain_matches_table2() {
+        let h = ising_chain(3, 1.0, 1.0);
+        // 2 ZZ terms + 3 X terms.
+        assert_eq!(h.num_terms(), 5);
+        assert_eq!(h.coefficient(&zz(0, 1)), 1.0);
+        assert_eq!(h.coefficient(&zz(1, 2)), 1.0);
+        assert_eq!(h.coefficient(&zz(0, 2)), 0.0);
+        assert_eq!(h.coefficient(&x(1)), 1.0);
+    }
+
+    #[test]
+    fn ising_cycle_closes_the_ring() {
+        let h = ising_cycle(4, 2.0, 0.5);
+        assert_eq!(h.coefficient(&zz(0, 3)), 2.0);
+        assert_eq!(h.num_terms(), 8);
+        assert_eq!(h.coefficient(&x(3)), 0.5);
+    }
+
+    #[test]
+    fn kitaev_signs_and_prefactors() {
+        let h = kitaev(4, 1.0, 1.0, 1.0);
+        assert_eq!(h.coefficient(&zz(1, 2)), 0.5);
+        assert_eq!(h.coefficient(&x(0)), -1.0);
+        assert_eq!(h.coefficient(&z(0)), -1.0);
+        assert_eq!(h.num_terms(), 3 + 4 + 4);
+    }
+
+    #[test]
+    fn ising_cycle_plus_has_tail_terms() {
+        let h = ising_cycle_plus(6, 1.0, 1.0);
+        assert_eq!(h.coefficient(&zz(0, 1)), 1.0);
+        assert!((h.coefficient(&zz(0, 2)) - 1.0 / 64.0).abs() < 1e-15);
+        assert_eq!(h.num_terms(), 6 + 6 + 6);
+    }
+
+    #[test]
+    fn heisenberg_chain_has_all_three_couplings() {
+        let h = heisenberg_chain(3, 1.0, 0.0);
+        assert_eq!(h.coefficient(&PauliString::two(0, Pauli::X, 1, Pauli::X)), 1.0);
+        assert_eq!(h.coefficient(&PauliString::two(0, Pauli::Y, 1, Pauli::Y)), 1.0);
+        assert_eq!(h.coefficient(&zz(0, 1)), 1.0);
+        assert_eq!(h.num_terms(), 6);
+    }
+
+    #[test]
+    fn pxp_expansion_of_occupation_pairs() {
+        let h = pxp(3, 1.0, 0.1);
+        // n0 n1 + n1 n2 expands to: identity, Z0, Z1 (twice), Z2, Z0Z1, Z1Z2.
+        assert!((h.coefficient(&PauliString::identity()) - 0.5).abs() < 1e-15);
+        assert!((h.coefficient(&z(1)) + 0.5).abs() < 1e-15);
+        assert!((h.coefficient(&z(0)) + 0.25).abs() < 1e-15);
+        assert!((h.coefficient(&zz(0, 1)) - 0.25).abs() < 1e-15);
+        assert!((h.coefficient(&x(0)) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mis_chain_sweeps_detuning_sign() {
+        let start = mis_chain_at(3, 1.0, 1.0, 1.0, 0.0);
+        let end = mis_chain_at(3, 1.0, 1.0, 1.0, 1.0);
+        // At s=0 the detuning term is +U n_i => Z coefficient -U/2 (plus pair tails).
+        // At s=1 it is -U n_i => Z coefficient flips sign relative to s=0.
+        let z1_start = start.coefficient(&z(1));
+        let z1_end = end.coefficient(&z(1));
+        assert!(z1_start < z1_end);
+        let pw = mis_chain(3, 1.0, 1.0, 1.0, 1.0, 4);
+        assert_eq!(pw.num_segments(), 4);
+        assert!((pw.total_time() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_enum_dispatch() {
+        let params = ModelParams::default();
+        for model in Model::TIME_INDEPENDENT {
+            let n = model.min_qubits().max(5);
+            let h = model.build(n, &params).expect("time independent");
+            assert!(h.num_terms() > 0);
+            assert!(!model.is_time_dependent());
+            assert!(!model.name().is_empty());
+            let pw = model.build_piecewise(n, &params, 1.0, 4);
+            assert_eq!(pw.num_segments(), 1);
+        }
+        assert!(Model::MisChain.is_time_dependent());
+        assert!(Model::MisChain.build(4, &params).is_none());
+        let pw = Model::MisChain.build_piecewise(4, &params, 2.0, 4);
+        assert_eq!(pw.num_segments(), 4);
+        assert_eq!(Model::MisChain.to_string(), "MIS chain");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 qubits")]
+    fn cycle_requires_three_qubits() {
+        let _ = ising_cycle(2, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5 qubits")]
+    fn cycle_plus_requires_five_qubits() {
+        let _ = ising_cycle_plus(4, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Pauli operators and Pauli strings.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pauli {
+    /// The identity operator.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl Pauli {
+    /// All non-identity Pauli operators.
+    pub const NON_IDENTITY: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Product of two single-qubit Paulis, returned as `(phase, operator)`
+    /// where the phase is one of `±1, ±i` encoded as `(re, im)` with values
+    /// in `{-1, 0, 1}`.
+    pub fn multiply(self, other: Pauli) -> (PauliPhase, Pauli) {
+        use Pauli::*;
+        match (self, other) {
+            (I, p) | (p, I) => (PauliPhase::PlusOne, p),
+            (X, X) | (Y, Y) | (Z, Z) => (PauliPhase::PlusOne, I),
+            (X, Y) => (PauliPhase::PlusI, Z),
+            (Y, X) => (PauliPhase::MinusI, Z),
+            (Y, Z) => (PauliPhase::PlusI, X),
+            (Z, Y) => (PauliPhase::MinusI, X),
+            (Z, X) => (PauliPhase::PlusI, Y),
+            (X, Z) => (PauliPhase::MinusI, Y),
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// Phase accumulated when multiplying Pauli operators: one of `{+1, +i, −1, −i}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PauliPhase {
+    /// `+1`
+    PlusOne,
+    /// `+i`
+    PlusI,
+    /// `−1`
+    MinusOne,
+    /// `−i`
+    MinusI,
+}
+
+impl PauliPhase {
+    /// Composes two phases (complex multiplication restricted to the fourth roots of unity).
+    pub fn compose(self, other: PauliPhase) -> PauliPhase {
+        let a = self.exponent();
+        let b = other.exponent();
+        PauliPhase::from_exponent((a + b) % 4)
+    }
+
+    /// Power of `i` representing this phase (`i^k`).
+    pub fn exponent(self) -> u8 {
+        match self {
+            PauliPhase::PlusOne => 0,
+            PauliPhase::PlusI => 1,
+            PauliPhase::MinusOne => 2,
+            PauliPhase::MinusI => 3,
+        }
+    }
+
+    /// Inverse of [`PauliPhase::exponent`].
+    pub fn from_exponent(k: u8) -> PauliPhase {
+        match k % 4 {
+            0 => PauliPhase::PlusOne,
+            1 => PauliPhase::PlusI,
+            2 => PauliPhase::MinusOne,
+            _ => PauliPhase::MinusI,
+        }
+    }
+
+    /// Real/imaginary parts of the phase, each in `{-1, 0, 1}`.
+    pub fn as_complex_parts(self) -> (f64, f64) {
+        match self {
+            PauliPhase::PlusOne => (1.0, 0.0),
+            PauliPhase::PlusI => (0.0, 1.0),
+            PauliPhase::MinusOne => (-1.0, 0.0),
+            PauliPhase::MinusI => (0.0, -1.0),
+        }
+    }
+}
+
+/// A Pauli string: a tensor product of single-qubit Pauli operators.
+///
+/// Identity factors are stored implicitly — only non-identity operators are
+/// kept, indexed by qubit. `Z1Z2` in the paper's notation is
+/// `PauliString::from_ops([(0, Pauli::Z), (1, Pauli::Z)])` here (the crate
+/// uses 0-based qubit indices throughout).
+///
+/// # Example
+///
+/// ```
+/// use qturbo_hamiltonian::{Pauli, PauliString};
+/// let zz = PauliString::from_ops([(0, Pauli::Z), (1, Pauli::Z)]);
+/// assert_eq!(zz.weight(), 2);
+/// assert_eq!(zz.to_string(), "Z0Z1");
+/// assert_eq!(zz.operator_on(2), Pauli::I);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PauliString {
+    // BTreeMap keeps the factors sorted by qubit index, which gives a
+    // canonical form usable as a map key.
+    ops: BTreeMap<usize, Pauli>,
+}
+
+impl PauliString {
+    /// The identity string (no non-trivial factors).
+    pub fn identity() -> Self {
+        PauliString { ops: BTreeMap::new() }
+    }
+
+    /// Builds a string from `(qubit, operator)` pairs. Identity factors are
+    /// dropped; duplicate qubits keep the last operator provided.
+    pub fn from_ops<I>(ops: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, Pauli)>,
+    {
+        let mut map = BTreeMap::new();
+        for (qubit, op) in ops {
+            if op == Pauli::I {
+                map.remove(&qubit);
+            } else {
+                map.insert(qubit, op);
+            }
+        }
+        PauliString { ops: map }
+    }
+
+    /// A single-qubit Pauli string.
+    pub fn single(qubit: usize, op: Pauli) -> Self {
+        PauliString::from_ops([(qubit, op)])
+    }
+
+    /// A two-qubit Pauli string `op ⊗ op` on the given qubits.
+    pub fn two(qubit_a: usize, op_a: Pauli, qubit_b: usize, op_b: Pauli) -> Self {
+        PauliString::from_ops([(qubit_a, op_a), (qubit_b, op_b)])
+    }
+
+    /// Returns `true` when this is the identity string.
+    pub fn is_identity(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operator acting on `qubit` (identity when not present).
+    pub fn operator_on(&self, qubit: usize) -> Pauli {
+        self.ops.get(&qubit).copied().unwrap_or(Pauli::I)
+    }
+
+    /// Iterates over `(qubit, operator)` pairs in ascending qubit order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Pauli)> + '_ {
+        self.ops.iter().map(|(&q, &p)| (q, p))
+    }
+
+    /// Largest qubit index with a non-identity factor, if any.
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.ops.keys().next_back().copied()
+    }
+
+    /// Set of qubits this string acts on non-trivially.
+    pub fn support(&self) -> Vec<usize> {
+        self.ops.keys().copied().collect()
+    }
+
+    /// Product of two Pauli strings with the accumulated phase.
+    pub fn multiply(&self, other: &PauliString) -> (PauliPhase, PauliString) {
+        let mut phase = PauliPhase::PlusOne;
+        let mut ops = self.ops.clone();
+        for (&qubit, &op_b) in &other.ops {
+            let op_a = ops.get(&qubit).copied().unwrap_or(Pauli::I);
+            let (p, op) = op_a.multiply(op_b);
+            phase = phase.compose(p);
+            if op == Pauli::I {
+                ops.remove(&qubit);
+            } else {
+                ops.insert(qubit, op);
+            }
+        }
+        (phase, PauliString { ops })
+    }
+
+    /// Whether the two strings commute as operators.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        // Two Pauli strings anticommute iff they differ (both non-identity,
+        // different operator) on an odd number of qubits.
+        let mut anticommuting_sites = 0;
+        for (&qubit, &op_a) in &self.ops {
+            let op_b = other.operator_on(qubit);
+            if op_b != Pauli::I && op_b != op_a {
+                anticommuting_sites += 1;
+            }
+        }
+        anticommuting_sites % 2 == 0
+    }
+}
+
+impl PartialOrd for PauliString {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PauliString {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let a: Vec<_> = self.iter().collect();
+        let b: Vec<_> = other.iter().collect();
+        a.cmp(&b)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return write!(f, "I");
+        }
+        for (qubit, op) in self.iter() {
+            write!(f, "{op}{qubit}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(usize, Pauli)> for PauliString {
+    fn from_iter<T: IntoIterator<Item = (usize, Pauli)>>(iter: T) -> Self {
+        PauliString::from_ops(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_products() {
+        assert_eq!(Pauli::X.multiply(Pauli::X), (PauliPhase::PlusOne, Pauli::I));
+        assert_eq!(Pauli::X.multiply(Pauli::Y), (PauliPhase::PlusI, Pauli::Z));
+        assert_eq!(Pauli::Y.multiply(Pauli::X), (PauliPhase::MinusI, Pauli::Z));
+        assert_eq!(Pauli::Z.multiply(Pauli::X), (PauliPhase::PlusI, Pauli::Y));
+        assert_eq!(Pauli::I.multiply(Pauli::Z), (PauliPhase::PlusOne, Pauli::Z));
+    }
+
+    #[test]
+    fn phase_composition_is_cyclic() {
+        let i = PauliPhase::PlusI;
+        assert_eq!(i.compose(i), PauliPhase::MinusOne);
+        assert_eq!(i.compose(i).compose(i), PauliPhase::MinusI);
+        assert_eq!(i.compose(i).compose(i).compose(i), PauliPhase::PlusOne);
+        assert_eq!(PauliPhase::MinusOne.as_complex_parts(), (-1.0, 0.0));
+        assert_eq!(PauliPhase::from_exponent(7), PauliPhase::MinusI);
+    }
+
+    #[test]
+    fn construction_drops_identities() {
+        let p = PauliString::from_ops([(0, Pauli::I), (3, Pauli::X), (1, Pauli::Z)]);
+        assert_eq!(p.weight(), 2);
+        assert_eq!(p.operator_on(0), Pauli::I);
+        assert_eq!(p.operator_on(3), Pauli::X);
+        assert_eq!(p.support(), vec![1, 3]);
+        assert_eq!(p.max_qubit(), Some(3));
+        assert!(PauliString::identity().is_identity());
+        assert_eq!(PauliString::identity().max_qubit(), None);
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        let p = PauliString::from_ops([(2, Pauli::X), (0, Pauli::Z)]);
+        assert_eq!(p.to_string(), "Z0X2");
+        assert_eq!(PauliString::identity().to_string(), "I");
+        assert_eq!(PauliString::single(1, Pauli::Y).to_string(), "Y1");
+    }
+
+    #[test]
+    fn string_multiplication() {
+        let zz = PauliString::two(0, Pauli::Z, 1, Pauli::Z);
+        let (phase, product) = zz.multiply(&zz);
+        assert_eq!(phase, PauliPhase::PlusOne);
+        assert!(product.is_identity());
+
+        let x0 = PauliString::single(0, Pauli::X);
+        let z0 = PauliString::single(0, Pauli::Z);
+        let (phase, product) = z0.multiply(&x0);
+        assert_eq!(phase, PauliPhase::PlusI);
+        assert_eq!(product, PauliString::single(0, Pauli::Y));
+
+        let x1 = PauliString::single(1, Pauli::X);
+        let (phase, product) = z0.multiply(&x1);
+        assert_eq!(phase, PauliPhase::PlusOne);
+        assert_eq!(product, PauliString::from_ops([(0, Pauli::Z), (1, Pauli::X)]));
+    }
+
+    #[test]
+    fn commutation_relations() {
+        let z0 = PauliString::single(0, Pauli::Z);
+        let x0 = PauliString::single(0, Pauli::X);
+        let x1 = PauliString::single(1, Pauli::X);
+        let zz = PauliString::two(0, Pauli::Z, 1, Pauli::Z);
+        let xx = PauliString::two(0, Pauli::X, 1, Pauli::X);
+        assert!(!z0.commutes_with(&x0));
+        assert!(z0.commutes_with(&x1));
+        assert!(zz.commutes_with(&xx)); // differ on two sites -> commute
+        assert!(!zz.commutes_with(&x0));
+        assert!(zz.commutes_with(&PauliString::identity()));
+    }
+
+    #[test]
+    fn ordering_is_total_and_canonical() {
+        let a = PauliString::single(0, Pauli::X);
+        let b = PauliString::single(1, Pauli::X);
+        let c = PauliString::single(0, Pauli::Z);
+        assert!(a < b);
+        assert!(a < c); // X < Z in operator ordering
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(b.clone());
+        set.insert(a.clone());
+        set.insert(a.clone());
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let p: PauliString = vec![(0, Pauli::X), (5, Pauli::Z)].into_iter().collect();
+        assert_eq!(p.weight(), 2);
+    }
+}

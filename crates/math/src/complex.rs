@@ -1,0 +1,217 @@
+//! Minimal complex-number type for the state-vector simulator.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// Only the operations needed by the Schrödinger propagator and observable
+/// evaluation are provided; this is intentionally not a general-purpose
+/// complex-math library.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_math::Complex;
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// assert_eq!(Complex::new(3.0, 4.0).abs(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    pub fn from_polar_angle(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, factor: f64) -> Self {
+        Complex { re: self.re * factor, im: self.im * factor }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let denom = rhs.norm_sqr();
+        Complex {
+            re: (self.re * rhs.re + self.im * rhs.im) / denom,
+            im: (self.im * rhs.re - self.re * rhs.im) / denom,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(2.0, -3.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+        assert_eq!(-z, Complex::new(-2.0, 3.0));
+        assert_eq!(z - z, Complex::ZERO);
+    }
+
+    #[test]
+    fn conjugate_and_norms() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+    }
+
+    #[test]
+    fn polar_and_scaling() {
+        let z = Complex::from_polar_angle(std::f64::consts::FRAC_PI_2);
+        assert!((z.re).abs() < 1e-15);
+        assert!((z.im - 1.0).abs() < 1e-15);
+        assert_eq!(Complex::from_real(2.0).scale(3.0), Complex::new(6.0, 0.0));
+        assert_eq!(Complex::from(2.5), Complex::new(2.5, 0.0));
+        assert_eq!(Complex::new(2.0, 4.0) / 2.0, Complex::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn assign_ops_and_display() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::new(0.5, -0.5);
+        assert_eq!(z, Complex::new(1.5, 0.5));
+        z -= Complex::new(0.5, 0.5);
+        assert_eq!(z, Complex::new(1.0, 0.0));
+        z *= Complex::I;
+        assert_eq!(z, Complex::new(0.0, 1.0));
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

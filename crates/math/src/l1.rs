@@ -1,0 +1,164 @@
+//! L1-norm regression via iteratively re-weighted least squares (IRLS).
+//!
+//! The accuracy-refinement stage of QTurbo (paper §6.2) minimizes
+//! `||M_r·δα_r + M_c·δα_c||₁` over the dynamic corrections `δα_c`. That is an
+//! L1 regression problem `min_x ||A·x + c||₁`, solved here with IRLS: each
+//! iteration solves a weighted least-squares problem whose weights are the
+//! inverse absolute residuals of the previous iterate.
+
+use crate::linear::ridge_least_squares;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{MathError, MathResult};
+
+/// Result of an L1 minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L1Outcome {
+    /// Minimizer `x` of `||A·x − b||₁`.
+    pub solution: Vector,
+    /// Final objective value `||A·x − b||₁`.
+    pub objective: f64,
+    /// Number of IRLS iterations performed.
+    pub iterations: usize,
+}
+
+/// Minimizes `||A·x − b||₁` over `x` using IRLS.
+///
+/// The returned solution is guaranteed to achieve an objective no larger than
+/// the starting point `x = 0` (the algorithm tracks the best iterate), which
+/// is exactly the property the refinement stage relies on: applying the
+/// correction can only reduce the compilation error.
+///
+/// # Errors
+///
+/// * [`MathError::DimensionMismatch`] when `b.len() != A.rows()`.
+/// * [`MathError::InvalidArgument`] when `A` is empty.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_math::{Matrix, Vector};
+/// use qturbo_math::l1::minimize_l1;
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+/// let b = Vector::from(vec![1.0, 2.0, 3.0]);
+/// let out = minimize_l1(&a, &b, 50).unwrap();
+/// assert!(out.objective < 1e-8);
+/// ```
+pub fn minimize_l1(a: &Matrix, b: &Vector, max_iterations: usize) -> MathResult<L1Outcome> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return Err(MathError::InvalidArgument {
+            context: format!("cannot minimize over an empty {m}x{n} system"),
+        });
+    }
+    if b.len() != m {
+        return Err(MathError::DimensionMismatch {
+            context: format!("rhs of length {} for {m}x{n} system", b.len()),
+        });
+    }
+
+    // Smoothing floor for the IRLS weights; prevents division by zero once a
+    // residual component reaches zero exactly.
+    const EPSILON: f64 = 1e-10;
+
+    let mut best_x = Vector::zeros(n);
+    let mut best_objective = b.norm_l1();
+    let mut x = Vector::zeros(n);
+
+    let mut iterations = 0;
+    for _ in 0..max_iterations.max(1) {
+        iterations += 1;
+        let residual = a.mul_vector(&x) - b.clone();
+        // Weighted least squares: W^(1/2) A x = W^(1/2) b with w_i = 1/|r_i|.
+        let mut wa = Matrix::zeros(m, n);
+        let mut wb = Vector::zeros(m);
+        for i in 0..m {
+            let w = 1.0 / (residual[i].abs() + EPSILON);
+            let sw = w.sqrt();
+            for j in 0..n {
+                wa[(i, j)] = sw * a[(i, j)];
+            }
+            wb[i] = sw * b[i];
+        }
+        let next = ridge_least_squares(&wa, &wb, 1e-12)?;
+        let step = next.max_abs_diff(&x)?;
+        x = next;
+        let objective = (a.mul_vector(&x) - b.clone()).norm_l1();
+        if objective < best_objective {
+            best_objective = objective;
+            best_x = x.clone();
+        }
+        if step < 1e-12 {
+            break;
+        }
+    }
+
+    Ok(L1Outcome { solution: best_x, objective: best_objective, iterations })
+}
+
+/// Minimizes `||c + A·x||₁` (the refinement form used in paper §6.2) and
+/// returns both the correction `x` and the residual vector `c + A·x`.
+///
+/// # Errors
+///
+/// See [`minimize_l1`].
+pub fn minimize_l1_affine(
+    a: &Matrix,
+    c: &Vector,
+    max_iterations: usize,
+) -> MathResult<(Vector, Vector)> {
+    let out = minimize_l1(a, &c.scaled(-1.0), max_iterations)?;
+    let residual = a.mul_vector(&out.solution) + c.clone();
+    Ok((out.solution, residual))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_reaches_zero_objective() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 1.0]]);
+        let b = Vector::from(vec![4.0, -3.0]);
+        let out = minimize_l1(&a, &b, 100).unwrap();
+        assert!(out.objective < 1e-8);
+        assert!((out.solution[0] - 2.0).abs() < 1e-6);
+        assert!((out.solution[1] + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l1_is_robust_to_an_outlier_row() {
+        // Five consistent equations x = 1 and one outlier x = 100. The L1
+        // solution should stay at x = 1 (the median), unlike least squares.
+        let rows: Vec<Vec<f64>> = (0..6).map(|_| vec![1.0]).collect();
+        let a = Matrix::from_rows(&rows);
+        let b = Vector::from(vec![1.0, 1.0, 1.0, 1.0, 1.0, 100.0]);
+        let out = minimize_l1(&a, &b, 200).unwrap();
+        assert!((out.solution[0] - 1.0).abs() < 1e-3, "got {}", out.solution[0]);
+    }
+
+    #[test]
+    fn never_worse_than_zero_correction() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![-1.0, 0.5], vec![3.0, 1.0]]);
+        let c = Vector::from(vec![0.3, -0.2, 0.15]);
+        let baseline = c.norm_l1();
+        let (_, residual) = minimize_l1_affine(&a, &c, 80).unwrap();
+        assert!(residual.norm_l1() <= baseline + 1e-12);
+    }
+
+    #[test]
+    fn dimension_and_empty_checks() {
+        let a = Matrix::identity(2);
+        assert!(minimize_l1(&a, &Vector::zeros(3), 10).is_err());
+        assert!(minimize_l1(&Matrix::zeros(0, 0), &Vector::zeros(0), 10).is_err());
+    }
+
+    #[test]
+    fn reports_iterations() {
+        let a = Matrix::identity(2);
+        let b = Vector::from(vec![1.0, 2.0]);
+        let out = minimize_l1(&a, &b, 5).unwrap();
+        assert!(out.iterations >= 1 && out.iterations <= 5);
+    }
+}

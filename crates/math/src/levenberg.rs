@@ -1,0 +1,336 @@
+//! Levenberg–Marquardt nonlinear least squares with box constraints.
+//!
+//! The localized mixed equation systems of QTurbo (paper §4.2/§5) and the
+//! global mixed system of the SimuQ-style baseline are nonlinear in the
+//! amplitude variables (atom positions enter through `C6/|x_i − x_j|⁶`, Rabi
+//! drives through `Ω·cos φ` / `Ω·sin φ`). Both are solved here as bounded
+//! nonlinear least-squares problems.
+
+use crate::jacobian::numerical_jacobian;
+use crate::linear::ridge_least_squares;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{MathError, MathResult};
+
+/// Result of a Levenberg–Marquardt run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmOutcome {
+    /// Final parameter vector (always inside the box constraints).
+    pub solution: Vector,
+    /// Final residual vector `F(x)`.
+    pub residual: Vector,
+    /// Final cost `0.5·||F(x)||₂²`.
+    pub cost: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the convergence tolerance was met.
+    pub converged: bool,
+}
+
+impl LmOutcome {
+    /// L1 norm of the final residual, the error measure used by the paper.
+    pub fn residual_l1(&self) -> f64 {
+        self.residual.norm_l1()
+    }
+}
+
+/// Configurable Levenberg–Marquardt solver.
+///
+/// # Example
+///
+/// Solve `x² = 4`, `x·y = 6` with bounds `0 ≤ x, y ≤ 10`:
+///
+/// ```
+/// use qturbo_math::{LevenbergMarquardt, Vector};
+///
+/// let residual = |p: &[f64]| vec![p[0] * p[0] - 4.0, p[0] * p[1] - 6.0];
+/// let lm = LevenbergMarquardt::new();
+/// let out = lm
+///     .solve(&residual, Vector::from(vec![1.0, 1.0]), &[0.0, 0.0], &[10.0, 10.0])
+///     .unwrap();
+/// assert!(out.converged);
+/// assert!((out.solution[0] - 2.0).abs() < 1e-8);
+/// assert!((out.solution[1] - 3.0).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevenbergMarquardt {
+    max_iterations: usize,
+    residual_tolerance: f64,
+    step_tolerance: f64,
+    initial_damping: f64,
+}
+
+impl Default for LevenbergMarquardt {
+    fn default() -> Self {
+        LevenbergMarquardt {
+            max_iterations: 200,
+            residual_tolerance: 1e-12,
+            step_tolerance: 1e-14,
+            initial_damping: 1e-3,
+        }
+    }
+}
+
+impl LevenbergMarquardt {
+    /// Creates a solver with default settings (200 iterations, 1e-12 residual
+    /// tolerance).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of iterations.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the residual tolerance on `0.5·||F||²` below which the solver stops.
+    pub fn with_residual_tolerance(mut self, tol: f64) -> Self {
+        self.residual_tolerance = tol;
+        self
+    }
+
+    /// Sets the minimum step infinity-norm below which the solver stops.
+    pub fn with_step_tolerance(mut self, tol: f64) -> Self {
+        self.step_tolerance = tol;
+        self
+    }
+
+    /// Maximum number of iterations this solver will perform.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Minimizes `0.5·||F(x)||₂²` subject to `lower ≤ x ≤ upper`.
+    ///
+    /// The residual closure receives the current parameter slice and returns
+    /// the residual vector; its length must be the same on every call.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::InvalidArgument`] when the bounds are inconsistent with
+    ///   the initial guess (different lengths, or `lower > upper`).
+    /// * [`MathError::InvalidArgument`] when the residual is empty.
+    pub fn solve<F>(
+        &self,
+        residual_fn: &F,
+        initial: Vector,
+        lower: &[f64],
+        upper: &[f64],
+    ) -> MathResult<LmOutcome>
+    where
+        F: Fn(&[f64]) -> Vec<f64>,
+    {
+        let n = initial.len();
+        if lower.len() != n || upper.len() != n {
+            return Err(MathError::InvalidArgument {
+                context: format!(
+                    "bounds of length {}/{} for {n} parameters",
+                    lower.len(),
+                    upper.len()
+                ),
+            });
+        }
+        if lower.iter().zip(upper).any(|(lo, hi)| lo > hi) {
+            return Err(MathError::InvalidArgument {
+                context: "lower bound exceeds upper bound".to_string(),
+            });
+        }
+
+        let mut x = initial;
+        x.clamp_into(lower, upper);
+        let mut residual = Vector::from(residual_fn(x.as_slice()));
+        let m = residual.len();
+        if m == 0 {
+            return Err(MathError::InvalidArgument {
+                context: "residual function returned an empty vector".to_string(),
+            });
+        }
+        let mut cost = 0.5 * residual.norm_l2().powi(2);
+        let mut damping = self.initial_damping;
+        let mut converged = cost <= self.residual_tolerance;
+        let mut iterations = 0;
+
+        while !converged && iterations < self.max_iterations {
+            iterations += 1;
+            let jac = numerical_jacobian(residual_fn, &x, m);
+            let jt = jac.transpose();
+            let gradient = jt.mul_vector(&residual);
+            if gradient.norm_inf() < 1e-14 {
+                // Stationary point (possibly a bound-constrained minimum).
+                break;
+            }
+
+            let mut improved = false;
+            for _ in 0..12 {
+                let step = match self.damped_step(&jac, &residual, damping) {
+                    Ok(step) => step,
+                    Err(_) => {
+                        damping *= 10.0;
+                        continue;
+                    }
+                };
+                let mut candidate = x.clone();
+                candidate.axpy(-1.0, &step);
+                candidate.clamp_into(lower, upper);
+                let actual_step = candidate.max_abs_diff(&x).expect("same length");
+                let candidate_residual = Vector::from(residual_fn(candidate.as_slice()));
+                let candidate_cost = 0.5 * candidate_residual.norm_l2().powi(2);
+                if candidate_cost < cost {
+                    x = candidate;
+                    residual = candidate_residual;
+                    cost = candidate_cost;
+                    damping = (damping * 0.3).max(1e-12);
+                    improved = true;
+                    if cost <= self.residual_tolerance || actual_step <= self.step_tolerance {
+                        converged = cost <= self.residual_tolerance || actual_step <= self.step_tolerance;
+                    }
+                    break;
+                }
+                damping *= 10.0;
+                if damping > 1e12 {
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+            if cost <= self.residual_tolerance {
+                converged = true;
+            }
+        }
+
+        Ok(LmOutcome { solution: x, residual, cost, iterations, converged })
+    }
+
+    fn damped_step(&self, jac: &Matrix, residual: &Vector, damping: f64) -> MathResult<Vector> {
+        // Solve the damped normal equations (JᵀJ + λ·diag(JᵀJ)) δ = Jᵀ r.
+        let jt = jac.transpose();
+        let mut jtj = jt.mul_matrix(jac)?;
+        let n = jtj.rows();
+        let diag_scale = (0..n).map(|i| jtj[(i, i)]).fold(0.0_f64, f64::max).max(1e-12);
+        for i in 0..n {
+            // Columns whose residual derivative is (locally) zero still get a
+            // small damping term relative to the overall curvature so the
+            // system stays solvable without distorting the useful directions.
+            let d = jtj[(i, i)].max(1e-10 * diag_scale);
+            jtj[(i, i)] += damping * d + 1e-12 * diag_scale;
+        }
+        let jtr = jt.mul_vector(residual);
+        match crate::lu::solve_square(&jtj, &jtr) {
+            Ok(step) => Ok(step),
+            // Rank-deficient even after damping: fall back to a ridge solve.
+            Err(_) => ridge_least_squares(&jtj, &jtr, 1e-10 * diag_scale * diag_scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_quadratic_system() {
+        let residual = |p: &[f64]| vec![p[0] * p[0] - 4.0, p[1] - 1.0];
+        let out = LevenbergMarquardt::new()
+            .solve(&residual, Vector::from(vec![3.0, 0.0]), &[0.0, -10.0], &[10.0, 10.0])
+            .unwrap();
+        assert!(out.converged);
+        assert!((out.solution[0] - 2.0).abs() < 1e-7);
+        assert!((out.solution[1] - 1.0).abs() < 1e-7);
+        assert!(out.residual_l1() < 1e-7);
+    }
+
+    #[test]
+    fn solves_van_der_waals_style_equations() {
+        // C6 / (4 r^6) * T = 1 with C6 = 862690, T = 0.8  =>  r ≈ 7.46 (paper Eq. 8).
+        let c6 = 862690.0;
+        let t = 0.8;
+        let residual = move |p: &[f64]| {
+            let r12 = (p[1] - p[0]).abs().max(1e-9);
+            let r23 = (p[2] - p[1]).abs().max(1e-9);
+            let r13 = (p[2] - p[0]).abs().max(1e-9);
+            vec![
+                c6 / (4.0 * r12.powi(6)) * t - 1.0,
+                c6 / (4.0 * r23.powi(6)) * t - 1.0,
+                c6 / (4.0 * r13.powi(6)) * t - 0.0,
+            ]
+        };
+        let out = LevenbergMarquardt::new()
+            .with_max_iterations(500)
+            .solve(
+                &residual,
+                Vector::from(vec![0.0, 8.0, 16.0]),
+                &[0.0, 0.0, 0.0],
+                &[0.0, 75.0, 75.0],
+            )
+            .unwrap();
+        let spacing = out.solution[1] - out.solution[0];
+        assert!((spacing - 7.46).abs() < 0.05, "spacing was {spacing}");
+        // The third (blockade-tail) equation cannot be satisfied exactly;
+        // the residual should still be small because 1/r^6 decays fast.
+        assert!(out.cost < 1e-2);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        // Unconstrained minimum at x = 5, but the box is [0, 2].
+        let residual = |p: &[f64]| vec![p[0] - 5.0];
+        let out = LevenbergMarquardt::new()
+            .solve(&residual, Vector::from(vec![1.0]), &[0.0], &[2.0])
+            .unwrap();
+        assert!(out.solution[0] <= 2.0 + 1e-12);
+        assert!((out.solution[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        let residual = |p: &[f64]| vec![p[0]];
+        let lm = LevenbergMarquardt::new();
+        assert!(lm.solve(&residual, Vector::from(vec![0.0]), &[1.0], &[0.0]).is_err());
+        assert!(lm.solve(&residual, Vector::from(vec![0.0]), &[0.0, 0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_residual() {
+        let residual = |_: &[f64]| Vec::new();
+        let lm = LevenbergMarquardt::new();
+        assert!(lm.solve(&residual, Vector::from(vec![0.0]), &[0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn builder_setters_are_respected() {
+        let lm = LevenbergMarquardt::new()
+            .with_max_iterations(3)
+            .with_residual_tolerance(1e-3)
+            .with_step_tolerance(1e-5);
+        assert_eq!(lm.max_iterations(), 3);
+        // A hard problem with only 3 iterations may not converge, but it must
+        // not loop forever and must report the iteration count honestly.
+        let residual = |p: &[f64]| vec![(p[0] - 3.0) * (p[0] + 2.0), p[1] * p[0] - 1.0];
+        let out = lm
+            .solve(&residual, Vector::from(vec![10.0, 10.0]), &[-100.0, -100.0], &[100.0, 100.0])
+            .unwrap();
+        assert!(out.iterations <= 3);
+    }
+
+    #[test]
+    fn trigonometric_rabi_drive_system() {
+        // Ω/2 cos φ * T = 1, Ω/2 sin φ * T = 0  with T = 0.8 => Ω = 2.5, φ = 0.
+        let t = 0.8;
+        let residual = move |p: &[f64]| {
+            vec![p[0] / 2.0 * p[1].cos() * t - 1.0, p[0] / 2.0 * p[1].sin() * t - 0.0]
+        };
+        let out = LevenbergMarquardt::new()
+            .solve(
+                &residual,
+                Vector::from(vec![1.0, 0.3]),
+                &[0.0, -std::f64::consts::PI],
+                &[2.5, std::f64::consts::PI],
+            )
+            .unwrap();
+        assert!(out.converged, "cost {}", out.cost);
+        assert!((out.solution[0] - 2.5).abs() < 1e-6);
+        assert!(out.solution[1].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,303 @@
+//! General linear-system solving for arbitrary (rectangular, possibly
+//! rank-deficient) systems.
+//!
+//! The global linear equation system built by QTurbo (paper §4.1) is usually
+//! square and consistent, but depending on the AAIS and the target model it
+//! can be overdetermined (more Hamiltonian terms than synthesized variables)
+//! or rank deficient (redundant instructions). [`min_norm_solve`] handles all
+//! of these: it returns an exact solution when one exists and a least-squares
+//! solution otherwise.
+
+use crate::lu::LuDecomposition;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{MathError, MathResult};
+
+/// Relative pivot threshold used by the Gauss–Jordan elimination.
+const PIVOT_TOLERANCE: f64 = 1e-11;
+
+/// Outcome of a reduced-row-echelon solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RrefSolution {
+    /// A particular solution with all free variables set to zero, if the
+    /// system is consistent.
+    pub solution: Option<Vector>,
+    /// Numerical rank of the coefficient matrix.
+    pub rank: usize,
+    /// Indices of the free (non-pivot) columns.
+    pub free_columns: Vec<usize>,
+}
+
+/// Solves `A·x = b` by Gauss–Jordan elimination with partial pivoting.
+///
+/// Works for any shape of `A`. When the system is consistent the returned
+/// [`RrefSolution::solution`] is a particular solution with every free
+/// variable set to zero (which keeps unused analog instructions switched
+/// off — exactly the behaviour the compiler wants). When the system is
+/// inconsistent, `solution` is `None` and callers should fall back to a
+/// least-squares solve.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] when `b.len() != A.rows()`.
+pub fn rref_solve(a: &Matrix, b: &Vector) -> MathResult<RrefSolution> {
+    let (m, n) = (a.rows(), a.cols());
+    if b.len() != m {
+        return Err(MathError::DimensionMismatch {
+            context: format!("rhs of length {} for {m}x{n} system", b.len()),
+        });
+    }
+    // Augmented matrix [A | b].
+    let mut aug = Matrix::zeros(m, n + 1);
+    for i in 0..m {
+        for j in 0..n {
+            aug[(i, j)] = a[(i, j)];
+        }
+        aug[(i, n)] = b[i];
+    }
+    let scale = aug.norm_max().max(1.0);
+    let tol = PIVOT_TOLERANCE * scale;
+
+    let mut pivot_cols = Vec::new();
+    let mut row = 0;
+    for col in 0..n {
+        if row >= m {
+            break;
+        }
+        // Find the largest pivot in this column.
+        let mut best_row = row;
+        let mut best_val = aug[(row, col)].abs();
+        for r in (row + 1)..m {
+            let v = aug[(r, col)].abs();
+            if v > best_val {
+                best_val = v;
+                best_row = r;
+            }
+        }
+        if best_val <= tol {
+            continue; // free column
+        }
+        if best_row != row {
+            for j in 0..=n {
+                let tmp = aug[(row, j)];
+                aug[(row, j)] = aug[(best_row, j)];
+                aug[(best_row, j)] = tmp;
+            }
+        }
+        // Normalize the pivot row and eliminate everywhere else.
+        let pivot = aug[(row, col)];
+        for j in 0..=n {
+            aug[(row, j)] /= pivot;
+        }
+        for r in 0..m {
+            if r == row {
+                continue;
+            }
+            let factor = aug[(r, col)];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..=n {
+                let delta = factor * aug[(row, j)];
+                aug[(r, j)] -= delta;
+            }
+        }
+        pivot_cols.push(col);
+        row += 1;
+    }
+    let rank = pivot_cols.len();
+
+    // Consistency check: any row of the form [0 ... 0 | c] with c != 0.
+    let mut consistent = true;
+    for r in rank..m {
+        let row_norm: f64 = (0..n).map(|j| aug[(r, j)].abs()).sum();
+        if row_norm <= tol && aug[(r, n)].abs() > tol * 10.0 {
+            consistent = false;
+            break;
+        }
+    }
+
+    let free_columns: Vec<usize> =
+        (0..n).filter(|c| !pivot_cols.contains(c)).collect();
+
+    let solution = if consistent {
+        let mut x = Vector::zeros(n);
+        for (r, &c) in pivot_cols.iter().enumerate() {
+            x[c] = aug[(r, n)];
+        }
+        Some(x)
+    } else {
+        None
+    };
+
+    Ok(RrefSolution { solution, rank, free_columns })
+}
+
+/// Solves `A·x = b` exactly when possible and in the (ridge-regularized)
+/// minimum-norm least-squares sense otherwise.
+///
+/// This is the workhorse used for the global linear system: for consistent
+/// systems it returns an exact particular solution (free variables zero); for
+/// inconsistent systems it minimizes `||A·x − b||₂` with a tiny Tikhonov term
+/// so the call never fails on rank-deficient inputs.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] when `b.len() != A.rows()`, or
+/// [`MathError::InvalidArgument`] for an empty system.
+pub fn min_norm_solve(a: &Matrix, b: &Vector) -> MathResult<Vector> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return Err(MathError::InvalidArgument {
+            context: format!("cannot solve an empty {m}x{n} system"),
+        });
+    }
+    if b.len() != m {
+        return Err(MathError::DimensionMismatch {
+            context: format!("rhs of length {} for {m}x{n} system", b.len()),
+        });
+    }
+    if let Some(x) = rref_solve(a, b)?.solution {
+        return Ok(x);
+    }
+    ridge_least_squares(a, b, 0.0)
+}
+
+/// Ridge-regularized least squares: minimizes `||A·x − b||₂² + λ||x||₂²`.
+///
+/// With `lambda == 0` a tiny scale-relative regularization is still applied so
+/// that rank-deficient normal equations stay solvable.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] for incompatible shapes and
+/// propagates [`MathError::SingularMatrix`] in the (unlikely) event that even
+/// the regularized system is singular.
+pub fn ridge_least_squares(a: &Matrix, b: &Vector, lambda: f64) -> MathResult<Vector> {
+    let (m, n) = (a.rows(), a.cols());
+    if b.len() != m {
+        return Err(MathError::DimensionMismatch {
+            context: format!("rhs of length {} for {m}x{n} system", b.len()),
+        });
+    }
+    let at = a.transpose();
+    let scale = a.norm_max().max(1.0);
+    let effective_lambda = if lambda > 0.0 { lambda } else { 1e-12 * scale * scale };
+    // Normal equations (AᵀA + λI) x = Aᵀ b. The systems the compiler builds are
+    // small and well scaled, so the squared condition number is acceptable.
+    let mut ata = at.mul_matrix(a)?;
+    for i in 0..n {
+        ata[(i, i)] += effective_lambda;
+    }
+    let atb = at.mul_vector(b);
+    LuDecomposition::new(&ata)?.solve(&atb)
+}
+
+/// L1 norm of the residual `A·x − b`; convenience used by error metrics.
+pub fn residual_l1(a: &Matrix, x: &Vector, b: &Vector) -> f64 {
+    (a.mul_vector(x) - b.clone()).norm_l1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 4.0]]);
+        let b = Vector::from(vec![2.0, 8.0]);
+        let x = min_norm_solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn underdetermined_system_sets_free_variables_to_zero() {
+        // x0 + x1 = 2 with x1 free => particular solution (2, 0).
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let b = Vector::from(vec![2.0]);
+        let sol = rref_solve(&a, &b).unwrap();
+        assert_eq!(sol.rank, 1);
+        assert_eq!(sol.free_columns, vec![1]);
+        let x = sol.solution.unwrap();
+        assert_eq!(x.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn inconsistent_system_falls_back_to_least_squares() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let b = Vector::from(vec![0.0, 2.0]);
+        let sol = rref_solve(&a, &b).unwrap();
+        assert!(sol.solution.is_none());
+        let x = min_norm_solve(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_deficient_least_squares_does_not_blow_up() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let b = Vector::from(vec![2.0, 2.0]);
+        let x = min_norm_solve(&a, &b).unwrap();
+        let r = a.mul_vector(&x) - b;
+        assert!(r.norm_inf() < 1e-6);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = Matrix::identity(2);
+        assert!(min_norm_solve(&a, &Vector::zeros(3)).is_err());
+        assert!(rref_solve(&a, &Vector::zeros(3)).is_err());
+        assert!(ridge_least_squares(&a, &Vector::zeros(3), 0.0).is_err());
+        assert!(min_norm_solve(&Matrix::zeros(0, 0), &Vector::zeros(0)).is_err());
+    }
+
+    #[test]
+    fn residual_l1_matches_manual_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let x = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![0.0, 0.0]);
+        assert_eq!(residual_l1(&a, &x, &b), 3.0);
+    }
+
+    #[test]
+    fn reproduces_paper_global_linear_system() {
+        // The three-qubit Ising chain global linear system from paper §4.1,
+        // Eq. (5): 12 synthesized variables alpha_1..alpha_12.
+        // Rows: alpha1=1, alpha2=1, alpha3=0, -a1-a3+a4=0, -a1-a2+a5=0,
+        //       -a2-a3+a6=0, a7=1, a9=1, a11=1, a8=0, a10=0, a12=0.
+        let n = 12;
+        let mut rows = Vec::new();
+        let mut rhs = Vec::new();
+        let unit = |idx: usize, value: f64, rows: &mut Vec<Vec<f64>>, rhs: &mut Vec<f64>| {
+            let mut r = vec![0.0; n];
+            r[idx] = 1.0;
+            rows.push(r);
+            rhs.push(value);
+        };
+        unit(0, 1.0, &mut rows, &mut rhs);
+        unit(1, 1.0, &mut rows, &mut rhs);
+        unit(2, 0.0, &mut rows, &mut rhs);
+        for (i, j, k) in [(0, 2, 3), (0, 1, 4), (1, 2, 5)] {
+            let mut r = vec![0.0; n];
+            r[i] = -1.0;
+            r[j] = -1.0;
+            r[k] = 1.0;
+            rows.push(r);
+            rhs.push(0.0);
+        }
+        unit(6, 1.0, &mut rows, &mut rhs);
+        unit(8, 1.0, &mut rows, &mut rhs);
+        unit(10, 1.0, &mut rows, &mut rhs);
+        unit(7, 0.0, &mut rows, &mut rhs);
+        unit(9, 0.0, &mut rows, &mut rhs);
+        unit(11, 0.0, &mut rows, &mut rhs);
+
+        let a = Matrix::from_rows(&rows);
+        let b = Vector::from(rhs);
+        let x = min_norm_solve(&a, &b).unwrap();
+        let expected = [1.0, 1.0, 0.0, 1.0, 2.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        for (got, want) in x.as_slice().iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! LU decomposition with partial pivoting for square linear systems.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{MathError, MathResult};
+
+/// An LU factorization `P·A = L·U` of a square matrix with partial pivoting.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_math::{Matrix, Vector};
+/// use qturbo_math::lu::LuDecomposition;
+///
+/// let a = Matrix::from_rows(&[vec![4.0, 3.0], vec![6.0, 3.0]]);
+/// let lu = LuDecomposition::new(&a).unwrap();
+/// let x = lu.solve(&Vector::from(vec![10.0, 12.0])).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    factors: Matrix,
+    /// Row permutation applied by partial pivoting.
+    permutation: Vec<usize>,
+    /// Sign of the permutation, used for the determinant.
+    permutation_sign: f64,
+}
+
+/// Relative pivot threshold below which the matrix is declared singular.
+const SINGULARITY_THRESHOLD: f64 = 1e-13;
+
+impl LuDecomposition {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::DimensionMismatch`] if the matrix is not square.
+    /// * [`MathError::SingularMatrix`] if a pivot is (numerically) zero.
+    pub fn new(a: &Matrix) -> MathResult<Self> {
+        if a.rows() != a.cols() {
+            return Err(MathError::DimensionMismatch {
+                context: format!("LU of a {}x{} matrix", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut factors = a.clone();
+        let mut permutation: Vec<usize> = (0..n).collect();
+        let mut permutation_sign = 1.0;
+        // The singularity threshold is relative to the matrix magnitude so
+        // that well-conditioned but small-normed systems are not rejected.
+        let scale = factors.norm_max();
+        if scale == 0.0 && n > 0 {
+            return Err(MathError::SingularMatrix);
+        }
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest entry in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = factors[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = factors[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= SINGULARITY_THRESHOLD * scale {
+                return Err(MathError::SingularMatrix);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = factors[(k, j)];
+                    factors[(k, j)] = factors[(pivot_row, j)];
+                    factors[(pivot_row, j)] = tmp;
+                }
+                permutation.swap(k, pivot_row);
+                permutation_sign = -permutation_sign;
+            }
+            let pivot = factors[(k, k)];
+            for i in (k + 1)..n {
+                let multiplier = factors[(i, k)] / pivot;
+                factors[(i, k)] = multiplier;
+                for j in (k + 1)..n {
+                    let delta = multiplier * factors[(k, j)];
+                    factors[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(LuDecomposition { factors, permutation, permutation_sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &Vector) -> MathResult<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(MathError::DimensionMismatch {
+                context: format!("rhs of length {} for {}x{} system", b.len(), n, n),
+            });
+        }
+        // Forward substitution with the permuted right-hand side.
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut acc = b[self.permutation[i]];
+            for j in 0..i {
+                acc -= self.factors[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = acc / self.factors[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.permutation_sign;
+        for i in 0..self.dim() {
+            det *= self.factors[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::solve`].
+    pub fn inverse(&self) -> MathResult<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = Vector::zeros(n);
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience wrapper: solve a square system `A·x = b` in one call.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`] and [`LuDecomposition::solve`].
+pub fn solve_square(a: &Matrix, b: &Vector) -> MathResult<Vector> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Vector::from(vec![3.0, 5.0]);
+        let x = solve_square(&a, &b).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(LuDecomposition::new(&a).unwrap_err(), MathError::SingularMatrix);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(MathError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_rhs_length() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn determinant_and_inverse() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() - 10.0).abs() < 1e-12);
+        let inv = lu.inverse().unwrap();
+        let prod = a.mul_matrix(&inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve_square(&a, &Vector::from(vec![2.0, 3.0])).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn larger_random_like_system_roundtrip() {
+        // Deterministic pseudo-random matrix; verify A * solve(A, b) == b.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        let mut seed = 1_u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonally dominant => nonsingular
+        }
+        let b: Vector = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = solve_square(&a, &b).unwrap();
+        let r = a.mul_vector(&x) - b;
+        assert!(r.norm_inf() < 1e-10);
+    }
+}

@@ -1,0 +1,367 @@
+//! Dense, row-major real matrix type.
+
+use crate::vector::Vector;
+use crate::{MathError, MathResult};
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The compiler's equation systems are small-to-medium dense systems (a few
+/// thousand rows at most for the largest 93-qubit benchmarks), so a simple
+/// contiguous row-major layout is both adequate and cache friendly.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_math::{Matrix, Vector};
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let v = Vector::from(vec![1.0, 1.0]);
+/// assert_eq!(m.mul_vector(&v).as_slice(), &[3.0, 7.0]);
+/// assert_eq!(m.norm_l1(), 6.0); // max column abs sum
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of equally sized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> MathResult<Self> {
+        if data.len() != rows * cols {
+            return Err(MathError::DimensionMismatch {
+                context: format!("flat buffer of {} entries for {rows}x{cols}", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of a row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of a row.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new [`Vector`].
+    pub fn column(&self, j: usize) -> Vector {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vector(&self, v: &Vector) -> Vector {
+        assert_eq!(v.len(), self.cols, "matrix-vector dimension mismatch");
+        let mut out = Vector::zeros(self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(v.as_slice()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Matrix–matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when the inner dimensions differ.
+    pub fn mul_matrix(&self, other: &Matrix) -> MathResult<Matrix> {
+        if self.cols != other.rows {
+            return Err(MathError::DimensionMismatch {
+                context: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Induced L1 norm: the maximum absolute column sum.
+    ///
+    /// This is the `||M||_1` that appears in the paper's Theorem 1 error bound.
+    pub fn norm_l1(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Returns the sub-matrix made of the given columns, in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range.
+    pub fn select_columns(&self, columns: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, columns.len());
+        for (new_j, &j) in columns.iter().enumerate() {
+            assert!(j < self.cols, "column index {j} out of range");
+            for i in 0..self.rows {
+                out[(i, new_j)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> MathResult<Matrix> {
+        if self.cols != other.cols {
+            return Err(MathError::DimensionMismatch {
+                context: format!("vstack of {} cols with {} cols", self.cols, other.cols),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+    }
+
+    /// `self + factor * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when shapes differ.
+    pub fn add_scaled(&self, factor: f64, other: &Matrix) -> MathResult<Matrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MathError::DimensionMismatch {
+                context: format!(
+                    "add of {}x{} with {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let data =
+            self.data.iter().zip(other.data.iter()).map(|(a, b)| a + factor * b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.add_scaled(1.0, rhs).expect("matrix add shape mismatch")
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.add_scaled(-1.0, rhs).expect("matrix sub shape mismatch")
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * rhs).collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_identity_from_rows() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(!z.is_empty());
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert!(Matrix::from_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn from_flat_checks_size() {
+        assert!(Matrix::from_flat(2, 2, vec![1.0; 4]).is_ok());
+        assert!(Matrix::from_flat(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn mul_vector_and_matrix() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let v = Vector::from(vec![1.0, -1.0]);
+        assert_eq!(m.mul_vector(&v).as_slice(), &[-1.0, -1.0]);
+        let p = m.mul_matrix(&Matrix::identity(2)).unwrap();
+        assert_eq!(p, m);
+        assert!(m.mul_matrix(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[vec![1.0, -2.0], vec![-3.0, 4.0]]);
+        assert_eq!(m.norm_l1(), 6.0);
+        assert_eq!(m.norm_max(), 4.0);
+        assert!((m.norm_frobenius() - (30.0_f64).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn select_columns_and_vstack() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        let stacked = m.vstack(&m).unwrap();
+        assert_eq!(stacked.rows(), 4);
+        assert!(m.vstack(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 5.0]]);
+        assert_eq!((&a + &b).row(0), &[4.0, 7.0]);
+        assert_eq!((&b - &a).row(0), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).row(0), &[2.0, 4.0]);
+        assert!(a.add_scaled(1.0, &Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn column_extraction_and_display() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.column(1).as_slice(), &[2.0, 4.0]);
+        assert!(m.to_string().contains("Matrix 2x2"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Derivative-free Nelder–Mead simplex minimization with box constraints.
+//!
+//! Used for the "no time-critical variable" case of the evolution time
+//! optimization (paper §5.1, Case 3), where the compiler minimizes `T_sim`
+//! subject to the local equations holding — a small, non-smooth constrained
+//! problem that is handled with a penalty formulation.
+
+use crate::vector::Vector;
+use crate::{MathError, MathResult};
+
+/// Result of a Nelder–Mead minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadOutcome {
+    /// Best parameter vector found (inside the box).
+    pub solution: Vector,
+    /// Objective value at [`NelderMeadOutcome::solution`].
+    pub value: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the simplex shrank below the tolerance.
+    pub converged: bool,
+}
+
+/// Nelder–Mead simplex minimizer over a box.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_math::{NelderMead, Vector};
+/// let objective = |p: &[f64]| (p[0] - 1.0).powi(2) + (p[1] + 2.0).powi(2);
+/// let out = NelderMead::new()
+///     .minimize(&objective, Vector::from(vec![0.0, 0.0]), &[-5.0, -5.0], &[5.0, 5.0])
+///     .unwrap();
+/// assert!(out.value < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NelderMead {
+    max_iterations: usize,
+    tolerance: f64,
+    initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead { max_iterations: 2000, tolerance: 1e-12, initial_step: 0.25 }
+    }
+}
+
+impl NelderMead {
+    /// Creates a minimizer with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the convergence tolerance on the simplex spread.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the relative size of the initial simplex.
+    pub fn with_initial_step(mut self, step: f64) -> Self {
+        self.initial_step = step;
+        self
+    }
+
+    /// Minimizes `objective` over the box `[lower, upper]` starting at `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] for empty input or inconsistent
+    /// bounds.
+    pub fn minimize<F>(
+        &self,
+        objective: &F,
+        initial: Vector,
+        lower: &[f64],
+        upper: &[f64],
+    ) -> MathResult<NelderMeadOutcome>
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        let n = initial.len();
+        if n == 0 {
+            return Err(MathError::InvalidArgument { context: "empty parameter vector".into() });
+        }
+        if lower.len() != n || upper.len() != n {
+            return Err(MathError::InvalidArgument {
+                context: format!("bounds of length {}/{} for {n} parameters", lower.len(), upper.len()),
+            });
+        }
+        if lower.iter().zip(upper).any(|(lo, hi)| lo > hi) {
+            return Err(MathError::InvalidArgument {
+                context: "lower bound exceeds upper bound".to_string(),
+            });
+        }
+
+        let clamp = |v: &mut Vector| v.clamp_into(lower, upper);
+        let mut start = initial;
+        clamp(&mut start);
+
+        // Build the initial simplex.
+        let mut simplex: Vec<Vector> = Vec::with_capacity(n + 1);
+        simplex.push(start.clone());
+        for j in 0..n {
+            let mut v = start.clone();
+            let span = (upper[j] - lower[j]).abs();
+            let step = if span.is_finite() && span > 0.0 {
+                (self.initial_step * span).max(1e-6)
+            } else {
+                self.initial_step * v[j].abs().max(1.0)
+            };
+            v[j] += step;
+            clamp(&mut v);
+            if v.max_abs_diff(&start).unwrap_or(0.0) < 1e-12 {
+                v[j] -= 2.0 * step;
+                clamp(&mut v);
+            }
+            simplex.push(v);
+        }
+        let mut values: Vec<f64> = simplex.iter().map(|v| objective(v.as_slice())).collect();
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < self.max_iterations {
+            iterations += 1;
+            // Order the simplex by objective value.
+            let mut order: Vec<usize> = (0..simplex.len()).collect();
+            order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+
+            let spread = (values[worst] - values[best]).abs();
+            if spread < self.tolerance {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all points except the worst.
+            let mut centroid = Vector::zeros(n);
+            for &idx in order.iter().take(n) {
+                centroid.axpy(1.0 / n as f64, &simplex[idx]);
+            }
+
+            let reflect = |alpha: f64| -> Vector {
+                let mut p = centroid.clone();
+                let diff = centroid.clone() - simplex[worst].clone();
+                p.axpy(alpha, &diff);
+                let mut p = p;
+                p.clamp_into(lower, upper);
+                p
+            };
+
+            let reflected = reflect(1.0);
+            let f_reflected = objective(reflected.as_slice());
+            if f_reflected < values[best] {
+                // Try expansion.
+                let expanded = reflect(2.0);
+                let f_expanded = objective(expanded.as_slice());
+                if f_expanded < f_reflected {
+                    simplex[worst] = expanded;
+                    values[worst] = f_expanded;
+                } else {
+                    simplex[worst] = reflected;
+                    values[worst] = f_reflected;
+                }
+            } else if f_reflected < values[second_worst] {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            } else {
+                // Contraction.
+                let contracted = reflect(-0.5);
+                let f_contracted = objective(contracted.as_slice());
+                if f_contracted < values[worst] {
+                    simplex[worst] = contracted;
+                    values[worst] = f_contracted;
+                } else {
+                    // Shrink towards the best vertex.
+                    let best_point = simplex[best].clone();
+                    for idx in 0..simplex.len() {
+                        if idx == best {
+                            continue;
+                        }
+                        let mut v = best_point.clone();
+                        let diff = simplex[idx].clone() - best_point.clone();
+                        v.axpy(0.5, &diff);
+                        v.clamp_into(lower, upper);
+                        values[idx] = objective(v.as_slice());
+                        simplex[idx] = v;
+                    }
+                }
+            }
+        }
+
+        let (best_idx, _) = values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("simplex is non-empty");
+        Ok(NelderMeadOutcome {
+            solution: simplex[best_idx].clone(),
+            value: values[best_idx],
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let objective = |p: &[f64]| (p[0] - 3.0).powi(2) + (p[1] - 0.5).powi(2);
+        let out = NelderMead::new()
+            .minimize(&objective, Vector::from(vec![0.0, 0.0]), &[-10.0, -10.0], &[10.0, 10.0])
+            .unwrap();
+        assert!(out.converged);
+        assert!((out.solution[0] - 3.0).abs() < 1e-4);
+        assert!((out.solution[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_box_constraints() {
+        let objective = |p: &[f64]| (p[0] - 5.0).powi(2);
+        let out = NelderMead::new()
+            .minimize(&objective, Vector::from(vec![0.5]), &[0.0], &[1.0])
+            .unwrap();
+        assert!(out.solution[0] <= 1.0 + 1e-12);
+        assert!((out.solution[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn minimizes_evolution_time_penalty_case() {
+        // Paper §5.1 Case 3: cos(phi) * T = 1, minimize T. Optimal: phi = 0, T = 1.
+        let objective = |p: &[f64]| {
+            let (phi, t) = (p[0], p[1]);
+            let constraint = (phi.cos() * t - 1.0).powi(2);
+            1e4 * constraint + t
+        };
+        let out = NelderMead::new()
+            .with_max_iterations(5000)
+            .minimize(
+                &objective,
+                Vector::from(vec![0.5, 2.0]),
+                &[-std::f64::consts::PI, 0.0],
+                &[std::f64::consts::PI, 10.0],
+            )
+            .unwrap();
+        assert!((out.solution[1] - 1.0).abs() < 0.05, "T was {}", out.solution[1]);
+        assert!(out.solution[0].abs() < 0.3, "phi was {}", out.solution[0]);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let objective = |p: &[f64]| p[0];
+        let nm = NelderMead::new();
+        assert!(nm.minimize(&objective, Vector::zeros(0), &[], &[]).is_err());
+        assert!(nm
+            .minimize(&objective, Vector::from(vec![0.0]), &[1.0], &[0.0])
+            .is_err());
+        assert!(nm
+            .minimize(&objective, Vector::from(vec![0.0]), &[0.0, 1.0], &[1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn builder_setters() {
+        let out = NelderMead::new()
+            .with_max_iterations(5)
+            .with_tolerance(1e-3)
+            .with_initial_step(0.1)
+            .minimize(&|p: &[f64]| p[0] * p[0], Vector::from(vec![4.0]), &[-10.0], &[10.0])
+            .unwrap();
+        assert!(out.iterations <= 5);
+    }
+}

@@ -1,0 +1,245 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::{MathError, MathResult};
+
+/// A Householder QR factorization of an `m × n` matrix with `m ≥ n`.
+///
+/// Used to solve (possibly overdetermined) least-squares problems
+/// `min ||A·x − b||₂`, which is how both QTurbo and the baseline obtain
+/// equation-system solutions when an exact solution does not exist.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_math::{Matrix, Vector};
+/// use qturbo_math::qr::QrDecomposition;
+///
+/// // Overdetermined: fit y = 2x + 1 through three points exactly on the line.
+/// let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]]);
+/// let b = Vector::from(vec![1.0, 3.0, 5.0]);
+/// let x = QrDecomposition::new(&a).unwrap().solve_least_squares(&b).unwrap();
+/// assert!((x[0] - 2.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Householder vectors stored below the diagonal, R on and above it.
+    factors: Matrix,
+    /// Scalar `tau` coefficients of the Householder reflectors.
+    taus: Vec<f64>,
+}
+
+impl QrDecomposition {
+    /// Factorizes `a` (requires `rows ≥ cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `rows < cols`.
+    pub fn new(a: &Matrix) -> MathResult<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(MathError::DimensionMismatch {
+                context: format!("QR requires rows >= cols, got {m}x{n}"),
+            });
+        }
+        let mut factors = a.clone();
+        let mut taus = vec![0.0; n];
+
+        for k in 0..n {
+            // Compute the Householder reflector for column k below row k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += factors[(i, k)] * factors[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                taus[k] = 0.0;
+                continue;
+            }
+            let alpha = if factors[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut v0 = factors[(k, k)] - alpha;
+            // Normalize the reflector so that v[k] == 1 (LAPACK convention).
+            let mut vnorm2 = v0 * v0;
+            for i in (k + 1)..m {
+                vnorm2 += factors[(i, k)] * factors[(i, k)];
+            }
+            if vnorm2 == 0.0 {
+                taus[k] = 0.0;
+                continue;
+            }
+            let tau = 2.0 * v0 * v0 / vnorm2;
+            for i in (k + 1)..m {
+                factors[(i, k)] /= v0;
+            }
+            v0 = 1.0;
+            taus[k] = tau;
+            factors[(k, k)] = alpha;
+            let _ = v0;
+
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = factors[(k, j)];
+                for i in (k + 1)..m {
+                    dot += factors[(i, k)] * factors[(i, j)];
+                }
+                let scale = tau * dot;
+                factors[(k, j)] -= scale;
+                for i in (k + 1)..m {
+                    let delta = scale * factors[(i, k)];
+                    factors[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(QrDecomposition { factors, taus })
+    }
+
+    fn apply_qt(&self, b: &Vector) -> Vector {
+        let (m, n) = (self.factors.rows(), self.factors.cols());
+        let mut y = b.clone();
+        for k in 0..n {
+            let tau = self.taus[k];
+            if tau == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.factors[(i, k)] * y[i];
+            }
+            let scale = tau * dot;
+            y[k] -= scale;
+            for i in (k + 1)..m {
+                let delta = scale * self.factors[(i, k)];
+                y[i] -= delta;
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ||A·x − b||₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::DimensionMismatch`] when `b.len() != A.rows()`.
+    /// * [`MathError::SingularMatrix`] when `R` is rank deficient; callers
+    ///   that need a minimum-norm answer for rank-deficient systems should use
+    ///   [`crate::linear::min_norm_solve`] instead.
+    pub fn solve_least_squares(&self, b: &Vector) -> MathResult<Vector> {
+        let (m, n) = (self.factors.rows(), self.factors.cols());
+        if b.len() != m {
+            return Err(MathError::DimensionMismatch {
+                context: format!("rhs of length {} for {}-row QR", b.len(), m),
+            });
+        }
+        let y = self.apply_qt(b);
+        // Relative rank threshold so small-normed but well-conditioned
+        // matrices are not flagged as singular.
+        let scale = self.factors.norm_max();
+        if scale == 0.0 {
+            return Err(MathError::SingularMatrix);
+        }
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.factors[(i, j)] * x[j];
+            }
+            let diag = self.factors[(i, i)];
+            if diag.abs() <= 1e-13 * scale {
+                return Err(MathError::SingularMatrix);
+            }
+            x[i] = acc / diag;
+        }
+        Ok(x)
+    }
+
+    /// Residual L2 norm `||A·x − b||₂` computed from the factorization for
+    /// the optimal least-squares `x` (the norm of the trailing part of `Qᵀb`).
+    pub fn residual_norm(&self, b: &Vector) -> f64 {
+        let (m, n) = (self.factors.rows(), self.factors.cols());
+        if b.len() != m {
+            return f64::NAN;
+        }
+        let y = self.apply_qt(b);
+        (n..m).map(|i| y[i] * y[i]).sum::<f64>().sqrt()
+    }
+}
+
+/// One-shot least-squares solve `min ||A·x − b||₂`.
+///
+/// # Errors
+///
+/// See [`QrDecomposition::new`] and [`QrDecomposition::solve_least_squares`].
+pub fn least_squares(a: &Matrix, b: &Vector) -> MathResult<Vector> {
+    QrDecomposition::new(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_square_system_exactly() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let b = Vector::from(vec![3.0, 5.0]);
+        let x = least_squares(&a, &b).unwrap();
+        let r = a.mul_vector(&x) - b;
+        assert!(r.norm_inf() < 1e-12);
+    }
+
+    #[test]
+    fn solves_overdetermined_consistent_system() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let b = Vector::from(vec![2.0, 3.0, 5.0]);
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system: best fit of constant through 1, 2, 4 is 7/3.
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let b = Vector::from(vec![1.0, 2.0, 4.0]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        assert!((x[0] - 7.0 / 3.0).abs() < 1e-12);
+        let expected_residual =
+            ((1.0f64 - 7.0 / 3.0).powi(2) + (2.0f64 - 7.0 / 3.0).powi(2) + (4.0f64 - 7.0 / 3.0).powi(2))
+                .sqrt();
+        assert!((qr.residual_norm(&b) - expected_residual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_underdetermined_shape() {
+        let a = Matrix::zeros(2, 3);
+        assert!(QrDecomposition::new(&a).is_err());
+    }
+
+    #[test]
+    fn reports_rank_deficiency() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert_eq!(
+            qr.solve_least_squares(&Vector::from(vec![1.0, 2.0, 3.0])).unwrap_err(),
+            MathError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn rejects_bad_rhs_length() {
+        let a = Matrix::identity(2);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.solve_least_squares(&Vector::zeros(3)).is_err());
+        assert!(qr.residual_norm(&Vector::zeros(3)).is_nan());
+    }
+
+    #[test]
+    fn handles_zero_column() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        // First column is all zeros: rank deficient.
+        assert!(qr.solve_least_squares(&Vector::from(vec![1.0, 2.0, 3.0])).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Scalar root finding and bracketing minimization.
+
+use crate::{MathError, MathResult};
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// `f(a)` and `f(b)` must have opposite signs.
+///
+/// # Errors
+///
+/// * [`MathError::InvalidArgument`] if `a >= b` or the signs do not bracket a root.
+/// * [`MathError::NoConvergence`] if the tolerance is not reached within
+///   `max_iterations`.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_math::roots::bisect;
+/// let root = bisect(&|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// ```
+pub fn bisect<F>(f: &F, a: f64, b: f64, tolerance: f64, max_iterations: usize) -> MathResult<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    if a >= b {
+        return Err(MathError::InvalidArgument {
+            context: format!("bisection interval [{a}, {b}] is empty"),
+        });
+    }
+    let mut lo = a;
+    let mut hi = b;
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo * fhi > 0.0 {
+        return Err(MathError::InvalidArgument {
+            context: format!("f({a}) and f({b}) have the same sign"),
+        });
+    }
+    for _ in 0..max_iterations {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < tolerance {
+            return Ok(mid);
+        }
+        if flo * fmid < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    Err(MathError::NoConvergence { routine: "bisect", iterations: max_iterations })
+}
+
+/// Newton's method with a bisection fallback interval.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`]; Newton steps that leave the bracket are
+/// replaced by bisection steps so the routine is globally convergent on a
+/// bracketing interval.
+pub fn newton_bracketed<F, G>(
+    f: &F,
+    df: &G,
+    a: f64,
+    b: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> MathResult<f64>
+where
+    F: Fn(f64) -> f64,
+    G: Fn(f64) -> f64,
+{
+    if a >= b {
+        return Err(MathError::InvalidArgument {
+            context: format!("interval [{a}, {b}] is empty"),
+        });
+    }
+    let mut lo = a;
+    let mut hi = b;
+    let flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo * fhi > 0.0 {
+        return Err(MathError::InvalidArgument {
+            context: format!("f({a}) and f({b}) have the same sign"),
+        });
+    }
+    let mut x = 0.5 * (lo + hi);
+    for _ in 0..max_iterations {
+        let fx = f(x);
+        if fx.abs() < tolerance {
+            return Ok(x);
+        }
+        if f(lo) * fx < 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        let dfx = df(x);
+        let newton = if dfx.abs() > 1e-300 { x - fx / dfx } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if (hi - lo) < tolerance {
+            return Ok(x);
+        }
+    }
+    Err(MathError::NoConvergence { routine: "newton_bracketed", iterations: max_iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt_two() {
+        let root = bisect(&|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(&|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+        assert_eq!(bisect(&|x| x - 1.0, 0.0, 1.0, 1e-12, 10).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(bisect(&|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100).is_err());
+        assert!(bisect(&|x| x, 1.0, 0.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn newton_converges_fast() {
+        let root = newton_bracketed(&|x| x.powi(6) - 10.0, &|x| 6.0 * x.powi(5), 1.0, 3.0, 1e-13, 100)
+            .unwrap();
+        assert!((root - 10.0_f64.powf(1.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_rejects_bad_bracket() {
+        assert!(newton_bracketed(&|x| x * x + 1.0, &|x| 2.0 * x, -1.0, 1.0, 1e-12, 100).is_err());
+        assert!(newton_bracketed(&|x| x, &|_| 1.0, 1.0, 0.0, 1e-12, 100).is_err());
+    }
+
+    #[test]
+    fn newton_solves_van_der_waals_distance() {
+        // C6/(4 r^6) * T = target  =>  r = (C6 T / (4 target))^(1/6).
+        let c6 = 862690.0;
+        let t = 0.8;
+        let target = 1.0;
+        let f = |r: f64| c6 / (4.0 * r.powi(6)) * t - target;
+        let df = |r: f64| -6.0 * c6 / (4.0 * r.powi(7)) * t;
+        let root = newton_bracketed(&f, &df, 1.0, 30.0, 1e-12, 200).unwrap();
+        let expected = (c6 * t / (4.0 * target)).powf(1.0 / 6.0);
+        assert!((root - expected).abs() < 1e-6);
+        assert!((expected - 7.46).abs() < 0.01);
+    }
+}

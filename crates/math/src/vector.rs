@@ -1,0 +1,345 @@
+//! Dense real vector type used throughout the compiler.
+
+use crate::{MathError, MathResult};
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense vector of `f64` values.
+///
+/// This is a thin, well-behaved wrapper around `Vec<f64>` providing the norm
+/// and arithmetic helpers that the equation-system code needs.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_math::Vector;
+/// let v = Vector::from(vec![3.0, -4.0]);
+/// assert_eq!(v.norm_l2(), 5.0);
+/// assert_eq!(v.norm_l1(), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Vector { data: vec![0.0; len] }
+    }
+
+    /// Creates a vector filled with `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        Vector { data: vec![value; len] }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterator over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm_l2(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (maximum absolute value). Zero for an empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when the lengths differ.
+    pub fn dot(&self, other: &Vector) -> MathResult<f64> {
+        if self.len() != other.len() {
+            return Err(MathError::DimensionMismatch {
+                context: format!("dot of length {} with length {}", self.len(), other.len()),
+            });
+        }
+        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum())
+    }
+
+    /// Returns a new vector scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Vector {
+        Vector { data: self.data.iter().map(|x| x * factor).collect() }
+    }
+
+    /// In-place `self += factor * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ; this is an internal building block used
+    /// with vectors of known matching dimension.
+    pub fn axpy(&mut self, factor: f64, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "axpy length mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += factor * b;
+        }
+    }
+
+    /// Componentwise maximum absolute difference with another vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when the lengths differ.
+    pub fn max_abs_diff(&self, other: &Vector) -> MathResult<f64> {
+        if self.len() != other.len() {
+            return Err(MathError::DimensionMismatch {
+                context: format!(
+                    "max_abs_diff of length {} with length {}",
+                    self.len(),
+                    other.len()
+                ),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |acc, (a, b)| acc.max((a - b).abs())))
+    }
+
+    /// Clamps every component into `[lower[i], upper[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound slices do not match the vector length.
+    pub fn clamp_into(&mut self, lower: &[f64], upper: &[f64]) {
+        assert_eq!(self.len(), lower.len(), "lower bound length mismatch");
+        assert_eq!(self.len(), upper.len(), "upper bound length mismatch");
+        for ((x, lo), hi) in self.data.iter_mut().zip(lower).zip(upper) {
+            *x = x.clamp(*lo, *hi);
+        }
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(data: &[f64]) -> Self {
+        Vector { data: data.to_vec() }
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector { data: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<f64> for Vector {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.data.extend(iter);
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, index: usize) -> &f64 {
+        &self.data[index]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, index: usize) -> &mut f64 {
+        &mut self.data[index]
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    fn add(self, rhs: Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector add length mismatch");
+        Vector { data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect() }
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    fn sub(self, rhs: Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector sub length mismatch");
+        Vector { data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect() }
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector add length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector sub length mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl std::fmt::Display for Vector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl IntoIterator for Vector {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        let v = Vector::zeros(4);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.norm_l1(), 0.0);
+        let w = Vector::filled(3, 2.0);
+        assert_eq!(w.norm_l1(), 6.0);
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from(vec![3.0, -4.0, 0.0]);
+        assert!((v.norm_l2() - 5.0).abs() < 1e-15);
+        assert!((v.norm_l1() - 7.0).abs() < 1e-15);
+        assert!((v.norm_inf() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dot_product_and_mismatch() {
+        let a = Vector::from(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from(vec![4.0, -5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 12.0);
+        assert!(a.dot(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![3.0, 5.0]);
+        let sum = a.clone() + b.clone();
+        assert_eq!(sum.as_slice(), &[4.0, 7.0]);
+        let diff = b.clone() - a.clone();
+        assert_eq!(diff.as_slice(), &[2.0, 3.0]);
+        let scaled = a.clone() * 2.0;
+        assert_eq!(scaled.as_slice(), &[2.0, 4.0]);
+        let neg = -a.clone();
+        assert_eq!(neg.as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_and_clamp() {
+        let mut a = Vector::from(vec![1.0, 1.0]);
+        let b = Vector::from(vec![2.0, -3.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[2.0, -0.5]);
+        a.clamp_into(&[0.0, 0.0], &[1.5, 1.5]);
+        assert_eq!(a.as_slice(), &[1.5, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Vector::from(vec![1.0, 2.0]);
+        let b = Vector::from(vec![1.5, 1.0]);
+        assert!((a.max_abs_diff(&b).unwrap() - 1.0).abs() < 1e-15);
+        assert!(a.max_abs_diff(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn display_and_iter() {
+        let v = Vector::from(vec![1.0, 2.0]);
+        let s = v.to_string();
+        assert!(s.starts_with('[') && s.ends_with(']'));
+        let collected: Vector = v.iter().map(|x| x * 2.0).collect();
+        assert_eq!(collected.as_slice(), &[2.0, 4.0]);
+        let mut ext = Vector::zeros(0);
+        ext.extend(vec![1.0, 2.0]);
+        assert_eq!(ext.len(), 2);
+        let total: f64 = (&v).into_iter().sum();
+        assert_eq!(total, 3.0);
+        let owned: Vec<f64> = v.into_iter().collect();
+        assert_eq!(owned, vec![1.0, 2.0]);
+    }
+}

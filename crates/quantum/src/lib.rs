@@ -1,0 +1,34 @@
+//! Quantum-dynamics substrate for the QTurbo reproduction.
+//!
+//! The paper evaluates compiled pulses with QuTiP/Bloqade (noiseless theory)
+//! and on QuEra's Aquila machine (noisy hardware). This crate provides both
+//! roles:
+//!
+//! * [`StateVector`] and the matrix-free propagator in [`propagate`] — exact
+//!   Schrödinger evolution under Pauli-sum Hamiltonians,
+//! * [`observable`] — the `Z_avg` / `ZZ_avg` metrics of the paper's §7.4,
+//! * [`device`] — an [`EmulatedDevice`] that runs compiled pulse segments with
+//!   a time-proportional noise model and finite measurement shots,
+//!   substituting for the real Aquila hardware (see DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use qturbo_quantum::{StateVector, propagate::evolve, observable::z_average};
+//! use qturbo_hamiltonian::models::ising_chain;
+//!
+//! let h = ising_chain(3, 1.0, 1.0);
+//! let state = evolve(&StateVector::zero_state(3), &h, 0.5);
+//! assert!(z_average(&state) < 1.0); // the transverse field rotated the spins
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod device;
+pub mod observable;
+pub mod propagate;
+pub mod state;
+
+pub use device::{ideal_run, DeviceRun, EmulatedDevice, NoiseModel};
+pub use state::StateVector;

@@ -1,0 +1,90 @@
+//! Observables used in the paper's real-device studies: `Z_avg` and `ZZ_avg`.
+
+use crate::state::StateVector;
+use qturbo_hamiltonian::{Pauli, PauliString};
+
+/// Per-qubit `⟨Z_i⟩` expectation values of a state.
+pub fn z_expectations(state: &StateVector) -> Vec<f64> {
+    (0..state.num_qubits())
+        .map(|i| state.expectation(&PauliString::single(i, Pauli::Z)))
+        .collect()
+}
+
+/// Nearest-neighbour `⟨Z_i Z_{i+1}⟩` expectation values. With `cyclic` set the
+/// wrap-around pair `(N−1, 0)` is included, matching the paper's Ising-cycle
+/// study.
+pub fn zz_expectations(state: &StateVector, cyclic: bool) -> Vec<f64> {
+    let n = state.num_qubits();
+    let pairs: Vec<(usize, usize)> = if cyclic {
+        (0..n).map(|i| (i, (i + 1) % n)).collect()
+    } else {
+        (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect()
+    };
+    pairs
+        .into_iter()
+        .map(|(i, j)| state.expectation(&PauliString::two(i, Pauli::Z, j, Pauli::Z)))
+        .collect()
+}
+
+/// `Z_avg = (1/N) Σ_i ⟨Z_i⟩` (paper §7.4).
+pub fn z_average(state: &StateVector) -> f64 {
+    average(&z_expectations(state))
+}
+
+/// `ZZ_avg = (1/N) Σ_i ⟨Z_i Z_{i+1}⟩` over adjacent pairs (paper §7.4).
+pub fn zz_average(state: &StateVector, cyclic: bool) -> f64 {
+    average(&zz_expectations(state, cyclic))
+}
+
+fn average(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qturbo_math::Complex;
+
+    #[test]
+    fn zero_state_averages() {
+        let state = StateVector::zero_state(4);
+        assert_eq!(z_average(&state), 1.0);
+        assert_eq!(zz_average(&state, false), 1.0);
+        assert_eq!(zz_average(&state, true), 1.0);
+        assert_eq!(z_expectations(&state).len(), 4);
+        assert_eq!(zz_expectations(&state, false).len(), 3);
+        assert_eq!(zz_expectations(&state, true).len(), 4);
+    }
+
+    #[test]
+    fn plus_state_averages_vanish() {
+        let state = StateVector::plus_state(3);
+        assert!(z_average(&state).abs() < 1e-12);
+        assert!(zz_average(&state, true).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antiferromagnetic_basis_state() {
+        // |0101⟩ (qubit i set for odd i): ⟨Z_i⟩ alternates +1/−1, ⟨Z_i Z_{i+1}⟩ = −1.
+        let mut amplitudes = vec![Complex::ZERO; 16];
+        amplitudes[0b1010] = Complex::ONE;
+        let state = StateVector::from_amplitudes(amplitudes);
+        let z = z_expectations(&state);
+        assert_eq!(z, vec![1.0, -1.0, 1.0, -1.0]);
+        assert_eq!(z_average(&state), 0.0);
+        assert_eq!(zz_average(&state, false), -1.0);
+        // Cyclic closes (3, 0) which is also antialigned for even N.
+        assert_eq!(zz_average(&state, true), -1.0);
+    }
+
+    #[test]
+    fn single_qubit_edge_cases() {
+        let state = StateVector::zero_state(1);
+        assert_eq!(zz_expectations(&state, false).len(), 0);
+        assert_eq!(zz_average(&state, false), 0.0);
+    }
+}

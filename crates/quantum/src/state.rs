@@ -1,0 +1,280 @@
+//! Dense state vectors and Pauli-string actions.
+
+use qturbo_math::Complex;
+use qturbo_hamiltonian::{Pauli, PauliString};
+
+/// A pure quantum state of `num_qubits` qubits stored as a dense amplitude
+/// vector in the computational (Z) basis.
+///
+/// Qubit `q` corresponds to bit `q` of the basis-state index (little-endian),
+/// and `|0⟩` is the `+1` eigenstate of `Z` — the convention used for the
+/// Rydberg ground state in the paper's device experiments.
+///
+/// # Example
+///
+/// ```
+/// use qturbo_quantum::StateVector;
+/// use qturbo_hamiltonian::{Pauli, PauliString};
+///
+/// let state = StateVector::zero_state(2);
+/// assert_eq!(state.expectation(&PauliString::single(0, Pauli::Z)), 1.0);
+/// assert_eq!(state.expectation(&PauliString::single(0, Pauli::X)), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 26 (the dense representation would not
+    /// fit in memory).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "dense state vectors are limited to 26 qubits");
+        let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
+        amplitudes[0] = Complex::ONE;
+        StateVector { num_qubits, amplitudes }
+    }
+
+    /// The uniform superposition `|+…+⟩`.
+    pub fn plus_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "dense state vectors are limited to 26 qubits");
+        let dim = 1usize << num_qubits;
+        let amp = Complex::from_real(1.0 / (dim as f64).sqrt());
+        StateVector { num_qubits, amplitudes: vec![amp; dim] }
+    }
+
+    /// Builds a state from raw amplitudes (normalizing them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm is zero.
+    pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
+        let dim = amplitudes.len();
+        assert!(dim.is_power_of_two() && dim > 0, "amplitude count must be a power of two");
+        let num_qubits = dim.trailing_zeros() as usize;
+        let mut state = StateVector { num_qubits, amplitudes };
+        let norm = state.norm();
+        assert!(norm > 0.0, "cannot normalize the zero vector");
+        state.scale(1.0 / norm);
+        state
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dimension of the underlying vector (`2^num_qubits`).
+    pub fn dim(&self) -> usize {
+        self.amplitudes.len()
+    }
+
+    /// Immutable view of the amplitudes.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amplitudes
+    }
+
+    /// Euclidean norm of the amplitude vector.
+    pub fn norm(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Scales every amplitude by a real factor (used internally for
+    /// normalization).
+    pub fn scale(&mut self, factor: f64) {
+        for amp in &mut self.amplitudes {
+            *amp = amp.scale(factor);
+        }
+    }
+
+    /// Renormalizes the state to unit norm.
+    pub fn normalize(&mut self) {
+        let norm = self.norm();
+        if norm > 0.0 {
+            self.scale(1.0 / norm);
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn inner_product(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.dim(), other.dim(), "state dimension mismatch");
+        let mut acc = Complex::ZERO;
+        for (a, b) in self.amplitudes.iter().zip(other.amplitudes.iter()) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Applies a Pauli string, returning `P|ψ⟩` as a new state (not
+    /// normalized — Pauli strings are unitary so the norm is preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string acts on a qubit outside the register.
+    pub fn apply_pauli_string(&self, string: &PauliString) -> StateVector {
+        if let Some(max) = string.max_qubit() {
+            assert!(max < self.num_qubits, "Pauli string acts outside the register");
+        }
+        let mut out = vec![Complex::ZERO; self.dim()];
+        let ops: Vec<(usize, Pauli)> = string.iter().collect();
+        for (basis, &amplitude) in self.amplitudes.iter().enumerate() {
+            if amplitude == Complex::ZERO {
+                continue;
+            }
+            let mut target = basis;
+            let mut phase = Complex::ONE;
+            for &(qubit, op) in &ops {
+                let bit = (basis >> qubit) & 1;
+                match op {
+                    Pauli::I => {}
+                    Pauli::X => target ^= 1 << qubit,
+                    Pauli::Y => {
+                        target ^= 1 << qubit;
+                        // Y|0> = i|1>, Y|1> = -i|0>
+                        phase *= if bit == 0 { Complex::I } else { -Complex::I };
+                    }
+                    Pauli::Z => {
+                        if bit == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            out[target] += phase * amplitude;
+        }
+        StateVector { num_qubits: self.num_qubits, amplitudes: out }
+    }
+
+    /// Expectation value `⟨ψ|P|ψ⟩` of a Pauli string (a real number).
+    pub fn expectation(&self, string: &PauliString) -> f64 {
+        let transformed = self.apply_pauli_string(string);
+        self.inner_product(&transformed).re
+    }
+
+    /// Probability of measuring the computational basis state `basis`.
+    pub fn probability(&self, basis: usize) -> f64 {
+        self.amplitudes[basis].norm_sqr()
+    }
+
+    /// Adds `factor · other` to this state (used by the propagator's Taylor
+    /// accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn accumulate(&mut self, factor: Complex, other: &StateVector) {
+        assert_eq!(self.dim(), other.dim(), "state dimension mismatch");
+        for (a, b) in self.amplitudes.iter_mut().zip(other.amplitudes.iter()) {
+            *a += factor * *b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_plus_states() {
+        let zero = StateVector::zero_state(3);
+        assert_eq!(zero.dim(), 8);
+        assert_eq!(zero.num_qubits(), 3);
+        assert!((zero.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(zero.probability(0), 1.0);
+
+        let plus = StateVector::plus_state(2);
+        assert!((plus.probability(3) - 0.25).abs() < 1e-15);
+        assert!((plus.expectation(&PauliString::single(0, Pauli::X)) - 1.0).abs() < 1e-12);
+        assert!(plus.expectation(&PauliString::single(0, Pauli::Z)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let state = StateVector::from_amplitudes(vec![Complex::from_real(3.0), Complex::from_real(4.0)]);
+        assert!((state.norm() - 1.0).abs() < 1e-15);
+        assert!((state.probability(0) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_amplitudes_rejects_bad_length() {
+        let _ = StateVector::from_amplitudes(vec![Complex::ONE; 3]);
+    }
+
+    #[test]
+    fn pauli_actions_on_basis_states() {
+        let zero = StateVector::zero_state(1);
+        // X|0> = |1>
+        let x = zero.apply_pauli_string(&PauliString::single(0, Pauli::X));
+        assert!((x.probability(1) - 1.0).abs() < 1e-15);
+        // Y|0> = i|1>
+        let y = zero.apply_pauli_string(&PauliString::single(0, Pauli::Y));
+        assert!((y.amplitudes()[1] - Complex::I).abs() < 1e-15);
+        // Z|0> = |0>
+        let z = zero.apply_pauli_string(&PauliString::single(0, Pauli::Z));
+        assert!((z.amplitudes()[0] - Complex::ONE).abs() < 1e-15);
+        // Z|1> = -|1>
+        let one = StateVector::from_amplitudes(vec![Complex::ZERO, Complex::ONE]);
+        let z1 = one.apply_pauli_string(&PauliString::single(0, Pauli::Z));
+        assert!((z1.amplitudes()[1] + Complex::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expectation_values_on_entangled_state() {
+        // Bell state (|00> + |11>)/sqrt(2): <Z0Z1> = 1, <Z0> = 0, <X0X1> = 1.
+        let bell = StateVector::from_amplitudes(vec![
+            Complex::ONE,
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::ONE,
+        ]);
+        assert!((bell.expectation(&PauliString::two(0, Pauli::Z, 1, Pauli::Z)) - 1.0).abs() < 1e-12);
+        assert!(bell.expectation(&PauliString::single(0, Pauli::Z)).abs() < 1e-12);
+        assert!((bell.expectation(&PauliString::two(0, Pauli::X, 1, Pauli::X)) - 1.0).abs() < 1e-12);
+        assert!((bell.expectation(&PauliString::two(0, Pauli::Y, 1, Pauli::Y)) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_and_inner_product() {
+        let a = StateVector::zero_state(2);
+        let b = StateVector::plus_state(2);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-15);
+        assert!((a.fidelity(&b) - 0.25).abs() < 1e-12);
+        let mut c = StateVector::zero_state(2);
+        c.accumulate(Complex::ONE, &a);
+        c.normalize();
+        assert!((c.fidelity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_strings_preserve_norm() {
+        let state = StateVector::plus_state(3);
+        let transformed = state.apply_pauli_string(&PauliString::from_ops([
+            (0, Pauli::X),
+            (1, Pauli::Y),
+            (2, Pauli::Z),
+        ]));
+        assert!((transformed.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the register")]
+    fn pauli_outside_register_panics() {
+        let state = StateVector::zero_state(1);
+        let _ = state.apply_pauli_string(&PauliString::single(3, Pauli::X));
+    }
+}

@@ -1,0 +1,107 @@
+//! Integration test: the qualitative comparison of the paper's evaluation —
+//! QTurbo compiles faster, produces pulses that are no longer than the
+//! baseline's, and is at least as accurate.
+
+use qturbo::QTurboCompiler;
+use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+use qturbo_baseline::{BaselineCompiler, BaselineOptions};
+use qturbo_hamiltonian::models::{ising_chain, kitaev};
+
+#[test]
+fn qturbo_beats_baseline_on_the_heisenberg_device() {
+    let n = 8;
+    let target = ising_chain(n, 1.0, 1.0);
+    let aais = heisenberg_aais(n, &HeisenbergOptions::default());
+
+    let qturbo = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+    let baseline = BaselineCompiler::with_options(BaselineOptions {
+        failure_threshold: 0.6,
+        ..BaselineOptions::default()
+    })
+    .compile(&target, 1.0, &aais)
+    .unwrap();
+
+    // Compilation speed: the decomposed solve must be faster than the
+    // monolithic one (the paper reports orders of magnitude at larger sizes).
+    assert!(
+        qturbo.stats.compile_time < baseline.stats.compile_time,
+        "QTurbo {:?} vs baseline {:?}",
+        qturbo.stats.compile_time,
+        baseline.stats.compile_time
+    );
+    // Pulse length: QTurbo picks the bottleneck-optimal time.
+    assert!(qturbo.execution_time <= baseline.execution_time + 1e-9);
+    // Accuracy: QTurbo is at least as accurate.
+    assert!(qturbo.relative_error() <= baseline.relative_error() + 1e-9);
+}
+
+#[test]
+fn qturbo_beats_baseline_on_the_rydberg_device() {
+    let n = 6;
+    let target = ising_chain(n, 1.0, 1.0);
+    let aais = rydberg_aais(n, &RydbergOptions::default());
+
+    let qturbo = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+    let baseline = match BaselineCompiler::with_options(BaselineOptions {
+        failure_threshold: 0.6,
+        ..BaselineOptions::default()
+    })
+    .compile(&target, 1.0, &aais)
+    {
+        Ok(result) => result,
+        // An occasional baseline failure is itself one of the paper's
+        // observations; the comparison then holds trivially.
+        Err(_) => return,
+    };
+
+    assert!(qturbo.stats.compile_time < baseline.stats.compile_time);
+    assert!(qturbo.execution_time <= baseline.execution_time * 1.05);
+    assert!(qturbo.relative_error() <= baseline.relative_error() + 0.01);
+}
+
+#[test]
+fn baseline_compile_time_grows_faster_with_system_size() {
+    // Table 1's message in miniature: grow the Ising system and compare how
+    // the two compilers' compile times scale.
+    let sizes = [4usize, 10];
+    let mut qturbo_times = Vec::new();
+    let mut baseline_times = Vec::new();
+    for &n in &sizes {
+        let target = ising_chain(n, 1.0, 1.0);
+        let aais = heisenberg_aais(n, &HeisenbergOptions::default());
+        let qturbo = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        qturbo_times.push(qturbo.stats.compile_time.as_secs_f64());
+        let baseline = BaselineCompiler::with_options(BaselineOptions {
+            failure_threshold: 1.0,
+            ..BaselineOptions::default()
+        })
+        .compile(&target, 1.0, &aais)
+        .unwrap();
+        baseline_times.push(baseline.stats.compile_time.as_secs_f64());
+    }
+    let qturbo_growth = qturbo_times[1] / qturbo_times[0].max(1e-9);
+    let baseline_growth = baseline_times[1] / baseline_times[0].max(1e-9);
+    assert!(
+        baseline_growth > qturbo_growth,
+        "baseline growth {baseline_growth:.1}x vs QTurbo growth {qturbo_growth:.1}x"
+    );
+}
+
+#[test]
+fn kitaev_execution_times_can_tie_but_qturbo_compiles_faster() {
+    // The paper notes that for the Kitaev model the baseline often finds the
+    // same (optimal) execution time — yet remains much slower to compile.
+    let n = 6;
+    let target = kitaev(n, 1.0, 1.0, 1.0);
+    let aais = heisenberg_aais(n, &HeisenbergOptions::default());
+    let qturbo = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+    let baseline = BaselineCompiler::with_options(BaselineOptions {
+        failure_threshold: 0.6,
+        ..BaselineOptions::default()
+    })
+    .compile(&target, 1.0, &aais)
+    .unwrap();
+    assert!(qturbo.stats.compile_time < baseline.stats.compile_time);
+    assert!(qturbo.execution_time <= baseline.execution_time + 1e-9);
+}

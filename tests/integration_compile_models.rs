@@ -1,0 +1,150 @@
+//! Integration test: every time-independent benchmark model of Table 2
+//! compiles on both AAIS backends with small relative error and a
+//! device-feasible pulse.
+
+use qturbo::QTurboCompiler;
+use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+use qturbo_aais::rydberg::{rydberg_aais, Layout, RydbergOptions};
+use qturbo_hamiltonian::models::{Model, ModelParams};
+
+/// Rydberg options suited to a given model: cyclic models get a ring layout
+/// so the closing bond is geometrically realizable.
+fn rydberg_options_for(model: Model) -> RydbergOptions {
+    match model {
+        Model::IsingCycle | Model::IsingCyclePlus => RydbergOptions {
+            layout: Layout::Ring { spacing: 8.0 },
+            ..RydbergOptions::default()
+        },
+        _ => RydbergOptions::default(),
+    }
+}
+
+fn heisenberg_options_for(model: Model, n: usize) -> HeisenbergOptions {
+    use qturbo_aais::heisenberg::Connectivity;
+    match model {
+        Model::IsingCycle => HeisenbergOptions::with_cycle_connectivity(),
+        // The "+" model additionally needs next-nearest couplings.
+        Model::IsingCyclePlus => {
+            let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+            edges.extend((0..n).map(|i| (i, (i + 2) % n)));
+            HeisenbergOptions {
+                connectivity: Connectivity::Custom(edges),
+                ..HeisenbergOptions::default()
+            }
+        }
+        _ => HeisenbergOptions::default(),
+    }
+}
+
+#[test]
+fn all_models_compile_on_the_rydberg_aais() {
+    let params = ModelParams::default();
+    let compiler = QTurboCompiler::new();
+    for model in Model::TIME_INDEPENDENT {
+        for &n in &[5usize, 9] {
+            let n = n.max(model.min_qubits());
+            let target = model.build(n, &params).expect("time-independent model");
+            let aais = rydberg_aais(n, &rydberg_options_for(model));
+            let result = compiler
+                .compile(&target, 1.0, &aais)
+                .unwrap_or_else(|e| panic!("{model} with {n} qubits failed on Rydberg: {e}"));
+            assert!(result.execution_time <= aais.max_evolution_time());
+            assert!(result.execution_time > 0.0);
+            assert!(result.schedule.validate(&aais).is_ok());
+            // The Rydberg AAIS cannot produce XX/YY couplings; the Heisenberg
+            // chain therefore keeps a documented irreducible error there, and
+            // the Kitaev/PXP/Ising families compile almost exactly.
+            let threshold = match model {
+                Model::HeisenbergChain => 0.65,
+                _ => 0.06,
+            };
+            assert!(
+                result.relative_error() < threshold,
+                "{model} ({n} qubits) on Rydberg: relative error {}",
+                result.relative_error()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_models_compile_on_the_heisenberg_aais() {
+    let params = ModelParams::default();
+    let compiler = QTurboCompiler::new();
+    for model in Model::TIME_INDEPENDENT {
+        for &n in &[5usize, 10] {
+            let n = n.max(model.min_qubits());
+            let target = model.build(n, &params).expect("time-independent model");
+            let aais = heisenberg_aais(n, &heisenberg_options_for(model, n));
+            let result = compiler
+                .compile(&target, 1.0, &aais)
+                .unwrap_or_else(|e| panic!("{model} with {n} qubits failed on Heisenberg: {e}"));
+            assert!(
+                result.relative_error() < 1e-6,
+                "{model} ({n} qubits) on Heisenberg: relative error {}",
+                result.relative_error()
+            );
+            assert!(result.execution_time <= aais.max_evolution_time());
+            assert!(result.schedule.validate(&aais).is_ok());
+        }
+    }
+}
+
+#[test]
+fn compilation_scales_to_larger_systems_quickly() {
+    // QTurbo's headline property: compiling a ~50-qubit model stays fast.
+    let target = Model::IsingChain.build(48, &ModelParams::default()).unwrap();
+    let aais = rydberg_aais(48, &RydbergOptions::default());
+    let start = std::time::Instant::now();
+    let result = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+    let elapsed = start.elapsed();
+    assert!(result.relative_error() < 0.06, "relative error {}", result.relative_error());
+    assert!(
+        elapsed.as_secs_f64() < 30.0,
+        "48-qubit compilation took {elapsed:?}, expected well under 30 s"
+    );
+}
+
+#[test]
+fn execution_time_is_set_by_the_bottleneck_instruction() {
+    // Ising chain with a strong transverse field: the Rabi drive is the
+    // bottleneck, so doubling h doubles the machine time while doubling J
+    // (realized by the position-controlled Van der Waals term) does not.
+    let aais = rydberg_aais(4, &RydbergOptions::default());
+    let compiler = QTurboCompiler::new();
+    let base = compiler
+        .compile(&Model::IsingChain.build(4, &ModelParams::default()).unwrap(), 1.0, &aais)
+        .unwrap();
+    let strong_field = compiler
+        .compile(
+            &Model::IsingChain
+                .build(4, &ModelParams { h: 2.0, ..ModelParams::default() })
+                .unwrap(),
+            1.0,
+            &aais,
+        )
+        .unwrap();
+    assert!((strong_field.execution_time - 2.0 * base.execution_time).abs() < 0.05);
+
+    let strong_coupling = compiler
+        .compile(
+            &Model::IsingChain
+                .build(4, &ModelParams { j: 2.0, ..ModelParams::default() })
+                .unwrap(),
+            1.0,
+            &aais,
+        )
+        .unwrap();
+    assert!((strong_coupling.execution_time - base.execution_time).abs() < 0.05);
+}
+
+#[test]
+fn longer_target_times_scale_the_pulse_proportionally() {
+    let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+    let target = Model::Kitaev.build(4, &ModelParams::default()).unwrap();
+    let compiler = QTurboCompiler::new();
+    let one = compiler.compile(&target, 1.0, &aais).unwrap();
+    let three = compiler.compile(&target, 3.0, &aais).unwrap();
+    assert!((three.execution_time - 3.0 * one.execution_time).abs() < 1e-6);
+    assert!(three.relative_error() < 1e-6);
+}
