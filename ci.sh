@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI for the QTurbo reproduction workspace.
+#
+#   ./ci.sh          # lint + tier-1 build/test + propagation benchmark
+#   ./ci.sh --quick  # skip the benchmark (lint + tier-1 only)
+#
+# The propagation benchmark writes BENCH_propagation.json in the repo root so
+# the simulator hot path's perf trajectory is tracked across PRs.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> propagation benchmark (naive vs mask-compiled)"
+    cargo run --release -p qturbo-bench --bin bench_propagation
+fi
+
+echo "==> CI OK"

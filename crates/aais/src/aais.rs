@@ -109,10 +109,16 @@ impl Aais {
         min_site_spacing: Option<f64>,
         site_positions: Vec<Vec<VariableId>>,
     ) -> Self {
-        assert!(max_evolution_time > 0.0, "maximum evolution time must be positive");
+        assert!(
+            max_evolution_time > 0.0,
+            "maximum evolution time must be positive"
+        );
         for coords in &site_positions {
             for id in coords {
-                assert!(id.index() < registry.len(), "site position variable out of range");
+                assert!(
+                    id.index() < registry.len(),
+                    "site position variable out of range"
+                );
             }
         }
         Aais {
@@ -173,7 +179,10 @@ impl Aais {
     pub fn site_distance(&self, site_a: usize, site_b: usize, values: &[f64]) -> f64 {
         let a = &self.site_positions[site_a];
         let b = &self.site_positions[site_b];
-        assert!(!a.is_empty() && !b.is_empty(), "sites have no position variables");
+        assert!(
+            !a.is_empty() && !b.is_empty(),
+            "sites have no position variables"
+        );
         a.iter()
             .zip(b.iter())
             .map(|(ia, ib)| {
@@ -190,7 +199,10 @@ impl Aais {
         let mut refs = Vec::new();
         for (i, instruction) in self.instructions.iter().enumerate() {
             for g in 0..instruction.generators().len() {
-                refs.push(GeneratorRef { instruction: i, generator: g });
+                refs.push(GeneratorRef {
+                    instruction: i,
+                    generator: g,
+                });
             }
         }
         refs
@@ -439,7 +451,10 @@ mod tests {
     fn error_type_is_well_behaved() {
         fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
         assert_send_sync::<AaisError>();
-        let err = AaisError::WrongValueCount { expected: 2, provided: 3 };
+        let err = AaisError::WrongValueCount {
+            expected: 2,
+            provided: 3,
+        };
         assert!(err.to_string().contains('2'));
     }
 

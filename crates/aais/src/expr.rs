@@ -61,7 +61,10 @@ impl Expr {
         Expr::Product(vec![
             Expr::Constant(constant),
             Expr::Pow(
-                Box::new(Expr::Abs(Box::new(Expr::difference(Expr::var(a), Expr::var(b))))),
+                Box::new(Expr::Abs(Box::new(Expr::difference(
+                    Expr::var(a),
+                    Expr::var(b),
+                )))),
                 -power,
             ),
         ])
@@ -122,7 +125,10 @@ impl Expr {
                     item.collect_variables(out);
                 }
             }
-            Expr::Neg(inner) | Expr::Pow(inner, _) | Expr::Abs(inner) | Expr::Cos(inner)
+            Expr::Neg(inner)
+            | Expr::Pow(inner, _)
+            | Expr::Abs(inner)
+            | Expr::Cos(inner)
             | Expr::Sin(inner) => inner.collect_variables(out),
         }
     }
@@ -150,8 +156,7 @@ impl Expr {
             ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 0.5
         };
         for _ in 0..4 {
-            let assignment: Vec<(VariableId, f64)> =
-                others.iter().map(|&v| (v, next())).collect();
+            let assignment: Vec<(VariableId, f64)> = others.iter().map(|&v| (v, next())).collect();
             let eval_at = |value: f64| {
                 self.eval(&|v: VariableId| {
                     if v == id {
@@ -228,7 +233,15 @@ mod tests {
     fn registry_with(n: usize) -> (VariableRegistry, Vec<VariableId>) {
         let mut reg = VariableRegistry::new();
         let ids = (0..n)
-            .map(|i| reg.register(format!("v{i}"), VariableKind::RuntimeDynamic, -100.0, 100.0, 0.0))
+            .map(|i| {
+                reg.register(
+                    format!("v{i}"),
+                    VariableKind::RuntimeDynamic,
+                    -100.0,
+                    100.0,
+                    0.0,
+                )
+            })
             .collect();
         (reg, ids)
     }
@@ -325,7 +338,11 @@ mod tests {
         assert!(text.contains("v0"));
         let vdw = Expr::inverse_power_distance(1.0, ids[0], ids[1], 6);
         assert!(vdw.to_string().contains("^-6"));
-        assert!(Expr::Neg(Box::new(Expr::constant(1.0))).to_string().contains('-'));
-        assert!(Expr::Sum(vec![Expr::constant(1.0), Expr::constant(2.0)]).to_string().contains('+'));
+        assert!(Expr::Neg(Box::new(Expr::constant(1.0)))
+            .to_string()
+            .contains('-'));
+        assert!(Expr::Sum(vec![Expr::constant(1.0), Expr::constant(2.0)])
+            .to_string()
+            .contains('+'));
     }
 }

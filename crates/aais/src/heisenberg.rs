@@ -31,7 +31,9 @@ impl Connectivity {
     /// The edge list for a device with `num_qubits` qubits.
     pub fn edges(&self, num_qubits: usize) -> Vec<(usize, usize)> {
         match self {
-            Connectivity::Chain => (0..num_qubits.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            Connectivity::Chain => (0..num_qubits.saturating_sub(1))
+                .map(|i| (i, i + 1))
+                .collect(),
             Connectivity::Cycle => (0..num_qubits).map(|i| (i, (i + 1) % num_qubits)).collect(),
             Connectivity::Custom(edges) => edges.clone(),
         }
@@ -66,7 +68,10 @@ impl HeisenbergOptions {
     /// Options with a cyclic connectivity, used when the target model is a
     /// ring (e.g. the Ising cycle benchmarks).
     pub fn with_cycle_connectivity() -> Self {
-        HeisenbergOptions { connectivity: Connectivity::Cycle, ..HeisenbergOptions::default() }
+        HeisenbergOptions {
+            connectivity: Connectivity::Cycle,
+            ..HeisenbergOptions::default()
+        }
     }
 }
 
@@ -86,7 +91,10 @@ impl HeisenbergOptions {
 /// assert_eq!(aais.instructions().len(), 4 * 3 + 3 * 3);
 /// ```
 pub fn heisenberg_aais(num_qubits: usize, options: &HeisenbergOptions) -> Aais {
-    assert!(num_qubits >= 2, "a Heisenberg AAIS needs at least two qubits");
+    assert!(
+        num_qubits >= 2,
+        "a Heisenberg AAIS needs at least two qubits"
+    );
     let mut registry = VariableRegistry::new();
     let mut instructions = Vec::new();
 
@@ -99,8 +107,10 @@ pub fn heisenberg_aais(num_qubits: usize, options: &HeisenbergOptions) -> Aais {
                 options.single_qubit_max,
                 0.0,
             );
-            let generator =
-                Generator::new(Expr::var(amplitude), vec![(PauliString::single(i, pauli), 1.0)]);
+            let generator = Generator::new(
+                Expr::var(amplitude),
+                vec![(PauliString::single(i, pauli), 1.0)],
+            );
             instructions.push(Instruction::new(
                 format!("single_{pauli}_{i}"),
                 InstructionKind::Dynamic,
@@ -112,7 +122,10 @@ pub fn heisenberg_aais(num_qubits: usize, options: &HeisenbergOptions) -> Aais {
     }
 
     for (i, j) in options.connectivity.edges(num_qubits) {
-        assert!(i < num_qubits && j < num_qubits && i != j, "invalid connectivity edge ({i}, {j})");
+        assert!(
+            i < num_qubits && j < num_qubits && i != j,
+            "invalid connectivity edge ({i}, {j})"
+        );
         for pauli in Pauli::NON_IDENTITY {
             let amplitude = registry.register(
                 format!("a_{pauli}{i}{pauli}{j}"),
@@ -163,7 +176,10 @@ mod tests {
     fn cycle_connectivity_adds_wraparound_edge() {
         let aais = heisenberg_aais(5, &HeisenbergOptions::with_cycle_connectivity());
         assert_eq!(aais.instructions().len(), 5 * 3 + 5 * 3);
-        assert!(aais.instructions().iter().any(|i| i.name() == "coupling_Z_4_0"));
+        assert!(aais
+            .instructions()
+            .iter()
+            .any(|i| i.name() == "coupling_Z_4_0"));
     }
 
     #[test]
@@ -181,13 +197,28 @@ mod tests {
     fn hamiltonian_evaluation_is_linear_in_amplitudes() {
         let aais = heisenberg_aais(2, &HeisenbergOptions::default());
         let mut values = aais.default_values();
-        let a_x0 = aais.registry().iter().find(|v| v.name() == "a_X0").unwrap().id().index();
-        let a_zz = aais.registry().iter().find(|v| v.name() == "a_Z0Z1").unwrap().id().index();
+        let a_x0 = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "a_X0")
+            .unwrap()
+            .id()
+            .index();
+        let a_zz = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "a_Z0Z1")
+            .unwrap()
+            .id()
+            .index();
         values[a_x0] = 1.5;
         values[a_zz] = -0.75;
         let h = aais.hamiltonian(&values).unwrap();
         assert_eq!(h.coefficient(&PauliString::single(0, Pauli::X)), 1.5);
-        assert_eq!(h.coefficient(&PauliString::two(0, Pauli::Z, 1, Pauli::Z)), -0.75);
+        assert_eq!(
+            h.coefficient(&PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+            -0.75
+        );
     }
 
     #[test]
@@ -201,15 +232,25 @@ mod tests {
         let single = aais.registry().iter().find(|v| v.name() == "a_Y1").unwrap();
         assert_eq!(single.upper(), 7.0);
         assert_eq!(single.lower(), -7.0);
-        let pair = aais.registry().iter().find(|v| v.name() == "a_X1X2").unwrap();
+        let pair = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "a_X1X2")
+            .unwrap();
         assert_eq!(pair.upper(), 0.5);
     }
 
     #[test]
     fn every_instruction_has_a_time_critical_variable() {
         let aais = heisenberg_aais(4, &HeisenbergOptions::default());
-        assert!(aais.instructions().iter().all(|i| i.time_critical().is_some()));
-        assert!(aais.instructions().iter().all(|i| i.kind() == InstructionKind::Dynamic));
+        assert!(aais
+            .instructions()
+            .iter()
+            .all(|i| i.time_critical().is_some()));
+        assert!(aais
+            .instructions()
+            .iter()
+            .all(|i| i.kind() == InstructionKind::Dynamic));
     }
 
     #[test]

@@ -31,9 +31,14 @@ impl Generator {
     ///
     /// Panics if no non-identity effect remains.
     pub fn new(expr: Expr, effects: Vec<(PauliString, f64)>) -> Self {
-        let effects: Vec<(PauliString, f64)> =
-            effects.into_iter().filter(|(s, w)| !s.is_identity() && *w != 0.0).collect();
-        assert!(!effects.is_empty(), "generator must affect at least one non-identity term");
+        let effects: Vec<(PauliString, f64)> = effects
+            .into_iter()
+            .filter(|(s, w)| !s.is_identity() && *w != 0.0)
+            .collect();
+        assert!(
+            !effects.is_empty(),
+            "generator must affect at least one non-identity term"
+        );
         Generator { expr, effects }
     }
 
@@ -94,7 +99,10 @@ impl Instruction {
         time_critical: Option<VariableId>,
     ) -> Self {
         let name = name.into();
-        assert!(!generators.is_empty(), "instruction {name} has no generators");
+        assert!(
+            !generators.is_empty(),
+            "instruction {name} has no generators"
+        );
         for generator in &generators {
             for var in generator.expr().variables() {
                 assert!(
@@ -117,7 +125,13 @@ impl Instruction {
                 );
             }
         }
-        Instruction { name, kind, variables, generators, time_critical }
+        Instruction {
+            name,
+            kind,
+            variables,
+            generators,
+            time_critical,
+        }
     }
 
     /// Instruction name (e.g. `"vdw_0_1"`, `"rabi_2"`).
@@ -281,8 +295,14 @@ mod tests {
 
     #[test]
     fn generator_ref_display_and_order() {
-        let a = GeneratorRef { instruction: 0, generator: 1 };
-        let b = GeneratorRef { instruction: 1, generator: 0 };
+        let a = GeneratorRef {
+            instruction: 0,
+            generator: 1,
+        };
+        let b = GeneratorRef {
+            instruction: 1,
+            generator: 0,
+        };
         assert!(a < b);
         assert_eq!(a.to_string(), "g0.1");
     }

@@ -20,7 +20,10 @@ impl PulseSegment {
     ///
     /// Panics if the duration is negative or not finite.
     pub fn new(duration: f64, values: Vec<f64>) -> Self {
-        assert!(duration.is_finite() && duration >= 0.0, "segment duration must be non-negative");
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "segment duration must be non-negative"
+        );
         PulseSegment { duration, values }
     }
 
@@ -117,7 +120,10 @@ impl PulseSchedule {
                     let value = segment.values()[variable.id().index()];
                     if (value - reference).abs() > 1e-9 {
                         return Err(AaisError::VariableOutOfBounds {
-                            name: format!("{} (runtime-fixed changed between segments)", variable.name()),
+                            name: format!(
+                                "{} (runtime-fixed changed between segments)",
+                                variable.name()
+                            ),
                             value,
                             lower: reference,
                             upper: reference,
@@ -187,8 +193,12 @@ mod tests {
         assert!(good.validate(&aais).is_ok());
 
         // Exceeding the device's maximum evolution time.
-        let long = PulseSchedule::from_segments(vec![PulseSegment::new(10.0, aais.default_values())]);
-        assert!(matches!(long.validate(&aais), Err(AaisError::EvolutionTooLong { .. })));
+        let long =
+            PulseSchedule::from_segments(vec![PulseSegment::new(10.0, aais.default_values())]);
+        assert!(matches!(
+            long.validate(&aais),
+            Err(AaisError::EvolutionTooLong { .. })
+        ));
 
         // Out-of-range dynamic variable.
         let mut values = aais.default_values();
@@ -201,7 +211,10 @@ mod tests {
             .index();
         values[omega_index] = 100.0;
         let bad = PulseSchedule::from_segments(vec![PulseSegment::new(0.1, values)]);
-        assert!(matches!(bad.validate(&aais), Err(AaisError::VariableOutOfBounds { .. })));
+        assert!(matches!(
+            bad.validate(&aais),
+            Err(AaisError::VariableOutOfBounds { .. })
+        ));
 
         // Runtime-fixed variable changing between segments.
         let mut moved = aais.default_values();
@@ -218,7 +231,10 @@ mod tests {
     fn wrong_value_count_is_reported() {
         let aais = rydberg_aais(3, &RydbergOptions::default());
         let schedule = PulseSchedule::from_segments(vec![PulseSegment::new(0.1, vec![0.0; 2])]);
-        assert!(matches!(schedule.hamiltonians(&aais), Err(AaisError::WrongValueCount { .. })));
+        assert!(matches!(
+            schedule.hamiltonians(&aais),
+            Err(AaisError::WrongValueCount { .. })
+        ));
         assert!(schedule.validate(&aais).is_err());
     }
 

@@ -310,15 +310,20 @@ fn pair_coupling_expr(c6: f64, a: &[VariableId], b: &[VariableId]) -> Expr {
 /// Initial coordinates for every atom according to the layout hint.
 fn initial_positions(num_atoms: usize, options: &RydbergOptions) -> Vec<Vec<f64>> {
     match (options.layout, options.dimensions) {
-        (Layout::Line { spacing }, Dimensions::One) => {
-            (0..num_atoms).map(|i| vec![options.min_spacing + i as f64 * spacing]).collect()
-        }
+        (Layout::Line { spacing }, Dimensions::One) => (0..num_atoms)
+            .map(|i| vec![options.min_spacing + i as f64 * spacing])
+            .collect(),
         (Layout::Line { spacing }, Dimensions::Two) => (0..num_atoms)
-            .map(|i| vec![options.min_spacing + i as f64 * spacing, options.min_spacing])
+            .map(|i| {
+                vec![
+                    options.min_spacing + i as f64 * spacing,
+                    options.min_spacing,
+                ]
+            })
             .collect(),
         (Layout::Ring { spacing }, _) => {
-            let radius =
-                (spacing * num_atoms as f64 / (2.0 * std::f64::consts::PI)).max(options.min_spacing);
+            let radius = (spacing * num_atoms as f64 / (2.0 * std::f64::consts::PI))
+                .max(options.min_spacing);
             let center = radius + options.min_spacing;
             (0..num_atoms)
                 .map(|i| {
@@ -343,7 +348,10 @@ mod tests {
         assert_eq!(chain.instructions().len(), (n - 1) + (n - 2) + n + n);
         let all_pairs = rydberg_aais(
             n,
-            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
         );
         assert_eq!(all_pairs.instructions().len(), n * (n - 1) / 2 + 2 * n);
     }
@@ -431,11 +439,19 @@ mod tests {
 
     #[test]
     fn aquila_preset_and_bounds() {
-        let options = RydbergOptions::aquila_rad_per_us(6.28);
+        let options = RydbergOptions::aquila_rad_per_us(std::f64::consts::TAU);
         let aais = rydberg_aais(12, &options);
-        let omega = aais.registry().iter().find(|v| v.name() == "Omega_3").unwrap();
-        assert_eq!(omega.upper(), 6.28);
-        let delta = aais.registry().iter().find(|v| v.name() == "Delta_3").unwrap();
+        let omega = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "Omega_3")
+            .unwrap();
+        assert_eq!(omega.upper(), std::f64::consts::TAU);
+        let delta = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "Delta_3")
+            .unwrap();
         assert_eq!(delta.upper(), 125.0);
         assert_eq!(aais.max_evolution_time(), 4.0);
         assert_eq!(aais.site_positions().len(), 12);

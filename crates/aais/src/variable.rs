@@ -148,7 +148,11 @@ impl VariableRegistry {
 
     /// Ids of all variables of the given kind.
     pub fn ids_of_kind(&self, kind: VariableKind) -> Vec<VariableId> {
-        self.variables.iter().filter(|v| v.kind == kind).map(|v| v.id).collect()
+        self.variables
+            .iter()
+            .filter(|v| v.kind == kind)
+            .map(|v| v.id)
+            .collect()
     }
 }
 

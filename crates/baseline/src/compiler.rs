@@ -4,9 +4,8 @@
 use crate::system::GlobalMixedSystem;
 use qturbo_aais::{Aais, AaisError, PulseSchedule, PulseSegment, VariableKind};
 use qturbo_hamiltonian::{Hamiltonian, PiecewiseHamiltonian};
+use qturbo_math::rng::Rng;
 use qturbo_math::{LevenbergMarquardt, MathError, Vector};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -34,12 +33,16 @@ impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BaselineError::InvalidTarget { reason } => write!(f, "invalid target: {reason}"),
-            BaselineError::NoSolution { best_relative_error } => write!(
+            BaselineError::NoSolution {
+                best_relative_error,
+            } => write!(
                 f,
                 "the global mixed solver did not find a solution (best relative error {:.1}%)",
                 best_relative_error * 100.0
             ),
-            BaselineError::DeviceConstraint(inner) => write!(f, "device constraint violated: {inner}"),
+            BaselineError::DeviceConstraint(inner) => {
+                write!(f, "device constraint violated: {inner}")
+            }
             BaselineError::Numerical(inner) => write!(f, "numerical failure: {inner}"),
         }
     }
@@ -206,7 +209,9 @@ impl BaselineCompiler {
     ) -> Result<BaselineResult, BaselineError> {
         let start = Instant::now();
         if segments.is_empty() {
-            return Err(BaselineError::InvalidTarget { reason: "no segments".to_string() });
+            return Err(BaselineError::InvalidTarget {
+                reason: "no segments".to_string(),
+            });
         }
         for (hamiltonian, duration) in segments {
             if hamiltonian.num_qubits() > aais.num_sites() {
@@ -280,8 +285,11 @@ impl BaselineCompiler {
                 system.residuals(aais, values, time, &indicator_map)
             };
 
-            let mut rng = StdRng::seed_from_u64(
-                self.options.seed.wrapping_add(segment_index as u64).wrapping_mul(0x5851_F42D),
+            let mut rng = Rng::seed_from_u64(
+                self.options
+                    .seed
+                    .wrapping_add(segment_index as u64)
+                    .wrapping_mul(0x5851_F42D),
             );
             let mut best: Option<(f64, Vector)> = None;
             let solver =
@@ -293,24 +301,27 @@ impl BaselineCompiler {
                     aais.registry().iter().zip(lower.iter().zip(upper.iter()))
                 {
                     let span = hi - lo;
-                    let jitter =
-                        if span > 0.0 { (rng.gen::<f64>() - 0.5) * 0.1 * span } else { 0.0 };
+                    let jitter = if span > 0.0 {
+                        (rng.next_f64() - 0.5) * 0.1 * span
+                    } else {
+                        0.0
+                    };
                     initial.push((variable.initial_guess() + jitter).clamp(lo, hi));
                 }
                 // The baseline does not optimize the evolution time: it starts
                 // near the target duration (as a term-matching solver naturally
                 // does) and keeps whatever the solver settles on.
-                let time_guess = (duration * (1.0 + rng.gen::<f64>()))
+                let time_guess = (duration * (1.0 + rng.next_f64()))
                     .clamp(lower[num_variables], per_segment_budget);
                 initial.push(time_guess);
                 for _ in &indicators {
-                    initial.push(0.6 + 0.4 * rng.gen::<f64>());
+                    initial.push(0.6 + 0.4 * rng.next_f64());
                 }
                 let outcome = solver
                     .solve(&residual_fn, Vector::from(initial), &lower, &upper)
                     .map_err(BaselineError::from)?;
                 let cost = outcome.residual_l1();
-                if best.as_ref().map_or(true, |(best_cost, _)| cost < *best_cost) {
+                if best.as_ref().is_none_or(|(best_cost, _)| cost < *best_cost) {
                     best = Some((cost, outcome.solution));
                 }
             }
@@ -339,8 +350,8 @@ impl BaselineCompiler {
                 if rounded == 1.0 {
                     if let Some(tc) = instruction.time_critical() {
                         let variable = aais.registry().get(tc);
-                        solution[tc.index()] = (solution[tc.index()] * gate)
-                            .clamp(variable.lower(), variable.upper());
+                        solution[tc.index()] =
+                            (solution[tc.index()] * gate).clamp(variable.lower(), variable.upper());
                     }
                 }
                 solution[index] = rounded;
@@ -350,10 +361,11 @@ impl BaselineCompiler {
             let polished = solver
                 .solve(&residual_fn, solution.clone(), &pinned_lower, &pinned_upper)
                 .map_err(BaselineError::from)?;
-            let solution = if polished.residual_l1() <= residual_fn(solution.as_slice())
-                .iter()
-                .map(|r| r.abs())
-                .sum::<f64>()
+            let solution = if polished.residual_l1()
+                <= residual_fn(solution.as_slice())
+                    .iter()
+                    .map(|r| r.abs())
+                    .sum::<f64>()
             {
                 polished.solution
             } else {
@@ -373,8 +385,10 @@ impl BaselineCompiler {
             for (&instruction, &gate) in &indicator_map {
                 if gate == 0.0 {
                     if let Some(tc) = aais.instructions()[instruction].time_critical() {
-                        values[tc.index()] = 0.0_f64
-                            .clamp(aais.registry().get(tc).lower(), aais.registry().get(tc).upper());
+                        values[tc.index()] = 0.0_f64.clamp(
+                            aais.registry().get(tc).lower(),
+                            aais.registry().get(tc).upper(),
+                        );
                     }
                 }
             }
@@ -387,10 +401,15 @@ impl BaselineCompiler {
             schedule.push(PulseSegment::new(time, values));
         }
 
-        let relative_error =
-            if target_norm == 0.0 { 0.0 } else { absolute_error / target_norm };
+        let relative_error = if target_norm == 0.0 {
+            0.0
+        } else {
+            absolute_error / target_norm
+        };
         if relative_error > self.options.failure_threshold {
-            return Err(BaselineError::NoSolution { best_relative_error: relative_error });
+            return Err(BaselineError::NoSolution {
+                best_relative_error: relative_error,
+            });
         }
         schedule.validate(aais)?;
 
@@ -420,7 +439,9 @@ mod tests {
     fn compiles_small_heisenberg_targets() {
         let aais = heisenberg_aais(3, &HeisenbergOptions::default());
         let target = ising_chain(3, 1.0, 1.0);
-        let result = BaselineCompiler::new().compile(&target, 1.0, &aais).unwrap();
+        let result = BaselineCompiler::new()
+            .compile(&target, 1.0, &aais)
+            .unwrap();
         assert!(result.relative_error() < 0.25);
         assert!(result.execution_time <= aais.max_evolution_time());
         assert!(result.stats.restarts >= 1);
@@ -432,8 +453,14 @@ mod tests {
     fn compiles_small_rydberg_targets() {
         let aais = rydberg_aais(3, &RydbergOptions::default());
         let target = ising_chain(3, 1.0, 1.0);
-        let result = BaselineCompiler::new().compile(&target, 1.0, &aais).unwrap();
-        assert!(result.relative_error() < 0.25, "relative error {}", result.relative_error());
+        let result = BaselineCompiler::new()
+            .compile(&target, 1.0, &aais)
+            .unwrap();
+        assert!(
+            result.relative_error() < 0.25,
+            "relative error {}",
+            result.relative_error()
+        );
         assert!(result.execution_time > 0.0);
     }
 
@@ -444,8 +471,14 @@ mod tests {
         // something noticeably longer.
         let aais = heisenberg_aais(3, &HeisenbergOptions::default());
         let target = heisenberg_chain(3, 1.0, 1.0);
-        let result = BaselineCompiler::new().compile(&target, 1.0, &aais).unwrap();
-        assert!(result.execution_time > 0.5 * 1.2, "execution time {}", result.execution_time);
+        let result = BaselineCompiler::new()
+            .compile(&target, 1.0, &aais)
+            .unwrap();
+        assert!(
+            result.execution_time > 0.5 * 1.2,
+            "execution time {}",
+            result.execution_time
+        );
     }
 
     #[test]
@@ -510,8 +543,11 @@ mod tests {
         assert_send_sync::<BaselineError>();
         let err: BaselineError = MathError::SingularMatrix.into();
         assert!(err.to_string().contains("numerical"));
-        let err: BaselineError =
-            AaisError::EvolutionTooLong { requested: 9.0, maximum: 4.0 }.into();
+        let err: BaselineError = AaisError::EvolutionTooLong {
+            requested: 9.0,
+            maximum: 4.0,
+        }
+        .into();
         assert!(err.to_string().contains("constraint"));
     }
 }

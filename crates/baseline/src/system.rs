@@ -144,7 +144,10 @@ impl GlobalMixedSystem {
         time: f64,
         indicators: &BTreeMap<usize, f64>,
     ) -> f64 {
-        self.residuals(aais, values, time, indicators).iter().map(|r| r.abs()).sum::<f64>()
+        self.residuals(aais, values, time, indicators)
+            .iter()
+            .map(|r| r.abs())
+            .sum::<f64>()
             + self.unrealizable_error
     }
 }
@@ -160,7 +163,10 @@ mod tests {
     fn builds_paper_sized_system_for_rydberg() {
         let aais = rydberg_aais(
             3,
-            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
         );
         let target = ising_chain(3, 1.0, 1.0);
         let system = GlobalMixedSystem::build(&aais, &target, 1.0);
@@ -181,15 +187,21 @@ mod tests {
         // Assignment: ZZ couplings 2 MHz, X drives 2 MHz, T = 0.5 µs.
         let mut values = aais.default_values();
         for variable in aais.registry().iter() {
-            if variable.name().starts_with("a_Z") && variable.name().contains('Z') && variable.name().len() > 4 {
+            if variable.name().starts_with("a_Z")
+                && variable.name().contains('Z')
+                && variable.name().len() > 4
+            {
                 values[variable.id().index()] = 2.0;
             }
             if variable.name() == "a_X0" || variable.name() == "a_X1" || variable.name() == "a_X2" {
                 values[variable.id().index()] = 2.0;
             }
         }
-        let indicators: BTreeMap<usize, f64> =
-            system.indicator_instructions().iter().map(|&i| (i, 1.0)).collect();
+        let indicators: BTreeMap<usize, f64> = system
+            .indicator_instructions()
+            .iter()
+            .map(|&i| (i, 1.0))
+            .collect();
         let error = system.absolute_error(&aais, &values, 0.5, &indicators);
         assert!(error < 1e-9, "error {error}");
     }
@@ -200,15 +212,24 @@ mod tests {
         let target = ising_chain(2, 1.0, 1.0);
         let system = GlobalMixedSystem::build(&aais, &target, 1.0);
         let mut values = aais.default_values();
-        let a_x0 = aais.registry().iter().find(|v| v.name() == "a_X0").unwrap().id().index();
+        let a_x0 = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "a_X0")
+            .unwrap()
+            .id()
+            .index();
         values[a_x0] = 2.0;
         let x0_instruction = aais
             .instructions()
             .iter()
             .position(|i| i.name() == "single_X_0")
             .unwrap();
-        let mut indicators: BTreeMap<usize, f64> =
-            system.indicator_instructions().iter().map(|&i| (i, 1.0)).collect();
+        let mut indicators: BTreeMap<usize, f64> = system
+            .indicator_instructions()
+            .iter()
+            .map(|&i| (i, 1.0))
+            .collect();
         let with = system.absolute_error(&aais, &values, 0.5, &indicators);
         indicators.insert(x0_instruction, 0.0);
         let without = system.absolute_error(&aais, &values, 0.5, &indicators);

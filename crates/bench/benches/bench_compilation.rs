@@ -1,81 +1,100 @@
-//! Criterion benchmarks of end-to-end compilation: QTurbo vs the SimuQ-style
-//! baseline, plus the ablation variants called out in DESIGN.md
-//! (no evolution-time optimization, no refinement, no localization).
+//! Benchmarks of end-to-end compilation: QTurbo vs the SimuQ-style baseline,
+//! plus the ablation variants called out in DESIGN.md (no evolution-time
+//! optimization, no refinement, no localization).
+//!
+//! Runs on the crate's own timing harness ([`qturbo_bench::timing`]); invoke
+//! with `cargo bench --bench bench_compilation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qturbo::{CompilerOptions, QTurboCompiler};
+use qturbo_bench::timing::bench;
 use qturbo_bench::{baseline_compiler, device_for, target_for, Device};
 use qturbo_hamiltonian::models::Model;
 
-fn bench_qturbo_vs_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compilation");
-    group.sample_size(10);
+const REPS: usize = 10;
 
+fn report(group: &str, name: &str, median: f64) {
+    println!("{group:<16} {name:<24} {:>12.6} ms", median * 1e3);
+}
+
+fn bench_qturbo_vs_baseline() {
     for &(device, n) in &[(Device::Heisenberg, 8usize), (Device::Rydberg, 6usize)] {
         let target = target_for(Model::IsingChain, n);
         let aais = device_for(Model::IsingChain, n, device);
-        group.bench_with_input(
-            BenchmarkId::new("qturbo", format!("{device}_{n}q")),
-            &(&target, &aais),
-            |b, (target, aais)| {
-                let compiler = QTurboCompiler::new();
-                b.iter(|| compiler.compile(target, 1.0, aais).unwrap());
-            },
+
+        let compiler = QTurboCompiler::new();
+        let sample = bench(REPS, || {
+            std::hint::black_box(compiler.compile(&target, 1.0, &aais).unwrap());
+        });
+        report(
+            "compilation",
+            &format!("qturbo/{device}_{n}q"),
+            sample.median,
         );
-        group.bench_with_input(
-            BenchmarkId::new("baseline", format!("{device}_{n}q")),
-            &(&target, &aais),
-            |b, (target, aais)| {
-                let compiler = baseline_compiler();
-                b.iter(|| compiler.compile(target, 1.0, aais));
-            },
+
+        let baseline = baseline_compiler();
+        let sample = bench(REPS, || {
+            std::hint::black_box(baseline.compile(&target, 1.0, &aais).ok());
+        });
+        report(
+            "compilation",
+            &format!("baseline/{device}_{n}q"),
+            sample.median,
         );
     }
-    group.finish();
 }
 
-fn bench_qturbo_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("qturbo_scaling");
-    group.sample_size(10);
+fn bench_qturbo_scaling() {
     for &n in &[8usize, 16, 32, 64] {
         let target = target_for(Model::IsingChain, n);
         let aais = device_for(Model::IsingChain, n, Device::Rydberg);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(&target, &aais), |b, (target, aais)| {
-            let compiler = QTurboCompiler::new();
-            b.iter(|| compiler.compile(target, 1.0, aais).unwrap());
+        let compiler = QTurboCompiler::new();
+        let sample = bench(REPS, || {
+            std::hint::black_box(compiler.compile(&target, 1.0, &aais).unwrap());
         });
+        report("qturbo_scaling", &format!("{n}q"), sample.median);
     }
-    group.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
+fn bench_ablations() {
     let n = 10;
     let target = target_for(Model::IsingChain, n);
     let aais = device_for(Model::IsingChain, n, Device::Rydberg);
 
     let variants: [(&str, CompilerOptions); 4] = [
         ("full", CompilerOptions::default()),
-        ("no_refine", CompilerOptions { refine: false, ..CompilerOptions::default() }),
-        ("no_localize", CompilerOptions { localize: false, ..CompilerOptions::default() }),
+        (
+            "no_refine",
+            CompilerOptions {
+                refine: false,
+                ..CompilerOptions::default()
+            },
+        ),
+        (
+            "no_localize",
+            CompilerOptions {
+                localize: false,
+                ..CompilerOptions::default()
+            },
+        ),
         (
             "no_time_opt",
-            CompilerOptions { optimize_evolution_time: false, ..CompilerOptions::default() },
+            CompilerOptions {
+                optimize_evolution_time: false,
+                ..CompilerOptions::default()
+            },
         ),
     ];
     for (name, options) in variants {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &(&target, &aais),
-            |b, (target, aais)| {
-                let compiler = QTurboCompiler::with_options(options.clone());
-                b.iter(|| compiler.compile(target, 1.0, aais).unwrap());
-            },
-        );
+        let compiler = QTurboCompiler::with_options(options);
+        let sample = bench(REPS, || {
+            std::hint::black_box(compiler.compile(&target, 1.0, &aais).unwrap());
+        });
+        report("ablations", name, sample.median);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_qturbo_vs_baseline, bench_qturbo_scaling, bench_ablations);
-criterion_main!(benches);
+fn main() {
+    bench_qturbo_vs_baseline();
+    bench_qturbo_scaling();
+    bench_ablations();
+}

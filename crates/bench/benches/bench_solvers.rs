@@ -1,56 +1,73 @@
-//! Criterion micro-benchmarks of the individual pipeline stages: the global
-//! linear solve, the localized mixed solves (evolution-time analysis and the
-//! position solve), the L1 refinement, and the state-vector propagator.
+//! Micro-benchmarks of the individual pipeline stages: the global linear
+//! solve, the localized mixed solves (evolution-time analysis and the
+//! position solve), the L1 refinement, and the state-vector propagator
+//! (naive reference vs the mask-compiled kernel).
+//!
+//! Runs on the crate's own timing harness ([`qturbo_bench::timing`]); invoke
+//! with `cargo bench --bench bench_solvers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qturbo::components::partition;
 use qturbo::linear_system::GlobalLinearSystem;
 use qturbo::local_system::{minimal_time_for_instruction, solve_component_at_time};
 use qturbo::refine::refined_targets;
+use qturbo_bench::timing::bench;
 use qturbo_bench::{device_for, target_for, Device};
 use qturbo_hamiltonian::models::Model;
-use qturbo_quantum::propagate::evolve;
+use qturbo_quantum::compiled::CompiledHamiltonian;
+use qturbo_quantum::propagate::{evolve_naive, Propagator};
 use qturbo_quantum::StateVector;
 
-fn bench_global_linear_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("global_linear_system");
-    group.sample_size(10);
+const REPS: usize = 10;
+
+fn report(group: &str, name: &str, median: f64) {
+    println!("{group:<24} {name:<28} {:>12.6} ms", median * 1e3);
+}
+
+fn bench_global_linear_system() {
     for &n in &[10usize, 30, 60] {
         let target = target_for(Model::IsingChain, n);
         let aais = device_for(Model::IsingChain, n, Device::Rydberg);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(&target, &aais), |b, (target, aais)| {
-            b.iter(|| {
-                let system = GlobalLinearSystem::build(aais, target, 1.0).unwrap();
-                system.solve().unwrap()
-            });
+        let sample = bench(REPS, || {
+            let system = GlobalLinearSystem::build(&aais, &target, 1.0).unwrap();
+            std::hint::black_box(system.solve().unwrap());
         });
+        report("global_linear_system", &format!("{n}q"), sample.median);
     }
-    group.finish();
 }
 
-fn bench_local_systems(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_systems");
-    group.sample_size(10);
+fn bench_local_systems() {
     let n = 12;
     let target = target_for(Model::IsingChain, n);
     let aais = device_for(Model::IsingChain, n, Device::Rydberg);
     let system = GlobalLinearSystem::build(&aais, &target, 1.0).unwrap();
     let alpha = system.solve().unwrap();
-    let targets: Vec<_> =
-        system.columns().iter().enumerate().map(|(k, g)| (*g, alpha[k])).collect();
+    let targets: Vec<_> = system
+        .columns()
+        .iter()
+        .enumerate()
+        .map(|(k, g)| (*g, alpha[k]))
+        .collect();
     let components = partition(&aais, true);
 
     // Evolution-time analysis of one Rabi instruction.
-    let rabi_index = aais.instructions().iter().position(|i| i.name() == "rabi_0").unwrap();
-    group.bench_function("minimal_time_rabi", |b| {
-        b.iter(|| minimal_time_for_instruction(&aais, rabi_index, &targets, 4.0).unwrap());
+    let rabi_index = aais
+        .instructions()
+        .iter()
+        .position(|i| i.name() == "rabi_0")
+        .unwrap();
+    let sample = bench(REPS, || {
+        std::hint::black_box(
+            minimal_time_for_instruction(&aais, rabi_index, &targets, 4.0).unwrap(),
+        );
     });
+    report("local_systems", "minimal_time_rabi", sample.median);
 
     // The (large) fixed component holding every atom position.
     let fixed = components.iter().find(|c| c.is_fixed()).unwrap();
-    group.bench_function("position_component_solve", |b| {
-        b.iter(|| solve_component_at_time(&aais, fixed, &targets, 0.8, None).unwrap());
+    let sample = bench(REPS, || {
+        std::hint::black_box(solve_component_at_time(&aais, fixed, &targets, 0.8, None).unwrap());
     });
+    report("local_systems", "position_component_solve", sample.median);
 
     // L1 refinement over the dynamic synthesized variables.
     let dynamic_mask: Vec<bool> = system
@@ -64,29 +81,44 @@ fn bench_local_systems(c: &mut Criterion) {
                 .unwrap_or(false)
         })
         .collect();
-    group.bench_function("l1_refinement", |b| {
-        b.iter(|| refined_targets(&system, &dynamic_mask, &alpha).unwrap());
+    let sample = bench(REPS, || {
+        std::hint::black_box(refined_targets(&system, &dynamic_mask, &alpha).unwrap());
     });
-    group.finish();
+    report("local_systems", "l1_refinement", sample.median);
 }
 
-fn bench_state_vector_propagation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("state_vector_evolution");
-    group.sample_size(10);
+fn bench_state_vector_propagation() {
     for &n in &[8usize, 12] {
         let target = target_for(Model::IsingChain, n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &target, |b, target| {
-            let initial = StateVector::zero_state(target.num_qubits());
-            b.iter(|| evolve(&initial, target, 0.5));
+        let initial = StateVector::zero_state(target.num_qubits());
+
+        let sample = bench(REPS, || {
+            std::hint::black_box(evolve_naive(&initial, &target, 0.5));
         });
+        report(
+            "state_vector_evolution",
+            &format!("naive_{n}q"),
+            sample.median,
+        );
+
+        let compiled = CompiledHamiltonian::compile(&target);
+        let mut propagator = Propagator::new();
+        let mut work = StateVector::zeros(n);
+        let sample = bench(REPS, || {
+            work.copy_from(&initial);
+            propagator.evolve_in_place(&compiled, &mut work, 0.5);
+            std::hint::black_box(&work);
+        });
+        report(
+            "state_vector_evolution",
+            &format!("compiled_{n}q"),
+            sample.median,
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_global_linear_system,
-    bench_local_systems,
-    bench_state_vector_propagation
-);
-criterion_main!(benches);
+fn main() {
+    bench_global_linear_system();
+    bench_local_systems();
+    bench_state_vector_propagation();
+}

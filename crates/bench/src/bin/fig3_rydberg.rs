@@ -18,7 +18,12 @@ fn main() {
     } else {
         (vec![5, 9, 13, 21, 33, 48, 63, 93], 13)
     };
-    let models = [Model::IsingChain, Model::IsingCycle, Model::Kitaev, Model::IsingCyclePlus];
+    let models = [
+        Model::IsingChain,
+        Model::IsingCycle,
+        Model::Kitaev,
+        Model::IsingCyclePlus,
+    ];
 
     for model in models {
         let mut rows = Vec::new();
@@ -27,7 +32,10 @@ fn main() {
             let run_baseline = n <= baseline_cutoff;
             rows.push(compare(model, n, Device::Rydberg, run_baseline));
         }
-        print_rows(&format!("Figure 3 — {} on the Rydberg device", model.name()), &rows);
+        print_rows(
+            &format!("Figure 3 — {} on the Rydberg device", model.name()),
+            &rows,
+        );
         print_summary(model.name(), &rows);
     }
 }

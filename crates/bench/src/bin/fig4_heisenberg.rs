@@ -13,7 +13,12 @@ fn main() {
     } else {
         (vec![4, 8, 12, 20, 32, 48, 64, 93], 16)
     };
-    let models = [Model::IsingChain, Model::IsingCycle, Model::HeisenbergChain, Model::Kitaev];
+    let models = [
+        Model::IsingChain,
+        Model::IsingCycle,
+        Model::HeisenbergChain,
+        Model::Kitaev,
+    ];
 
     for model in models {
         let mut rows = Vec::new();
@@ -22,7 +27,10 @@ fn main() {
             let run_baseline = n <= baseline_cutoff;
             rows.push(compare(model, n, Device::Heisenberg, run_baseline));
         }
-        print_rows(&format!("Figure 4 — {} on the Heisenberg device", model.name()), &rows);
+        print_rows(
+            &format!("Figure 4 — {} on the Heisenberg device", model.name()),
+            &rows,
+        );
         print_summary(model.name(), &rows);
     }
 }

@@ -21,7 +21,10 @@ fn scrambled_ising_chain(n: usize) -> Hamiltonian {
     let order: Vec<usize> = (0..n).map(|i| (i * 7 + 3) % n).collect();
     let mut target = Hamiltonian::new(n);
     for window in order.windows(2) {
-        target.add_term(1.0, PauliString::two(window[0], Pauli::Z, window[1], Pauli::Z));
+        target.add_term(
+            1.0,
+            PauliString::two(window[0], Pauli::Z, window[1], Pauli::Z),
+        );
     }
     for i in 0..n {
         target.add_term(1.0, PauliString::single(i, Pauli::X));
@@ -70,8 +73,9 @@ fn main() {
     let segments = 4;
     let target = mis_chain(n, 1.0, 1.0, 1.0, 1.0, segments);
     let aais = rydberg_aais(n, &RydbergOptions::default());
-    let qturbo =
-        QTurboCompiler::new().compile_piecewise(&target, &aais).expect("MIS chain compiles");
+    let qturbo = QTurboCompiler::new()
+        .compile_piecewise(&target, &aais)
+        .expect("MIS chain compiles");
     println!("\nFigure 5(b) — time-dependent MIS chain ({n} qubits, {segments} segments)");
     println!(
         "  QTurbo  : compile {:.4} s, execution {:.3} µs, relative error {:.2} %",

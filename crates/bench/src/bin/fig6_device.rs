@@ -71,10 +71,13 @@ fn study(
             .compile(target, target_time, aais)
             .expect("QTurbo compiles the device study");
         let qturbo_segments = qturbo.schedule.hamiltonians(aais).unwrap();
-        let baseline_series = baseline.compile(target, target_time, aais).ok().map(|result| {
-            let segments = result.schedule.hamiltonians(aais).unwrap();
-            run_compiler_series(&segments, num_atoms, cyclic, &noisy)
-        });
+        let baseline_series = baseline
+            .compile(target, target_time, aais)
+            .ok()
+            .map(|result| {
+                let segments = result.schedule.hamiltonians(aais).unwrap();
+                run_compiler_series(&segments, num_atoms, cyclic, &noisy)
+            });
         points.push(SeriesPoint {
             target_time,
             theory_z: z_average(&theory),
@@ -107,7 +110,10 @@ fn study(
                 "{:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.3}",
                 b.noiseless_z, b.device_z, b.noiseless_zz, b.device_zz, b.execution_time
             ),
-            None => format!("{:>8} {:>8} {:>8} {:>8} {:>9}", "fail", "fail", "fail", "fail", "-"),
+            None => format!(
+                "{:>8} {:>8} {:>8} {:>8} {:>9}",
+                "fail", "fail", "fail", "fail", "-"
+            ),
         };
         println!(
             "{:>7.2} | {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9.3} | {}",
@@ -140,8 +146,13 @@ fn study(
             }
         }
     }
-    let mean =
-        |v: &[f64]| if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     println!(
         "[{label}] average device-error reduction vs theory: Z_avg {:.0}%, ZZ_avg {:.0}%",
         mean(&z_reductions) * 100.0,
@@ -157,18 +168,38 @@ fn main() {
         cycle_atoms,
         &RydbergOptions {
             layout: Layout::Ring { spacing: 6.5 },
-            ..RydbergOptions::aquila_rad_per_us(6.28)
+            ..RydbergOptions::aquila_rad_per_us(std::f64::consts::TAU)
         },
     );
-    let cycle_times: Vec<f64> =
-        if quick_mode() { vec![0.5, 1.0] } else { vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0] };
-    study("a: Ising cycle", &cycle_target, &cycle_times, &cycle_aais, true, 42);
+    let cycle_times: Vec<f64> = if quick_mode() {
+        vec![0.5, 1.0]
+    } else {
+        vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    };
+    study(
+        "a: Ising cycle",
+        &cycle_target,
+        &cycle_times,
+        &cycle_aais,
+        true,
+        42,
+    );
 
     // (b) 6-atom PXP chain: J = 1.26, h = 0.126 rad/µs, Ω_max = 13.8 rad/µs.
     let pxp_atoms = 6;
     let pxp_target = pxp(pxp_atoms, 1.26, 0.126);
     let pxp_aais = rydberg_aais(pxp_atoms, &RydbergOptions::aquila_rad_per_us(13.8));
-    let pxp_times: Vec<f64> =
-        if quick_mode() { vec![5.0, 20.0] } else { vec![5.0, 10.0, 15.0, 20.0] };
-    study("b: 6-atom PXP chain", &pxp_target, &pxp_times, &pxp_aais, false, 17);
+    let pxp_times: Vec<f64> = if quick_mode() {
+        vec![5.0, 20.0]
+    } else {
+        vec![5.0, 10.0, 15.0, 20.0]
+    };
+    study(
+        "b: 6-atom PXP chain",
+        &pxp_target,
+        &pxp_times,
+        &pxp_aais,
+        false,
+        17,
+    );
 }

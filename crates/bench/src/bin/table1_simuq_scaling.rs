@@ -12,9 +12,16 @@ use qturbo_bench::{baseline_compile, device_for, qturbo_compile, quick_mode, Dev
 use qturbo_hamiltonian::models::Model;
 
 fn main() {
-    let sizes: Vec<usize> = if quick_mode() { vec![4, 8, 12] } else { vec![4, 8, 12, 16, 20, 24] };
+    let sizes: Vec<usize> = if quick_mode() {
+        vec![4, 8, 12]
+    } else {
+        vec![4, 8, 12, 16, 20, 24]
+    };
     println!("Table 1 — compilation time for the Ising cycle (Rydberg AAIS)");
-    println!("{:>8} {:>16} {:>16} {:>10}", "Qubit#", "SimuQ-style (s)", "QTurbo (s)", "speedup");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "Qubit#", "SimuQ-style (s)", "QTurbo (s)", "speedup"
+    );
 
     for &n in &sizes {
         let target = qturbo_bench::target_for(Model::IsingCycle, n);

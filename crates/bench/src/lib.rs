@@ -8,6 +8,8 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod timing;
+
 use qturbo::{CompilationResult, QTurboCompiler};
 use qturbo_aais::heisenberg::{heisenberg_aais, Connectivity, HeisenbergOptions};
 use qturbo_aais::rydberg::{rydberg_aais, Layout, RydbergOptions};
@@ -55,8 +57,7 @@ pub fn device_for(model: Model, n: usize, device: Device) -> Aais {
             let options = match model {
                 Model::IsingCycle => HeisenbergOptions::with_cycle_connectivity(),
                 Model::IsingCyclePlus => {
-                    let mut edges: Vec<(usize, usize)> =
-                        (0..n).map(|i| (i, (i + 1) % n)).collect();
+                    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
                     edges.extend((0..n).map(|i| (i, (i + 2) % n)));
                     HeisenbergOptions {
                         connectivity: Connectivity::Custom(edges),
@@ -109,12 +110,14 @@ pub struct ComparisonRow {
 impl ComparisonRow {
     /// Compile-time speedup of QTurbo over the baseline, if available.
     pub fn speedup(&self) -> Option<f64> {
-        self.baseline_compile.map(|b| b / self.qturbo_compile.max(1e-9))
+        self.baseline_compile
+            .map(|b| b / self.qturbo_compile.max(1e-9))
     }
 
     /// Relative reduction of the machine execution time, if available.
     pub fn execution_reduction(&self) -> Option<f64> {
-        self.baseline_execution.map(|b| 1.0 - self.qturbo_execution / b.max(1e-12))
+        self.baseline_execution
+            .map(|b| 1.0 - self.qturbo_execution / b.max(1e-12))
     }
 
     /// Absolute reduction of the relative error, if available.
@@ -171,7 +174,9 @@ pub fn baseline_compiler() -> BaselineCompiler {
 
 /// Convenience: compile with QTurbo, panicking on failure (harness-internal).
 pub fn qturbo_compile(target: &Hamiltonian, time: f64, aais: &Aais) -> CompilationResult {
-    QTurboCompiler::new().compile(target, time, aais).expect("QTurbo compiles")
+    QTurboCompiler::new()
+        .compile(target, time, aais)
+        .expect("QTurbo compiles")
 }
 
 /// Convenience: compile with the harness baseline.
@@ -197,7 +202,14 @@ pub fn print_rows(title: &str, rows: &[ComparisonRow]) {
     println!("\n=== {title} ===");
     println!(
         "{:<14} {:>5} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9}",
-        "model", "N", "QT compile/s", "QT exec/µs", "QT err%", "SQ compile/s", "SQ exec/µs", "SQ err%"
+        "model",
+        "N",
+        "QT compile/s",
+        "QT exec/µs",
+        "QT err%",
+        "SQ compile/s",
+        "SQ exec/µs",
+        "SQ err%"
     );
     for row in rows {
         println!(
@@ -209,7 +221,11 @@ pub fn print_rows(title: &str, rows: &[ComparisonRow]) {
             row.qturbo_error * 100.0,
             fmt_opt(row.baseline_compile, row.baseline_failed, ""),
             fmt_opt(row.baseline_execution, row.baseline_failed, ""),
-            fmt_opt(row.baseline_error.map(|e| e * 100.0), row.baseline_failed, ""),
+            fmt_opt(
+                row.baseline_error.map(|e| e * 100.0),
+                row.baseline_failed,
+                ""
+            ),
         );
     }
 }
@@ -218,12 +234,22 @@ pub fn print_rows(title: &str, rows: &[ComparisonRow]) {
 /// error reduction) that the paper reports in the box of each sub-figure.
 pub fn print_summary(title: &str, rows: &[ComparisonRow]) {
     let speedups: Vec<f64> = rows.iter().filter_map(ComparisonRow::speedup).collect();
-    let exec_reductions: Vec<f64> =
-        rows.iter().filter_map(ComparisonRow::execution_reduction).collect();
-    let error_reductions: Vec<f64> =
-        rows.iter().filter_map(ComparisonRow::error_reduction).collect();
+    let exec_reductions: Vec<f64> = rows
+        .iter()
+        .filter_map(ComparisonRow::execution_reduction)
+        .collect();
+    let error_reductions: Vec<f64> = rows
+        .iter()
+        .filter_map(ComparisonRow::error_reduction)
+        .collect();
     let failures = rows.iter().filter(|r| r.baseline_failed).count();
-    let mean = |v: &[f64]| if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     println!(
         "[{title}] avg compile speedup: {:.0}x | avg execution reduction: {:.0}% | avg error reduction: {:.1} pp | baseline failures: {failures}",
         mean(&speedups),
@@ -235,7 +261,9 @@ pub fn print_summary(title: &str, rows: &[ComparisonRow]) {
 /// Returns `true` when the harness should use the reduced "quick" grids
 /// (set the environment variable `QTURBO_BENCH_QUICK=1`).
 pub fn quick_mode() -> bool {
-    std::env::var("QTURBO_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("QTURBO_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -199,8 +199,11 @@ impl QTurboCompiler {
         }
 
         // -- Mapping -------------------------------------------------------
-        let num_target_qubits =
-            segments.iter().map(|(h, _)| h.num_qubits()).max().unwrap_or(0);
+        let num_target_qubits = segments
+            .iter()
+            .map(|(h, _)| h.num_qubits())
+            .max()
+            .unwrap_or(0);
         let mapping = match &self.options.mapping {
             MappingStrategy::Identity => Mapping::identity(num_target_qubits),
             MappingStrategy::GreedyLine => greedy_line_mapping(&segments[0].0),
@@ -241,7 +244,11 @@ impl QTurboCompiler {
         }
 
         let target_pairs = |alpha: &Vector| -> Vec<(GeneratorRef, f64)> {
-            generator_refs.iter().enumerate().map(|(k, g)| (*g, alpha[k])).collect()
+            generator_refs
+                .iter()
+                .enumerate()
+                .map(|(k, g)| (*g, alpha[k]))
+                .collect()
         };
 
         // -- Stage 2: evolution-time optimization (paper §5.1) --------------
@@ -295,10 +302,18 @@ impl QTurboCompiler {
             // couplings per unit machine time.
             let demand = |i: usize| -> f64 {
                 let t = segment_times[i].max(1e-9);
-                fixed_columns.iter().map(|&k| alphas[i][k].abs()).fold(0.0_f64, f64::max) / t
+                fixed_columns
+                    .iter()
+                    .map(|&k| alphas[i][k].abs())
+                    .fold(0.0_f64, f64::max)
+                    / t
             };
             let reference = (0..alphas.len())
-                .max_by(|&a, &b| demand(a).partial_cmp(&demand(b)).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|&a, &b| {
+                    demand(a)
+                        .partial_cmp(&demand(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .unwrap_or(0);
 
             let mut reference_time = segment_times[reference].max(self.options.time_resolution);
@@ -337,7 +352,10 @@ impl QTurboCompiler {
             // targets (paper §5.3).
             let registry = aais.registry();
             let lookup = |id: VariableId| {
-                fixed_values.get(&id).copied().unwrap_or_else(|| registry.get(id).initial_guess())
+                fixed_values
+                    .get(&id)
+                    .copied()
+                    .unwrap_or_else(|| registry.get(id).initial_guess())
             };
             let achieved_fixed: Vec<(usize, f64)> = fixed_columns
                 .iter()
@@ -412,8 +430,11 @@ impl QTurboCompiler {
 
             if self.options.refine {
                 let refined = refined_targets(system, &dynamic_columns, &achieved)?;
-                let refined_pairs: Vec<(GeneratorRef, f64)> =
-                    generator_refs.iter().enumerate().map(|(k, g)| (*g, refined[k])).collect();
+                let refined_pairs: Vec<(GeneratorRef, f64)> = generator_refs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, g)| (*g, refined[k]))
+                    .collect();
                 let mut candidate_values = values.clone();
                 let mut solved = true;
                 for component in components.iter().filter(|c| c.is_dynamic()) {
@@ -422,8 +443,13 @@ impl QTurboCompiler {
                         .iter()
                         .map(|v| (*v, values[v.index()]))
                         .collect();
-                    match solve_component_at_time(aais, component, &refined_pairs, time, Some(&warm))
-                    {
+                    match solve_component_at_time(
+                        aais,
+                        component,
+                        &refined_pairs,
+                        time,
+                        Some(&warm),
+                    ) {
                         Ok(solution) => {
                             for (var, value) in solution.values {
                                 candidate_values[var.index()] = value;
@@ -493,7 +519,11 @@ fn warm_start_for(
     let mut warm = BTreeMap::new();
     for instruction in &component.instructions {
         match timings.get(instruction).map(|t| &t.detail) {
-            Some(TimingDetail::Absorbed { time_critical, scaled_value, others }) => {
+            Some(TimingDetail::Absorbed {
+                time_critical,
+                scaled_value,
+                others,
+            }) => {
                 warm.insert(*time_critical, scaled_value / time);
                 for (var, value) in others {
                     warm.insert(*var, *value);
@@ -541,7 +571,10 @@ mod tests {
         // the Rabi drive at Ω_max = 2.5 MHz, so T_sim = 0.8 µs (paper §5.1).
         let aais = rydberg_aais(
             3,
-            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
         );
         let target = ising_chain(3, 1.0, 1.0);
         let result = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
@@ -550,7 +583,11 @@ mod tests {
             "execution time was {}",
             result.execution_time
         );
-        assert!(result.relative_error() < 0.02, "relative error {}", result.relative_error());
+        assert!(
+            result.relative_error() < 0.02,
+            "relative error {}",
+            result.relative_error()
+        );
         assert_eq!(result.stats.num_segments, 1);
         assert_eq!(result.stats.num_synthesized_variables, 12);
         assert!(result.stats.num_local_systems >= 7);
@@ -602,10 +639,16 @@ mod tests {
     fn time_dependent_mis_chain_compiles_piecewise() {
         let aais = rydberg_aais(4, &RydbergOptions::default());
         let target = mis_chain(4, 1.0, 1.0, 1.0, 1.0, 4);
-        let result = QTurboCompiler::new().compile_piecewise(&target, &aais).unwrap();
+        let result = QTurboCompiler::new()
+            .compile_piecewise(&target, &aais)
+            .unwrap();
         assert_eq!(result.stats.num_segments, 4);
         assert!(result.execution_time <= aais.max_evolution_time());
-        assert!(result.relative_error() < 0.2, "relative error {}", result.relative_error());
+        assert!(
+            result.relative_error() < 0.2,
+            "relative error {}",
+            result.relative_error()
+        );
         assert!(result.schedule.validate(&aais).is_ok());
     }
 
@@ -643,7 +686,10 @@ mod tests {
         // With 10 000 the required time exceeds the device window.
         let target = ising_chain(3, 1.0, 10_000.0);
         let result = QTurboCompiler::new().compile(&target, 1.0, &aais);
-        assert!(matches!(result, Err(CompileError::EvolutionTimeExceedsDevice { .. })));
+        assert!(matches!(
+            result,
+            Err(CompileError::EvolutionTimeExceedsDevice { .. })
+        ));
     }
 
     #[test]
@@ -668,15 +714,24 @@ mod tests {
     #[test]
     fn refinement_never_hurts() {
         let options_on = CompilerOptions::default();
-        let options_off = CompilerOptions { refine: false, ..CompilerOptions::default() };
+        let options_off = CompilerOptions {
+            refine: false,
+            ..CompilerOptions::default()
+        };
         let aais = rydberg_aais(
             4,
-            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
         );
         let target = ising_chain(4, 1.0, 1.0);
-        let with = QTurboCompiler::with_options(options_on).compile(&target, 1.0, &aais).unwrap();
-        let without =
-            QTurboCompiler::with_options(options_off).compile(&target, 1.0, &aais).unwrap();
+        let with = QTurboCompiler::with_options(options_on)
+            .compile(&target, 1.0, &aais)
+            .unwrap();
+        let without = QTurboCompiler::with_options(options_off)
+            .compile(&target, 1.0, &aais)
+            .unwrap();
         assert!(with.absolute_error <= without.absolute_error + 1e-9);
     }
 

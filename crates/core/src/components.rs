@@ -52,7 +52,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -93,7 +95,8 @@ pub fn partition(aais: &Aais, localize: bool) -> Vec<LocalComponent> {
             // Generators of the same instruction always belong together, even
             // if one of them happens to reference fewer variables.
             for var in aais.instruction_of(*gref).variables() {
-                if expr_vars.contains(var) || aais.instruction_of(*gref).time_critical() == Some(*var)
+                if expr_vars.contains(var)
+                    || aais.instruction_of(*gref).time_critical() == Some(*var)
                 {
                     match first_seen.get(var) {
                         Some(&other) => union_find.union(index, other),
@@ -157,7 +160,10 @@ pub fn partition(aais: &Aais, localize: bool) -> Vec<LocalComponent> {
 
 /// Returns, for every instruction index, whether the instruction is dynamic.
 pub fn dynamic_instruction_mask(aais: &Aais) -> Vec<bool> {
-    aais.instructions().iter().map(|i| i.kind() == InstructionKind::Dynamic).collect()
+    aais.instructions()
+        .iter()
+        .map(|i| i.kind() == InstructionKind::Dynamic)
+        .collect()
 }
 
 #[cfg(test)]
@@ -173,7 +179,10 @@ mod tests {
         // component; each Rabi drive (two generators) is its own component.
         let aais = rydberg_aais(
             3,
-            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
         );
         let components = partition(&aais, true);
         let fixed: Vec<_> = components.iter().filter(|c| c.is_fixed()).collect();
@@ -181,8 +190,7 @@ mod tests {
         assert_eq!(fixed.len(), 1);
         assert_eq!(fixed[0].generators.len(), 3);
         assert_eq!(dynamic.len(), 6); // 3 detunings + 3 Rabi drives
-        let rabi_components: Vec<_> =
-            dynamic.iter().filter(|c| c.generators.len() == 2).collect();
+        let rabi_components: Vec<_> = dynamic.iter().filter(|c| c.generators.len() == 2).collect();
         assert_eq!(rabi_components.len(), 3);
         // Total generators are conserved.
         let total: usize = components.iter().map(|c| c.generators.len()).sum();
@@ -217,7 +225,10 @@ mod tests {
         // generators still chain into one component through shared atoms.
         let aais = rydberg_aais(
             4,
-            &RydbergOptions { interaction_cutoff: Some(1), ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: Some(1),
+                ..RydbergOptions::default()
+            },
         );
         let components = partition(&aais, true);
         let fixed: Vec<_> = components.iter().filter(|c| c.is_fixed()).collect();

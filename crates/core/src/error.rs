@@ -100,15 +100,26 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CompileError::TargetTooLarge { target_qubits: 5, device_sites: 3 };
+        let e = CompileError::TargetTooLarge {
+            target_qubits: 5,
+            device_sites: 3,
+        };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('3'));
         assert!(CompileError::EmptyTarget.to_string().contains("no terms"));
-        let e = CompileError::EvolutionTimeExceedsDevice { required: 8.0, maximum: 4.0 };
+        let e = CompileError::EvolutionTimeExceedsDevice {
+            required: 8.0,
+            maximum: 4.0,
+        };
         assert!(e.to_string().contains('8'));
-        let e = CompileError::LocalSolveFailed { component: "rabi_1".into(), residual: 0.5 };
+        let e = CompileError::LocalSolveFailed {
+            component: "rabi_1".into(),
+            residual: 0.5,
+        };
         assert!(e.to_string().contains("rabi_1"));
-        let e = CompileError::InvalidMapping { reason: "duplicate site".into() };
+        let e = CompileError::InvalidMapping {
+            reason: "duplicate site".into(),
+        };
         assert!(e.to_string().contains("duplicate"));
         let e = CompileError::InvalidTargetTime { time: -1.0 };
         assert!(e.to_string().contains("-1"));
@@ -119,7 +130,11 @@ mod tests {
         use std::error::Error;
         let e: CompileError = MathError::SingularMatrix.into();
         assert!(e.source().is_some());
-        let e: CompileError = AaisError::EvolutionTooLong { requested: 5.0, maximum: 4.0 }.into();
+        let e: CompileError = AaisError::EvolutionTooLong {
+            requested: 5.0,
+            maximum: 4.0,
+        }
+        .into();
         assert!(e.source().is_some());
         assert!(e.to_string().contains("device constraint"));
         assert!(CompileError::EmptyTarget.source().is_none());

@@ -72,8 +72,9 @@ impl GlobalLinearSystem {
         // solve (where they would distort the realizable part).
         let mut term_index = BTreeMap::new();
         let mut terms = Vec::new();
-        let push_term = |string: &PauliString, term_index: &mut BTreeMap<PauliString, usize>,
-                             terms: &mut Vec<PauliString>| {
+        let push_term = |string: &PauliString,
+                         term_index: &mut BTreeMap<PauliString, usize>,
+                         terms: &mut Vec<PauliString>| {
             if !term_index.contains_key(string) {
                 term_index.insert(string.clone(), terms.len());
                 terms.push(string.clone());
@@ -212,7 +213,10 @@ mod tests {
         // 3 cos-Rabi + 3 sin-Rabi), and rows for ZZ(3) + Z(3) + X(3) + Y(3).
         let aais = rydberg_aais(
             3,
-            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
         );
         let target = ising_chain(3, 1.0, 1.0);
         let system = GlobalLinearSystem::build(&aais, &target, 1.0).unwrap();

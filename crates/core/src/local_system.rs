@@ -78,7 +78,9 @@ pub fn minimal_time_for_instruction(
         .copied()
         .collect();
 
-    let all_zero = equations.iter().all(|(_, alpha)| alpha.abs() < TARGET_EPSILON);
+    let all_zero = equations
+        .iter()
+        .all(|(_, alpha)| alpha.abs() < TARGET_EPSILON);
     if all_zero {
         return Ok(InstructionTiming {
             instruction: instruction_index,
@@ -116,10 +118,18 @@ fn absorbed_minimal_time(
         .filter(|v| *v != time_critical)
         .collect();
 
-    let alpha_scale = equations.iter().map(|(_, a)| a.abs()).fold(0.0_f64, f64::max).max(1.0);
+    let alpha_scale = equations
+        .iter()
+        .map(|(_, a)| a.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1.0);
     let big = 1e6 * alpha_scale;
     // The sign range of w mirrors the sign range of v (Ω ≥ 0 stays ≥ 0).
-    let w_lower = if tc_variable.lower() >= 0.0 { 0.0 } else { -big };
+    let w_lower = if tc_variable.lower() >= 0.0 {
+        0.0
+    } else {
+        -big
+    };
     let w_upper = if tc_variable.upper() <= 0.0 { 0.0 } else { big };
 
     let mut lower = vec![w_lower];
@@ -177,11 +187,13 @@ fn absorbed_minimal_time(
         let outcome = solver
             .solve(&residual_fn, Vector::from(initial), &lower, &upper)
             .map_err(CompileError::from)?;
-        let better = best.as_ref().map_or(true, |b| outcome.residual_l1() < b.residual_l1());
+        let better = best
+            .as_ref()
+            .is_none_or(|b| outcome.residual_l1() < b.residual_l1());
         if better {
             best = Some(outcome);
         }
-        if best.as_ref().map_or(false, |b| b.residual_l1() < tolerance) {
+        if best.as_ref().is_some_and(|b| b.residual_l1() < tolerance) {
             break;
         }
     }
@@ -195,8 +207,16 @@ fn absorbed_minimal_time(
     }
 
     let w = outcome.solution[0];
-    let limit = if w >= 0.0 { tc_variable.upper().abs() } else { tc_variable.lower().abs() };
-    let minimal_time = if limit > 0.0 { w.abs() / limit } else { f64::INFINITY };
+    let limit = if w >= 0.0 {
+        tc_variable.upper().abs()
+    } else {
+        tc_variable.lower().abs()
+    };
+    let minimal_time = if limit > 0.0 {
+        w.abs() / limit
+    } else {
+        f64::INFINITY
+    };
 
     let mut others = BTreeMap::new();
     for (pos, &var) in other_variables.iter().enumerate() {
@@ -206,7 +226,11 @@ fn absorbed_minimal_time(
     Ok(InstructionTiming {
         instruction: instruction_index,
         minimal_time,
-        detail: TimingDetail::Absorbed { time_critical, scaled_value: w, others },
+        detail: TimingDetail::Absorbed {
+            time_critical,
+            scaled_value: w,
+            others,
+        },
     })
 }
 
@@ -236,7 +260,11 @@ fn direct_minimal_time(
     upper.push(max_time);
     initial.push(max_time * 0.5);
 
-    let alpha_scale = equations.iter().map(|(_, a)| a.abs()).fold(0.0_f64, f64::max).max(1.0);
+    let alpha_scale = equations
+        .iter()
+        .map(|(_, a)| a.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1.0);
     let grefs: Vec<GeneratorRef> = equations.iter().map(|(g, _)| *g).collect();
     let alphas: Vec<f64> = equations.iter().map(|(_, a)| *a).collect();
     let penalty_weight = 1e5 * alpha_scale;
@@ -244,7 +272,11 @@ fn direct_minimal_time(
     let objective = |params: &[f64]| -> f64 {
         let time = params[variables.len()];
         let lookup = |id: VariableId| -> f64 {
-            variables.iter().position(|&v| v == id).map(|pos| params[pos]).unwrap_or(0.0)
+            variables
+                .iter()
+                .position(|&v| v == id)
+                .map(|pos| params[pos])
+                .unwrap_or(0.0)
         };
         let mut penalty = 0.0;
         for (gref, alpha) in grefs.iter().zip(alphas.iter()) {
@@ -262,12 +294,18 @@ fn direct_minimal_time(
     let minimal_time = outcome.solution[variables.len()];
     // Check the constraints are actually met at the reported minimum.
     let lookup = |id: VariableId| -> f64 {
-        variables.iter().position(|&v| v == id).map(|pos| outcome.solution[pos]).unwrap_or(0.0)
+        variables
+            .iter()
+            .position(|&v| v == id)
+            .map(|pos| outcome.solution[pos])
+            .unwrap_or(0.0)
     };
     let residual: f64 = grefs
         .iter()
         .zip(alphas.iter())
-        .map(|(gref, alpha)| (aais.generator(*gref).expr().eval(&lookup) * minimal_time - alpha).abs())
+        .map(|(gref, alpha)| {
+            (aais.generator(*gref).expr().eval(&lookup) * minimal_time - alpha).abs()
+        })
         .sum();
     if residual > 1e-3 * alpha_scale * equations.len() as f64 {
         return Err(CompileError::LocalSolveFailed {
@@ -315,7 +353,10 @@ pub fn solve_component_at_time(
         .copied()
         .collect();
     if equations.is_empty() || variables.is_empty() {
-        return Ok(LocalSolution { values: BTreeMap::new(), residual_l1: 0.0 });
+        return Ok(LocalSolution {
+            values: BTreeMap::new(),
+            residual_l1: 0.0,
+        });
     }
 
     // If every target is zero the component can simply stay switched off when
@@ -330,7 +371,10 @@ pub fn solve_component_at_time(
             values.insert(var, 0.0_f64.clamp(v.lower(), v.upper()));
         }
         let residual_l1 = residual_for(aais, &equations, &values, time);
-        return Ok(LocalSolution { values, residual_l1 });
+        return Ok(LocalSolution {
+            values,
+            residual_l1,
+        });
     }
 
     let mut lower = Vec::with_capacity(variables.len());
@@ -340,7 +384,9 @@ pub fn solve_component_at_time(
         let v = registry.get(var);
         lower.push(v.lower());
         upper.push(v.upper());
-        let guess = warm_start.and_then(|w| w.get(&var).copied()).unwrap_or(v.initial_guess());
+        let guess = warm_start
+            .and_then(|w| w.get(&var).copied())
+            .unwrap_or(v.initial_guess());
         initial.push(guess.clamp(v.lower(), v.upper()));
     }
 
@@ -348,7 +394,11 @@ pub fn solve_component_at_time(
     let alphas: Vec<f64> = equations.iter().map(|(_, a)| *a).collect();
     let residual_fn = |params: &[f64]| -> Vec<f64> {
         let lookup = |id: VariableId| -> f64 {
-            variables.iter().position(|&v| v == id).map(|pos| params[pos]).unwrap_or(0.0)
+            variables
+                .iter()
+                .position(|&v| v == id)
+                .map(|pos| params[pos])
+                .unwrap_or(0.0)
         };
         grefs
             .iter()
@@ -359,7 +409,11 @@ pub fn solve_component_at_time(
 
     // Tolerance relative to the magnitude of the targets so that targets with
     // small coefficients are still met to high *relative* accuracy.
-    let alpha_scale = alphas.iter().map(|a| a.abs()).fold(0.0_f64, f64::max).max(1e-6);
+    let alpha_scale = alphas
+        .iter()
+        .map(|a| a.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-6);
     let solver = LevenbergMarquardt::new()
         .with_max_iterations(250)
         .with_residual_tolerance(0.5 * (1e-9 * alpha_scale).powi(2));
@@ -397,7 +451,10 @@ pub fn solve_component_at_time(
         values.insert(var, outcome.solution[pos]);
     }
     let residual_l1 = residual_for(aais, &equations, &values, time);
-    Ok(LocalSolution { values, residual_l1 })
+    Ok(LocalSolution {
+        values,
+        residual_l1,
+    })
 }
 
 /// L1 residual of a component's equations for a concrete variable assignment.
@@ -418,11 +475,17 @@ pub fn residual_for(
 mod tests {
     use super::*;
     use crate::components::partition;
-    use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
     use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+    use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
 
     fn rydberg3() -> Aais {
-        rydberg_aais(3, &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() })
+        rydberg_aais(
+            3,
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
+        )
     }
 
     fn gref_of(aais: &Aais, name: &str, generator: usize) -> GeneratorRef {
@@ -431,7 +494,10 @@ mod tests {
             .iter()
             .position(|i| i.name() == name)
             .unwrap_or_else(|| panic!("instruction {name} not found"));
-        GeneratorRef { instruction, generator }
+        GeneratorRef {
+            instruction,
+            generator,
+        }
     }
 
     #[test]
@@ -441,7 +507,11 @@ mod tests {
         let gref = gref_of(&aais, "detuning_0", 0);
         let timing =
             minimal_time_for_instruction(&aais, gref.instruction, &[(gref, 1.0)], 4.0).unwrap();
-        assert!((timing.minimal_time - 0.1).abs() < 1e-6, "T was {}", timing.minimal_time);
+        assert!(
+            (timing.minimal_time - 0.1).abs() < 1e-6,
+            "T was {}",
+            timing.minimal_time
+        );
         match timing.detail {
             TimingDetail::Absorbed { scaled_value, .. } => {
                 assert!((scaled_value - 2.0).abs() < 1e-6)
@@ -464,9 +534,17 @@ mod tests {
             4.0,
         )
         .unwrap();
-        assert!((timing.minimal_time - 0.8).abs() < 1e-4, "T was {}", timing.minimal_time);
+        assert!(
+            (timing.minimal_time - 0.8).abs() < 1e-4,
+            "T was {}",
+            timing.minimal_time
+        );
         match timing.detail {
-            TimingDetail::Absorbed { scaled_value, others, .. } => {
+            TimingDetail::Absorbed {
+                scaled_value,
+                others,
+                ..
+            } => {
                 assert!((scaled_value - 2.0).abs() < 1e-4);
                 let phi = *others.values().next().unwrap();
                 assert!(phi.abs() < 1e-4);
@@ -526,8 +604,18 @@ mod tests {
         )
         .unwrap();
         assert!(solution.residual_l1 < 1e-6);
-        let omega_id = aais.registry().iter().find(|v| v.name() == "Omega_0").unwrap().id();
-        let phi_id = aais.registry().iter().find(|v| v.name() == "phi_0").unwrap().id();
+        let omega_id = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "Omega_0")
+            .unwrap()
+            .id();
+        let phi_id = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "phi_0")
+            .unwrap()
+            .id();
         assert!((solution.values[&omega_id] - 2.5).abs() < 1e-4);
         assert!(solution.values[&phi_id].abs() < 1e-4);
     }
@@ -542,7 +630,10 @@ mod tests {
         };
         let aais = rydberg_aais(3, &options);
         let components = partition(&aais, true);
-        let fixed = components.iter().find(|c| c.is_fixed()).expect("fixed component");
+        let fixed = components
+            .iter()
+            .find(|c| c.is_fixed())
+            .expect("fixed component");
         let targets = vec![
             (gref_of(&aais, "vdw_0_1", 0), 1.0),
             (gref_of(&aais, "vdw_1_2", 0), 1.0),
@@ -551,7 +642,11 @@ mod tests {
         let solution = solve_component_at_time(&aais, fixed, &targets, 0.8, None).unwrap();
         // Residual is dominated by the unavoidable 0→(0.02) tail of the
         // third equation (paper §6.2 reports α₃ = 0.020).
-        assert!(solution.residual_l1 < 0.05, "residual {}", solution.residual_l1);
+        assert!(
+            solution.residual_l1 < 0.05,
+            "residual {}",
+            solution.residual_l1
+        );
         let x: Vec<f64> = aais
             .site_positions()
             .iter()
@@ -569,8 +664,10 @@ mod tests {
         let components = partition(&aais, true);
         let cos_ref = gref_of(&aais, "rabi_1", 0);
         let sin_ref = gref_of(&aais, "rabi_1", 1);
-        let component =
-            components.iter().find(|c| c.generators.contains(&cos_ref)).unwrap();
+        let component = components
+            .iter()
+            .find(|c| c.generators.contains(&cos_ref))
+            .unwrap();
         let solution = solve_component_at_time(
             &aais,
             component,
@@ -589,9 +686,16 @@ mod tests {
         let components = partition(&aais, true);
         let cos_ref = gref_of(&aais, "rabi_0", 0);
         let sin_ref = gref_of(&aais, "rabi_0", 1);
-        let component =
-            components.iter().find(|c| c.generators.contains(&cos_ref)).unwrap();
-        let omega_id = aais.registry().iter().find(|v| v.name() == "Omega_0").unwrap().id();
+        let component = components
+            .iter()
+            .find(|c| c.generators.contains(&cos_ref))
+            .unwrap();
+        let omega_id = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "Omega_0")
+            .unwrap()
+            .id();
         let mut warm = BTreeMap::new();
         warm.insert(omega_id, 2.5);
         let solution = solve_component_at_time(

@@ -20,7 +20,9 @@ pub struct Mapping {
 impl Mapping {
     /// The identity mapping on `n` qubits.
     pub fn identity(n: usize) -> Self {
-        Mapping { sites: (0..n).collect() }
+        Mapping {
+            sites: (0..n).collect(),
+        }
     }
 
     /// Builds a mapping from an explicit permutation (target qubit → site).
@@ -79,7 +81,9 @@ impl Mapping {
         if let Some(max_site) = self.max_site() {
             if max_site >= device_sites {
                 return Err(CompileError::InvalidMapping {
-                    reason: format!("mapping uses site {max_site} but the device has {device_sites}"),
+                    reason: format!(
+                        "mapping uses site {max_site} but the device has {device_sites}"
+                    ),
                 });
             }
         }
@@ -88,11 +92,13 @@ impl Mapping {
             let relabeled: Result<Vec<(usize, qturbo_hamiltonian::Pauli)>, CompileError> = string
                 .iter()
                 .map(|(qubit, op)| {
-                    self.sites.get(qubit).copied().map(|site| (site, op)).ok_or_else(|| {
-                        CompileError::InvalidMapping {
+                    self.sites
+                        .get(qubit)
+                        .copied()
+                        .map(|site| (site, op))
+                        .ok_or_else(|| CompileError::InvalidMapping {
                             reason: format!("target qubit {qubit} is not mapped"),
-                        }
-                    })
+                        })
                 })
                 .collect();
             mapped.add_term(coefficient, PauliString::from_ops(relabeled?));
@@ -183,7 +189,10 @@ mod tests {
         let target = ising_chain(3, 1.0, 0.5);
         let mapped = mapping.apply(&target, 3).unwrap();
         // Z0Z1 becomes Z2Z1, i.e. Z1Z2 in canonical order.
-        assert_eq!(mapped.coefficient(&PauliString::two(1, Pauli::Z, 2, Pauli::Z)), 1.0);
+        assert_eq!(
+            mapped.coefficient(&PauliString::two(1, Pauli::Z, 2, Pauli::Z)),
+            1.0
+        );
         assert_eq!(mapped.coefficient(&PauliString::single(2, Pauli::X)), 0.5);
         assert_eq!(mapped.num_terms(), target.num_terms());
     }

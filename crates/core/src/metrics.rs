@@ -4,7 +4,11 @@ use qturbo_math::Vector;
 
 /// The paper's absolute compilation error `E = ‖B_sim − B_tar‖₁` (Equation 9).
 pub fn absolute_error(b_sim: &Vector, b_tar: &Vector) -> f64 {
-    assert_eq!(b_sim.len(), b_tar.len(), "coefficient vectors must have the same length");
+    assert_eq!(
+        b_sim.len(),
+        b_tar.len(),
+        "coefficient vectors must have the same length"
+    );
     (b_sim.clone() - b_tar.clone()).norm_l1()
 }
 

@@ -31,11 +31,18 @@ pub fn refined_targets(
     achieved: &Vector,
 ) -> Result<Vector, CompileError> {
     let num_columns = system.columns().len();
-    assert_eq!(dynamic_columns.len(), num_columns, "column mask length mismatch");
-    assert_eq!(achieved.len(), num_columns, "achieved vector length mismatch");
+    assert_eq!(
+        dynamic_columns.len(),
+        num_columns,
+        "column mask length mismatch"
+    );
+    assert_eq!(
+        achieved.len(),
+        num_columns,
+        "achieved vector length mismatch"
+    );
 
-    let dynamic_indices: Vec<usize> =
-        (0..num_columns).filter(|&k| dynamic_columns[k]).collect();
+    let dynamic_indices: Vec<usize> = (0..num_columns).filter(|&k| dynamic_columns[k]).collect();
     if dynamic_indices.is_empty() {
         return Ok(achieved.clone());
     }
@@ -50,7 +57,8 @@ pub fn refined_targets(
 
     // Minimize ‖c + M_c·α_c‖₁ over the dynamic targets α_c.
     let m_c = system.matrix().select_columns(&dynamic_indices);
-    let (correction, _residual) = l1::minimize_l1_affine(&m_c, &c, 60).map_err(CompileError::from)?;
+    let (correction, _residual) =
+        l1::minimize_l1_affine(&m_c, &c, 60).map_err(CompileError::from)?;
 
     let mut refined = achieved.clone();
     for (position, &k) in dynamic_indices.iter().enumerate() {
@@ -73,7 +81,10 @@ mod tests {
     fn reproduces_paper_refinement_example() {
         let aais = rydberg_aais(
             3,
-            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
         );
         let target = ising_chain(3, 1.0, 1.0);
         let system = GlobalLinearSystem::build(&aais, &target, 1.0).unwrap();
@@ -82,24 +93,34 @@ mod tests {
         let names: Vec<(String, usize)> = system
             .columns()
             .iter()
-            .map(|gref| (aais.instruction_of(*gref).name().to_string(), gref.generator))
+            .map(|gref| {
+                (
+                    aais.instruction_of(*gref).name().to_string(),
+                    gref.generator,
+                )
+            })
             .collect();
         let col = |name: &str, generator: usize| {
-            names.iter().position(|(n, g)| n == name && *g == generator).unwrap()
+            names
+                .iter()
+                .position(|(n, g)| n == name && *g == generator)
+                .unwrap()
         };
 
         let mut dynamic_columns = vec![true; names.len()];
         let mut achieved = Vector::zeros(names.len());
         // Fixed-driven (vdW) columns with the achieved values from the paper.
-        for (pair, value) in
-            [("vdw_0_1", 1.001), ("vdw_1_2", 1.001), ("vdw_0_2", 0.020)]
-        {
+        for (pair, value) in [("vdw_0_1", 1.001), ("vdw_1_2", 1.001), ("vdw_0_2", 0.020)] {
             let k = col(pair, 0);
             dynamic_columns[k] = false;
             achieved[k] = value;
         }
         // Dynamic columns currently at the unrefined linear solution.
-        for (name, value) in [("detuning_0", 1.0), ("detuning_1", 2.0), ("detuning_2", 1.0)] {
+        for (name, value) in [
+            ("detuning_0", 1.0),
+            ("detuning_1", 2.0),
+            ("detuning_2", 1.0),
+        ] {
             achieved[col(name, 0)] = value;
         }
         for name in ["rabi_0", "rabi_1", "rabi_2"] {
@@ -110,13 +131,22 @@ mod tests {
         let before = system.absolute_error(&achieved);
         let refined = refined_targets(&system, &dynamic_columns, &achieved).unwrap();
         let after = system.absolute_error(&refined);
-        assert!(after <= before + 1e-12, "refinement must not increase the error");
+        assert!(
+            after <= before + 1e-12,
+            "refinement must not increase the error"
+        );
         // The ZZ deviations (0.001 + 0.001 + 0.020) are driven by the frozen
         // position variables and cannot be repaired by dynamic instructions;
         // refinement removes everything else (the Z-row errors), so the
         // remaining error is exactly that irreducible floor.
-        assert!(after < before - 0.03, "refinement should remove the Z-row errors");
-        assert!((after - 0.022).abs() < 1e-3, "expected the irreducible ZZ floor, got {after}");
+        assert!(
+            after < before - 0.03,
+            "refinement should remove the Z-row errors"
+        );
+        assert!(
+            (after - 0.022).abs() < 1e-3,
+            "expected the irreducible ZZ floor, got {after}"
+        );
 
         // The detuning targets move to compensate the vdW deviations
         // (paper: α₄ = 1.021, α₅ = 2.002, α₆ = 1.021).

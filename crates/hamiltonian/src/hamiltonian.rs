@@ -38,7 +38,10 @@ const COEFFICIENT_EPSILON: f64 = 1e-15;
 impl Hamiltonian {
     /// Creates an empty Hamiltonian on `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Hamiltonian { num_qubits, terms: BTreeMap::new() }
+        Hamiltonian {
+            num_qubits,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// Builds a Hamiltonian from `(coefficient, Pauli string)` pairs.
@@ -112,7 +115,11 @@ impl Hamiltonian {
 
     /// The distinct non-identity Pauli strings appearing in the Hamiltonian.
     pub fn pauli_strings(&self) -> Vec<PauliString> {
-        self.terms.keys().filter(|s| !s.is_identity()).cloned().collect()
+        self.terms
+            .keys()
+            .filter(|s| !s.is_identity())
+            .cloned()
+            .collect()
     }
 
     /// Sum of absolute coefficients (L1 norm of the coefficient vector),
@@ -147,7 +154,10 @@ impl Hamiltonian {
     ///
     /// Panics if the qubit counts differ.
     pub fn add(&self, other: &Hamiltonian) -> Hamiltonian {
-        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch in Hamiltonian::add");
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "qubit count mismatch in Hamiltonian::add"
+        );
         let mut out = self.clone();
         for (c, s) in other.terms() {
             out.add_term(c, s.clone());
@@ -206,7 +216,12 @@ impl PiecewiseHamiltonian {
 
     /// Wraps a single time-independent Hamiltonian evolving for `duration`.
     pub fn constant(hamiltonian: Hamiltonian, duration: f64) -> Self {
-        PiecewiseHamiltonian { segments: vec![Segment { hamiltonian, duration }] }
+        PiecewiseHamiltonian {
+            segments: vec![Segment {
+                hamiltonian,
+                duration,
+            }],
+        }
     }
 
     /// Discretizes `h(t)` on `[0, total_time]` into `num_segments` equal
@@ -225,7 +240,10 @@ impl PiecewiseHamiltonian {
         let segments = (0..num_segments)
             .map(|k| {
                 let midpoint = (k as f64 + 0.5) * dt;
-                Segment { hamiltonian: h_of_t(midpoint), duration: dt }
+                Segment {
+                    hamiltonian: h_of_t(midpoint),
+                    duration: dt,
+                }
             })
             .collect();
         PiecewiseHamiltonian { segments }
@@ -253,7 +271,9 @@ impl PiecewiseHamiltonian {
 
     /// Number of qubits (zero if empty).
     pub fn num_qubits(&self) -> usize {
-        self.segments.first().map_or(0, |s| s.hamiltonian.num_qubits())
+        self.segments
+            .first()
+            .map_or(0, |s| s.hamiltonian.num_qubits())
     }
 }
 
@@ -322,7 +342,10 @@ mod tests {
 
     #[test]
     fn display_contains_terms() {
-        let h = Hamiltonian::from_terms(2, [(1.0, zz(0, 1)), (-0.5, PauliString::single(0, Pauli::X))]);
+        let h = Hamiltonian::from_terms(
+            2,
+            [(1.0, zz(0, 1)), (-0.5, PauliString::single(0, Pauli::X))],
+        );
         let text = h.to_string();
         assert!(text.contains("Z0Z1"));
         assert!(text.contains("X0"));
@@ -331,8 +354,14 @@ mod tests {
 
     #[test]
     fn canonical_equality() {
-        let a = Hamiltonian::from_terms(2, [(1.0, zz(0, 1)), (0.5, PauliString::single(0, Pauli::X))]);
-        let b = Hamiltonian::from_terms(2, [(0.5, PauliString::single(0, Pauli::X)), (1.0, zz(0, 1))]);
+        let a = Hamiltonian::from_terms(
+            2,
+            [(1.0, zz(0, 1)), (0.5, PauliString::single(0, Pauli::X))],
+        );
+        let b = Hamiltonian::from_terms(
+            2,
+            [(0.5, PauliString::single(0, Pauli::X)), (1.0, zz(0, 1))],
+        );
         assert_eq!(a, b);
     }
 
@@ -353,7 +382,9 @@ mod tests {
         );
         assert_eq!(ramp.num_segments(), 4);
         assert!((ramp.total_time() - 1.0).abs() < 1e-12);
-        let c0 = ramp.segments()[0].hamiltonian.coefficient(&PauliString::single(0, Pauli::Z));
+        let c0 = ramp.segments()[0]
+            .hamiltonian
+            .coefficient(&PauliString::single(0, Pauli::Z));
         assert!((c0 - 0.125).abs() < 1e-12);
         assert!(PiecewiseHamiltonian::default().is_empty());
         assert_eq!(PiecewiseHamiltonian::default().num_qubits(), 0);

@@ -35,7 +35,15 @@ pub struct ModelParams {
 
 impl Default for ModelParams {
     fn default() -> Self {
-        ModelParams { j: 1.0, h: 1.0, mu: 1.0, t_hop: 1.0, u: 1.0, omega: 1.0, alpha: 1.0 }
+        ModelParams {
+            j: 1.0,
+            h: 1.0,
+            mu: 1.0,
+            t_hop: 1.0,
+            u: 1.0,
+            omega: 1.0,
+            alpha: 1.0,
+        }
     }
 }
 
@@ -304,7 +312,14 @@ impl Model {
     ) -> PiecewiseHamiltonian {
         match self.build(n, params) {
             Some(h) => PiecewiseHamiltonian::constant(h, total_time),
-            None => mis_chain(n, params.u, params.omega, params.alpha, total_time, num_segments),
+            None => mis_chain(
+                n,
+                params.u,
+                params.omega,
+                params.alpha,
+                total_time,
+                num_segments,
+            ),
         }
     }
 }
@@ -358,8 +373,14 @@ mod tests {
     #[test]
     fn heisenberg_chain_has_all_three_couplings() {
         let h = heisenberg_chain(3, 1.0, 0.0);
-        assert_eq!(h.coefficient(&PauliString::two(0, Pauli::X, 1, Pauli::X)), 1.0);
-        assert_eq!(h.coefficient(&PauliString::two(0, Pauli::Y, 1, Pauli::Y)), 1.0);
+        assert_eq!(
+            h.coefficient(&PauliString::two(0, Pauli::X, 1, Pauli::X)),
+            1.0
+        );
+        assert_eq!(
+            h.coefficient(&PauliString::two(0, Pauli::Y, 1, Pauli::Y)),
+            1.0
+        );
         assert_eq!(h.coefficient(&zz(0, 1)), 1.0);
         assert_eq!(h.num_terms(), 6);
     }

@@ -129,7 +129,9 @@ pub struct PauliString {
 impl PauliString {
     /// The identity string (no non-trivial factors).
     pub fn identity() -> Self {
-        PauliString { ops: BTreeMap::new() }
+        PauliString {
+            ops: BTreeMap::new(),
+        }
     }
 
     /// Builds a string from `(qubit, operator)` pairs. Identity factors are
@@ -312,7 +314,10 @@ mod tests {
         let x1 = PauliString::single(1, Pauli::X);
         let (phase, product) = z0.multiply(&x1);
         assert_eq!(phase, PauliPhase::PlusOne);
-        assert_eq!(product, PauliString::from_ops([(0, Pauli::Z), (1, Pauli::X)]));
+        assert_eq!(
+            product,
+            PauliString::from_ops([(0, Pauli::Z), (1, Pauli::X)])
+        );
     }
 
     #[test]

@@ -44,12 +44,18 @@ impl Complex {
 
     /// `e^{iθ}` on the unit circle.
     pub fn from_polar_angle(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude `|z|`.
@@ -64,7 +70,10 @@ impl Complex {
 
     /// Scales by a real factor.
     pub fn scale(self, factor: f64) -> Self {
-        Complex { re: self.re * factor, im: self.im * factor }
+        Complex {
+            re: self.re * factor,
+            im: self.im * factor,
+        }
     }
 }
 
@@ -77,14 +86,20 @@ impl From<f64> for Complex {
 impl Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -126,7 +141,10 @@ impl Div for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

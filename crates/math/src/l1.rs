@@ -94,7 +94,11 @@ pub fn minimize_l1(a: &Matrix, b: &Vector, max_iterations: usize) -> MathResult<
         }
     }
 
-    Ok(L1Outcome { solution: best_x, objective: best_objective, iterations })
+    Ok(L1Outcome {
+        solution: best_x,
+        objective: best_objective,
+        iterations,
+    })
 }
 
 /// Minimizes `||c + A·x||₁` (the refinement form used in paper §6.2) and
@@ -135,7 +139,11 @@ mod tests {
         let a = Matrix::from_rows(&rows);
         let b = Vector::from(vec![1.0, 1.0, 1.0, 1.0, 1.0, 100.0]);
         let out = minimize_l1(&a, &b, 200).unwrap();
-        assert!((out.solution[0] - 1.0).abs() < 1e-3, "got {}", out.solution[0]);
+        assert!(
+            (out.solution[0] - 1.0).abs() < 1e-3,
+            "got {}",
+            out.solution[0]
+        );
     }
 
     #[test]

@@ -183,7 +183,8 @@ impl LevenbergMarquardt {
                     damping = (damping * 0.3).max(1e-12);
                     improved = true;
                     if cost <= self.residual_tolerance || actual_step <= self.step_tolerance {
-                        converged = cost <= self.residual_tolerance || actual_step <= self.step_tolerance;
+                        converged =
+                            cost <= self.residual_tolerance || actual_step <= self.step_tolerance;
                     }
                     break;
                 }
@@ -200,7 +201,13 @@ impl LevenbergMarquardt {
             }
         }
 
-        Ok(LmOutcome { solution: x, residual, cost, iterations, converged })
+        Ok(LmOutcome {
+            solution: x,
+            residual,
+            cost,
+            iterations,
+            converged,
+        })
     }
 
     fn damped_step(&self, jac: &Matrix, residual: &Vector, damping: f64) -> MathResult<Vector> {
@@ -208,7 +215,10 @@ impl LevenbergMarquardt {
         let jt = jac.transpose();
         let mut jtj = jt.mul_matrix(jac)?;
         let n = jtj.rows();
-        let diag_scale = (0..n).map(|i| jtj[(i, i)]).fold(0.0_f64, f64::max).max(1e-12);
+        let diag_scale = (0..n)
+            .map(|i| jtj[(i, i)])
+            .fold(0.0_f64, f64::max)
+            .max(1e-12);
         for i in 0..n {
             // Columns whose residual derivative is (locally) zero still get a
             // small damping term relative to the overall curvature so the
@@ -233,7 +243,12 @@ mod tests {
     fn solves_quadratic_system() {
         let residual = |p: &[f64]| vec![p[0] * p[0] - 4.0, p[1] - 1.0];
         let out = LevenbergMarquardt::new()
-            .solve(&residual, Vector::from(vec![3.0, 0.0]), &[0.0, -10.0], &[10.0, 10.0])
+            .solve(
+                &residual,
+                Vector::from(vec![3.0, 0.0]),
+                &[0.0, -10.0],
+                &[10.0, 10.0],
+            )
             .unwrap();
         assert!(out.converged);
         assert!((out.solution[0] - 2.0).abs() < 1e-7);
@@ -287,15 +302,21 @@ mod tests {
     fn rejects_bad_bounds() {
         let residual = |p: &[f64]| vec![p[0]];
         let lm = LevenbergMarquardt::new();
-        assert!(lm.solve(&residual, Vector::from(vec![0.0]), &[1.0], &[0.0]).is_err());
-        assert!(lm.solve(&residual, Vector::from(vec![0.0]), &[0.0, 0.0], &[1.0]).is_err());
+        assert!(lm
+            .solve(&residual, Vector::from(vec![0.0]), &[1.0], &[0.0])
+            .is_err());
+        assert!(lm
+            .solve(&residual, Vector::from(vec![0.0]), &[0.0, 0.0], &[1.0])
+            .is_err());
     }
 
     #[test]
     fn rejects_empty_residual() {
         let residual = |_: &[f64]| Vec::new();
         let lm = LevenbergMarquardt::new();
-        assert!(lm.solve(&residual, Vector::from(vec![0.0]), &[0.0], &[1.0]).is_err());
+        assert!(lm
+            .solve(&residual, Vector::from(vec![0.0]), &[0.0], &[1.0])
+            .is_err());
     }
 
     #[test]
@@ -309,7 +330,12 @@ mod tests {
         // not loop forever and must report the iteration count honestly.
         let residual = |p: &[f64]| vec![(p[0] - 3.0) * (p[0] + 2.0), p[1] * p[0] - 1.0];
         let out = lm
-            .solve(&residual, Vector::from(vec![10.0, 10.0]), &[-100.0, -100.0], &[100.0, 100.0])
+            .solve(
+                &residual,
+                Vector::from(vec![10.0, 10.0]),
+                &[-100.0, -100.0],
+                &[100.0, 100.0],
+            )
             .unwrap();
         assert!(out.iterations <= 3);
     }
@@ -319,7 +345,10 @@ mod tests {
         // Ω/2 cos φ * T = 1, Ω/2 sin φ * T = 0  with T = 0.8 => Ω = 2.5, φ = 0.
         let t = 0.8;
         let residual = move |p: &[f64]| {
-            vec![p[0] / 2.0 * p[1].cos() * t - 1.0, p[0] / 2.0 * p[1].sin() * t - 0.0]
+            vec![
+                p[0] / 2.0 * p[1].cos() * t - 1.0,
+                p[0] / 2.0 * p[1].sin() * t - 0.0,
+            ]
         };
         let out = LevenbergMarquardt::new()
             .solve(

@@ -11,7 +11,9 @@
 //! * derivative-free minimization ([`nelder_mead::NelderMead`]),
 //! * L1-norm regression via iteratively re-weighted least squares ([`l1`]),
 //! * scalar root finding ([`roots`]),
-//! * a small [`Complex`] type used by the state-vector simulator.
+//! * a small [`Complex`] type used by the state-vector simulator,
+//! * a deterministic xoshiro256++ generator ([`rng::Rng`]) for noise models,
+//!   multi-start solvers, and property tests.
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@ pub mod lu;
 pub mod matrix;
 pub mod nelder_mead;
 pub mod qr;
+pub mod rng;
 pub mod roots;
 pub mod vector;
 
@@ -81,8 +84,14 @@ impl std::fmt::Display for MathError {
                 write!(f, "dimension mismatch: {context}")
             }
             MathError::SingularMatrix => write!(f, "matrix is singular"),
-            MathError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+            MathError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
             MathError::InvalidArgument { context } => {
                 write!(f, "invalid argument: {context}")
@@ -102,14 +111,21 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = MathError::DimensionMismatch { context: "2x3 * 4x1".to_string() };
+        let e = MathError::DimensionMismatch {
+            context: "2x3 * 4x1".to_string(),
+        };
         assert!(e.to_string().contains("2x3 * 4x1"));
-        let e = MathError::NoConvergence { routine: "lm", iterations: 7 };
+        let e = MathError::NoConvergence {
+            routine: "lm",
+            iterations: 7,
+        };
         assert!(e.to_string().contains("lm"));
         assert!(e.to_string().contains('7'));
         let e = MathError::SingularMatrix;
         assert!(!e.to_string().is_empty());
-        let e = MathError::InvalidArgument { context: "empty".into() };
+        let e = MathError::InvalidArgument {
+            context: "empty".into(),
+        };
         assert!(e.to_string().contains("empty"));
     }
 

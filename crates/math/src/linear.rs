@@ -117,8 +117,7 @@ pub fn rref_solve(a: &Matrix, b: &Vector) -> MathResult<RrefSolution> {
         }
     }
 
-    let free_columns: Vec<usize> =
-        (0..n).filter(|c| !pivot_cols.contains(c)).collect();
+    let free_columns: Vec<usize> = (0..n).filter(|c| !pivot_cols.contains(c)).collect();
 
     let solution = if consistent {
         let mut x = Vector::zeros(n);
@@ -130,7 +129,11 @@ pub fn rref_solve(a: &Matrix, b: &Vector) -> MathResult<RrefSolution> {
         None
     };
 
-    Ok(RrefSolution { solution, rank, free_columns })
+    Ok(RrefSolution {
+        solution,
+        rank,
+        free_columns,
+    })
 }
 
 /// Solves `A·x = b` exactly when possible and in the (ridge-regularized)
@@ -182,7 +185,11 @@ pub fn ridge_least_squares(a: &Matrix, b: &Vector, lambda: f64) -> MathResult<Ve
     }
     let at = a.transpose();
     let scale = a.norm_max().max(1.0);
-    let effective_lambda = if lambda > 0.0 { lambda } else { 1e-12 * scale * scale };
+    let effective_lambda = if lambda > 0.0 {
+        lambda
+    } else {
+        1e-12 * scale * scale
+    };
     // Normal equations (AᵀA + λI) x = Aᵀ b. The systems the compiler builds are
     // small and well scaled, so the squared condition number is acceptable.
     let mut ata = at.mul_matrix(a)?;

@@ -88,7 +88,11 @@ impl LuDecomposition {
                 }
             }
         }
-        Ok(LuDecomposition { factors, permutation, permutation_sign })
+        Ok(LuDecomposition {
+            factors,
+            permutation,
+            permutation_sign,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -183,7 +187,10 @@ mod tests {
     #[test]
     fn detects_singular_matrix() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert_eq!(LuDecomposition::new(&a).unwrap_err(), MathError::SingularMatrix);
+        assert_eq!(
+            LuDecomposition::new(&a).unwrap_err(),
+            MathError::SingularMatrix
+        );
     }
 
     #[test]
@@ -231,7 +238,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut seed = 1_u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {

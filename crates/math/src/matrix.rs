@@ -29,7 +29,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -56,7 +60,11 @@ impl Matrix {
             assert_eq!(row.len(), cols, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -210,7 +218,11 @@ impl Matrix {
         }
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// `self + factor * other`.
@@ -227,9 +239,17 @@ impl Matrix {
                 ),
             });
         }
-        let data =
-            self.data.iter().zip(other.data.iter()).map(|(a, b)| a + factor * b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + factor * b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 }
 
@@ -251,14 +271,16 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.add_scaled(1.0, rhs).expect("matrix add shape mismatch")
+        self.add_scaled(1.0, rhs)
+            .expect("matrix add shape mismatch")
     }
 }
 
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.add_scaled(-1.0, rhs).expect("matrix sub shape mismatch")
+        self.add_scaled(-1.0, rhs)
+            .expect("matrix sub shape mismatch")
     }
 }
 

@@ -42,7 +42,11 @@ pub struct NelderMead {
 
 impl Default for NelderMead {
     fn default() -> Self {
-        NelderMead { max_iterations: 2000, tolerance: 1e-12, initial_step: 0.25 }
+        NelderMead {
+            max_iterations: 2000,
+            tolerance: 1e-12,
+            initial_step: 0.25,
+        }
     }
 }
 
@@ -88,11 +92,17 @@ impl NelderMead {
     {
         let n = initial.len();
         if n == 0 {
-            return Err(MathError::InvalidArgument { context: "empty parameter vector".into() });
+            return Err(MathError::InvalidArgument {
+                context: "empty parameter vector".into(),
+            });
         }
         if lower.len() != n || upper.len() != n {
             return Err(MathError::InvalidArgument {
-                context: format!("bounds of length {}/{} for {n} parameters", lower.len(), upper.len()),
+                context: format!(
+                    "bounds of length {}/{} for {n} parameters",
+                    lower.len(),
+                    upper.len()
+                ),
             });
         }
         if lower.iter().zip(upper).any(|(lo, hi)| lo > hi) {
@@ -132,7 +142,11 @@ impl NelderMead {
             iterations += 1;
             // Order the simplex by objective value.
             let mut order: Vec<usize> = (0..simplex.len()).collect();
-            order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|&a, &b| {
+                values[a]
+                    .partial_cmp(&values[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let best = order[0];
             let worst = order[n];
             let second_worst = order[n - 1];
@@ -153,7 +167,6 @@ impl NelderMead {
                 let mut p = centroid.clone();
                 let diff = centroid.clone() - simplex[worst].clone();
                 p.axpy(alpha, &diff);
-                let mut p = p;
                 p.clamp_into(lower, upper);
                 p
             };
@@ -221,7 +234,12 @@ mod tests {
     fn minimizes_quadratic_bowl() {
         let objective = |p: &[f64]| (p[0] - 3.0).powi(2) + (p[1] - 0.5).powi(2);
         let out = NelderMead::new()
-            .minimize(&objective, Vector::from(vec![0.0, 0.0]), &[-10.0, -10.0], &[10.0, 10.0])
+            .minimize(
+                &objective,
+                Vector::from(vec![0.0, 0.0]),
+                &[-10.0, -10.0],
+                &[10.0, 10.0],
+            )
             .unwrap();
         assert!(out.converged);
         assert!((out.solution[0] - 3.0).abs() < 1e-4);
@@ -255,7 +273,11 @@ mod tests {
                 &[std::f64::consts::PI, 10.0],
             )
             .unwrap();
-        assert!((out.solution[1] - 1.0).abs() < 0.05, "T was {}", out.solution[1]);
+        assert!(
+            (out.solution[1] - 1.0).abs() < 0.05,
+            "T was {}",
+            out.solution[1]
+        );
         assert!(out.solution[0].abs() < 0.3, "phi was {}", out.solution[0]);
     }
 
@@ -278,7 +300,12 @@ mod tests {
             .with_max_iterations(5)
             .with_tolerance(1e-3)
             .with_initial_step(0.1)
-            .minimize(&|p: &[f64]| p[0] * p[0], Vector::from(vec![4.0]), &[-10.0], &[10.0])
+            .minimize(
+                &|p: &[f64]| p[0] * p[0],
+                Vector::from(vec![4.0]),
+                &[-10.0],
+                &[10.0],
+            )
             .unwrap();
         assert!(out.iterations <= 5);
     }

@@ -205,9 +205,10 @@ mod tests {
         let qr = QrDecomposition::new(&a).unwrap();
         let x = qr.solve_least_squares(&b).unwrap();
         assert!((x[0] - 7.0 / 3.0).abs() < 1e-12);
-        let expected_residual =
-            ((1.0f64 - 7.0 / 3.0).powi(2) + (2.0f64 - 7.0 / 3.0).powi(2) + (4.0f64 - 7.0 / 3.0).powi(2))
-                .sqrt();
+        let expected_residual = ((1.0f64 - 7.0 / 3.0).powi(2)
+            + (2.0f64 - 7.0 / 3.0).powi(2)
+            + (4.0f64 - 7.0 / 3.0).powi(2))
+        .sqrt();
         assert!((qr.residual_norm(&b) - expected_residual).abs() < 1e-12);
     }
 
@@ -222,7 +223,8 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         let qr = QrDecomposition::new(&a).unwrap();
         assert_eq!(
-            qr.solve_least_squares(&Vector::from(vec![1.0, 2.0, 3.0])).unwrap_err(),
+            qr.solve_least_squares(&Vector::from(vec![1.0, 2.0, 3.0]))
+                .unwrap_err(),
             MathError::SingularMatrix
         );
     }
@@ -240,6 +242,8 @@ mod tests {
         let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]]);
         let qr = QrDecomposition::new(&a).unwrap();
         // First column is all zeros: rank deficient.
-        assert!(qr.solve_least_squares(&Vector::from(vec![1.0, 2.0, 3.0])).is_err());
+        assert!(qr
+            .solve_least_squares(&Vector::from(vec![1.0, 2.0, 3.0]))
+            .is_err());
     }
 }

@@ -56,7 +56,10 @@ where
             flo = fmid;
         }
     }
-    Err(MathError::NoConvergence { routine: "bisect", iterations: max_iterations })
+    Err(MathError::NoConvergence {
+        routine: "bisect",
+        iterations: max_iterations,
+    })
 }
 
 /// Newton's method with a bisection fallback interval.
@@ -110,7 +113,11 @@ where
             lo = x;
         }
         let dfx = df(x);
-        let newton = if dfx.abs() > 1e-300 { x - fx / dfx } else { f64::NAN };
+        let newton = if dfx.abs() > 1e-300 {
+            x - fx / dfx
+        } else {
+            f64::NAN
+        };
         x = if newton.is_finite() && newton > lo && newton < hi {
             newton
         } else {
@@ -120,7 +127,10 @@ where
             return Ok(x);
         }
     }
-    Err(MathError::NoConvergence { routine: "newton_bracketed", iterations: max_iterations })
+    Err(MathError::NoConvergence {
+        routine: "newton_bracketed",
+        iterations: max_iterations,
+    })
 }
 
 #[cfg(test)]
@@ -147,8 +157,15 @@ mod tests {
 
     #[test]
     fn newton_converges_fast() {
-        let root = newton_bracketed(&|x| x.powi(6) - 10.0, &|x| 6.0 * x.powi(5), 1.0, 3.0, 1e-13, 100)
-            .unwrap();
+        let root = newton_bracketed(
+            &|x| x.powi(6) - 10.0,
+            &|x| 6.0 * x.powi(5),
+            1.0,
+            3.0,
+            1e-13,
+            100,
+        )
+        .unwrap();
         assert!((root - 10.0_f64.powf(1.0 / 6.0)).abs() < 1e-9);
     }
 

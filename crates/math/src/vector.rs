@@ -24,12 +24,16 @@ pub struct Vector {
 impl Vector {
     /// Creates a vector of `len` zeros.
     pub fn zeros(len: usize) -> Self {
-        Vector { data: vec![0.0; len] }
+        Vector {
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a vector filled with `value`.
     pub fn filled(len: usize, value: f64) -> Self {
-        Vector { data: vec![value; len] }
+        Vector {
+            data: vec![value; len],
+        }
     }
 
     /// Number of entries.
@@ -88,12 +92,19 @@ impl Vector {
                 context: format!("dot of length {} with length {}", self.len(), other.len()),
             });
         }
-        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum())
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum())
     }
 
     /// Returns a new vector scaled by `factor`.
     pub fn scaled(&self, factor: f64) -> Vector {
-        Vector { data: self.data.iter().map(|x| x * factor).collect() }
+        Vector {
+            data: self.data.iter().map(|x| x * factor).collect(),
+        }
     }
 
     /// In-place `self += factor * other`.
@@ -153,13 +164,17 @@ impl From<Vec<f64>> for Vector {
 
 impl From<&[f64]> for Vector {
     fn from(data: &[f64]) -> Self {
-        Vector { data: data.to_vec() }
+        Vector {
+            data: data.to_vec(),
+        }
     }
 }
 
 impl FromIterator<f64> for Vector {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        Vector { data: iter.into_iter().collect() }
+        Vector {
+            data: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -186,7 +201,14 @@ impl Add for Vector {
     type Output = Vector;
     fn add(self, rhs: Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector add length mismatch");
-        Vector { data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect() }
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
     }
 }
 
@@ -194,7 +216,14 @@ impl Sub for Vector {
     type Output = Vector;
     fn sub(self, rhs: Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "vector sub length mismatch");
-        Vector { data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect() }
+        Vector {
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
     }
 }
 

@@ -1,0 +1,562 @@
+//! Mask-compiled Pauli terms: the allocation-free `H|ψ⟩` hot path.
+//!
+//! # Design
+//!
+//! A Pauli string `P = ⊗_q P_q` acting on a computational basis state `|b⟩`
+//! sends it to a single basis state with a phase:
+//!
+//! * `X` flips the qubit's bit,
+//! * `Z` contributes `(−1)^{b_q}`,
+//! * `Y` does both and adds a constant factor `i` (`Y = i·X·Z`).
+//!
+//! So the whole string is captured by a bit-triple:
+//!
+//! * `x_mask` — bits of qubits carrying `X` or `Y` (which bits flip),
+//! * `z_mask` — bits of qubits carrying `Z` or `Y` (which bits contribute a
+//!   sign),
+//! * `i^{y_count}` — a constant phase from the number of `Y` factors, folded
+//!   into the term's complex [`weight`](CompiledTerm::weight) together with
+//!   the real coefficient.
+//!
+//! With that, `(c·P)|ψ⟩` evaluated at output index `j` is one gather:
+//!
+//! ```text
+//! out[j] += weight · (−1)^popcount((j ^ x_mask) & z_mask) · ψ[j ^ x_mask]
+//! ```
+//!
+//! — branch-free, no per-basis-state dispatch on `(qubit, Pauli)` pairs, and
+//! no heap allocation. [`CompiledHamiltonian`] caches the compiled term list
+//! so repeated applications inside a Taylor loop pay the compilation cost
+//! once, and writes each output index exactly once per term, which makes the
+//! amplitude loop trivially parallel: above
+//! [`PARALLEL_THRESHOLD_QUBITS`] the output vector is split into contiguous
+//! chunks handled by scoped threads (reads gather from the shared input).
+//!
+//! The naive per-qubit reference implementation is retained as
+//! [`StateVector::apply_pauli_string`](crate::StateVector::apply_pauli_string)
+//! and [`crate::propagate::apply_hamiltonian_naive`]; the property tests in
+//! `tests/prop_propagation.rs` pin the two paths together.
+
+use crate::state::StateVector;
+use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
+use qturbo_math::Complex;
+
+/// State sizes of at least `2^PARALLEL_THRESHOLD_QUBITS` amplitudes are
+/// processed with scoped threads; smaller states stay single-threaded (the
+/// spawn overhead would dominate).
+pub const PARALLEL_THRESHOLD_QUBITS: usize = 14;
+
+/// A Pauli string compiled to its `(x_mask, z_mask, weight)` bit-triple form,
+/// scaled by a real coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledTerm {
+    x_mask: usize,
+    z_mask: usize,
+    weight: Complex,
+}
+
+impl CompiledTerm {
+    /// Compiles `coefficient · string` into mask form.
+    pub fn compile(coefficient: f64, string: &PauliString) -> Self {
+        let mut x_mask = 0usize;
+        let mut z_mask = 0usize;
+        let mut y_count = 0u32;
+        for (qubit, op) in string.iter() {
+            match op {
+                Pauli::I => {}
+                Pauli::X => x_mask |= 1 << qubit,
+                Pauli::Z => z_mask |= 1 << qubit,
+                Pauli::Y => {
+                    x_mask |= 1 << qubit;
+                    z_mask |= 1 << qubit;
+                    y_count += 1;
+                }
+            }
+        }
+        let y_phase = match y_count % 4 {
+            0 => Complex::ONE,
+            1 => Complex::I,
+            2 => -Complex::ONE,
+            _ => -Complex::I,
+        };
+        CompiledTerm {
+            x_mask,
+            z_mask,
+            weight: y_phase.scale(coefficient),
+        }
+    }
+
+    /// Bit mask of qubits whose basis bit flips (`X` and `Y` factors).
+    pub fn x_mask(&self) -> usize {
+        self.x_mask
+    }
+
+    /// Bit mask of qubits contributing a `(−1)^bit` sign (`Z` and `Y`
+    /// factors).
+    pub fn z_mask(&self) -> usize {
+        self.z_mask
+    }
+
+    /// The term's constant prefactor: `coefficient · i^{y_count}`.
+    pub fn weight(&self) -> Complex {
+        self.weight
+    }
+
+    /// Largest qubit index the term acts on non-trivially, if any.
+    pub fn max_qubit(&self) -> Option<usize> {
+        let support = self.x_mask | self.z_mask;
+        if support == 0 {
+            None
+        } else {
+            Some(usize::BITS as usize - 1 - support.leading_zeros() as usize)
+        }
+    }
+
+    /// `±1` sign contributed by the `z_mask` at input basis index `i`.
+    #[inline(always)]
+    fn sign(&self, i: usize) -> f64 {
+        // Branch-free: parity 0 → +1.0, parity 1 → −1.0.
+        1.0 - 2.0 * ((i & self.z_mask).count_ones() & 1) as f64
+    }
+
+    /// `⟨ψ|c·P|ψ⟩` evaluated in one allocation-free pass.
+    ///
+    /// The result is real for Hermitian terms (real coefficient); the full
+    /// complex accumulator is returned so callers can check the imaginary
+    /// part if they want.
+    pub fn expectation(&self, amplitudes: &[Complex]) -> Complex {
+        let mut acc = Complex::ZERO;
+        let x_mask = self.x_mask;
+        for (j, amp) in amplitudes.iter().enumerate() {
+            let i = j ^ x_mask;
+            acc += (amp.conj() * amplitudes[i]).scale(self.sign(i));
+        }
+        self.weight * acc
+    }
+}
+
+/// Diagonal terms are folded into a precomputed per-basis-state table when
+/// there are at least this many of them (a single diagonal term is just as
+/// fast through the generic gather path, and the table costs `2ⁿ` doubles).
+const DIAG_TABLE_MIN_TERMS: usize = 2;
+/// No diagonal table above this qubit count (memory guard: the table is
+/// `2ⁿ · 8` bytes).
+const DIAG_TABLE_MAX_QUBITS: usize = 24;
+
+/// A Hamiltonian pre-compiled into mask-form terms, cached for repeated
+/// application inside the propagation loop.
+///
+/// Compilation splits the terms into two groups:
+///
+/// * **diagonal** terms (`x_mask == 0`: products of `Z`s and the identity)
+///   are summed into one real-valued table `diag[b] = Σ_t c_t·(−1)^parity`,
+///   collapsing any number of `Z`/`ZZ` terms into a single sequential
+///   multiply stream — the dominant term population of Ising-type models;
+/// * **off-diagonal** terms keep their `(x_mask, z_mask, weight)` triples and
+///   are evaluated as gathers.
+///
+/// [`apply_into`](CompiledHamiltonian::apply_into) then makes exactly **one
+/// write pass** over the output: each amplitude is assembled from the
+/// diagonal table plus one gather per off-diagonal term, and the squared
+/// norm of the result is accumulated for free along the way (the Taylor
+/// loop's convergence check needs it anyway).
+///
+/// # Example
+///
+/// ```
+/// use qturbo_quantum::compiled::CompiledHamiltonian;
+/// use qturbo_quantum::StateVector;
+/// use qturbo_hamiltonian::models::ising_chain;
+///
+/// let compiled = CompiledHamiltonian::compile(&ising_chain(4, 1.0, 0.5));
+/// let state = StateVector::plus_state(4);
+/// let mut out = StateVector::zeros(4);
+/// compiled.apply_into(&state, &mut out);
+/// assert_eq!(compiled.num_terms(), 7); // 3 ZZ bonds + 4 X fields
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledHamiltonian {
+    num_qubits: usize,
+    terms: Vec<CompiledTerm>,
+    /// Pure bit-flip terms (`z_mask == 0`, real weight — plain `X` products):
+    /// the cheapest class, no sign computation at all.
+    flip_terms: Vec<(usize, f64)>,
+    /// Remaining off-diagonal terms, evaluated through the generic gather
+    /// path (plus diagonal terms when the table was not built).
+    gather_terms: Vec<CompiledTerm>,
+    /// Folded diagonal contribution, indexed by `basis & (len − 1)`; empty
+    /// when no table was built.
+    diag_table: Vec<f64>,
+    step_strength: f64,
+}
+
+impl CompiledHamiltonian {
+    /// Compiles every term of `hamiltonian` into mask form.
+    pub fn compile(hamiltonian: &Hamiltonian) -> Self {
+        let num_qubits = hamiltonian.num_qubits();
+        let terms: Vec<CompiledTerm> = hamiltonian
+            .terms()
+            .map(|(coefficient, string)| CompiledTerm::compile(coefficient, string))
+            .collect();
+
+        let diagonal_count = terms.iter().filter(|t| t.x_mask == 0).count();
+        let build_table =
+            diagonal_count >= DIAG_TABLE_MIN_TERMS && num_qubits <= DIAG_TABLE_MAX_QUBITS;
+        let mut flip_terms = Vec::new();
+        let mut gather_terms = Vec::new();
+        let mut diag_table = Vec::new();
+        if build_table {
+            diag_table = vec![0.0f64; 1 << num_qubits];
+        }
+        for term in &terms {
+            if term.x_mask == 0 && build_table {
+                // x_mask == 0 implies no Y factors, so the weight is real.
+                let coefficient = term.weight.re;
+                for (basis, slot) in diag_table.iter_mut().enumerate() {
+                    *slot += coefficient * term.sign(basis);
+                }
+            } else if term.x_mask != 0 && term.z_mask == 0 && term.weight.im == 0.0 {
+                flip_terms.push((term.x_mask, term.weight.re));
+            } else {
+                gather_terms.push(*term);
+            }
+        }
+
+        // Same step-sizing strength as the scalar reference path: the L1 norm
+        // of the dynamical coefficients plus the largest coefficient.
+        let step_strength = hamiltonian.coefficient_l1_norm() + hamiltonian.max_abs_coefficient();
+        CompiledHamiltonian {
+            num_qubits,
+            terms,
+            flip_terms,
+            gather_terms,
+            diag_table,
+            step_strength,
+        }
+    }
+
+    /// Number of qubits of the source Hamiltonian.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of compiled terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The compiled terms.
+    pub fn terms(&self) -> &[CompiledTerm] {
+        &self.terms
+    }
+
+    /// Strength used to size Taylor steps (`‖c‖₁ + max|c|`, matching the
+    /// scalar reference path so both produce identical step counts).
+    pub fn step_strength(&self) -> f64 {
+        self.step_strength
+    }
+
+    /// Computes `out = H|ψ⟩` in place and returns `‖H|ψ⟩‖`. `out` is fully
+    /// overwritten; no heap allocation is performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `input` and `out` differ, or the
+    /// Hamiltonian acts on more qubits than the state has.
+    pub fn apply_into(&self, input: &StateVector, out: &mut StateVector) -> f64 {
+        assert_eq!(input.dim(), out.dim(), "state dimension mismatch");
+        assert!(
+            self.num_qubits <= input.num_qubits(),
+            "Hamiltonian acts on more qubits than the state"
+        );
+        let dim = input.dim();
+        let input = input.amplitudes();
+        let out = out.amplitudes_mut();
+
+        let threads = worker_count(dim);
+        if threads <= 1 {
+            return self.apply_range(input, out, 0).sqrt();
+        }
+
+        // Each worker owns a contiguous chunk of the *output*; every output
+        // index is written exactly once, so chunks never race. Reads gather
+        // from the shared input vector.
+        let chunk = dim.div_ceil(threads);
+        let norm_sqr: f64 = std::thread::scope(|scope| {
+            let workers: Vec<_> = out
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(index, slice)| {
+                    scope.spawn(move || self.apply_range(input, slice, index * chunk))
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("kernel worker panicked"))
+                .sum()
+        });
+        norm_sqr.sqrt()
+    }
+
+    /// Fused Taylor iteration: computes `out = H|ψ⟩`, accumulates
+    /// `target += factor · out` in the same write pass, and returns `‖out‖`.
+    /// One memory sweep instead of the three a separate apply + accumulate +
+    /// norm would cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimensions differ, or the Hamiltonian acts on more
+    /// qubits than the state has.
+    pub fn apply_accumulate_into(
+        &self,
+        input: &StateVector,
+        out: &mut StateVector,
+        target: &mut StateVector,
+        factor: Complex,
+    ) -> f64 {
+        assert_eq!(input.dim(), out.dim(), "state dimension mismatch");
+        assert_eq!(input.dim(), target.dim(), "state dimension mismatch");
+        assert!(
+            self.num_qubits <= input.num_qubits(),
+            "Hamiltonian acts on more qubits than the state"
+        );
+        let dim = input.dim();
+        let input = input.amplitudes();
+        let out = out.amplitudes_mut();
+        let target = target.amplitudes_mut();
+
+        let threads = worker_count(dim);
+        if threads <= 1 {
+            return self
+                .apply_accumulate_range(input, out, target, factor, 0)
+                .sqrt();
+        }
+
+        let chunk = dim.div_ceil(threads);
+        let norm_sqr: f64 = std::thread::scope(|scope| {
+            let workers: Vec<_> = out
+                .chunks_mut(chunk)
+                .zip(target.chunks_mut(chunk))
+                .enumerate()
+                .map(|(index, (out_slice, target_slice))| {
+                    scope.spawn(move || {
+                        self.apply_accumulate_range(
+                            input,
+                            out_slice,
+                            target_slice,
+                            factor,
+                            index * chunk,
+                        )
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("kernel worker panicked"))
+                .sum()
+        });
+        norm_sqr.sqrt()
+    }
+
+    /// One fused-kernel element: `H|ψ⟩` at output index `j`, assembled from
+    /// the diagonal table, the pure-flip terms, and the generic gathers.
+    #[inline(always)]
+    fn element(&self, input: &[Complex], j: usize, diag_index_mask: usize) -> Complex {
+        let mut acc = if self.diag_table.is_empty() {
+            Complex::ZERO
+        } else {
+            // The table covers the Hamiltonian's own register; higher state
+            // qubits (identity-extended) just wrap around the index mask.
+            input[j].scale(self.diag_table[j & diag_index_mask])
+        };
+        for &(x_mask, weight) in &self.flip_terms {
+            acc += input[j ^ x_mask].scale(weight);
+        }
+        for term in &self.gather_terms {
+            let i = j ^ term.x_mask;
+            acc += (term.weight * input[i]).scale(term.sign(i));
+        }
+        acc
+    }
+
+    /// The fused kernel over output indices `offset .. offset + out.len()`:
+    /// one write pass, returns the chunk's squared norm.
+    fn apply_range(&self, input: &[Complex], out: &mut [Complex], offset: usize) -> f64 {
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        let mut norm_sqr = 0.0;
+        for (k, slot) in out.iter_mut().enumerate() {
+            let acc = self.element(input, offset + k, diag_index_mask);
+            norm_sqr += acc.norm_sqr();
+            *slot = acc;
+        }
+        norm_sqr
+    }
+
+    /// [`apply_range`](Self::apply_range) with the Taylor accumulation fused
+    /// into the same pass: `target[j] += factor · out[j]`.
+    fn apply_accumulate_range(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        target: &mut [Complex],
+        factor: Complex,
+        offset: usize,
+    ) -> f64 {
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        let mut norm_sqr = 0.0;
+        for (k, (slot, target_slot)) in out.iter_mut().zip(target.iter_mut()).enumerate() {
+            let acc = self.element(input, offset + k, diag_index_mask);
+            norm_sqr += acc.norm_sqr();
+            *slot = acc;
+            *target_slot += factor * acc;
+        }
+        norm_sqr
+    }
+
+    /// `⟨ψ|H|ψ⟩` in one allocation-free pass per term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Hamiltonian acts on more qubits than the state has.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        assert!(
+            self.num_qubits <= state.num_qubits(),
+            "Hamiltonian acts on more qubits than the state"
+        );
+        let amplitudes = state.amplitudes();
+        self.terms
+            .iter()
+            .map(|term| term.expectation(amplitudes).re)
+            .sum()
+    }
+}
+
+/// Number of worker threads to use for a state of dimension `dim`.
+fn worker_count(dim: usize) -> usize {
+    if dim < 1 << PARALLEL_THRESHOLD_QUBITS {
+        return 1;
+    }
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Keep every worker busy with at least a threshold-sized chunk.
+    available.min(dim >> (PARALLEL_THRESHOLD_QUBITS - 1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex) {
+        assert!((a - b).abs() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn masks_of_basic_strings() {
+        let x0 = CompiledTerm::compile(1.0, &PauliString::single(0, Pauli::X));
+        assert_eq!((x0.x_mask(), x0.z_mask()), (1, 0));
+        assert_eq!(x0.weight(), Complex::ONE);
+
+        let z1 = CompiledTerm::compile(2.0, &PauliString::single(1, Pauli::Z));
+        assert_eq!((z1.x_mask(), z1.z_mask()), (0, 2));
+        assert_eq!(z1.weight(), Complex::from_real(2.0));
+
+        let y2 = CompiledTerm::compile(1.0, &PauliString::single(2, Pauli::Y));
+        assert_eq!((y2.x_mask(), y2.z_mask()), (4, 4));
+        assert_eq!(y2.weight(), Complex::I);
+        assert_eq!(y2.max_qubit(), Some(2));
+
+        let identity = CompiledTerm::compile(0.5, &PauliString::identity());
+        assert_eq!((identity.x_mask(), identity.z_mask()), (0, 0));
+        assert_eq!(identity.max_qubit(), None);
+    }
+
+    #[test]
+    fn y_phase_wraps_modulo_four() {
+        for y_count in 0..8usize {
+            let string = PauliString::from_ops((0..y_count).map(|q| (q, Pauli::Y)));
+            let term = CompiledTerm::compile(1.0, &string);
+            let expected = match y_count % 4 {
+                0 => Complex::ONE,
+                1 => Complex::I,
+                2 => -Complex::ONE,
+                _ => -Complex::I,
+            };
+            assert_close(term.weight(), expected);
+        }
+    }
+
+    #[test]
+    fn compiled_apply_matches_naive_reference() {
+        let strings = [
+            PauliString::identity(),
+            PauliString::single(0, Pauli::X),
+            PauliString::single(1, Pauli::Y),
+            PauliString::two(0, Pauli::Z, 2, Pauli::Y),
+            PauliString::from_ops([(0, Pauli::Y), (1, Pauli::Y), (2, Pauli::Z)]),
+        ];
+        let state = StateVector::from_amplitudes(
+            (0..8)
+                .map(|k| Complex::new(1.0 + k as f64, 0.5 - k as f64))
+                .collect(),
+        );
+        for string in &strings {
+            let naive = state.apply_pauli_string(string);
+            let compiled =
+                CompiledHamiltonian::compile(&Hamiltonian::from_terms(3, [(1.0, string.clone())]));
+            let mut fast = StateVector::zeros(3);
+            compiled.apply_into(&state, &mut fast);
+            for (a, b) in naive.amplitudes().iter().zip(fast.amplitudes()) {
+                assert_close(*a, *b);
+            }
+            // Expectation agrees with the inner-product route.
+            let via_apply = state.inner_product(&naive).re;
+            assert!((compiled.expectation(&state) - via_apply).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamiltonian_on_smaller_register_than_state() {
+        // A 1-qubit H applied to a 2-qubit state acts as H ⊗ I.
+        let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
+        let compiled = CompiledHamiltonian::compile(&h);
+        let state = StateVector::zero_state(2);
+        let mut out = StateVector::zeros(2);
+        compiled.apply_into(&state, &mut out);
+        assert_close(out.amplitudes()[1], Complex::ONE);
+        assert_close(out.amplitudes()[0], Complex::ZERO);
+    }
+
+    #[test]
+    fn step_strength_matches_hamiltonian_norms() {
+        let h = Hamiltonian::from_terms(
+            2,
+            [
+                (3.0, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                (-1.0, PauliString::single(0, Pauli::X)),
+                (0.5, PauliString::identity()),
+            ],
+        );
+        let compiled = CompiledHamiltonian::compile(&h);
+        assert_eq!(
+            compiled.step_strength(),
+            h.coefficient_l1_norm() + h.max_abs_coefficient()
+        );
+        assert_eq!(compiled.num_terms(), 3);
+        assert!(!compiled.is_empty());
+        assert!(CompiledHamiltonian::compile(&Hamiltonian::new(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "more qubits than the state")]
+    fn oversized_hamiltonian_panics() {
+        let h = Hamiltonian::from_terms(3, [(1.0, PauliString::single(2, Pauli::X))]);
+        let compiled = CompiledHamiltonian::compile(&h);
+        let state = StateVector::zero_state(1);
+        let mut out = StateVector::zeros(1);
+        compiled.apply_into(&state, &mut out);
+    }
+}

@@ -24,8 +24,7 @@ use crate::observable::{z_expectations, zz_expectations};
 use crate::propagate::evolve_piecewise;
 use crate::state::StateVector;
 use qturbo_hamiltonian::Hamiltonian;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qturbo_math::rng::Rng;
 
 /// Phenomenological noise parameters of the emulated device.
 #[derive(Debug, Clone, PartialEq)]
@@ -149,16 +148,18 @@ impl EmulatedDevice {
         cyclic: bool,
     ) -> DeviceRun {
         let execution_time: f64 = segments.iter().map(|(_, d)| *d).sum();
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9));
+        let mut rng = Rng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9));
 
         // Coherent amplitude miscalibration: one scale error per run.
         let scale = if self.noise.amplitude_miscalibration > 0.0 {
-            1.0 + sample_gaussian(&mut rng) * self.noise.amplitude_miscalibration
+            1.0 + rng.next_gaussian() * self.noise.amplitude_miscalibration
         } else {
             1.0
         };
-        let noisy_segments: Vec<(Hamiltonian, f64)> =
-            segments.iter().map(|(h, d)| (h.scaled(scale), *d)).collect();
+        let noisy_segments: Vec<(Hamiltonian, f64)> = segments
+            .iter()
+            .map(|(h, d)| (h.scaled(scale), *d))
+            .collect();
 
         let initial = StateVector::zero_state(num_qubits);
         let final_state = evolve_piecewise(&initial, &noisy_segments);
@@ -178,19 +179,23 @@ impl EmulatedDevice {
             .map(|e| self.estimate(e * damp(2.0), &mut rng))
             .collect();
 
-        DeviceRun { z, zz, execution_time }
+        DeviceRun {
+            z,
+            zz,
+            execution_time,
+        }
     }
 
     /// Converts an exact expectation value into a finite-shot estimate.
-    fn estimate(&self, expectation: f64, rng: &mut StdRng) -> f64 {
+    fn estimate(&self, expectation: f64, rng: &mut Rng) -> f64 {
         match self.noise.shots {
             None => expectation,
-            Some(shots) if shots == 0 => expectation,
+            Some(0) => expectation,
             Some(shots) => {
                 let probability_plus = ((1.0 + expectation) / 2.0).clamp(0.0, 1.0);
                 let mut plus_count = 0usize;
                 for _ in 0..shots {
-                    if rng.gen::<f64>() < probability_plus {
+                    if rng.next_f64() < probability_plus {
                         plus_count += 1;
                     }
                 }
@@ -203,13 +208,6 @@ impl EmulatedDevice {
 /// Convenience: run the segments on a noiseless device.
 pub fn ideal_run(segments: &[(Hamiltonian, f64)], num_qubits: usize, cyclic: bool) -> DeviceRun {
     EmulatedDevice::ideal().run(segments, num_qubits, cyclic)
-}
-
-/// Samples a standard Gaussian via the Box–Muller transform.
-fn sample_gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(1e-12);
-    let u2: f64 = rng.gen::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]
@@ -266,7 +264,7 @@ mod tests {
         assert!((short.z_average() - (-0.5_f64 * 0.5).exp()).abs() < 1e-12);
         assert!((long.z_average() - (-0.5_f64).exp()).abs() < 1e-12);
         // Weight-2 observables are damped twice as fast.
-        assert!((long.zz_average() - (-1.0_f64 * 2.0 * 0.5).exp()).abs() < 1e-12);
+        assert!((long.zz_average() - (-(2.0_f64 * 0.5)).exp()).abs() < 1e-12);
     }
 
     #[test]

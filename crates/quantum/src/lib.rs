@@ -5,7 +5,10 @@
 //! roles:
 //!
 //! * [`StateVector`] and the matrix-free propagator in [`propagate`] — exact
-//!   Schrödinger evolution under Pauli-sum Hamiltonians,
+//!   Schrödinger evolution under Pauli-sum Hamiltonians, built on the
+//!   mask-compiled, allocation-free kernels of [`compiled`]
+//!   ([`CompiledHamiltonian`] caches each Pauli term as an
+//!   `(x_mask, z_mask, phase)` bit-triple),
 //! * [`observable`] — the `Z_avg` / `ZZ_avg` metrics of the paper's §7.4,
 //! * [`device`] — an [`EmulatedDevice`] that runs compiled pulse segments with
 //!   a time-proportional noise model and finite measurement shots,
@@ -25,10 +28,13 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod compiled;
 pub mod device;
 pub mod observable;
 pub mod propagate;
 pub mod state;
 
+pub use compiled::{CompiledHamiltonian, CompiledTerm};
 pub use device::{ideal_run, DeviceRun, EmulatedDevice, NoiseModel};
+pub use propagate::Propagator;
 pub use state::StateVector;

@@ -1,7 +1,7 @@
 //! Dense state vectors and Pauli-string actions.
 
-use qturbo_math::Complex;
 use qturbo_hamiltonian::{Pauli, PauliString};
+use qturbo_math::Complex;
 
 /// A pure quantum state of `num_qubits` qubits stored as a dense amplitude
 /// vector in the computational (Z) basis.
@@ -34,18 +34,50 @@ impl StateVector {
     /// Panics if `num_qubits` exceeds 26 (the dense representation would not
     /// fit in memory).
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "dense state vectors are limited to 26 qubits");
+        assert!(
+            num_qubits <= 26,
+            "dense state vectors are limited to 26 qubits"
+        );
         let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
         amplitudes[0] = Complex::ONE;
-        StateVector { num_qubits, amplitudes }
+        StateVector {
+            num_qubits,
+            amplitudes,
+        }
+    }
+
+    /// The zero *vector* (every amplitude `0`) on `num_qubits` qubits — not a
+    /// physical state, but the correct accumulator seed for `H|ψ⟩` kernels.
+    ///
+    /// This replaces the old `zero_state` + `scale(0.0)` hack the propagator
+    /// used to erase the `|0…0⟩` seed amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 26.
+    pub fn zeros(num_qubits: usize) -> Self {
+        assert!(
+            num_qubits <= 26,
+            "dense state vectors are limited to 26 qubits"
+        );
+        StateVector {
+            num_qubits,
+            amplitudes: vec![Complex::ZERO; 1 << num_qubits],
+        }
     }
 
     /// The uniform superposition `|+…+⟩`.
     pub fn plus_state(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "dense state vectors are limited to 26 qubits");
+        assert!(
+            num_qubits <= 26,
+            "dense state vectors are limited to 26 qubits"
+        );
         let dim = 1usize << num_qubits;
         let amp = Complex::from_real(1.0 / (dim as f64).sqrt());
-        StateVector { num_qubits, amplitudes: vec![amp; dim] }
+        StateVector {
+            num_qubits,
+            amplitudes: vec![amp; dim],
+        }
     }
 
     /// Builds a state from raw amplitudes (normalizing them).
@@ -55,9 +87,15 @@ impl StateVector {
     /// Panics if the length is not a power of two or the norm is zero.
     pub fn from_amplitudes(amplitudes: Vec<Complex>) -> Self {
         let dim = amplitudes.len();
-        assert!(dim.is_power_of_two() && dim > 0, "amplitude count must be a power of two");
+        assert!(
+            dim.is_power_of_two() && dim > 0,
+            "amplitude count must be a power of two"
+        );
         let num_qubits = dim.trailing_zeros() as usize;
-        let mut state = StateVector { num_qubits, amplitudes };
+        let mut state = StateVector {
+            num_qubits,
+            amplitudes,
+        };
         let norm = state.norm();
         assert!(norm > 0.0, "cannot normalize the zero vector");
         state.scale(1.0 / norm);
@@ -79,9 +117,32 @@ impl StateVector {
         &self.amplitudes
     }
 
+    /// Mutable view of the amplitudes, for in-place kernels.
+    ///
+    /// The caller is responsible for any normalization invariant it needs —
+    /// the propagation kernels deliberately work on unnormalized
+    /// accumulators.
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amplitudes
+    }
+
+    /// Copies `other`'s amplitudes into this vector without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, other: &StateVector) {
+        assert_eq!(self.dim(), other.dim(), "state dimension mismatch");
+        self.amplitudes.copy_from_slice(&other.amplitudes);
+    }
+
     /// Euclidean norm of the amplitude vector.
     pub fn norm(&self) -> f64 {
-        self.amplitudes.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+        self.amplitudes
+            .iter()
+            .map(|a| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Scales every amplitude by a real factor (used internally for
@@ -122,12 +183,21 @@ impl StateVector {
     /// Applies a Pauli string, returning `P|ψ⟩` as a new state (not
     /// normalized — Pauli strings are unitary so the norm is preserved).
     ///
+    /// This is the *naive per-qubit reference*: it dispatches on every
+    /// `(qubit, Pauli)` pair for every basis state and allocates the output.
+    /// The propagation hot path uses the mask-compiled kernel in
+    /// [`crate::compiled`] instead; the property tests pin the two
+    /// implementations against each other.
+    ///
     /// # Panics
     ///
     /// Panics if the string acts on a qubit outside the register.
     pub fn apply_pauli_string(&self, string: &PauliString) -> StateVector {
         if let Some(max) = string.max_qubit() {
-            assert!(max < self.num_qubits, "Pauli string acts outside the register");
+            assert!(
+                max < self.num_qubits,
+                "Pauli string acts outside the register"
+            );
         }
         let mut out = vec![Complex::ZERO; self.dim()];
         let ops: Vec<(usize, Pauli)> = string.iter().collect();
@@ -156,13 +226,30 @@ impl StateVector {
             }
             out[target] += phase * amplitude;
         }
-        StateVector { num_qubits: self.num_qubits, amplitudes: out }
+        StateVector {
+            num_qubits: self.num_qubits,
+            amplitudes: out,
+        }
     }
 
     /// Expectation value `⟨ψ|P|ψ⟩` of a Pauli string (a real number).
+    ///
+    /// Evaluated through the mask-compiled kernel: one allocation-free pass
+    /// over the amplitudes instead of materializing `P|ψ⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string acts on a qubit outside the register.
     pub fn expectation(&self, string: &PauliString) -> f64 {
-        let transformed = self.apply_pauli_string(string);
-        self.inner_product(&transformed).re
+        if let Some(max) = string.max_qubit() {
+            assert!(
+                max < self.num_qubits,
+                "Pauli string acts outside the register"
+            );
+        }
+        crate::compiled::CompiledTerm::compile(1.0, string)
+            .expectation(&self.amplitudes)
+            .re
     }
 
     /// Probability of measuring the computational basis state `basis`.
@@ -204,7 +291,8 @@ mod tests {
 
     #[test]
     fn from_amplitudes_normalizes() {
-        let state = StateVector::from_amplitudes(vec![Complex::from_real(3.0), Complex::from_real(4.0)]);
+        let state =
+            StateVector::from_amplitudes(vec![Complex::from_real(3.0), Complex::from_real(4.0)]);
         assert!((state.norm() - 1.0).abs() < 1e-15);
         assert!((state.probability(0) - 0.36).abs() < 1e-12);
     }
@@ -242,10 +330,16 @@ mod tests {
             Complex::ZERO,
             Complex::ONE,
         ]);
-        assert!((bell.expectation(&PauliString::two(0, Pauli::Z, 1, Pauli::Z)) - 1.0).abs() < 1e-12);
+        assert!(
+            (bell.expectation(&PauliString::two(0, Pauli::Z, 1, Pauli::Z)) - 1.0).abs() < 1e-12
+        );
         assert!(bell.expectation(&PauliString::single(0, Pauli::Z)).abs() < 1e-12);
-        assert!((bell.expectation(&PauliString::two(0, Pauli::X, 1, Pauli::X)) - 1.0).abs() < 1e-12);
-        assert!((bell.expectation(&PauliString::two(0, Pauli::Y, 1, Pauli::Y)) + 1.0).abs() < 1e-12);
+        assert!(
+            (bell.expectation(&PauliString::two(0, Pauli::X, 1, Pauli::X)) - 1.0).abs() < 1e-12
+        );
+        assert!(
+            (bell.expectation(&PauliString::two(0, Pauli::Y, 1, Pauli::Y)) + 1.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -26,17 +26,26 @@ fn main() {
         "  machine time     : {:.3} µs (target evolution {target_time} µs)",
         result.execution_time
     );
-    println!("  relative error   : {:.4} %", result.relative_error() * 100.0);
+    println!(
+        "  relative error   : {:.4} %",
+        result.relative_error() * 100.0
+    );
 
     // Verify the dynamics: evolve |0…0⟩ under the target Hamiltonian for the
     // target time, and under the compiled pulse for the machine time.
     let initial = StateVector::zero_state(num_qubits);
     let ideal = evolve(&initial, &target, target_time);
-    let segments = result.schedule.hamiltonians(&aais).expect("schedule evaluates");
+    let segments = result
+        .schedule
+        .hamiltonians(&aais)
+        .expect("schedule evaluates");
     let compiled = evolve_piecewise(&initial, &segments);
     let fidelity = ideal.fidelity(&compiled);
     println!("  state fidelity between target evolution and compiled pulse: {fidelity:.6}");
-    assert!(fidelity > 0.999, "compiled dynamics should match the target");
+    assert!(
+        fidelity > 0.999,
+        "compiled dynamics should match the target"
+    );
     println!(
         "\nThe compiled pulse reproduces the target dynamics while running {:.1}x faster.",
         target_time / result.execution_time

@@ -19,7 +19,7 @@ fn main() {
     let h = 0.785;
     let options = RydbergOptions {
         layout: Layout::Ring { spacing: 6.5 },
-        ..RydbergOptions::aquila_rad_per_us(6.28)
+        ..RydbergOptions::aquila_rad_per_us(std::f64::consts::TAU)
     };
     let aais = rydberg_aais(num_atoms, &options);
     let noisy = EmulatedDevice::new(NoiseModel::aquila_like(), 42);

@@ -53,7 +53,10 @@ fn main() {
         );
         // Without noise the compiled pulse tracks the target closely.
         let drift = (z_average(&compiled_ideal) - z_average(&ideal)).abs();
-        assert!(drift < 0.15, "noiseless compiled dynamics should track the target");
+        assert!(
+            drift < 0.15,
+            "noiseless compiled dynamics should track the target"
+        );
     }
     println!("\nA 20 µs target evolution runs in well under 1 µs of machine time.");
 }

@@ -8,6 +8,9 @@ use qturbo::QTurboCompiler;
 use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
 use qturbo_baseline::BaselineCompiler;
 use qturbo_hamiltonian::models::ising_chain;
+use qturbo_quantum::compiled::CompiledHamiltonian;
+use qturbo_quantum::propagate::Propagator;
+use qturbo_quantum::StateVector;
 
 fn main() {
     // Target system: H = Z1Z2 + Z2Z3 + X1 + X2 + X3, evolving for 1 µs.
@@ -19,7 +22,10 @@ fn main() {
     // Device: a 3-atom Rydberg analog simulator (Aquila-like AAIS).
     let aais = rydberg_aais(
         3,
-        &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+        &RydbergOptions {
+            interaction_cutoff: None,
+            ..RydbergOptions::default()
+        },
     );
 
     // --- QTurbo -----------------------------------------------------------
@@ -29,9 +35,15 @@ fn main() {
     println!("QTurbo:");
     println!("  compilation time : {:?}", result.stats.compile_time);
     println!("  machine time     : {:.3} µs", result.execution_time);
-    println!("  relative error   : {:.3} %", result.relative_error() * 100.0);
+    println!(
+        "  relative error   : {:.3} %",
+        result.relative_error() * 100.0
+    );
     println!("  local systems    : {}", result.stats.num_local_systems);
-    println!("  synthesized vars : {}", result.stats.num_synthesized_variables);
+    println!(
+        "  synthesized vars : {}",
+        result.stats.num_synthesized_variables
+    );
 
     // Print the pulse settings of the (single) segment.
     let segment = &result.schedule.segments()[0];
@@ -49,7 +61,10 @@ fn main() {
             println!("\nBaseline (SimuQ-style global mixed system):");
             println!("  compilation time : {:?}", baseline.stats.compile_time);
             println!("  machine time     : {:.3} µs", baseline.execution_time);
-            println!("  relative error   : {:.3} %", baseline.relative_error() * 100.0);
+            println!(
+                "  relative error   : {:.3} %",
+                baseline.relative_error() * 100.0
+            );
             println!(
                 "\nQTurbo pulse is {:.0}% shorter than the baseline.",
                 (1.0 - result.execution_time / baseline.execution_time) * 100.0
@@ -57,4 +72,25 @@ fn main() {
         }
         Err(error) => println!("\nBaseline failed to produce a solution: {error}"),
     }
+
+    // --- Dynamics check via the mask-compiled propagation engine -----------
+    // One Propagator: the ideal evolution and every compiled pulse segment
+    // share the same scratch buffers (no allocation inside the Taylor loop).
+    let mut propagator = Propagator::new();
+    let mut ideal = StateVector::zero_state(3);
+    propagator.evolve_in_place(
+        &CompiledHamiltonian::compile(&target),
+        &mut ideal,
+        target_time,
+    );
+    let segments = result
+        .schedule
+        .hamiltonians(&aais)
+        .expect("schedule evaluates");
+    let mut compiled_state = StateVector::zero_state(3);
+    propagator.evolve_piecewise_in_place(&segments, &mut compiled_state);
+    println!(
+        "\nSchrödinger check: |⟨ideal|compiled⟩|² = {:.6}",
+        ideal.fidelity(&compiled_state)
+    );
 }

@@ -20,8 +20,9 @@ fn main() {
     let target = mis_chain(num_atoms, 1.0, 1.0, 1.0, total_time, num_segments);
     let aais = rydberg_aais(num_atoms, &RydbergOptions::default());
 
-    let result =
-        QTurboCompiler::new().compile_piecewise(&target, &aais).expect("the MIS sweep compiles");
+    let result = QTurboCompiler::new()
+        .compile_piecewise(&target, &aais)
+        .expect("the MIS sweep compiles");
 
     println!("Adiabatic MIS sweep on a {num_atoms}-atom chain, {num_segments} segments:");
     println!("  compilation time : {:?}", result.stats.compile_time);
@@ -29,7 +30,10 @@ fn main() {
         "  machine time     : {:.3} µs (target sweep {total_time} µs)",
         result.execution_time
     );
-    println!("  relative error   : {:.2} %", result.relative_error() * 100.0);
+    println!(
+        "  relative error   : {:.2} %",
+        result.relative_error() * 100.0
+    );
     for (index, duration) in result.stats.segment_times.iter().enumerate() {
         println!("    segment {index}: {duration:.3} µs");
     }
@@ -41,7 +45,9 @@ fn main() {
     let z = z_expectations(&final_state);
     println!(
         "  final per-atom <Z>: {:?}",
-        z.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        z.iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     // Compare against the baseline, which solves the full mixed system once

@@ -1,0 +1,24 @@
+//! Facade crate for the QTurbo reproduction workspace.
+//!
+//! Re-exports every workspace crate under one name so integration tests,
+//! examples, and downstream users can depend on `qturbo-repro` alone:
+//!
+//! * [`compiler`] — the core QTurbo compiler pipeline (crate `qturbo`),
+//! * [`math`] — numerical kernels ([`qturbo_math`]),
+//! * [`hamiltonian`] — Pauli strings, targets, models ([`qturbo_hamiltonian`]),
+//! * [`aais`] — analog instruction sets and pulse schedules ([`qturbo_aais`]),
+//! * [`quantum`] — the state-vector simulator with the mask-compiled
+//!   propagation engine ([`qturbo_quantum`]),
+//! * [`baseline`] — the SimuQ-style baseline compiler ([`qturbo_baseline`]),
+//! * [`bench`] — the benchmark harness ([`qturbo_bench`]).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use qturbo as compiler;
+pub use qturbo_aais as aais;
+pub use qturbo_baseline as baseline;
+pub use qturbo_bench as bench;
+pub use qturbo_hamiltonian as hamiltonian;
+pub use qturbo_math as math;
+pub use qturbo_quantum as quantum;

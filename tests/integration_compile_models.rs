@@ -93,12 +93,18 @@ fn all_models_compile_on_the_heisenberg_aais() {
 #[test]
 fn compilation_scales_to_larger_systems_quickly() {
     // QTurbo's headline property: compiling a ~50-qubit model stays fast.
-    let target = Model::IsingChain.build(48, &ModelParams::default()).unwrap();
+    let target = Model::IsingChain
+        .build(48, &ModelParams::default())
+        .unwrap();
     let aais = rydberg_aais(48, &RydbergOptions::default());
     let start = std::time::Instant::now();
     let result = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
     let elapsed = start.elapsed();
-    assert!(result.relative_error() < 0.06, "relative error {}", result.relative_error());
+    assert!(
+        result.relative_error() < 0.06,
+        "relative error {}",
+        result.relative_error()
+    );
     assert!(
         elapsed.as_secs_f64() < 30.0,
         "48-qubit compilation took {elapsed:?}, expected well under 30 s"
@@ -113,12 +119,22 @@ fn execution_time_is_set_by_the_bottleneck_instruction() {
     let aais = rydberg_aais(4, &RydbergOptions::default());
     let compiler = QTurboCompiler::new();
     let base = compiler
-        .compile(&Model::IsingChain.build(4, &ModelParams::default()).unwrap(), 1.0, &aais)
+        .compile(
+            &Model::IsingChain.build(4, &ModelParams::default()).unwrap(),
+            1.0,
+            &aais,
+        )
         .unwrap();
     let strong_field = compiler
         .compile(
             &Model::IsingChain
-                .build(4, &ModelParams { h: 2.0, ..ModelParams::default() })
+                .build(
+                    4,
+                    &ModelParams {
+                        h: 2.0,
+                        ..ModelParams::default()
+                    },
+                )
                 .unwrap(),
             1.0,
             &aais,
@@ -129,7 +145,13 @@ fn execution_time_is_set_by_the_bottleneck_instruction() {
     let strong_coupling = compiler
         .compile(
             &Model::IsingChain
-                .build(4, &ModelParams { j: 2.0, ..ModelParams::default() })
+                .build(
+                    4,
+                    &ModelParams {
+                        j: 2.0,
+                        ..ModelParams::default()
+                    },
+                )
                 .unwrap(),
             1.0,
             &aais,

@@ -8,8 +8,9 @@ use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
 use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
 use qturbo_hamiltonian::models::{heisenberg_chain, ising_chain, kitaev, pxp};
 use qturbo_hamiltonian::Hamiltonian;
+use qturbo_quantum::compiled::CompiledHamiltonian;
 use qturbo_quantum::observable::{z_average, zz_average};
-use qturbo_quantum::propagate::{evolve, evolve_piecewise};
+use qturbo_quantum::propagate::{evolve, evolve_naive, evolve_piecewise, Propagator};
 use qturbo_quantum::StateVector;
 
 fn fidelity_of_compiled_pulse(
@@ -17,12 +18,48 @@ fn fidelity_of_compiled_pulse(
     target_time: f64,
     aais: &qturbo_aais::Aais,
 ) -> f64 {
-    let result = QTurboCompiler::new().compile(target, target_time, aais).expect("compiles");
-    let initial = StateVector::zero_state(target.num_qubits());
-    let ideal = evolve(&initial, target, target_time);
-    let segments = result.schedule.hamiltonians(aais).expect("schedule evaluates");
-    let compiled = evolve_piecewise(&initial, &segments);
+    let result = QTurboCompiler::new()
+        .compile(target, target_time, aais)
+        .expect("compiles");
+    // One propagator: the ideal evolution and every pulse segment share the
+    // same scratch buffers.
+    let mut propagator = Propagator::new();
+    let mut ideal = StateVector::zero_state(target.num_qubits());
+    propagator.evolve_in_place(
+        &CompiledHamiltonian::compile(target),
+        &mut ideal,
+        target_time,
+    );
+    let segments = result
+        .schedule
+        .hamiltonians(aais)
+        .expect("schedule evaluates");
+    let mut compiled = StateVector::zero_state(target.num_qubits());
+    propagator.evolve_piecewise_in_place(&segments, &mut compiled);
     ideal.fidelity(&compiled)
+}
+
+#[test]
+fn in_place_propagation_matches_the_naive_reference_end_to_end() {
+    // The engine swap must be observationally invisible: the mask-compiled
+    // in-place path and the retained naive reference agree on a full
+    // compile-then-simulate round trip.
+    let target = ising_chain(4, 1.0, 1.0);
+    let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+    let result = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
+    let segments = result.schedule.hamiltonians(&aais).unwrap();
+    let initial = StateVector::zero_state(4);
+
+    let fast = evolve_piecewise(&initial, &segments);
+    let mut slow = initial.clone();
+    for (hamiltonian, duration) in &segments {
+        slow = evolve_naive(&slow, hamiltonian, *duration);
+    }
+    assert!(
+        fast.fidelity(&slow) > 1.0 - 1e-10,
+        "fidelity {}",
+        fast.fidelity(&slow)
+    );
 }
 
 #[test]
@@ -55,9 +92,14 @@ fn rydberg_device_reproduces_ising_chain_observables() {
     let target_time = 1.0;
     let aais = rydberg_aais(
         4,
-        &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+        &RydbergOptions {
+            interaction_cutoff: None,
+            ..RydbergOptions::default()
+        },
     );
-    let result = QTurboCompiler::new().compile(&target, target_time, &aais).unwrap();
+    let result = QTurboCompiler::new()
+        .compile(&target, target_time, &aais)
+        .unwrap();
     let initial = StateVector::zero_state(4);
     let ideal = evolve(&initial, &target, target_time);
     let segments = result.schedule.hamiltonians(&aais).unwrap();
@@ -65,7 +107,11 @@ fn rydberg_device_reproduces_ising_chain_observables() {
 
     assert!((z_average(&ideal) - z_average(&compiled)).abs() < 0.05);
     assert!((zz_average(&ideal, false) - zz_average(&compiled, false)).abs() < 0.05);
-    assert!(ideal.fidelity(&compiled) > 0.97, "fidelity {}", ideal.fidelity(&compiled));
+    assert!(
+        ideal.fidelity(&compiled) > 0.97,
+        "fidelity {}",
+        ideal.fidelity(&compiled)
+    );
 }
 
 #[test]
@@ -75,8 +121,13 @@ fn rydberg_device_reproduces_pxp_dynamics_under_blockade() {
     let target = pxp(4, 1.26, 0.126);
     let target_time = 5.0;
     let aais = rydberg_aais(4, &RydbergOptions::aquila_rad_per_us(13.8));
-    let result = QTurboCompiler::new().compile(&target, target_time, &aais).unwrap();
-    assert!(result.execution_time < 1.0, "blockade pulse should be strongly compressed");
+    let result = QTurboCompiler::new()
+        .compile(&target, target_time, &aais)
+        .unwrap();
+    assert!(
+        result.execution_time < 1.0,
+        "blockade pulse should be strongly compressed"
+    );
 
     let initial = StateVector::zero_state(4);
     let ideal = evolve(&initial, &target, target_time);
@@ -109,7 +160,13 @@ fn shorter_pulses_survive_noise_better_than_longer_ones() {
     assert!(long.execution_time > short.execution_time);
 
     let ideal = evolve(&StateVector::zero_state(4), &target, 1.0);
-    let noisy = EmulatedDevice::new(NoiseModel { shots: None, ..NoiseModel::aquila_like() }, 3);
+    let noisy = EmulatedDevice::new(
+        NoiseModel {
+            shots: None,
+            ..NoiseModel::aquila_like()
+        },
+        3,
+    );
     let short_run = noisy.run(&short.schedule.hamiltonians(&aais).unwrap(), 4, false);
     let long_run = noisy.run(&long.schedule.hamiltonians(&aais).unwrap(), 4, false);
     let short_error = (short_run.zz_average() - zz_average(&ideal, false)).abs();

@@ -13,12 +13,18 @@ fn mis_chain_compiles_into_four_segments() {
     let n = 5;
     let target = mis_chain(n, 1.0, 1.0, 1.0, 1.0, 4);
     let aais = rydberg_aais(n, &RydbergOptions::default());
-    let result = QTurboCompiler::new().compile_piecewise(&target, &aais).unwrap();
+    let result = QTurboCompiler::new()
+        .compile_piecewise(&target, &aais)
+        .unwrap();
 
     assert_eq!(result.stats.num_segments, 4);
     assert_eq!(result.schedule.num_segments(), 4);
     assert!(result.execution_time <= aais.max_evolution_time());
-    assert!(result.relative_error() < 0.2, "relative error {}", result.relative_error());
+    assert!(
+        result.relative_error() < 0.2,
+        "relative error {}",
+        result.relative_error()
+    );
     assert!(result.schedule.validate(&aais).is_ok());
 }
 
@@ -27,7 +33,9 @@ fn runtime_fixed_variables_are_shared_across_segments() {
     let n = 4;
     let target = mis_chain(n, 1.0, 1.0, 1.0, 1.0, 3);
     let aais = rydberg_aais(n, &RydbergOptions::default());
-    let result = QTurboCompiler::new().compile_piecewise(&target, &aais).unwrap();
+    let result = QTurboCompiler::new()
+        .compile_piecewise(&target, &aais)
+        .unwrap();
 
     let segments = result.schedule.segments();
     for variable in aais.registry().iter() {
@@ -52,12 +60,17 @@ fn segment_durations_track_the_sweep_profile() {
     let n = 4;
     let target = mis_chain(n, 1.0, 1.0, 1.0, 2.0, 4);
     let aais = rydberg_aais(n, &RydbergOptions::default());
-    let result = QTurboCompiler::new().compile_piecewise(&target, &aais).unwrap();
+    let result = QTurboCompiler::new()
+        .compile_piecewise(&target, &aais)
+        .unwrap();
     let times = &result.stats.segment_times;
     let max = times.iter().cloned().fold(0.0_f64, f64::max);
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(max > 0.0 && min > 0.0);
-    assert!(max / min < 5.0, "segment times are wildly unbalanced: {times:?}");
+    assert!(
+        max / min < 5.0,
+        "segment times are wildly unbalanced: {times:?}"
+    );
 }
 
 #[test]
@@ -80,7 +93,9 @@ fn qturbo_is_faster_and_no_worse_than_baseline_on_time_dependent_targets() {
     let n = 4;
     let target = mis_chain(n, 1.0, 1.0, 1.0, 1.0, 3);
     let aais = rydberg_aais(n, &RydbergOptions::default());
-    let qturbo = QTurboCompiler::new().compile_piecewise(&target, &aais).unwrap();
+    let qturbo = QTurboCompiler::new()
+        .compile_piecewise(&target, &aais)
+        .unwrap();
     match BaselineCompiler::with_options(BaselineOptions {
         failure_threshold: 1.0,
         ..BaselineOptions::default()

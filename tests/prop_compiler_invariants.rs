@@ -2,50 +2,65 @@
 //! compiled schedule must be hardware-feasible, accurate on devices that can
 //! express the target exactly, never longer than the conservative ablation,
 //! and never improved by skipping refinement.
+//!
+//! Deterministically seeded sampling via `qturbo_math::rng::Rng` (no external
+//! property-testing framework is vendored in this environment); 24 cases per
+//! property, matching the original proptest configuration.
 
-use proptest::prelude::*;
 use qturbo::{CompilerOptions, QTurboCompiler};
 use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
 use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
 use qturbo_hamiltonian::models::{heisenberg_chain, ising_chain, kitaev};
 use qturbo_hamiltonian::Hamiltonian;
+use qturbo_math::rng::Rng;
 
-/// Strategy: a random chain-structured target Hamiltonian with bounded,
+const CASES: usize = 24;
+
+/// Draws a random chain-structured target Hamiltonian with bounded,
 /// bounded-away-from-zero coefficients, plus a random positive target time.
-fn random_chain_target() -> impl Strategy<Value = (Hamiltonian, f64)> {
-    (2usize..6, 0.1f64..2.0, 0.1f64..2.0, proptest::bool::ANY, proptest::bool::ANY, 0.25f64..2.0, 0usize..3)
-        .prop_map(|(n, j_mag, h_mag, j_neg, h_neg, time, family)| {
-            let j = if j_neg { -j_mag } else { j_mag };
-            let h = if h_neg { -h_mag } else { h_mag };
-            let hamiltonian = match family {
-                0 => ising_chain(n, j, h),
-                1 => heisenberg_chain(n, j, h),
-                _ => kitaev(n, j.abs(), h, j),
-            };
-            (hamiltonian, time)
-        })
+fn random_chain_target(rng: &mut Rng) -> (Hamiltonian, f64) {
+    let n = 2 + rng.next_usize(4);
+    let j_mag = rng.next_range(0.1, 2.0);
+    let h_mag = rng.next_range(0.1, 2.0);
+    let j = if rng.next_bool() { -j_mag } else { j_mag };
+    let h = if rng.next_bool() { -h_mag } else { h_mag };
+    let time = rng.next_range(0.25, 2.0);
+    let hamiltonian = match rng.next_usize(3) {
+        0 => ising_chain(n, j, h),
+        1 => heisenberg_chain(n, j, h),
+        _ => kitaev(n, j.abs(), h, j),
+    };
+    (hamiltonian, time)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// On the Heisenberg AAIS every chain target is exactly expressible, so
-    /// the compiled error must be numerically zero and the schedule feasible.
-    #[test]
-    fn heisenberg_compilations_are_exact_and_feasible((target, time) in random_chain_target()) {
+/// On the Heisenberg AAIS every chain target is exactly expressible, so
+/// the compiled error must be numerically zero and the schedule feasible.
+#[test]
+fn heisenberg_compilations_are_exact_and_feasible() {
+    let mut rng = Rng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let (target, time) = random_chain_target(&mut rng);
         let aais = heisenberg_aais(target.num_qubits(), &HeisenbergOptions::default());
         let result = QTurboCompiler::new().compile(&target, time, &aais).unwrap();
-        prop_assert!(result.relative_error() < 1e-5, "relative error {}", result.relative_error());
-        prop_assert!(result.execution_time <= aais.max_evolution_time() + 1e-9);
-        prop_assert!(result.schedule.validate(&aais).is_ok());
+        assert!(
+            result.relative_error() < 1e-5,
+            "case {case}: relative error {}",
+            result.relative_error()
+        );
+        assert!(result.execution_time <= aais.max_evolution_time() + 1e-9);
+        assert!(result.schedule.validate(&aais).is_ok());
         // Theorem 1: the a-priori bound dominates the observed error.
-        prop_assert!(result.error_bound + 1e-9 >= result.absolute_error);
+        assert!(result.error_bound + 1e-9 >= result.absolute_error);
     }
+}
 
-    /// The machine time returned with evolution-time optimization enabled is
-    /// never longer than without it, and scales linearly with the target time.
-    #[test]
-    fn evolution_time_optimization_is_monotone((target, time) in random_chain_target()) {
+/// The machine time returned with evolution-time optimization enabled is
+/// never longer than without it, and scales linearly with the target time.
+#[test]
+fn evolution_time_optimization_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let (target, time) = random_chain_target(&mut rng);
         let aais = heisenberg_aais(target.num_qubits(), &HeisenbergOptions::default());
         let optimized = QTurboCompiler::new().compile(&target, time, &aais).unwrap();
         let conservative = QTurboCompiler::with_options(CompilerOptions {
@@ -54,34 +69,43 @@ proptest! {
         })
         .compile(&target, time, &aais)
         .unwrap();
-        prop_assert!(optimized.execution_time <= conservative.execution_time + 1e-9);
+        assert!(
+            optimized.execution_time <= conservative.execution_time + 1e-9,
+            "case {case}: optimized {} vs conservative {}",
+            optimized.execution_time,
+            conservative.execution_time
+        );
 
         // Linearity in the target time holds whenever the pulse is above the
         // compiler's minimum-duration floor (`time_resolution`).
         if optimized.execution_time > 0.06 {
-            let doubled = QTurboCompiler::new().compile(&target, 2.0 * time, &aais);
-            if let Ok(doubled) = doubled {
-                prop_assert!(
+            if let Ok(doubled) = QTurboCompiler::new().compile(&target, 2.0 * time, &aais) {
+                assert!(
                     (doubled.execution_time - 2.0 * optimized.execution_time).abs() < 1e-6,
-                    "doubled {} vs 2x {}",
+                    "case {case}: doubled {} vs 2x {}",
                     doubled.execution_time,
                     optimized.execution_time
                 );
             }
         }
     }
+}
 
-    /// Refinement never increases the compilation error.
-    #[test]
-    fn refinement_never_increases_error(
-        n in 3usize..6,
-        j in 0.2f64..2.0,
-        h in 0.2f64..2.0,
-    ) {
+/// Refinement never increases the compilation error.
+#[test]
+fn refinement_never_increases_error() {
+    let mut rng = Rng::seed_from_u64(0xCAFE);
+    for case in 0..CASES {
+        let n = 3 + rng.next_usize(3);
+        let j = rng.next_range(0.2, 2.0);
+        let h = rng.next_range(0.2, 2.0);
         let target = ising_chain(n, j, h);
         let aais = rydberg_aais(
             n,
-            &RydbergOptions { interaction_cutoff: None, ..RydbergOptions::default() },
+            &RydbergOptions {
+                interaction_cutoff: None,
+                ..RydbergOptions::default()
+            },
         );
         let with = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
         let without = QTurboCompiler::with_options(CompilerOptions {
@@ -90,26 +114,37 @@ proptest! {
         })
         .compile(&target, 1.0, &aais)
         .unwrap();
-        prop_assert!(with.absolute_error <= without.absolute_error + 1e-9);
+        assert!(
+            with.absolute_error <= without.absolute_error + 1e-9,
+            "case {case}: refined {} vs unrefined {}",
+            with.absolute_error,
+            without.absolute_error
+        );
     }
+}
 
-    /// Compiled Rydberg schedules always respect the hardware limits: variable
-    /// bounds, minimum atom spacing, and the coherence window.
-    #[test]
-    fn rydberg_schedules_respect_hardware_limits(
-        n in 3usize..7,
-        j in 0.2f64..1.5,
-        h in 0.2f64..1.5,
-        time in 0.25f64..1.5,
-    ) {
+/// Compiled Rydberg schedules always respect the hardware limits: variable
+/// bounds, minimum atom spacing, and the coherence window.
+#[test]
+fn rydberg_schedules_respect_hardware_limits() {
+    let mut rng = Rng::seed_from_u64(0xD00D);
+    for case in 0..CASES {
+        let n = 3 + rng.next_usize(4);
+        let j = rng.next_range(0.2, 1.5);
+        let h = rng.next_range(0.2, 1.5);
+        let time = rng.next_range(0.25, 1.5);
         let target = ising_chain(n, j, h);
         let aais = rydberg_aais(n, &RydbergOptions::default());
         let result = QTurboCompiler::new().compile(&target, time, &aais).unwrap();
-        prop_assert!(result.schedule.validate(&aais).is_ok());
+        assert!(result.schedule.validate(&aais).is_ok(), "case {case}");
         for segment in result.schedule.segments() {
             for variable in aais.registry().iter() {
                 let value = segment.values()[variable.id().index()];
-                prop_assert!(variable.admits(value), "{} = {value}", variable.name());
+                assert!(
+                    variable.admits(value),
+                    "case {case}: {} = {value}",
+                    variable.name()
+                );
             }
         }
     }

@@ -1,0 +1,177 @@
+//! Property tests of the propagation engine: the mask-compiled kernel
+//! (`CompiledHamiltonian`) must agree with the naive per-qubit reference on
+//! random Pauli strings and random states — including Y-heavy strings and
+//! the identity — and `evolve` must preserve the norm to 1e-10 across
+//! segment boundaries.
+//!
+//! Deterministically seeded sampling via `qturbo_math::rng::Rng` (no external
+//! property-testing framework is vendored in this environment).
+
+use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
+use qturbo_math::rng::Rng;
+use qturbo_math::Complex;
+use qturbo_quantum::compiled::CompiledHamiltonian;
+use qturbo_quantum::propagate::{
+    apply_hamiltonian, apply_hamiltonian_naive, evolve, evolve_naive, evolve_piecewise,
+};
+use qturbo_quantum::StateVector;
+
+fn random_state(rng: &mut Rng, num_qubits: usize) -> StateVector {
+    let amplitudes: Vec<Complex> = (0..1usize << num_qubits)
+        .map(|_| Complex::new(rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0)))
+        .collect();
+    StateVector::from_amplitudes(amplitudes)
+}
+
+/// A random Pauli string; with `y_bias` set every non-identity factor is `Y`.
+fn random_string(rng: &mut Rng, num_qubits: usize, y_bias: bool) -> PauliString {
+    PauliString::from_ops((0..num_qubits).filter_map(|qubit| {
+        match rng.next_usize(4) {
+            0 => None, // identity factor
+            k => {
+                let op = if y_bias {
+                    Pauli::Y
+                } else {
+                    [Pauli::X, Pauli::Y, Pauli::Z][k - 1]
+                };
+                Some((qubit, op))
+            }
+        }
+    }))
+}
+
+fn random_hamiltonian(rng: &mut Rng, num_qubits: usize, num_terms: usize) -> Hamiltonian {
+    Hamiltonian::from_terms(
+        num_qubits,
+        (0..num_terms).map(|_| {
+            (
+                rng.next_range(-2.0, 2.0),
+                random_string(rng, num_qubits, false),
+            )
+        }),
+    )
+}
+
+fn assert_states_close(a: &StateVector, b: &StateVector, tolerance: f64, context: &str) {
+    for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+        assert!((*x - *y).abs() < tolerance, "{context}: {x} != {y}");
+    }
+}
+
+#[test]
+fn compiled_apply_agrees_with_naive_on_random_strings_and_states() {
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
+    for case in 0..60 {
+        let num_qubits = 1 + rng.next_usize(6);
+        let state = random_state(&mut rng, num_qubits);
+        let num_terms = 1 + rng.next_usize(6);
+        let hamiltonian = random_hamiltonian(&mut rng, num_qubits, num_terms);
+        let fast = apply_hamiltonian(&hamiltonian, &state);
+        let slow = apply_hamiltonian_naive(&hamiltonian, &state);
+        assert_states_close(&fast, &slow, 1e-12, &format!("case {case} ({num_qubits}q)"));
+    }
+}
+
+#[test]
+fn compiled_apply_agrees_on_y_heavy_strings() {
+    let mut rng = Rng::seed_from_u64(0xBADA55);
+    for case in 0..40 {
+        let num_qubits = 1 + rng.next_usize(6);
+        let state = random_state(&mut rng, num_qubits);
+        let string = random_string(&mut rng, num_qubits, true);
+        let hamiltonian =
+            Hamiltonian::from_terms(num_qubits, [(rng.next_range(-2.0, 2.0), string)]);
+        let fast = apply_hamiltonian(&hamiltonian, &state);
+        let slow = apply_hamiltonian_naive(&hamiltonian, &state);
+        assert_states_close(&fast, &slow, 1e-12, &format!("Y-heavy case {case}"));
+    }
+}
+
+#[test]
+fn compiled_apply_agrees_on_the_identity() {
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..10 {
+        let num_qubits = 1 + rng.next_usize(5);
+        let state = random_state(&mut rng, num_qubits);
+        let coefficient = rng.next_range(-3.0, 3.0);
+        let hamiltonian =
+            Hamiltonian::from_terms(num_qubits, [(coefficient, PauliString::identity())]);
+        let fast = apply_hamiltonian(&hamiltonian, &state);
+        for (out, input) in fast.amplitudes().iter().zip(state.amplitudes()) {
+            assert!((*out - input.scale(coefficient)).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn compiled_expectation_agrees_with_apply_route() {
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    for _ in 0..40 {
+        let num_qubits = 1 + rng.next_usize(6);
+        let state = random_state(&mut rng, num_qubits);
+        let y_bias = rng.next_bool();
+        let string = random_string(&mut rng, num_qubits, y_bias);
+        // Allocation-free expectation vs materializing P|ψ⟩.
+        let fast = state.expectation(&string);
+        let slow = state.inner_product(&state.apply_pauli_string(&string)).re;
+        assert!((fast - slow).abs() < 1e-12, "{fast} != {slow} for {string}");
+        // Hamiltonian-level expectation sums the terms.
+        let h = random_hamiltonian(&mut rng, num_qubits, 3);
+        let compiled = CompiledHamiltonian::compile(&h);
+        let via_apply = state.inner_product(&apply_hamiltonian_naive(&h, &state)).re;
+        assert!((compiled.expectation(&state) - via_apply).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn compiled_evolve_agrees_with_naive_evolve() {
+    let mut rng = Rng::seed_from_u64(0xE401E);
+    for case in 0..20 {
+        let num_qubits = 1 + rng.next_usize(4);
+        let state = random_state(&mut rng, num_qubits);
+        let num_terms = 1 + rng.next_usize(4);
+        let hamiltonian = random_hamiltonian(&mut rng, num_qubits, num_terms);
+        let time = rng.next_range(0.0, 1.5);
+        let fast = evolve(&state, &hamiltonian, time);
+        let slow = evolve_naive(&state, &hamiltonian, time);
+        assert_states_close(&fast, &slow, 1e-9, &format!("evolve case {case}"));
+    }
+}
+
+#[test]
+fn evolve_preserves_norm_across_segment_boundaries() {
+    let mut rng = Rng::seed_from_u64(0x90125);
+    for _ in 0..20 {
+        let num_qubits = 2 + rng.next_usize(4);
+        let state = random_state(&mut rng, num_qubits);
+        let num_segments = 1 + rng.next_usize(4);
+        let segments: Vec<(Hamiltonian, f64)> = (0..num_segments)
+            .map(|_| {
+                let num_terms = 1 + rng.next_usize(5);
+                (
+                    random_hamiltonian(&mut rng, num_qubits, num_terms),
+                    rng.next_range(0.05, 0.8),
+                )
+            })
+            .collect();
+        // Norm after the full piecewise evolution…
+        let evolved = evolve_piecewise(&state, &segments);
+        assert!(
+            (evolved.norm() - 1.0).abs() < 1e-10,
+            "norm {}",
+            evolved.norm()
+        );
+        // …and at every intermediate segment boundary.
+        let mut current = state.clone();
+        for (hamiltonian, duration) in &segments {
+            current = evolve(&current, hamiltonian, *duration);
+            assert!(
+                (current.norm() - 1.0).abs() < 1e-10,
+                "boundary norm {}",
+                current.norm()
+            );
+        }
+        // The sequential route lands on the same state.
+        assert!(evolved.fidelity(&current) > 1.0 - 1e-10);
+    }
+}
