@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # CI for the QTurbo reproduction workspace.
 #
-#   ./ci.sh          # lint + tier-1 build/test + propagation benchmark
-#   ./ci.sh --quick  # skip the benchmark (lint + tier-1 only)
+#   ./ci.sh          # lint + docs + tier-1 build/test + benchmarks
+#   ./ci.sh --quick  # skip the benchmarks (lint + docs + tier-1 only)
 #
-# The propagation benchmark writes BENCH_propagation.json in the repo root so
-# the simulator hot path's perf trajectory is tracked across PRs.
+# The benchmarks write BENCH_propagation.json and BENCH_schedule.json in the
+# repo root so the simulator hot path's perf trajectory (constant-Hamiltonian
+# kernel and schedule layout reuse) is tracked across PRs.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -16,6 +17,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -23,6 +27,9 @@ cargo test -q
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> propagation benchmark (naive vs mask-compiled)"
     cargo run --release -p qturbo-bench --bin bench_propagation
+
+    echo "==> schedule benchmark (recompile-per-segment vs layout reuse)"
+    cargo run --release -p qturbo-bench --bin bench_schedule
 fi
 
 echo "==> CI OK"

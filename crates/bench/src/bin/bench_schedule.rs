@@ -1,0 +1,198 @@
+//! Schedule-compilation benchmark: recompile-per-segment vs shared-layout
+//! reuse on a discretized time-dependent ramp, plus the fused Z/ZZ
+//! observable sweep vs the per-observable route.
+//!
+//! Writes `BENCH_schedule.json` into the current directory. The workload is
+//! the paper's MIS annealing chain (§5.3) discretized into 100
+//! piecewise-constant segments — every segment shares the same term
+//! structure, so [`CompiledSchedule`] compiles exactly one mask layout and
+//! materializes each segment as an `O(#terms)` weight vector, while the
+//! reference path re-runs the full `CompiledHamiltonian::compile` (including
+//! its `O(#diag · 2ⁿ)` diagonal table) per segment.
+
+use qturbo_bench::timing::{bench, Json, Sample};
+use qturbo_hamiltonian::models::mis_chain;
+use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString, PiecewiseHamiltonian};
+use qturbo_quantum::compiled::CompiledHamiltonian;
+use qturbo_quantum::observable::{measure_z_zz, zz_pairs};
+use qturbo_quantum::propagate::Propagator;
+use qturbo_quantum::schedule::CompiledSchedule;
+use qturbo_quantum::StateVector;
+
+const SIZES: [usize; 3] = [8, 12, 16];
+const NUM_SEGMENTS: usize = 100;
+const TOTAL_TIME: f64 = 1.0;
+
+fn reps_for(qubits: usize) -> usize {
+    if qubits >= 16 {
+        3
+    } else {
+        7
+    }
+}
+
+/// Max |fused − per-observable| over all Z and ZZ values.
+fn observable_deviation(state: &StateVector, cyclic: bool) -> f64 {
+    let fused = measure_z_zz(state, cyclic);
+    let mut max_diff = 0.0f64;
+    for (i, z) in fused.z.iter().enumerate() {
+        let direct = state.expectation(&PauliString::single(i, Pauli::Z));
+        max_diff = max_diff.max((z - direct).abs());
+    }
+    for (&(i, j), zz) in fused.pairs.iter().zip(&fused.zz) {
+        let direct = state.expectation(&PauliString::two(i, Pauli::Z, j, Pauli::Z));
+        max_diff = max_diff.max((zz - direct).abs());
+    }
+    max_diff
+}
+
+fn size_entry(qubits: usize) -> Json {
+    let ramp: PiecewiseHamiltonian = mis_chain(qubits, 1.0, 1.0, 1.0, TOTAL_TIME, NUM_SEGMENTS);
+    // The ramp's structure-sharing shape, as the hamiltonian crate sees it:
+    // one run means every segment can share a single compiled layout.
+    let structure_runs = ramp.structure_runs().len();
+    let segments: Vec<(Hamiltonian, f64)> = ramp
+        .segments()
+        .iter()
+        .map(|s| (s.hamiltonian.clone(), s.duration))
+        .collect();
+    let reps = reps_for(qubits);
+
+    // --- Compilation: full recompile per segment vs one shared layout. ---
+    let compile_per_segment = bench(reps, || {
+        let compiled: Vec<CompiledHamiltonian> = segments
+            .iter()
+            .map(|(h, _)| CompiledHamiltonian::compile(h))
+            .collect();
+        std::hint::black_box(&compiled);
+    });
+    let compile_schedule = bench(reps, || {
+        let schedule = CompiledSchedule::compile(&segments);
+        std::hint::black_box(&schedule);
+    });
+    let compile_speedup = compile_per_segment.median / compile_schedule.median.max(1e-12);
+
+    let schedule = CompiledSchedule::compile(&segments);
+    let terms = segments[0].0.num_terms();
+
+    // --- End-to-end evolution of the ramp from |0…0⟩. ---
+    let mut propagator = Propagator::new();
+    let mut work = StateVector::zero_state(qubits);
+    let evolve_recompile = bench(reps, || {
+        let mut state = StateVector::zero_state(qubits);
+        propagator.evolve_piecewise_in_place(&segments, &mut state);
+        work.copy_from(&state);
+        std::hint::black_box(&work);
+    });
+    let recompile_state = work.clone();
+    let evolve_schedule_sample = bench(reps, || {
+        let mut state = StateVector::zero_state(qubits);
+        propagator.evolve_schedule_in_place(&schedule, &mut state);
+        work.copy_from(&state);
+        std::hint::black_box(&work);
+    });
+    let schedule_state = work.clone();
+    let evolve_speedup = evolve_recompile.median / evolve_schedule_sample.median.max(1e-12);
+    let fidelity = recompile_state.fidelity(&schedule_state);
+
+    // --- Observables on the final state: fused sweep vs 2N passes. ---
+    let pairs = zz_pairs(qubits, false);
+    let fused_sample = bench(reps.max(5), || {
+        let observables = measure_z_zz(&schedule_state, false);
+        std::hint::black_box(&observables);
+    });
+    let per_observable_sample = bench(reps.max(5), || {
+        let z: Vec<f64> = (0..qubits)
+            .map(|i| schedule_state.expectation(&PauliString::single(i, Pauli::Z)))
+            .collect();
+        let zz: Vec<f64> = pairs
+            .iter()
+            .map(|&(i, j)| schedule_state.expectation(&PauliString::two(i, Pauli::Z, j, Pauli::Z)))
+            .collect();
+        std::hint::black_box((&z, &zz));
+    });
+    let observable_speedup = per_observable_sample.median / fused_sample.median.max(1e-12);
+    let max_observable_diff = observable_deviation(&schedule_state, false)
+        .max(observable_deviation(&schedule_state, true));
+
+    println!(
+        "  {qubits:>2}q  compile {:>10.6}s -> {:>10.6}s ({compile_speedup:>7.1}x)  \
+         evolve {:>9.4}s -> {:>9.4}s ({evolve_speedup:>5.2}x)  obs {observable_speedup:>5.2}x  \
+         layouts {}  fidelity {fidelity:.12}",
+        compile_per_segment.median,
+        compile_schedule.median,
+        evolve_recompile.median,
+        evolve_schedule_sample.median,
+        schedule.num_layouts(),
+    );
+    assert!(
+        fidelity > 1.0 - 1e-10,
+        "schedule/recompile evolution disagree: fidelity {fidelity}"
+    );
+    assert!(
+        max_observable_diff < 1e-12,
+        "fused observables deviate: {max_observable_diff}"
+    );
+
+    let sample_fields = |s: Sample| (Json::Number(s.median), Json::Number(s.min));
+    let (cps_med, cps_min) = sample_fields(compile_per_segment);
+    let (cs_med, cs_min) = sample_fields(compile_schedule);
+    Json::object(vec![
+        ("qubits", Json::Number(qubits as f64)),
+        ("segments", Json::Number(NUM_SEGMENTS as f64)),
+        ("terms_per_segment", Json::Number(terms as f64)),
+        ("structure_runs", Json::Number(structure_runs as f64)),
+        ("layouts", Json::Number(schedule.num_layouts() as f64)),
+        ("compile_per_segment_median_s", cps_med),
+        ("compile_per_segment_min_s", cps_min),
+        ("compile_schedule_median_s", cs_med),
+        ("compile_schedule_min_s", cs_min),
+        ("compile_speedup", Json::Number(compile_speedup)),
+        (
+            "evolve_recompile_median_s",
+            Json::Number(evolve_recompile.median),
+        ),
+        (
+            "evolve_schedule_median_s",
+            Json::Number(evolve_schedule_sample.median),
+        ),
+        ("evolve_speedup", Json::Number(evolve_speedup)),
+        (
+            "observables_fused_median_s",
+            Json::Number(fused_sample.median),
+        ),
+        (
+            "observables_per_pass_median_s",
+            Json::Number(per_observable_sample.median),
+        ),
+        ("observable_speedup", Json::Number(observable_speedup)),
+        ("cross_check_fidelity", Json::Number(fidelity)),
+        ("max_observable_abs_diff", Json::Number(max_observable_diff)),
+    ])
+}
+
+fn main() {
+    println!(
+        "schedule benchmark: MIS annealing ramp, {NUM_SEGMENTS} segments over {TOTAL_TIME} µs, \
+         {} worker threads available",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let entries: Vec<Json> = SIZES.iter().map(|&n| size_entry(n)).collect();
+
+    let report = Json::object(vec![
+        ("benchmark", Json::string("schedule")),
+        ("model", Json::string("mis_chain(U=1,omega=1,alpha=1)")),
+        ("total_time_us", Json::Number(TOTAL_TIME)),
+        ("num_segments", Json::Number(NUM_SEGMENTS as f64)),
+        ("initial_state", Json::string("|0...0>")),
+        (
+            "worker_threads_available",
+            Json::Number(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+        ),
+        ("entries", Json::Array(entries)),
+    ]);
+    let path = "BENCH_schedule.json";
+    std::fs::write(path, report.render() + "\n").expect("write benchmark report");
+    println!("wrote {path}");
+}

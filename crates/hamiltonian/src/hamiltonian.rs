@@ -169,6 +169,54 @@ impl Hamiltonian {
     pub fn max_abs_coefficient(&self) -> f64 {
         self.terms.values().fold(0.0_f64, |acc, c| acc.max(c.abs()))
     }
+
+    /// A 64-bit fingerprint of the Hamiltonian's *term structure*: the ordered
+    /// set of Pauli strings, ignoring the coefficients.
+    ///
+    /// Two Hamiltonians with equal fingerprints almost certainly share the
+    /// same strings in the same canonical order, which means a mask-compiled
+    /// layout built for one can be reused for the other by swapping the
+    /// per-term weights (see `CompiledSchedule` in `qturbo-quantum`). The hash
+    /// is FNV-1a over `(qubit, operator)` pairs, so it is stable across runs;
+    /// confirm candidate matches with [`Hamiltonian::same_structure`] since a
+    /// hash can collide.
+    pub fn structure_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |value: u64| {
+            hash ^= value;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        for (_, string) in self.terms() {
+            for (qubit, op) in string.iter() {
+                mix(qubit as u64);
+                mix(match op {
+                    crate::Pauli::I => 1,
+                    crate::Pauli::X => 2,
+                    crate::Pauli::Y => 3,
+                    crate::Pauli::Z => 4,
+                });
+            }
+            // Terminator so term boundaries influence the hash.
+            mix(u64::MAX);
+        }
+        hash
+    }
+
+    /// Returns `true` when both Hamiltonians contain exactly the same Pauli
+    /// strings (in the shared canonical order), regardless of coefficients.
+    ///
+    /// This is the exact check behind [`Hamiltonian::structure_fingerprint`]:
+    /// structure-equal Hamiltonians differ only in their coefficient vectors.
+    pub fn same_structure(&self, other: &Hamiltonian) -> bool {
+        self.terms.len() == other.terms.len()
+            && self
+                .terms
+                .keys()
+                .zip(other.terms.keys())
+                .all(|(a, b)| a == b)
+    }
 }
 
 impl fmt::Display for Hamiltonian {
@@ -274,6 +322,31 @@ impl PiecewiseHamiltonian {
         self.segments
             .first()
             .map_or(0, |s| s.hamiltonian.num_qubits())
+    }
+
+    /// Splits the segment indices into maximal consecutive runs sharing the
+    /// same term structure (see [`Hamiltonian::same_structure`]).
+    ///
+    /// A discretized ramp whose coefficients vary smoothly in time typically
+    /// yields a single run covering every segment — exactly the case where a
+    /// compiled mask layout can be built once and reused with per-segment
+    /// weight swaps.
+    pub fn structure_runs(&self) -> Vec<std::ops::Range<usize>> {
+        let mut runs = Vec::new();
+        let mut start = 0usize;
+        for index in 1..self.segments.len() {
+            if !self.segments[index]
+                .hamiltonian
+                .same_structure(&self.segments[start].hamiltonian)
+            {
+                runs.push(start..index);
+                start = index;
+            }
+        }
+        if start < self.segments.len() {
+            runs.push(start..self.segments.len());
+        }
+        runs
     }
 }
 
@@ -394,5 +467,65 @@ mod tests {
     #[should_panic(expected = "at least one segment")]
     fn discretize_requires_segments() {
         let _ = PiecewiseHamiltonian::discretize(|_| Hamiltonian::new(1), 1.0, 0);
+    }
+
+    #[test]
+    fn structure_fingerprint_ignores_coefficients() {
+        let a = Hamiltonian::from_terms(
+            2,
+            [(1.0, zz(0, 1)), (0.5, PauliString::single(0, Pauli::X))],
+        );
+        let b = Hamiltonian::from_terms(
+            2,
+            [(-3.0, zz(0, 1)), (7.0, PauliString::single(0, Pauli::X))],
+        );
+        let c = Hamiltonian::from_terms(2, [(1.0, zz(0, 1))]);
+        assert_eq!(a.structure_fingerprint(), b.structure_fingerprint());
+        assert!(a.same_structure(&b));
+        assert_ne!(a.structure_fingerprint(), c.structure_fingerprint());
+        assert!(!a.same_structure(&c));
+        // Different operator on the same qubit changes the structure.
+        let d = Hamiltonian::from_terms(
+            2,
+            [(1.0, zz(0, 1)), (0.5, PauliString::single(0, Pauli::Y))],
+        );
+        assert_ne!(a.structure_fingerprint(), d.structure_fingerprint());
+        assert!(!a.same_structure(&d));
+    }
+
+    #[test]
+    fn structure_runs_group_consecutive_segments() {
+        let ramp = PiecewiseHamiltonian::discretize(
+            |t| {
+                Hamiltonian::from_terms(
+                    1,
+                    [
+                        (1.0 + t, PauliString::single(0, Pauli::Z)),
+                        (2.0 - t, PauliString::single(0, Pauli::X)),
+                    ],
+                )
+            },
+            1.0,
+            8,
+        );
+        assert_eq!(ramp.structure_runs(), vec![0..8]);
+
+        // A structure break in the middle splits the runs.
+        let mixed = PiecewiseHamiltonian::new(vec![
+            Segment {
+                hamiltonian: Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::Z))]),
+                duration: 0.1,
+            },
+            Segment {
+                hamiltonian: Hamiltonian::from_terms(1, [(2.0, PauliString::single(0, Pauli::Z))]),
+                duration: 0.1,
+            },
+            Segment {
+                hamiltonian: Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]),
+                duration: 0.1,
+            },
+        ]);
+        assert_eq!(mixed.structure_runs(), vec![0..2, 2..3]);
+        assert!(PiecewiseHamiltonian::default().structure_runs().is_empty());
     }
 }

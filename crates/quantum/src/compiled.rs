@@ -56,6 +56,16 @@ pub struct CompiledTerm {
 }
 
 impl CompiledTerm {
+    /// Assembles a term directly from its mask triple (used by the schedule
+    /// compiler, which owns the masks and swaps in per-segment weights).
+    pub(crate) fn from_parts(x_mask: usize, z_mask: usize, weight: Complex) -> Self {
+        CompiledTerm {
+            x_mask,
+            z_mask,
+            weight,
+        }
+    }
+
     /// Compiles `coefficient · string` into mask form.
     pub fn compile(coefficient: f64, string: &PauliString) -> Self {
         let mut x_mask = 0usize;
@@ -138,10 +148,10 @@ impl CompiledTerm {
 /// Diagonal terms are folded into a precomputed per-basis-state table when
 /// there are at least this many of them (a single diagonal term is just as
 /// fast through the generic gather path, and the table costs `2ⁿ` doubles).
-const DIAG_TABLE_MIN_TERMS: usize = 2;
+pub(crate) const DIAG_TABLE_MIN_TERMS: usize = 2;
 /// No diagonal table above this qubit count (memory guard: the table is
 /// `2ⁿ · 8` bytes).
-const DIAG_TABLE_MAX_QUBITS: usize = 24;
+pub(crate) const DIAG_TABLE_MAX_QUBITS: usize = 24;
 
 /// A Hamiltonian pre-compiled into mask-form terms, cached for repeated
 /// application inside the propagation loop.
@@ -261,6 +271,18 @@ impl CompiledHamiltonian {
         self.step_strength
     }
 
+    /// Borrowed kernel view over the classified term arrays, shared with the
+    /// schedule path (see [`crate::schedule::CompiledSchedule`]).
+    pub(crate) fn kernel(&self) -> FusedKernel<'_> {
+        FusedKernel {
+            num_qubits: self.num_qubits,
+            diag_table: &self.diag_table,
+            diag_terms: &[],
+            flip_terms: &self.flip_terms,
+            gather_terms: &self.gather_terms,
+        }
+    }
+
     /// Computes `out = H|ψ⟩` in place and returns `‖H|ψ⟩‖`. `out` is fully
     /// overwritten; no heap allocation is performed.
     ///
@@ -269,6 +291,139 @@ impl CompiledHamiltonian {
     /// Panics if the dimensions of `input` and `out` differ, or the
     /// Hamiltonian acts on more qubits than the state has.
     pub fn apply_into(&self, input: &StateVector, out: &mut StateVector) -> f64 {
+        self.kernel().apply_into(input, out)
+    }
+
+    /// Fused Taylor iteration: computes `out = H|ψ⟩`, accumulates
+    /// `target += factor · out` in the same write pass, and returns `‖out‖`.
+    /// One memory sweep instead of the three a separate apply + accumulate +
+    /// norm would cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimensions differ, or the Hamiltonian acts on more
+    /// qubits than the state has.
+    pub fn apply_accumulate_into(
+        &self,
+        input: &StateVector,
+        out: &mut StateVector,
+        target: &mut StateVector,
+        factor: Complex,
+    ) -> f64 {
+        self.kernel()
+            .apply_accumulate_into(input, out, target, factor)
+    }
+
+    /// `⟨ψ|H|ψ⟩` in one allocation-free pass per term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Hamiltonian acts on more qubits than the state has.
+    pub fn expectation(&self, state: &StateVector) -> f64 {
+        assert!(
+            self.num_qubits <= state.num_qubits(),
+            "Hamiltonian acts on more qubits than the state"
+        );
+        let amplitudes = state.amplitudes();
+        self.terms
+            .iter()
+            .map(|term| term.expectation(amplitudes).re)
+            .sum()
+    }
+}
+
+/// A borrowed, classified view of mask-compiled terms driving one fused
+/// `H|ψ⟩` write pass: diagonal table (optional), pure-flip terms, and generic
+/// gather terms.
+///
+/// Both [`CompiledHamiltonian`] (which owns a per-Hamiltonian diagonal table)
+/// and [`crate::schedule::CompiledSchedule`] (which shares a mask layout
+/// across segments and swaps per-segment weights, with no table) lower to
+/// this view, so the threaded apply kernels exist exactly once.
+#[derive(Clone, Copy)]
+pub(crate) struct FusedKernel<'a> {
+    pub(crate) num_qubits: usize,
+    pub(crate) diag_table: &'a [f64],
+    /// Untabled diagonal terms as `(z_mask, weight)` pairs, evaluated on the
+    /// fly (used by schedule segments whose diagonal table was not built —
+    /// too few terms or too many qubits). Mutually exclusive with
+    /// `diag_table` in practice, though the kernel sums both if given.
+    pub(crate) diag_terms: &'a [(usize, f64)],
+    pub(crate) flip_terms: &'a [(usize, f64)],
+    pub(crate) gather_terms: &'a [CompiledTerm],
+}
+
+impl FusedKernel<'_> {
+    /// `true` when the kernel has no terms at all (`H = 0`).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.diag_table.is_empty()
+            && self.diag_terms.is_empty()
+            && self.flip_terms.is_empty()
+            && self.gather_terms.is_empty()
+    }
+
+    /// One fused-kernel element: `H|ψ⟩` at output index `j`, assembled from
+    /// the diagonal table (or on-the-fly diagonal terms), the pure-flip
+    /// terms, and the generic gathers.
+    #[inline(always)]
+    fn element(&self, input: &[Complex], j: usize, diag_index_mask: usize) -> Complex {
+        let mut acc = if self.diag_table.is_empty() {
+            Complex::ZERO
+        } else {
+            // The table covers the Hamiltonian's own register; higher state
+            // qubits (identity-extended) just wrap around the index mask.
+            input[j].scale(self.diag_table[j & diag_index_mask])
+        };
+        if !self.diag_terms.is_empty() {
+            acc += input[j].scale(diagonal_value(self.diag_terms, j));
+        }
+        for &(x_mask, weight) in self.flip_terms {
+            acc += input[j ^ x_mask].scale(weight);
+        }
+        for term in self.gather_terms {
+            let i = j ^ term.x_mask;
+            acc += (term.weight * input[i]).scale(term.sign(i));
+        }
+        acc
+    }
+
+    /// The fused kernel over output indices `offset .. offset + out.len()`:
+    /// one write pass, returns the chunk's squared norm.
+    fn apply_range(&self, input: &[Complex], out: &mut [Complex], offset: usize) -> f64 {
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        let mut norm_sqr = 0.0;
+        for (k, slot) in out.iter_mut().enumerate() {
+            let acc = self.element(input, offset + k, diag_index_mask);
+            norm_sqr += acc.norm_sqr();
+            *slot = acc;
+        }
+        norm_sqr
+    }
+
+    /// [`apply_range`](Self::apply_range) with the Taylor accumulation fused
+    /// into the same pass: `target[j] += factor · out[j]`.
+    fn apply_accumulate_range(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        target: &mut [Complex],
+        factor: Complex,
+        offset: usize,
+    ) -> f64 {
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        let mut norm_sqr = 0.0;
+        for (k, (slot, target_slot)) in out.iter_mut().zip(target.iter_mut()).enumerate() {
+            let acc = self.element(input, offset + k, diag_index_mask);
+            norm_sqr += acc.norm_sqr();
+            *slot = acc;
+            *target_slot += factor * acc;
+        }
+        norm_sqr
+    }
+
+    /// Computes `out = H|ψ⟩` and returns `‖H|ψ⟩‖`; threaded above
+    /// [`PARALLEL_THRESHOLD_QUBITS`].
+    pub(crate) fn apply_into(&self, input: &StateVector, out: &mut StateVector) -> f64 {
         assert_eq!(input.dim(), out.dim(), "state dimension mismatch");
         assert!(
             self.num_qubits <= input.num_qubits(),
@@ -303,16 +458,9 @@ impl CompiledHamiltonian {
         norm_sqr.sqrt()
     }
 
-    /// Fused Taylor iteration: computes `out = H|ψ⟩`, accumulates
-    /// `target += factor · out` in the same write pass, and returns `‖out‖`.
-    /// One memory sweep instead of the three a separate apply + accumulate +
-    /// norm would cost.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any dimensions differ, or the Hamiltonian acts on more
-    /// qubits than the state has.
-    pub fn apply_accumulate_into(
+    /// [`apply_into`](Self::apply_into) with `target += factor · out` fused
+    /// into the same write pass.
+    pub(crate) fn apply_accumulate_into(
         &self,
         input: &StateVector,
         out: &mut StateVector,
@@ -362,78 +510,17 @@ impl CompiledHamiltonian {
         });
         norm_sqr.sqrt()
     }
+}
 
-    /// One fused-kernel element: `H|ψ⟩` at output index `j`, assembled from
-    /// the diagonal table, the pure-flip terms, and the generic gathers.
-    #[inline(always)]
-    fn element(&self, input: &[Complex], j: usize, diag_index_mask: usize) -> Complex {
-        let mut acc = if self.diag_table.is_empty() {
-            Complex::ZERO
-        } else {
-            // The table covers the Hamiltonian's own register; higher state
-            // qubits (identity-extended) just wrap around the index mask.
-            input[j].scale(self.diag_table[j & diag_index_mask])
-        };
-        for &(x_mask, weight) in &self.flip_terms {
-            acc += input[j ^ x_mask].scale(weight);
-        }
-        for term in &self.gather_terms {
-            let i = j ^ term.x_mask;
-            acc += (term.weight * input[i]).scale(term.sign(i));
-        }
-        acc
+/// `Σ_t w_t · (−1)^{parity(basis & z_t)}` — the diagonal contribution of a
+/// `(z_mask, weight)` term list at one basis index.
+#[inline(always)]
+pub(crate) fn diagonal_value(diag_terms: &[(usize, f64)], basis: usize) -> f64 {
+    let mut value = 0.0;
+    for &(z_mask, weight) in diag_terms {
+        value += weight * (1.0 - 2.0 * ((basis & z_mask).count_ones() & 1) as f64);
     }
-
-    /// The fused kernel over output indices `offset .. offset + out.len()`:
-    /// one write pass, returns the chunk's squared norm.
-    fn apply_range(&self, input: &[Complex], out: &mut [Complex], offset: usize) -> f64 {
-        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
-        let mut norm_sqr = 0.0;
-        for (k, slot) in out.iter_mut().enumerate() {
-            let acc = self.element(input, offset + k, diag_index_mask);
-            norm_sqr += acc.norm_sqr();
-            *slot = acc;
-        }
-        norm_sqr
-    }
-
-    /// [`apply_range`](Self::apply_range) with the Taylor accumulation fused
-    /// into the same pass: `target[j] += factor · out[j]`.
-    fn apply_accumulate_range(
-        &self,
-        input: &[Complex],
-        out: &mut [Complex],
-        target: &mut [Complex],
-        factor: Complex,
-        offset: usize,
-    ) -> f64 {
-        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
-        let mut norm_sqr = 0.0;
-        for (k, (slot, target_slot)) in out.iter_mut().zip(target.iter_mut()).enumerate() {
-            let acc = self.element(input, offset + k, diag_index_mask);
-            norm_sqr += acc.norm_sqr();
-            *slot = acc;
-            *target_slot += factor * acc;
-        }
-        norm_sqr
-    }
-
-    /// `⟨ψ|H|ψ⟩` in one allocation-free pass per term.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the Hamiltonian acts on more qubits than the state has.
-    pub fn expectation(&self, state: &StateVector) -> f64 {
-        assert!(
-            self.num_qubits <= state.num_qubits(),
-            "Hamiltonian acts on more qubits than the state"
-        );
-        let amplitudes = state.amplitudes();
-        self.terms
-            .iter()
-            .map(|term| term.expectation(amplitudes).re)
-            .sum()
-    }
+    value
 }
 
 /// Number of worker threads to use for a state of dimension `dim`.

@@ -20,8 +20,9 @@
 //! * **Shot noise** — observables are estimated from a finite number of
 //!   Bernoulli samples (1000 shots in the paper).
 
-use crate::observable::{z_expectations, zz_expectations};
-use crate::propagate::evolve_piecewise;
+use crate::observable::measure_z_zz;
+use crate::propagate::Propagator;
+use crate::schedule::CompiledSchedule;
 use crate::state::StateVector;
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::rng::Rng;
@@ -136,7 +137,13 @@ impl EmulatedDevice {
     /// Executes a sequence of `(Hamiltonian, duration)` segments starting from
     /// `|0…0⟩` and measures the `Z`/`ZZ` observables.
     ///
-    /// `cyclic` controls whether the wrap-around `ZZ` pair is measured.
+    /// `cyclic` controls whether the wrap-around `ZZ` bond is measured; the
+    /// bonds follow the deduplicated [`crate::observable::zz_pairs`]
+    /// semantics (no wrap-around for fewer than 3 qubits). The segments are
+    /// compiled into a layout-sharing [`CompiledSchedule`] (compiled pulse
+    /// schedules reuse a handful of term structures across segments), and
+    /// both observable families come from the single fused sweep of
+    /// [`measure_z_zz`].
     ///
     /// # Panics
     ///
@@ -161,8 +168,9 @@ impl EmulatedDevice {
             .map(|(h, d)| (h.scaled(scale), *d))
             .collect();
 
-        let initial = StateVector::zero_state(num_qubits);
-        let final_state = evolve_piecewise(&initial, &noisy_segments);
+        let schedule = CompiledSchedule::compile(&noisy_segments);
+        let mut final_state = StateVector::zero_state(num_qubits);
+        Propagator::new().evolve_schedule_in_place(&schedule, &mut final_state);
 
         let damp = |weight: f64| {
             let depolarizing = (-self.noise.depolarizing_rate * weight * execution_time).exp();
@@ -170,11 +178,14 @@ impl EmulatedDevice {
             depolarizing * readout
         };
 
-        let z: Vec<f64> = z_expectations(&final_state)
+        let observables = measure_z_zz(&final_state, cyclic);
+        let z: Vec<f64> = observables
+            .z
             .into_iter()
             .map(|e| self.estimate(e * damp(1.0), &mut rng))
             .collect();
-        let zz: Vec<f64> = zz_expectations(&final_state, cyclic)
+        let zz: Vec<f64> = observables
+            .zz
             .into_iter()
             .map(|e| self.estimate(e * damp(2.0), &mut rng))
             .collect();

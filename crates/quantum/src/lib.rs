@@ -9,7 +9,11 @@
 //!   mask-compiled, allocation-free kernels of [`compiled`]
 //!   ([`CompiledHamiltonian`] caches each Pauli term as an
 //!   `(x_mask, z_mask, phase)` bit-triple),
+//! * [`schedule`] — [`CompiledSchedule`], which compiles a piecewise
+//!   (time-dependent) Hamiltonian **once** into mask layouts shared across
+//!   structure-equal segments, with per-segment `O(#terms)` weight swaps,
 //! * [`observable`] — the `Z_avg` / `ZZ_avg` metrics of the paper's §7.4,
+//!   evaluated by one fused sweep over the probabilities,
 //! * [`device`] — an [`EmulatedDevice`] that runs compiled pulse segments with
 //!   a time-proportional noise model and finite measurement shots,
 //!   substituting for the real Aquila hardware (see DESIGN.md).
@@ -32,9 +36,12 @@ pub mod compiled;
 pub mod device;
 pub mod observable;
 pub mod propagate;
+pub mod schedule;
 pub mod state;
 
 pub use compiled::{CompiledHamiltonian, CompiledTerm};
 pub use device::{ideal_run, DeviceRun, EmulatedDevice, NoiseModel};
+pub use observable::DiagonalObservables;
 pub use propagate::Propagator;
+pub use schedule::CompiledSchedule;
 pub use state::StateVector;

@@ -20,13 +20,41 @@
 //! The original scalar implementation is retained as
 //! [`apply_hamiltonian_naive`] / [`evolve_naive`]; it is the reference the
 //! property tests and `BENCH_propagation.json` compare against.
+//!
+//! # Norm semantics
+//!
+//! `exp(−iHt)` is linear and unitary, so evolution must **preserve the input
+//! norm**, whatever that norm is: `evolve(c·ψ) = c·evolve(ψ)`. The truncated
+//! Taylor series drifts off that norm by machine epsilon per step, so after
+//! every step the state is rescaled back to its *pre-evolution* norm — a pure
+//! drift correction. (An earlier revision called `normalize()` here, which
+//! silently forced every input to unit norm and broke linearity for
+//! unnormalized states.) The Taylor truncation threshold is likewise
+//! *relative* to the input norm, so a state of norm `10⁶` is integrated to
+//! the same relative accuracy as a unit one instead of truncating early, and
+//! a tiny-norm state converges in the same handful of orders instead of
+//! running to `MAX_TAYLOR_ORDER`.
+//!
+//! # Time-dependent schedules
+//!
+//! Piecewise-constant targets have two drivers: the reference
+//! [`Propagator::evolve_piecewise_in_place`], which mask-compiles every
+//! segment from scratch (per-segment diagonal table — best for a few long
+//! segments), and [`Propagator::evolve_schedule_in_place`], which drives a
+//! pre-compiled [`CompiledSchedule`] whose mask layout is shared across
+//! structure-equal segments with `O(#terms)` weight swaps — the hot path for
+//! discretized ramps with hundreds of segments (see `BENCH_schedule.json`).
 
-use crate::compiled::CompiledHamiltonian;
+use crate::compiled::{CompiledHamiltonian, FusedKernel};
+use crate::schedule::CompiledSchedule;
 use crate::state::StateVector;
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::Complex;
 
 const MAX_TAYLOR_ORDER: usize = 64;
+/// Taylor truncation threshold, *relative* to the norm of the state being
+/// evolved: the series stops once the next term's contribution falls below
+/// `TAYLOR_TOLERANCE · ‖ψ‖`.
 const TAYLOR_TOLERANCE: f64 = 1e-14;
 /// Evolution is split into steps with `strength · Δt` at most this value so
 /// each step's Taylor series converges in a handful of orders.
@@ -88,6 +116,10 @@ impl Propagator {
     /// µs, or rad/µs with µs). After the scratch buffers are sized, the
     /// Taylor loop performs no heap allocation.
     ///
+    /// The input's norm is **preserved**, not forced to one: an unnormalized
+    /// `c·ψ` evolves to `c·exp(−iHt)ψ` (linearity). After each internal step
+    /// the state is rescaled to its pre-evolution norm as a drift correction.
+    ///
     /// # Panics
     ///
     /// Panics if `time` is negative or not finite, or the Hamiltonian acts on
@@ -105,15 +137,22 @@ impl Propagator {
         if time == 0.0 || hamiltonian.is_empty() {
             return;
         }
+        let reference_norm = state.norm();
+        if reference_norm == 0.0 {
+            // The zero vector is a fixed point of any linear evolution.
+            return;
+        }
         // Split into steps so that the Taylor series of each step converges
         // fast.
         let steps = ((hamiltonian.step_strength() * time / MAX_STEP_PHASE).ceil() as usize).max(1);
         let dt = time / steps as f64;
         self.ensure_capacity(state.num_qubits());
+        let kernel = hamiltonian.kernel();
         for _ in 0..steps {
-            self.taylor_step(hamiltonian, state, dt);
-            // Guard against slow numerical norm drift over many steps.
-            state.normalize();
+            self.taylor_step(kernel, state, dt, reference_norm);
+            // Drift correction only: rescale to the *pre-evolution* norm (the
+            // exact evolution is unitary, so the norm must not move).
+            rescale_to(state, reference_norm);
         }
     }
 
@@ -121,6 +160,13 @@ impl Propagator {
     /// duration)` segments — the form produced by a compiled pulse schedule
     /// or a piecewise-constant target Hamiltonian. Each segment is
     /// mask-compiled once; the scratch buffers are shared across segments.
+    ///
+    /// This is the recompile-per-segment reference path: each segment gets
+    /// the full [`CompiledHamiltonian`] treatment including its diagonal
+    /// table. For schedules with many structure-sharing segments, compile a
+    /// [`CompiledSchedule`] once and use
+    /// [`evolve_schedule_in_place`](Propagator::evolve_schedule_in_place)
+    /// instead — it reuses one mask layout across segments.
     pub fn evolve_piecewise_in_place(
         &mut self,
         segments: &[(Hamiltonian, f64)],
@@ -132,26 +178,92 @@ impl Propagator {
         }
     }
 
+    /// Evolves `state` in place through a pre-compiled
+    /// [`CompiledSchedule`]: the mask layout was built once at compile time,
+    /// so per segment only the `O(#terms)` weight vectors change hands.
+    ///
+    /// Stepping, truncation, and norm semantics are identical to
+    /// [`evolve_in_place`](Propagator::evolve_in_place) segment by segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule acts on more qubits than the state has.
+    pub fn evolve_schedule_in_place(
+        &mut self,
+        schedule: &CompiledSchedule,
+        state: &mut StateVector,
+    ) {
+        assert!(
+            schedule.num_qubits() <= state.num_qubits(),
+            "schedule acts on more qubits than the state"
+        );
+        let reference_norm = state.norm();
+        if reference_norm == 0.0 {
+            return;
+        }
+        self.ensure_capacity(state.num_qubits());
+        // Scratch for the per-segment diagonal tables: allocated once on the
+        // first diagonal-bearing segment, then updated incrementally (only
+        // the weight deltas of changed terms) for the rest of the run.
+        let mut diag_scratch: Vec<f64> = Vec::new();
+        let mut materialized: Option<usize> = None;
+        for index in 0..schedule.num_segments() {
+            let duration = schedule.segment_duration(index);
+            if duration == 0.0 {
+                continue;
+            }
+            let use_table = schedule.wants_diag_table(index);
+            if use_table {
+                schedule.update_diag_table(index, &mut materialized, &mut diag_scratch);
+            }
+            let kernel =
+                schedule.segment_kernel(index, if use_table { &diag_scratch } else { &[] });
+            if kernel.is_empty() {
+                continue;
+            }
+            let strength = schedule.segment_step_strength(index);
+            let steps = ((strength * duration / MAX_STEP_PHASE).ceil() as usize).max(1);
+            let dt = duration / steps as f64;
+            for _ in 0..steps {
+                self.taylor_step(kernel, state, dt, reference_norm);
+                rescale_to(state, reference_norm);
+            }
+        }
+    }
+
     /// One in-place Taylor step
-    /// `|ψ⟩ ← Σ_k (−i·dt)ᵏ/k! · Hᵏ|ψ⟩` (truncated at machine precision).
-    fn taylor_step(&mut self, hamiltonian: &CompiledHamiltonian, state: &mut StateVector, dt: f64) {
+    /// `|ψ⟩ ← Σ_k (−i·dt)ᵏ/k! · Hᵏ|ψ⟩`, truncated once the next term drops
+    /// below `TAYLOR_TOLERANCE · reference_norm` (relative truncation).
+    fn taylor_step(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        state: &mut StateVector,
+        dt: f64,
+        reference_norm: f64,
+    ) {
         self.krylov.copy_from(state);
         let mut factor = Complex::ONE;
+        let threshold = TAYLOR_TOLERANCE * reference_norm;
         for k in 1..=MAX_TAYLOR_ORDER {
             factor = factor * Complex::new(0.0, -dt) / (k as f64);
             // One fused sweep: krylov_next = H·krylov, state += factor·
             // krylov_next, and ‖krylov_next‖ for the convergence check.
-            let krylov_norm = hamiltonian.apply_accumulate_into(
-                &self.krylov,
-                &mut self.krylov_next,
-                state,
-                factor,
-            );
+            let krylov_norm =
+                kernel.apply_accumulate_into(&self.krylov, &mut self.krylov_next, state, factor);
             std::mem::swap(&mut self.krylov, &mut self.krylov_next);
-            if krylov_norm * factor.abs() < TAYLOR_TOLERANCE {
+            if krylov_norm * factor.abs() < threshold {
                 break;
             }
         }
+    }
+}
+
+/// Rescales `state` to `reference_norm` (numerical drift correction after a
+/// truncated Taylor step).
+fn rescale_to(state: &mut StateVector, reference_norm: f64) {
+    let norm = state.norm();
+    if norm > 0.0 {
+        state.scale(reference_norm / norm);
     }
 }
 
@@ -212,10 +324,11 @@ pub fn evolve(state: &StateVector, hamiltonian: &Hamiltonian, time: f64) -> Stat
     current
 }
 
-/// The scalar reference implementation of [`evolve`]: identical stepping and
-/// truncation, but every `H|ψ⟩` goes through [`apply_hamiltonian_naive`] and
-/// every Taylor iteration allocates. Retained for property tests and the
-/// `BENCH_propagation.json` baseline.
+/// The scalar reference implementation of [`evolve`]: identical stepping,
+/// truncation, and norm semantics (pre-evolution norm preserved, relative
+/// Taylor tolerance), but every `H|ψ⟩` goes through
+/// [`apply_hamiltonian_naive`] and every Taylor iteration allocates. Retained
+/// for property tests and the `BENCH_propagation.json` baseline.
 ///
 /// # Panics
 ///
@@ -228,27 +341,39 @@ pub fn evolve_naive(state: &StateVector, hamiltonian: &Hamiltonian, time: f64) -
     if time == 0.0 || hamiltonian.is_empty() {
         return state.clone();
     }
+    let reference_norm = state.norm();
+    if reference_norm == 0.0 {
+        return state.clone();
+    }
     let strength = hamiltonian.coefficient_l1_norm() + hamiltonian.max_abs_coefficient();
     let steps = ((strength * time / MAX_STEP_PHASE).ceil() as usize).max(1);
     let dt = time / steps as f64;
 
     let mut current = state.clone();
     for _ in 0..steps {
-        current = naive_taylor_step(&current, hamiltonian, dt);
-        current.normalize();
+        current = naive_taylor_step(&current, hamiltonian, dt, reference_norm);
+        // Drift correction to the pre-evolution norm (mirrors the compiled
+        // path; an earlier revision forced unit norm here).
+        rescale_to(&mut current, reference_norm);
     }
     current
 }
 
-fn naive_taylor_step(state: &StateVector, hamiltonian: &Hamiltonian, dt: f64) -> StateVector {
+fn naive_taylor_step(
+    state: &StateVector,
+    hamiltonian: &Hamiltonian,
+    dt: f64,
+    reference_norm: f64,
+) -> StateVector {
     let mut result = state.clone();
     let mut krylov = state.clone();
     let mut factor = Complex::ONE;
+    let threshold = TAYLOR_TOLERANCE * reference_norm;
     for k in 1..=MAX_TAYLOR_ORDER {
         krylov = apply_hamiltonian_naive(hamiltonian, &krylov);
         factor = factor * Complex::new(0.0, -dt) / (k as f64);
         result.accumulate(factor, &krylov);
-        if krylov.norm() * factor.abs() < TAYLOR_TOLERANCE {
+        if krylov.norm() * factor.abs() < threshold {
             break;
         }
     }
@@ -264,6 +389,18 @@ fn naive_taylor_step(state: &StateVector, hamiltonian: &Hamiltonian, dt: f64) ->
 pub fn evolve_piecewise(state: &StateVector, segments: &[(Hamiltonian, f64)]) -> StateVector {
     let mut current = state.clone();
     Propagator::new().evolve_piecewise_in_place(segments, &mut current);
+    current
+}
+
+/// Evolves a state through a pre-compiled [`CompiledSchedule`].
+///
+/// Convenience wrapper over [`Propagator::evolve_schedule_in_place`]. Compile
+/// the schedule once with [`CompiledSchedule::compile`] (or
+/// [`CompiledSchedule::compile_piecewise`]) and reuse it across runs — that
+/// is the whole point of the shared-layout subsystem.
+pub fn evolve_schedule(state: &StateVector, schedule: &CompiledSchedule) -> StateVector {
+    let mut current = state.clone();
+    Propagator::new().evolve_schedule_in_place(schedule, &mut current);
     current
 }
 
@@ -454,5 +591,66 @@ mod tests {
     fn negative_time_panics() {
         let h = single_term(1, 1.0, PauliString::single(0, Pauli::X));
         let _ = evolve(&StateVector::zero_state(1), &h, -1.0);
+    }
+
+    #[test]
+    fn evolution_is_linear_in_the_input_norm() {
+        // Regression: evolve(c·ψ) must equal c·evolve(ψ). The old
+        // `normalize()` drift guard forced every input back to unit norm.
+        let h = Hamiltonian::from_terms(
+            2,
+            [
+                (1.0, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                (0.7, PauliString::single(0, Pauli::X)),
+            ],
+        );
+        for &scale in &[3.0, 1e-6, 2.5e5] {
+            let unit = StateVector::plus_state(2);
+            let mut scaled = unit.clone();
+            scaled.scale(scale);
+            let evolved_scaled = evolve(&scaled, &h, 0.8);
+            let mut expected = evolve(&unit, &h, 0.8);
+            expected.scale(scale);
+            assert!(
+                (evolved_scaled.norm() - scale).abs() < 1e-9 * scale,
+                "norm not preserved at scale {scale}: {}",
+                evolved_scaled.norm()
+            );
+            for (a, b) in evolved_scaled
+                .amplitudes()
+                .iter()
+                .zip(expected.amplitudes())
+            {
+                assert!((*a - *b).abs() < 1e-9 * scale, "scale {scale}: {a} != {b}");
+            }
+            // The naive reference follows the same semantics.
+            let naive_scaled = evolve_naive(&scaled, &h, 0.8);
+            for (a, b) in naive_scaled.amplitudes().iter().zip(expected.amplitudes()) {
+                assert!((*a - *b).abs() < 1e-9 * scale, "naive scale {scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vector_is_a_fixed_point() {
+        let h = single_term(2, 1.0, PauliString::single(0, Pauli::X));
+        let mut zero = StateVector::zeros(2);
+        let compiled = CompiledHamiltonian::compile(&h);
+        Propagator::new().evolve_in_place(&compiled, &mut zero, 1.0);
+        assert_eq!(zero.norm(), 0.0);
+        let naive = evolve_naive(&StateVector::zeros(2), &h, 1.0);
+        assert_eq!(naive.norm(), 0.0);
+    }
+
+    #[test]
+    fn schedule_evolution_matches_piecewise_evolution() {
+        let h1 = single_term(2, 1.0, PauliString::single(0, Pauli::X));
+        let h2 = single_term(2, 0.5, PauliString::two(0, Pauli::Z, 1, Pauli::Z));
+        let segments = [(h1, 0.3), (h2, 0.7)];
+        let initial = StateVector::zero_state(2);
+        let piecewise = evolve_piecewise(&initial, &segments);
+        let schedule = CompiledSchedule::compile(&segments);
+        let scheduled = evolve_schedule(&initial, &schedule);
+        assert!(scheduled.fidelity(&piecewise) > 1.0 - 1e-12);
     }
 }

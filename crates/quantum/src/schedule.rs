@@ -1,0 +1,458 @@
+//! Compiled schedules: one mask layout shared across the segments of a
+//! piecewise-constant (time-dependent) Hamiltonian.
+//!
+//! # Why
+//!
+//! A discretized ramp — the paper's MIS annealing sweep (§5.3) or any
+//! Trotterized time-dependent target — produces hundreds of segments whose
+//! Hamiltonians share the exact same Pauli strings and differ only in their
+//! coefficients. Recompiling each segment through
+//! [`CompiledHamiltonian::compile`](crate::compiled::CompiledHamiltonian::compile)
+//! redoes the structural work every time, including the `O(#diag · 2ⁿ)`
+//! diagonal-table build, even though nothing structural changed.
+//!
+//! [`CompiledSchedule`] compiles the *structure* once per run of
+//! structure-equal segments — the `(x_mask, z_mask, i^{y_count})` triple and
+//! flip/gather classification of every term, in the Hamiltonian's canonical
+//! term order — and then materializes each segment as a per-term **weight
+//! vector** in `O(#terms)`: coefficient swaps, no `2ⁿ`-sized work at all.
+//! Runs are detected with [`Hamiltonian::structure_fingerprint`] (confirmed
+//! by [`Hamiltonian::same_structure`]), so schedules that alternate between
+//! a few structures still reuse each layout.
+//!
+//! The per-segment kernels lower to the same threaded fused write pass the
+//! constant-Hamiltonian path uses (`FusedKernel` in [`crate::compiled`]).
+//! Diagonal terms keep their table fast path: at *evolve* time the segment's
+//! diagonal weights are folded into a propagator-owned scratch table — one
+//! `O(#diag · 2ⁿ)` fill per segment into a buffer reused across all of them,
+//! instead of recompile-per-segment's per-segment allocation plus full term
+//! re-classification. Compile-time segment cost stays strictly `O(#terms)`
+//! — see `BENCH_schedule.json` for both the compile-portion and end-to-end
+//! evolution comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use qturbo_quantum::schedule::CompiledSchedule;
+//! use qturbo_quantum::{Propagator, StateVector};
+//! use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString, PiecewiseHamiltonian};
+//!
+//! // A linear ramp: same structure in every segment, different weights.
+//! let ramp = PiecewiseHamiltonian::discretize(
+//!     |t| Hamiltonian::from_terms(2, [
+//!         (1.0 - t, PauliString::single(0, Pauli::X)),
+//!         (t, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+//!     ]),
+//!     1.0,
+//!     50,
+//! );
+//! let schedule = CompiledSchedule::compile_piecewise(&ramp);
+//! assert_eq!(schedule.num_segments(), 50);
+//! assert_eq!(schedule.num_layouts(), 1); // one shared mask layout
+//!
+//! let mut state = StateVector::zero_state(2);
+//! Propagator::new().evolve_schedule_in_place(&schedule, &mut state);
+//! assert!((state.norm() - 1.0).abs() < 1e-10);
+//! ```
+
+use crate::compiled::{CompiledTerm, FusedKernel};
+use qturbo_hamiltonian::{Hamiltonian, PauliString, PiecewiseHamiltonian};
+use qturbo_math::Complex;
+
+/// Structural classification of one term of a layout, in canonical term
+/// order. The weight-independent part of a [`CompiledTerm`].
+#[derive(Debug, Clone, PartialEq)]
+enum TermClass {
+    /// Diagonal (`Z`-products and the identity): `x_mask == 0` implies no
+    /// `Y` factors, so the weight is the real coefficient. Folded into a
+    /// propagator-owned scratch table at evolve time (one `O(2ⁿ)` fill per
+    /// segment, reusing the buffer — the *compile*-time swap stays
+    /// `O(#terms)`).
+    Diag { z_mask: usize },
+    /// Pure bit-flip (`X`-products): `z_mask == 0` implies no `Y` factors, so
+    /// the weight is always the real coefficient.
+    Flip { x_mask: usize },
+    /// Everything else: weight is `i^{y_count} · coefficient`.
+    Gather {
+        x_mask: usize,
+        z_mask: usize,
+        y_phase: Complex,
+    },
+}
+
+/// The shared structural layout of one run of structure-equal segments: the
+/// canonical Pauli strings plus their mask classification.
+#[derive(Debug, Clone, PartialEq)]
+struct ScheduleLayout {
+    fingerprint: u64,
+    strings: Vec<PauliString>,
+    classes: Vec<TermClass>,
+}
+
+impl ScheduleLayout {
+    fn build(hamiltonian: &Hamiltonian) -> Self {
+        let mut strings = Vec::with_capacity(hamiltonian.num_terms());
+        let mut classes = Vec::with_capacity(hamiltonian.num_terms());
+        for (_, string) in hamiltonian.terms() {
+            let unit = CompiledTerm::compile(1.0, string);
+            let class = if unit.x_mask() == 0 {
+                TermClass::Diag {
+                    z_mask: unit.z_mask(),
+                }
+            } else if unit.z_mask() == 0 {
+                TermClass::Flip {
+                    x_mask: unit.x_mask(),
+                }
+            } else {
+                TermClass::Gather {
+                    x_mask: unit.x_mask(),
+                    z_mask: unit.z_mask(),
+                    y_phase: unit.weight(),
+                }
+            };
+            strings.push(string.clone());
+            classes.push(class);
+        }
+        ScheduleLayout {
+            fingerprint: hamiltonian.structure_fingerprint(),
+            strings,
+            classes,
+        }
+    }
+
+    /// Exact structure match (the fingerprint is only a pre-filter).
+    fn matches(&self, hamiltonian: &Hamiltonian) -> bool {
+        hamiltonian.num_terms() == self.strings.len()
+            && hamiltonian
+                .terms()
+                .zip(&self.strings)
+                .all(|((_, s), own)| s == own)
+    }
+}
+
+/// One segment materialized against its layout: the per-term weights (in the
+/// layout's classified order), the duration, and the step-sizing strength.
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledSegment {
+    layout: usize,
+    duration: f64,
+    step_strength: f64,
+    diag_terms: Vec<(usize, f64)>,
+    flip_terms: Vec<(usize, f64)>,
+    gather_terms: Vec<CompiledTerm>,
+}
+
+/// A piecewise-constant Hamiltonian compiled **once**: shared mask layouts
+/// per structure run, per-segment weight vectors swapped in `O(#terms)`.
+///
+/// Drive it with [`Propagator::evolve_schedule_in_place`](crate::Propagator::evolve_schedule_in_place)
+/// or the [`crate::propagate::evolve_schedule`] convenience wrapper. The
+/// recompile-per-segment path
+/// ([`Propagator::evolve_piecewise_in_place`](crate::Propagator::evolve_piecewise_in_place))
+/// is retained as the reference; `BENCH_schedule.json` tracks the two against
+/// each other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledSchedule {
+    num_qubits: usize,
+    layouts: Vec<ScheduleLayout>,
+    segments: Vec<CompiledSegment>,
+}
+
+impl CompiledSchedule {
+    /// Compiles a sequence of `(Hamiltonian, duration)` segments into shared
+    /// layouts plus per-segment weight vectors.
+    ///
+    /// Consecutive (and non-consecutive) segments whose Hamiltonians share
+    /// their term structure reuse one layout; a fully structure-uniform
+    /// schedule — the common case for a discretized ramp — compiles exactly
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is negative or not finite.
+    pub fn compile(segments: &[(Hamiltonian, f64)]) -> Self {
+        let num_qubits = segments
+            .iter()
+            .map(|(h, _)| h.num_qubits())
+            .max()
+            .unwrap_or(0);
+        let mut layouts: Vec<ScheduleLayout> = Vec::new();
+        let mut compiled = Vec::with_capacity(segments.len());
+        for (hamiltonian, duration) in segments {
+            assert!(
+                duration.is_finite() && *duration >= 0.0,
+                "segment duration must be non-negative"
+            );
+            let fingerprint = hamiltonian.structure_fingerprint();
+            let layout = layouts
+                .iter()
+                .position(|l| l.fingerprint == fingerprint && l.matches(hamiltonian))
+                .unwrap_or_else(|| {
+                    layouts.push(ScheduleLayout::build(hamiltonian));
+                    layouts.len() - 1
+                });
+            compiled.push(Self::build_segment(
+                layout,
+                &layouts[layout],
+                hamiltonian,
+                *duration,
+            ));
+        }
+        CompiledSchedule {
+            num_qubits,
+            layouts,
+            segments: compiled,
+        }
+    }
+
+    /// Compiles a [`PiecewiseHamiltonian`] (segments in evolution order).
+    pub fn compile_piecewise(piecewise: &PiecewiseHamiltonian) -> Self {
+        let segments: Vec<(Hamiltonian, f64)> = piecewise
+            .segments()
+            .iter()
+            .map(|s| (s.hamiltonian.clone(), s.duration))
+            .collect();
+        Self::compile(&segments)
+    }
+
+    /// The `O(#terms)` weight swap: fills the segment's flip/gather weight
+    /// vectors by zipping the Hamiltonian's canonical coefficients with the
+    /// layout's structural classification. No `2ⁿ`-sized work.
+    fn build_segment(
+        layout_index: usize,
+        layout: &ScheduleLayout,
+        hamiltonian: &Hamiltonian,
+        duration: f64,
+    ) -> CompiledSegment {
+        let mut diag_terms = Vec::new();
+        let mut flip_terms = Vec::new();
+        let mut gather_terms = Vec::new();
+        for ((coefficient, _), class) in hamiltonian.terms().zip(&layout.classes) {
+            match class {
+                TermClass::Diag { z_mask } => diag_terms.push((*z_mask, coefficient)),
+                TermClass::Flip { x_mask } => flip_terms.push((*x_mask, coefficient)),
+                TermClass::Gather {
+                    x_mask,
+                    z_mask,
+                    y_phase,
+                } => gather_terms.push(CompiledTerm::from_parts(
+                    *x_mask,
+                    *z_mask,
+                    y_phase.scale(coefficient),
+                )),
+            }
+        }
+        CompiledSegment {
+            layout: layout_index,
+            duration,
+            // Same step-sizing strength as the constant-Hamiltonian path so
+            // both produce identical Taylor step counts.
+            step_strength: hamiltonian.coefficient_l1_norm() + hamiltonian.max_abs_coefficient(),
+            diag_terms,
+            flip_terms,
+            gather_terms,
+        }
+    }
+
+    /// Number of qubits the schedule acts on (the maximum over segments).
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of segments, in evolution order.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of distinct mask layouts compiled. A structure-uniform schedule
+    /// (every segment the same Pauli strings) compiles exactly one — the
+    /// measure of how much structural reuse the schedule achieved.
+    pub fn num_layouts(&self) -> usize {
+        self.layouts.len()
+    }
+
+    /// Returns `true` when there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total evolution time over all segments.
+    pub fn total_time(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Duration of segment `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn segment_duration(&self, index: usize) -> f64 {
+        self.segments[index].duration
+    }
+
+    /// Step-sizing strength (`‖c‖₁ + max|c|`) of segment `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn segment_step_strength(&self, index: usize) -> f64 {
+        self.segments[index].step_strength
+    }
+
+    /// Whether segment `index` wants its diagonal terms folded into a table
+    /// (same thresholds as
+    /// [`CompiledHamiltonian`](crate::compiled::CompiledHamiltonian)).
+    pub(crate) fn wants_diag_table(&self, index: usize) -> bool {
+        self.segments[index].diag_terms.len() >= crate::compiled::DIAG_TABLE_MIN_TERMS
+            && self.num_qubits <= crate::compiled::DIAG_TABLE_MAX_QUBITS
+    }
+
+    /// Materializes segment `index`'s diagonal table into `scratch`, reusing
+    /// the buffer across segments (allocation happens once).
+    ///
+    /// `materialized` tracks which segment's table currently occupies the
+    /// scratch. When the previous and current segments share a layout —
+    /// which guarantees an identical diagonal mask list, and holds for every
+    /// segment of a structure run — the table is updated **incrementally**
+    /// by the weight deltas, one `O(2ⁿ)` pass per *changed* term only. A
+    /// ramp that sweeps a detuning while the couplings stay constant (the
+    /// MIS annealing shape) touches a fraction of the diagonal terms per
+    /// segment; the constant ones cost nothing.
+    pub(crate) fn update_diag_table(
+        &self,
+        index: usize,
+        materialized: &mut Option<usize>,
+        scratch: &mut Vec<f64>,
+    ) {
+        let terms = &self.segments[index].diag_terms;
+        let incremental = materialized
+            .is_some_and(|prev| self.segments[prev].layout == self.segments[index].layout);
+        if incremental {
+            let prev_terms = &self.segments[materialized.unwrap()].diag_terms;
+            for (&(z_mask, new_weight), &(_, old_weight)) in terms.iter().zip(prev_terms) {
+                let delta = new_weight - old_weight;
+                if delta == 0.0 {
+                    continue;
+                }
+                for (basis, slot) in scratch.iter_mut().enumerate() {
+                    *slot += delta * (1.0 - 2.0 * ((basis & z_mask).count_ones() & 1) as f64);
+                }
+            }
+        } else {
+            scratch.clear();
+            scratch.resize(1 << self.num_qubits, 0.0);
+            for (basis, slot) in scratch.iter_mut().enumerate() {
+                *slot = crate::compiled::diagonal_value(terms, basis);
+            }
+        }
+        *materialized = Some(index);
+    }
+
+    /// The fused-kernel view of segment `index`.
+    ///
+    /// `diag_table` must be the table materialized by
+    /// [`update_diag_table`](CompiledSchedule::update_diag_table) when
+    /// [`wants_diag_table`](CompiledSchedule::wants_diag_table) is set, and
+    /// empty otherwise — in which case the diagonal terms are evaluated on
+    /// the fly inside the kernel.
+    pub(crate) fn segment_kernel<'a>(
+        &'a self,
+        index: usize,
+        diag_table: &'a [f64],
+    ) -> FusedKernel<'a> {
+        let segment = &self.segments[index];
+        FusedKernel {
+            num_qubits: self.num_qubits,
+            diag_table,
+            diag_terms: if diag_table.is_empty() {
+                &segment.diag_terms
+            } else {
+                &[]
+            },
+            flip_terms: &segment.flip_terms,
+            gather_terms: &segment.gather_terms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::{evolve_piecewise, evolve_schedule};
+    use crate::StateVector;
+    use qturbo_hamiltonian::Pauli;
+
+    fn ramp(num_segments: usize) -> PiecewiseHamiltonian {
+        PiecewiseHamiltonian::discretize(
+            |t| {
+                Hamiltonian::from_terms(
+                    3,
+                    [
+                        (1.0 - 0.5 * t, PauliString::single(0, Pauli::X)),
+                        (0.3 + t, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                        (0.2 * t + 0.1, PauliString::single(2, Pauli::Y)),
+                    ],
+                )
+            },
+            1.0,
+            num_segments,
+        )
+    }
+
+    #[test]
+    fn uniform_ramp_compiles_one_layout() {
+        let schedule = CompiledSchedule::compile_piecewise(&ramp(20));
+        assert_eq!(schedule.num_segments(), 20);
+        assert_eq!(schedule.num_layouts(), 1);
+        assert_eq!(schedule.num_qubits(), 3);
+        assert!((schedule.total_time() - 1.0).abs() < 1e-12);
+        assert!(schedule.segment_duration(0) > 0.0);
+        assert!(schedule.segment_step_strength(0) > 0.0);
+        assert!(!schedule.is_empty());
+    }
+
+    #[test]
+    fn mixed_structures_get_separate_layouts_and_reuse_repeats() {
+        let a = Hamiltonian::from_terms(2, [(1.0, PauliString::single(0, Pauli::X))]);
+        let b = Hamiltonian::from_terms(2, [(0.5, PauliString::two(0, Pauli::Z, 1, Pauli::Z))]);
+        // a, b, a again: the third segment reuses the first layout.
+        let schedule =
+            CompiledSchedule::compile(&[(a.clone(), 0.1), (b, 0.2), (a.scaled(2.0), 0.3)]);
+        assert_eq!(schedule.num_segments(), 3);
+        assert_eq!(schedule.num_layouts(), 2);
+    }
+
+    #[test]
+    fn schedule_evolution_matches_recompile_per_segment() {
+        let piecewise = ramp(12);
+        let segments: Vec<(Hamiltonian, f64)> = piecewise
+            .segments()
+            .iter()
+            .map(|s| (s.hamiltonian.clone(), s.duration))
+            .collect();
+        let initial = StateVector::plus_state(3);
+        let reference = evolve_piecewise(&initial, &segments);
+        let schedule = CompiledSchedule::compile_piecewise(&piecewise);
+        let fast = evolve_schedule(&initial, &schedule);
+        for (a, b) in fast.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!((*a - *b).abs() < 1e-10, "{a} != {b}");
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let schedule = CompiledSchedule::compile(&[]);
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.num_layouts(), 0);
+        let state = StateVector::plus_state(2);
+        let evolved = evolve_schedule(&state, &schedule);
+        assert!(evolved.fidelity(&state) > 1.0 - 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
+        let _ = CompiledSchedule::compile(&[(h, -0.5)]);
+    }
+}

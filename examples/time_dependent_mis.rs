@@ -8,8 +8,9 @@ use qturbo::QTurboCompiler;
 use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
 use qturbo_baseline::{BaselineCompiler, BaselineOptions};
 use qturbo_hamiltonian::models::mis_chain;
-use qturbo_quantum::observable::z_expectations;
-use qturbo_quantum::propagate::evolve_piecewise;
+use qturbo_quantum::observable::measure_z_zz;
+use qturbo_quantum::propagate::evolve_schedule;
+use qturbo_quantum::schedule::CompiledSchedule;
 use qturbo_quantum::StateVector;
 
 fn main() {
@@ -39,15 +40,26 @@ fn main() {
     }
 
     // Execute the compiled schedule and look at the final ⟨Z⟩ pattern: an
-    // (approximate) independent set shows alternating excitation.
+    // (approximate) independent set shows alternating excitation. The pulse
+    // segments share their term structure, so the mask layout is compiled
+    // once and reused with per-segment weight swaps.
     let segments = result.schedule.hamiltonians(&aais).unwrap();
-    let final_state = evolve_piecewise(&StateVector::zero_state(num_atoms), &segments);
-    let z = z_expectations(&final_state);
+    let compiled = CompiledSchedule::compile(&segments);
     println!(
-        "  final per-atom <Z>: {:?}",
-        z.iter()
+        "  mask layouts     : {} (for {} segments)",
+        compiled.num_layouts(),
+        compiled.num_segments()
+    );
+    let final_state = evolve_schedule(&StateVector::zero_state(num_atoms), &compiled);
+    let observables = measure_z_zz(&final_state, false);
+    println!(
+        "  final per-atom <Z>: {:?}  (ZZ_avg {:.3})",
+        observables
+            .z
+            .iter()
             .map(|v| (v * 100.0).round() / 100.0)
-            .collect::<Vec<_>>()
+            .collect::<Vec<_>>(),
+        observables.zz_average()
     );
 
     // Compare against the baseline, which solves the full mixed system once

@@ -10,7 +10,7 @@
 //! * [`quantum`] — the state-vector simulator with the mask-compiled
 //!   propagation engine ([`qturbo_quantum`]),
 //! * [`baseline`] — the SimuQ-style baseline compiler ([`qturbo_baseline`]),
-//! * [`bench`] — the benchmark harness ([`qturbo_bench`]).
+//! * [`mod@bench`] — the benchmark harness ([`qturbo_bench`]).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]

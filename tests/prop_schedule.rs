@@ -1,0 +1,207 @@
+//! Property tests pinning the compiled-schedule and fused-observable paths
+//! to their reference implementations:
+//!
+//! * [`CompiledSchedule`] evolution must match recompile-per-segment
+//!   evolution (amplitudes within 1e-10) on random schedules, including
+//!   schedules whose term structure changes between segments,
+//! * the fused Z/ZZ sweep must match per-observable
+//!   [`StateVector::expectation`] values to 1e-12,
+//! * `evolve` must be linear in the input norm (the norm-forcing regression),
+//! * the cyclic ZZ bonds must be distinct and non-degenerate for
+//!   `n ∈ {1, 2, 3}`.
+//!
+//! Deterministically seeded sampling via `qturbo_math::rng::Rng` (no external
+//! property-testing framework is vendored in this environment).
+
+use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString, PiecewiseHamiltonian};
+use qturbo_math::rng::Rng;
+use qturbo_math::Complex;
+use qturbo_quantum::observable::{measure_z_zz, zz_expectations, zz_pairs};
+use qturbo_quantum::propagate::{evolve, evolve_piecewise, evolve_schedule};
+use qturbo_quantum::schedule::CompiledSchedule;
+use qturbo_quantum::{Propagator, StateVector};
+
+fn random_state(rng: &mut Rng, num_qubits: usize) -> StateVector {
+    let amplitudes: Vec<Complex> = (0..1usize << num_qubits)
+        .map(|_| Complex::new(rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0)))
+        .collect();
+    StateVector::from_amplitudes(amplitudes)
+}
+
+fn random_string(rng: &mut Rng, num_qubits: usize) -> PauliString {
+    PauliString::from_ops((0..num_qubits).filter_map(|qubit| match rng.next_usize(4) {
+        0 => None,
+        k => Some((qubit, [Pauli::X, Pauli::Y, Pauli::Z][k - 1])),
+    }))
+}
+
+/// A random schedule in which runs of consecutive segments share their term
+/// structure but not their coefficients — the shape `CompiledSchedule` is
+/// built for — with occasional structure breaks between runs.
+fn random_schedule(rng: &mut Rng, num_qubits: usize) -> Vec<(Hamiltonian, f64)> {
+    let mut segments = Vec::new();
+    let num_runs = 1 + rng.next_usize(3);
+    for _ in 0..num_runs {
+        let num_strings = 1 + rng.next_usize(4);
+        let strings: Vec<PauliString> = (0..num_strings)
+            .map(|_| random_string(rng, num_qubits))
+            .collect();
+        let run_length = 1 + rng.next_usize(5);
+        for _ in 0..run_length {
+            let hamiltonian = Hamiltonian::from_terms(
+                num_qubits,
+                strings
+                    .iter()
+                    .map(|s| (rng.next_range(0.2, 2.0), s.clone())),
+            );
+            segments.push((hamiltonian, rng.next_range(0.05, 0.5)));
+        }
+    }
+    segments
+}
+
+#[test]
+fn compiled_schedule_matches_per_segment_compilation() {
+    let mut rng = Rng::seed_from_u64(0x5C4ED);
+    for case in 0..25 {
+        let num_qubits = 1 + rng.next_usize(4);
+        let segments = random_schedule(&mut rng, num_qubits);
+        let initial = random_state(&mut rng, num_qubits);
+        let reference = evolve_piecewise(&initial, &segments);
+        let schedule = CompiledSchedule::compile(&segments);
+        let fast = evolve_schedule(&initial, &schedule);
+        for (a, b) in fast.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!(
+                (*a - *b).abs() < 1e-10,
+                "case {case} ({num_qubits}q, {} segments, {} layouts): {a} != {b}",
+                schedule.num_segments(),
+                schedule.num_layouts()
+            );
+        }
+    }
+}
+
+#[test]
+fn discretized_ramp_reuses_one_layout_and_matches_reference() {
+    let ramp = PiecewiseHamiltonian::discretize(
+        |t| {
+            Hamiltonian::from_terms(
+                3,
+                [
+                    (1.0 - 0.8 * t, PauliString::single(0, Pauli::X)),
+                    (0.4 + t, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                    (0.3 + 0.5 * t, PauliString::two(1, Pauli::Z, 2, Pauli::Z)),
+                    (0.2, PauliString::single(2, Pauli::X)),
+                ],
+            )
+        },
+        1.0,
+        120,
+    );
+    assert_eq!(ramp.structure_runs(), vec![0..120]);
+    let schedule = CompiledSchedule::compile_piecewise(&ramp);
+    assert_eq!(schedule.num_layouts(), 1);
+    assert_eq!(schedule.num_segments(), 120);
+
+    let segments: Vec<(Hamiltonian, f64)> = ramp
+        .segments()
+        .iter()
+        .map(|s| (s.hamiltonian.clone(), s.duration))
+        .collect();
+    let initial = StateVector::zero_state(3);
+    let reference = evolve_piecewise(&initial, &segments);
+    let fast = evolve_schedule(&initial, &schedule);
+    for (a, b) in fast.amplitudes().iter().zip(reference.amplitudes()) {
+        assert!((*a - *b).abs() < 1e-10, "{a} != {b}");
+    }
+}
+
+#[test]
+fn fused_observables_match_per_observable_expectations() {
+    let mut rng = Rng::seed_from_u64(0x0B5E);
+    for _ in 0..30 {
+        let num_qubits = 1 + rng.next_usize(6);
+        let state = random_state(&mut rng, num_qubits);
+        for cyclic in [false, true] {
+            let fused = measure_z_zz(&state, cyclic);
+            assert_eq!(fused.pairs, zz_pairs(num_qubits, cyclic));
+            for (i, z) in fused.z.iter().enumerate() {
+                let direct = state.expectation(&PauliString::single(i, Pauli::Z));
+                assert!((z - direct).abs() < 1e-12, "Z_{i}: {z} != {direct}");
+            }
+            for (&(i, j), zz) in fused.pairs.iter().zip(&fused.zz) {
+                let direct = state.expectation(&PauliString::two(i, Pauli::Z, j, Pauli::Z));
+                assert!((zz - direct).abs() < 1e-12, "Z_{i}Z_{j}: {zz} != {direct}");
+            }
+        }
+    }
+}
+
+#[test]
+fn evolve_is_linear_for_unnormalized_states() {
+    let mut rng = Rng::seed_from_u64(0x11EA8);
+    let hamiltonian = Hamiltonian::from_terms(
+        2,
+        [
+            (1.0, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+            (0.6, PauliString::single(0, Pauli::X)),
+            (0.4, PauliString::single(1, Pauli::Y)),
+        ],
+    );
+    for _ in 0..10 {
+        let unit = random_state(&mut rng, 2);
+        let scale = rng.next_range(0.001, 1000.0);
+        let mut scaled = unit.clone();
+        scaled.scale(scale);
+
+        let evolved = evolve(&scaled, &hamiltonian, 0.7);
+        // Norm preserved, not forced to one.
+        assert!(
+            (evolved.norm() - scale).abs() < 1e-9 * scale.max(1.0),
+            "input norm {scale} became {}",
+            evolved.norm()
+        );
+        let mut expected = evolve(&unit, &hamiltonian, 0.7);
+        expected.scale(scale);
+        for (a, b) in evolved.amplitudes().iter().zip(expected.amplitudes()) {
+            assert!((*a - *b).abs() < 1e-9 * scale, "scale {scale}: {a} != {b}");
+        }
+    }
+
+    // The schedule driver preserves the input norm too.
+    let segments = [(hamiltonian, 0.5)];
+    let schedule = CompiledSchedule::compile(&segments);
+    let mut state = random_state(&mut rng, 2);
+    state.scale(42.0);
+    let mut evolved = state.clone();
+    Propagator::new().evolve_schedule_in_place(&schedule, &mut evolved);
+    assert!((evolved.norm() - 42.0).abs() < 1e-8);
+}
+
+#[test]
+fn cyclic_zz_bonds_are_distinct_for_small_registers() {
+    // n = 1: the wrap-around pair would be the degenerate (0, 0) — Z₀Z₀ = I —
+    // which an earlier revision collapsed to a bare Z₀. No bond is measured.
+    let one = StateVector::zero_state(1);
+    assert!(zz_expectations(&one, true).is_empty());
+    assert!(zz_expectations(&one, false).is_empty());
+
+    // n = 2: the ring's two directed bonds (0,1) and (1,0) are the same
+    // physical bond; it must be counted once.
+    let mut rng = Rng::seed_from_u64(0x2B07D);
+    let two = random_state(&mut rng, 2);
+    let open = zz_expectations(&two, false);
+    let cyclic = zz_expectations(&two, true);
+    assert_eq!(open.len(), 1);
+    assert_eq!(cyclic, open);
+
+    // n = 3: cyclic adds exactly the one wrap-around bond (2, 0).
+    let three = random_state(&mut rng, 3);
+    let open = zz_expectations(&three, false);
+    let cyclic = zz_expectations(&three, true);
+    assert_eq!(open.len(), 2);
+    assert_eq!(cyclic.len(), 3);
+    assert_eq!(&cyclic[..2], &open[..]);
+    let wrap = three.expectation(&PauliString::two(2, Pauli::Z, 0, Pauli::Z));
+    assert!((cyclic[2] - wrap).abs() < 1e-12);
+}
