@@ -4,9 +4,10 @@
 #   ./ci.sh          # lint + docs + tier-1 build/test + benchmarks
 #   ./ci.sh --quick  # skip the benchmarks (lint + docs + tier-1 only)
 #
-# The benchmarks write BENCH_propagation.json and BENCH_schedule.json in the
-# repo root so the simulator hot path's perf trajectory (constant-Hamiltonian
-# kernel and schedule layout reuse) is tracked across PRs.
+# The benchmarks write BENCH_propagation.json, BENCH_schedule.json, and
+# BENCH_stepper.json in the repo root so the simulator hot path's perf
+# trajectory (constant-Hamiltonian kernel, schedule layout reuse, and
+# stepper-backend work counts) is tracked across PRs.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -30,6 +31,9 @@ if [[ "${1:-}" != "--quick" ]]; then
 
     echo "==> schedule benchmark (recompile-per-segment vs layout reuse)"
     cargo run --release -p qturbo-bench --bin bench_schedule
+
+    echo "==> stepper benchmark (Taylor vs Krylov vs Chebyshev backends)"
+    cargo run --release -p qturbo-bench --bin bench_stepper
 fi
 
 echo "==> CI OK"

@@ -1,0 +1,245 @@
+//! Stepper-backend benchmark: Taylor vs Lanczos–Krylov vs Chebyshev on the
+//! two workload shapes the subsystem targets.
+//!
+//! Writes `BENCH_stepper.json` into the current directory. Workloads:
+//!
+//! * **MIS annealing ramp** (§5.3 shape): 100 piecewise-constant segments
+//!   over 1 µs — many *short* segments, where the per-segment setup cost of
+//!   the high-order backends competes with Taylor's minimal overhead;
+//! * **Heisenberg quench**: a Néel state evolved for a *long* time under a
+//!   constant Heisenberg chain (`‖H‖·t` in the hundreds) — the regime the
+//!   Krylov and Chebyshev propagators exist for, where Taylor's
+//!   `‖H‖·Δt ≤ ½` splitting burns thousands of kernel applications.
+//!
+//! For every backend the report records total `H|ψ⟩` kernel applications
+//! (the backend-independent work measure), wall time, and the deviation from
+//! the Taylor reference state — all three must agree at the 1e-10 level for
+//! the comparison to count.
+
+use qturbo_bench::timing::{bench, Json};
+use qturbo_hamiltonian::models::{heisenberg_chain, mis_chain};
+use qturbo_hamiltonian::Hamiltonian;
+use qturbo_math::Complex;
+use qturbo_quantum::compiled::CompiledHamiltonian;
+use qturbo_quantum::schedule::CompiledSchedule;
+use qturbo_quantum::stepper::StepperKind;
+use qturbo_quantum::{Propagator, StateVector};
+
+const RAMP_SIZES: [usize; 2] = [8, 12];
+const RAMP_SEGMENTS: usize = 100;
+const RAMP_TOTAL_TIME: f64 = 1.0;
+const QUENCH_SIZES: [usize; 2] = [8, 12];
+const QUENCH_TIME: f64 = 20.0;
+/// Backends must agree with the Taylor reference at this amplitude level
+/// for the work comparison to be meaningful.
+const AGREEMENT: f64 = 1e-9;
+
+/// The Néel state `|0101…⟩` — the standard quench initial condition (a
+/// non-eigenstate with weight across the full Heisenberg spectrum).
+fn neel_state(num_qubits: usize) -> StateVector {
+    let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
+    let mut index = 0usize;
+    for qubit in (1..num_qubits).step_by(2) {
+        index |= 1 << qubit;
+    }
+    amplitudes[index] = Complex::ONE;
+    StateVector::from_amplitudes(amplitudes)
+}
+
+fn max_abs_deviation(a: &StateVector, b: &StateVector) -> f64 {
+    a.amplitudes()
+        .iter()
+        .zip(b.amplitudes())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+struct BackendResult {
+    kind: StepperKind,
+    kernel_applications: u64,
+    wall_median_s: f64,
+    wall_min_s: f64,
+    final_state: StateVector,
+}
+
+fn backend_json(result: &BackendResult, reference: &StateVector) -> Json {
+    let deviation = max_abs_deviation(&result.final_state, reference);
+    assert!(
+        deviation < AGREEMENT,
+        "{} deviates from the Taylor reference by {deviation}",
+        result.kind.name()
+    );
+    Json::object(vec![
+        ("backend", Json::string(result.kind.name())),
+        (
+            "kernel_applications",
+            Json::Number(result.kernel_applications as f64),
+        ),
+        ("wall_median_s", Json::Number(result.wall_median_s)),
+        ("wall_min_s", Json::Number(result.wall_min_s)),
+        ("max_abs_dev_vs_taylor", Json::Number(deviation)),
+        (
+            "fidelity_vs_taylor",
+            Json::Number(result.final_state.fidelity(reference)),
+        ),
+    ])
+}
+
+/// Runs every backend over `evolve`, returning per-backend work and timing.
+fn run_backends(
+    reps: usize,
+    initial: &StateVector,
+    mut evolve: impl FnMut(&mut Propagator, &mut StateVector),
+) -> Vec<BackendResult> {
+    StepperKind::all()
+        .into_iter()
+        .map(|kind| {
+            let mut propagator = Propagator::with_stepper(kind);
+            // Count kernel applications on one untimed run.
+            let mut state = initial.clone();
+            evolve(&mut propagator, &mut state);
+            let kernel_applications = propagator.kernel_applications();
+            let final_state = state.clone();
+            let sample = bench(reps, || {
+                let mut state = initial.clone();
+                evolve(&mut propagator, &mut state);
+                std::hint::black_box(&state);
+            });
+            BackendResult {
+                kind,
+                kernel_applications,
+                wall_median_s: sample.median,
+                wall_min_s: sample.min,
+                final_state,
+            }
+        })
+        .collect()
+}
+
+fn print_backends(results: &[BackendResult]) {
+    let taylor = &results[0];
+    for result in results {
+        println!(
+            "      {:<9}  {:>8} applications ({:>5.1}x fewer)  {:>10.4}s wall ({:>5.2}x)",
+            result.kind.name(),
+            result.kernel_applications,
+            taylor.kernel_applications as f64 / result.kernel_applications.max(1) as f64,
+            result.wall_median_s,
+            taylor.wall_median_s / result.wall_median_s.max(1e-12),
+        );
+    }
+}
+
+fn ramp_entry(qubits: usize) -> Json {
+    println!("  MIS ramp, {qubits} qubits, {RAMP_SEGMENTS} segments:");
+    let ramp = mis_chain(qubits, 1.0, 1.0, 1.0, RAMP_TOTAL_TIME, RAMP_SEGMENTS);
+    let segments: Vec<(Hamiltonian, f64)> = ramp
+        .segments()
+        .iter()
+        .map(|s| (s.hamiltonian.clone(), s.duration))
+        .collect();
+    let schedule = CompiledSchedule::compile(&segments);
+    let initial = StateVector::zero_state(qubits);
+    let reps = if qubits >= 12 { 3 } else { 5 };
+    let results = run_backends(reps, &initial, |propagator, state| {
+        propagator.reset_kernel_applications();
+        propagator.evolve_schedule_in_place(&schedule, state);
+    });
+    print_backends(&results);
+    let reference = results[0].final_state.clone();
+    Json::object(vec![
+        ("workload", Json::string("mis_ramp")),
+        ("qubits", Json::Number(qubits as f64)),
+        ("segments", Json::Number(RAMP_SEGMENTS as f64)),
+        ("total_time_us", Json::Number(RAMP_TOTAL_TIME)),
+        (
+            "backends",
+            Json::Array(
+                results
+                    .iter()
+                    .map(|r| backend_json(r, &reference))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn quench_entry(qubits: usize) -> Json {
+    println!("  Heisenberg quench, {qubits} qubits, t = {QUENCH_TIME}:");
+    let hamiltonian = heisenberg_chain(qubits, 1.0, 0.5);
+    let compiled = CompiledHamiltonian::compile(&hamiltonian);
+    let phase = compiled.step_strength() * QUENCH_TIME;
+    let initial = neel_state(qubits);
+    let reps = if qubits >= 12 { 3 } else { 5 };
+    let results = run_backends(reps, &initial, |propagator, state| {
+        propagator.reset_kernel_applications();
+        propagator.evolve_in_place(&compiled, state, QUENCH_TIME);
+    });
+    print_backends(&results);
+    let reference = results[0].final_state.clone();
+
+    // The acceptance gate of the stepper subsystem: at least one high-order
+    // backend must beat Taylor on BOTH kernel applications and wall time on
+    // the long-time quench.
+    let taylor = &results[0];
+    let beats = results[1..].iter().any(|r| {
+        r.kernel_applications < taylor.kernel_applications && r.wall_median_s < taylor.wall_median_s
+    });
+    assert!(
+        beats,
+        "no high-order backend beat Taylor on the {qubits}-qubit quench"
+    );
+
+    Json::object(vec![
+        ("workload", Json::string("heisenberg_quench")),
+        ("qubits", Json::Number(qubits as f64)),
+        ("time_us", Json::Number(QUENCH_TIME)),
+        ("strength_time_product", Json::Number(phase)),
+        (
+            "backends",
+            Json::Array(
+                results
+                    .iter()
+                    .map(|r| backend_json(r, &reference))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    println!(
+        "stepper benchmark: Taylor vs Krylov vs Chebyshev, {} worker threads available",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut entries: Vec<Json> = Vec::new();
+    for &qubits in &RAMP_SIZES {
+        entries.push(ramp_entry(qubits));
+    }
+    for &qubits in &QUENCH_SIZES {
+        entries.push(quench_entry(qubits));
+    }
+
+    let report = Json::object(vec![
+        ("benchmark", Json::string("stepper")),
+        (
+            "backends",
+            Json::Array(
+                StepperKind::all()
+                    .into_iter()
+                    .map(|k| Json::string(k.name()))
+                    .collect(),
+            ),
+        ),
+        ("agreement_threshold", Json::Number(AGREEMENT)),
+        (
+            "worker_threads_available",
+            Json::Number(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+        ),
+        ("entries", Json::Array(entries)),
+    ]);
+    let path = "BENCH_stepper.json";
+    std::fs::write(path, report.render() + "\n").expect("write benchmark report");
+    println!("wrote {path}");
+}

@@ -11,6 +11,10 @@
 //! * derivative-free minimization ([`nelder_mead::NelderMead`]),
 //! * L1-norm regression via iteratively re-weighted least squares ([`l1`]),
 //! * scalar root finding ([`roots`]),
+//! * a symmetric-tridiagonal eigensolver ([`tridiag`]) for the Lanczos–Krylov
+//!   propagator's projected exponentials,
+//! * Bessel functions and Chebyshev expansion coefficients of the complex
+//!   exponential ([`chebyshev`]) for the Chebyshev propagator,
 //! * a small [`Complex`] type used by the state-vector simulator,
 //! * a deterministic xoshiro256++ generator ([`rng::Rng`]) for noise models,
 //!   multi-start solvers, and property tests.
@@ -31,6 +35,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod chebyshev;
 pub mod complex;
 pub mod jacobian;
 pub mod l1;
@@ -42,6 +47,7 @@ pub mod nelder_mead;
 pub mod qr;
 pub mod rng;
 pub mod roots;
+pub mod tridiag;
 pub mod vector;
 
 pub use complex::Complex;

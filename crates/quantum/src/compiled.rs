@@ -38,6 +38,7 @@
 //! `tests/prop_propagation.rs` pin the two paths together.
 
 use crate::state::StateVector;
+use crate::stepper::SpectralBound;
 use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
 use qturbo_math::Complex;
 
@@ -197,7 +198,7 @@ pub struct CompiledHamiltonian {
     /// Folded diagonal contribution, indexed by `basis & (len − 1)`; empty
     /// when no table was built.
     diag_table: Vec<f64>,
-    step_strength: f64,
+    bound: SpectralBound,
 }
 
 impl CompiledHamiltonian {
@@ -232,16 +233,17 @@ impl CompiledHamiltonian {
             }
         }
 
-        // Same step-sizing strength as the scalar reference path: the L1 norm
-        // of the dynamical coefficients plus the largest coefficient.
-        let step_strength = hamiltonian.coefficient_l1_norm() + hamiltonian.max_abs_coefficient();
+        let bound = SpectralBound::from_compiled_terms(
+            terms.iter().map(|t| (t.x_mask, t.z_mask, t.weight)),
+            hamiltonian.coefficient_l1_norm() + hamiltonian.max_abs_coefficient(),
+        );
         CompiledHamiltonian {
             num_qubits,
             terms,
             flip_terms,
             gather_terms,
             diag_table,
-            step_strength,
+            bound,
         }
     }
 
@@ -268,12 +270,18 @@ impl CompiledHamiltonian {
     /// Strength used to size Taylor steps (`‖c‖₁ + max|c|`, matching the
     /// scalar reference path so both produce identical step counts).
     pub fn step_strength(&self) -> f64 {
-        self.step_strength
+        self.bound.step_strength
+    }
+
+    /// The spectral bound the steppers size their work from: center, radius,
+    /// and Taylor step strength (see [`SpectralBound`]).
+    pub fn spectral_bound(&self) -> SpectralBound {
+        self.bound
     }
 
     /// Borrowed kernel view over the classified term arrays, shared with the
     /// schedule path (see [`crate::schedule::CompiledSchedule`]).
-    pub(crate) fn kernel(&self) -> FusedKernel<'_> {
+    pub fn kernel(&self) -> FusedKernel<'_> {
         FusedKernel {
             num_qubits: self.num_qubits,
             diag_table: &self.diag_table,
@@ -339,9 +347,12 @@ impl CompiledHamiltonian {
 /// Both [`CompiledHamiltonian`] (which owns a per-Hamiltonian diagonal table)
 /// and [`crate::schedule::CompiledSchedule`] (which shares a mask layout
 /// across segments and swaps per-segment weights, with no table) lower to
-/// this view, so the threaded apply kernels exist exactly once.
+/// this view, so the threaded apply kernels exist exactly once. It is also
+/// the segment handle the [`crate::stepper::Stepper`] backends evolve
+/// through: a stepper receives one `FusedKernel` per segment and drives
+/// however many `H|ψ⟩` applications its integration scheme needs.
 #[derive(Clone, Copy)]
-pub(crate) struct FusedKernel<'a> {
+pub struct FusedKernel<'a> {
     pub(crate) num_qubits: usize,
     pub(crate) diag_table: &'a [f64],
     /// Untabled diagonal terms as `(z_mask, weight)` pairs, evaluated on the
@@ -355,7 +366,7 @@ pub(crate) struct FusedKernel<'a> {
 
 impl FusedKernel<'_> {
     /// `true` when the kernel has no terms at all (`H = 0`).
-    pub(crate) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.diag_table.is_empty()
             && self.diag_terms.is_empty()
             && self.flip_terms.is_empty()
@@ -422,8 +433,13 @@ impl FusedKernel<'_> {
     }
 
     /// Computes `out = H|ψ⟩` and returns `‖H|ψ⟩‖`; threaded above
-    /// [`PARALLEL_THRESHOLD_QUBITS`].
-    pub(crate) fn apply_into(&self, input: &StateVector, out: &mut StateVector) -> f64 {
+    /// [`PARALLEL_THRESHOLD_QUBITS`]. `out` is fully overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `input` and `out` differ, or the kernel
+    /// acts on more qubits than the state has.
+    pub fn apply_into(&self, input: &StateVector, out: &mut StateVector) -> f64 {
         assert_eq!(input.dim(), out.dim(), "state dimension mismatch");
         assert!(
             self.num_qubits <= input.num_qubits(),
@@ -460,7 +476,12 @@ impl FusedKernel<'_> {
 
     /// [`apply_into`](Self::apply_into) with `target += factor · out` fused
     /// into the same write pass.
-    pub(crate) fn apply_accumulate_into(
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimensions differ, or the kernel acts on more qubits
+    /// than the state has.
+    pub fn apply_accumulate_into(
         &self,
         input: &StateVector,
         out: &mut StateVector,

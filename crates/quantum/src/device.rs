@@ -24,6 +24,7 @@ use crate::observable::measure_z_zz;
 use crate::propagate::Propagator;
 use crate::schedule::CompiledSchedule;
 use crate::state::StateVector;
+use crate::stepper::EvolveOptions;
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::rng::Rng;
 
@@ -116,12 +117,18 @@ fn mean(values: &[f64]) -> f64 {
 pub struct EmulatedDevice {
     noise: NoiseModel,
     seed: u64,
+    options: EvolveOptions,
 }
 
 impl EmulatedDevice {
-    /// Creates a device with the given noise model and RNG seed.
+    /// Creates a device with the given noise model and RNG seed (default
+    /// evolution options — the Taylor backend).
     pub fn new(noise: NoiseModel, seed: u64) -> Self {
-        EmulatedDevice { noise, seed }
+        EmulatedDevice {
+            noise,
+            seed,
+            options: EvolveOptions::default(),
+        }
     }
 
     /// A noiseless reference device (the "theory" curves).
@@ -129,9 +136,21 @@ impl EmulatedDevice {
         EmulatedDevice::new(NoiseModel::noiseless(), 0)
     }
 
+    /// Selects the time-evolution backend (and tolerance) the device runs
+    /// its state-vector execution with.
+    pub fn with_options(mut self, options: EvolveOptions) -> Self {
+        self.options = options;
+        self
+    }
+
     /// The configured noise model.
     pub fn noise(&self) -> &NoiseModel {
         &self.noise
+    }
+
+    /// The configured evolution options.
+    pub fn options(&self) -> EvolveOptions {
+        self.options
     }
 
     /// Executes a sequence of `(Hamiltonian, duration)` segments starting from
@@ -145,6 +164,13 @@ impl EmulatedDevice {
     /// both observable families come from the single fused sweep of
     /// [`measure_z_zz`].
     ///
+    /// For noise sweeps over many realizations, use
+    /// [`run_realizations`](EmulatedDevice::run_realizations) (or
+    /// [`run_compiled`](EmulatedDevice::run_compiled) with a schedule you
+    /// compiled yourself): the schedule is compiled **once** and every
+    /// realization reuses its mask layouts through
+    /// [`CompiledSchedule::scaled_weights`].
+    ///
     /// # Panics
     ///
     /// Panics if a segment acts on more than `num_qubits` qubits.
@@ -154,47 +180,105 @@ impl EmulatedDevice {
         num_qubits: usize,
         cyclic: bool,
     ) -> DeviceRun {
-        let execution_time: f64 = segments.iter().map(|(_, d)| *d).sum();
-        let mut rng = Rng::seed_from_u64(self.seed.wrapping_add(0x9E37_79B9));
+        let schedule = CompiledSchedule::compile(segments);
+        self.run_compiled(&schedule, num_qubits, cyclic, 1)
+            .pop()
+            .expect("one realization requested")
+    }
 
-        // Coherent amplitude miscalibration: one scale error per run.
-        let scale = if self.noise.amplitude_miscalibration > 0.0 {
-            1.0 + rng.next_gaussian() * self.noise.amplitude_miscalibration
-        } else {
-            1.0
-        };
-        let noisy_segments: Vec<(Hamiltonian, f64)> = segments
-            .iter()
-            .map(|(h, d)| (h.scaled(scale), *d))
-            .collect();
+    /// [`run`](EmulatedDevice::run) repeated over `realizations` independent
+    /// noise draws, compiling the schedule **once**. Realization `0`
+    /// reproduces [`run`](EmulatedDevice::run) exactly; realization `r`
+    /// draws from the seed `seed + r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment acts on more than `num_qubits` qubits.
+    pub fn run_realizations(
+        &self,
+        segments: &[(Hamiltonian, f64)],
+        num_qubits: usize,
+        cyclic: bool,
+        realizations: usize,
+    ) -> Vec<DeviceRun> {
+        let schedule = CompiledSchedule::compile(segments);
+        self.run_compiled(&schedule, num_qubits, cyclic, realizations)
+    }
 
-        let schedule = CompiledSchedule::compile(&noisy_segments);
-        let mut final_state = StateVector::zero_state(num_qubits);
-        Propagator::new().evolve_schedule_in_place(&schedule, &mut final_state);
+    /// Runs a pre-compiled schedule over `realizations` independent noise
+    /// draws.
+    ///
+    /// The per-run coherent amplitude miscalibration rescales every
+    /// coefficient by one global factor, which leaves the term structure
+    /// untouched — so each realization is a
+    /// [`CompiledSchedule::scaled_weights`] view sharing `schedule`'s mask
+    /// layouts, and the structural compile work is paid exactly once however
+    /// many realizations are swept. One [`Propagator`] (with the device's
+    /// [`EvolveOptions`]) carries its scratch buffers across all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule acts on more than `num_qubits` qubits.
+    pub fn run_compiled(
+        &self,
+        schedule: &CompiledSchedule,
+        num_qubits: usize,
+        cyclic: bool,
+        realizations: usize,
+    ) -> Vec<DeviceRun> {
+        let execution_time = schedule.total_time();
+        let mut propagator = Propagator::with_options(self.options);
+        (0..realizations)
+            .map(|realization| {
+                let mut rng = Rng::seed_from_u64(
+                    self.seed
+                        .wrapping_add(realization as u64)
+                        .wrapping_add(0x9E37_79B9),
+                );
 
-        let damp = |weight: f64| {
-            let depolarizing = (-self.noise.depolarizing_rate * weight * execution_time).exp();
-            let readout = (1.0 - 2.0 * self.noise.readout_error).powf(weight);
-            depolarizing * readout
-        };
+                // Coherent amplitude miscalibration: one scale error per run.
+                let scale = if self.noise.amplitude_miscalibration > 0.0 {
+                    1.0 + rng.next_gaussian() * self.noise.amplitude_miscalibration
+                } else {
+                    1.0
+                };
+                let scaled;
+                let effective = if scale == 1.0 {
+                    schedule
+                } else {
+                    scaled = schedule.scaled_weights(scale);
+                    &scaled
+                };
 
-        let observables = measure_z_zz(&final_state, cyclic);
-        let z: Vec<f64> = observables
-            .z
-            .into_iter()
-            .map(|e| self.estimate(e * damp(1.0), &mut rng))
-            .collect();
-        let zz: Vec<f64> = observables
-            .zz
-            .into_iter()
-            .map(|e| self.estimate(e * damp(2.0), &mut rng))
-            .collect();
+                let mut final_state = StateVector::zero_state(num_qubits);
+                propagator.evolve_schedule_in_place(effective, &mut final_state);
 
-        DeviceRun {
-            z,
-            zz,
-            execution_time,
-        }
+                let damp = |weight: f64| {
+                    let depolarizing =
+                        (-self.noise.depolarizing_rate * weight * execution_time).exp();
+                    let readout = (1.0 - 2.0 * self.noise.readout_error).powf(weight);
+                    depolarizing * readout
+                };
+
+                let observables = measure_z_zz(&final_state, cyclic);
+                let z: Vec<f64> = observables
+                    .z
+                    .into_iter()
+                    .map(|e| self.estimate(e * damp(1.0), &mut rng))
+                    .collect();
+                let zz: Vec<f64> = observables
+                    .zz
+                    .into_iter()
+                    .map(|e| self.estimate(e * damp(2.0), &mut rng))
+                    .collect();
+
+                DeviceRun {
+                    z,
+                    zz,
+                    execution_time,
+                }
+            })
+            .collect()
     }
 
     /// Converts an exact expectation value into a finite-shot estimate.
@@ -323,6 +407,46 @@ mod tests {
         let ideal = ideal_run(&[rabi_segment(1, 2.0, 1.0)], 1, false);
         assert!((a.z[0] - ideal.z[0]).abs() > 1e-6 || (b.z[0] - ideal.z[0]).abs() > 1e-6);
         assert_ne!(a.z[0], b.z[0]);
+    }
+
+    #[test]
+    fn realizations_reuse_one_compiled_schedule() {
+        // run_realizations must agree with independent per-seed runs: the
+        // shared-layout scaled_weights path changes no physics.
+        let noise = NoiseModel {
+            depolarizing_rate: 0.1,
+            amplitude_miscalibration: 0.1,
+            readout_error: 0.01,
+            shots: Some(200),
+        };
+        let segments = [rabi_segment(2, 2.0, 0.5)];
+        let base = EmulatedDevice::new(noise.clone(), 40);
+        let sweep = base.run_realizations(&segments, 2, false, 3);
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0], base.run(&segments, 2, false));
+        for (r, run) in sweep.iter().enumerate() {
+            let standalone = EmulatedDevice::new(noise.clone(), 40 + r as u64);
+            assert_eq!(*run, standalone.run(&segments, 2, false), "realization {r}");
+        }
+    }
+
+    #[test]
+    fn stepper_choice_does_not_change_the_physics() {
+        use crate::stepper::EvolveOptions;
+        let segments = [rabi_segment(3, 2.0, 0.4)];
+        let reference = ideal_run(&segments, 3, false);
+        for options in [EvolveOptions::krylov(), EvolveOptions::chebyshev()] {
+            let run = EmulatedDevice::ideal()
+                .with_options(options)
+                .run(&segments, 3, false);
+            assert_eq!(run.execution_time, reference.execution_time);
+            for (a, b) in run.z.iter().zip(&reference.z) {
+                assert!((a - b).abs() < 1e-9, "{options:?}: {a} != {b}");
+            }
+            for (a, b) in run.zz.iter().zip(&reference.zz) {
+                assert!((a - b).abs() < 1e-9, "{options:?}: {a} != {b}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //!   `(x_mask, z_mask, phase)` bit-triple),
 //! * [`schedule`] — [`CompiledSchedule`], which compiles a piecewise
 //!   (time-dependent) Hamiltonian **once** into mask layouts shared across
-//!   structure-equal segments, with per-segment `O(#terms)` weight swaps,
+//!   structure-equal segments, with per-segment `O(#terms)` weight swaps
+//!   (and [`CompiledSchedule::scaled_weights`] amplitude-rescaled views that
+//!   share the layouts outright),
+//! * [`stepper`] — the pluggable time-evolution backends: the Taylor
+//!   reference, an adaptive Lanczos–Krylov propagator, and a Chebyshev
+//!   expansion, selected anywhere via [`StepperKind`] / [`EvolveOptions`],
 //! * [`observable`] — the `Z_avg` / `ZZ_avg` metrics of the paper's §7.4,
 //!   evaluated by one fused sweep over the probabilities,
 //! * [`device`] — an [`EmulatedDevice`] that runs compiled pulse segments with
@@ -38,6 +43,7 @@ pub mod observable;
 pub mod propagate;
 pub mod schedule;
 pub mod state;
+pub mod stepper;
 
 pub use compiled::{CompiledHamiltonian, CompiledTerm};
 pub use device::{ideal_run, DeviceRun, EmulatedDevice, NoiseModel};
@@ -45,3 +51,4 @@ pub use observable::DiagonalObservables;
 pub use propagate::Propagator;
 pub use schedule::CompiledSchedule;
 pub use state::StateVector;
+pub use stepper::{EvolveOptions, SpectralBound, Stepper, StepperKind};

@@ -3,19 +3,22 @@
 //! The propagator never materializes the `2ⁿ × 2ⁿ` Hamiltonian matrix.
 //! `H|ψ⟩` is evaluated through the mask-compiled kernels of
 //! [`crate::compiled`] (one branch-free gather pass per Pauli term), and
-//! `exp(−iHt)|ψ⟩` is computed with a scaled Taylor expansion: the evolution
-//! is split into steps with `‖H‖·Δt ≤ 0.5` and each step sums the Taylor
-//! series until the contribution falls below machine precision. This plays
-//! the role QuTiP / Bloqade play in the paper's evaluation.
+//! `exp(−iHt)|ψ⟩` is computed by a pluggable [`Stepper`] backend from
+//! [`crate::stepper`]: the scaled-Taylor reference, the adaptive
+//! Lanczos–Krylov propagator, or the Chebyshev expansion — selected per
+//! [`Propagator`] (or per call through the `*_with` free functions) via
+//! [`EvolveOptions`]. This plays the role QuTiP / Bloqade play in the
+//! paper's evaluation.
 //!
 //! # Hot path
 //!
-//! The work horse is [`Propagator`]: it owns two scratch state vectors and
-//! evolves states **in place**, so the Taylor loop performs *zero heap
-//! allocation* — each iteration is `apply_into` (compiled gather into a
-//! scratch buffer), a buffer swap, and an in-place `accumulate`. A
+//! The work horse is [`Propagator`]: it owns the steppers (and through them
+//! every scratch vector), so repeated evolutions perform *zero heap
+//! allocation* after the first use at a given register size. A
 //! [`CompiledHamiltonian`] is built once per segment and reused across every
-//! Taylor step of that segment.
+//! internal step of that segment; [`Propagator::kernel_applications`]
+//! reports how many `H|ψ⟩` passes the chosen backend actually spent — the
+//! currency `BENCH_stepper.json` compares backends in.
 //!
 //! The original scalar implementation is retained as
 //! [`apply_hamiltonian_naive`] / [`evolve_naive`]; it is the reference the
@@ -24,16 +27,14 @@
 //! # Norm semantics
 //!
 //! `exp(−iHt)` is linear and unitary, so evolution must **preserve the input
-//! norm**, whatever that norm is: `evolve(c·ψ) = c·evolve(ψ)`. The truncated
-//! Taylor series drifts off that norm by machine epsilon per step, so after
-//! every step the state is rescaled back to its *pre-evolution* norm — a pure
+//! norm**, whatever that norm is: `evolve(c·ψ) = c·evolve(ψ)`. Every stepper
+//! drifts off that norm by machine epsilon per internal step, so after each
+//! step the state is rescaled back to its *pre-evolution* norm — a pure
 //! drift correction. (An earlier revision called `normalize()` here, which
 //! silently forced every input to unit norm and broke linearity for
-//! unnormalized states.) The Taylor truncation threshold is likewise
-//! *relative* to the input norm, so a state of norm `10⁶` is integrated to
-//! the same relative accuracy as a unit one instead of truncating early, and
-//! a tiny-norm state converges in the same handful of orders instead of
-//! running to `MAX_TAYLOR_ORDER`.
+//! unnormalized states.) Truncation thresholds are likewise *relative* to
+//! the input norm, so a state of norm `10⁶` is integrated to the same
+//! relative accuracy as a unit one.
 //!
 //! # Time-dependent schedules
 //!
@@ -44,45 +45,56 @@
 //! pre-compiled [`CompiledSchedule`] whose mask layout is shared across
 //! structure-equal segments with `O(#terms)` weight swaps — the hot path for
 //! discretized ramps with hundreds of segments (see `BENCH_schedule.json`).
+//! The [`evolve_piecewise`] convenience wrapper compiles a
+//! [`CompiledSchedule`] under the hood, so one-shot callers get the
+//! layout-reuse win too.
 
-use crate::compiled::{CompiledHamiltonian, FusedKernel};
+use crate::compiled::CompiledHamiltonian;
 use crate::schedule::CompiledSchedule;
 use crate::state::StateVector;
+use crate::stepper::{
+    ChebyshevStepper, EvolveOptions, KrylovStepper, Stepper, StepperKind, TaylorStepper,
+    MAX_STEP_PHASE, MAX_TAYLOR_ORDER,
+};
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::Complex;
 
-const MAX_TAYLOR_ORDER: usize = 64;
-/// Taylor truncation threshold, *relative* to the norm of the state being
-/// evolved: the series stops once the next term's contribution falls below
-/// `TAYLOR_TOLERANCE · ‖ψ‖`.
+/// Taylor truncation threshold of the scalar reference path, *relative* to
+/// the norm of the state being evolved (mirrors
+/// [`crate::stepper::EvolveOptions::tolerance`]'s default).
 const TAYLOR_TOLERANCE: f64 = 1e-14;
-/// Evolution is split into steps with `strength · Δt` at most this value so
-/// each step's Taylor series converges in a handful of orders.
-const MAX_STEP_PHASE: f64 = 0.5;
 
-/// A reusable propagation engine: owns the scratch buffers of the Taylor
-/// loop so repeated evolutions (piecewise segments, noise-model sweeps,
+/// A reusable propagation engine: owns the scratch buffers of every stepper
+/// backend, so repeated evolutions (piecewise segments, noise-model sweeps,
 /// benchmark repetitions) allocate nothing after the first use at a given
 /// register size.
+///
+/// The backend is selected at construction ([`Propagator::with_options`],
+/// [`Propagator::with_stepper`]) or swapped later ([`Propagator::set_stepper`]);
+/// the default is the Taylor reference.
 ///
 /// # Example
 ///
 /// ```
 /// use qturbo_quantum::compiled::CompiledHamiltonian;
 /// use qturbo_quantum::propagate::Propagator;
+/// use qturbo_quantum::stepper::StepperKind;
 /// use qturbo_quantum::StateVector;
 /// use qturbo_hamiltonian::models::ising_chain;
 ///
 /// let compiled = CompiledHamiltonian::compile(&ising_chain(3, 1.0, 1.0));
-/// let mut propagator = Propagator::new();
+/// let mut propagator = Propagator::with_stepper(StepperKind::Krylov);
 /// let mut state = StateVector::zero_state(3);
 /// propagator.evolve_in_place(&compiled, &mut state, 0.5);
 /// assert!((state.norm() - 1.0).abs() < 1e-10);
+/// assert!(propagator.kernel_applications() > 0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Propagator {
-    krylov: StateVector,
-    krylov_next: StateVector,
+    options: EvolveOptions,
+    taylor: TaylorStepper,
+    krylov: KrylovStepper,
+    chebyshev: ChebyshevStepper,
 }
 
 impl Default for Propagator {
@@ -92,20 +104,59 @@ impl Default for Propagator {
 }
 
 impl Propagator {
-    /// Creates a propagator with minimal scratch buffers (they are resized on
-    /// first use).
+    /// Creates a propagator with the default options (Taylor backend);
+    /// scratch buffers are resized on first use.
     pub fn new() -> Self {
+        Propagator::with_options(EvolveOptions::default())
+    }
+
+    /// Creates a propagator with explicit evolution options.
+    pub fn with_options(options: EvolveOptions) -> Self {
         Propagator {
-            krylov: StateVector::zeros(0),
-            krylov_next: StateVector::zeros(0),
+            options,
+            taylor: TaylorStepper::new(options.tolerance),
+            krylov: KrylovStepper::new(options.tolerance),
+            chebyshev: ChebyshevStepper::new(options.tolerance),
         }
     }
 
-    /// Resizes the scratch buffers to `num_qubits` if needed.
-    fn ensure_capacity(&mut self, num_qubits: usize) {
-        if self.krylov.num_qubits() != num_qubits || self.krylov.dim() != 1 << num_qubits {
-            self.krylov = StateVector::zeros(num_qubits);
-            self.krylov_next = StateVector::zeros(num_qubits);
+    /// Creates a propagator using `kind` at the default tolerance.
+    pub fn with_stepper(kind: StepperKind) -> Self {
+        Propagator::with_options(EvolveOptions::new(kind))
+    }
+
+    /// The active evolution options.
+    pub fn options(&self) -> EvolveOptions {
+        self.options
+    }
+
+    /// Switches the backend, keeping the configured tolerance and all
+    /// scratch buffers.
+    pub fn set_stepper(&mut self, kind: StepperKind) {
+        self.options.stepper = kind;
+    }
+
+    /// Total `H|ψ⟩` kernel applications across every backend since
+    /// construction or the last [`reset_kernel_applications`](Propagator::reset_kernel_applications).
+    pub fn kernel_applications(&self) -> u64 {
+        self.taylor.kernel_applications()
+            + self.krylov.kernel_applications()
+            + self.chebyshev.kernel_applications()
+    }
+
+    /// Resets the kernel-application counters of every backend.
+    pub fn reset_kernel_applications(&mut self) {
+        self.taylor.reset_kernel_applications();
+        self.krylov.reset_kernel_applications();
+        self.chebyshev.reset_kernel_applications();
+    }
+
+    /// The active stepper backend.
+    fn stepper_mut(&mut self) -> &mut dyn Stepper {
+        match self.options.stepper {
+            StepperKind::Taylor => &mut self.taylor,
+            StepperKind::Krylov => &mut self.krylov,
+            StepperKind::Chebyshev => &mut self.chebyshev,
         }
     }
 
@@ -114,7 +165,7 @@ impl Propagator {
     ///
     /// `ħ = 1`; coefficients and time just need consistent units (MHz with
     /// µs, or rad/µs with µs). After the scratch buffers are sized, the
-    /// Taylor loop performs no heap allocation.
+    /// evolution performs no heap allocation.
     ///
     /// The input's norm is **preserved**, not forced to one: an unnormalized
     /// `c·ψ` evolves to `c·exp(−iHt)ψ` (linearity). After each internal step
@@ -142,18 +193,10 @@ impl Propagator {
             // The zero vector is a fixed point of any linear evolution.
             return;
         }
-        // Split into steps so that the Taylor series of each step converges
-        // fast.
-        let steps = ((hamiltonian.step_strength() * time / MAX_STEP_PHASE).ceil() as usize).max(1);
-        let dt = time / steps as f64;
-        self.ensure_capacity(state.num_qubits());
         let kernel = hamiltonian.kernel();
-        for _ in 0..steps {
-            self.taylor_step(kernel, state, dt, reference_norm);
-            // Drift correction only: rescale to the *pre-evolution* norm (the
-            // exact evolution is unitary, so the norm must not move).
-            rescale_to(state, reference_norm);
-        }
+        let bound = hamiltonian.spectral_bound();
+        self.stepper_mut()
+            .evolve_segment(kernel, &bound, state, time, reference_norm);
     }
 
     /// Evolves `state` in place through a sequence of `(Hamiltonian,
@@ -183,7 +226,8 @@ impl Propagator {
     /// so per segment only the `O(#terms)` weight vectors change hands.
     ///
     /// Stepping, truncation, and norm semantics are identical to
-    /// [`evolve_in_place`](Propagator::evolve_in_place) segment by segment.
+    /// [`evolve_in_place`](Propagator::evolve_in_place) segment by segment,
+    /// through whichever backend the options select.
     ///
     /// # Panics
     ///
@@ -201,7 +245,6 @@ impl Propagator {
         if reference_norm == 0.0 {
             return;
         }
-        self.ensure_capacity(state.num_qubits());
         // Scratch for the per-segment diagonal tables: allocated once on the
         // first diagonal-bearing segment, then updated incrementally (only
         // the weight deltas of changed terms) for the rest of the run.
@@ -221,49 +264,10 @@ impl Propagator {
             if kernel.is_empty() {
                 continue;
             }
-            let strength = schedule.segment_step_strength(index);
-            let steps = ((strength * duration / MAX_STEP_PHASE).ceil() as usize).max(1);
-            let dt = duration / steps as f64;
-            for _ in 0..steps {
-                self.taylor_step(kernel, state, dt, reference_norm);
-                rescale_to(state, reference_norm);
-            }
+            let bound = schedule.segment_bound(index);
+            self.stepper_mut()
+                .evolve_segment(kernel, &bound, state, duration, reference_norm);
         }
-    }
-
-    /// One in-place Taylor step
-    /// `|ψ⟩ ← Σ_k (−i·dt)ᵏ/k! · Hᵏ|ψ⟩`, truncated once the next term drops
-    /// below `TAYLOR_TOLERANCE · reference_norm` (relative truncation).
-    fn taylor_step(
-        &mut self,
-        kernel: FusedKernel<'_>,
-        state: &mut StateVector,
-        dt: f64,
-        reference_norm: f64,
-    ) {
-        self.krylov.copy_from(state);
-        let mut factor = Complex::ONE;
-        let threshold = TAYLOR_TOLERANCE * reference_norm;
-        for k in 1..=MAX_TAYLOR_ORDER {
-            factor = factor * Complex::new(0.0, -dt) / (k as f64);
-            // One fused sweep: krylov_next = H·krylov, state += factor·
-            // krylov_next, and ‖krylov_next‖ for the convergence check.
-            let krylov_norm =
-                kernel.apply_accumulate_into(&self.krylov, &mut self.krylov_next, state, factor);
-            std::mem::swap(&mut self.krylov, &mut self.krylov_next);
-            if krylov_norm * factor.abs() < threshold {
-                break;
-            }
-        }
-    }
-}
-
-/// Rescales `state` to `reference_norm` (numerical drift correction after a
-/// truncated Taylor step).
-fn rescale_to(state: &mut StateVector, reference_norm: f64) {
-    let norm = state.norm();
-    if norm > 0.0 {
-        state.scale(reference_norm / norm);
     }
 }
 
@@ -311,22 +315,36 @@ pub fn apply_hamiltonian_naive(hamiltonian: &Hamiltonian, state: &StateVector) -
 /// Evolves a state for `time` under a constant Hamiltonian:
 /// `|ψ(t)⟩ = exp(−iHt)|ψ(0)⟩`.
 ///
-/// Convenience wrapper over [`Propagator::evolve_in_place`] (one compile,
-/// scratch buffers local to the call).
+/// Convenience wrapper over [`Propagator::evolve_in_place`] with the default
+/// (Taylor) backend; use [`evolve_with`] to pick another.
 ///
 /// # Panics
 ///
 /// Panics if `time` is negative or not finite.
 pub fn evolve(state: &StateVector, hamiltonian: &Hamiltonian, time: f64) -> StateVector {
+    evolve_with(state, hamiltonian, time, EvolveOptions::default())
+}
+
+/// [`evolve`] with explicit [`EvolveOptions`] (backend and tolerance).
+///
+/// # Panics
+///
+/// Panics if `time` is negative or not finite.
+pub fn evolve_with(
+    state: &StateVector,
+    hamiltonian: &Hamiltonian,
+    time: f64,
+    options: EvolveOptions,
+) -> StateVector {
     let compiled = CompiledHamiltonian::compile(hamiltonian);
     let mut current = state.clone();
-    Propagator::new().evolve_in_place(&compiled, &mut current, time);
+    Propagator::with_options(options).evolve_in_place(&compiled, &mut current, time);
     current
 }
 
 /// The scalar reference implementation of [`evolve`]: identical stepping,
-/// truncation, and norm semantics (pre-evolution norm preserved, relative
-/// Taylor tolerance), but every `H|ψ⟩` goes through
+/// truncation, and norm semantics to the Taylor backend (pre-evolution norm
+/// preserved, relative truncation), but every `H|ψ⟩` goes through
 /// [`apply_hamiltonian_naive`] and every Taylor iteration allocates. Retained
 /// for property tests and the `BENCH_propagation.json` baseline.
 ///
@@ -354,7 +372,7 @@ pub fn evolve_naive(state: &StateVector, hamiltonian: &Hamiltonian, time: f64) -
         current = naive_taylor_step(&current, hamiltonian, dt, reference_norm);
         // Drift correction to the pre-evolution norm (mirrors the compiled
         // path; an earlier revision forced unit norm here).
-        rescale_to(&mut current, reference_norm);
+        crate::stepper::rescale_to(&mut current, reference_norm);
     }
     current
 }
@@ -384,12 +402,23 @@ fn naive_taylor_step(
 /// the form produced by a compiled pulse schedule or a piecewise-constant
 /// target Hamiltonian.
 ///
-/// Convenience wrapper over [`Propagator::evolve_piecewise_in_place`]: one
-/// set of scratch buffers shared by every segment.
+/// The segments are compiled into a layout-sharing [`CompiledSchedule`]
+/// under the hood (structure-equal segments reuse one mask layout), so
+/// one-shot callers of this function get the same compile-time win as the
+/// explicit [`CompiledSchedule::compile`] + [`evolve_schedule`] route. An
+/// earlier revision recompiled every segment from scratch here.
 pub fn evolve_piecewise(state: &StateVector, segments: &[(Hamiltonian, f64)]) -> StateVector {
-    let mut current = state.clone();
-    Propagator::new().evolve_piecewise_in_place(segments, &mut current);
-    current
+    evolve_piecewise_with(state, segments, EvolveOptions::default())
+}
+
+/// [`evolve_piecewise`] with explicit [`EvolveOptions`].
+pub fn evolve_piecewise_with(
+    state: &StateVector,
+    segments: &[(Hamiltonian, f64)],
+    options: EvolveOptions,
+) -> StateVector {
+    let schedule = CompiledSchedule::compile(segments);
+    evolve_schedule_with(state, &schedule, options)
 }
 
 /// Evolves a state through a pre-compiled [`CompiledSchedule`].
@@ -399,8 +428,17 @@ pub fn evolve_piecewise(state: &StateVector, segments: &[(Hamiltonian, f64)]) ->
 /// [`CompiledSchedule::compile_piecewise`]) and reuse it across runs — that
 /// is the whole point of the shared-layout subsystem.
 pub fn evolve_schedule(state: &StateVector, schedule: &CompiledSchedule) -> StateVector {
+    evolve_schedule_with(state, schedule, EvolveOptions::default())
+}
+
+/// [`evolve_schedule`] with explicit [`EvolveOptions`].
+pub fn evolve_schedule_with(
+    state: &StateVector,
+    schedule: &CompiledSchedule,
+    options: EvolveOptions,
+) -> StateVector {
     let mut current = state.clone();
-    Propagator::new().evolve_schedule_in_place(schedule, &mut current);
+    Propagator::with_options(options).evolve_schedule_in_place(schedule, &mut current);
     current
 }
 
@@ -536,17 +574,53 @@ mod tests {
     }
 
     #[test]
+    fn every_backend_matches_the_naive_reference() {
+        let h = Hamiltonian::from_terms(
+            3,
+            [
+                (1.0, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                (0.8, PauliString::single(1, Pauli::Y)),
+                (0.5, PauliString::single(2, Pauli::X)),
+            ],
+        );
+        let initial = StateVector::plus_state(3);
+        let slow = evolve_naive(&initial, &h, 0.9);
+        for kind in StepperKind::all() {
+            let fast = evolve_with(&initial, &h, 0.9, EvolveOptions::new(kind));
+            for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+                assert!((*a - *b).abs() < 1e-10, "{}: {a} != {b}", kind.name());
+            }
+        }
+    }
+
+    #[test]
     fn propagator_scratch_buffers_are_reused() {
         let h = single_term(2, 1.0, PauliString::single(0, Pauli::X));
         let compiled = CompiledHamiltonian::compile(&h);
+        for kind in StepperKind::all() {
+            let mut propagator = Propagator::with_stepper(kind);
+            let mut a = StateVector::zero_state(2);
+            propagator.evolve_in_place(&compiled, &mut a, 0.3);
+            // Second evolution reuses the buffers; result must equal a fresh
+            // run.
+            let mut b = StateVector::zero_state(2);
+            propagator.evolve_in_place(&compiled, &mut b, 0.3);
+            assert!(a.fidelity(&b) > 1.0 - 1e-12);
+            assert!(a.fidelity(&evolve(&StateVector::zero_state(2), &h, 0.3)) > 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_application_counter_tracks_and_resets() {
+        let h = single_term(2, 1.0, PauliString::single(0, Pauli::X));
+        let compiled = CompiledHamiltonian::compile(&h);
         let mut propagator = Propagator::new();
-        let mut a = StateVector::zero_state(2);
-        propagator.evolve_in_place(&compiled, &mut a, 0.3);
-        // Second evolution reuses the buffers; result must equal a fresh run.
-        let mut b = StateVector::zero_state(2);
-        propagator.evolve_in_place(&compiled, &mut b, 0.3);
-        assert!(a.fidelity(&b) > 1.0 - 1e-12);
-        assert!(a.fidelity(&evolve(&StateVector::zero_state(2), &h, 0.3)) > 1.0 - 1e-12);
+        assert_eq!(propagator.kernel_applications(), 0);
+        let mut state = StateVector::zero_state(2);
+        propagator.evolve_in_place(&compiled, &mut state, 1.0);
+        assert!(propagator.kernel_applications() > 0);
+        propagator.reset_kernel_applications();
+        assert_eq!(propagator.kernel_applications(), 0);
     }
 
     #[test]
@@ -634,10 +708,12 @@ mod tests {
     #[test]
     fn zero_vector_is_a_fixed_point() {
         let h = single_term(2, 1.0, PauliString::single(0, Pauli::X));
-        let mut zero = StateVector::zeros(2);
         let compiled = CompiledHamiltonian::compile(&h);
-        Propagator::new().evolve_in_place(&compiled, &mut zero, 1.0);
-        assert_eq!(zero.norm(), 0.0);
+        for kind in StepperKind::all() {
+            let mut zero = StateVector::zeros(2);
+            Propagator::with_stepper(kind).evolve_in_place(&compiled, &mut zero, 1.0);
+            assert_eq!(zero.norm(), 0.0, "{}", kind.name());
+        }
         let naive = evolve_naive(&StateVector::zeros(2), &h, 1.0);
         assert_eq!(naive.norm(), 0.0);
     }
@@ -652,5 +728,22 @@ mod tests {
         let schedule = CompiledSchedule::compile(&segments);
         let scheduled = evolve_schedule(&initial, &schedule);
         assert!(scheduled.fidelity(&piecewise) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn one_shot_piecewise_matches_recompile_per_segment_reference() {
+        // Regression for the old evolve_piecewise, which recompiled every
+        // segment: the schedule-backed path must agree with the in-place
+        // recompile reference to full stepper accuracy.
+        let h1 = single_term(2, 1.0, PauliString::single(0, Pauli::X));
+        let h2 = single_term(2, 0.5, PauliString::two(0, Pauli::Z, 1, Pauli::Z));
+        let segments = [(h1, 0.3), (h2, 0.7)];
+        let initial = StateVector::plus_state(2);
+        let one_shot = evolve_piecewise(&initial, &segments);
+        let mut reference = initial.clone();
+        Propagator::new().evolve_piecewise_in_place(&segments, &mut reference);
+        for (a, b) in one_shot.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
     }
 }

@@ -56,8 +56,10 @@
 //! ```
 
 use crate::compiled::{CompiledTerm, FusedKernel};
+use crate::stepper::SpectralBound;
 use qturbo_hamiltonian::{Hamiltonian, PauliString, PiecewiseHamiltonian};
 use qturbo_math::Complex;
+use std::sync::Arc;
 
 /// Structural classification of one term of a layout, in canonical term
 /// order. The weight-independent part of a [`CompiledTerm`].
@@ -136,7 +138,7 @@ impl ScheduleLayout {
 struct CompiledSegment {
     layout: usize,
     duration: f64,
-    step_strength: f64,
+    bound: SpectralBound,
     diag_terms: Vec<(usize, f64)>,
     flip_terms: Vec<(usize, f64)>,
     gather_terms: Vec<CompiledTerm>,
@@ -154,7 +156,10 @@ struct CompiledSegment {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledSchedule {
     num_qubits: usize,
-    layouts: Vec<ScheduleLayout>,
+    /// Shared with every [`scaled_weights`](CompiledSchedule::scaled_weights)
+    /// view: a global amplitude scale changes no structure, so the layouts
+    /// are reference-counted rather than cloned.
+    layouts: Arc<Vec<ScheduleLayout>>,
     segments: Vec<CompiledSegment>,
 }
 
@@ -200,7 +205,7 @@ impl CompiledSchedule {
         }
         CompiledSchedule {
             num_qubits,
-            layouts,
+            layouts: Arc::new(layouts),
             segments: compiled,
         }
     }
@@ -227,27 +232,50 @@ impl CompiledSchedule {
         let mut diag_terms = Vec::new();
         let mut flip_terms = Vec::new();
         let mut gather_terms = Vec::new();
+        // Spectral enclosure, accumulated alongside the weight swap: identity
+        // terms shift the center, everything else widens the radius (see
+        // [`SpectralBound`]).
+        let mut center = 0.0;
+        let mut radius = 0.0;
         for ((coefficient, _), class) in hamiltonian.terms().zip(&layout.classes) {
             match class {
-                TermClass::Diag { z_mask } => diag_terms.push((*z_mask, coefficient)),
-                TermClass::Flip { x_mask } => flip_terms.push((*x_mask, coefficient)),
+                TermClass::Diag { z_mask } => {
+                    if *z_mask == 0 {
+                        center += coefficient;
+                    } else {
+                        radius += coefficient.abs();
+                    }
+                    diag_terms.push((*z_mask, coefficient));
+                }
+                TermClass::Flip { x_mask } => {
+                    radius += coefficient.abs();
+                    flip_terms.push((*x_mask, coefficient));
+                }
                 TermClass::Gather {
                     x_mask,
                     z_mask,
                     y_phase,
-                } => gather_terms.push(CompiledTerm::from_parts(
-                    *x_mask,
-                    *z_mask,
-                    y_phase.scale(coefficient),
-                )),
+                } => {
+                    radius += coefficient.abs();
+                    gather_terms.push(CompiledTerm::from_parts(
+                        *x_mask,
+                        *z_mask,
+                        y_phase.scale(coefficient),
+                    ));
+                }
             }
         }
         CompiledSegment {
             layout: layout_index,
             duration,
-            // Same step-sizing strength as the constant-Hamiltonian path so
-            // both produce identical Taylor step counts.
-            step_strength: hamiltonian.coefficient_l1_norm() + hamiltonian.max_abs_coefficient(),
+            bound: SpectralBound {
+                center,
+                radius,
+                // Same step-sizing strength as the constant-Hamiltonian path
+                // so both produce identical Taylor step counts.
+                step_strength: hamiltonian.coefficient_l1_norm()
+                    + hamiltonian.max_abs_coefficient(),
+            },
             diag_terms,
             flip_terms,
             gather_terms,
@@ -296,7 +324,78 @@ impl CompiledSchedule {
     ///
     /// Panics if `index` is out of range.
     pub fn segment_step_strength(&self, index: usize) -> f64 {
-        self.segments[index].step_strength
+        self.segments[index].bound.step_strength
+    }
+
+    /// The spectral bound of segment `index` (center, radius, step
+    /// strength), from which the steppers size their work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn segment_bound(&self, index: usize) -> SpectralBound {
+        self.segments[index].bound
+    }
+
+    /// A view of this schedule with every coefficient multiplied by `scale`
+    /// — the shape of a per-run global amplitude miscalibration. The term
+    /// *structure* is untouched, so the mask layouts are shared with the
+    /// original (`Arc`, no structural work, no `2ⁿ`-sized work): the swap is
+    /// `O(#segments · #terms)` over the weight vectors alone. This is what
+    /// lets [`crate::EmulatedDevice`] compile a schedule once and reuse the
+    /// layout across every noise realization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite.
+    pub fn scaled_weights(&self, scale: f64) -> CompiledSchedule {
+        assert!(scale.is_finite(), "amplitude scale must be finite");
+        let segments = self
+            .segments
+            .iter()
+            .map(|segment| CompiledSegment {
+                layout: segment.layout,
+                duration: segment.duration,
+                bound: SpectralBound {
+                    center: segment.bound.center * scale,
+                    radius: segment.bound.radius * scale.abs(),
+                    step_strength: segment.bound.step_strength * scale.abs(),
+                },
+                diag_terms: segment
+                    .diag_terms
+                    .iter()
+                    .map(|&(z_mask, w)| (z_mask, w * scale))
+                    .collect(),
+                flip_terms: segment
+                    .flip_terms
+                    .iter()
+                    .map(|&(x_mask, w)| (x_mask, w * scale))
+                    .collect(),
+                gather_terms: segment
+                    .gather_terms
+                    .iter()
+                    .map(|term| {
+                        CompiledTerm::from_parts(
+                            term.x_mask(),
+                            term.z_mask(),
+                            term.weight().scale(scale),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        CompiledSchedule {
+            num_qubits: self.num_qubits,
+            layouts: Arc::clone(&self.layouts),
+            segments,
+        }
+    }
+
+    /// `true` when `other` shares this schedule's mask layouts (the
+    /// structural reuse [`scaled_weights`](CompiledSchedule::scaled_weights)
+    /// provides).
+    pub fn shares_layouts_with(&self, other: &CompiledSchedule) -> bool {
+        Arc::ptr_eq(&self.layouts, &other.layouts)
     }
 
     /// Whether segment `index` wants its diagonal terms folded into a table
@@ -454,5 +553,68 @@ mod tests {
     fn negative_duration_panics() {
         let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
         let _ = CompiledSchedule::compile(&[(h, -0.5)]);
+    }
+
+    #[test]
+    fn scaled_weights_matches_recompiling_scaled_segments() {
+        let piecewise = ramp(10);
+        let segments: Vec<(Hamiltonian, f64)> = piecewise
+            .segments()
+            .iter()
+            .map(|s| (s.hamiltonian.clone(), s.duration))
+            .collect();
+        let schedule = CompiledSchedule::compile(&segments);
+        for &scale in &[0.85, 1.0, -0.4, 2.5] {
+            let scaled = schedule.scaled_weights(scale);
+            // Layouts are shared, not cloned.
+            assert!(schedule.shares_layouts_with(&scaled));
+            assert_eq!(scaled.num_segments(), schedule.num_segments());
+            assert!((scaled.total_time() - schedule.total_time()).abs() < 1e-15);
+            // Physics matches compiling the scaled Hamiltonians from scratch.
+            let rescaled: Vec<(Hamiltonian, f64)> = segments
+                .iter()
+                .map(|(h, d)| (h.scaled(scale), *d))
+                .collect();
+            let reference = CompiledSchedule::compile(&rescaled);
+            let initial = StateVector::plus_state(3);
+            let fast = evolve_schedule(&initial, &scaled);
+            let slow = evolve_schedule(&initial, &reference);
+            for (a, b) in fast.amplitudes().iter().zip(slow.amplitudes()) {
+                assert!((*a - *b).abs() < 1e-10, "scale {scale}: {a} != {b}");
+            }
+            // Step-sizing metadata rescales with the weights.
+            assert!(
+                (scaled.segment_step_strength(0) - schedule.segment_step_strength(0) * scale.abs())
+                    .abs()
+                    < 1e-12
+            );
+        }
+        // An independently compiled schedule does not share layouts.
+        assert!(!schedule.shares_layouts_with(&CompiledSchedule::compile(&segments)));
+    }
+
+    #[test]
+    fn segment_bound_encloses_the_spectrum() {
+        let h = Hamiltonian::from_terms(
+            2,
+            [
+                (0.4, PauliString::identity()),
+                (1.5, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                (-0.7, PauliString::single(0, Pauli::X)),
+            ],
+        );
+        let schedule = CompiledSchedule::compile(&[(h, 1.0)]);
+        let bound = schedule.segment_bound(0);
+        assert!((bound.center - 0.4).abs() < 1e-15);
+        assert!((bound.radius - 2.2).abs() < 1e-15);
+        assert_eq!(bound.step_strength, schedule.segment_step_strength(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_scale_panics() {
+        let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
+        let schedule = CompiledSchedule::compile(&[(h, 0.5)]);
+        let _ = schedule.scaled_weights(f64::NAN);
     }
 }

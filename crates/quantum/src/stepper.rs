@@ -1,0 +1,886 @@
+//! Pluggable time-evolution steppers: Taylor, Lanczos–Krylov, and Chebyshev
+//! backends behind one [`Stepper`] trait.
+//!
+//! # Why three backends
+//!
+//! The mask-compiled kernel made each `H|ψ⟩` application cheap, so the cost
+//! of evolving a segment is essentially *how many applications the
+//! integration scheme needs per unit time*:
+//!
+//! * **[`TaylorStepper`]** — the original scheme: split the segment into
+//!   steps with `‖H‖·Δt ≤ ½` and sum the Taylor series per step. Cost scales
+//!   as `O(‖H‖·t · k̄)` applications with `k̄ ≈ 8` series orders per step —
+//!   robust, zero setup, and the reference the other backends are pinned
+//!   against. Best for short segments (`‖H‖·t ≲ 1`) where its minimal
+//!   per-step overhead wins.
+//! * **[`KrylovStepper`]** — Lanczos: project `H` onto an `m`-dimensional
+//!   Krylov subspace (one application per basis vector, `m ≲ 32`),
+//!   exponentiate the projected tridiagonal matrix exactly through the
+//!   [`qturbo_math::tridiag`] eigensolver, and advance by the largest `Δt`
+//!   the residual estimate admits. The basis dimension adapts: construction
+//!   stops as soon as the residual for the remaining duration converges, and
+//!   the step size adapts when even the full basis cannot cover the segment
+//!   in one hop. Costs `O(m)` applications per step with steps that are
+//!   typically `‖H‖·Δt ≈ m` wide — an order of magnitude fewer applications
+//!   than Taylor on long segments, at the price of `m` retained basis
+//!   vectors and `O(m²)` orthogonalization sweeps per step.
+//! * **[`ChebyshevStepper`]** — expand `exp(−i·t·H)` in Chebyshev
+//!   polynomials of `H` mapped onto the spectral interval estimated from the
+//!   compiled term weights ([`SpectralBound`]), with Bessel-function
+//!   coefficients from [`qturbo_math::chebyshev`]. The whole segment is one
+//!   step of `≈ r·t + O((r·t)^⅓)` applications (`r` the spectral radius) —
+//!   asymptotically optimal for long evolutions, and only three state-sized
+//!   scratch vectors regardless of duration. Best when `‖H‖·t ≫ 1` and the
+//!   spectral-interval estimate is tight (e.g. diagonal-dominated models).
+//!
+//! Rule of thumb: Taylor for tiny segments, Krylov for schedules of medium
+//! segments (its basis pays off within each segment and the adaptive step
+//! absorbs norm spikes), Chebyshev for long quenches under one Hamiltonian.
+//! `BENCH_stepper.json` tracks all three on both shapes.
+//!
+//! # Contract
+//!
+//! A stepper evolves a state through **one segment**: a [`FusedKernel`]
+//! (the compiled `H|ψ⟩` pass), a [`SpectralBound`] (the scalar facts the
+//! schemes size their work from), a duration, and the caller's reference
+//! norm. The caller guarantees a non-empty kernel, positive finite duration,
+//! and a non-zero state; the stepper guarantees the state advances by
+//! `exp(−i·H·duration)` to within its tolerance and returns with its norm
+//! rescaled to `reference_norm` (drift correction — the exact evolution is
+//! unitary). Every backend counts its kernel applications so benchmarks and
+//! callers can compare work, not just wall time.
+//!
+//! Selection is threaded through the rest of the crate as
+//! [`StepperKind`] / [`EvolveOptions`]: every evolution entry point
+//! ([`crate::Propagator`], the `evolve*` free functions,
+//! [`crate::EmulatedDevice`]) accepts an options value, so constant,
+//! piecewise, and compiled-schedule workloads can each pick their backend.
+
+use crate::compiled::FusedKernel;
+use crate::state::StateVector;
+use qturbo_math::chebyshev::chebyshev_exp_coefficients;
+use qturbo_math::tridiag::{SymmetricTridiagonal, TridiagonalEigen};
+use qturbo_math::Complex;
+
+/// Maximum Taylor series order per step (safety rail; the series converges
+/// in a handful of orders at `‖H‖·Δt ≤ ½`).
+pub(crate) const MAX_TAYLOR_ORDER: usize = 64;
+/// Default truncation tolerance, *relative* to the norm of the state being
+/// evolved. Shared by all backends so they agree to the benchmark's 1e-10
+/// comparison threshold with headroom.
+pub(crate) const DEFAULT_TOLERANCE: f64 = 1e-14;
+/// Taylor evolution is split into steps with `strength · Δt` at most this
+/// value so each step's series converges in a handful of orders.
+pub(crate) const MAX_STEP_PHASE: f64 = 0.5;
+/// Largest Lanczos basis dimension before the Krylov stepper falls back to
+/// shrinking the step instead of growing the basis.
+const KRYLOV_MAX_DIM: usize = 32;
+/// Krylov basis construction below which no residual test is attempted (the
+/// estimate is meaningless for one or two vectors).
+const KRYLOV_MIN_DIM: usize = 3;
+
+/// Which time-evolution backend to use. See the [module docs](self) for the
+/// cost model of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepperKind {
+    /// Scaled-and-squared Taylor series (`‖H‖·Δt ≤ ½` splitting) — the
+    /// reference backend.
+    #[default]
+    Taylor,
+    /// Adaptive Lanczos–Krylov propagator.
+    Krylov,
+    /// Chebyshev polynomial expansion over the estimated spectral interval.
+    Chebyshev,
+}
+
+impl StepperKind {
+    /// Short lowercase name, as used in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StepperKind::Taylor => "taylor",
+            StepperKind::Krylov => "krylov",
+            StepperKind::Chebyshev => "chebyshev",
+        }
+    }
+
+    /// All backends, in reference-first order.
+    pub fn all() -> [StepperKind; 3] {
+        [
+            StepperKind::Taylor,
+            StepperKind::Krylov,
+            StepperKind::Chebyshev,
+        ]
+    }
+}
+
+/// Evolution options threaded through every propagation entry point: which
+/// backend integrates each segment and at what relative tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolveOptions {
+    /// The backend used for every segment.
+    pub stepper: StepperKind,
+    /// Truncation / residual tolerance, relative to the evolved state's
+    /// norm. All backends interpret it per internal step, mirroring the
+    /// original Taylor truncation semantics.
+    pub tolerance: f64,
+}
+
+impl Default for EvolveOptions {
+    fn default() -> Self {
+        EvolveOptions {
+            stepper: StepperKind::default(),
+            tolerance: DEFAULT_TOLERANCE,
+        }
+    }
+}
+
+impl EvolveOptions {
+    /// Options selecting `kind` at the default tolerance.
+    pub fn new(kind: StepperKind) -> Self {
+        EvolveOptions {
+            stepper: kind,
+            ..EvolveOptions::default()
+        }
+    }
+
+    /// The Taylor reference backend (the default).
+    pub fn taylor() -> Self {
+        EvolveOptions::new(StepperKind::Taylor)
+    }
+
+    /// The Lanczos–Krylov backend.
+    pub fn krylov() -> Self {
+        EvolveOptions::new(StepperKind::Krylov)
+    }
+
+    /// The Chebyshev backend.
+    pub fn chebyshev() -> Self {
+        EvolveOptions::new(StepperKind::Chebyshev)
+    }
+
+    /// Replaces the tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "tolerance must be positive and finite"
+        );
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+/// Scalar facts about a compiled segment's spectrum, computed in `O(#terms)`
+/// at compile time, from which each stepper sizes its work.
+///
+/// The eigenvalues of `H = c·I + Σ_t w_t·P_t` (Pauli terms `P_t`, `‖P_t‖ =
+/// 1`) lie in `[center − radius, center + radius]` with `center = c` (the
+/// summed identity weights) and `radius = Σ_t |w_t|` over the non-identity
+/// terms — a rigorous enclosure by the triangle inequality. Splitting the
+/// identity shift out matters: it costs the Chebyshev expansion nothing (a
+/// global phase) but would inflate the interval — and therefore the
+/// expansion order — if left inside the radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralBound {
+    /// Center of the spectral enclosure (the summed identity-term weights).
+    pub center: f64,
+    /// Half-width of the spectral enclosure (`Σ|w|` over non-identity
+    /// terms). Zero exactly when the Hamiltonian is a pure identity shift.
+    pub radius: f64,
+    /// The Taylor step-sizing strength `‖c‖₁ + max|c|`, kept identical to
+    /// the scalar reference path so Taylor step counts do not change.
+    pub step_strength: f64,
+}
+
+impl SpectralBound {
+    /// Builds the bound from compiled `(x_mask, z_mask, weight)` triples.
+    pub(crate) fn from_compiled_terms(
+        terms: impl Iterator<Item = (usize, usize, Complex)>,
+        step_strength: f64,
+    ) -> Self {
+        let mut center = 0.0;
+        let mut radius = 0.0;
+        for (x_mask, z_mask, weight) in terms {
+            if x_mask == 0 && z_mask == 0 {
+                // Identity terms have no Y factors, so the weight is real.
+                center += weight.re;
+            } else {
+                radius += weight.abs();
+            }
+        }
+        SpectralBound {
+            center,
+            radius,
+            step_strength,
+        }
+    }
+}
+
+/// One time-evolution backend: evolves a state through a single compiled
+/// segment.
+///
+/// Implementations own whatever scratch state their scheme needs (Taylor's
+/// two vectors, Krylov's basis, Chebyshev's recurrence buffers) and reuse it
+/// across calls, so driving a many-segment schedule allocates nothing after
+/// the first segment at a given register size.
+pub trait Stepper {
+    /// Advances `state` by `exp(−i·H·duration)` where `H` is the operator
+    /// `kernel` applies, rescaling the result to `reference_norm`.
+    ///
+    /// The caller guarantees: `kernel` is non-empty, `duration` is positive
+    /// and finite, `bound` describes `kernel`, and `reference_norm` is the
+    /// (non-zero) norm of `state`.
+    fn evolve_segment(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        bound: &SpectralBound,
+        state: &mut StateVector,
+        duration: f64,
+        reference_norm: f64,
+    );
+
+    /// Number of `H|ψ⟩` kernel applications performed since construction or
+    /// the last [`reset_kernel_applications`](Stepper::reset_kernel_applications)
+    /// — the backend-independent measure of work.
+    fn kernel_applications(&self) -> u64;
+
+    /// Resets the application counter.
+    fn reset_kernel_applications(&mut self);
+}
+
+/// Validates a stepper tolerance at the point of use: the [`EvolveOptions`]
+/// fields are public, so a hand-built value can sidestep
+/// [`EvolveOptions::with_tolerance`]'s check — and a non-positive tolerance
+/// would make the adaptive steppers' convergence loops spin forever instead
+/// of failing loudly.
+fn validated_tolerance(tolerance: f64) -> f64 {
+    assert!(
+        tolerance.is_finite() && tolerance > 0.0,
+        "stepper tolerance must be positive and finite, got {tolerance}"
+    );
+    tolerance
+}
+
+/// Rescales `state` to `reference_norm` (numerical drift correction — the
+/// exact evolution is unitary, so the norm must not move).
+pub(crate) fn rescale_to(state: &mut StateVector, reference_norm: f64) {
+    let norm = state.norm();
+    if norm > 0.0 {
+        state.scale(reference_norm / norm);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Taylor
+// ---------------------------------------------------------------------------
+
+/// The reference backend: scaled Taylor series with `‖H‖·Δt ≤ ½` splitting.
+///
+/// This is the original propagation loop of `propagate.rs`, refactored
+/// behind the [`Stepper`] trait — step counts, truncation semantics, and
+/// numerics are unchanged.
+#[derive(Debug, Clone)]
+pub struct TaylorStepper {
+    series: StateVector,
+    series_next: StateVector,
+    tolerance: f64,
+    applications: u64,
+}
+
+impl TaylorStepper {
+    /// Creates the stepper with minimal scratch buffers (resized on first
+    /// use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn new(tolerance: f64) -> Self {
+        TaylorStepper {
+            series: StateVector::zeros(0),
+            series_next: StateVector::zeros(0),
+            tolerance: validated_tolerance(tolerance),
+            applications: 0,
+        }
+    }
+
+    fn ensure_capacity(&mut self, num_qubits: usize) {
+        if self.series.num_qubits() != num_qubits || self.series.dim() != 1 << num_qubits {
+            self.series = StateVector::zeros(num_qubits);
+            self.series_next = StateVector::zeros(num_qubits);
+        }
+    }
+
+    /// One in-place Taylor step
+    /// `|ψ⟩ ← Σ_k (−i·dt)ᵏ/k! · Hᵏ|ψ⟩`, truncated once the next term drops
+    /// below `tolerance · reference_norm` (relative truncation).
+    fn taylor_step(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        state: &mut StateVector,
+        dt: f64,
+        reference_norm: f64,
+    ) {
+        self.series.copy_from(state);
+        let mut factor = Complex::ONE;
+        let threshold = self.tolerance * reference_norm;
+        for k in 1..=MAX_TAYLOR_ORDER {
+            factor = factor * Complex::new(0.0, -dt) / (k as f64);
+            // One fused sweep: series_next = H·series, state += factor·
+            // series_next, and ‖series_next‖ for the convergence check.
+            let series_norm =
+                kernel.apply_accumulate_into(&self.series, &mut self.series_next, state, factor);
+            self.applications += 1;
+            std::mem::swap(&mut self.series, &mut self.series_next);
+            if series_norm * factor.abs() < threshold {
+                break;
+            }
+        }
+    }
+}
+
+impl Stepper for TaylorStepper {
+    fn evolve_segment(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        bound: &SpectralBound,
+        state: &mut StateVector,
+        duration: f64,
+        reference_norm: f64,
+    ) {
+        self.ensure_capacity(state.num_qubits());
+        // Split into steps so that the Taylor series of each step converges
+        // fast.
+        let steps = ((bound.step_strength * duration / MAX_STEP_PHASE).ceil() as usize).max(1);
+        let dt = duration / steps as f64;
+        for _ in 0..steps {
+            self.taylor_step(kernel, state, dt, reference_norm);
+            rescale_to(state, reference_norm);
+        }
+    }
+
+    fn kernel_applications(&self) -> u64 {
+        self.applications
+    }
+
+    fn reset_kernel_applications(&mut self) {
+        self.applications = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lanczos–Krylov
+// ---------------------------------------------------------------------------
+
+/// The adaptive Lanczos–Krylov backend.
+///
+/// Per step: build an orthonormal Krylov basis `{ψ, Hψ, H²ψ, …}` with the
+/// three-term Lanczos recurrence plus full reorthogonalization (required to
+/// hold 1e-14-level accuracy past a handful of vectors), project `H` onto it
+/// as a real symmetric tridiagonal matrix, exponentiate the projection
+/// exactly through its eigendecomposition, and advance by the largest `Δt ≤
+/// remaining` whose residual estimate `β_m·Δt·|φ_m(Δt)|` stays below
+/// tolerance. Basis construction stops early as soon as the remaining
+/// duration converges (adaptive dimension); if even the full basis cannot
+/// cover the remainder, the step shrinks along the scheme's `Δt^m` error
+/// power law (adaptive step).
+#[derive(Debug, Clone)]
+pub struct KrylovStepper {
+    /// Lanczos vectors `v_0 … v_m` (the `m+1`-th is the unnormalized
+    /// residual workspace while building).
+    basis: Vec<StateVector>,
+    tolerance: f64,
+    applications: u64,
+}
+
+impl KrylovStepper {
+    /// Creates the stepper; basis vectors are allocated lazily per register
+    /// size and reused across steps and segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn new(tolerance: f64) -> Self {
+        KrylovStepper {
+            basis: Vec::new(),
+            tolerance: validated_tolerance(tolerance),
+            applications: 0,
+        }
+    }
+
+    fn ensure_basis(&mut self, count: usize, num_qubits: usize) {
+        if self
+            .basis
+            .first()
+            .is_some_and(|v| v.num_qubits() != num_qubits || v.dim() != 1 << num_qubits)
+        {
+            self.basis.clear();
+        }
+        while self.basis.len() < count {
+            self.basis.push(StateVector::zeros(num_qubits));
+        }
+    }
+
+    /// `φ(dt) = exp(−i·dt·T_m)·e₁` through the projected eigendecomposition,
+    /// returned as complex coefficients over the Lanczos basis.
+    fn projected_exponential(eigen: &TridiagonalEigen, dt: f64) -> Vec<Complex> {
+        let m = eigen.eigenvalues.len();
+        let v = &eigen.eigenvectors;
+        let mut phi = vec![Complex::ZERO; m];
+        for (k, &lambda) in eigen.eigenvalues.iter().enumerate() {
+            // coefficient of eigenpair k in exp(−i·dt·T)·e₁: phase · V[0][k]
+            let coefficient = Complex::from_polar_angle(-dt * lambda).scale(v.row(0)[k]);
+            for (j, slot) in phi.iter_mut().enumerate() {
+                *slot += coefficient.scale(v.row(j)[k]);
+            }
+        }
+        phi
+    }
+
+    /// Residual-based local error estimate of one Krylov step: the next
+    /// basis vector's weight `β_m`, integrated over the step.
+    fn error_estimate(beta_last: f64, dt: f64, phi: &[Complex]) -> f64 {
+        beta_last * dt * phi.last().map_or(0.0, |p| p.abs())
+    }
+}
+
+impl Stepper for KrylovStepper {
+    fn evolve_segment(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        _bound: &SpectralBound,
+        state: &mut StateVector,
+        duration: f64,
+        reference_norm: f64,
+    ) {
+        let num_qubits = state.num_qubits();
+        let mut remaining = duration;
+        while remaining > 0.0 {
+            // --- Build the Lanczos basis from the current state. ---
+            self.ensure_basis(2, num_qubits);
+            self.basis[0].copy_from(state);
+            self.basis[0].scale(1.0 / reference_norm);
+            let mut alphas: Vec<f64> = Vec::with_capacity(KRYLOV_MAX_DIM);
+            let mut betas: Vec<f64> = Vec::with_capacity(KRYLOV_MAX_DIM);
+            let mut eigen: Option<TridiagonalEigen> = None;
+            let mut happy_breakdown = false;
+            // Residual tests cost an O(dim³) eigensolve each; run them on a
+            // geometric ladder of dimensions (3, 5, 8, 12, 18, 27, 32)
+            // instead of every iteration so the per-step setup cost stays a
+            // fraction of the basis-construction kernel work.
+            let mut next_test = KRYLOV_MIN_DIM;
+
+            loop {
+                let m = alphas.len();
+                self.ensure_basis(m + 2, num_qubits);
+                // w = H·v_m, then orthogonalize against v_m and v_{m−1}.
+                let (head, tail) = self.basis.split_at_mut(m + 1);
+                let v_m = &head[m];
+                let w = &mut tail[0];
+                kernel.apply_into(v_m, w);
+                self.applications += 1;
+                let alpha = v_m.inner_product(w).re;
+                w.accumulate(Complex::from_real(-alpha), v_m);
+                if m > 0 {
+                    let beta_prev = betas[m - 1];
+                    w.accumulate(Complex::from_real(-beta_prev), &head[m - 1]);
+                }
+                // Full reorthogonalization: one classical Gram–Schmidt pass
+                // against the whole basis. Without it, orthogonality decays
+                // as eigenpairs converge and the projected exponential loses
+                // digits well before 1e-14.
+                for v in head.iter() {
+                    let overlap = v.inner_product(w);
+                    if overlap.abs() > 0.0 {
+                        w.accumulate(-overlap, v);
+                    }
+                }
+                alphas.push(alpha);
+                let beta = w.norm();
+                betas.push(beta);
+
+                // Happy breakdown: the Krylov space is H-invariant, so the
+                // projected exponential is exact for any Δt. Any
+                // eigendecomposition computed at a smaller dimension is
+                // stale now — drop it so the final one matches `alphas`.
+                let alpha_scale = alphas.iter().fold(0.0f64, |acc, a| acc.max(a.abs()));
+                if beta <= 1e-14 * alpha_scale.max(1.0) {
+                    happy_breakdown = true;
+                    eigen.take();
+                    break;
+                }
+
+                let dim = alphas.len();
+                // Adaptive basis dimension: stop growing as soon as the
+                // residual estimate for the whole remaining duration
+                // converges (tested on the geometric ladder, and always at
+                // the hard cap).
+                if dim >= next_test || dim >= KRYLOV_MAX_DIM {
+                    next_test = (dim + dim / 2).min(KRYLOV_MAX_DIM).max(dim + 1);
+                    let tridiagonal =
+                        SymmetricTridiagonal::new(alphas.clone(), betas[..dim - 1].to_vec())
+                            .expect("Lanczos coefficients are finite");
+                    let decomposition = tridiagonal
+                        .eigen_decomposition()
+                        .expect("tridiagonal QL converges");
+                    let phi = Self::projected_exponential(&decomposition, remaining);
+                    let error = Self::error_estimate(beta, remaining, &phi);
+                    eigen = Some(decomposition);
+                    if error <= self.tolerance || dim >= KRYLOV_MAX_DIM {
+                        break;
+                    }
+                }
+                // Extend the basis: v_{m+1} = w / β.
+                let w = &mut self.basis[m + 1];
+                w.scale(1.0 / beta);
+            }
+
+            let dim = alphas.len();
+            let eigen = eigen.unwrap_or_else(|| {
+                SymmetricTridiagonal::new(alphas.clone(), betas[..dim - 1].to_vec())
+                    .expect("Lanczos coefficients are finite")
+                    .eigen_decomposition()
+                    .expect("tridiagonal QL converges")
+            });
+            let beta_last = *betas.last().expect("at least one Lanczos iteration");
+
+            // --- Pick the largest Δt the residual estimate admits. ---
+            let mut dt = remaining;
+            let mut phi = Self::projected_exponential(&eigen, dt);
+            if !happy_breakdown {
+                for _ in 0..64 {
+                    let error = Self::error_estimate(beta_last, dt, &phi);
+                    if error <= self.tolerance {
+                        break;
+                    }
+                    // The local error scales as Δt^m: project onto the power
+                    // law with a safety factor, never shrinking by more than
+                    // 10x at once (guards against estimate noise).
+                    let contraction = (self.tolerance / error).powf(1.0 / dim as f64) * 0.9;
+                    dt *= contraction.clamp(0.1, 0.95);
+                    phi = Self::projected_exponential(&eigen, dt);
+                }
+            }
+
+            // --- Advance: ψ ← ‖ψ‖ · Σ_j φ_j · v_j. ---
+            state.amplitudes_mut().fill(Complex::ZERO);
+            for (j, coefficient) in phi.iter().enumerate() {
+                state.accumulate(coefficient.scale(reference_norm), &self.basis[j]);
+            }
+            rescale_to(state, reference_norm);
+            remaining -= dt;
+        }
+    }
+
+    fn kernel_applications(&self) -> u64 {
+        self.applications
+    }
+
+    fn reset_kernel_applications(&mut self) {
+        self.applications = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chebyshev
+// ---------------------------------------------------------------------------
+
+/// The Chebyshev backend: one polynomial expansion per segment, however long.
+///
+/// The Hamiltonian is mapped onto `[−1, 1]` through the segment's
+/// [`SpectralBound`] (`H̃ = (H − c)/r`), and
+/// `exp(−i·t·H) = e^{−i·c·t}·Σ_k (2−δ_{k0})·(−i)^k·J_k(r·t)·T_k(H̃)`
+/// is summed with the three-term `T_k` recurrence — one kernel application
+/// per retained order, `≈ r·t + O((r·t)^⅓)` in total. No step splitting:
+/// doubling the duration adds roughly the spectral phase span worth of
+/// applications instead of doubling them.
+#[derive(Debug, Clone)]
+pub struct ChebyshevStepper {
+    t_prev: StateVector,
+    t_curr: StateVector,
+    mapped: StateVector,
+    accumulator: StateVector,
+    tolerance: f64,
+    applications: u64,
+}
+
+impl ChebyshevStepper {
+    /// Creates the stepper with minimal scratch buffers (resized on first
+    /// use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn new(tolerance: f64) -> Self {
+        ChebyshevStepper {
+            t_prev: StateVector::zeros(0),
+            t_curr: StateVector::zeros(0),
+            mapped: StateVector::zeros(0),
+            accumulator: StateVector::zeros(0),
+            tolerance,
+            applications: 0,
+        }
+    }
+
+    fn ensure_capacity(&mut self, num_qubits: usize) {
+        if self.t_prev.num_qubits() != num_qubits || self.t_prev.dim() != 1 << num_qubits {
+            self.t_prev = StateVector::zeros(num_qubits);
+            self.t_curr = StateVector::zeros(num_qubits);
+            self.mapped = StateVector::zeros(num_qubits);
+            self.accumulator = StateVector::zeros(num_qubits);
+        }
+    }
+}
+
+/// `out = (H·input − center·input) / radius` — the kernel application mapped
+/// onto the unit spectral interval the Chebyshev recurrence runs on.
+fn apply_mapped(
+    kernel: FusedKernel<'_>,
+    input: &StateVector,
+    out: &mut StateVector,
+    center: f64,
+    radius: f64,
+) {
+    kernel.apply_into(input, out);
+    let inverse_radius = 1.0 / radius;
+    for (slot, v) in out.amplitudes_mut().iter_mut().zip(input.amplitudes()) {
+        *slot = (*slot - v.scale(center)).scale(inverse_radius);
+    }
+}
+
+impl Stepper for ChebyshevStepper {
+    fn evolve_segment(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        bound: &SpectralBound,
+        state: &mut StateVector,
+        duration: f64,
+        reference_norm: f64,
+    ) {
+        let center = bound.center;
+        let radius = bound.radius;
+        let global_phase = Complex::from_polar_angle(-center * duration);
+        if radius == 0.0 {
+            // Pure identity shift: a global phase, no kernel work at all.
+            for amp in state.amplitudes_mut() {
+                *amp = global_phase * *amp;
+            }
+            return;
+        }
+        self.ensure_capacity(state.num_qubits());
+        let span = radius * duration;
+        let coefficients = chebyshev_exp_coefficients(span, self.tolerance);
+
+        // T_0·ψ = ψ; accumulator starts at c_0·ψ.
+        self.t_prev.copy_from(state);
+        self.accumulator.copy_from(state);
+        self.accumulator.scale(coefficients[0]);
+
+        if coefficients.len() > 1 {
+            // T_1·ψ = H̃·ψ.
+            apply_mapped(kernel, &self.t_prev, &mut self.t_curr, center, radius);
+            self.applications += 1;
+            // (−i)^k phase cycle, starting at k = 1.
+            let mut phase = -Complex::I;
+            self.accumulator
+                .accumulate(phase.scale(coefficients[1]), &self.t_curr);
+            for &coefficient in coefficients.iter().skip(2) {
+                // T_{k+1} = 2·H̃·T_k − T_{k−1}, reusing t_prev's storage.
+                apply_mapped(kernel, &self.t_curr, &mut self.mapped, center, radius);
+                self.applications += 1;
+                for (prev, w) in self
+                    .t_prev
+                    .amplitudes_mut()
+                    .iter_mut()
+                    .zip(self.mapped.amplitudes())
+                {
+                    *prev = w.scale(2.0) - *prev;
+                }
+                std::mem::swap(&mut self.t_prev, &mut self.t_curr);
+                phase *= -Complex::I;
+                self.accumulator
+                    .accumulate(phase.scale(coefficient), &self.t_curr);
+            }
+        }
+
+        // ψ ← e^{−i·c·t} · Σ, rescaled to the caller's norm.
+        for (slot, acc) in state
+            .amplitudes_mut()
+            .iter_mut()
+            .zip(self.accumulator.amplitudes())
+        {
+            *slot = global_phase * *acc;
+        }
+        rescale_to(state, reference_norm);
+    }
+
+    fn kernel_applications(&self) -> u64 {
+        self.applications
+    }
+
+    fn reset_kernel_applications(&mut self) {
+        self.applications = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledHamiltonian;
+    use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
+
+    fn evolve_with_stepper(
+        stepper: &mut dyn Stepper,
+        hamiltonian: &Hamiltonian,
+        state: &StateVector,
+        time: f64,
+    ) -> StateVector {
+        let compiled = CompiledHamiltonian::compile(hamiltonian);
+        let mut out = state.clone();
+        let norm = out.norm();
+        stepper.evolve_segment(
+            compiled.kernel(),
+            &compiled.spectral_bound(),
+            &mut out,
+            time,
+            norm,
+        );
+        out
+    }
+
+    fn test_hamiltonian() -> Hamiltonian {
+        Hamiltonian::from_terms(
+            3,
+            [
+                (1.0, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                (0.8, PauliString::single(1, Pauli::Y)),
+                (0.5, PauliString::single(2, Pauli::X)),
+                (-0.3, PauliString::identity()),
+            ],
+        )
+    }
+
+    #[test]
+    fn spectral_bound_splits_identity_shift() {
+        let compiled = CompiledHamiltonian::compile(&test_hamiltonian());
+        let bound = compiled.spectral_bound();
+        assert!((bound.center - (-0.3)).abs() < 1e-15);
+        assert!((bound.radius - 2.3).abs() < 1e-15);
+        assert_eq!(bound.step_strength, compiled.step_strength());
+    }
+
+    #[test]
+    fn all_steppers_agree_with_rabi_analytics() {
+        let omega = 2.0;
+        let h = Hamiltonian::from_terms(1, [(omega / 2.0, PauliString::single(0, Pauli::X))]);
+        let z = PauliString::single(0, Pauli::Z);
+        for t in [0.3, 2.0, 9.0] {
+            let expected = (omega * t).cos();
+            let mut taylor = TaylorStepper::new(DEFAULT_TOLERANCE);
+            let mut krylov = KrylovStepper::new(DEFAULT_TOLERANCE);
+            let mut chebyshev = ChebyshevStepper::new(DEFAULT_TOLERANCE);
+            let steppers: [&mut dyn Stepper; 3] = [&mut taylor, &mut krylov, &mut chebyshev];
+            for stepper in steppers {
+                let evolved = evolve_with_stepper(stepper, &h, &StateVector::zero_state(1), t);
+                assert!(
+                    (evolved.expectation(&z) - expected).abs() < 1e-9,
+                    "t={t}: {} != {expected}",
+                    evolved.expectation(&z)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn krylov_and_chebyshev_match_taylor_amplitudes() {
+        let h = test_hamiltonian();
+        let initial = StateVector::plus_state(3);
+        for t in [0.5, 4.0, 20.0] {
+            let mut taylor = TaylorStepper::new(DEFAULT_TOLERANCE);
+            let reference = evolve_with_stepper(&mut taylor, &h, &initial, t);
+            let mut krylov = KrylovStepper::new(DEFAULT_TOLERANCE);
+            let mut chebyshev = ChebyshevStepper::new(DEFAULT_TOLERANCE);
+            let others: [(&str, &mut dyn Stepper); 2] =
+                [("krylov", &mut krylov), ("chebyshev", &mut chebyshev)];
+            for (name, stepper) in others {
+                let evolved = evolve_with_stepper(stepper, &h, &initial, t);
+                for (a, b) in evolved.amplitudes().iter().zip(reference.amplitudes()) {
+                    assert!((*a - *b).abs() < 1e-10, "{name} t={t}: {a} != {b}");
+                }
+                assert!(stepper.kernel_applications() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn long_time_work_scales_sublinearly_for_krylov_and_chebyshev() {
+        // The headline property: at ‖H‖·t ≫ 1 both new backends need far
+        // fewer H|ψ⟩ applications than Taylor's strength·t/0.5 steps.
+        let h = test_hamiltonian();
+        let initial = StateVector::plus_state(3);
+        let t = 50.0;
+        let mut taylor = TaylorStepper::new(DEFAULT_TOLERANCE);
+        let mut krylov = KrylovStepper::new(DEFAULT_TOLERANCE);
+        let mut chebyshev = ChebyshevStepper::new(DEFAULT_TOLERANCE);
+        let _ = evolve_with_stepper(&mut taylor, &h, &initial, t);
+        let _ = evolve_with_stepper(&mut krylov, &h, &initial, t);
+        let _ = evolve_with_stepper(&mut chebyshev, &h, &initial, t);
+        let taylor_work = taylor.kernel_applications();
+        assert!(
+            krylov.kernel_applications() * 2 < taylor_work,
+            "krylov {} vs taylor {taylor_work}",
+            krylov.kernel_applications()
+        );
+        assert!(
+            chebyshev.kernel_applications() * 2 < taylor_work,
+            "chebyshev {} vs taylor {taylor_work}",
+            chebyshev.kernel_applications()
+        );
+    }
+
+    #[test]
+    fn chebyshev_handles_pure_identity_shift() {
+        let h = Hamiltonian::from_terms(2, [(0.7, PauliString::identity())]);
+        let mut chebyshev = ChebyshevStepper::new(DEFAULT_TOLERANCE);
+        let initial = StateVector::plus_state(2);
+        let evolved = evolve_with_stepper(&mut chebyshev, &h, &initial, 1.3);
+        assert_eq!(chebyshev.kernel_applications(), 0);
+        // Global phase e^{−i·0.7·1.3} on every amplitude.
+        let phase = Complex::from_polar_angle(-0.7 * 1.3);
+        for (a, b) in evolved.amplitudes().iter().zip(initial.amplitudes()) {
+            assert!((*a - phase * *b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn krylov_happy_breakdown_is_exact() {
+        // A 1-qubit X drive spans a 2-dim Krylov space: the basis breaks
+        // down happily at m = 2 and the step covers any duration exactly.
+        let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
+        let mut krylov = KrylovStepper::new(DEFAULT_TOLERANCE);
+        let evolved = evolve_with_stepper(&mut krylov, &h, &StateVector::zero_state(1), 100.0);
+        assert_eq!(krylov.kernel_applications(), 2);
+        let z = PauliString::single(0, Pauli::Z);
+        assert!((evolved.expectation(&z) - (2.0_f64 * 100.0).cos()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn options_builders() {
+        assert_eq!(EvolveOptions::default().stepper, StepperKind::Taylor);
+        assert_eq!(EvolveOptions::krylov().stepper, StepperKind::Krylov);
+        assert_eq!(EvolveOptions::chebyshev().stepper, StepperKind::Chebyshev);
+        assert_eq!(EvolveOptions::taylor().stepper, StepperKind::Taylor);
+        let custom = EvolveOptions::krylov().with_tolerance(1e-9);
+        assert_eq!(custom.tolerance, 1e-9);
+        assert_eq!(StepperKind::Krylov.name(), "krylov");
+        assert_eq!(StepperKind::all().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_tolerance_panics() {
+        let _ = EvolveOptions::taylor().with_tolerance(0.0);
+    }
+}

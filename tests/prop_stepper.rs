@@ -1,0 +1,253 @@
+//! Property tests pinning the Lanczos–Krylov and Chebyshev steppers to the
+//! Taylor / naive references:
+//!
+//! * all three backends must agree with `evolve_naive` to 1e-10 on random
+//!   Hamiltonians, including Y-heavy term mixes,
+//! * near-degenerate spectra (coefficient gaps down to 1e-9) must not break
+//!   the Krylov basis or the Chebyshev interval mapping,
+//! * long-duration segments (`‖H‖·t ≫ 1`) must agree at the same 1e-10 while
+//!   the new backends spend far fewer kernel applications,
+//! * evolution must stay linear in the input norm over 1e-3…1e3 for every
+//!   backend,
+//! * the compiled-schedule driver must produce backend-independent results.
+//!
+//! Deterministically seeded sampling via `qturbo_math::rng::Rng` (no external
+//! property-testing framework is vendored in this environment).
+
+use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
+use qturbo_math::rng::Rng;
+use qturbo_math::Complex;
+use qturbo_quantum::compiled::CompiledHamiltonian;
+use qturbo_quantum::propagate::{evolve_naive, evolve_schedule_with, evolve_with};
+use qturbo_quantum::schedule::CompiledSchedule;
+use qturbo_quantum::{EvolveOptions, Propagator, StateVector, StepperKind};
+
+const AGREEMENT: f64 = 1e-10;
+
+fn random_state(rng: &mut Rng, num_qubits: usize) -> StateVector {
+    let amplitudes: Vec<Complex> = (0..1usize << num_qubits)
+        .map(|_| Complex::new(rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0)))
+        .collect();
+    StateVector::from_amplitudes(amplitudes)
+}
+
+fn random_string(rng: &mut Rng, num_qubits: usize) -> PauliString {
+    PauliString::from_ops((0..num_qubits).filter_map(|qubit| match rng.next_usize(4) {
+        0 => None,
+        k => Some((qubit, [Pauli::X, Pauli::Y, Pauli::Z][k - 1])),
+    }))
+}
+
+/// A random Hamiltonian with a strong `Y` presence (every other term is
+/// forced to carry at least one `Y` factor).
+fn random_y_heavy(rng: &mut Rng, num_qubits: usize, num_terms: usize) -> Hamiltonian {
+    let mut hamiltonian = Hamiltonian::new(num_qubits);
+    for index in 0..num_terms {
+        let mut string = random_string(rng, num_qubits);
+        if index % 2 == 0 {
+            let qubit = rng.next_usize(num_qubits);
+            string = PauliString::from_ops(
+                string
+                    .iter()
+                    .filter(|(q, _)| *q != qubit)
+                    .chain(std::iter::once((qubit, Pauli::Y)))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        hamiltonian.add_term(rng.next_range(-1.5, 1.5), string);
+    }
+    hamiltonian
+}
+
+fn assert_all_backends_match_naive(
+    hamiltonian: &Hamiltonian,
+    initial: &StateVector,
+    time: f64,
+    context: &str,
+) {
+    let reference = evolve_naive(initial, hamiltonian, time);
+    for kind in StepperKind::all() {
+        let evolved = evolve_with(initial, hamiltonian, time, EvolveOptions::new(kind));
+        for (index, (a, b)) in evolved
+            .amplitudes()
+            .iter()
+            .zip(reference.amplitudes())
+            .enumerate()
+        {
+            assert!(
+                (*a - *b).abs() < AGREEMENT,
+                "{context}, backend {}, amplitude {index}: {a} != {b}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_random_y_heavy_hamiltonians() {
+    let mut rng = Rng::seed_from_u64(0xA11CE);
+    for round in 0..12 {
+        let num_qubits = 1 + rng.next_usize(4);
+        let num_terms = 1 + rng.next_usize(2 * num_qubits + 1);
+        let hamiltonian = random_y_heavy(&mut rng, num_qubits, num_terms);
+        let initial = random_state(&mut rng, num_qubits);
+        let time = rng.next_range(0.05, 2.5);
+        assert_all_backends_match_naive(
+            &hamiltonian,
+            &initial,
+            time,
+            &format!("round {round} ({num_qubits}q, {num_terms} terms, t={time})"),
+        );
+    }
+}
+
+#[test]
+fn backends_agree_on_near_degenerate_spectra() {
+    // Hamiltonians whose eigenvalues cluster within ~1e-9 of each other
+    // stress the Krylov basis (Lanczos converges eigenpair-by-eigenpair and
+    // near-copies invite orthogonality loss) and the Chebyshev interval
+    // mapping (the dynamics live in a sliver of the bound interval).
+    let mut rng = Rng::seed_from_u64(0xDE6E);
+    for &gap in &[1e-6, 1e-9] {
+        // Z₀ + (1 + gap)·Z₁: eigenvalue pairs split by `gap`.
+        let h = Hamiltonian::from_terms(
+            2,
+            [
+                (1.0, PauliString::single(0, Pauli::Z)),
+                (1.0 + gap, PauliString::single(1, Pauli::Z)),
+                (0.25, PauliString::single(0, Pauli::X)),
+            ],
+        );
+        let initial = random_state(&mut rng, 2);
+        assert_all_backends_match_naive(&h, &initial, 3.0, &format!("gap {gap}"));
+    }
+    // An exactly-degenerate pair through a shared coupling.
+    let h = Hamiltonian::from_terms(
+        3,
+        [
+            (0.8, PauliString::single(0, Pauli::Z)),
+            (0.8, PauliString::single(1, Pauli::Z)),
+            (0.8, PauliString::single(2, Pauli::Z)),
+            (0.3, PauliString::two(0, Pauli::X, 1, Pauli::X)),
+        ],
+    );
+    let initial = random_state(&mut rng, 3);
+    assert_all_backends_match_naive(&h, &initial, 2.0, "exact degeneracy");
+}
+
+#[test]
+fn backends_agree_on_long_durations_with_less_work() {
+    // ‖H‖·t ≫ 1: the regime the new steppers exist for. Accuracy must hold
+    // at 1e-10 while Krylov and Chebyshev apply the kernel far fewer times
+    // than Taylor's ‖H‖·t/0.5 stepping.
+    let mut rng = Rng::seed_from_u64(0x10A6);
+    let h = random_y_heavy(&mut rng, 3, 6);
+    let strength = h.coefficient_l1_norm() + h.max_abs_coefficient();
+    let time = 60.0 / strength.max(1.0); // ‖H‖·t ≈ 60
+    let initial = random_state(&mut rng, 3);
+    assert_all_backends_match_naive(&h, &initial, time, "long duration");
+
+    let compiled = CompiledHamiltonian::compile(&h);
+    let mut work = Vec::new();
+    for kind in StepperKind::all() {
+        let mut propagator = Propagator::with_stepper(kind);
+        let mut state = initial.clone();
+        propagator.evolve_in_place(&compiled, &mut state, time);
+        work.push(propagator.kernel_applications());
+    }
+    let [taylor, krylov, chebyshev] = work[..] else {
+        unreachable!()
+    };
+    assert!(
+        krylov * 2 < taylor,
+        "krylov should need far fewer applications: {krylov} vs {taylor}"
+    );
+    assert!(
+        chebyshev * 2 < taylor,
+        "chebyshev should need far fewer applications: {chebyshev} vs {taylor}"
+    );
+}
+
+#[test]
+fn every_backend_is_linear_in_the_input_norm() {
+    let mut rng = Rng::seed_from_u64(0x11EA);
+    let h = random_y_heavy(&mut rng, 2, 4);
+    let unit = random_state(&mut rng, 2);
+    let time = 1.3;
+    for kind in StepperKind::all() {
+        let options = EvolveOptions::new(kind);
+        let expected = evolve_with(&unit, &h, time, options);
+        for &scale in &[1e-3, 0.5, 40.0, 1e3] {
+            let mut scaled = unit.clone();
+            scaled.scale(scale);
+            let evolved = evolve_with(&scaled, &h, time, options);
+            assert!(
+                (evolved.norm() - scale).abs() < 1e-9 * scale,
+                "{}: norm not preserved at scale {scale}",
+                kind.name()
+            );
+            for (a, b) in evolved.amplitudes().iter().zip(expected.amplitudes()) {
+                assert!(
+                    (*a - b.scale(scale)).abs() < 1e-9 * scale,
+                    "{}: scale {scale}: {a} != {b:?}·{scale}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn schedule_driver_is_backend_independent() {
+    // A discretized ramp driven through CompiledSchedule must give the same
+    // state whichever backend integrates the segments.
+    let mut rng = Rng::seed_from_u64(0x5C4E);
+    let num_qubits = 3;
+    let num_segments = 24;
+    let segments: Vec<(Hamiltonian, f64)> = (0..num_segments)
+        .map(|index| {
+            let s = index as f64 / num_segments as f64;
+            (
+                Hamiltonian::from_terms(
+                    num_qubits,
+                    [
+                        (1.0 - s, PauliString::single(0, Pauli::X)),
+                        (0.4 + s, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                        (0.2 + 0.3 * s, PauliString::single(2, Pauli::Y)),
+                    ],
+                ),
+                rng.next_range(0.02, 0.3),
+            )
+        })
+        .collect();
+    let schedule = CompiledSchedule::compile(&segments);
+    let initial = random_state(&mut rng, num_qubits);
+    let reference = evolve_schedule_with(&initial, &schedule, EvolveOptions::taylor());
+    for options in [EvolveOptions::krylov(), EvolveOptions::chebyshev()] {
+        let evolved = evolve_schedule_with(&initial, &schedule, options);
+        for (a, b) in evolved.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!(
+                (*a - *b).abs() < AGREEMENT,
+                "{:?}: {a} != {b}",
+                options.stepper
+            );
+        }
+    }
+}
+
+#[test]
+fn relaxed_tolerance_still_converges_reasonably() {
+    // A user-loosened tolerance trades accuracy for work but must stay in
+    // the right ballpark (no divergence, no garbage).
+    let mut rng = Rng::seed_from_u64(0x70C);
+    let h = random_y_heavy(&mut rng, 3, 5);
+    let initial = random_state(&mut rng, 3);
+    let reference = evolve_naive(&initial, &h, 5.0);
+    for kind in [StepperKind::Krylov, StepperKind::Chebyshev] {
+        let options = EvolveOptions::new(kind).with_tolerance(1e-6);
+        let evolved = evolve_with(&initial, &h, 5.0, options);
+        for (a, b) in evolved.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!((*a - *b).abs() < 1e-4, "{}: {a} != {b}", kind.name());
+        }
+    }
+}
