@@ -32,7 +32,9 @@ if [[ "${1:-}" != "--quick" ]]; then
     echo "==> schedule benchmark (recompile-per-segment vs layout reuse)"
     cargo run --release -p qturbo-bench --bin bench_schedule
 
-    echo "==> stepper benchmark (Taylor vs Krylov vs Chebyshev backends)"
+    echo "==> stepper benchmark (Taylor vs Krylov vs Chebyshev vs Auto backends)"
+    # The bench binary asserts the Auto acceptance gates: never slower than
+    # the worst fixed backend, and within 10% of the best, on every workload.
     cargo run --release -p qturbo-bench --bin bench_stepper
 fi
 

@@ -15,7 +15,7 @@ use qturbo_bench::timing::{bench, Json, Sample};
 use qturbo_hamiltonian::models::ising_chain;
 use qturbo_quantum::compiled::CompiledHamiltonian;
 use qturbo_quantum::propagate::{apply_hamiltonian_naive, evolve_naive, Propagator};
-use qturbo_quantum::StateVector;
+use qturbo_quantum::{StateVector, StepperKind};
 
 const SIZES: [usize; 4] = [8, 12, 16, 20];
 const EVOLVE_TIME: f64 = 0.1;
@@ -118,7 +118,11 @@ fn main() {
                 std::hint::black_box(&out);
             })
         });
-        let mut propagator = Propagator::new();
+        // Pin the Taylor backend: this benchmark isolates the kernel speedup
+        // (naive vs mask-compiled) under identical stepping, so the default
+        // automatic backend selection must not change the algorithm here —
+        // BENCH_stepper.json is where the backends compete.
+        let mut propagator = Propagator::with_stepper(StepperKind::Taylor);
         let mut work = StateVector::zeros(n);
         let compiled_evolve = bench(reps, || {
             work.copy_from(&state);

@@ -1,5 +1,6 @@
-//! Stepper-backend benchmark: Taylor vs Lanczos–Krylov vs Chebyshev on the
-//! two workload shapes the subsystem targets.
+//! Stepper-backend benchmark: Taylor vs Lanczos–Krylov vs Chebyshev vs the
+//! automatic per-segment selection, on the two workload shapes the subsystem
+//! targets.
 //!
 //! Writes `BENCH_stepper.json` into the current directory. Workloads:
 //!
@@ -13,8 +14,13 @@
 //!
 //! For every backend the report records total `H|ψ⟩` kernel applications
 //! (the backend-independent work measure), wall time, and the deviation from
-//! the Taylor reference state — all three must agree at the 1e-10 level for
-//! the comparison to count.
+//! the Taylor reference state — all must agree at the 1e-10 level for the
+//! comparison to count. The `auto` entry additionally records its
+//! per-segment decisions (`auto_decisions`), and the run **asserts** the
+//! acceptance gates of the automatic selection: on every workload `auto` is
+//! never slower than the worst fixed backend, and lands within 10% of the
+//! best fixed backend's wall time (ci.sh runs this binary, so the gates are
+//! CI gates).
 
 use qturbo_bench::timing::{bench, Json};
 use qturbo_hamiltonian::models::{heisenberg_chain, mis_chain};
@@ -60,6 +66,9 @@ struct BackendResult {
     wall_median_s: f64,
     wall_min_s: f64,
     final_state: StateVector,
+    /// Per-segment decision counts in [`StepperKind::fixed`] order;
+    /// `Some` only for the `auto` backend.
+    decisions: Option<[u64; 3]>,
 }
 
 fn backend_json(result: &BackendResult, reference: &StateVector) -> Json {
@@ -69,7 +78,7 @@ fn backend_json(result: &BackendResult, reference: &StateVector) -> Json {
         "{} deviates from the Taylor reference by {deviation}",
         result.kind.name()
     );
-    Json::object(vec![
+    let mut fields = vec![
         ("backend", Json::string(result.kind.name())),
         (
             "kernel_applications",
@@ -82,10 +91,24 @@ fn backend_json(result: &BackendResult, reference: &StateVector) -> Json {
             "fidelity_vs_taylor",
             Json::Number(result.final_state.fidelity(reference)),
         ),
-    ])
+    ];
+    if let Some(decisions) = result.decisions {
+        fields.push((
+            "auto_decisions",
+            Json::object(
+                StepperKind::fixed()
+                    .into_iter()
+                    .zip(decisions)
+                    .map(|(kind, count)| (kind.name(), Json::Number(count as f64)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::object(fields)
 }
 
-/// Runs every backend over `evolve`, returning per-backend work and timing.
+/// Runs every backend (fixed plus `auto`) over `evolve`, returning
+/// per-backend work, timing, and — for `auto` — the per-segment decisions.
 fn run_backends(
     reps: usize,
     initial: &StateVector,
@@ -95,10 +118,21 @@ fn run_backends(
         .into_iter()
         .map(|kind| {
             let mut propagator = Propagator::with_stepper(kind);
-            // Count kernel applications on one untimed run.
+            // Count kernel applications (and decisions) on one untimed run.
             let mut state = initial.clone();
             evolve(&mut propagator, &mut state);
             let kernel_applications = propagator.kernel_applications();
+            let decisions = (kind == StepperKind::Auto).then(|| {
+                let mut counts = [0u64; 3];
+                for decision in propagator.segment_decisions() {
+                    let slot = StepperKind::fixed()
+                        .into_iter()
+                        .position(|fixed| fixed == *decision)
+                        .expect("decisions are fixed backends");
+                    counts[slot] += 1;
+                }
+                counts
+            });
             let final_state = state.clone();
             let sample = bench(reps, || {
                 let mut state = initial.clone();
@@ -111,6 +145,7 @@ fn run_backends(
                 wall_median_s: sample.median,
                 wall_min_s: sample.min,
                 final_state,
+                decisions,
             }
         })
         .collect()
@@ -119,8 +154,17 @@ fn run_backends(
 fn print_backends(results: &[BackendResult]) {
     let taylor = &results[0];
     for result in results {
+        let decisions = result.decisions.map_or(String::new(), |counts| {
+            let summary: Vec<String> = StepperKind::fixed()
+                .into_iter()
+                .zip(counts)
+                .filter(|(_, count)| *count > 0)
+                .map(|(kind, count)| format!("{}x{count}", kind.name()))
+                .collect();
+            format!("  [{}]", summary.join(" "))
+        });
         println!(
-            "      {:<9}  {:>8} applications ({:>5.1}x fewer)  {:>10.4}s wall ({:>5.2}x)",
+            "      {:<9}  {:>8} applications ({:>5.1}x fewer)  {:>10.4}s wall ({:>5.2}x){decisions}",
             result.kind.name(),
             result.kernel_applications,
             taylor.kernel_applications as f64 / result.kernel_applications.max(1) as f64,
@@ -128,6 +172,41 @@ fn print_backends(results: &[BackendResult]) {
             taylor.wall_median_s / result.wall_median_s.max(1e-12),
         );
     }
+}
+
+/// The acceptance gates of the automatic selection, asserted on every
+/// workload entry: `auto` must never be slower than the **worst** fixed
+/// backend, and must land within 10% of the **best** fixed backend's wall
+/// time. The gates compare the **minimum** wall time over the repetitions —
+/// the noise-robust statistic (a median from a separate 3–5-rep measurement
+/// window shifts with concurrent load and CPU-frequency changes, and `auto`
+/// runs the identical code path as its chosen backend) — plus a 2 ms
+/// absolute allowance for timer jitter on sub-10 ms runs. The reported JSON
+/// keeps both median and min.
+fn assert_auto_is_competitive(results: &[BackendResult], context: &str) {
+    let auto = results
+        .iter()
+        .find(|r| r.kind == StepperKind::Auto)
+        .expect("auto result present");
+    let fixed: Vec<&BackendResult> = results
+        .iter()
+        .filter(|r| r.kind != StepperKind::Auto)
+        .collect();
+    let best = fixed
+        .iter()
+        .map(|r| r.wall_min_s)
+        .fold(f64::INFINITY, f64::min);
+    let worst = fixed.iter().map(|r| r.wall_min_s).fold(0.0, f64::max);
+    assert!(
+        auto.wall_min_s <= worst + 0.002,
+        "{context}: auto ({:.4}s) is slower than the worst fixed backend ({worst:.4}s)",
+        auto.wall_min_s
+    );
+    assert!(
+        auto.wall_min_s <= best * 1.10 + 0.002,
+        "{context}: auto ({:.4}s) is more than 10% behind the best fixed backend ({best:.4}s)",
+        auto.wall_min_s
+    );
 }
 
 fn ramp_entry(qubits: usize) -> Json {
@@ -146,6 +225,7 @@ fn ramp_entry(qubits: usize) -> Json {
         propagator.evolve_schedule_in_place(&schedule, state);
     });
     print_backends(&results);
+    assert_auto_is_competitive(&results, &format!("{qubits}q MIS ramp"));
     let reference = results[0].final_state.clone();
     Json::object(vec![
         ("workload", Json::string("mis_ramp")),
@@ -176,6 +256,7 @@ fn quench_entry(qubits: usize) -> Json {
         propagator.evolve_in_place(&compiled, state, QUENCH_TIME);
     });
     print_backends(&results);
+    assert_auto_is_competitive(&results, &format!("{qubits}q Heisenberg quench"));
     let reference = results[0].final_state.clone();
 
     // The acceptance gate of the stepper subsystem: at least one high-order
@@ -209,7 +290,7 @@ fn quench_entry(qubits: usize) -> Json {
 
 fn main() {
     println!(
-        "stepper benchmark: Taylor vs Krylov vs Chebyshev, {} worker threads available",
+        "stepper benchmark: Taylor vs Krylov vs Chebyshev vs Auto, {} worker threads available",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
 

@@ -140,23 +140,53 @@ pub fn chebyshev_exp_coefficients(z: f64, tolerance: f64) -> Vec<f64> {
     if z == 0.0 {
         return vec![1.0];
     }
-    // Generous a-priori cap: the series has effectively converged by
-    // z + O(z^{1/3}) orders; scan up to that and truncate.
-    let cap = (z + 30.0 * (z.cbrt() + 1.0)).ceil() as usize;
-    let j = bessel_j_sequence(cap, z);
-    let turning_point = z.ceil() as usize;
-    let mut last = cap;
-    for (k, value) in j.iter().enumerate().skip(turning_point.min(cap)) {
-        if value.abs() < tolerance / 2.0 {
-            last = k;
-            break;
-        }
-    }
-    let mut coefficients: Vec<f64> = j[..=last.min(cap)].to_vec();
+    let j = bessel_j_sequence(scan_cap(z), z);
+    let mut coefficients: Vec<f64> = j[..=truncation_order(&j, z, tolerance)].to_vec();
     for value in coefficients.iter_mut().skip(1) {
         *value *= 2.0;
     }
     coefficients
+}
+
+/// Generous a-priori cap on the truncation order, shared by
+/// [`chebyshev_exp_coefficients`] and [`chebyshev_exp_order`] (their exact
+/// agreement depends on using the same cap): the series has effectively
+/// converged by `z + O(z^{1/3})` orders.
+fn scan_cap(z: f64) -> usize {
+    (z + 30.0 * (z.cbrt() + 1.0)).ceil() as usize
+}
+
+/// The truncation order shared by [`chebyshev_exp_coefficients`] and
+/// [`chebyshev_exp_order`]: the first order past the turning point `k ≈ z`
+/// where the coefficient magnitude drops below `tolerance / 2`.
+fn truncation_order(j: &[f64], z: f64, tolerance: f64) -> usize {
+    let cap = j.len() - 1;
+    let turning_point = z.ceil() as usize;
+    for (k, value) in j.iter().enumerate().skip(turning_point.min(cap)) {
+        if value.abs() < tolerance / 2.0 {
+            return k;
+        }
+    }
+    cap
+}
+
+/// Truncation order of [`chebyshev_exp_coefficients`] — i.e. the number of
+/// Hamiltonian applications a Chebyshev evolution step of spectral phase span
+/// `z` costs — without materializing the coefficient vector. Exact (it runs
+/// the same Bessel recurrence and truncation rule), so automatic
+/// backend-selection cost models can price the Chebyshev backend precisely.
+///
+/// # Panics
+///
+/// Panics if `z` is negative or not finite, or `tolerance` is not positive.
+pub fn chebyshev_exp_order(z: f64, tolerance: f64) -> usize {
+    assert!(z.is_finite() && z >= 0.0, "expansion span must be ≥ 0");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    if z == 0.0 {
+        return 0;
+    }
+    let j = bessel_j_sequence(scan_cap(z), z);
+    truncation_order(&j, z, tolerance)
 }
 
 #[cfg(test)]
@@ -258,5 +288,18 @@ mod tests {
     #[test]
     fn zero_span_is_the_constant_one() {
         assert_eq!(chebyshev_exp_coefficients(0.0, 1e-12), vec![1.0]);
+    }
+
+    #[test]
+    fn exp_order_matches_coefficient_count() {
+        for &z in &[0.0, 0.1, 1.0, 7.3, 50.0, 400.0] {
+            for &tolerance in &[1e-14, 1e-8] {
+                assert_eq!(
+                    chebyshev_exp_order(z, tolerance) + 1,
+                    chebyshev_exp_coefficients(z, tolerance).len(),
+                    "z={z}, tolerance={tolerance}"
+                );
+            }
+        }
     }
 }

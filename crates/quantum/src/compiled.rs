@@ -57,16 +57,6 @@ pub struct CompiledTerm {
 }
 
 impl CompiledTerm {
-    /// Assembles a term directly from its mask triple (used by the schedule
-    /// compiler, which owns the masks and swaps in per-segment weights).
-    pub(crate) fn from_parts(x_mask: usize, z_mask: usize, weight: Complex) -> Self {
-        CompiledTerm {
-            x_mask,
-            z_mask,
-            weight,
-        }
-    }
-
     /// Compiles `coefficient · string` into mask form.
     pub fn compile(coefficient: f64, string: &PauliString) -> Self {
         let mut x_mask = 0usize;
@@ -189,9 +179,12 @@ pub(crate) const DIAG_TABLE_MAX_QUBITS: usize = 24;
 pub struct CompiledHamiltonian {
     num_qubits: usize,
     terms: Vec<CompiledTerm>,
-    /// Pure bit-flip terms (`z_mask == 0`, real weight — plain `X` products):
-    /// the cheapest class, no sign computation at all.
-    flip_terms: Vec<(usize, f64)>,
+    /// Pure bit-flip terms (`z_mask == 0`, real weight — plain `X`
+    /// products): the cheapest class, no sign computation at all. Stored
+    /// columnar (masks and weights in separate parallel arrays) so the
+    /// kernel layout matches the shared-layout schedule path.
+    flip_masks: Vec<usize>,
+    flip_weights: Vec<f64>,
     /// Remaining off-diagonal terms, evaluated through the generic gather
     /// path (plus diagonal terms when the table was not built).
     gather_terms: Vec<CompiledTerm>,
@@ -203,6 +196,13 @@ pub struct CompiledHamiltonian {
 
 impl CompiledHamiltonian {
     /// Compiles every term of `hamiltonian` into mask form.
+    ///
+    /// When the diagonal table is built, its exact minimum and maximum are
+    /// tracked in the same fill pass and folded into the
+    /// [`spectral_bound`](CompiledHamiltonian::spectral_bound) through
+    /// [`SpectralBound::with_exact_diagonal`] — the compile-time analysis
+    /// that shrinks the Chebyshev expansion order (and informs automatic
+    /// backend selection) on detuning-dominated models.
     pub fn compile(hamiltonian: &Hamiltonian) -> Self {
         let num_qubits = hamiltonian.num_qubits();
         let terms: Vec<CompiledTerm> = hamiltonian
@@ -213,12 +213,14 @@ impl CompiledHamiltonian {
         let diagonal_count = terms.iter().filter(|t| t.x_mask == 0).count();
         let build_table =
             diagonal_count >= DIAG_TABLE_MIN_TERMS && num_qubits <= DIAG_TABLE_MAX_QUBITS;
-        let mut flip_terms = Vec::new();
+        let mut flip_masks = Vec::new();
+        let mut flip_weights = Vec::new();
         let mut gather_terms = Vec::new();
         let mut diag_table = Vec::new();
         if build_table {
             diag_table = vec![0.0f64; 1 << num_qubits];
         }
+        let mut offdiag_radius = 0.0;
         for term in &terms {
             if term.x_mask == 0 && build_table {
                 // x_mask == 0 implies no Y factors, so the weight is real.
@@ -227,20 +229,37 @@ impl CompiledHamiltonian {
                     *slot += coefficient * term.sign(basis);
                 }
             } else if term.x_mask != 0 && term.z_mask == 0 && term.weight.im == 0.0 {
-                flip_terms.push((term.x_mask, term.weight.re));
+                offdiag_radius += term.weight.re.abs();
+                flip_masks.push(term.x_mask);
+                flip_weights.push(term.weight.re);
             } else {
+                if term.x_mask != 0 {
+                    offdiag_radius += term.weight.abs();
+                }
                 gather_terms.push(*term);
             }
         }
 
-        let bound = SpectralBound::from_compiled_terms(
+        let mut bound = SpectralBound::from_compiled_terms(
             terms.iter().map(|t| (t.x_mask, t.z_mask, t.weight)),
             hamiltonian.coefficient_l1_norm() + hamiltonian.max_abs_coefficient(),
         );
+        if build_table {
+            // The table holds the complete diagonal part (including the
+            // identity shift), so its extrema give the exact diagonal
+            // spectrum — one fold over the table the fill just produced.
+            let (diag_min, diag_max) = diag_table
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            bound = bound.with_exact_diagonal(diag_min, diag_max, offdiag_radius);
+        }
         CompiledHamiltonian {
             num_qubits,
             terms,
-            flip_terms,
+            flip_masks,
+            flip_weights,
             gather_terms,
             diag_table,
             bound,
@@ -285,9 +304,12 @@ impl CompiledHamiltonian {
         FusedKernel {
             num_qubits: self.num_qubits,
             diag_table: &self.diag_table,
-            diag_terms: &[],
-            flip_terms: &self.flip_terms,
+            diag_masks: &[],
+            diag_weights: &[],
+            flip_masks: &self.flip_masks,
+            flip_weights: &self.flip_weights,
             gather_terms: &self.gather_terms,
+            gather_weights: &[],
         }
     }
 
@@ -345,31 +367,47 @@ impl CompiledHamiltonian {
 /// gather terms.
 ///
 /// Both [`CompiledHamiltonian`] (which owns a per-Hamiltonian diagonal table)
-/// and [`crate::schedule::CompiledSchedule`] (which shares a mask layout
-/// across segments and swaps per-segment weights, with no table) lower to
-/// this view, so the threaded apply kernels exist exactly once. It is also
-/// the segment handle the [`crate::stepper::Stepper`] backends evolve
-/// through: a stepper receives one `FusedKernel` per segment and drives
-/// however many `H|ψ⟩` applications its integration scheme needs.
+/// and [`crate::schedule::CompiledSchedule`] (which shares one **columnar**
+/// mask layout across segments — mask arrays live in the layout, per-segment
+/// weights in an `S × T` matrix) lower to this view, so the threaded apply
+/// kernels exist exactly once. Every term class therefore comes in two
+/// borrow shapes: masks with weights folded in (`gather_weights` empty,
+/// `CompiledTerm::weight` final) for the constant-Hamiltonian path, or masks
+/// and weights borrowed from *different* owners (layout vs weight matrix)
+/// for the schedule path — no per-segment weight-vector re-materialization.
+///
+/// It is also the segment handle the [`crate::stepper::Stepper`] backends
+/// evolve through: a stepper receives one `FusedKernel` per segment and
+/// drives however many `H|ψ⟩` applications its integration scheme needs.
 #[derive(Clone, Copy)]
 pub struct FusedKernel<'a> {
     pub(crate) num_qubits: usize,
     pub(crate) diag_table: &'a [f64],
-    /// Untabled diagonal terms as `(z_mask, weight)` pairs, evaluated on the
-    /// fly (used by schedule segments whose diagonal table was not built —
-    /// too few terms or too many qubits). Mutually exclusive with
-    /// `diag_table` in practice, though the kernel sums both if given.
-    pub(crate) diag_terms: &'a [(usize, f64)],
-    pub(crate) flip_terms: &'a [(usize, f64)],
+    /// Untabled diagonal terms, evaluated on the fly (used by schedule
+    /// segments whose diagonal table was not built — too few terms or too
+    /// many qubits). Masks come from the shared layout, weights from the
+    /// segment's weight-matrix row; both slices have equal length. Mutually
+    /// exclusive with `diag_table` in practice, though the kernel sums both
+    /// if given.
+    pub(crate) diag_masks: &'a [usize],
+    pub(crate) diag_weights: &'a [f64],
+    /// Pure bit-flip terms: `x_mask`es parallel to real weights.
+    pub(crate) flip_masks: &'a [usize],
+    pub(crate) flip_weights: &'a [f64],
+    /// Generic gather terms. When `gather_weights` is empty each term's
+    /// complex weight is final; otherwise the term's weight is its unit
+    /// `i^{y_count}` phase and the real coefficient is the parallel
+    /// `gather_weights` entry (the columnar schedule shape).
     pub(crate) gather_terms: &'a [CompiledTerm],
+    pub(crate) gather_weights: &'a [f64],
 }
 
 impl FusedKernel<'_> {
     /// `true` when the kernel has no terms at all (`H = 0`).
     pub fn is_empty(&self) -> bool {
         self.diag_table.is_empty()
-            && self.diag_terms.is_empty()
-            && self.flip_terms.is_empty()
+            && self.diag_masks.is_empty()
+            && self.flip_masks.is_empty()
             && self.gather_terms.is_empty()
     }
 
@@ -385,15 +423,22 @@ impl FusedKernel<'_> {
             // qubits (identity-extended) just wrap around the index mask.
             input[j].scale(self.diag_table[j & diag_index_mask])
         };
-        if !self.diag_terms.is_empty() {
-            acc += input[j].scale(diagonal_value(self.diag_terms, j));
+        if !self.diag_masks.is_empty() {
+            acc += input[j].scale(diagonal_value(self.diag_masks, self.diag_weights, j));
         }
-        for &(x_mask, weight) in self.flip_terms {
+        for (&x_mask, &weight) in self.flip_masks.iter().zip(self.flip_weights) {
             acc += input[j ^ x_mask].scale(weight);
         }
-        for term in self.gather_terms {
-            let i = j ^ term.x_mask;
-            acc += (term.weight * input[i]).scale(term.sign(i));
+        if self.gather_weights.is_empty() {
+            for term in self.gather_terms {
+                let i = j ^ term.x_mask;
+                acc += (term.weight * input[i]).scale(term.sign(i));
+            }
+        } else {
+            for (term, &weight) in self.gather_terms.iter().zip(self.gather_weights) {
+                let i = j ^ term.x_mask;
+                acc += (term.weight * input[i]).scale(weight * term.sign(i));
+            }
         }
         acc
     }
@@ -533,12 +578,12 @@ impl FusedKernel<'_> {
     }
 }
 
-/// `Σ_t w_t · (−1)^{parity(basis & z_t)}` — the diagonal contribution of a
-/// `(z_mask, weight)` term list at one basis index.
+/// `Σ_t w_t · (−1)^{parity(basis & z_t)}` — the diagonal contribution of
+/// parallel mask/weight columns at one basis index.
 #[inline(always)]
-pub(crate) fn diagonal_value(diag_terms: &[(usize, f64)], basis: usize) -> f64 {
+pub(crate) fn diagonal_value(diag_masks: &[usize], diag_weights: &[f64], basis: usize) -> f64 {
     let mut value = 0.0;
-    for &(z_mask, weight) in diag_terms {
+    for (&z_mask, &weight) in diag_masks.iter().zip(diag_weights) {
         value += weight * (1.0 - 2.0 * ((basis & z_mask).count_ones() & 1) as f64);
     }
     value

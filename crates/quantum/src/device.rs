@@ -122,7 +122,8 @@ pub struct EmulatedDevice {
 
 impl EmulatedDevice {
     /// Creates a device with the given noise model and RNG seed (default
-    /// evolution options — the Taylor backend).
+    /// evolution options — [`crate::StepperKind::Auto`], which picks the
+    /// cheapest backend per schedule segment).
     pub fn new(noise: NoiseModel, seed: u64) -> Self {
         EmulatedDevice {
             noise,

@@ -16,7 +16,9 @@
 //!   share the layouts outright),
 //! * [`stepper`] — the pluggable time-evolution backends: the Taylor
 //!   reference, an adaptive Lanczos–Krylov propagator, and a Chebyshev
-//!   expansion, selected anywhere via [`StepperKind`] / [`EvolveOptions`],
+//!   expansion, selected anywhere via [`StepperKind`] / [`EvolveOptions`] —
+//!   with [`StepperKind::Auto`] (the default) pricing the backends per
+//!   segment through an [`AutoCostModel`],
 //! * [`observable`] — the `Z_avg` / `ZZ_avg` metrics of the paper's §7.4,
 //!   evaluated by one fused sweep over the probabilities,
 //! * [`device`] — an [`EmulatedDevice`] that runs compiled pulse segments with
@@ -51,4 +53,4 @@ pub use observable::DiagonalObservables;
 pub use propagate::Propagator;
 pub use schedule::CompiledSchedule;
 pub use state::StateVector;
-pub use stepper::{EvolveOptions, SpectralBound, Stepper, StepperKind};
+pub use stepper::{AutoCostModel, EvolveOptions, SpectralBound, Stepper, StepperKind};

@@ -7,8 +7,10 @@
 //! [`crate::stepper`]: the scaled-Taylor reference, the adaptive
 //! Lanczos–Krylov propagator, or the Chebyshev expansion — selected per
 //! [`Propagator`] (or per call through the `*_with` free functions) via
-//! [`EvolveOptions`]. This plays the role QuTiP / Bloqade play in the
-//! paper's evaluation.
+//! [`EvolveOptions`]. The default, [`StepperKind::Auto`], re-decides **per
+//! segment** from the segment's spectral bound and duration (see
+//! [Choosing a stepper](crate::stepper#choosing-a-stepper)). This plays the
+//! role QuTiP / Bloqade play in the paper's evaluation.
 //!
 //! # Hot path
 //!
@@ -50,11 +52,11 @@
 //! layout-reuse win too.
 
 use crate::compiled::CompiledHamiltonian;
-use crate::schedule::CompiledSchedule;
+use crate::schedule::{CompiledSchedule, DiagTableScratch};
 use crate::state::StateVector;
 use crate::stepper::{
-    ChebyshevStepper, EvolveOptions, KrylovStepper, Stepper, StepperKind, TaylorStepper,
-    MAX_STEP_PHASE, MAX_TAYLOR_ORDER,
+    ChebyshevStepper, EvolveOptions, KrylovStepper, SpectralBound, Stepper, StepperKind,
+    TaylorStepper, MAX_STEP_PHASE, MAX_TAYLOR_ORDER,
 };
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::Complex;
@@ -64,14 +66,23 @@ use qturbo_math::Complex;
 /// [`crate::stepper::EvolveOptions::tolerance`]'s default).
 const TAYLOR_TOLERANCE: f64 = 1e-14;
 
+/// Upper bound on the per-segment decisions a [`Propagator`] records between
+/// resets (see [`Propagator::segment_decisions`]): enough for any schedule
+/// introspection while keeping a never-reset propagator's memory bounded.
+pub const MAX_RECORDED_DECISIONS: usize = 1 << 16;
+
 /// A reusable propagation engine: owns the scratch buffers of every stepper
 /// backend, so repeated evolutions (piecewise segments, noise-model sweeps,
 /// benchmark repetitions) allocate nothing after the first use at a given
 /// register size.
 ///
 /// The backend is selected at construction ([`Propagator::with_options`],
-/// [`Propagator::with_stepper`]) or swapped later ([`Propagator::set_stepper`]);
-/// the default is the Taylor reference.
+/// [`Propagator::with_stepper`]) or swapped later
+/// ([`Propagator::set_stepper`]); the default is [`StepperKind::Auto`],
+/// which re-decides **per segment** from each segment's [`SpectralBound`]
+/// and duration. [`Propagator::segment_decisions`] records which fixed
+/// backend integrated each segment since the last reset — the introspection
+/// the cost-model regression tests and benchmarks read.
 ///
 /// # Example
 ///
@@ -88,6 +99,7 @@ const TAYLOR_TOLERANCE: f64 = 1e-14;
 /// propagator.evolve_in_place(&compiled, &mut state, 0.5);
 /// assert!((state.norm() - 1.0).abs() < 1e-10);
 /// assert!(propagator.kernel_applications() > 0);
+/// assert_eq!(propagator.segment_decisions(), &[StepperKind::Krylov]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Propagator {
@@ -95,6 +107,10 @@ pub struct Propagator {
     taylor: TaylorStepper,
     krylov: KrylovStepper,
     chebyshev: ChebyshevStepper,
+    /// The fixed backend that integrated each segment, in evolution order
+    /// since the last reset (for `Auto`, the per-segment cost-model choice;
+    /// for a fixed stepper, that stepper).
+    decisions: Vec<StepperKind>,
 }
 
 impl Default for Propagator {
@@ -104,8 +120,8 @@ impl Default for Propagator {
 }
 
 impl Propagator {
-    /// Creates a propagator with the default options (Taylor backend);
-    /// scratch buffers are resized on first use.
+    /// Creates a propagator with the default options (per-segment automatic
+    /// backend selection); scratch buffers are resized on first use.
     pub fn new() -> Self {
         Propagator::with_options(EvolveOptions::default())
     }
@@ -117,6 +133,7 @@ impl Propagator {
             taylor: TaylorStepper::new(options.tolerance),
             krylov: KrylovStepper::new(options.tolerance),
             chebyshev: ChebyshevStepper::new(options.tolerance),
+            decisions: Vec::new(),
         }
     }
 
@@ -144,19 +161,54 @@ impl Propagator {
             + self.chebyshev.kernel_applications()
     }
 
-    /// Resets the kernel-application counters of every backend.
+    /// Per-backend `H|ψ⟩` kernel applications since construction or the last
+    /// reset, in [`StepperKind::fixed`] order — shows where `Auto` actually
+    /// spent the work.
+    pub fn kernel_applications_by_backend(&self) -> [(StepperKind, u64); 3] {
+        [
+            (StepperKind::Taylor, self.taylor.kernel_applications()),
+            (StepperKind::Krylov, self.krylov.kernel_applications()),
+            (StepperKind::Chebyshev, self.chebyshev.kernel_applications()),
+        ]
+    }
+
+    /// The fixed backend that integrated each segment, in evolution order
+    /// since construction or the last
+    /// [`reset_kernel_applications`](Propagator::reset_kernel_applications):
+    /// under [`StepperKind::Auto`] the per-segment cost-model decision,
+    /// under a fixed stepper that stepper. Zero-duration and empty segments
+    /// are skipped and record nothing.
+    ///
+    /// Recording is capped at [`MAX_RECORDED_DECISIONS`] segments per reset
+    /// so a long-lived propagator (e.g. inside a device sweeping many noise
+    /// realizations without resetting) holds bounded memory; the kernel
+    /// application counters stay exact past the cap.
+    pub fn segment_decisions(&self) -> &[StepperKind] {
+        &self.decisions
+    }
+
+    /// Resets the kernel-application counters of every backend and the
+    /// recorded per-segment decisions.
     pub fn reset_kernel_applications(&mut self) {
         self.taylor.reset_kernel_applications();
         self.krylov.reset_kernel_applications();
         self.chebyshev.reset_kernel_applications();
+        self.decisions.clear();
     }
 
-    /// The active stepper backend.
-    fn stepper_mut(&mut self) -> &mut dyn Stepper {
-        match self.options.stepper {
+    /// Resolves the backend for one segment (the cost-model choice under
+    /// `Auto`), records the decision (up to [`MAX_RECORDED_DECISIONS`]), and
+    /// returns the stepper.
+    fn resolve_stepper(&mut self, bound: &SpectralBound, duration: f64) -> &mut dyn Stepper {
+        let kind = self.options.resolve(bound, duration);
+        if self.decisions.len() < MAX_RECORDED_DECISIONS {
+            self.decisions.push(kind);
+        }
+        match kind {
             StepperKind::Taylor => &mut self.taylor,
             StepperKind::Krylov => &mut self.krylov,
             StepperKind::Chebyshev => &mut self.chebyshev,
+            StepperKind::Auto => unreachable!("resolve returns a fixed backend"),
         }
     }
 
@@ -195,8 +247,13 @@ impl Propagator {
         }
         let kernel = hamiltonian.kernel();
         let bound = hamiltonian.spectral_bound();
-        self.stepper_mut()
-            .evolve_segment(kernel, &bound, state, time, reference_norm);
+        self.resolve_stepper(&bound, time).evolve_segment(
+            kernel,
+            &bound,
+            state,
+            time,
+            reference_norm,
+        );
     }
 
     /// Evolves `state` in place through a sequence of `(Hamiltonian,
@@ -247,9 +304,9 @@ impl Propagator {
         }
         // Scratch for the per-segment diagonal tables: allocated once on the
         // first diagonal-bearing segment, then updated incrementally (only
-        // the weight deltas of changed terms) for the rest of the run.
-        let mut diag_scratch: Vec<f64> = Vec::new();
-        let mut materialized: Option<usize> = None;
+        // the weight deltas of changed terms) for the rest of the run. The
+        // fill also maintains the table's exact (min, max).
+        let mut diag_scratch = DiagTableScratch::new();
         for index in 0..schedule.num_segments() {
             let duration = schedule.segment_duration(index);
             if duration == 0.0 {
@@ -257,16 +314,34 @@ impl Propagator {
             }
             let use_table = schedule.wants_diag_table(index);
             if use_table {
-                schedule.update_diag_table(index, &mut materialized, &mut diag_scratch);
+                schedule.update_diag_table(index, &mut diag_scratch);
             }
             let kernel =
-                schedule.segment_kernel(index, if use_table { &diag_scratch } else { &[] });
+                schedule.segment_kernel(index, if use_table { &diag_scratch.table } else { &[] });
             if kernel.is_empty() {
                 continue;
             }
-            let bound = schedule.segment_bound(index);
-            self.stepper_mut()
-                .evolve_segment(kernel, &bound, state, duration, reference_norm);
+            // With a materialized table the exact diagonal range tightens
+            // the triangle-inequality enclosure — fewer Chebyshev orders on
+            // detuning-dominated segments, and a better-informed automatic
+            // backend choice.
+            let bound = if use_table {
+                let (diag_min, diag_max) = diag_scratch.range;
+                schedule.segment_bound(index).with_exact_diagonal(
+                    diag_min,
+                    diag_max,
+                    schedule.segment_offdiag_radius(index),
+                )
+            } else {
+                schedule.segment_bound(index)
+            };
+            self.resolve_stepper(&bound, duration).evolve_segment(
+                kernel,
+                &bound,
+                state,
+                duration,
+                reference_norm,
+            );
         }
     }
 }
@@ -316,7 +391,8 @@ pub fn apply_hamiltonian_naive(hamiltonian: &Hamiltonian, state: &StateVector) -
 /// `|ψ(t)⟩ = exp(−iHt)|ψ(0)⟩`.
 ///
 /// Convenience wrapper over [`Propagator::evolve_in_place`] with the default
-/// (Taylor) backend; use [`evolve_with`] to pick another.
+/// options (automatic backend selection); use [`evolve_with`] to pin a
+/// backend.
 ///
 /// # Panics
 ///

@@ -1,5 +1,5 @@
-//! Compiled schedules: one mask layout shared across the segments of a
-//! piecewise-constant (time-dependent) Hamiltonian.
+//! Compiled schedules: one **columnar** mask layout shared across the
+//! segments of a piecewise-constant (time-dependent) Hamiltonian.
 //!
 //! # Why
 //!
@@ -13,22 +13,31 @@
 //!
 //! [`CompiledSchedule`] compiles the *structure* once per run of
 //! structure-equal segments — the `(x_mask, z_mask, i^{y_count})` triple and
-//! flip/gather classification of every term, in the Hamiltonian's canonical
-//! term order — and then materializes each segment as a per-term **weight
-//! vector** in `O(#terms)`: coefficient swaps, no `2ⁿ`-sized work at all.
-//! Runs are detected with [`Hamiltonian::structure_fingerprint`] (confirmed
-//! by [`Hamiltonian::same_structure`]), so schedules that alternate between
-//! a few structures still reuse each layout.
+//! diag/flip/gather classification of every term — and stores it
+//! **columnar**: one shared mask array per layout, plus an `S × T` weight
+//! matrix holding every segment's real coefficients (one `f64` per term per
+//! segment, in `[diag | flip | gather]` column order). Materializing a
+//! segment is an `O(#terms)` row fill; *nothing* mask-shaped is rebuilt per
+//! segment, and the per-segment memory is one scalar per term instead of a
+//! re-materialized `(mask, weight)` vector — the layout batched
+//! multi-segment kernels will want. Runs are detected with
+//! [`Hamiltonian::structure_fingerprint`] (confirmed by
+//! [`Hamiltonian::same_structure`]), so schedules that alternate between a
+//! few structures still reuse each layout.
 //!
 //! The per-segment kernels lower to the same threaded fused write pass the
-//! constant-Hamiltonian path uses (`FusedKernel` in [`crate::compiled`]).
-//! Diagonal terms keep their table fast path: at *evolve* time the segment's
-//! diagonal weights are folded into a propagator-owned scratch table — one
-//! `O(#diag · 2ⁿ)` fill per segment into a buffer reused across all of them,
-//! instead of recompile-per-segment's per-segment allocation plus full term
-//! re-classification. Compile-time segment cost stays strictly `O(#terms)`
-//! — see `BENCH_schedule.json` for both the compile-portion and end-to-end
-//! evolution comparisons.
+//! constant-Hamiltonian path uses (`FusedKernel` in [`crate::compiled`]),
+//! which borrows masks from the layout and weights from the matrix row
+//! directly. Diagonal terms keep their table fast path: at *evolve* time the
+//! segment's diagonal weight columns are folded into a propagator-owned
+//! scratch table — one `O(#diag · 2ⁿ)` fill per segment into a buffer reused
+//! across all of them, updated **incrementally** by weight deltas within a
+//! structure run. The fill also tracks the table's exact minimum and
+//! maximum, which tightens the segment's [`SpectralBound`] (see
+//! [`SpectralBound::with_exact_diagonal`]) — the input both the Chebyshev
+//! order and the automatic backend selection feed on. Compile-time segment
+//! cost stays strictly `O(#terms)` — see `BENCH_schedule.json` for both the
+//! compile-portion and end-to-end evolution comparisons.
 //!
 //! # Example
 //!
@@ -49,6 +58,7 @@
 //! let schedule = CompiledSchedule::compile_piecewise(&ramp);
 //! assert_eq!(schedule.num_segments(), 50);
 //! assert_eq!(schedule.num_layouts(), 1); // one shared mask layout
+//! assert_eq!(schedule.segment_weight_row(0).len(), 2); // one f64 per term
 //!
 //! let mut state = StateVector::zero_state(2);
 //! Propagator::new().evolve_schedule_in_place(&schedule, &mut state);
@@ -58,68 +68,83 @@
 use crate::compiled::{CompiledTerm, FusedKernel};
 use crate::stepper::SpectralBound;
 use qturbo_hamiltonian::{Hamiltonian, PauliString, PiecewiseHamiltonian};
-use qturbo_math::Complex;
 use std::sync::Arc;
 
-/// Structural classification of one term of a layout, in canonical term
-/// order. The weight-independent part of a [`CompiledTerm`].
-#[derive(Debug, Clone, PartialEq)]
-enum TermClass {
-    /// Diagonal (`Z`-products and the identity): `x_mask == 0` implies no
-    /// `Y` factors, so the weight is the real coefficient. Folded into a
-    /// propagator-owned scratch table at evolve time (one `O(2ⁿ)` fill per
-    /// segment, reusing the buffer — the *compile*-time swap stays
-    /// `O(#terms)`).
-    Diag { z_mask: usize },
-    /// Pure bit-flip (`X`-products): `z_mask == 0` implies no `Y` factors, so
-    /// the weight is always the real coefficient.
-    Flip { x_mask: usize },
-    /// Everything else: weight is `i^{y_count} · coefficient`.
-    Gather {
-        x_mask: usize,
-        z_mask: usize,
-        y_phase: Complex,
-    },
-}
-
 /// The shared structural layout of one run of structure-equal segments: the
-/// canonical Pauli strings plus their mask classification.
+/// canonical Pauli strings plus their columnar mask classification.
+///
+/// Weight-matrix rows for this layout follow `[diag | flip | gather]` column
+/// order; `slots` maps each canonical term index to its column.
 #[derive(Debug, Clone, PartialEq)]
 struct ScheduleLayout {
     fingerprint: u64,
     strings: Vec<PauliString>,
-    classes: Vec<TermClass>,
+    /// `z_mask` per diagonal term (`Z`-products and the identity;
+    /// `x_mask == 0` implies no `Y` factors, so weights are real).
+    diag_masks: Vec<usize>,
+    /// `x_mask` per pure bit-flip term (`X`-products; `z_mask == 0` implies
+    /// no `Y` factors, so weights are real).
+    flip_masks: Vec<usize>,
+    /// Remaining terms as unit-coefficient mask triples: the stored weight
+    /// is the `i^{y_count}` phase alone; the segment's real coefficient
+    /// lives in the weight matrix.
+    gather_terms: Vec<CompiledTerm>,
+    /// Canonical term index → weight-row column.
+    slots: Vec<usize>,
 }
 
 impl ScheduleLayout {
     fn build(hamiltonian: &Hamiltonian) -> Self {
+        // First pass: classify each term and remember its index within its
+        // class; classes are concatenated `[diag | flip | gather]` once the
+        // class sizes are known.
+        enum Class {
+            Diag,
+            Flip,
+            Gather,
+        }
         let mut strings = Vec::with_capacity(hamiltonian.num_terms());
-        let mut classes = Vec::with_capacity(hamiltonian.num_terms());
+        let mut diag_masks = Vec::new();
+        let mut flip_masks = Vec::new();
+        let mut gather_terms = Vec::new();
+        let mut placements = Vec::with_capacity(hamiltonian.num_terms());
         for (_, string) in hamiltonian.terms() {
             let unit = CompiledTerm::compile(1.0, string);
-            let class = if unit.x_mask() == 0 {
-                TermClass::Diag {
-                    z_mask: unit.z_mask(),
-                }
+            if unit.x_mask() == 0 {
+                placements.push((Class::Diag, diag_masks.len()));
+                diag_masks.push(unit.z_mask());
             } else if unit.z_mask() == 0 {
-                TermClass::Flip {
-                    x_mask: unit.x_mask(),
-                }
+                placements.push((Class::Flip, flip_masks.len()));
+                flip_masks.push(unit.x_mask());
             } else {
-                TermClass::Gather {
-                    x_mask: unit.x_mask(),
-                    z_mask: unit.z_mask(),
-                    y_phase: unit.weight(),
-                }
-            };
+                placements.push((Class::Gather, gather_terms.len()));
+                gather_terms.push(unit);
+            }
             strings.push(string.clone());
-            classes.push(class);
         }
+        let flip_base = diag_masks.len();
+        let gather_base = flip_base + flip_masks.len();
+        let slots = placements
+            .into_iter()
+            .map(|(class, index)| match class {
+                Class::Diag => index,
+                Class::Flip => flip_base + index,
+                Class::Gather => gather_base + index,
+            })
+            .collect();
         ScheduleLayout {
             fingerprint: hamiltonian.structure_fingerprint(),
             strings,
-            classes,
+            diag_masks,
+            flip_masks,
+            gather_terms,
+            slots,
         }
+    }
+
+    /// Number of weight-matrix columns (= terms) of this layout.
+    fn num_columns(&self) -> usize {
+        self.diag_masks.len() + self.flip_masks.len() + self.gather_terms.len()
     }
 
     /// Exact structure match (the fingerprint is only a pre-filter).
@@ -132,20 +157,25 @@ impl ScheduleLayout {
     }
 }
 
-/// One segment materialized against its layout: the per-term weights (in the
-/// layout's classified order), the duration, and the step-sizing strength.
+/// One segment's metadata: which layout and weight-matrix row it reads, its
+/// duration, and the compile-time spectral facts.
 #[derive(Debug, Clone, PartialEq)]
 struct CompiledSegment {
     layout: usize,
+    /// Row index within the layout's weight matrix.
+    row: usize,
     duration: f64,
+    /// Triangle-inequality enclosure; tightened with the exact diagonal
+    /// range at evolve time whenever the diagonal table is materialized.
     bound: SpectralBound,
-    diag_terms: Vec<(usize, f64)>,
-    flip_terms: Vec<(usize, f64)>,
-    gather_terms: Vec<CompiledTerm>,
+    /// `Σ|w|` over the off-diagonal (flip + gather) terms — the widening the
+    /// exact diagonal interval needs to stay a rigorous enclosure.
+    offdiag_radius: f64,
 }
 
-/// A piecewise-constant Hamiltonian compiled **once**: shared mask layouts
-/// per structure run, per-segment weight vectors swapped in `O(#terms)`.
+/// A piecewise-constant Hamiltonian compiled **once**: shared columnar mask
+/// layouts per structure run, plus an `S × T` weight matrix filled in
+/// `O(#terms)` per segment.
 ///
 /// Drive it with [`Propagator::evolve_schedule_in_place`](crate::Propagator::evolve_schedule_in_place)
 /// or the [`crate::propagate::evolve_schedule`] convenience wrapper. The
@@ -160,12 +190,16 @@ pub struct CompiledSchedule {
     /// view: a global amplitude scale changes no structure, so the layouts
     /// are reference-counted rather than cloned.
     layouts: Arc<Vec<ScheduleLayout>>,
+    /// Per layout, the row-major `S_l × T_l` weight matrix (`S_l` segments
+    /// using the layout, `T_l` terms). Owned per view — this is the only
+    /// `O(S · T)` state, one `f64` per term per segment.
+    weights: Vec<Vec<f64>>,
     segments: Vec<CompiledSegment>,
 }
 
 impl CompiledSchedule {
     /// Compiles a sequence of `(Hamiltonian, duration)` segments into shared
-    /// layouts plus per-segment weight vectors.
+    /// columnar layouts plus the weight matrix.
     ///
     /// Consecutive (and non-consecutive) segments whose Hamiltonians share
     /// their term structure reuse one layout; a fully structure-uniform
@@ -182,6 +216,7 @@ impl CompiledSchedule {
             .max()
             .unwrap_or(0);
         let mut layouts: Vec<ScheduleLayout> = Vec::new();
+        let mut weights: Vec<Vec<f64>> = Vec::new();
         let mut compiled = Vec::with_capacity(segments.len());
         for (hamiltonian, duration) in segments {
             assert!(
@@ -194,11 +229,13 @@ impl CompiledSchedule {
                 .position(|l| l.fingerprint == fingerprint && l.matches(hamiltonian))
                 .unwrap_or_else(|| {
                     layouts.push(ScheduleLayout::build(hamiltonian));
+                    weights.push(Vec::new());
                     layouts.len() - 1
                 });
-            compiled.push(Self::build_segment(
+            compiled.push(Self::fill_row(
                 layout,
                 &layouts[layout],
+                &mut weights[layout],
                 hamiltonian,
                 *duration,
             ));
@@ -206,6 +243,7 @@ impl CompiledSchedule {
         CompiledSchedule {
             num_qubits,
             layouts: Arc::new(layouts),
+            weights,
             segments: compiled,
         }
     }
@@ -220,53 +258,45 @@ impl CompiledSchedule {
         Self::compile(&segments)
     }
 
-    /// The `O(#terms)` weight swap: fills the segment's flip/gather weight
-    /// vectors by zipping the Hamiltonian's canonical coefficients with the
-    /// layout's structural classification. No `2ⁿ`-sized work.
-    fn build_segment(
+    /// The `O(#terms)` weight swap: appends one row to the layout's weight
+    /// matrix by scattering the Hamiltonian's canonical coefficients through
+    /// the layout's column slots. No `2ⁿ`-sized and no mask-sized work.
+    fn fill_row(
         layout_index: usize,
         layout: &ScheduleLayout,
+        matrix: &mut Vec<f64>,
         hamiltonian: &Hamiltonian,
         duration: f64,
     ) -> CompiledSegment {
-        let mut diag_terms = Vec::new();
-        let mut flip_terms = Vec::new();
-        let mut gather_terms = Vec::new();
-        // Spectral enclosure, accumulated alongside the weight swap: identity
+        let columns = layout.num_columns();
+        let row = matrix.len() / columns.max(1);
+        let base = matrix.len();
+        matrix.resize(base + columns, 0.0);
+        // Spectral enclosure, accumulated alongside the row fill: identity
         // terms shift the center, everything else widens the radius (see
-        // [`SpectralBound`]).
+        // [`SpectralBound`]); off-diagonal terms are tracked separately so
+        // the exact diagonal range can replace the diagonal contribution at
+        // evolve time.
         let mut center = 0.0;
         let mut radius = 0.0;
-        for ((coefficient, _), class) in hamiltonian.terms().zip(&layout.classes) {
-            match class {
-                TermClass::Diag { z_mask } => {
-                    if *z_mask == 0 {
-                        center += coefficient;
-                    } else {
-                        radius += coefficient.abs();
-                    }
-                    diag_terms.push((*z_mask, coefficient));
-                }
-                TermClass::Flip { x_mask } => {
+        let mut offdiag_radius = 0.0;
+        let flip_base = layout.diag_masks.len();
+        for ((coefficient, _), &slot) in hamiltonian.terms().zip(&layout.slots) {
+            matrix[base + slot] = coefficient;
+            if slot < flip_base {
+                if layout.diag_masks[slot] == 0 {
+                    center += coefficient;
+                } else {
                     radius += coefficient.abs();
-                    flip_terms.push((*x_mask, coefficient));
                 }
-                TermClass::Gather {
-                    x_mask,
-                    z_mask,
-                    y_phase,
-                } => {
-                    radius += coefficient.abs();
-                    gather_terms.push(CompiledTerm::from_parts(
-                        *x_mask,
-                        *z_mask,
-                        y_phase.scale(coefficient),
-                    ));
-                }
+            } else {
+                radius += coefficient.abs();
+                offdiag_radius += coefficient.abs();
             }
         }
         CompiledSegment {
             layout: layout_index,
+            row,
             duration,
             bound: SpectralBound {
                 center,
@@ -276,9 +306,7 @@ impl CompiledSchedule {
                 step_strength: hamiltonian.coefficient_l1_norm()
                     + hamiltonian.max_abs_coefficient(),
             },
-            diag_terms,
-            flip_terms,
-            gather_terms,
+            offdiag_radius,
         }
     }
 
@@ -327,8 +355,11 @@ impl CompiledSchedule {
         self.segments[index].bound.step_strength
     }
 
-    /// The spectral bound of segment `index` (center, radius, step
-    /// strength), from which the steppers size their work.
+    /// The compile-time spectral bound of segment `index` (center, radius,
+    /// step strength), from which the steppers size their work. This is the
+    /// `O(#terms)` triangle-inequality enclosure; the evolve loop tightens
+    /// it with the exact diagonal range whenever the segment's diagonal
+    /// table is materialized.
     ///
     /// # Panics
     ///
@@ -337,12 +368,33 @@ impl CompiledSchedule {
         self.segments[index].bound
     }
 
+    /// `Σ|w|` over segment `index`'s off-diagonal (flip + gather) terms —
+    /// the widening [`SpectralBound::with_exact_diagonal`] needs.
+    pub(crate) fn segment_offdiag_radius(&self, index: usize) -> f64 {
+        self.segments[index].offdiag_radius
+    }
+
+    /// Segment `index`'s weight-matrix row: one real coefficient per term in
+    /// the layout's `[diag | flip | gather]` column order (within each
+    /// class, terms keep the Hamiltonian's canonical term order). Segments
+    /// sharing a layout index into the same `S × T` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn segment_weight_row(&self, index: usize) -> &[f64] {
+        let segment = &self.segments[index];
+        let columns = self.layouts[segment.layout].num_columns();
+        &self.weights[segment.layout][segment.row * columns..(segment.row + 1) * columns]
+    }
+
     /// A view of this schedule with every coefficient multiplied by `scale`
     /// — the shape of a per-run global amplitude miscalibration. The term
     /// *structure* is untouched, so the mask layouts are shared with the
     /// original (`Arc`, no structural work, no `2ⁿ`-sized work): the swap is
-    /// `O(#segments · #terms)` over the weight vectors alone. This is what
-    /// lets [`crate::EmulatedDevice`] compile a schedule once and reuse the
+    /// `O(#segments · #terms)` over the weight matrix alone — one
+    /// multiplication per scalar. This is what lets
+    /// [`crate::EmulatedDevice`] compile a schedule once and reuse the
     /// layout across every noise realization.
     ///
     /// # Panics
@@ -350,43 +402,30 @@ impl CompiledSchedule {
     /// Panics if `scale` is not finite.
     pub fn scaled_weights(&self, scale: f64) -> CompiledSchedule {
         assert!(scale.is_finite(), "amplitude scale must be finite");
+        let weights = self
+            .weights
+            .iter()
+            .map(|matrix| matrix.iter().map(|w| w * scale).collect())
+            .collect();
         let segments = self
             .segments
             .iter()
             .map(|segment| CompiledSegment {
                 layout: segment.layout,
+                row: segment.row,
                 duration: segment.duration,
                 bound: SpectralBound {
                     center: segment.bound.center * scale,
                     radius: segment.bound.radius * scale.abs(),
                     step_strength: segment.bound.step_strength * scale.abs(),
                 },
-                diag_terms: segment
-                    .diag_terms
-                    .iter()
-                    .map(|&(z_mask, w)| (z_mask, w * scale))
-                    .collect(),
-                flip_terms: segment
-                    .flip_terms
-                    .iter()
-                    .map(|&(x_mask, w)| (x_mask, w * scale))
-                    .collect(),
-                gather_terms: segment
-                    .gather_terms
-                    .iter()
-                    .map(|term| {
-                        CompiledTerm::from_parts(
-                            term.x_mask(),
-                            term.z_mask(),
-                            term.weight().scale(scale),
-                        )
-                    })
-                    .collect(),
+                offdiag_radius: segment.offdiag_radius * scale.abs(),
             })
             .collect();
         CompiledSchedule {
             num_qubits: self.num_qubits,
             layouts: Arc::clone(&self.layouts),
+            weights,
             segments,
         }
     }
@@ -402,52 +441,85 @@ impl CompiledSchedule {
     /// (same thresholds as
     /// [`CompiledHamiltonian`](crate::compiled::CompiledHamiltonian)).
     pub(crate) fn wants_diag_table(&self, index: usize) -> bool {
-        self.segments[index].diag_terms.len() >= crate::compiled::DIAG_TABLE_MIN_TERMS
+        self.layouts[self.segments[index].layout].diag_masks.len()
+            >= crate::compiled::DIAG_TABLE_MIN_TERMS
             && self.num_qubits <= crate::compiled::DIAG_TABLE_MAX_QUBITS
     }
 
     /// Materializes segment `index`'s diagonal table into `scratch`, reusing
-    /// the buffer across segments (allocation happens once).
+    /// the buffer across segments (allocation happens once), and records the
+    /// table's exact `(min, max)` — the input for the tightened per-segment
+    /// [`SpectralBound`].
     ///
-    /// `materialized` tracks which segment's table currently occupies the
-    /// scratch. When the previous and current segments share a layout —
-    /// which guarantees an identical diagonal mask list, and holds for every
-    /// segment of a structure run — the table is updated **incrementally**
-    /// by the weight deltas, one `O(2ⁿ)` pass per *changed* term only. A
+    /// `scratch.materialized` tracks which segment's table currently
+    /// occupies the buffer. When the previous and current segments share a
+    /// layout — which guarantees an identical diagonal mask list, and holds
+    /// for every segment of a structure run — the table is updated
+    /// **incrementally** by the weight deltas, one `O(2ⁿ)` pass per
+    /// *changed* term only; the min/max fold rides along with the last
+    /// delta pass, so an unchanged-diagonal segment pays nothing at all. A
     /// ramp that sweeps a detuning while the couplings stay constant (the
     /// MIS annealing shape) touches a fraction of the diagonal terms per
     /// segment; the constant ones cost nothing.
-    pub(crate) fn update_diag_table(
-        &self,
-        index: usize,
-        materialized: &mut Option<usize>,
-        scratch: &mut Vec<f64>,
-    ) {
-        let terms = &self.segments[index].diag_terms;
-        let incremental = materialized
-            .is_some_and(|prev| self.segments[prev].layout == self.segments[index].layout);
+    pub(crate) fn update_diag_table(&self, index: usize, scratch: &mut DiagTableScratch) {
+        let segment = &self.segments[index];
+        let layout = &self.layouts[segment.layout];
+        let diag_count = layout.diag_masks.len();
+        let row = self.segment_weight_row(index);
+        let diag_weights = &row[..diag_count];
+        let incremental = scratch
+            .materialized
+            .is_some_and(|prev| self.segments[prev].layout == segment.layout);
         if incremental {
-            let prev_terms = &self.segments[materialized.unwrap()].diag_terms;
-            for (&(z_mask, new_weight), &(_, old_weight)) in terms.iter().zip(prev_terms) {
-                let delta = new_weight - old_weight;
+            let prev_diag = &self.segment_weight_row(scratch.materialized.unwrap())[..diag_count];
+            // Only columns whose weight actually moved cost a pass; the
+            // min/max fold rides along with the last one (each pass visits
+            // every slot, so the last pass sees final values).
+            let changed = diag_weights
+                .iter()
+                .zip(prev_diag)
+                .filter(|(new, old)| *new - *old != 0.0)
+                .count();
+            let mut pass = 0usize;
+            for (&z_mask, (new, old)) in layout
+                .diag_masks
+                .iter()
+                .zip(diag_weights.iter().zip(prev_diag))
+            {
+                let delta = new - old;
                 if delta == 0.0 {
                     continue;
                 }
-                for (basis, slot) in scratch.iter_mut().enumerate() {
+                pass += 1;
+                let track_range = pass == changed;
+                let mut range = (f64::INFINITY, f64::NEG_INFINITY);
+                for (basis, slot) in scratch.table.iter_mut().enumerate() {
                     *slot += delta * (1.0 - 2.0 * ((basis & z_mask).count_ones() & 1) as f64);
+                    if track_range {
+                        range = (range.0.min(*slot), range.1.max(*slot));
+                    }
+                }
+                if track_range {
+                    scratch.range = range;
                 }
             }
         } else {
-            scratch.clear();
-            scratch.resize(1 << self.num_qubits, 0.0);
-            for (basis, slot) in scratch.iter_mut().enumerate() {
-                *slot = crate::compiled::diagonal_value(terms, basis);
+            scratch.table.clear();
+            scratch.table.resize(1 << self.num_qubits, 0.0);
+            let mut range = (f64::INFINITY, f64::NEG_INFINITY);
+            for (basis, slot) in scratch.table.iter_mut().enumerate() {
+                let value =
+                    crate::compiled::diagonal_value(&layout.diag_masks, diag_weights, basis);
+                range = (range.0.min(value), range.1.max(value));
+                *slot = value;
             }
+            scratch.range = range;
         }
-        *materialized = Some(index);
+        scratch.materialized = Some(index);
     }
 
-    /// The fused-kernel view of segment `index`.
+    /// The fused-kernel view of segment `index`: masks borrowed from the
+    /// shared layout, weights from the segment's weight-matrix row.
     ///
     /// `diag_table` must be the table materialized by
     /// [`update_diag_table`](CompiledSchedule::update_diag_table) when
@@ -460,16 +532,45 @@ impl CompiledSchedule {
         diag_table: &'a [f64],
     ) -> FusedKernel<'a> {
         let segment = &self.segments[index];
+        let layout = &self.layouts[segment.layout];
+        let row = self.segment_weight_row(index);
+        let flip_base = layout.diag_masks.len();
+        let gather_base = flip_base + layout.flip_masks.len();
+        let (diag_masks, diag_weights): (&[usize], &[f64]) = if diag_table.is_empty() {
+            (&layout.diag_masks, &row[..flip_base])
+        } else {
+            (&[], &[])
+        };
         FusedKernel {
             num_qubits: self.num_qubits,
             diag_table,
-            diag_terms: if diag_table.is_empty() {
-                &segment.diag_terms
-            } else {
-                &[]
-            },
-            flip_terms: &segment.flip_terms,
-            gather_terms: &segment.gather_terms,
+            diag_masks,
+            diag_weights,
+            flip_masks: &layout.flip_masks,
+            flip_weights: &row[flip_base..gather_base],
+            gather_terms: &layout.gather_terms,
+            gather_weights: &row[gather_base..],
+        }
+    }
+}
+
+/// Propagator-owned scratch for the per-segment diagonal tables: the table
+/// buffer (allocated once, reused across segments), which segment currently
+/// occupies it, and the table's exact `(min, max)` — maintained by
+/// [`CompiledSchedule::update_diag_table`] in the same passes that fill it.
+#[derive(Debug, Clone)]
+pub(crate) struct DiagTableScratch {
+    pub(crate) table: Vec<f64>,
+    pub(crate) materialized: Option<usize>,
+    pub(crate) range: (f64, f64),
+}
+
+impl DiagTableScratch {
+    pub(crate) fn new() -> Self {
+        DiagTableScratch {
+            table: Vec::new(),
+            materialized: None,
+            range: (f64::INFINITY, f64::NEG_INFINITY),
         }
     }
 }
@@ -519,6 +620,59 @@ mod tests {
             CompiledSchedule::compile(&[(a.clone(), 0.1), (b, 0.2), (a.scaled(2.0), 0.3)]);
         assert_eq!(schedule.num_segments(), 3);
         assert_eq!(schedule.num_layouts(), 2);
+        // Rows within one layout stack in compile order.
+        assert_eq!(schedule.segment_weight_row(0), &[1.0]);
+        assert_eq!(schedule.segment_weight_row(1), &[0.5]);
+        assert_eq!(schedule.segment_weight_row(2), &[2.0]);
+    }
+
+    #[test]
+    fn weight_rows_follow_diag_flip_gather_column_order() {
+        // Terms arrive interleaved; the columnar row groups them by class
+        // while keeping the Hamiltonian's canonical term order within each
+        // class (here canonical order puts the identity first).
+        let h = Hamiltonian::from_terms(
+            2,
+            [
+                (0.9, PauliString::single(0, Pauli::X)),           // flip
+                (1.5, PauliString::two(0, Pauli::Z, 1, Pauli::Z)), // diag
+                (-0.7, PauliString::single(1, Pauli::Y)),          // gather
+                (0.4, PauliString::identity()),                    // diag
+            ],
+        );
+        let schedule = CompiledSchedule::compile(&[(h.clone(), 0.5)]);
+        // Cross-check the expected row against the canonical term order
+        // itself rather than hard-coding it.
+        let canonical: Vec<(f64, bool, bool)> = h
+            .terms()
+            .map(|(c, s)| {
+                let unit = CompiledTerm::compile(1.0, s);
+                (
+                    c,
+                    unit.x_mask() == 0,
+                    unit.x_mask() != 0 && unit.z_mask() == 0,
+                )
+            })
+            .collect();
+        let mut expected: Vec<f64> = canonical
+            .iter()
+            .filter(|(_, diag, _)| *diag)
+            .map(|(c, _, _)| *c)
+            .collect();
+        expected.extend(
+            canonical
+                .iter()
+                .filter(|(_, _, flip)| *flip)
+                .map(|(c, _, _)| *c),
+        );
+        expected.extend(
+            canonical
+                .iter()
+                .filter(|(_, diag, flip)| !diag && !flip)
+                .map(|(c, _, _)| *c),
+        );
+        assert_eq!(schedule.segment_weight_row(0), &expected[..]);
+        assert!(expected.contains(&1.5) && expected.contains(&-0.7));
     }
 
     #[test]
@@ -608,6 +762,39 @@ mod tests {
         assert!((bound.center - 0.4).abs() < 1e-15);
         assert!((bound.radius - 2.2).abs() < 1e-15);
         assert_eq!(bound.step_strength, schedule.segment_step_strength(0));
+        assert!((schedule.segment_offdiag_radius(0) - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn diag_table_tracks_exact_range_incrementally() {
+        // Two segments, same layout, only the detuning moves: the
+        // incremental update must land on the same table AND the same
+        // (min, max) as a from-scratch fill.
+        let h = |detuning: f64| {
+            Hamiltonian::from_terms(
+                2,
+                [
+                    (detuning, PauliString::single(0, Pauli::Z)),
+                    (0.5, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                    (0.3, PauliString::single(1, Pauli::X)),
+                ],
+            )
+        };
+        let schedule = CompiledSchedule::compile(&[(h(0.2), 0.1), (h(-1.1), 0.1)]);
+        assert_eq!(schedule.num_layouts(), 1);
+        let mut incremental = DiagTableScratch::new();
+        schedule.update_diag_table(0, &mut incremental);
+        let range0 = incremental.range;
+        schedule.update_diag_table(1, &mut incremental);
+
+        let mut fresh = DiagTableScratch::new();
+        schedule.update_diag_table(1, &mut fresh);
+        assert_eq!(incremental.table, fresh.table);
+        assert_eq!(incremental.range, fresh.range);
+        assert_ne!(range0, fresh.range);
+        // Re-materializing the same segment is free and keeps the range.
+        schedule.update_diag_table(1, &mut incremental);
+        assert_eq!(incremental.range, fresh.range);
     }
 
     #[test]

@@ -33,10 +33,39 @@
 //!   scratch vectors regardless of duration. Best when `‖H‖·t ≫ 1` and the
 //!   spectral-interval estimate is tight (e.g. diagonal-dominated models).
 //!
+//! # Choosing a stepper
+//!
 //! Rule of thumb: Taylor for tiny segments, Krylov for schedules of medium
 //! segments (its basis pays off within each segment and the adaptive step
 //! absorbs norm spikes), Chebyshev for long quenches under one Hamiltonian.
-//! `BENCH_stepper.json` tracks all three on both shapes.
+//! `BENCH_stepper.json` tracks all backends on both shapes.
+//!
+//! You rarely need to pick by hand: [`StepperKind::Auto`] — the default —
+//! prices every backend per segment from the segment's [`SpectralBound`] and
+//! duration through an [`AutoCostModel`] and runs the cheapest one. The
+//! model estimates each backend's `H|ψ⟩` application count (Taylor from its
+//! `‖H‖·Δt ≤ ½` step splitting and series order, Chebyshev *exactly* from
+//! the truncation order of its expansion via
+//! [`qturbo_math::chebyshev::chebyshev_exp_order`], Krylov from a linear
+//! phase model fitted to `BENCH_stepper.json`) and weights it by a relative
+//! wall-clock cost per application (Krylov's orthogonalization sweeps make
+//! its applications ~2.5x a Taylor application; Chebyshev's interval mapping
+//! adds ~15%). The decision is per *segment*, so a schedule of short ramp
+//! segments runs Taylor while a long quench in the same process runs
+//! Chebyshev — and the crossovers are data, not code: override the
+//! calibration via [`EvolveOptions::with_auto_model`].
+//!
+//! With the default calibration Krylov is never the predicted winner — the
+//! measured crossovers have Chebyshev beating it whenever both beat Taylor,
+//! because a compile-time model cannot see Krylov's true advantages (state
+//! adaptivity, happy breakdown on invariant subspaces). Callers who know
+//! their states live in small Krylov subspaces can steer the model (raise
+//! `chebyshev_application_cost`) or pin [`StepperKind::Krylov`] outright.
+//!
+//! Pick a fixed backend explicitly when benchmarking backends against each
+//! other, when reproducing the scalar Taylor reference bit-for-bit, or when
+//! the spectral bound is known to be very loose (Auto prices Chebyshev off
+//! the bound, so a loose bound inflates its estimate — and its actual work).
 //!
 //! # Contract
 //!
@@ -58,7 +87,7 @@
 
 use crate::compiled::FusedKernel;
 use crate::state::StateVector;
-use qturbo_math::chebyshev::chebyshev_exp_coefficients;
+use qturbo_math::chebyshev::{chebyshev_exp_coefficients, chebyshev_exp_order};
 use qturbo_math::tridiag::{SymmetricTridiagonal, TridiagonalEigen};
 use qturbo_math::Complex;
 
@@ -85,12 +114,16 @@ const KRYLOV_MIN_DIM: usize = 3;
 pub enum StepperKind {
     /// Scaled-and-squared Taylor series (`‖H‖·Δt ≤ ½` splitting) — the
     /// reference backend.
-    #[default]
     Taylor,
     /// Adaptive Lanczos–Krylov propagator.
     Krylov,
     /// Chebyshev polynomial expansion over the estimated spectral interval.
     Chebyshev,
+    /// Pick the cheapest fixed backend **per segment** from the segment's
+    /// [`SpectralBound`] and duration through an [`AutoCostModel`] (see
+    /// [Choosing a stepper](self#choosing-a-stepper)). The default.
+    #[default]
+    Auto,
 }
 
 impl StepperKind {
@@ -100,11 +133,24 @@ impl StepperKind {
             StepperKind::Taylor => "taylor",
             StepperKind::Krylov => "krylov",
             StepperKind::Chebyshev => "chebyshev",
+            StepperKind::Auto => "auto",
         }
     }
 
-    /// All backends, in reference-first order.
-    pub fn all() -> [StepperKind; 3] {
+    /// Every selectable kind, fixed backends first (reference-first order),
+    /// [`Auto`](StepperKind::Auto) last.
+    pub fn all() -> [StepperKind; 4] {
+        [
+            StepperKind::Taylor,
+            StepperKind::Krylov,
+            StepperKind::Chebyshev,
+            StepperKind::Auto,
+        ]
+    }
+
+    /// The three fixed backends, in reference-first order — the concrete
+    /// integration schemes [`Auto`](StepperKind::Auto) chooses between.
+    pub fn fixed() -> [StepperKind; 3] {
         [
             StepperKind::Taylor,
             StepperKind::Krylov,
@@ -114,15 +160,20 @@ impl StepperKind {
 }
 
 /// Evolution options threaded through every propagation entry point: which
-/// backend integrates each segment and at what relative tolerance.
+/// backend integrates each segment, at what relative tolerance, and — for
+/// [`StepperKind::Auto`] — under which cost calibration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvolveOptions {
-    /// The backend used for every segment.
+    /// The backend used for every segment ([`StepperKind::Auto`], the
+    /// default, re-decides per segment).
     pub stepper: StepperKind,
     /// Truncation / residual tolerance, relative to the evolved state's
     /// norm. All backends interpret it per internal step, mirroring the
     /// original Taylor truncation semantics.
     pub tolerance: f64,
+    /// The cost calibration [`StepperKind::Auto`] decides with; ignored by
+    /// the fixed backends.
+    pub auto_model: AutoCostModel,
 }
 
 impl Default for EvolveOptions {
@@ -130,6 +181,7 @@ impl Default for EvolveOptions {
         EvolveOptions {
             stepper: StepperKind::default(),
             tolerance: DEFAULT_TOLERANCE,
+            auto_model: AutoCostModel::default(),
         }
     }
 }
@@ -143,7 +195,7 @@ impl EvolveOptions {
         }
     }
 
-    /// The Taylor reference backend (the default).
+    /// The Taylor reference backend.
     pub fn taylor() -> Self {
         EvolveOptions::new(StepperKind::Taylor)
     }
@@ -156,6 +208,11 @@ impl EvolveOptions {
     /// The Chebyshev backend.
     pub fn chebyshev() -> Self {
         EvolveOptions::new(StepperKind::Chebyshev)
+    }
+
+    /// Per-segment automatic backend selection (the default).
+    pub fn auto() -> Self {
+        EvolveOptions::new(StepperKind::Auto)
     }
 
     /// Replaces the tolerance.
@@ -171,6 +228,196 @@ impl EvolveOptions {
         self.tolerance = tolerance;
         self
     }
+
+    /// Replaces the [`StepperKind::Auto`] cost calibration (the crossover
+    /// knobs; a no-op unless the selected stepper is `Auto`).
+    pub fn with_auto_model(mut self, model: AutoCostModel) -> Self {
+        self.auto_model = model;
+        self
+    }
+
+    /// The backend that will actually integrate a segment with spectral
+    /// bound `bound` and duration `duration` under these options: the fixed
+    /// stepper itself, or the [`AutoCostModel`]'s per-segment choice.
+    pub fn resolve(&self, bound: &SpectralBound, duration: f64) -> StepperKind {
+        match self.stepper {
+            StepperKind::Auto => self.auto_model.choose(bound, duration, self.tolerance),
+            fixed => fixed,
+        }
+    }
+}
+
+/// The calibration [`StepperKind::Auto`] prices backends with: estimated
+/// `H|ψ⟩` application counts weighted by per-application relative wall cost.
+///
+/// The defaults are fitted against `BENCH_stepper.json` (MIS ramp and
+/// Heisenberg-quench workloads, see
+/// [Choosing a stepper](self#choosing-a-stepper)); every field is public so
+/// callers with different hardware or workload shapes can re-calibrate
+/// through [`EvolveOptions::with_auto_model`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoCostModel {
+    /// Relative wall cost of one Taylor kernel application (the unit: its
+    /// fused apply-accumulate pass is the cheapest application there is).
+    pub taylor_application_cost: f64,
+    /// Relative wall cost of one Krylov kernel application. The Lanczos
+    /// full-reorthogonalization sweeps and projected eigensolves ride along
+    /// with every application, measured at ~2–3.3x a Taylor application in
+    /// `BENCH_stepper.json`.
+    pub krylov_application_cost: f64,
+    /// Relative wall cost of one Chebyshev kernel application (the spectral
+    /// interval mapping adds one subtract-and-scale pass, ~1.1x measured).
+    pub chebyshev_application_cost: f64,
+    /// Chebyshev's per-segment setup, in application-equivalents: the
+    /// Bessel-coefficient build plus the fixed state-sized passes (seed the
+    /// recurrence, apply the global phase, rescale) that every segment pays
+    /// regardless of expansion order. This is what keeps Taylor the choice
+    /// on many-short-segment ramps, matching the measured wall times.
+    pub chebyshev_base_applications: f64,
+    /// Estimated Krylov applications per unit of spectral phase
+    /// (`radius · Δt`). `BENCH_stepper.json` measures 1.5–1.8 on the
+    /// quenches; the default is deliberately pessimistic.
+    pub krylov_applications_per_phase: f64,
+    /// Krylov's per-segment floor: even a tiny segment builds a minimal
+    /// Lanczos basis (~9 applications per segment measured on the MIS ramp).
+    pub krylov_base_applications: f64,
+}
+
+impl Default for AutoCostModel {
+    fn default() -> Self {
+        AutoCostModel {
+            taylor_application_cost: 1.0,
+            krylov_application_cost: 2.5,
+            chebyshev_application_cost: 1.15,
+            chebyshev_base_applications: 3.0,
+            krylov_applications_per_phase: 2.0,
+            krylov_base_applications: 8.0,
+        }
+    }
+}
+
+impl AutoCostModel {
+    /// Estimated `H|ψ⟩` applications `kind` spends on one segment with
+    /// spectral bound `bound`, duration `duration`, and relative tolerance
+    /// `tolerance`.
+    ///
+    /// Taylor is modeled from its step splitting and per-step series order,
+    /// Chebyshev is **exact** (the truncation order of its expansion), and
+    /// Krylov is a linear phase model fitted to `BENCH_stepper.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`StepperKind::Auto`] (estimate the fixed
+    /// backends and take the minimum — that is what
+    /// [`choose`](AutoCostModel::choose) does).
+    pub fn estimated_applications(
+        &self,
+        kind: StepperKind,
+        bound: &SpectralBound,
+        duration: f64,
+        tolerance: f64,
+    ) -> f64 {
+        // ‖H|ψ⟩‖ ≤ max|eig| ≤ |center| + radius: the scale that drives both
+        // the Taylor series order and the Krylov phase.
+        let spectral_scale = bound.center.abs() + bound.radius;
+        match kind {
+            StepperKind::Taylor => {
+                let steps = (bound.step_strength * duration / MAX_STEP_PHASE)
+                    .ceil()
+                    .max(1.0);
+                let theta = spectral_scale * duration / steps;
+                steps * series_orders(theta, tolerance) as f64
+            }
+            StepperKind::Krylov => {
+                self.krylov_base_applications
+                    + self.krylov_applications_per_phase * bound.radius * duration
+            }
+            StepperKind::Chebyshev => {
+                chebyshev_exp_order(bound.radius * duration, tolerance) as f64
+            }
+            StepperKind::Auto => panic!("Auto has no application count of its own"),
+        }
+    }
+
+    /// Estimated relative wall cost of `kind` on one segment: estimated
+    /// applications (plus Chebyshev's per-segment setup) × per-application
+    /// cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`StepperKind::Auto`].
+    pub fn estimated_cost(
+        &self,
+        kind: StepperKind,
+        bound: &SpectralBound,
+        duration: f64,
+        tolerance: f64,
+    ) -> f64 {
+        let applications = self.estimated_applications(kind, bound, duration, tolerance);
+        match kind {
+            StepperKind::Taylor => applications * self.taylor_application_cost,
+            StepperKind::Krylov => applications * self.krylov_application_cost,
+            StepperKind::Chebyshev => {
+                (applications + self.chebyshev_base_applications) * self.chebyshev_application_cost
+            }
+            StepperKind::Auto => panic!("Auto has no application cost of its own"),
+        }
+    }
+
+    /// The cheapest fixed backend for one segment (ties go to the earlier
+    /// backend in reference-first order, so a dead heat picks Taylor).
+    ///
+    /// Always equivalent to the argmin of
+    /// [`estimated_cost`](AutoCostModel::estimated_cost) over
+    /// [`StepperKind::fixed`], but with a fast path for short segments: the
+    /// exact Chebyshev pricing runs an `O(span)` Bessel recurrence (with a
+    /// heap allocation), which on schedules of thousands of tiny segments
+    /// would rival the evolution it prices. For `span ≤ 2` a rigorous lower
+    /// bound on the expansion order (`J_k(z) ≥ ½·(z/2)ᵏ/k!` there, so the
+    /// first `k` with `(z/2)ᵏ/k! < tolerance` cannot be past the truncation
+    /// point) prices Chebyshev out without touching the recurrence whenever
+    /// even that floor loses to Taylor or Krylov.
+    pub fn choose(&self, bound: &SpectralBound, duration: f64, tolerance: f64) -> StepperKind {
+        let taylor_cost = self.estimated_cost(StepperKind::Taylor, bound, duration, tolerance);
+        let krylov_cost = self.estimated_cost(StepperKind::Krylov, bound, duration, tolerance);
+        let (other, other_cost) = if taylor_cost <= krylov_cost {
+            (StepperKind::Taylor, taylor_cost)
+        } else {
+            (StepperKind::Krylov, krylov_cost)
+        };
+        let span = bound.radius * duration;
+        if span > 0.0 && span <= 2.0 {
+            let floor_cost = (series_orders(span / 2.0, tolerance) as f64
+                + self.chebyshev_base_applications)
+                * self.chebyshev_application_cost;
+            if floor_cost >= other_cost {
+                return other;
+            }
+        }
+        let chebyshev_cost =
+            self.estimated_cost(StepperKind::Chebyshev, bound, duration, tolerance);
+        if chebyshev_cost < other_cost {
+            StepperKind::Chebyshev
+        } else {
+            other
+        }
+    }
+}
+
+/// Smallest `k ≥ 1` with `θᵏ/k! ≤ tolerance` (capped at
+/// [`MAX_TAYLOR_ORDER`]) — the per-step series order of the Taylor
+/// truncation rule, also used as the Chebyshev order floor at `θ = z/2`.
+fn series_orders(theta: f64, tolerance: f64) -> usize {
+    let mut orders = 0usize;
+    let mut term = 1.0;
+    while orders < MAX_TAYLOR_ORDER {
+        orders += 1;
+        term *= theta / orders as f64;
+        if term <= tolerance {
+            break;
+        }
+    }
+    orders
 }
 
 /// Scalar facts about a compiled segment's spectrum, computed in `O(#terms)`
@@ -183,6 +430,13 @@ impl EvolveOptions {
 /// identity shift out matters: it costs the Chebyshev expansion nothing (a
 /// global phase) but would inflate the interval — and therefore the
 /// expansion order — if left inside the radius.
+///
+/// When the exact minimum and maximum of the *diagonal* part of `H` are
+/// known — they fall out of the diagonal-table fill the kernels do anyway —
+/// [`with_exact_diagonal`](SpectralBound::with_exact_diagonal) replaces the
+/// diagonal terms' triangle-inequality contribution with the exact interval,
+/// which is what shrinks the Chebyshev order on detuning-dominated models
+/// like the MIS ramp.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpectralBound {
     /// Center of the spectral enclosure (the summed identity-term weights).
@@ -215,6 +469,32 @@ impl SpectralBound {
             center,
             radius,
             step_strength,
+        }
+    }
+
+    /// Tightens the enclosure with the **exact** diagonal spectrum: for
+    /// `H = D + O` (diagonal part `D`, off-diagonal part `O`), every
+    /// eigenvalue lies in `[min(D) − ‖O‖, max(D) + ‖O‖]` by Weyl's
+    /// inequality, and `‖O‖ ≤ Σ|w|` over the off-diagonal terms. The result
+    /// is a rigorous interval contained in (never wider than) the
+    /// triangle-inequality enclosure, because `max(D) − min(D) ≤ 2·Σ|w|`
+    /// over the non-identity diagonal terms.
+    ///
+    /// `diag_min`/`diag_max` are the extrema of the materialized diagonal
+    /// table (which includes the identity shift); `offdiag_radius` is
+    /// `Σ|w|` over the off-diagonal (flip and gather) terms only. The Taylor
+    /// step strength is left untouched so Taylor step counts never change.
+    pub fn with_exact_diagonal(
+        self,
+        diag_min: f64,
+        diag_max: f64,
+        offdiag_radius: f64,
+    ) -> SpectralBound {
+        debug_assert!(diag_min <= diag_max, "inverted diagonal range");
+        SpectralBound {
+            center: 0.5 * (diag_min + diag_max),
+            radius: 0.5 * (diag_max - diag_min) + offdiag_radius,
+            step_strength: self.step_strength,
         }
     }
 }
@@ -868,14 +1148,205 @@ mod tests {
 
     #[test]
     fn options_builders() {
-        assert_eq!(EvolveOptions::default().stepper, StepperKind::Taylor);
+        assert_eq!(EvolveOptions::default().stepper, StepperKind::Auto);
         assert_eq!(EvolveOptions::krylov().stepper, StepperKind::Krylov);
         assert_eq!(EvolveOptions::chebyshev().stepper, StepperKind::Chebyshev);
         assert_eq!(EvolveOptions::taylor().stepper, StepperKind::Taylor);
+        assert_eq!(EvolveOptions::auto().stepper, StepperKind::Auto);
         let custom = EvolveOptions::krylov().with_tolerance(1e-9);
         assert_eq!(custom.tolerance, 1e-9);
         assert_eq!(StepperKind::Krylov.name(), "krylov");
-        assert_eq!(StepperKind::all().len(), 3);
+        assert_eq!(StepperKind::Auto.name(), "auto");
+        assert_eq!(StepperKind::all().len(), 4);
+        assert_eq!(StepperKind::fixed().len(), 3);
+        assert!(!StepperKind::fixed().contains(&StepperKind::Auto));
+    }
+
+    #[test]
+    fn auto_model_picks_taylor_short_and_chebyshev_long() {
+        let model = AutoCostModel::default();
+        let bound = SpectralBound {
+            center: 0.0,
+            radius: 2.0,
+            step_strength: 2.5,
+        };
+        // A tiny segment: one Taylor step of a handful of orders beats
+        // Chebyshev's truncation floor.
+        assert_eq!(
+            model.choose(&bound, 0.01, DEFAULT_TOLERANCE),
+            StepperKind::Taylor
+        );
+        // A long quench: Chebyshev's ≈ r·t applications crush Taylor's
+        // ‖H‖·t/½ steps.
+        assert_eq!(
+            model.choose(&bound, 50.0, DEFAULT_TOLERANCE),
+            StepperKind::Chebyshev
+        );
+        // Fixed kinds resolve to themselves; Auto resolves per segment.
+        let options = EvolveOptions::krylov();
+        assert_eq!(options.resolve(&bound, 50.0), StepperKind::Krylov);
+        let auto = EvolveOptions::auto();
+        assert_eq!(auto.resolve(&bound, 0.01), StepperKind::Taylor);
+        assert_eq!(auto.resolve(&bound, 50.0), StepperKind::Chebyshev);
+    }
+
+    #[test]
+    fn choose_always_matches_brute_force_argmin() {
+        // `choose` has a fast path that skips the exact Chebyshev pricing
+        // for short segments; it must remain indistinguishable from the
+        // plain argmin over the fixed backends, across the crossover region
+        // and for non-default calibrations.
+        let models = [
+            AutoCostModel::default(),
+            AutoCostModel {
+                chebyshev_application_cost: 5.0,
+                ..AutoCostModel::default()
+            },
+            AutoCostModel {
+                taylor_application_cost: 20.0,
+                ..AutoCostModel::default()
+            },
+        ];
+        for model in models {
+            for &(center, radius, step_strength) in &[
+                (0.0, 2.0, 2.5),
+                (-1.3, 0.7, 2.0),
+                (0.0, 0.0, 1.0),
+                (5.0, 4.0, 9.5),
+            ] {
+                let bound = SpectralBound {
+                    center,
+                    radius,
+                    step_strength,
+                };
+                for exponent in -8..=6 {
+                    let duration = 2.0_f64.powi(exponent);
+                    let brute = StepperKind::fixed()
+                        .into_iter()
+                        .map(|kind| {
+                            (
+                                kind,
+                                model.estimated_cost(kind, &bound, duration, DEFAULT_TOLERANCE),
+                            )
+                        })
+                        .reduce(|best, candidate| {
+                            if candidate.1 < best.1 {
+                                candidate
+                            } else {
+                                best
+                            }
+                        })
+                        .unwrap()
+                        .0;
+                    assert_eq!(
+                        model.choose(&bound, duration, DEFAULT_TOLERANCE),
+                        brute,
+                        "bound {bound:?}, duration {duration}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_model_is_overridable_toward_krylov() {
+        // The crossovers are calibration, not code: pricing Chebyshev and
+        // Taylor out steers the decision to Krylov.
+        let model = AutoCostModel {
+            taylor_application_cost: 1e6,
+            chebyshev_application_cost: 1e6,
+            ..AutoCostModel::default()
+        };
+        let bound = SpectralBound {
+            center: 0.0,
+            radius: 2.0,
+            step_strength: 2.5,
+        };
+        assert_eq!(
+            model.choose(&bound, 5.0, DEFAULT_TOLERANCE),
+            StepperKind::Krylov
+        );
+        let options = EvolveOptions::auto().with_auto_model(model);
+        assert_eq!(options.resolve(&bound, 5.0), StepperKind::Krylov);
+    }
+
+    #[test]
+    fn auto_model_estimates_track_the_workload_shape() {
+        let model = AutoCostModel::default();
+        let bound = SpectralBound {
+            center: 0.0,
+            radius: 3.0,
+            step_strength: 4.0,
+        };
+        // Chebyshev's estimate is exact: the truncation order of its
+        // expansion.
+        let apps =
+            model.estimated_applications(StepperKind::Chebyshev, &bound, 10.0, DEFAULT_TOLERANCE);
+        assert_eq!(apps, chebyshev_exp_order(30.0, DEFAULT_TOLERANCE) as f64);
+        // Taylor's estimate scales linearly with the duration (step count).
+        let short =
+            model.estimated_applications(StepperKind::Taylor, &bound, 1.0, DEFAULT_TOLERANCE);
+        let long =
+            model.estimated_applications(StepperKind::Taylor, &bound, 10.0, DEFAULT_TOLERANCE);
+        assert!(long > 8.0 * short, "taylor {short} -> {long}");
+        // A tighter spectral bound strictly lowers the Chebyshev estimate on
+        // a long segment (the tentpole property of the exact-diagonal
+        // interval).
+        let tightened = bound.with_exact_diagonal(-1.0, 1.0, 1.0);
+        assert!(tightened.radius < bound.radius);
+        let fewer = model.estimated_applications(
+            StepperKind::Chebyshev,
+            &tightened,
+            10.0,
+            DEFAULT_TOLERANCE,
+        );
+        assert!(fewer < apps, "{fewer} !< {apps}");
+    }
+
+    #[test]
+    fn exact_diagonal_interval_is_contained_in_triangle_interval() {
+        // H = 0.2·I + 1.5·Z₀Z₁ + 0.7·Z₀ + 0.4·X₁: triangle radius 2.6 around
+        // 0.2; the exact diagonal range is narrower whenever the diagonal
+        // terms cannot all peak at once.
+        let compiled = CompiledHamiltonian::compile(&Hamiltonian::from_terms(
+            2,
+            [
+                (0.2, PauliString::identity()),
+                (1.5, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                (0.7, PauliString::single(0, Pauli::Z)),
+                (0.4, PauliString::single(1, Pauli::X)),
+            ],
+        ));
+        let triangle = SpectralBound {
+            center: 0.2,
+            radius: 2.6,
+            step_strength: compiled.step_strength(),
+        };
+        let bound = compiled.spectral_bound();
+        // Diagonal values over the 4 basis states: 0.2 ± 1.5 ± 0.7 →
+        // {2.4, 1.0, -0.6, -2.0} ⇒ exact range [-2.0, 2.4], off-diagonal
+        // radius 0.4.
+        assert!((bound.center - 0.2).abs() < 1e-12);
+        assert!((bound.radius - 2.6).abs() < 1e-12);
+        // Containment: [center − r, center + r] ⊆ triangle interval.
+        assert!(bound.center - bound.radius >= triangle.center - triangle.radius - 1e-12);
+        assert!(bound.center + bound.radius <= triangle.center + triangle.radius + 1e-12);
+        // A genuinely anti-correlated diagonal shrinks the interval: with
+        // Z₀ + Z₁ − Z₀Z₁ the diagonal peaks at 1 (not 3).
+        let tightened = CompiledHamiltonian::compile(&Hamiltonian::from_terms(
+            2,
+            [
+                (1.0, PauliString::single(0, Pauli::Z)),
+                (1.0, PauliString::single(1, Pauli::Z)),
+                (-1.0, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                (0.3, PauliString::single(0, Pauli::X)),
+            ],
+        ))
+        .spectral_bound();
+        // Diagonal values: {1, 1, 1, -3} ⇒ exact [−3, 1] (radius 2) vs
+        // triangle radius 3; plus the 0.3 off-diagonal widening.
+        assert!((tightened.center - (-1.0)).abs() < 1e-12);
+        assert!((tightened.radius - 2.3).abs() < 1e-12);
     }
 
     #[test]

@@ -1,19 +1,23 @@
-//! Choosing a time-evolution backend: Taylor vs Lanczos–Krylov vs Chebyshev.
+//! Choosing a time-evolution backend: Taylor vs Lanczos–Krylov vs Chebyshev
+//! vs the automatic per-segment selection.
 //!
-//! The same long-time Heisenberg quench is integrated with all three stepper
-//! backends; each reports its `H|ψ⟩` kernel-application count — the work
-//! measure the backends compete on — and all final states agree to 1e-10.
-//! The Chebyshev run then drives the emulated device to show the options
-//! threading end to end.
+//! The same long-time Heisenberg quench is integrated with all three fixed
+//! stepper backends plus `StepperKind::Auto`; each reports its `H|ψ⟩`
+//! kernel-application count — the work measure the backends compete on — and
+//! all final states agree to 1e-10. `Auto` (the default everywhere) prices
+//! the backends per segment from the compiled spectral bound and picks the
+//! cheapest: Chebyshev on this quench, Taylor on short ramp segments, as the
+//! mixed schedule at the end shows. The run then drives the emulated device
+//! with its default (automatic) options to show the selection threading end
+//! to end.
 //!
 //! Run with: `cargo run --release --example stepper_backends`
 
 use qturbo_hamiltonian::models::heisenberg_chain;
 use qturbo_hamiltonian::{Pauli, PauliString};
 use qturbo_quantum::compiled::CompiledHamiltonian;
-use qturbo_quantum::{
-    EmulatedDevice, EvolveOptions, NoiseModel, Propagator, StateVector, StepperKind,
-};
+use qturbo_quantum::schedule::CompiledSchedule;
+use qturbo_quantum::{EmulatedDevice, NoiseModel, Propagator, StateVector, StepperKind};
 
 fn main() {
     let num_qubits = 10;
@@ -48,25 +52,49 @@ fn main() {
                 .map(|(a, b)| (*a - *b).abs())
                 .fold(0.0, f64::max)
         });
+        let chosen = if kind == StepperKind::Auto {
+            format!("  -> chose {}", propagator.segment_decisions()[0].name())
+        } else {
+            String::new()
+        };
         println!(
-            "  {:<9}  {:>6} kernel applications   max deviation vs taylor {deviation:.2e}",
+            "  {:<9}  {:>6} kernel applications   max deviation vs taylor {deviation:.2e}{chosen}",
             kind.name(),
             propagator.kernel_applications(),
         );
         reference.get_or_insert(state);
     }
 
-    // The same selection threads through the emulated device: a noiseless
-    // run under the Chebyshev backend reproduces the theory curve (the
-    // device always starts from |0…0⟩) with a fraction of the kernel work.
-    let device =
-        EmulatedDevice::new(NoiseModel::noiseless(), 0).with_options(EvolveOptions::chebyshev());
+    // Auto decides per segment, not per run: a schedule mixing short ramp
+    // slices with one long quench slice runs Taylor on the former and
+    // Chebyshev on the latter within a single evolution.
+    let mixed = CompiledSchedule::compile(&[
+        (hamiltonian.clone(), 0.005),
+        (hamiltonian.clone(), 15.0),
+        (hamiltonian.clone(), 0.005),
+    ]);
+    let mut propagator = Propagator::new(); // default options = Auto
+    let mut state = initial.clone();
+    propagator.evolve_schedule_in_place(&mixed, &mut state);
+    let decisions: Vec<&str> = propagator
+        .segment_decisions()
+        .iter()
+        .map(|kind| kind.name())
+        .collect();
+    println!("  mixed schedule (0.005 / 15 / 0.005 µs) -> per-segment decisions: {decisions:?}");
+
+    // The same selection threads through the emulated device: its default
+    // options already use Auto, so a noiseless run reproduces the theory
+    // curve (the device always starts from |0…0⟩) with a fraction of the
+    // kernel work and zero configuration.
+    let device = EmulatedDevice::new(NoiseModel::noiseless(), 0);
+    assert_eq!(device.options().stepper, StepperKind::Auto);
     let run = device.run(&[(hamiltonian.clone(), time)], num_qubits, false);
     let z0 =
         qturbo_quantum::propagate::evolve(&StateVector::zero_state(num_qubits), &hamiltonian, time)
             .expectation(&PauliString::single(0, Pauli::Z));
     println!(
-        "  device (chebyshev): <Z_0> = {:+.6} (taylor theory curve {z0:+.6})",
+        "  device (auto):      <Z_0> = {:+.6} (theory curve {z0:+.6})",
         run.z[0]
     );
 }

@@ -19,7 +19,7 @@ use qturbo_math::Complex;
 use qturbo_quantum::observable::{measure_z_zz, zz_expectations, zz_pairs};
 use qturbo_quantum::propagate::{evolve, evolve_piecewise, evolve_schedule};
 use qturbo_quantum::schedule::CompiledSchedule;
-use qturbo_quantum::{Propagator, StateVector};
+use qturbo_quantum::{CompiledTerm, Propagator, StateVector};
 
 fn random_state(rng: &mut Rng, num_qubits: usize) -> StateVector {
     let amplitudes: Vec<Complex> = (0..1usize << num_qubits)
@@ -113,6 +113,70 @@ fn discretized_ramp_reuses_one_layout_and_matches_reference() {
     let fast = evolve_schedule(&initial, &schedule);
     for (a, b) in fast.amplitudes().iter().zip(reference.amplitudes()) {
         assert!((*a - *b).abs() < 1e-10, "{a} != {b}");
+    }
+}
+
+/// The per-segment weight vector an independent compilation of the segment
+/// would produce, in the columnar `[diag | flip | gather]` column order —
+/// the reference the `S × T` weight matrix must reproduce **bit-identically**
+/// (the columnar layout moves the weights, it must not touch their values).
+fn reference_weight_row(hamiltonian: &Hamiltonian) -> Vec<f64> {
+    let mut diag = Vec::new();
+    let mut flip = Vec::new();
+    let mut gather = Vec::new();
+    for (coefficient, string) in hamiltonian.terms() {
+        let unit = CompiledTerm::compile(1.0, string);
+        if unit.x_mask() == 0 {
+            diag.push(coefficient);
+        } else if unit.z_mask() == 0 {
+            flip.push(coefficient);
+        } else {
+            gather.push(coefficient);
+        }
+    }
+    diag.extend(flip);
+    diag.extend(gather);
+    diag
+}
+
+#[test]
+fn columnar_weight_matrix_is_bit_identical_to_per_segment_vectors() {
+    let mut rng = Rng::seed_from_u64(0xC01A);
+    for case in 0..20 {
+        let num_qubits = 1 + rng.next_usize(4);
+        let segments = random_schedule(&mut rng, num_qubits);
+        let schedule = CompiledSchedule::compile(&segments);
+        for (index, (hamiltonian, _)) in segments.iter().enumerate() {
+            let expected = reference_weight_row(hamiltonian);
+            let row = schedule.segment_weight_row(index);
+            // Bit-identical, not approximately equal: the columnar layout
+            // stores the very same f64s the per-segment classification
+            // produces.
+            assert_eq!(
+                row,
+                &expected[..],
+                "case {case}, segment {index}: weight row diverged"
+            );
+        }
+        // scaled_weights shares the mask layouts under the columnar layout
+        // and scales exactly one scalar per term. Powers of two are exact in
+        // binary floating point, so the scaled rows are bit-identical to
+        // scaling the reference by hand.
+        for &scale in &[0.5, 2.0, -4.0] {
+            let scaled = schedule.scaled_weights(scale);
+            assert!(schedule.shares_layouts_with(&scaled));
+            for (index, (hamiltonian, _)) in segments.iter().enumerate() {
+                let expected: Vec<f64> = reference_weight_row(hamiltonian)
+                    .into_iter()
+                    .map(|w| w * scale)
+                    .collect();
+                assert_eq!(
+                    scaled.segment_weight_row(index),
+                    &expected[..],
+                    "case {case}, segment {index}, scale {scale}"
+                );
+            }
+        }
     }
 }
 

@@ -14,13 +14,14 @@
 //! Deterministically seeded sampling via `qturbo_math::rng::Rng` (no external
 //! property-testing framework is vendored in this environment).
 
+use qturbo_hamiltonian::models::{heisenberg_chain, mis_chain};
 use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
 use qturbo_math::rng::Rng;
 use qturbo_math::Complex;
 use qturbo_quantum::compiled::CompiledHamiltonian;
 use qturbo_quantum::propagate::{evolve_naive, evolve_schedule_with, evolve_with};
 use qturbo_quantum::schedule::CompiledSchedule;
-use qturbo_quantum::{EvolveOptions, Propagator, StateVector, StepperKind};
+use qturbo_quantum::{AutoCostModel, EvolveOptions, Propagator, StateVector, StepperKind};
 
 const AGREEMENT: f64 = 1e-10;
 
@@ -149,7 +150,7 @@ fn backends_agree_on_long_durations_with_less_work() {
 
     let compiled = CompiledHamiltonian::compile(&h);
     let mut work = Vec::new();
-    for kind in StepperKind::all() {
+    for kind in StepperKind::fixed() {
         let mut propagator = Propagator::with_stepper(kind);
         let mut state = initial.clone();
         propagator.evolve_in_place(&compiled, &mut state, time);
@@ -231,6 +232,215 @@ fn schedule_driver_is_backend_independent() {
                 "{:?}: {a} != {b}",
                 options.stepper
             );
+        }
+    }
+}
+
+#[test]
+fn auto_picks_taylor_on_short_ramp_segments() {
+    // The MIS annealing shape: many tiny segments, where Taylor's minimal
+    // per-segment overhead wins (BENCH_stepper.json: taylor 761 vs
+    // chebyshev 812 applications on the 8q ramp, and lower wall time). A
+    // silent crossover regression in the cost model fails this loudly.
+    let ramp = mis_chain(6, 1.0, 1.0, 1.0, 1.0, 60);
+    let schedule = CompiledSchedule::compile_piecewise(&ramp);
+    let mut propagator = Propagator::new();
+    assert_eq!(propagator.options().stepper, StepperKind::Auto);
+    let mut state = StateVector::zero_state(6);
+    propagator.evolve_schedule_in_place(&schedule, &mut state);
+    let decisions = propagator.segment_decisions();
+    assert_eq!(decisions.len(), schedule.num_segments());
+    assert!(
+        decisions.iter().all(|&kind| kind == StepperKind::Taylor),
+        "expected all-Taylor on the short-segment ramp, got {decisions:?}"
+    );
+    // The work landed where the decisions say it did.
+    for (kind, applications) in propagator.kernel_applications_by_backend() {
+        if kind == StepperKind::Taylor {
+            assert!(applications > 0);
+        } else {
+            assert_eq!(
+                applications,
+                0,
+                "{} did work on an all-Taylor run",
+                kind.name()
+            );
+        }
+    }
+    // And the Auto result matches the Taylor-pinned result exactly (same
+    // backend, same arithmetic).
+    let reference = evolve_schedule_with(
+        &StateVector::zero_state(6),
+        &schedule,
+        EvolveOptions::taylor(),
+    );
+    for (a, b) in state.amplitudes().iter().zip(reference.amplitudes()) {
+        assert!((*a - *b).abs() < 1e-12, "{a} != {b}");
+    }
+}
+
+#[test]
+fn auto_picks_chebyshev_on_long_quench() {
+    // The t = 20 Heisenberg quench: ‖H‖·t in the hundreds, the regime where
+    // Chebyshev's ≈ r·t applications beat Taylor's ‖H‖·t/½ steps ~20x
+    // (BENCH_stepper.json).
+    let h = heisenberg_chain(6, 1.0, 0.5);
+    let compiled = CompiledHamiltonian::compile(&h);
+    let mut propagator = Propagator::new();
+    let mut state = StateVector::zero_state(6);
+    propagator.evolve_in_place(&compiled, &mut state, 20.0);
+    assert_eq!(propagator.segment_decisions(), &[StepperKind::Chebyshev]);
+    let taylor_work = {
+        let mut taylor = Propagator::with_stepper(StepperKind::Taylor);
+        let mut state = StateVector::zero_state(6);
+        taylor.evolve_in_place(&compiled, &mut state, 20.0);
+        taylor.kernel_applications()
+    };
+    assert!(
+        propagator.kernel_applications() * 5 < taylor_work,
+        "auto ({}) should spend far fewer applications than taylor ({taylor_work})",
+        propagator.kernel_applications()
+    );
+    // Accuracy holds at the conformance level.
+    let reference = evolve_with(
+        &StateVector::zero_state(6),
+        &h,
+        20.0,
+        EvolveOptions::taylor(),
+    );
+    for (a, b) in state.amplitudes().iter().zip(reference.amplitudes()) {
+        assert!((*a - *b).abs() < AGREEMENT, "{a} != {b}");
+    }
+}
+
+#[test]
+fn auto_decides_per_segment_not_per_run() {
+    // A schedule mixing tiny ramp segments with one long quench segment
+    // must mix backends within a single run — the tentpole property.
+    let h = heisenberg_chain(4, 1.0, 0.5);
+    let segments = vec![(h.clone(), 0.005), (h.clone(), 20.0), (h, 0.005)];
+    let schedule = CompiledSchedule::compile(&segments);
+    let mut propagator = Propagator::new();
+    let mut state = StateVector::zero_state(4);
+    propagator.evolve_schedule_in_place(&schedule, &mut state);
+    assert_eq!(
+        propagator.segment_decisions(),
+        &[
+            StepperKind::Taylor,
+            StepperKind::Chebyshev,
+            StepperKind::Taylor
+        ]
+    );
+    // Pairwise agreement with the fixed backends on the same schedule.
+    for kind in StepperKind::fixed() {
+        let reference = evolve_schedule_with(
+            &StateVector::zero_state(4),
+            &schedule,
+            EvolveOptions::new(kind),
+        );
+        for (a, b) in state.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!((*a - *b).abs() < AGREEMENT, "{}: {a} != {b}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn auto_cost_model_is_overridable_per_call() {
+    // The crossovers are calibration, not code: a cost model that prices
+    // Taylor and Chebyshev out steers every segment to Krylov.
+    let h = heisenberg_chain(3, 1.0, 0.5);
+    let segments = vec![(h.clone(), 0.05), (h, 2.0)];
+    let schedule = CompiledSchedule::compile(&segments);
+    let model = AutoCostModel {
+        taylor_application_cost: 1e9,
+        chebyshev_application_cost: 1e9,
+        ..AutoCostModel::default()
+    };
+    let mut propagator = Propagator::with_options(EvolveOptions::auto().with_auto_model(model));
+    let mut state = StateVector::zero_state(3);
+    propagator.evolve_schedule_in_place(&schedule, &mut state);
+    assert_eq!(
+        propagator.segment_decisions(),
+        &[StepperKind::Krylov, StepperKind::Krylov]
+    );
+    let reference = evolve_schedule_with(
+        &StateVector::zero_state(3),
+        &schedule,
+        EvolveOptions::krylov(),
+    );
+    for (a, b) in state.amplitudes().iter().zip(reference.amplitudes()) {
+        assert!((*a - *b).abs() < 1e-12, "{a} != {b}");
+    }
+}
+
+#[test]
+fn tightened_spectral_bound_cuts_chebyshev_order_on_mis_ramp() {
+    // The MIS chain is detuning-dominated: its diagonal part is a sum of
+    // occupation operators whose exact range is far narrower than the
+    // triangle-inequality Σ|w| (occupations are 0/1-valued and the ZZ
+    // penalty anticorrelates with the detuning). The exact-diagonal bound
+    // must (a) stay a rigorous enclosure inside the triangle interval,
+    // (b) strictly cut the Chebyshev application count, and (c) lose no
+    // accuracy against the Taylor reference.
+    use qturbo_quantum::stepper::{ChebyshevStepper, SpectralBound, Stepper};
+    let ramp = mis_chain(6, 1.0, 1.0, 1.0, 1.0, 4);
+    for segment in ramp.segments() {
+        let h = &segment.hamiltonian;
+        let compiled = CompiledHamiltonian::compile(h);
+        let tightened = compiled.spectral_bound();
+        // Triangle-inequality enclosure, rebuilt from the raw coefficients.
+        let mut center = 0.0;
+        let mut radius = 0.0;
+        for (coefficient, string) in h.terms() {
+            if string.is_identity() {
+                center += coefficient;
+            } else {
+                radius += coefficient.abs();
+            }
+        }
+        let triangle = SpectralBound {
+            center,
+            radius,
+            step_strength: compiled.step_strength(),
+        };
+        // (a) Containment.
+        assert!(
+            tightened.center - tightened.radius >= triangle.center - triangle.radius - 1e-12
+                && tightened.center + tightened.radius <= triangle.center + triangle.radius + 1e-12,
+            "tightened interval escapes the triangle enclosure"
+        );
+        assert!(
+            tightened.radius < triangle.radius - 0.5,
+            "no meaningful tightening on the MIS segment: {} vs {}",
+            tightened.radius,
+            triangle.radius
+        );
+        // (b) Strictly fewer applications over a long segment...
+        let time = 5.0;
+        let initial = StateVector::plus_state(6);
+        let norm = initial.norm();
+        let mut tight_stepper = ChebyshevStepper::new(1e-14);
+        let mut tight_state = initial.clone();
+        tight_stepper.evolve_segment(compiled.kernel(), &tightened, &mut tight_state, time, norm);
+        let mut triangle_stepper = ChebyshevStepper::new(1e-14);
+        let mut triangle_state = initial.clone();
+        triangle_stepper.evolve_segment(
+            compiled.kernel(),
+            &triangle,
+            &mut triangle_state,
+            time,
+            norm,
+        );
+        assert!(
+            tight_stepper.kernel_applications() < triangle_stepper.kernel_applications(),
+            "tightened bound did not reduce work: {} vs {}",
+            tight_stepper.kernel_applications(),
+            triangle_stepper.kernel_applications()
+        );
+        // (c) ... at unchanged accuracy vs the Taylor reference.
+        let reference = evolve_with(&initial, h, time, EvolveOptions::taylor());
+        for (a, b) in tight_state.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!((*a - *b).abs() < AGREEMENT, "{a} != {b}");
         }
     }
 }
