@@ -29,12 +29,18 @@ if [[ "${1:-}" != "--quick" ]]; then
     echo "==> propagation benchmark (naive vs mask-compiled)"
     cargo run --release -p qturbo-bench --bin bench_propagation
 
-    echo "==> schedule benchmark (recompile-per-segment vs layout reuse)"
+    echo "==> schedule benchmark (recompile-per-segment vs layout reuse + dense-ramp batched gates)"
+    # The dense-ramp entries assert the batched multi-segment sweep gates:
+    # identical kernel applications, strictly fewer amplitude passes, wall
+    # time never worse than per-segment Taylor, 1e-10 pairwise agreement,
+    # and Auto within 10% of the best backend including the batched one.
     cargo run --release -p qturbo-bench --bin bench_schedule
 
-    echo "==> stepper benchmark (Taylor vs Krylov vs Chebyshev vs Auto backends)"
-    # The bench binary asserts the Auto acceptance gates: never slower than
-    # the worst fixed backend, and within 10% of the best, on every workload.
+    echo "==> stepper benchmark (Taylor vs BatchedTaylor vs Krylov vs Chebyshev vs Auto backends)"
+    # The bench binary asserts the Auto acceptance gates (never slower than
+    # the worst fixed backend, within 10% of the best, on every workload)
+    # and the ramp-workload batched gates (identical series, fewer passes,
+    # never slower than per-segment Taylor).
     cargo run --release -p qturbo-bench --bin bench_stepper
 fi
 

@@ -1,14 +1,23 @@
 //! Schedule-compilation benchmark: recompile-per-segment vs shared-layout
 //! reuse on a discretized time-dependent ramp, plus the fused Z/ZZ
-//! observable sweep vs the per-observable route.
+//! observable sweep vs the per-observable route, plus the **dense-ramp**
+//! workload gating the batched multi-segment evolution sweep.
 //!
-//! Writes `BENCH_schedule.json` into the current directory. The workload is
-//! the paper's MIS annealing chain (§5.3) discretized into 100
+//! Writes `BENCH_schedule.json` into the current directory. The base
+//! workload is the paper's MIS annealing chain (§5.3) discretized into 100
 //! piecewise-constant segments — every segment shares the same term
 //! structure, so [`CompiledSchedule`] compiles exactly one mask layout and
 //! materializes each segment as an `O(#terms)` weight vector, while the
 //! reference path re-runs the full `CompiledHamiltonian::compile` (including
 //! its `O(#diag · 2ⁿ)` diagonal table) per segment.
+//!
+//! The dense-ramp entries (8q × 1000, 12q × 300, 16q × 100 segments) run
+//! per-segment Taylor, the batched multi-segment sweep, and Auto end to end,
+//! recording wall time **and amplitude-pass counts**, and **assert** the
+//! batched acceptance gates (ci.sh runs this binary, so they are CI gates):
+//! identical kernel applications, strictly fewer amplitude passes, wall time
+//! never worse than per-segment Taylor, final states pairwise-matched to
+//! 1e-10, and Auto within 10% of the best of the two.
 
 use qturbo_bench::timing::{bench, Json, Sample};
 use qturbo_hamiltonian::models::mis_chain;
@@ -17,11 +26,17 @@ use qturbo_quantum::compiled::CompiledHamiltonian;
 use qturbo_quantum::observable::{measure_z_zz, zz_pairs};
 use qturbo_quantum::propagate::Propagator;
 use qturbo_quantum::schedule::CompiledSchedule;
-use qturbo_quantum::StateVector;
+use qturbo_quantum::{EvolveOptions, StateVector, StepperKind};
 
 const SIZES: [usize; 3] = [8, 12, 16];
 const NUM_SEGMENTS: usize = 100;
 const TOTAL_TIME: f64 = 1.0;
+/// Dense-ramp configurations: `(qubits, segments)` — long trains of tiny
+/// segments, the batched sweep's target shape.
+const DENSE_RAMPS: [(usize, usize); 3] = [(8, 1000), (12, 300), (16, 100)];
+/// Pairwise amplitude agreement required between the batched and
+/// per-segment evolutions of a dense ramp.
+const DENSE_AGREEMENT: f64 = 1e-10;
 
 fn reps_for(qubits: usize) -> usize {
     if qubits >= 16 {
@@ -171,6 +186,140 @@ fn size_entry(qubits: usize) -> Json {
     ])
 }
 
+/// One backend's end-to-end dense-ramp measurement.
+struct DenseResult {
+    kernel_applications: u64,
+    state_passes: u64,
+    wall_median_s: f64,
+    wall_min_s: f64,
+    final_state: StateVector,
+}
+
+fn run_dense_backend(
+    schedule: &CompiledSchedule,
+    qubits: usize,
+    kind: StepperKind,
+    reps: usize,
+) -> DenseResult {
+    let mut propagator = Propagator::with_options(EvolveOptions::new(kind));
+    let mut state = StateVector::zero_state(qubits);
+    propagator.evolve_schedule_in_place(schedule, &mut state);
+    let kernel_applications = propagator.kernel_applications();
+    let state_passes = propagator.state_passes();
+    let final_state = state.clone();
+    let sample = bench(reps, || {
+        let mut state = StateVector::zero_state(qubits);
+        propagator.evolve_schedule_in_place(schedule, &mut state);
+        std::hint::black_box(&state);
+    });
+    DenseResult {
+        kernel_applications,
+        state_passes,
+        wall_median_s: sample.median,
+        wall_min_s: sample.min,
+        final_state,
+    }
+}
+
+/// The dense-ramp workload: a long train of tiny same-layout segments
+/// driven end to end by per-segment Taylor, the batched multi-segment
+/// sweep, and Auto — with the batched acceptance gates asserted.
+fn dense_ramp_entry(qubits: usize, segments: usize) -> Json {
+    let ramp = mis_chain(qubits, 1.0, 1.0, 1.0, TOTAL_TIME, segments);
+    let compiled_segments: Vec<(Hamiltonian, f64)> = ramp
+        .segments()
+        .iter()
+        .map(|s| (s.hamiltonian.clone(), s.duration))
+        .collect();
+    let schedule = CompiledSchedule::compile(&compiled_segments);
+    let batch_runs = schedule.batch_runs();
+    let reps = reps_for(qubits);
+
+    let taylor = run_dense_backend(&schedule, qubits, StepperKind::Taylor, reps);
+    let batched = run_dense_backend(&schedule, qubits, StepperKind::BatchedTaylor, reps);
+    let auto = run_dense_backend(&schedule, qubits, StepperKind::Auto, reps);
+
+    let max_deviation = batched
+        .final_state
+        .amplitudes()
+        .iter()
+        .zip(taylor.final_state.amplitudes())
+        .map(|(a, b)| (*a - *b).abs())
+        .fold(0.0f64, f64::max);
+    let pass_ratio = taylor.state_passes as f64 / batched.state_passes.max(1) as f64;
+    let wall_speedup = taylor.wall_median_s / batched.wall_median_s.max(1e-12);
+    println!(
+        "  dense {qubits:>2}q x {segments:>4}  taylor {:>8} passes {:>9.4}s | batched {:>8} passes \
+         {:>9.4}s ({pass_ratio:.2}x fewer passes, {wall_speedup:.2}x wall) | auto {:>9.4}s | \
+         dev {max_deviation:.2e} | {} runs",
+        taylor.state_passes,
+        taylor.wall_median_s,
+        batched.state_passes,
+        batched.wall_median_s,
+        auto.wall_median_s,
+        batch_runs.len(),
+    );
+
+    // --- The batched CI gates. ---
+    assert!(
+        max_deviation < DENSE_AGREEMENT,
+        "{qubits}q dense ramp: batched deviates from per-segment Taylor by {max_deviation}"
+    );
+    assert_eq!(
+        batched.kernel_applications, taylor.kernel_applications,
+        "{qubits}q dense ramp: the batched sweep must run the identical series"
+    );
+    assert!(
+        batched.state_passes < taylor.state_passes,
+        "{qubits}q dense ramp: batched passes {} !< taylor passes {}",
+        batched.state_passes,
+        taylor.state_passes
+    );
+    assert!(
+        batched.wall_min_s <= taylor.wall_min_s + 0.002,
+        "{qubits}q dense ramp: batched ({:.4}s) slower than per-segment Taylor ({:.4}s)",
+        batched.wall_min_s,
+        taylor.wall_min_s
+    );
+    let best = taylor.wall_min_s.min(batched.wall_min_s);
+    assert!(
+        auto.wall_min_s <= best * 1.10 + 0.002,
+        "{qubits}q dense ramp: auto ({:.4}s) more than 10% behind the best backend ({best:.4}s)",
+        auto.wall_min_s
+    );
+
+    let backend_json = |name: &str, r: &DenseResult| {
+        Json::object(vec![
+            ("backend", Json::string(name)),
+            (
+                "kernel_applications",
+                Json::Number(r.kernel_applications as f64),
+            ),
+            ("state_passes", Json::Number(r.state_passes as f64)),
+            ("wall_median_s", Json::Number(r.wall_median_s)),
+            ("wall_min_s", Json::Number(r.wall_min_s)),
+        ])
+    };
+    Json::object(vec![
+        ("workload", Json::string("dense_ramp")),
+        ("qubits", Json::Number(qubits as f64)),
+        ("segments", Json::Number(segments as f64)),
+        ("batch_runs", Json::Number(batch_runs.len() as f64)),
+        ("layouts", Json::Number(schedule.num_layouts() as f64)),
+        ("pass_ratio", Json::Number(pass_ratio)),
+        ("wall_speedup_batched_vs_taylor", Json::Number(wall_speedup)),
+        ("max_abs_dev_batched_vs_taylor", Json::Number(max_deviation)),
+        (
+            "backends",
+            Json::Array(vec![
+                backend_json("taylor", &taylor),
+                backend_json("batched_taylor", &batched),
+                backend_json("auto", &auto),
+            ]),
+        ),
+    ])
+}
+
 fn main() {
     println!(
         "schedule benchmark: MIS annealing ramp, {NUM_SEGMENTS} segments over {TOTAL_TIME} µs, \
@@ -178,7 +327,11 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
 
-    let entries: Vec<Json> = SIZES.iter().map(|&n| size_entry(n)).collect();
+    let mut entries: Vec<Json> = SIZES.iter().map(|&n| size_entry(n)).collect();
+    println!("dense-ramp workload (batched multi-segment sweep gates):");
+    for &(qubits, segments) in &DENSE_RAMPS {
+        entries.push(dense_ramp_entry(qubits, segments));
+    }
 
     let report = Json::object(vec![
         ("benchmark", Json::string("schedule")),

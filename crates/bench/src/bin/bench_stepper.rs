@@ -1,6 +1,6 @@
-//! Stepper-backend benchmark: Taylor vs Lanczos–Krylov vs Chebyshev vs the
-//! automatic per-segment selection, on the two workload shapes the subsystem
-//! targets.
+//! Stepper-backend benchmark: Taylor (per-segment and batched) vs
+//! Lanczos–Krylov vs Chebyshev vs the automatic per-segment selection, on
+//! the two workload shapes the subsystem targets.
 //!
 //! Writes `BENCH_stepper.json` into the current directory. Workloads:
 //!
@@ -13,14 +13,16 @@
 //!   `‖H‖·Δt ≤ ½` splitting burns thousands of kernel applications.
 //!
 //! For every backend the report records total `H|ψ⟩` kernel applications
-//! (the backend-independent work measure), wall time, and the deviation from
-//! the Taylor reference state — all must agree at the 1e-10 level for the
-//! comparison to count. The `auto` entry additionally records its
-//! per-segment decisions (`auto_decisions`), and the run **asserts** the
-//! acceptance gates of the automatic selection: on every workload `auto` is
-//! never slower than the worst fixed backend, and lands within 10% of the
-//! best fixed backend's wall time (ci.sh runs this binary, so the gates are
-//! CI gates).
+//! (the backend-independent work measure), state-sized amplitude passes
+//! (the memory-traffic measure the batched sweep reduces), wall time, and
+//! the deviation from the Taylor reference state — all must agree at the
+//! 1e-10 level for the comparison to count. The `auto` entry additionally
+//! records its per-segment decisions (`auto_decisions`), and the run
+//! **asserts** the acceptance gates (ci.sh runs this binary, so they are CI
+//! gates): on every workload `auto` is never slower than the worst fixed
+//! backend and lands within 10% of the best fixed backend's wall time, and
+//! on every ramp workload the batched sweep runs the identical series with
+//! strictly fewer amplitude passes, never slower than per-segment Taylor.
 
 use qturbo_bench::timing::{bench, Json};
 use qturbo_hamiltonian::models::{heisenberg_chain, mis_chain};
@@ -63,12 +65,15 @@ fn max_abs_deviation(a: &StateVector, b: &StateVector) -> f64 {
 struct BackendResult {
     kind: StepperKind,
     kernel_applications: u64,
+    /// State-sized amplitude passes — the memory-traffic measure the
+    /// batched multi-segment sweep is gated on.
+    state_passes: u64,
     wall_median_s: f64,
     wall_min_s: f64,
     final_state: StateVector,
     /// Per-segment decision counts in [`StepperKind::fixed`] order;
     /// `Some` only for the `auto` backend.
-    decisions: Option<[u64; 3]>,
+    decisions: Option<[u64; 4]>,
 }
 
 fn backend_json(result: &BackendResult, reference: &StateVector) -> Json {
@@ -84,6 +89,7 @@ fn backend_json(result: &BackendResult, reference: &StateVector) -> Json {
             "kernel_applications",
             Json::Number(result.kernel_applications as f64),
         ),
+        ("state_passes", Json::Number(result.state_passes as f64)),
         ("wall_median_s", Json::Number(result.wall_median_s)),
         ("wall_min_s", Json::Number(result.wall_min_s)),
         ("max_abs_dev_vs_taylor", Json::Number(deviation)),
@@ -122,8 +128,9 @@ fn run_backends(
             let mut state = initial.clone();
             evolve(&mut propagator, &mut state);
             let kernel_applications = propagator.kernel_applications();
+            let state_passes = propagator.state_passes();
             let decisions = (kind == StepperKind::Auto).then(|| {
-                let mut counts = [0u64; 3];
+                let mut counts = [0u64; 4];
                 for decision in propagator.segment_decisions() {
                     let slot = StepperKind::fixed()
                         .into_iter()
@@ -142,6 +149,7 @@ fn run_backends(
             BackendResult {
                 kind,
                 kernel_applications,
+                state_passes,
                 wall_median_s: sample.median,
                 wall_min_s: sample.min,
                 final_state,
@@ -164,10 +172,11 @@ fn print_backends(results: &[BackendResult]) {
             format!("  [{}]", summary.join(" "))
         });
         println!(
-            "      {:<9}  {:>8} applications ({:>5.1}x fewer)  {:>10.4}s wall ({:>5.2}x){decisions}",
+            "      {:<14}  {:>8} applications ({:>5.1}x fewer)  {:>8} passes  {:>10.4}s wall ({:>5.2}x){decisions}",
             result.kind.name(),
             result.kernel_applications,
             taylor.kernel_applications as f64 / result.kernel_applications.max(1) as f64,
+            result.state_passes,
             result.wall_median_s,
             taylor.wall_median_s / result.wall_median_s.max(1e-12),
         );
@@ -209,6 +218,38 @@ fn assert_auto_is_competitive(results: &[BackendResult], context: &str) {
     );
 }
 
+/// The batched-sweep acceptance gates, asserted on every ramp-shaped
+/// workload: the batched path runs the identical Taylor series (equal
+/// kernel applications), traverses strictly fewer amplitude passes, and is
+/// never slower than per-segment Taylor on wall time (min statistic, with
+/// the same 2 ms jitter allowance as the auto gates).
+fn assert_batched_beats_per_segment_taylor(results: &[BackendResult], context: &str) {
+    let taylor = results
+        .iter()
+        .find(|r| r.kind == StepperKind::Taylor)
+        .expect("taylor result present");
+    let batched = results
+        .iter()
+        .find(|r| r.kind == StepperKind::BatchedTaylor)
+        .expect("batched result present");
+    assert_eq!(
+        batched.kernel_applications, taylor.kernel_applications,
+        "{context}: the batched sweep must run the identical series"
+    );
+    assert!(
+        batched.state_passes < taylor.state_passes,
+        "{context}: batched spent {} amplitude passes vs per-segment Taylor's {}",
+        batched.state_passes,
+        taylor.state_passes
+    );
+    assert!(
+        batched.wall_min_s <= taylor.wall_min_s + 0.002,
+        "{context}: batched ({:.4}s) is slower than per-segment Taylor ({:.4}s)",
+        batched.wall_min_s,
+        taylor.wall_min_s
+    );
+}
+
 fn ramp_entry(qubits: usize) -> Json {
     println!("  MIS ramp, {qubits} qubits, {RAMP_SEGMENTS} segments:");
     let ramp = mis_chain(qubits, 1.0, 1.0, 1.0, RAMP_TOTAL_TIME, RAMP_SEGMENTS);
@@ -226,6 +267,7 @@ fn ramp_entry(qubits: usize) -> Json {
     });
     print_backends(&results);
     assert_auto_is_competitive(&results, &format!("{qubits}q MIS ramp"));
+    assert_batched_beats_per_segment_taylor(&results, &format!("{qubits}q MIS ramp"));
     let reference = results[0].final_state.clone();
     Json::object(vec![
         ("workload", Json::string("mis_ramp")),

@@ -477,6 +477,34 @@ impl FusedKernel<'_> {
         norm_sqr
     }
 
+    /// [`apply_accumulate_range`](Self::apply_accumulate_range) with **two**
+    /// Taylor terms retired in the same pass: `target[j] += f_input ·
+    /// input[j] + f_out · out[j]`. The input element at `j` is already
+    /// loaded for the diagonal part of the gather work, so the extra
+    /// accumulation costs no additional memory traffic — this is how the
+    /// batched sweep fuses the first- and second-order updates of a step
+    /// into one traversal.
+    fn apply_accumulate_both_range(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        target: &mut [Complex],
+        f_input: Complex,
+        f_out: Complex,
+        offset: usize,
+    ) -> f64 {
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        let mut norm_sqr = 0.0;
+        for (k, (slot, target_slot)) in out.iter_mut().zip(target.iter_mut()).enumerate() {
+            let j = offset + k;
+            let acc = self.element(input, j, diag_index_mask);
+            norm_sqr += acc.norm_sqr();
+            *slot = acc;
+            *target_slot += f_input * input[j] + f_out * acc;
+        }
+        norm_sqr
+    }
+
     /// Computes `out = H|ψ⟩` and returns `‖H|ψ⟩‖`; threaded above
     /// [`PARALLEL_THRESHOLD_QUBITS`]. `out` is fully overwritten.
     ///
@@ -564,6 +592,75 @@ impl FusedKernel<'_> {
                             out_slice,
                             target_slice,
                             factor,
+                            index * chunk,
+                        )
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("kernel worker panicked"))
+                .sum()
+        });
+        norm_sqr.sqrt()
+    }
+
+    /// [`apply_accumulate_into`](Self::apply_accumulate_into) with **two**
+    /// series terms retired in the same write pass:
+    /// `target += f_input·input + f_out·out`. Returns `‖out‖`.
+    ///
+    /// This is the fused first-and-second-order pass of the batched
+    /// multi-segment Taylor sweep: the first kernel application of a step
+    /// reads the state directly (no series copy) and therefore cannot
+    /// accumulate into it — its first-order term is retired here, one pass
+    /// later, alongside the second-order term. The input element at each
+    /// output index is already loaded for the gather work, so the extra
+    /// accumulation adds no memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimensions differ, or the kernel acts on more qubits
+    /// than the state has.
+    pub fn apply_accumulate_both_into(
+        &self,
+        input: &StateVector,
+        out: &mut StateVector,
+        target: &mut StateVector,
+        f_input: Complex,
+        f_out: Complex,
+    ) -> f64 {
+        assert_eq!(input.dim(), out.dim(), "state dimension mismatch");
+        assert_eq!(input.dim(), target.dim(), "state dimension mismatch");
+        assert!(
+            self.num_qubits <= input.num_qubits(),
+            "Hamiltonian acts on more qubits than the state"
+        );
+        let dim = input.dim();
+        let input = input.amplitudes();
+        let out = out.amplitudes_mut();
+        let target = target.amplitudes_mut();
+
+        let threads = worker_count(dim);
+        if threads <= 1 {
+            return self
+                .apply_accumulate_both_range(input, out, target, f_input, f_out, 0)
+                .sqrt();
+        }
+
+        let chunk = dim.div_ceil(threads);
+        let norm_sqr: f64 = std::thread::scope(|scope| {
+            let workers: Vec<_> = out
+                .chunks_mut(chunk)
+                .zip(target.chunks_mut(chunk))
+                .enumerate()
+                .map(|(index, (out_slice, target_slice))| {
+                    scope.spawn(move || {
+                        self.apply_accumulate_both_range(
+                            input,
+                            out_slice,
+                            target_slice,
+                            f_input,
+                            f_out,
                             index * chunk,
                         )
                     })

@@ -29,16 +29,37 @@ use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::rng::Rng;
 
 /// Phenomenological noise parameters of the emulated device.
+///
+/// The fields are public for struct-literal construction, so the bounds
+/// below are enforced by [`NoiseModel::validate`] at the point of use
+/// (every `run*` entry point of [`EmulatedDevice`]) rather than at
+/// construction — an out-of-range value panics loudly instead of silently
+/// corrupting the physics (a `readout_error > ½` would *flip* observable
+/// signs through `(1 − 2p)^w`; a negative `depolarizing_rate` would amplify
+/// instead of damp).
 #[derive(Debug, Clone, PartialEq)]
 pub struct NoiseModel {
     /// Depolarizing rate `γ` per unit time and unit observable weight.
+    /// Must be finite and `≥ 0` (negative rates would *amplify*
+    /// expectation values through `exp(−γ·w·T)`).
     pub depolarizing_rate: f64,
     /// Relative standard deviation of the per-run Hamiltonian scale error.
+    /// Must be finite and `≥ 0`.
     pub amplitude_miscalibration: f64,
-    /// Per-qubit readout bit-flip probability.
+    /// Per-qubit readout bit-flip probability. Must lie in `[0, ½]`: the
+    /// damping factor `(1 − 2p)^w` crosses zero at `p = ½`, and beyond it a
+    /// weight-1 observable would come back *sign-flipped* — a physically
+    /// meaningless "readout error" that silently corrupts every `Z`/`ZZ`
+    /// estimate. `p = ½` itself is legal (total depolarization of the
+    /// readout: every observable damps to exactly `0`).
     pub readout_error: f64,
     /// Number of measurement shots; `None` reports exact (infinite-shot)
-    /// expectation values.
+    /// expectation values. `Some(0)` is **rejected** by
+    /// [`validate`](NoiseModel::validate): zero shots estimates nothing — an
+    /// earlier revision reported it noisy through
+    /// [`is_noiseless`](NoiseModel::is_noiseless) yet silently treated it as
+    /// exact (infinite shots) in the estimator, and either reading is a trap
+    /// for a caller who meant `None`.
     pub shots: Option<usize>,
 }
 
@@ -73,6 +94,37 @@ impl NoiseModel {
             && self.readout_error == 0.0
             && self.shots.is_none()
     }
+
+    /// Panics unless every field is within its documented physical range:
+    /// `depolarizing_rate ≥ 0`, `amplitude_miscalibration ≥ 0` (both
+    /// finite), `readout_error ∈ [0, ½]`, and `shots ≠ Some(0)`.
+    ///
+    /// Called by every [`EmulatedDevice`] `run*` entry point, so a
+    /// hand-built out-of-range model fails loudly before it can flip
+    /// observable signs (`readout_error > ½`), amplify instead of damp
+    /// (negative `depolarizing_rate`), or silently pretend zero shots are
+    /// infinitely many (`Some(0)`).
+    pub fn validate(&self) {
+        assert!(
+            self.depolarizing_rate.is_finite() && self.depolarizing_rate >= 0.0,
+            "depolarizing_rate must be finite and non-negative, got {}",
+            self.depolarizing_rate
+        );
+        assert!(
+            self.amplitude_miscalibration.is_finite() && self.amplitude_miscalibration >= 0.0,
+            "amplitude_miscalibration must be finite and non-negative, got {}",
+            self.amplitude_miscalibration
+        );
+        assert!(
+            self.readout_error.is_finite() && (0.0..=0.5).contains(&self.readout_error),
+            "readout_error must lie in [0, 0.5] ((1 - 2p)^w flips signs past 0.5), got {}",
+            self.readout_error
+        );
+        assert!(
+            self.shots != Some(0),
+            "shots = Some(0) estimates nothing; use None for exact expectation values"
+        );
+    }
 }
 
 impl Default for NoiseModel {
@@ -93,12 +145,15 @@ pub struct DeviceRun {
 }
 
 impl DeviceRun {
-    /// `Z_avg` over all qubits.
+    /// `Z_avg` over all qubits (paper §7.4: `(1/N) Σ_i ⟨Z_i⟩`).
     pub fn z_average(&self) -> f64 {
         mean(&self.z)
     }
 
-    /// `ZZ_avg` over adjacent pairs.
+    /// `ZZ_avg` over the measured adjacent bonds (paper §7.4), divided by
+    /// the **bond count** — `N − 1` on an open chain, `N` on a ring with
+    /// `n ≥ 3` — matching [`crate::observable::zz_average`], not by the
+    /// qubit count `N`.
     pub fn zz_average(&self) -> f64 {
         mean(&self.zz)
     }
@@ -219,7 +274,8 @@ impl EmulatedDevice {
     ///
     /// # Panics
     ///
-    /// Panics if the schedule acts on more than `num_qubits` qubits.
+    /// Panics if the schedule acts on more than `num_qubits` qubits, or the
+    /// noise model fails [`NoiseModel::validate`].
     pub fn run_compiled(
         &self,
         schedule: &CompiledSchedule,
@@ -227,6 +283,7 @@ impl EmulatedDevice {
         cyclic: bool,
         realizations: usize,
     ) -> Vec<DeviceRun> {
+        self.noise.validate();
         let execution_time = schedule.total_time();
         let mut propagator = Propagator::with_options(self.options);
         (0..realizations)
@@ -283,11 +340,14 @@ impl EmulatedDevice {
     }
 
     /// Converts an exact expectation value into a finite-shot estimate.
+    /// `Some(0)` is unreachable here — [`NoiseModel::validate`] rejects it
+    /// before any estimation happens (an earlier revision silently treated
+    /// it as exact, contradicting `is_noiseless`).
     fn estimate(&self, expectation: f64, rng: &mut Rng) -> f64 {
         match self.noise.shots {
             None => expectation,
-            Some(0) => expectation,
             Some(shots) => {
+                assert!(shots > 0, "Some(0) shots is rejected by validate()");
                 let probability_plus = ((1.0 + expectation) / 2.0).clamp(0.0, 1.0);
                 let mut plus_count = 0usize;
                 for _ in 0..shots {
@@ -448,6 +508,63 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "{options:?}: {a} != {b}");
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "shots = Some(0)")]
+    fn zero_shots_is_rejected() {
+        // Regression: Some(0) used to be reported noisy by is_noiseless()
+        // yet silently treated as exact (infinite shots) by the estimator.
+        // The pinned choice is rejection — a caller who wants exact values
+        // says None.
+        let noise = NoiseModel {
+            shots: Some(0),
+            ..NoiseModel::noiseless()
+        };
+        // Still *classified* as noisy (the field is set)…
+        assert!(!noise.is_noiseless());
+        // …but running with it panics instead of quietly acting noiseless.
+        let _ = EmulatedDevice::new(noise, 1).run(&[rabi_segment(1, 1.0, 0.1)], 1, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "readout_error")]
+    fn readout_error_above_half_is_rejected() {
+        // (1 − 2p)^w flips observable signs for p > ½ — an earlier revision
+        // silently returned sign-flipped Z/ZZ estimates.
+        let noise = NoiseModel {
+            readout_error: 0.6,
+            ..NoiseModel::noiseless()
+        };
+        let _ = EmulatedDevice::new(noise, 1).run(&[rabi_segment(1, 1.0, 0.1)], 1, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "depolarizing_rate")]
+    fn negative_depolarizing_rate_is_rejected() {
+        // exp(−γ·w·T) with γ < 0 amplifies instead of damps.
+        let noise = NoiseModel {
+            depolarizing_rate: -0.1,
+            ..NoiseModel::noiseless()
+        };
+        let _ = EmulatedDevice::new(noise, 1).run(&[rabi_segment(1, 1.0, 0.1)], 1, false);
+    }
+
+    #[test]
+    fn boundary_noise_values_are_legal() {
+        // p = ½ is total readout depolarization: every observable damps to
+        // exactly zero — legal, and the boundary of the validated range.
+        let noise = NoiseModel {
+            readout_error: 0.5,
+            ..NoiseModel::noiseless()
+        };
+        noise.validate();
+        let run = EmulatedDevice::new(noise, 3).run(&[(Hamiltonian::new(2), 0.1)], 2, false);
+        assert_eq!(run.z, vec![0.0, 0.0]);
+        assert_eq!(run.zz, vec![0.0]);
+        // Zero rates are the other boundary; aquila_like is interior.
+        NoiseModel::noiseless().validate();
+        NoiseModel::aquila_like().validate();
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //!   (and [`CompiledSchedule::scaled_weights`] amplitude-rescaled views that
 //!   share the layouts outright),
 //! * [`stepper`] — the pluggable time-evolution backends: the Taylor
-//!   reference, an adaptive Lanczos–Krylov propagator, and a Chebyshev
+//!   reference, the batched multi-segment Taylor sweep
+//!   ([`stepper::BatchedTaylorStepper`], which chains runs of same-layout
+//!   schedule segments with fused low-order passes and one run-end drift
+//!   correction), an adaptive Lanczos–Krylov propagator, and a Chebyshev
 //!   expansion, selected anywhere via [`StepperKind`] / [`EvolveOptions`] —
 //!   with [`StepperKind::Auto`] (the default) pricing the backends per
 //!   segment through an [`AutoCostModel`],

@@ -63,8 +63,11 @@ impl DiagonalObservables {
         average(&self.z)
     }
 
-    /// `ZZ_avg` over the measured bonds (paper §7.4); `0` when there are no
-    /// bonds (`n < 2`).
+    /// `ZZ_avg = (1/B) Σ_b ⟨Z_i Z_j⟩` over the `B` measured bonds of
+    /// [`DiagonalObservables::pairs`] (paper §7.4) — i.e. divided by the
+    /// **bond count** (`N − 1` on an open chain, `N` on a ring with
+    /// `n ≥ 3`), *not* by the qubit count `N`; `0` when there are no bonds
+    /// (`n < 2`).
     pub fn zz_average(&self) -> f64 {
         average(&self.zz)
     }
@@ -102,8 +105,16 @@ pub fn z_average(state: &StateVector) -> f64 {
     average(&z_expectations(state))
 }
 
-/// `ZZ_avg = (1/N) Σ_i ⟨Z_i Z_{i+1}⟩` over the distinct adjacent bonds
-/// (paper §7.4); `0` when there are no bonds (`n < 2`).
+/// `ZZ_avg = (1/B) Σ_b ⟨Z_i Z_j⟩` over the `B` distinct adjacent bonds of
+/// [`zz_pairs`] (paper §7.4).
+///
+/// The divisor is the **bond count** `B` — `N − 1` on an open chain, `N` on
+/// a ring with `n ≥ 3` — not the qubit count `N`. (The paper's `(1/N) Σ`
+/// shorthand and this implementation agree exactly on the cyclic case it
+/// studies, where `B = N`; on open chains a `1/N` divisor would silently
+/// shrink every average by `(N−1)/N`, so the bond-count semantics is the
+/// one both this function and the device metrics use.) Returns `0` when
+/// there are no bonds (`n < 2`).
 pub fn zz_average(state: &StateVector, cyclic: bool) -> f64 {
     average(&zz_expectations(state, cyclic))
 }

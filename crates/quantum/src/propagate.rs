@@ -55,8 +55,8 @@ use crate::compiled::CompiledHamiltonian;
 use crate::schedule::{CompiledSchedule, DiagTableScratch};
 use crate::state::StateVector;
 use crate::stepper::{
-    ChebyshevStepper, EvolveOptions, KrylovStepper, SpectralBound, Stepper, StepperKind,
-    TaylorStepper, MAX_STEP_PHASE, MAX_TAYLOR_ORDER,
+    BatchedTaylorStepper, ChebyshevStepper, EvolveOptions, KrylovStepper, SpectralBound, Stepper,
+    StepperKind, TaylorStepper, MAX_STEP_PHASE, MAX_TAYLOR_ORDER,
 };
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::Complex;
@@ -105,6 +105,7 @@ pub const MAX_RECORDED_DECISIONS: usize = 1 << 16;
 pub struct Propagator {
     options: EvolveOptions,
     taylor: TaylorStepper,
+    batched: BatchedTaylorStepper,
     krylov: KrylovStepper,
     chebyshev: ChebyshevStepper,
     /// The fixed backend that integrated each segment, in evolution order
@@ -131,6 +132,7 @@ impl Propagator {
         Propagator {
             options,
             taylor: TaylorStepper::new(options.tolerance),
+            batched: BatchedTaylorStepper::new(options.tolerance),
             krylov: KrylovStepper::new(options.tolerance),
             chebyshev: ChebyshevStepper::new(options.tolerance),
             decisions: Vec::new(),
@@ -157,16 +159,33 @@ impl Propagator {
     /// construction or the last [`reset_kernel_applications`](Propagator::reset_kernel_applications).
     pub fn kernel_applications(&self) -> u64 {
         self.taylor.kernel_applications()
+            + self.batched.kernel_applications()
             + self.krylov.kernel_applications()
             + self.chebyshev.kernel_applications()
+    }
+
+    /// Total state-sized amplitude passes across every backend since
+    /// construction or the last reset (see
+    /// [`Stepper::state_passes`]) —
+    /// the memory-traffic measure the batched multi-segment sweep is gated
+    /// on in `BENCH_schedule.json`.
+    pub fn state_passes(&self) -> u64 {
+        self.taylor.state_passes()
+            + self.batched.state_passes()
+            + self.krylov.state_passes()
+            + self.chebyshev.state_passes()
     }
 
     /// Per-backend `H|ψ⟩` kernel applications since construction or the last
     /// reset, in [`StepperKind::fixed`] order — shows where `Auto` actually
     /// spent the work.
-    pub fn kernel_applications_by_backend(&self) -> [(StepperKind, u64); 3] {
+    pub fn kernel_applications_by_backend(&self) -> [(StepperKind, u64); 4] {
         [
             (StepperKind::Taylor, self.taylor.kernel_applications()),
+            (
+                StepperKind::BatchedTaylor,
+                self.batched.kernel_applications(),
+            ),
             (StepperKind::Krylov, self.krylov.kernel_applications()),
             (StepperKind::Chebyshev, self.chebyshev.kernel_applications()),
         ]
@@ -187,29 +206,44 @@ impl Propagator {
         &self.decisions
     }
 
-    /// Resets the kernel-application counters of every backend and the
-    /// recorded per-segment decisions.
+    /// Resets the kernel-application and pass counters of every backend and
+    /// the recorded per-segment decisions.
     pub fn reset_kernel_applications(&mut self) {
         self.taylor.reset_kernel_applications();
+        self.batched.reset_kernel_applications();
         self.krylov.reset_kernel_applications();
         self.chebyshev.reset_kernel_applications();
         self.decisions.clear();
+    }
+
+    /// Resolves the backend kind for one segment (the cost-model choice
+    /// under `Auto`) and records the decision (up to
+    /// [`MAX_RECORDED_DECISIONS`]).
+    fn resolve_kind(&mut self, bound: &SpectralBound, duration: f64) -> StepperKind {
+        let kind = self.options.resolve(bound, duration);
+        if self.decisions.len() < MAX_RECORDED_DECISIONS {
+            self.decisions.push(kind);
+        }
+        kind
+    }
+
+    /// The stepper implementing a resolved (fixed) backend kind.
+    fn stepper_for(&mut self, kind: StepperKind) -> &mut dyn Stepper {
+        match kind {
+            StepperKind::Taylor => &mut self.taylor,
+            StepperKind::BatchedTaylor => &mut self.batched,
+            StepperKind::Krylov => &mut self.krylov,
+            StepperKind::Chebyshev => &mut self.chebyshev,
+            StepperKind::Auto => unreachable!("resolve returns a fixed backend"),
+        }
     }
 
     /// Resolves the backend for one segment (the cost-model choice under
     /// `Auto`), records the decision (up to [`MAX_RECORDED_DECISIONS`]), and
     /// returns the stepper.
     fn resolve_stepper(&mut self, bound: &SpectralBound, duration: f64) -> &mut dyn Stepper {
-        let kind = self.options.resolve(bound, duration);
-        if self.decisions.len() < MAX_RECORDED_DECISIONS {
-            self.decisions.push(kind);
-        }
-        match kind {
-            StepperKind::Taylor => &mut self.taylor,
-            StepperKind::Krylov => &mut self.krylov,
-            StepperKind::Chebyshev => &mut self.chebyshev,
-            StepperKind::Auto => unreachable!("resolve returns a fixed backend"),
-        }
+        let kind = self.resolve_kind(bound, duration);
+        self.stepper_for(kind)
     }
 
     /// Evolves `state` in place for `time` under a pre-compiled constant
@@ -284,7 +318,19 @@ impl Propagator {
     ///
     /// Stepping, truncation, and norm semantics are identical to
     /// [`evolve_in_place`](Propagator::evolve_in_place) segment by segment,
-    /// through whichever backend the options select.
+    /// through whichever backend the options select — with one structural
+    /// upgrade: consecutive segments that resolve to
+    /// [`StepperKind::BatchedTaylor`] **and** share a mask layout are chained
+    /// through a single batched sweep
+    /// ([`BatchedTaylorStepper::begin_run`] /
+    /// [`run_segment`](BatchedTaylorStepper::run_segment) /
+    /// [`finish_run`](BatchedTaylorStepper::finish_run)): the masks are read
+    /// once from the shared layout while the weights walk adjacent rows of
+    /// the columnar weight matrix, no segment pays a series-copy pass, and
+    /// the whole run shares one drift correction instead of per-step
+    /// norm-and-rescale passes. The run is flushed whenever the layout
+    /// changes or the cost model hands a segment to a different backend — a
+    /// quench segment in the middle of a ramp still goes to Chebyshev.
     ///
     /// # Panics
     ///
@@ -307,6 +353,8 @@ impl Propagator {
         // the weight deltas of changed terms) for the rest of the run. The
         // fill also maintains the table's exact (min, max).
         let mut diag_scratch = DiagTableScratch::new();
+        // The mask layout an open batched sweep is chained on, if any.
+        let mut open_run_layout: Option<usize> = None;
         for index in 0..schedule.num_segments() {
             let duration = schedule.segment_duration(index);
             if duration == 0.0 {
@@ -335,13 +383,32 @@ impl Propagator {
             } else {
                 schedule.segment_bound(index)
             };
-            self.resolve_stepper(&bound, duration).evolve_segment(
-                kernel,
-                &bound,
-                state,
-                duration,
-                reference_norm,
-            );
+            let kind = self.resolve_kind(&bound, duration);
+            if kind == StepperKind::BatchedTaylor {
+                let layout = schedule.segment_layout(index);
+                if open_run_layout != Some(layout) {
+                    if open_run_layout.is_some() {
+                        self.batched.finish_run(state);
+                    }
+                    self.batched.begin_run(state, reference_norm);
+                    open_run_layout = Some(layout);
+                }
+                self.batched.run_segment(kernel, &bound, state, duration);
+            } else {
+                if open_run_layout.take().is_some() {
+                    self.batched.finish_run(state);
+                }
+                self.stepper_for(kind).evolve_segment(
+                    kernel,
+                    &bound,
+                    state,
+                    duration,
+                    reference_norm,
+                );
+            }
+        }
+        if open_run_layout.is_some() {
+            self.batched.finish_run(state);
         }
     }
 }

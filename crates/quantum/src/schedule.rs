@@ -388,6 +388,75 @@ impl CompiledSchedule {
         &self.weights[segment.layout][segment.row * columns..(segment.row + 1) * columns]
     }
 
+    /// The mask-layout index segment `index` reads (in `0..`[`num_layouts`](CompiledSchedule::num_layouts)).
+    /// Segments with equal layout indices share one columnar mask array —
+    /// the precondition for chaining them through a batched multi-segment
+    /// sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn segment_layout(&self, index: usize) -> usize {
+        self.segments[index].layout
+    }
+
+    /// Schedule-level **introspection** of the ramp-shaped trains the
+    /// batched multi-segment sweep targets: maximal ranges of consecutive
+    /// segments that (a) share one mask layout, so a batched sweep reads the
+    /// masks once and walks adjacent rows of the columnar weight matrix, and
+    /// (b) are *tiny* — a single Taylor step each (`step_strength·Δt ≤ ½`).
+    /// Zero-duration segments are skipped transparently (they are exact
+    /// identities and do not break a run).
+    ///
+    /// This is a *conservative predictor*, not the grouping the evolution
+    /// actually executes:
+    /// [`Propagator::evolve_schedule_in_place`](crate::Propagator::evolve_schedule_in_place)
+    /// chains whatever consecutive same-layout segments the cost model
+    /// resolves to [`StepperKind::BatchedTaylor`](crate::StepperKind) — which
+    /// can include multi-step segments the single-step criterion here
+    /// excludes (batched evolution is numerically valid for *any* segment:
+    /// it runs the per-segment Taylor series with identical step splitting
+    /// and truncation, so it meets the [`EvolveOptions`](crate::EvolveOptions)
+    /// tolerance by construction; the conformance suite pins it to the naive
+    /// reference on every scenario family). Use this for planning and
+    /// reporting — e.g. "is this schedule ramp-shaped?" — and
+    /// [`Propagator::segment_decisions`](crate::Propagator::segment_decisions)
+    /// for what actually ran.
+    ///
+    /// Singleton runs are included: even one tiny segment saves its series
+    /// copy and rescale passes.
+    pub fn batch_runs(&self) -> Vec<std::ops::Range<usize>> {
+        let eligible = |index: usize| {
+            let segment = &self.segments[index];
+            segment.duration > 0.0
+                && segment.bound.step_strength * segment.duration <= crate::stepper::MAX_STEP_PHASE
+        };
+        let mut runs = Vec::new();
+        let mut index = 0;
+        while index < self.segments.len() {
+            if !eligible(index) {
+                index += 1;
+                continue;
+            }
+            let layout = self.segments[index].layout;
+            let start = index;
+            index += 1;
+            while index < self.segments.len()
+                && self.segments[index].layout == layout
+                && (eligible(index) || self.segments[index].duration == 0.0)
+            {
+                index += 1;
+            }
+            // Trim trailing zero-duration segments out of the run.
+            let mut end = index;
+            while end > start + 1 && self.segments[end - 1].duration == 0.0 {
+                end -= 1;
+            }
+            runs.push(start..end);
+        }
+        runs
+    }
+
     /// A view of this schedule with every coefficient multiplied by `scale`
     /// — the shape of a per-run global amplitude miscalibration. The term
     /// *structure* is untouched, so the mask layouts are shared with the
@@ -718,7 +787,10 @@ mod tests {
             .map(|s| (s.hamiltonian.clone(), s.duration))
             .collect();
         let schedule = CompiledSchedule::compile(&segments);
-        for &scale in &[0.85, 1.0, -0.4, 2.5] {
+        // 0.0 and −1.0 are legal miscalibration draws (a Gaussian scale
+        // error can reach and cross zero): zero-scale must evolve as the
+        // exact identity, negative scale as the sign-flipped Hamiltonian.
+        for &scale in &[0.85, 1.0, -0.4, 2.5, 0.0, -1.0] {
             let scaled = schedule.scaled_weights(scale);
             // Layouts are shared, not cloned.
             assert!(schedule.shares_layouts_with(&scaled));
@@ -803,5 +875,63 @@ mod tests {
         let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
         let schedule = CompiledSchedule::compile(&[(h, 0.5)]);
         let _ = schedule.scaled_weights(f64::NAN);
+    }
+
+    #[test]
+    fn zero_scale_evolves_as_exact_identity_with_zero_work() {
+        // scaled_weights(0.0) yields segments with step_strength == 0 and
+        // radius == 0 on every segment. Regression: every backend must
+        // advance them by the exact identity with ZERO kernel applications —
+        // the pre-fix Taylor path spent one degenerate application per
+        // segment (and pure-identity segments spent a full step train).
+        use crate::stepper::{EvolveOptions, StepperKind};
+        use crate::Propagator;
+        let schedule = CompiledSchedule::compile_piecewise(&ramp(10));
+        let zeroed = schedule.scaled_weights(0.0);
+        for index in 0..zeroed.num_segments() {
+            assert_eq!(zeroed.segment_step_strength(index), 0.0);
+            assert_eq!(zeroed.segment_bound(index).radius, 0.0);
+        }
+        let initial = StateVector::plus_state(3);
+        for kind in StepperKind::all() {
+            let mut propagator = Propagator::with_options(EvolveOptions::new(kind));
+            let mut state = initial.clone();
+            propagator.evolve_schedule_in_place(&zeroed, &mut state);
+            assert_eq!(
+                propagator.kernel_applications(),
+                0,
+                "{} spent kernel work on H = 0",
+                kind.name()
+            );
+            for (a, b) in state.amplitudes().iter().zip(initial.amplitudes()) {
+                assert!((*a - *b).abs() < 1e-15, "{}: {a} != {b}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_runs_group_tiny_same_layout_segments() {
+        // A uniform tiny-segment ramp is one maximal run.
+        let schedule = CompiledSchedule::compile_piecewise(&ramp(20));
+        assert_eq!(schedule.batch_runs(), vec![0..20]);
+        for index in 0..20 {
+            assert_eq!(schedule.segment_layout(index), 0);
+        }
+
+        // A long (multi-step) segment splits the grouping; a structure break
+        // starts a new run even for tiny segments.
+        let a = Hamiltonian::from_terms(2, [(1.0, PauliString::single(0, Pauli::X))]);
+        let b = Hamiltonian::from_terms(2, [(0.5, PauliString::two(0, Pauli::Z, 1, Pauli::Z))]);
+        let schedule = CompiledSchedule::compile(&[
+            (a.clone(), 0.1),  // run 0 (layout 0)
+            (a.clone(), 0.0),  // zero-duration: transparent inside run 0
+            (a.clone(), 0.15), // still run 0
+            (a.clone(), 30.0), // multi-step: excluded
+            (b.clone(), 0.1),  // run 1 (layout 1)
+            (a.clone(), 0.2),  // run 2 (layout 0 again)
+        ]);
+        assert_eq!(schedule.batch_runs(), vec![0..3, 4..5, 5..6]);
+        assert_eq!(schedule.segment_layout(4), 1);
+        assert_eq!(schedule.segment_layout(5), 0);
     }
 }

@@ -1,13 +1,13 @@
 //! Choosing a time-evolution backend: Taylor vs Lanczos–Krylov vs Chebyshev
 //! vs the automatic per-segment selection.
 //!
-//! The same long-time Heisenberg quench is integrated with all three fixed
+//! The same long-time Heisenberg quench is integrated with all four fixed
 //! stepper backends plus `StepperKind::Auto`; each reports its `H|ψ⟩`
 //! kernel-application count — the work measure the backends compete on — and
 //! all final states agree to 1e-10. `Auto` (the default everywhere) prices
 //! the backends per segment from the compiled spectral bound and picks the
-//! cheapest: Chebyshev on this quench, Taylor on short ramp segments, as the
-//! mixed schedule at the end shows. The run then drives the emulated device
+//! cheapest: Chebyshev on this quench, the batched Taylor sweep on short
+//! ramp segments, as the mixed schedule at the end shows. The run then drives the emulated device
 //! with its default (automatic) options to show the selection threading end
 //! to end.
 //!

@@ -9,9 +9,8 @@ use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
 use qturbo_baseline::{BaselineCompiler, BaselineOptions};
 use qturbo_hamiltonian::models::mis_chain;
 use qturbo_quantum::observable::measure_z_zz;
-use qturbo_quantum::propagate::evolve_schedule;
 use qturbo_quantum::schedule::CompiledSchedule;
-use qturbo_quantum::StateVector;
+use qturbo_quantum::{Propagator, StateVector, StepperKind};
 
 fn main() {
     let num_atoms = 5;
@@ -42,15 +41,32 @@ fn main() {
     // Execute the compiled schedule and look at the final ⟨Z⟩ pattern: an
     // (approximate) independent set shows alternating excitation. The pulse
     // segments share their term structure, so the mask layout is compiled
-    // once and reused with per-segment weight swaps.
+    // once and reused with per-segment weight swaps — and runs of tiny
+    // same-layout segments are swept by the batched multi-segment kernel,
+    // which the automatic backend selection picks on ramp-shaped trains.
     let segments = result.schedule.hamiltonians(&aais).unwrap();
     let compiled = CompiledSchedule::compile(&segments);
     println!(
-        "  mask layouts     : {} (for {} segments)",
+        "  mask layouts     : {} (for {} segments, {} batchable runs)",
         compiled.num_layouts(),
-        compiled.num_segments()
+        compiled.num_segments(),
+        compiled.batch_runs().len(),
     );
-    let final_state = evolve_schedule(&StateVector::zero_state(num_atoms), &compiled);
+    let mut propagator = Propagator::new();
+    let mut final_state = StateVector::zero_state(num_atoms);
+    propagator.evolve_schedule_in_place(&compiled, &mut final_state);
+    let batched_segments = propagator
+        .segment_decisions()
+        .iter()
+        .filter(|&&kind| kind == StepperKind::BatchedTaylor)
+        .count();
+    println!(
+        "  evolution        : {}/{} segments batched, {} H|psi> applications, {} amplitude passes",
+        batched_segments,
+        propagator.segment_decisions().len(),
+        propagator.kernel_applications(),
+        propagator.state_passes(),
+    );
     let observables = measure_z_zz(&final_state, false);
     println!(
         "  final per-atom <Z>: {:?}  (ZZ_avg {:.3})",

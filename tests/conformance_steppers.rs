@@ -11,7 +11,9 @@
 //! * the single-qubit `n = 1` register (the smallest mask layout, where
 //!   wrap-around and bond bookkeeping historically broke),
 //! * long-duration segments (`‖H‖·t ≫ 1`, the high-order backends' regime),
-//! * mixed-structure schedules (multiple mask layouts in one run).
+//! * mixed-structure schedules (multiple mask layouts in one run),
+//! * a dense same-layout ramp of tiny segments (the batched multi-segment
+//!   sweep's carry chaining, boundary passes, and run-end flush).
 //!
 //! Every `backend × path` result is pinned **pairwise** to 1e-10 and to the
 //! scalar naive reference — so a new backend, a new evolution path, or a
@@ -204,6 +206,33 @@ fn scenarios(seed: u64) -> Vec<Scenario> {
         name: "mixed_structures".into(),
         num_qubits: 2,
         segments: vec![(a.clone(), 0.3), (b, 0.5), (a.scaled(0.7), 0.4)],
+    });
+
+    // --- Dense ramp: a long same-layout train of tiny segments, the shape
+    // the batched multi-segment sweep chains through one carry-connected
+    // run (every boundary pass is exercised, including the run-end flush).
+    let dense_segments = 40;
+    let segments = (0..dense_segments)
+        .map(|index| {
+            let s = index as f64 / dense_segments as f64;
+            (
+                Hamiltonian::from_terms(
+                    3,
+                    [
+                        (1.0 - s, PauliString::single(0, Pauli::X)),
+                        (0.3 + 0.9 * s, PauliString::two(0, Pauli::Z, 1, Pauli::Z)),
+                        (0.5 - 0.2 * s, PauliString::single(1, Pauli::Z)),
+                        (0.2 + 0.3 * s, PauliString::single(2, Pauli::Y)),
+                    ],
+                ),
+                0.03,
+            )
+        })
+        .collect();
+    out.push(Scenario {
+        name: "dense_ramp".into(),
+        num_qubits: 3,
+        segments,
     });
 
     out

@@ -1,8 +1,8 @@
-//! Property tests pinning the Lanczos–Krylov and Chebyshev steppers to the
-//! Taylor / naive references:
+//! Property tests pinning the batched-Taylor, Lanczos–Krylov, and Chebyshev
+//! steppers to the Taylor / naive references:
 //!
-//! * all three backends must agree with `evolve_naive` to 1e-10 on random
-//!   Hamiltonians, including Y-heavy term mixes,
+//! * all four fixed backends must agree with `evolve_naive` to 1e-10 on
+//!   random Hamiltonians, including Y-heavy term mixes,
 //! * near-degenerate spectra (coefficient gaps down to 1e-9) must not break
 //!   the Krylov basis or the Chebyshev interval mapping,
 //! * long-duration segments (`‖H‖·t ≫ 1`) must agree at the same 1e-10 while
@@ -156,9 +156,13 @@ fn backends_agree_on_long_durations_with_less_work() {
         propagator.evolve_in_place(&compiled, &mut state, time);
         work.push(propagator.kernel_applications());
     }
-    let [taylor, krylov, chebyshev] = work[..] else {
+    let [taylor, batched, krylov, chebyshev] = work[..] else {
         unreachable!()
     };
+    assert_eq!(
+        batched, taylor,
+        "the batched sweep runs the identical Taylor series"
+    );
     assert!(
         krylov * 2 < taylor,
         "krylov should need far fewer applications: {krylov} vs {taylor}"
@@ -224,7 +228,11 @@ fn schedule_driver_is_backend_independent() {
     let schedule = CompiledSchedule::compile(&segments);
     let initial = random_state(&mut rng, num_qubits);
     let reference = evolve_schedule_with(&initial, &schedule, EvolveOptions::taylor());
-    for options in [EvolveOptions::krylov(), EvolveOptions::chebyshev()] {
+    for options in [
+        EvolveOptions::batched_taylor(),
+        EvolveOptions::krylov(),
+        EvolveOptions::chebyshev(),
+    ] {
         let evolved = evolve_schedule_with(&initial, &schedule, options);
         for (a, b) in evolved.amplitudes().iter().zip(reference.amplitudes()) {
             assert!(
@@ -237,13 +245,29 @@ fn schedule_driver_is_backend_independent() {
 }
 
 #[test]
-fn auto_picks_taylor_on_short_ramp_segments() {
-    // The MIS annealing shape: many tiny segments, where Taylor's minimal
-    // per-segment overhead wins (BENCH_stepper.json: taylor 761 vs
-    // chebyshev 812 applications on the 8q ramp, and lower wall time). A
-    // silent crossover regression in the cost model fails this loudly.
+fn auto_batches_short_ramp_segments() {
+    // The MIS annealing shape: many tiny segments, where the Taylor series
+    // wins over the high-order backends and the batched sweep undercuts the
+    // per-segment Taylor overhead — the "ramps batch" regression. A silent
+    // crossover regression in the cost model fails this loudly.
     let ramp = mis_chain(6, 1.0, 1.0, 1.0, 1.0, 60);
     let schedule = CompiledSchedule::compile_piecewise(&ramp);
+    // Every tiny segment is batchable; the runs split only where the term
+    // structure does (the segment whose summed identity coefficient crosses
+    // exactly zero compiles its own layout).
+    let runs = schedule.batch_runs();
+    assert_eq!(
+        runs.iter().map(|r| r.len()).sum::<usize>(),
+        schedule.num_segments()
+    );
+    // Runs break only at structure boundaries (consecutive runs never share
+    // a layout).
+    for pair in runs.windows(2) {
+        assert_ne!(
+            schedule.segment_layout(pair[0].start),
+            schedule.segment_layout(pair[1].start)
+        );
+    }
     let mut propagator = Propagator::new();
     assert_eq!(propagator.options().stepper, StepperKind::Auto);
     let mut state = StateVector::zero_state(6);
@@ -251,30 +275,42 @@ fn auto_picks_taylor_on_short_ramp_segments() {
     let decisions = propagator.segment_decisions();
     assert_eq!(decisions.len(), schedule.num_segments());
     assert!(
-        decisions.iter().all(|&kind| kind == StepperKind::Taylor),
-        "expected all-Taylor on the short-segment ramp, got {decisions:?}"
+        decisions
+            .iter()
+            .all(|&kind| kind == StepperKind::BatchedTaylor),
+        "expected all-batched on the short-segment ramp, got {decisions:?}"
     );
     // The work landed where the decisions say it did.
     for (kind, applications) in propagator.kernel_applications_by_backend() {
-        if kind == StepperKind::Taylor {
+        if kind == StepperKind::BatchedTaylor {
             assert!(applications > 0);
         } else {
             assert_eq!(
                 applications,
                 0,
-                "{} did work on an all-Taylor run",
+                "{} did work on an all-batched run",
                 kind.name()
             );
         }
     }
-    // And the Auto result matches the Taylor-pinned result exactly (same
-    // backend, same arithmetic).
-    let reference = evolve_schedule_with(
-        &StateVector::zero_state(6),
-        &schedule,
-        EvolveOptions::taylor(),
+    // The batched sweep runs the identical Taylor series: same application
+    // count as the per-segment reference, strictly fewer amplitude passes.
+    let mut taylor = Propagator::with_stepper(StepperKind::Taylor);
+    let mut taylor_state = StateVector::zero_state(6);
+    taylor.evolve_schedule_in_place(&schedule, &mut taylor_state);
+    assert_eq!(
+        propagator.kernel_applications(),
+        taylor.kernel_applications()
     );
-    for (a, b) in state.amplitudes().iter().zip(reference.amplitudes()) {
+    assert!(
+        propagator.state_passes() < taylor.state_passes(),
+        "batched {} passes vs per-segment {}",
+        propagator.state_passes(),
+        taylor.state_passes()
+    );
+    // And the Auto result matches the Taylor-pinned result to conformance
+    // accuracy (identical series; only the drift-correction timing differs).
+    for (a, b) in state.amplitudes().iter().zip(taylor_state.amplitudes()) {
         assert!((*a - *b).abs() < 1e-12, "{a} != {b}");
     }
 }
@@ -326,10 +362,11 @@ fn auto_decides_per_segment_not_per_run() {
     assert_eq!(
         propagator.segment_decisions(),
         &[
-            StepperKind::Taylor,
+            StepperKind::BatchedTaylor,
             StepperKind::Chebyshev,
-            StepperKind::Taylor
-        ]
+            StepperKind::BatchedTaylor
+        ],
+        "tiny ramp segments batch, the quench in the middle still goes to Chebyshev"
     );
     // Pairwise agreement with the fixed backends on the same schedule.
     for kind in StepperKind::fixed() {
@@ -353,6 +390,7 @@ fn auto_cost_model_is_overridable_per_call() {
     let schedule = CompiledSchedule::compile(&segments);
     let model = AutoCostModel {
         taylor_application_cost: 1e9,
+        batched_taylor_application_cost: 1e9,
         chebyshev_application_cost: 1e9,
         ..AutoCostModel::default()
     };
