@@ -18,10 +18,21 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> clippy unwrap/expect gate (quantum + math library code)"
+# The evolution pipeline is panic-free by contract (see the Robustness
+# section of crates/quantum/src/lib.rs): library code in the quantum and
+# math crates must not grow new unwrap()/expect() calls. The few justified
+# sites carry statement-level #[allow]s with a reason. Test modules and doc
+# examples are exempt (--lib).
+cargo clippy -p qturbo-quantum -p qturbo-math --lib -- -D warnings -W clippy::unwrap-used -W clippy::expect-used
+
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "==> tier-1: cargo build --release && cargo test -q"
+# Includes tests/prop_faults.rs — the fault-injection conformance grid
+# (every failure class x every stepper backend recovers or errors, never
+# panics, never silently wrong).
 cargo build --release
 cargo test -q
 

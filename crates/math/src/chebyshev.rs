@@ -27,6 +27,16 @@
 //! assert!((j[1] - 0.4400505857449335).abs() < 1e-14); // J₁(1)
 //! ```
 
+use crate::{MathError, MathResult};
+
+/// Largest expansion span accepted by [`try_chebyshev_exp_coefficients`] and
+/// [`try_chebyshev_exp_order`]. Beyond this, the truncation order (≈ span)
+/// would demand millions of Hamiltonian applications per step — far past the
+/// point where any caller should have split the evolution into shorter
+/// segments — so the fallible entry points report it as an argument error
+/// instead of allocating a multi-megabyte coefficient vector.
+pub const MAX_EXP_SPAN: f64 = 4.0e6;
+
 /// Number of extra orders above the requested maximum at which Miller's
 /// downward recurrence is seeded. `J_k(x)` decays superexponentially for
 /// `k ≳ x`, so a modest margin pushes the seed error below machine epsilon.
@@ -52,12 +62,23 @@ fn miller_start_order(max_order: usize, x: f64) -> usize {
 ///
 /// Panics if `x` is not finite.
 pub fn bessel_j_sequence(max_order: usize, x: f64) -> Vec<f64> {
-    assert!(x.is_finite(), "Bessel argument must be finite");
+    try_bessel_j_sequence(max_order, x).unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible variant of [`bessel_j_sequence`]: returns
+/// [`MathError::InvalidArgument`] instead of panicking when `x` is not
+/// finite.
+pub fn try_bessel_j_sequence(max_order: usize, x: f64) -> MathResult<Vec<f64>> {
+    if !x.is_finite() {
+        return Err(MathError::InvalidArgument {
+            context: "Bessel argument must be finite".to_string(),
+        });
+    }
     let ax = x.abs();
     if ax == 0.0 {
         let mut out = vec![0.0; max_order + 1];
         out[0] = 1.0;
-        return out;
+        return Ok(out);
     }
 
     let start = miller_start_order(max_order, ax);
@@ -100,7 +121,7 @@ pub fn bessel_j_sequence(max_order: usize, x: f64) -> Vec<f64> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// `J_k(x)` for a single order `k`.
@@ -133,19 +154,49 @@ pub fn bessel_j(order: usize, x: f64) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `z` is negative or not finite, or `tolerance` is not positive.
+/// Panics if `z` is negative, not finite, or larger than [`MAX_EXP_SPAN`],
+/// or `tolerance` is not positive.
 pub fn chebyshev_exp_coefficients(z: f64, tolerance: f64) -> Vec<f64> {
-    assert!(z.is_finite() && z >= 0.0, "expansion span must be ≥ 0");
-    assert!(tolerance > 0.0, "tolerance must be positive");
+    try_chebyshev_exp_coefficients(z, tolerance).unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible variant of [`chebyshev_exp_coefficients`]: returns
+/// [`MathError::InvalidArgument`] instead of panicking when the span is
+/// negative, non-finite, or larger than [`MAX_EXP_SPAN`], or the tolerance is
+/// not positive.
+pub fn try_chebyshev_exp_coefficients(z: f64, tolerance: f64) -> MathResult<Vec<f64>> {
+    validate_expansion_span(z, tolerance)?;
     if z == 0.0 {
-        return vec![1.0];
+        return Ok(vec![1.0]);
     }
-    let j = bessel_j_sequence(scan_cap(z), z);
+    let j = try_bessel_j_sequence(scan_cap(z), z)?;
     let mut coefficients: Vec<f64> = j[..=truncation_order(&j, z, tolerance)].to_vec();
     for value in coefficients.iter_mut().skip(1) {
         *value *= 2.0;
     }
-    coefficients
+    Ok(coefficients)
+}
+
+/// Shared argument validation for the fallible expansion entry points.
+fn validate_expansion_span(z: f64, tolerance: f64) -> MathResult<()> {
+    if !z.is_finite() || z < 0.0 {
+        return Err(MathError::InvalidArgument {
+            context: "expansion span must be ≥ 0".to_string(),
+        });
+    }
+    if z > MAX_EXP_SPAN {
+        return Err(MathError::InvalidArgument {
+            context: format!(
+                "expansion span {z:.3e} overflows the supported truncation order (max span {MAX_EXP_SPAN:.1e})"
+            ),
+        });
+    }
+    if tolerance.is_nan() || tolerance <= 0.0 {
+        return Err(MathError::InvalidArgument {
+            context: "tolerance must be positive".to_string(),
+        });
+    }
+    Ok(())
 }
 
 /// Generous a-priori cap on the truncation order, shared by
@@ -178,15 +229,23 @@ fn truncation_order(j: &[f64], z: f64, tolerance: f64) -> usize {
 ///
 /// # Panics
 ///
-/// Panics if `z` is negative or not finite, or `tolerance` is not positive.
+/// Panics if `z` is negative, not finite, or larger than [`MAX_EXP_SPAN`],
+/// or `tolerance` is not positive.
 pub fn chebyshev_exp_order(z: f64, tolerance: f64) -> usize {
-    assert!(z.is_finite() && z >= 0.0, "expansion span must be ≥ 0");
-    assert!(tolerance > 0.0, "tolerance must be positive");
+    try_chebyshev_exp_order(z, tolerance).unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible variant of [`chebyshev_exp_order`]: returns
+/// [`MathError::InvalidArgument`] instead of panicking when the span is
+/// negative, non-finite, or larger than [`MAX_EXP_SPAN`], or the tolerance is
+/// not positive.
+pub fn try_chebyshev_exp_order(z: f64, tolerance: f64) -> MathResult<usize> {
+    validate_expansion_span(z, tolerance)?;
     if z == 0.0 {
-        return 0;
+        return Ok(0);
     }
-    let j = bessel_j_sequence(scan_cap(z), z);
-    truncation_order(&j, z, tolerance)
+    let j = try_bessel_j_sequence(scan_cap(z), z)?;
+    Ok(truncation_order(&j, z, tolerance))
 }
 
 #[cfg(test)]

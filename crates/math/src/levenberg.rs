@@ -173,6 +173,8 @@ impl LevenbergMarquardt {
                 let mut candidate = x.clone();
                 candidate.axpy(-1.0, &step);
                 candidate.clamp_into(lower, upper);
+                // `candidate` is a clone of `x`: the lengths cannot differ.
+                #[allow(clippy::expect_used)]
                 let actual_step = candidate.max_abs_diff(&x).expect("same length");
                 let candidate_residual = Vector::from(residual_fn(candidate.as_slice()));
                 let candidate_cost = 0.5 * candidate_residual.norm_l2().powi(2);

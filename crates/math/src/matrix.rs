@@ -271,6 +271,9 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
+        // Operator syntax has no Result channel; shape mismatches are
+        // programmer errors here (use `add_scaled` for a fallible add).
+        #[allow(clippy::expect_used)]
         self.add_scaled(1.0, rhs)
             .expect("matrix add shape mismatch")
     }
@@ -279,6 +282,9 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
+        // Operator syntax has no Result channel; shape mismatches are
+        // programmer errors here (use `add_scaled` for a fallible sub).
+        #[allow(clippy::expect_used)]
         self.add_scaled(-1.0, rhs)
             .expect("matrix sub shape mismatch")
     }

@@ -212,6 +212,8 @@ impl NelderMead {
             }
         }
 
+        // The simplex always holds `dim + 1 ≥ 1` vertices.
+        #[allow(clippy::expect_used)]
         let (best_idx, _) = values
             .iter()
             .enumerate()

@@ -541,7 +541,10 @@ impl FusedKernel<'_> {
                 .collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("kernel worker panicked"))
+                .map(|w| {
+                    w.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .sum()
         });
         norm_sqr.sqrt()
@@ -599,7 +602,10 @@ impl FusedKernel<'_> {
                 .collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("kernel worker panicked"))
+                .map(|w| {
+                    w.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .sum()
         });
         norm_sqr.sqrt()
@@ -668,7 +674,10 @@ impl FusedKernel<'_> {
                 .collect();
             workers
                 .into_iter()
-                .map(|w| w.join().expect("kernel worker panicked"))
+                .map(|w| {
+                    w.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
                 .sum()
         });
         norm_sqr.sqrt()

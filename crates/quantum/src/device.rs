@@ -20,6 +20,7 @@
 //! * **Shot noise** — observables are estimated from a finite number of
 //!   Bernoulli samples (1000 shots in the paper).
 
+use crate::error::EvolveError;
 use crate::observable::measure_z_zz;
 use crate::propagate::Propagator;
 use crate::schedule::CompiledSchedule;
@@ -105,25 +106,45 @@ impl NoiseModel {
     /// (negative `depolarizing_rate`), or silently pretend zero shots are
     /// infinitely many (`Some(0)`).
     pub fn validate(&self) {
-        assert!(
-            self.depolarizing_rate.is_finite() && self.depolarizing_rate >= 0.0,
-            "depolarizing_rate must be finite and non-negative, got {}",
-            self.depolarizing_rate
-        );
-        assert!(
-            self.amplitude_miscalibration.is_finite() && self.amplitude_miscalibration >= 0.0,
-            "amplitude_miscalibration must be finite and non-negative, got {}",
-            self.amplitude_miscalibration
-        );
-        assert!(
-            self.readout_error.is_finite() && (0.0..=0.5).contains(&self.readout_error),
-            "readout_error must lie in [0, 0.5] ((1 - 2p)^w flips signs past 0.5), got {}",
-            self.readout_error
-        );
-        assert!(
-            self.shots != Some(0),
-            "shots = Some(0) estimates nothing; use None for exact expectation values"
-        );
+        if let Err(error) = self.try_validate() {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible variant of [`validate`](NoiseModel::validate): reports an
+    /// out-of-range field as [`EvolveError::InvalidInput`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvalidInput`] naming the offending field.
+    pub fn try_validate(&self) -> Result<(), EvolveError> {
+        let invalid = |context: String| Err(EvolveError::InvalidInput { context });
+        if !(self.depolarizing_rate.is_finite() && self.depolarizing_rate >= 0.0) {
+            return invalid(format!(
+                "depolarizing_rate must be finite and non-negative, got {}",
+                self.depolarizing_rate
+            ));
+        }
+        if !(self.amplitude_miscalibration.is_finite() && self.amplitude_miscalibration >= 0.0) {
+            return invalid(format!(
+                "amplitude_miscalibration must be finite and non-negative, got {}",
+                self.amplitude_miscalibration
+            ));
+        }
+        if !(self.readout_error.is_finite() && (0.0..=0.5).contains(&self.readout_error)) {
+            return invalid(format!(
+                "readout_error must lie in [0, 0.5] ((1 - 2p)^w flips signs past 0.5), got {}",
+                self.readout_error
+            ));
+        }
+        if self.shots == Some(0) {
+            return invalid(
+                "shots = Some(0) estimates nothing; use None for exact expectation values"
+                    .to_string(),
+            );
+        }
+        Ok(())
     }
 }
 
@@ -229,17 +250,37 @@ impl EmulatedDevice {
     ///
     /// # Panics
     ///
-    /// Panics if a segment acts on more than `num_qubits` qubits.
+    /// Panics on the failures [`try_run`](EmulatedDevice::try_run) reports
+    /// as errors.
     pub fn run(
         &self,
         segments: &[(Hamiltonian, f64)],
         num_qubits: usize,
         cyclic: bool,
     ) -> DeviceRun {
+        self.try_run(segments, num_qubits, cyclic)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of [`run`](EmulatedDevice::run).
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvalidInput`] for an out-of-range noise model, an
+    /// empty segment list, or a schedule wider than the register; any
+    /// [`EvolveError`] of the underlying evolution.
+    pub fn try_run(
+        &self,
+        segments: &[(Hamiltonian, f64)],
+        num_qubits: usize,
+        cyclic: bool,
+    ) -> Result<DeviceRun, EvolveError> {
         let schedule = CompiledSchedule::compile(segments);
-        self.run_compiled(&schedule, num_qubits, cyclic, 1)
-            .pop()
-            .expect("one realization requested")
+        let mut runs = self.try_run_compiled(&schedule, num_qubits, cyclic, 1)?;
+        match runs.pop() {
+            Some(run) => Ok(run),
+            None => unreachable!("one realization requested"),
+        }
     }
 
     /// [`run`](EmulatedDevice::run) repeated over `realizations` independent
@@ -249,7 +290,9 @@ impl EmulatedDevice {
     ///
     /// # Panics
     ///
-    /// Panics if a segment acts on more than `num_qubits` qubits.
+    /// Panics on the failures
+    /// [`try_run_realizations`](EmulatedDevice::try_run_realizations)
+    /// reports as errors.
     pub fn run_realizations(
         &self,
         segments: &[(Hamiltonian, f64)],
@@ -257,8 +300,25 @@ impl EmulatedDevice {
         cyclic: bool,
         realizations: usize,
     ) -> Vec<DeviceRun> {
+        self.try_run_realizations(segments, num_qubits, cyclic, realizations)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of
+    /// [`run_realizations`](EmulatedDevice::run_realizations).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_run_compiled`](EmulatedDevice::try_run_compiled).
+    pub fn try_run_realizations(
+        &self,
+        segments: &[(Hamiltonian, f64)],
+        num_qubits: usize,
+        cyclic: bool,
+        realizations: usize,
+    ) -> Result<Vec<DeviceRun>, EvolveError> {
         let schedule = CompiledSchedule::compile(segments);
-        self.run_compiled(&schedule, num_qubits, cyclic, realizations)
+        self.try_run_compiled(&schedule, num_qubits, cyclic, realizations)
     }
 
     /// Runs a pre-compiled schedule over `realizations` independent noise
@@ -274,8 +334,9 @@ impl EmulatedDevice {
     ///
     /// # Panics
     ///
-    /// Panics if the schedule acts on more than `num_qubits` qubits, or the
-    /// noise model fails [`NoiseModel::validate`].
+    /// Panics on the failures
+    /// [`try_run_compiled`](EmulatedDevice::try_run_compiled) reports as
+    /// errors.
     pub fn run_compiled(
         &self,
         schedule: &CompiledSchedule,
@@ -283,7 +344,34 @@ impl EmulatedDevice {
         cyclic: bool,
         realizations: usize,
     ) -> Vec<DeviceRun> {
-        self.noise.validate();
+        self.try_run_compiled(schedule, num_qubits, cyclic, realizations)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of [`run_compiled`](EmulatedDevice::run_compiled).
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvalidInput`] if the noise model fails
+    /// [`NoiseModel::try_validate`], the schedule has no segments (a device
+    /// run of nothing measures nothing — callers wanting an identity
+    /// evolution say so with a zero-duration segment), or the schedule acts
+    /// on more than `num_qubits` qubits; otherwise any [`EvolveError`] of
+    /// the underlying schedule evolution.
+    pub fn try_run_compiled(
+        &self,
+        schedule: &CompiledSchedule,
+        num_qubits: usize,
+        cyclic: bool,
+        realizations: usize,
+    ) -> Result<Vec<DeviceRun>, EvolveError> {
+        self.noise.try_validate()?;
+        if schedule.num_segments() == 0 {
+            return Err(EvolveError::InvalidInput {
+                context: "empty schedules cannot be run on a device (no pulse to execute)"
+                    .to_string(),
+            });
+        }
         let execution_time = schedule.total_time();
         let mut propagator = Propagator::with_options(self.options);
         (0..realizations)
@@ -304,12 +392,12 @@ impl EmulatedDevice {
                 let effective = if scale == 1.0 {
                     schedule
                 } else {
-                    scaled = schedule.scaled_weights(scale);
+                    scaled = schedule.try_scaled_weights(scale)?;
                     &scaled
                 };
 
                 let mut final_state = StateVector::zero_state(num_qubits);
-                propagator.evolve_schedule_in_place(effective, &mut final_state);
+                propagator.try_evolve_schedule_in_place(effective, &mut final_state)?;
 
                 let damp = |weight: f64| {
                     let depolarizing =
@@ -330,11 +418,11 @@ impl EmulatedDevice {
                     .map(|e| self.estimate(e * damp(2.0), &mut rng))
                     .collect();
 
-                DeviceRun {
+                Ok(DeviceRun {
                     z,
                     zz,
                     execution_time,
-                }
+                })
             })
             .collect()
     }

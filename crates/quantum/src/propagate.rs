@@ -52,6 +52,8 @@
 //! layout-reuse win too.
 
 use crate::compiled::CompiledHamiltonian;
+use crate::error::{EvolveError, RecoveryEvent, RecoveryLog};
+use crate::fault::{Fault, FaultInjector};
 use crate::schedule::{CompiledSchedule, DiagTableScratch};
 use crate::state::StateVector;
 use crate::stepper::{
@@ -112,6 +114,14 @@ pub struct Propagator {
     /// since the last reset (for `Auto`, the per-segment cost-model choice;
     /// for a fixed stepper, that stepper).
     decisions: Vec<StepperKind>,
+    /// Recovered mid-schedule failures (guardrail trip → Taylor fallback).
+    recovery: RecoveryLog,
+    /// Optional fault injector corrupting chosen schedule segments
+    /// (robustness testing; see [`crate::fault`]).
+    injector: Option<FaultInjector>,
+    /// Pre-corruption snapshot of the state at a fault-injected segment's
+    /// boundary, so even non-rollback-safe backends can be retried there.
+    fault_snapshot: StateVector,
 }
 
 impl Default for Propagator {
@@ -136,6 +146,9 @@ impl Propagator {
             krylov: KrylovStepper::new(options.tolerance),
             chebyshev: ChebyshevStepper::new(options.tolerance),
             decisions: Vec::new(),
+            recovery: RecoveryLog::default(),
+            injector: None,
+            fault_snapshot: StateVector::zeros(0),
         }
     }
 
@@ -206,14 +219,33 @@ impl Propagator {
         &self.decisions
     }
 
-    /// Resets the kernel-application and pass counters of every backend and
-    /// the recorded per-segment decisions.
+    /// Resets the kernel-application and pass counters of every backend, the
+    /// recorded per-segment decisions, and the recovery log.
     pub fn reset_kernel_applications(&mut self) {
         self.taylor.reset_kernel_applications();
         self.batched.reset_kernel_applications();
         self.krylov.reset_kernel_applications();
         self.chebyshev.reset_kernel_applications();
         self.decisions.clear();
+        self.recovery.clear();
+    }
+
+    /// The recovered mid-schedule failures since construction or the last
+    /// [`reset_kernel_applications`](Propagator::reset_kernel_applications):
+    /// each event records the segment, the backend that tripped a guardrail,
+    /// the fallback that re-ran it, and the original error. Empty on every
+    /// healthy run.
+    pub fn recovery_log(&self) -> &RecoveryLog {
+        &self.recovery
+    }
+
+    /// Attaches (or clears, with `None`) a [`FaultInjector`] corrupting
+    /// chosen schedule segments on their first execution — the fault
+    /// injection harness behind `tests/prop_faults.rs`. Faults are consumed
+    /// when their segment runs, so the Taylor retry of a recovered segment
+    /// sees clean data.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
     }
 
     /// Resolves the backend kind for one segment (the cost-model choice
@@ -238,14 +270,6 @@ impl Propagator {
         }
     }
 
-    /// Resolves the backend for one segment (the cost-model choice under
-    /// `Auto`), records the decision (up to [`MAX_RECORDED_DECISIONS`]), and
-    /// returns the stepper.
-    fn resolve_stepper(&mut self, bound: &SpectralBound, duration: f64) -> &mut dyn Stepper {
-        let kind = self.resolve_kind(bound, duration);
-        self.stepper_for(kind)
-    }
-
     /// Evolves `state` in place for `time` under a pre-compiled constant
     /// Hamiltonian: `|ψ⟩ ← exp(−iHt)|ψ⟩`.
     ///
@@ -260,34 +284,84 @@ impl Propagator {
     /// # Panics
     ///
     /// Panics if `time` is negative or not finite, or the Hamiltonian acts on
-    /// more qubits than the state has.
+    /// more qubits than the state has. Use
+    /// [`try_evolve_in_place`](Propagator::try_evolve_in_place) to receive a
+    /// typed [`EvolveError`] instead.
     pub fn evolve_in_place(
         &mut self,
         hamiltonian: &CompiledHamiltonian,
         state: &mut StateVector,
         time: f64,
     ) {
-        assert!(
-            time.is_finite() && time >= 0.0,
-            "evolution time must be non-negative"
-        );
+        if let Err(error) = self.try_evolve_in_place(hamiltonian, state, time) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible variant of [`evolve_in_place`](Propagator::evolve_in_place):
+    /// reports invalid inputs and tripped numerical guardrails as
+    /// [`EvolveError`] instead of panicking.
+    ///
+    /// When the Krylov or Chebyshev backend trips a guardrail, the state is
+    /// rolled back to its pre-evolution value (both backends restore the
+    /// entry state on failure), the evolution is retried with the Taylor
+    /// reference, and the failure is recorded in
+    /// [`recovery_log`](Propagator::recovery_log) — so a recoverable failure
+    /// still returns `Ok` with the correct answer.
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvalidInput`] for a negative/non-finite `time` or a
+    /// non-finite input norm; any guardrail error of the selected backend
+    /// when no fallback applies.
+    pub fn try_evolve_in_place(
+        &mut self,
+        hamiltonian: &CompiledHamiltonian,
+        state: &mut StateVector,
+        time: f64,
+    ) -> Result<(), EvolveError> {
+        if !(time.is_finite() && time >= 0.0) {
+            return Err(EvolveError::InvalidInput {
+                context: format!("evolution time must be non-negative and finite, got {time}"),
+            });
+        }
         if time == 0.0 || hamiltonian.is_empty() {
-            return;
+            return Ok(());
         }
         let reference_norm = state.norm();
+        if !reference_norm.is_finite() {
+            return Err(EvolveError::InvalidInput {
+                context: format!("input state norm is not finite ({reference_norm})"),
+            });
+        }
         if reference_norm == 0.0 {
             // The zero vector is a fixed point of any linear evolution.
-            return;
+            return Ok(());
         }
         let kernel = hamiltonian.kernel();
         let bound = hamiltonian.spectral_bound();
-        self.resolve_stepper(&bound, time).evolve_segment(
-            kernel,
-            &bound,
-            state,
-            time,
-            reference_norm,
-        );
+        let kind = self.resolve_kind(&bound, time);
+        let result =
+            self.stepper_for(kind)
+                .try_evolve_segment(kernel, &bound, state, time, reference_norm);
+        match result {
+            Ok(()) => Ok(()),
+            // Krylov and Chebyshev restore the entry state on failure, so a
+            // Taylor retry starts from clean data. Taylor/BatchedTaylor
+            // leave mid-segment state behind — no safe retry point.
+            Err(error) if matches!(kind, StepperKind::Krylov | StepperKind::Chebyshev) => {
+                self.taylor
+                    .try_evolve_segment(kernel, &bound, state, time, reference_norm)?;
+                self.recovery.push(RecoveryEvent {
+                    segment: None,
+                    backend: kind,
+                    fallback: StepperKind::Taylor,
+                    error,
+                });
+                Ok(())
+            }
+            Err(error) => Err(error),
+        }
     }
 
     /// Evolves `state` in place through a sequence of `(Hamiltonian,
@@ -301,15 +375,40 @@ impl Propagator {
     /// [`CompiledSchedule`] once and use
     /// [`evolve_schedule_in_place`](Propagator::evolve_schedule_in_place)
     /// instead — it reuses one mask layout across segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the failures
+    /// [`try_evolve_piecewise_in_place`](Propagator::try_evolve_piecewise_in_place)
+    /// reports as errors.
     pub fn evolve_piecewise_in_place(
         &mut self,
         segments: &[(Hamiltonian, f64)],
         state: &mut StateVector,
     ) {
-        for (hamiltonian, duration) in segments {
-            let compiled = CompiledHamiltonian::compile(hamiltonian);
-            self.evolve_in_place(&compiled, state, *duration);
+        if let Err(error) = self.try_evolve_piecewise_in_place(segments, state) {
+            panic!("{error}");
         }
+    }
+
+    /// Fallible variant of
+    /// [`evolve_piecewise_in_place`](Propagator::evolve_piecewise_in_place).
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvolveError`] of the per-segment evolution, stamped with the
+    /// index of the failing segment.
+    pub fn try_evolve_piecewise_in_place(
+        &mut self,
+        segments: &[(Hamiltonian, f64)],
+        state: &mut StateVector,
+    ) -> Result<(), EvolveError> {
+        for (index, (hamiltonian, duration)) in segments.iter().enumerate() {
+            let compiled = CompiledHamiltonian::compile(hamiltonian);
+            self.try_evolve_in_place(&compiled, state, *duration)
+                .map_err(|error| error.with_segment(index))?;
+        }
+        Ok(())
     }
 
     /// Evolves `state` in place through a pre-compiled
@@ -334,19 +433,59 @@ impl Propagator {
     ///
     /// # Panics
     ///
-    /// Panics if the schedule acts on more qubits than the state has.
+    /// Panics if the schedule acts on more qubits than the state has, or a
+    /// guardrail failure has no fallback. Use
+    /// [`try_evolve_schedule_in_place`](Propagator::try_evolve_schedule_in_place)
+    /// to receive a typed [`EvolveError`] instead.
     pub fn evolve_schedule_in_place(
         &mut self,
         schedule: &CompiledSchedule,
         state: &mut StateVector,
     ) {
-        assert!(
-            schedule.num_qubits() <= state.num_qubits(),
-            "schedule acts on more qubits than the state"
-        );
+        if let Err(error) = self.try_evolve_schedule_in_place(schedule, state) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible variant of
+    /// [`evolve_schedule_in_place`](Propagator::evolve_schedule_in_place)
+    /// with graceful degradation.
+    ///
+    /// When the Krylov or Chebyshev backend trips a guardrail mid-schedule,
+    /// the state is rolled back to the segment boundary (both backends
+    /// restore it on failure), the segment is retried with the Taylor
+    /// reference, and the failure is recorded in
+    /// [`recovery_log`](Propagator::recovery_log). Under
+    /// [`StepperKind::Auto`] the failing backend is additionally demoted for
+    /// the remainder of this schedule, so the cost model cannot hand it
+    /// another segment. Segments corrupted by an attached
+    /// [`FaultInjector`] are snapshotted at their boundary first, so even
+    /// the non-rollback-safe Taylor backends recover there.
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvalidInput`] if the schedule acts on more qubits
+    /// than the state or the input norm is non-finite; otherwise the
+    /// guardrail error of the failing segment (stamped with its index) when
+    /// no fallback applies or the fallback itself fails.
+    pub fn try_evolve_schedule_in_place(
+        &mut self,
+        schedule: &CompiledSchedule,
+        state: &mut StateVector,
+    ) -> Result<(), EvolveError> {
+        if schedule.num_qubits() > state.num_qubits() {
+            return Err(EvolveError::InvalidInput {
+                context: "schedule acts on more qubits than the state".to_string(),
+            });
+        }
         let reference_norm = state.norm();
+        if !reference_norm.is_finite() {
+            return Err(EvolveError::InvalidInput {
+                context: format!("input state norm is not finite ({reference_norm})"),
+            });
+        }
         if reference_norm == 0.0 {
-            return;
+            return Ok(());
         }
         // Scratch for the per-segment diagonal tables: allocated once on the
         // first diagonal-bearing segment, then updated incrementally (only
@@ -355,6 +494,10 @@ impl Propagator {
         let mut diag_scratch = DiagTableScratch::new();
         // The mask layout an open batched sweep is chained on, if any.
         let mut open_run_layout: Option<usize> = None;
+        // Backends demoted for the rest of this schedule by a recovered
+        // failure; only consulted under `Auto`.
+        let mut demoted_krylov = false;
+        let mut demoted_chebyshev = false;
         for index in 0..schedule.num_segments() {
             let duration = schedule.segment_duration(index);
             if duration == 0.0 {
@@ -383,32 +526,150 @@ impl Propagator {
             } else {
                 schedule.segment_bound(index)
             };
-            let kind = self.resolve_kind(&bound, duration);
-            if kind == StepperKind::BatchedTaylor {
+            let kind = if self.options.stepper == StepperKind::Auto
+                && (demoted_krylov || demoted_chebyshev)
+            {
+                let candidates: Vec<StepperKind> = StepperKind::fixed()
+                    .into_iter()
+                    .filter(|candidate| match candidate {
+                        StepperKind::Krylov => !demoted_krylov,
+                        StepperKind::Chebyshev => !demoted_chebyshev,
+                        _ => true,
+                    })
+                    .collect();
+                let kind = self.options.auto_model.choose_among(
+                    &candidates,
+                    &bound,
+                    duration,
+                    self.options.tolerance,
+                );
+                if self.decisions.len() < MAX_RECORDED_DECISIONS {
+                    self.decisions.push(kind);
+                }
+                kind
+            } else {
+                self.resolve_kind(&bound, duration)
+            };
+            // Arm any faults registered for this segment (consume-once: the
+            // Taylor retry below sees clean data).
+            let faults = match self.injector.as_mut() {
+                Some(injector) => injector.take_faults(index),
+                None => Vec::new(),
+            };
+            let has_faults = !faults.is_empty();
+            let mut effective_bound = bound;
+            if has_faults {
+                // Flush an open batched run first so the snapshot captures
+                // the true segment-boundary state, not a mid-run one.
+                if open_run_layout.take().is_some() {
+                    self.batched
+                        .try_finish_run(state)
+                        .map_err(|error| error.with_segment(index))?;
+                }
+                if self.fault_snapshot.num_qubits() != state.num_qubits() {
+                    self.fault_snapshot = StateVector::zeros(state.num_qubits());
+                }
+                self.fault_snapshot.copy_from(state);
+                for fault in &faults {
+                    match fault {
+                        Fault::BoundPerturbation {
+                            radius_scale,
+                            center_shift,
+                        } => {
+                            effective_bound.radius *= radius_scale;
+                            effective_bound.center += center_shift;
+                        }
+                        Fault::QlNonConvergence => self.krylov.force_ql_nonconvergence(),
+                        Fault::NanAmplitude
+                        | Fault::InfAmplitude
+                        | Fault::AmplitudeSpike { .. } => {
+                            if let Some(injector) = self.injector.as_ref() {
+                                injector.corrupt_state(state, index, fault);
+                            }
+                        }
+                    }
+                }
+            }
+            let result = if kind == StepperKind::BatchedTaylor && !has_faults {
                 let layout = schedule.segment_layout(index);
                 if open_run_layout != Some(layout) {
                     if open_run_layout.is_some() {
-                        self.batched.finish_run(state);
+                        self.batched
+                            .try_finish_run(state)
+                            .map_err(|error| error.with_segment(index))?;
                     }
                     self.batched.begin_run(state, reference_norm);
                     open_run_layout = Some(layout);
                 }
-                self.batched.run_segment(kernel, &bound, state, duration);
+                self.batched
+                    .try_run_segment(kernel, &effective_bound, state, duration)
             } else {
                 if open_run_layout.take().is_some() {
-                    self.batched.finish_run(state);
+                    self.batched
+                        .try_finish_run(state)
+                        .map_err(|error| error.with_segment(index))?;
                 }
-                self.stepper_for(kind).evolve_segment(
+                self.stepper_for(kind).try_evolve_segment(
+                    kernel,
+                    &effective_bound,
+                    state,
+                    duration,
+                    reference_norm,
+                )
+            };
+            if has_faults {
+                // A forced QL failure must not leak into later, un-faulted
+                // segments when a non-Krylov backend ran this one.
+                self.krylov.clear_forced_ql_failure();
+            }
+            if let Err(error) = result {
+                // The segment boundary is recoverable when the fault
+                // snapshot holds it, or the backend restores it on failure
+                // (Krylov, Chebyshev). A mid-run BatchedTaylor or mid-step
+                // Taylor failure without a snapshot has no safe retry point.
+                let recoverable =
+                    has_faults || matches!(kind, StepperKind::Krylov | StepperKind::Chebyshev);
+                if !recoverable {
+                    return Err(error.with_segment(index));
+                }
+                if has_faults {
+                    state.copy_from(&self.fault_snapshot);
+                }
+                // Retry with the Taylor reference and the clean (unperturbed)
+                // bound; the faults were consumed above.
+                match self.taylor.try_evolve_segment(
                     kernel,
                     &bound,
                     state,
                     duration,
                     reference_norm,
-                );
+                ) {
+                    Ok(()) => {
+                        self.recovery.push(RecoveryEvent {
+                            segment: Some(index),
+                            backend: kind,
+                            fallback: StepperKind::Taylor,
+                            error: error.with_segment(index),
+                        });
+                        match kind {
+                            StepperKind::Krylov => demoted_krylov = true,
+                            StepperKind::Chebyshev => demoted_chebyshev = true,
+                            _ => {}
+                        }
+                    }
+                    Err(retry_error) => {
+                        if has_faults {
+                            state.copy_from(&self.fault_snapshot);
+                        }
+                        return Err(retry_error.with_segment(index));
+                    }
+                }
             }
         }
         if open_run_layout.is_some() {
-            self.batched.finish_run(state);
+            self.batched.try_finish_run(state)
+        } else {
+            Ok(())
         }
     }
 }
@@ -479,10 +740,38 @@ pub fn evolve_with(
     time: f64,
     options: EvolveOptions,
 ) -> StateVector {
+    try_evolve_with(state, hamiltonian, time, options).unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible variant of [`evolve`]: reports invalid inputs and tripped
+/// guardrails as [`EvolveError`] instead of panicking.
+///
+/// # Errors
+///
+/// See [`Propagator::try_evolve_in_place`].
+pub fn try_evolve(
+    state: &StateVector,
+    hamiltonian: &Hamiltonian,
+    time: f64,
+) -> Result<StateVector, EvolveError> {
+    try_evolve_with(state, hamiltonian, time, EvolveOptions::default())
+}
+
+/// [`try_evolve`] with explicit [`EvolveOptions`] (backend and tolerance).
+///
+/// # Errors
+///
+/// See [`Propagator::try_evolve_in_place`].
+pub fn try_evolve_with(
+    state: &StateVector,
+    hamiltonian: &Hamiltonian,
+    time: f64,
+    options: EvolveOptions,
+) -> Result<StateVector, EvolveError> {
     let compiled = CompiledHamiltonian::compile(hamiltonian);
     let mut current = state.clone();
-    Propagator::with_options(options).evolve_in_place(&compiled, &mut current, time);
-    current
+    Propagator::with_options(options).try_evolve_in_place(&compiled, &mut current, time)?;
+    Ok(current)
 }
 
 /// The scalar reference implementation of [`evolve`]: identical stepping,
@@ -564,6 +853,32 @@ pub fn evolve_piecewise_with(
     evolve_schedule_with(state, &schedule, options)
 }
 
+/// Fallible variant of [`evolve_piecewise`].
+///
+/// # Errors
+///
+/// See [`Propagator::try_evolve_schedule_in_place`].
+pub fn try_evolve_piecewise(
+    state: &StateVector,
+    segments: &[(Hamiltonian, f64)],
+) -> Result<StateVector, EvolveError> {
+    try_evolve_piecewise_with(state, segments, EvolveOptions::default())
+}
+
+/// [`try_evolve_piecewise`] with explicit [`EvolveOptions`].
+///
+/// # Errors
+///
+/// See [`Propagator::try_evolve_schedule_in_place`].
+pub fn try_evolve_piecewise_with(
+    state: &StateVector,
+    segments: &[(Hamiltonian, f64)],
+    options: EvolveOptions,
+) -> Result<StateVector, EvolveError> {
+    let schedule = CompiledSchedule::compile(segments);
+    try_evolve_schedule_with(state, &schedule, options)
+}
+
 /// Evolves a state through a pre-compiled [`CompiledSchedule`].
 ///
 /// Convenience wrapper over [`Propagator::evolve_schedule_in_place`]. Compile
@@ -580,9 +895,34 @@ pub fn evolve_schedule_with(
     schedule: &CompiledSchedule,
     options: EvolveOptions,
 ) -> StateVector {
+    try_evolve_schedule_with(state, schedule, options).unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible variant of [`evolve_schedule`].
+///
+/// # Errors
+///
+/// See [`Propagator::try_evolve_schedule_in_place`].
+pub fn try_evolve_schedule(
+    state: &StateVector,
+    schedule: &CompiledSchedule,
+) -> Result<StateVector, EvolveError> {
+    try_evolve_schedule_with(state, schedule, EvolveOptions::default())
+}
+
+/// [`try_evolve_schedule`] with explicit [`EvolveOptions`].
+///
+/// # Errors
+///
+/// See [`Propagator::try_evolve_schedule_in_place`].
+pub fn try_evolve_schedule_with(
+    state: &StateVector,
+    schedule: &CompiledSchedule,
+    options: EvolveOptions,
+) -> Result<StateVector, EvolveError> {
     let mut current = state.clone();
-    Propagator::with_options(options).evolve_schedule_in_place(schedule, &mut current);
-    current
+    Propagator::with_options(options).try_evolve_schedule_in_place(schedule, &mut current)?;
+    Ok(current)
 }
 
 #[cfg(test)]

@@ -66,6 +66,7 @@
 //! ```
 
 use crate::compiled::{CompiledTerm, FusedKernel};
+use crate::error::EvolveError;
 use crate::stepper::SpectralBound;
 use qturbo_hamiltonian::{Hamiltonian, PauliString, PiecewiseHamiltonian};
 use std::sync::Arc;
@@ -468,9 +469,28 @@ impl CompiledSchedule {
     ///
     /// # Panics
     ///
-    /// Panics if `scale` is not finite.
+    /// Panics if `scale` is not finite. Use
+    /// [`try_scaled_weights`](CompiledSchedule::try_scaled_weights) to
+    /// receive a typed error instead.
     pub fn scaled_weights(&self, scale: f64) -> CompiledSchedule {
-        assert!(scale.is_finite(), "amplitude scale must be finite");
+        self.try_scaled_weights(scale)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of
+    /// [`scaled_weights`](CompiledSchedule::scaled_weights).
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvalidInput`] if `scale` is NaN or infinite — a
+    /// non-finite scale would poison every weight, bound, and step strength
+    /// of the view.
+    pub fn try_scaled_weights(&self, scale: f64) -> Result<CompiledSchedule, EvolveError> {
+        if !scale.is_finite() {
+            return Err(EvolveError::InvalidInput {
+                context: format!("amplitude scale must be finite, got {scale}"),
+            });
+        }
         let weights = self
             .weights
             .iter()
@@ -491,12 +511,12 @@ impl CompiledSchedule {
                 offdiag_radius: segment.offdiag_radius * scale.abs(),
             })
             .collect();
-        CompiledSchedule {
+        Ok(CompiledSchedule {
             num_qubits: self.num_qubits,
             layouts: Arc::clone(&self.layouts),
             weights,
             segments,
-        }
+        })
     }
 
     /// `true` when `other` shares this schedule's mask layouts (the
@@ -538,9 +558,9 @@ impl CompiledSchedule {
         let diag_weights = &row[..diag_count];
         let incremental = scratch
             .materialized
-            .is_some_and(|prev| self.segments[prev].layout == segment.layout);
-        if incremental {
-            let prev_diag = &self.segment_weight_row(scratch.materialized.unwrap())[..diag_count];
+            .filter(|&prev| self.segments[prev].layout == segment.layout);
+        if let Some(prev) = incremental {
+            let prev_diag = &self.segment_weight_row(prev)[..diag_count];
             // Only columns whose weight actually moved cost a pass; the
             // min/max fold rides along with the last one (each pass visits
             // every slot, so the last pass sees final values).
@@ -870,11 +890,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
-    fn non_finite_scale_panics() {
+    fn non_finite_scale_is_a_typed_invalid_input() {
         let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
         let schedule = CompiledSchedule::compile(&[(h, 0.5)]);
-        let _ = schedule.scaled_weights(f64::NAN);
+        for scale in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let error = schedule.try_scaled_weights(scale).unwrap_err();
+            assert!(
+                matches!(&error, EvolveError::InvalidInput { context } if context.contains("finite")),
+                "scale {scale}: {error}"
+            );
+        }
     }
 
     #[test]

@@ -96,10 +96,13 @@
 //! piecewise, and compiled-schedule workloads can each pick their backend.
 
 use crate::compiled::FusedKernel;
+use crate::error::EvolveError;
 use crate::state::StateVector;
-use qturbo_math::chebyshev::{chebyshev_exp_coefficients, chebyshev_exp_order};
+use qturbo_math::chebyshev::{
+    try_chebyshev_exp_coefficients, try_chebyshev_exp_order, MAX_EXP_SPAN,
+};
 use qturbo_math::tridiag::{SymmetricTridiagonal, TridiagonalEigen};
-use qturbo_math::Complex;
+use qturbo_math::{Complex, MathError};
 
 /// Maximum Taylor series order per step (safety rail; the series converges
 /// in a handful of orders at `‖H‖·Δt ≤ ½`).
@@ -117,6 +120,13 @@ const KRYLOV_MAX_DIM: usize = 32;
 /// Krylov basis construction below which no residual test is attempted (the
 /// estimate is meaningless for one or two vectors).
 const KRYLOV_MIN_DIM: usize = 3;
+/// Largest relative norm drift `|‖ψ‖ − reference| / reference` tolerated at
+/// a drift-correction point before the guardrail reports
+/// [`EvolveError::NormDrift`]. Honest round-off accumulates at ~1e-12 over
+/// the longest benchmarked schedules, so 1e-6 leaves six orders of headroom
+/// while still catching any genuinely diverging expansion (whose drift is
+/// many orders of magnitude, not fractions of an ulp).
+pub const NORM_DRIFT_LIMIT: f64 = 1e-6;
 
 /// Which time-evolution backend to use. See the [module docs](self) for the
 /// cost model of each.
@@ -351,18 +361,18 @@ impl AutoCostModel {
     /// Chebyshev is **exact** (the truncation order of its expansion), and
     /// Krylov is a linear phase model fitted to `BENCH_stepper.json`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `kind` is [`StepperKind::Auto`] (estimate the fixed
-    /// backends and take the minimum — that is what
-    /// [`choose`](AutoCostModel::choose) does).
+    /// Returns `None` for [`StepperKind::Auto`] — Auto has no application
+    /// count of its own (estimate the fixed backends and take the minimum,
+    /// which is what [`choose`](AutoCostModel::choose) does). A Chebyshev
+    /// expansion whose span overflows the supported truncation order prices
+    /// as `f64::INFINITY` (never chosen, never panics).
     pub fn estimated_applications(
         &self,
         kind: StepperKind,
         bound: &SpectralBound,
         duration: f64,
         tolerance: f64,
-    ) -> f64 {
+    ) -> Option<f64> {
         // ‖H|ψ⟩‖ ≤ max|eig| ≤ |center| + radius: the scale that drives both
         // the Taylor series order and the Krylov phase.
         let spectral_scale = bound.center.abs() + bound.radius;
@@ -373,16 +383,17 @@ impl AutoCostModel {
             StepperKind::Taylor | StepperKind::BatchedTaylor => {
                 let steps = taylor_steps(bound, duration);
                 let theta = spectral_scale * duration / steps;
-                steps * series_orders(theta, tolerance) as f64
+                Some(steps * series_orders(theta, tolerance) as f64)
             }
-            StepperKind::Krylov => {
+            StepperKind::Krylov => Some(
                 self.krylov_base_applications
-                    + self.krylov_applications_per_phase * bound.radius * duration
-            }
-            StepperKind::Chebyshev => {
-                chebyshev_exp_order(bound.radius * duration, tolerance) as f64
-            }
-            StepperKind::Auto => panic!("Auto has no application count of its own"),
+                    + self.krylov_applications_per_phase * bound.radius * duration,
+            ),
+            StepperKind::Chebyshev => Some(
+                try_chebyshev_exp_order(bound.radius * duration, tolerance)
+                    .map_or(f64::INFINITY, |order| order as f64),
+            ),
+            StepperKind::Auto => None,
         }
     }
 
@@ -390,33 +401,32 @@ impl AutoCostModel {
     /// applications (plus Chebyshev's per-segment setup) × per-application
     /// cost.
     ///
-    /// # Panics
-    ///
-    /// Panics if `kind` is [`StepperKind::Auto`].
+    /// Returns `None` for [`StepperKind::Auto`] (see
+    /// [`estimated_applications`](AutoCostModel::estimated_applications)).
     pub fn estimated_cost(
         &self,
         kind: StepperKind,
         bound: &SpectralBound,
         duration: f64,
         tolerance: f64,
-    ) -> f64 {
-        let applications = self.estimated_applications(kind, bound, duration, tolerance);
+    ) -> Option<f64> {
+        let applications = self.estimated_applications(kind, bound, duration, tolerance)?;
         match kind {
-            StepperKind::Taylor => {
+            StepperKind::Taylor => Some(
                 (applications
                     + taylor_steps(bound, duration) * self.taylor_step_overhead_applications)
-                    * self.taylor_application_cost
-            }
-            StepperKind::BatchedTaylor => {
+                    * self.taylor_application_cost,
+            ),
+            StepperKind::BatchedTaylor => Some(
                 (applications
                     + taylor_steps(bound, duration) * self.batched_step_overhead_applications)
-                    * self.batched_taylor_application_cost
-            }
-            StepperKind::Krylov => applications * self.krylov_application_cost,
-            StepperKind::Chebyshev => {
-                (applications + self.chebyshev_base_applications) * self.chebyshev_application_cost
-            }
-            StepperKind::Auto => panic!("Auto has no application cost of its own"),
+                    * self.batched_taylor_application_cost,
+            ),
+            StepperKind::Krylov => Some(applications * self.krylov_application_cost),
+            StepperKind::Chebyshev => Some(
+                (applications + self.chebyshev_base_applications) * self.chebyshev_application_cost,
+            ),
+            StepperKind::Auto => None,
         }
     }
 
@@ -438,10 +448,13 @@ impl AutoCostModel {
         // winning ties (so a dead heat stays with the Taylor reference).
         let (mut other, mut other_cost) = (
             StepperKind::Taylor,
-            self.estimated_cost(StepperKind::Taylor, bound, duration, tolerance),
+            self.estimated_cost(StepperKind::Taylor, bound, duration, tolerance)
+                .unwrap_or(f64::INFINITY),
         );
         for kind in [StepperKind::BatchedTaylor, StepperKind::Krylov] {
-            let cost = self.estimated_cost(kind, bound, duration, tolerance);
+            let cost = self
+                .estimated_cost(kind, bound, duration, tolerance)
+                .unwrap_or(f64::INFINITY);
             if cost < other_cost {
                 other = kind;
                 other_cost = cost;
@@ -456,13 +469,41 @@ impl AutoCostModel {
                 return other;
             }
         }
-        let chebyshev_cost =
-            self.estimated_cost(StepperKind::Chebyshev, bound, duration, tolerance);
+        let chebyshev_cost = self
+            .estimated_cost(StepperKind::Chebyshev, bound, duration, tolerance)
+            .unwrap_or(f64::INFINITY);
         if chebyshev_cost < other_cost {
             StepperKind::Chebyshev
         } else {
             other
         }
+    }
+
+    /// The cheapest backend among `candidates` for one segment — the
+    /// restricted variant of [`choose`](AutoCostModel::choose) the schedule
+    /// loop uses once [`RecoveryLog`](crate::error::RecoveryLog) demotions
+    /// have removed a failing backend from the pool. Ties go to the earlier
+    /// candidate; an empty or all-`Auto` candidate list falls back to the
+    /// Taylor reference.
+    pub fn choose_among(
+        &self,
+        candidates: &[StepperKind],
+        bound: &SpectralBound,
+        duration: f64,
+        tolerance: f64,
+    ) -> StepperKind {
+        let mut best = StepperKind::Taylor;
+        let mut best_cost = f64::INFINITY;
+        for &kind in candidates {
+            let Some(cost) = self.estimated_cost(kind, bound, duration, tolerance) else {
+                continue;
+            };
+            if cost < best_cost {
+                best = kind;
+                best_cost = cost;
+            }
+        }
+        best
     }
 }
 
@@ -587,6 +628,31 @@ pub trait Stepper {
     /// The caller guarantees: `kernel` is non-empty, `duration` is positive
     /// and finite, `bound` describes `kernel`, and `reference_norm` is the
     /// (non-zero) norm of `state`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvolveError`] when a numerical guardrail trips
+    /// (non-finite amplitudes, norm drift beyond
+    /// [`NORM_DRIFT_LIMIT`], inner-solver non-convergence, Chebyshev order
+    /// overflow). On error the Krylov and Chebyshev backends leave `state`
+    /// exactly as it was at segment entry (rollback-safe); the Taylor
+    /// backends may leave it mid-segment (documented per type).
+    fn try_evolve_segment(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        bound: &SpectralBound,
+        state: &mut StateVector,
+        duration: f64,
+        reference_norm: f64,
+    ) -> Result<(), EvolveError>;
+
+    /// Panicking convenience wrapper around
+    /// [`try_evolve_segment`](Stepper::try_evolve_segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`EvolveError`] display message when a guardrail
+    /// trips.
     fn evolve_segment(
         &mut self,
         kernel: FusedKernel<'_>,
@@ -594,7 +660,12 @@ pub trait Stepper {
         state: &mut StateVector,
         duration: f64,
         reference_norm: f64,
-    );
+    ) {
+        if let Err(error) = self.try_evolve_segment(kernel, bound, state, duration, reference_norm)
+        {
+            panic!("{error}");
+        }
+    }
 
     /// Number of `H|ψ⟩` kernel applications performed since construction or
     /// the last [`reset_kernel_applications`](Stepper::reset_kernel_applications)
@@ -635,6 +706,53 @@ pub(crate) fn rescale_to(state: &mut StateVector, reference_norm: f64) {
     let norm = state.norm();
     if norm > 0.0 {
         state.scale(reference_norm / norm);
+    }
+}
+
+/// The guarded drift correction: the same norm-and-rescale pass as
+/// [`rescale_to`], but the norm it computes anyway is first checked against
+/// the guardrails — non-finite detection and the [`NORM_DRIFT_LIMIT`]
+/// threshold — so health checking costs **zero extra amplitude passes** on
+/// the happy path.
+pub(crate) fn checked_rescale_to(
+    state: &mut StateVector,
+    reference_norm: f64,
+    backend: StepperKind,
+) -> Result<(), EvolveError> {
+    let norm = state.norm();
+    if !norm.is_finite() {
+        return Err(EvolveError::NonFiniteState {
+            backend,
+            segment: None,
+        });
+    }
+    if reference_norm > 0.0 {
+        let relative_drift = (norm - reference_norm).abs() / reference_norm;
+        if relative_drift > NORM_DRIFT_LIMIT {
+            return Err(EvolveError::NormDrift {
+                backend,
+                segment: None,
+                relative_drift,
+            });
+        }
+    }
+    if norm > 0.0 {
+        state.scale(reference_norm / norm);
+    }
+    Ok(())
+}
+
+/// Guards an intermediate series/residual norm a kernel application already
+/// returned: any NaN or infinity in the amplitudes surfaces in these norms,
+/// so checking them detects corruption with no extra traversal.
+fn guard_finite(norm: f64, backend: StepperKind) -> Result<(), EvolveError> {
+    if norm.is_finite() {
+        Ok(())
+    } else {
+        Err(EvolveError::NonFiniteState {
+            backend,
+            segment: None,
+        })
     }
 }
 
@@ -712,7 +830,7 @@ impl TaylorStepper {
         state: &mut StateVector,
         dt: f64,
         reference_norm: f64,
-    ) {
+    ) -> Result<(), EvolveError> {
         self.series.copy_from(state);
         self.passes += 2;
         let mut factor = Complex::ONE;
@@ -726,28 +844,33 @@ impl TaylorStepper {
             self.applications += 1;
             self.passes += 4;
             std::mem::swap(&mut self.series, &mut self.series_next);
+            guard_finite(series_norm, StepperKind::Taylor)?;
             if series_norm * factor.abs() < threshold {
                 break;
             }
         }
+        Ok(())
     }
 }
 
 impl Stepper for TaylorStepper {
-    fn evolve_segment(
+    /// On error the state may be left mid-segment: Taylor is the fallback
+    /// backend of last resort, so its failures are not rolled back here (the
+    /// schedule loop snapshots before fault-suspect segments instead).
+    fn try_evolve_segment(
         &mut self,
         kernel: FusedKernel<'_>,
         bound: &SpectralBound,
         state: &mut StateVector,
         duration: f64,
         reference_norm: f64,
-    ) {
+    ) -> Result<(), EvolveError> {
         if bound.radius == 0.0 {
             // H = center·I exactly: a global phase, zero kernel work (the
             // generic loop would split this into step_strength·t/½ steps of
             // pure-phase series — the zero-scale / pure-identity degeneracy).
             self.passes += apply_identity_phase(state, bound.center, duration);
-            return;
+            return Ok(());
         }
         self.ensure_capacity(state.num_qubits());
         // Split into steps so that the Taylor series of each step converges
@@ -755,10 +878,11 @@ impl Stepper for TaylorStepper {
         let steps = taylor_steps(bound, duration) as usize;
         let dt = duration / steps as f64;
         for _ in 0..steps {
-            self.taylor_step(kernel, state, dt, reference_norm);
-            rescale_to(state, reference_norm);
+            self.taylor_step(kernel, state, dt, reference_norm)?;
+            checked_rescale_to(state, reference_norm, StepperKind::Taylor)?;
             self.passes += 3;
         }
+        Ok(())
     }
 
     fn kernel_applications(&self) -> u64 {
@@ -891,13 +1015,33 @@ impl BatchedTaylorStepper {
         state: &mut StateVector,
         duration: f64,
     ) {
+        if let Err(error) = self.try_run_segment(kernel, bound, state, duration) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible variant of [`run_segment`](BatchedTaylorStepper::run_segment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvolveError::NonFiniteState`] when a series norm turns NaN
+    /// or infinite mid-run. The state is left mid-segment (the deferred
+    /// drift correction makes segment-boundary rollback impossible inside a
+    /// chained run; callers snapshot before fault-suspect runs).
+    pub fn try_run_segment(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        bound: &SpectralBound,
+        state: &mut StateVector,
+        duration: f64,
+    ) -> Result<(), EvolveError> {
         if kernel.is_empty() || duration == 0.0 {
-            return;
+            return Ok(());
         }
         if bound.radius == 0.0 {
             // H = center·I exactly: a global phase, zero kernel work.
             self.passes += apply_identity_phase(state, bound.center, duration);
-            return;
+            return Ok(());
         }
         self.dirty = true;
         let steps = taylor_steps(bound, duration) as usize;
@@ -911,6 +1055,7 @@ impl BatchedTaylorStepper {
             let order1_norm = kernel.apply_into(state, &mut self.series);
             self.applications += 1;
             self.passes += 2;
+            guard_finite(order1_norm, StepperKind::BatchedTaylor)?;
             if order1_norm * f1.abs() < threshold {
                 // Single-order step: retire the lone term directly.
                 state.accumulate(f1, &self.series);
@@ -930,6 +1075,7 @@ impl BatchedTaylorStepper {
             self.applications += 1;
             self.passes += 4;
             std::mem::swap(&mut self.series, &mut self.series_next);
+            guard_finite(norm, StepperKind::BatchedTaylor)?;
             if norm * factor.abs() < threshold {
                 continue;
             }
@@ -946,39 +1092,57 @@ impl BatchedTaylorStepper {
                 self.applications += 1;
                 self.passes += 4;
                 std::mem::swap(&mut self.series, &mut self.series_next);
+                guard_finite(norm, StepperKind::BatchedTaylor)?;
                 if norm * factor.abs() < threshold {
                     break;
                 }
             }
         }
+        Ok(())
     }
 
     /// Closes a batched run: applies the single deferred drift correction
     /// back to the reference norm (the per-segment path rescales after
     /// every step; the batch pays once per run).
     pub fn finish_run(&mut self, state: &mut StateVector) {
+        if let Err(error) = self.try_finish_run(state) {
+            panic!("{error}");
+        }
+    }
+
+    /// Fallible variant of [`finish_run`](BatchedTaylorStepper::finish_run):
+    /// the run-end drift correction doubles as the run's guardrail check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvolveError::NonFiniteState`] or [`EvolveError::NormDrift`]
+    /// when the run-end norm fails the health checks.
+    pub fn try_finish_run(&mut self, state: &mut StateVector) -> Result<(), EvolveError> {
         if self.dirty {
-            rescale_to(state, self.reference_norm);
-            self.passes += 3;
             self.dirty = false;
+            checked_rescale_to(state, self.reference_norm, StepperKind::BatchedTaylor)?;
+            self.passes += 3;
         }
         // A clean run did no kernel work (only exact phases), so the norm
         // never moved and no correction is owed.
+        Ok(())
     }
 }
 
 impl Stepper for BatchedTaylorStepper {
-    fn evolve_segment(
+    /// On error the state may be left mid-segment (see
+    /// [`try_run_segment`](BatchedTaylorStepper::try_run_segment)).
+    fn try_evolve_segment(
         &mut self,
         kernel: FusedKernel<'_>,
         bound: &SpectralBound,
         state: &mut StateVector,
         duration: f64,
         reference_norm: f64,
-    ) {
+    ) -> Result<(), EvolveError> {
         self.begin_run(state, reference_norm);
-        self.run_segment(kernel, bound, state, duration);
-        self.finish_run(state);
+        self.try_run_segment(kernel, bound, state, duration)?;
+        self.try_finish_run(state)
     }
 
     fn kernel_applications(&self) -> u64 {
@@ -1016,6 +1180,14 @@ pub struct KrylovStepper {
     /// Lanczos vectors `v_0 … v_m` (the `m+1`-th is the unnormalized
     /// residual workspace while building).
     basis: Vec<StateVector>,
+    /// Segment-entry snapshot: restored on any guardrail failure so the
+    /// caller always gets the state back at the segment boundary
+    /// (rollback-safe error contract).
+    snapshot: StateVector,
+    /// Armed by [`force_ql_nonconvergence`](KrylovStepper::force_ql_nonconvergence)
+    /// (fault injection): the next projected eigensolve reports
+    /// non-convergence instead of running.
+    force_ql_failure: bool,
     tolerance: f64,
     applications: u64,
     passes: u64,
@@ -1031,10 +1203,53 @@ impl KrylovStepper {
     pub fn new(tolerance: f64) -> Self {
         KrylovStepper {
             basis: Vec::new(),
+            snapshot: StateVector::zeros(0),
+            force_ql_failure: false,
             tolerance: validated_tolerance(tolerance),
             applications: 0,
             passes: 0,
         }
+    }
+
+    /// Forces the next projected eigensolve to report
+    /// [`MathError::NoConvergence`] (consumed by that one solve). Exists for
+    /// the fault-injection harness: real QL non-convergence is not reachable
+    /// from finite Lanczos coefficients, so exercising the recovery path
+    /// requires forcing it.
+    pub fn force_ql_nonconvergence(&mut self) {
+        self.force_ql_failure = true;
+    }
+
+    /// Disarms a pending forced QL failure (used by the schedule loop after
+    /// a fault-injected segment so the failure cannot leak into later,
+    /// un-faulted segments).
+    pub fn clear_forced_ql_failure(&mut self) {
+        self.force_ql_failure = false;
+    }
+
+    /// Projected eigendecomposition of the Lanczos tridiagonal, surfacing
+    /// solver failures as [`EvolveError::NonConvergence`] instead of
+    /// panicking, and honoring a pending forced failure.
+    fn projected_eigen(
+        &mut self,
+        alphas: &[f64],
+        off_diagonal: &[f64],
+    ) -> Result<TridiagonalEigen, EvolveError> {
+        let wrap = |source: MathError| EvolveError::NonConvergence {
+            backend: StepperKind::Krylov,
+            segment: None,
+            source,
+        };
+        if self.force_ql_failure {
+            self.force_ql_failure = false;
+            return Err(wrap(MathError::NoConvergence {
+                routine: "tridiagonal_ql (forced by fault injection)",
+                iterations: 0,
+            }));
+        }
+        SymmetricTridiagonal::new(alphas.to_vec(), off_diagonal.to_vec())
+            .and_then(|tridiagonal| tridiagonal.eigen_decomposition())
+            .map_err(wrap)
     }
 
     fn ensure_basis(&mut self, count: usize, num_qubits: usize) {
@@ -1074,21 +1289,62 @@ impl KrylovStepper {
 }
 
 impl Stepper for KrylovStepper {
-    fn evolve_segment(
+    /// Rollback-safe: on any error `state` is restored to the segment
+    /// boundary from the entry snapshot, so the caller can retry the segment
+    /// with another backend.
+    fn try_evolve_segment(
         &mut self,
         kernel: FusedKernel<'_>,
         bound: &SpectralBound,
         state: &mut StateVector,
         duration: f64,
         reference_norm: f64,
-    ) {
+    ) -> Result<(), EvolveError> {
         if bound.radius == 0.0 {
             // H = center·I exactly: a global phase. The generic path would
             // build a one-vector basis and β-normalize a zero residual —
             // correct via happy breakdown, but pure wasted passes.
             self.passes += apply_identity_phase(state, bound.center, duration);
-            return;
+            return Ok(());
         }
+        // Segment-entry snapshot: two passes per segment buy the rollback
+        // contract (Krylov overwrites its own basis[0] every step, so no
+        // existing buffer holds the entry state).
+        if self.snapshot.num_qubits() != state.num_qubits() || self.snapshot.dim() != state.dim() {
+            self.snapshot = StateVector::zeros(state.num_qubits());
+        }
+        self.snapshot.copy_from(state);
+        self.passes += 2;
+        let result = self.evolve_segment_body(kernel, state, duration, reference_norm);
+        if result.is_err() {
+            state.copy_from(&self.snapshot);
+            self.passes += 2;
+        }
+        result
+    }
+
+    fn kernel_applications(&self) -> u64 {
+        self.applications
+    }
+
+    fn state_passes(&self) -> u64 {
+        self.passes
+    }
+
+    fn reset_kernel_applications(&mut self) {
+        self.applications = 0;
+        self.passes = 0;
+    }
+}
+
+impl KrylovStepper {
+    fn evolve_segment_body(
+        &mut self,
+        kernel: FusedKernel<'_>,
+        state: &mut StateVector,
+        duration: f64,
+        reference_norm: f64,
+    ) -> Result<(), EvolveError> {
         let num_qubits = state.num_qubits();
         let mut remaining = duration;
         while remaining > 0.0 {
@@ -1139,6 +1395,15 @@ impl Stepper for KrylovStepper {
                 let beta = w.norm();
                 self.passes += 1;
                 betas.push(beta);
+                // Lanczos sanity: α and β are inner products / norms of the
+                // basis vectors — any NaN or infinity in the state surfaces
+                // here immediately, with no extra amplitude pass.
+                if !alpha.is_finite() || !beta.is_finite() {
+                    return Err(EvolveError::NonFiniteState {
+                        backend: StepperKind::Krylov,
+                        segment: None,
+                    });
+                }
 
                 // Happy breakdown: the Krylov space is H-invariant, so the
                 // projected exponential is exact for any Δt. Any
@@ -1158,12 +1423,7 @@ impl Stepper for KrylovStepper {
                 // the hard cap).
                 if dim >= next_test || dim >= KRYLOV_MAX_DIM {
                     next_test = (dim + dim / 2).min(KRYLOV_MAX_DIM).max(dim + 1);
-                    let tridiagonal =
-                        SymmetricTridiagonal::new(alphas.clone(), betas[..dim - 1].to_vec())
-                            .expect("Lanczos coefficients are finite");
-                    let decomposition = tridiagonal
-                        .eigen_decomposition()
-                        .expect("tridiagonal QL converges");
+                    let decomposition = self.projected_eigen(&alphas, &betas[..dim - 1])?;
                     let phi = Self::projected_exponential(&decomposition, remaining);
                     let error = Self::error_estimate(beta, remaining, &phi);
                     eigen = Some(decomposition);
@@ -1178,13 +1438,12 @@ impl Stepper for KrylovStepper {
             }
 
             let dim = alphas.len();
-            let eigen = eigen.unwrap_or_else(|| {
-                SymmetricTridiagonal::new(alphas.clone(), betas[..dim - 1].to_vec())
-                    .expect("Lanczos coefficients are finite")
-                    .eigen_decomposition()
-                    .expect("tridiagonal QL converges")
-            });
-            let beta_last = *betas.last().expect("at least one Lanczos iteration");
+            let eigen = match eigen {
+                Some(decomposition) => decomposition,
+                None => self.projected_eigen(&alphas, &betas[..dim - 1])?,
+            };
+            // The loop body always pushes at least one β before breaking.
+            let beta_last = betas.last().copied().unwrap_or(0.0);
 
             // --- Pick the largest Δt the residual estimate admits. ---
             let mut dt = remaining;
@@ -1209,23 +1468,11 @@ impl Stepper for KrylovStepper {
             for (j, coefficient) in phi.iter().enumerate() {
                 state.accumulate(coefficient.scale(reference_norm), &self.basis[j]);
             }
-            rescale_to(state, reference_norm);
+            checked_rescale_to(state, reference_norm, StepperKind::Krylov)?;
             self.passes += 1 + 3 * phi.len() as u64 + 3;
             remaining -= dt;
         }
-    }
-
-    fn kernel_applications(&self) -> u64 {
-        self.applications
-    }
-
-    fn state_passes(&self) -> u64 {
-        self.passes
-    }
-
-    fn reset_kernel_applications(&mut self) {
-        self.applications = 0;
-        self.passes = 0;
+        Ok(())
     }
 }
 
@@ -1299,25 +1546,48 @@ fn apply_mapped(
 }
 
 impl Stepper for ChebyshevStepper {
-    fn evolve_segment(
+    /// Rollback-safe: the expansion accumulates into scratch buffers and the
+    /// guardrails run **before** the result is written back, so on error
+    /// `state` is still exactly the segment-entry state.
+    fn try_evolve_segment(
         &mut self,
         kernel: FusedKernel<'_>,
         bound: &SpectralBound,
         state: &mut StateVector,
         duration: f64,
         reference_norm: f64,
-    ) {
+    ) -> Result<(), EvolveError> {
         let center = bound.center;
         let radius = bound.radius;
         let global_phase = Complex::from_polar_angle(-center * duration);
         if radius == 0.0 {
             // Pure identity shift: a global phase, no kernel work at all.
             self.passes += apply_identity_phase(state, center, duration);
-            return;
+            return Ok(());
         }
         self.ensure_capacity(state.num_qubits());
         let span = radius * duration;
-        let coefficients = chebyshev_exp_coefficients(span, self.tolerance);
+        if !span.is_finite() {
+            return Err(EvolveError::InvalidInput {
+                context: format!(
+                    "Chebyshev expansion span is not finite (radius {radius}, duration {duration})"
+                ),
+            });
+        }
+        if span > MAX_EXP_SPAN {
+            return Err(EvolveError::OrderOverflow {
+                backend: StepperKind::Chebyshev,
+                segment: None,
+                span,
+                max_span: MAX_EXP_SPAN,
+            });
+        }
+        let coefficients =
+            try_chebyshev_exp_coefficients(span, self.tolerance).map_err(|source| {
+                EvolveError::InvalidInput {
+                    context: source.to_string(),
+                }
+            })?;
 
         // T_0·ψ = ψ; accumulator starts at c_0·ψ.
         self.t_prev.copy_from(state);
@@ -1354,16 +1624,45 @@ impl Stepper for ChebyshevStepper {
             }
         }
 
-        // ψ ← e^{−i·c·t} · Σ, rescaled to the caller's norm.
+        // Guardrails run on the accumulator BEFORE the state is overwritten,
+        // so a failed expansion leaves the state at the segment boundary.
+        // The norm computed for the check is reused for the drift
+        // correction, fused into the write-back — 3 passes where the
+        // unguarded path (write, then norm-and-rescale) paid 5.
+        let norm = self.accumulator.norm();
+        self.passes += 1;
+        if !norm.is_finite() {
+            return Err(EvolveError::NonFiniteState {
+                backend: StepperKind::Chebyshev,
+                segment: None,
+            });
+        }
+        if reference_norm > 0.0 {
+            let relative_drift = (norm - reference_norm).abs() / reference_norm;
+            if relative_drift > NORM_DRIFT_LIMIT {
+                return Err(EvolveError::NormDrift {
+                    backend: StepperKind::Chebyshev,
+                    segment: None,
+                    relative_drift,
+                });
+            }
+        }
+        // ψ ← e^{−i·c·t} · Σ, rescaled to the caller's norm in the same
+        // traversal.
+        let correction = if norm > 0.0 {
+            global_phase.scale(reference_norm / norm)
+        } else {
+            global_phase
+        };
         for (slot, acc) in state
             .amplitudes_mut()
             .iter_mut()
             .zip(self.accumulator.amplitudes())
         {
-            *slot = global_phase * *acc;
+            *slot = correction * *acc;
         }
-        rescale_to(state, reference_norm);
-        self.passes += 2 + 3;
+        self.passes += 2;
+        Ok(())
     }
 
     fn kernel_applications(&self) -> u64 {
@@ -1624,7 +1923,9 @@ mod tests {
                         .map(|kind| {
                             (
                                 kind,
-                                model.estimated_cost(kind, &bound, duration, DEFAULT_TOLERANCE),
+                                model
+                                    .estimated_cost(kind, &bound, duration, DEFAULT_TOLERANCE)
+                                    .unwrap(),
                             )
                         })
                         .reduce(|best, candidate| {
@@ -1678,26 +1979,39 @@ mod tests {
         };
         // Chebyshev's estimate is exact: the truncation order of its
         // expansion.
-        let apps =
-            model.estimated_applications(StepperKind::Chebyshev, &bound, 10.0, DEFAULT_TOLERANCE);
-        assert_eq!(apps, chebyshev_exp_order(30.0, DEFAULT_TOLERANCE) as f64);
+        let apps = model
+            .estimated_applications(StepperKind::Chebyshev, &bound, 10.0, DEFAULT_TOLERANCE)
+            .unwrap();
+        assert_eq!(
+            apps,
+            qturbo_math::chebyshev::chebyshev_exp_order(30.0, DEFAULT_TOLERANCE) as f64
+        );
+        // Auto has no estimate of its own — introspection returns None
+        // instead of aborting.
+        assert_eq!(
+            model.estimated_applications(StepperKind::Auto, &bound, 10.0, DEFAULT_TOLERANCE),
+            None
+        );
+        assert_eq!(
+            model.estimated_cost(StepperKind::Auto, &bound, 10.0, DEFAULT_TOLERANCE),
+            None
+        );
         // Taylor's estimate scales linearly with the duration (step count).
-        let short =
-            model.estimated_applications(StepperKind::Taylor, &bound, 1.0, DEFAULT_TOLERANCE);
-        let long =
-            model.estimated_applications(StepperKind::Taylor, &bound, 10.0, DEFAULT_TOLERANCE);
+        let short = model
+            .estimated_applications(StepperKind::Taylor, &bound, 1.0, DEFAULT_TOLERANCE)
+            .unwrap();
+        let long = model
+            .estimated_applications(StepperKind::Taylor, &bound, 10.0, DEFAULT_TOLERANCE)
+            .unwrap();
         assert!(long > 8.0 * short, "taylor {short} -> {long}");
         // A tighter spectral bound strictly lowers the Chebyshev estimate on
         // a long segment (the tentpole property of the exact-diagonal
         // interval).
         let tightened = bound.with_exact_diagonal(-1.0, 1.0, 1.0);
         assert!(tightened.radius < bound.radius);
-        let fewer = model.estimated_applications(
-            StepperKind::Chebyshev,
-            &tightened,
-            10.0,
-            DEFAULT_TOLERANCE,
-        );
+        let fewer = model
+            .estimated_applications(StepperKind::Chebyshev, &tightened, 10.0, DEFAULT_TOLERANCE)
+            .unwrap();
         assert!(fewer < apps, "{fewer} !< {apps}");
     }
 
