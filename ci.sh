@@ -36,6 +36,12 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> tier-1 single-threaded: QTURBO_THREADS=1 cargo test -q"
+# Pins the execution layer's worker pool to one thread so pool scheduling
+# can never mask a numerical discrepancy: the whole suite must pass with
+# the kernels running inline exactly as it does with the pool fanned out.
+QTURBO_THREADS=1 cargo test -q
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> propagation benchmark (naive vs mask-compiled)"
     cargo run --release -p qturbo-bench --bin bench_propagation

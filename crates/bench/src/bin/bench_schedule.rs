@@ -19,14 +19,15 @@
 //! never worse than per-segment Taylor, final states pairwise-matched to
 //! 1e-10, and Auto within 10% of the best of the two.
 
-use qturbo_bench::timing::{bench, Json, Sample};
+use qturbo_bench::timing::{achieved_bytes_per_sec, bench, Json, Sample};
 use qturbo_hamiltonian::models::mis_chain;
 use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString, PiecewiseHamiltonian};
 use qturbo_quantum::compiled::CompiledHamiltonian;
+use qturbo_quantum::exec::LANE_WIDTH;
 use qturbo_quantum::observable::{measure_z_zz, zz_pairs};
 use qturbo_quantum::propagate::Propagator;
 use qturbo_quantum::schedule::CompiledSchedule;
-use qturbo_quantum::{EvolveOptions, StateVector, StepperKind};
+use qturbo_quantum::{EvolveOptions, ExecutionContext, StateVector, StepperKind};
 
 const SIZES: [usize; 3] = [8, 12, 16];
 const NUM_SEGMENTS: usize = 100;
@@ -100,12 +101,15 @@ fn size_entry(qubits: usize) -> Json {
         std::hint::black_box(&work);
     });
     let recompile_state = work.clone();
+    propagator.reset_kernel_applications();
     let evolve_schedule_sample = bench(reps, || {
         let mut state = StateVector::zero_state(qubits);
         propagator.evolve_schedule_in_place(&schedule, &mut state);
         work.copy_from(&state);
         std::hint::black_box(&work);
     });
+    // Pass counter accumulated over warm-up + reps identical evolutions.
+    let schedule_passes = propagator.state_passes() as f64 / (reps + 1) as f64;
     let schedule_state = work.clone();
     let evolve_speedup = evolve_recompile.median / evolve_schedule_sample.median.max(1e-12);
     let fidelity = recompile_state.fidelity(&schedule_state);
@@ -172,6 +176,14 @@ fn size_entry(qubits: usize) -> Json {
             Json::Number(evolve_schedule_sample.median),
         ),
         ("evolve_speedup", Json::Number(evolve_speedup)),
+        (
+            "evolve_bytes_per_sec",
+            Json::Number(achieved_bytes_per_sec(
+                schedule_passes,
+                1 << qubits,
+                evolve_schedule_sample.min,
+            )),
+        ),
         (
             "observables_fused_median_s",
             Json::Number(fused_sample.median),
@@ -298,6 +310,14 @@ fn dense_ramp_entry(qubits: usize, segments: usize) -> Json {
             ("state_passes", Json::Number(r.state_passes as f64)),
             ("wall_median_s", Json::Number(r.wall_median_s)),
             ("wall_min_s", Json::Number(r.wall_min_s)),
+            (
+                "bytes_per_sec",
+                Json::Number(achieved_bytes_per_sec(
+                    r.state_passes as f64,
+                    1 << qubits,
+                    r.wall_min_s,
+                )),
+            ),
         ])
     };
     Json::object(vec![
@@ -343,6 +363,11 @@ fn main() {
             "worker_threads_available",
             Json::Number(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
         ),
+        (
+            "worker_threads_resolved",
+            Json::Number(ExecutionContext::auto().resolved_threads() as f64),
+        ),
+        ("lane_width", Json::Number(LANE_WIDTH as f64)),
         ("entries", Json::Array(entries)),
     ]);
     let path = "BENCH_schedule.json";

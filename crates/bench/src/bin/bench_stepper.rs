@@ -24,14 +24,15 @@
 //! on every ramp workload the batched sweep runs the identical series with
 //! strictly fewer amplitude passes, never slower than per-segment Taylor.
 
-use qturbo_bench::timing::{bench, Json};
+use qturbo_bench::timing::{achieved_bytes_per_sec, bench, Json};
 use qturbo_hamiltonian::models::{heisenberg_chain, mis_chain};
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::Complex;
 use qturbo_quantum::compiled::CompiledHamiltonian;
+use qturbo_quantum::exec::LANE_WIDTH;
 use qturbo_quantum::schedule::CompiledSchedule;
 use qturbo_quantum::stepper::StepperKind;
-use qturbo_quantum::{Propagator, StateVector};
+use qturbo_quantum::{ExecutionContext, Propagator, StateVector};
 
 const RAMP_SIZES: [usize; 2] = [8, 12];
 const RAMP_SEGMENTS: usize = 100;
@@ -92,6 +93,14 @@ fn backend_json(result: &BackendResult, reference: &StateVector) -> Json {
         ("state_passes", Json::Number(result.state_passes as f64)),
         ("wall_median_s", Json::Number(result.wall_median_s)),
         ("wall_min_s", Json::Number(result.wall_min_s)),
+        (
+            "bytes_per_sec",
+            Json::Number(achieved_bytes_per_sec(
+                result.state_passes as f64,
+                result.final_state.amplitudes().len(),
+                result.wall_min_s,
+            )),
+        ),
         ("max_abs_dev_vs_taylor", Json::Number(deviation)),
         (
             "fidelity_vs_taylor",
@@ -360,6 +369,11 @@ fn main() {
             "worker_threads_available",
             Json::Number(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
         ),
+        (
+            "worker_threads_resolved",
+            Json::Number(ExecutionContext::auto().resolved_threads() as f64),
+        ),
+        ("lane_width", Json::Number(LANE_WIDTH as f64)),
         ("entries", Json::Array(entries)),
     ]);
     let path = "BENCH_stepper.json";

@@ -45,6 +45,13 @@ pub fn bench<F: FnMut()>(reps: usize, mut f: F) -> Sample {
     }
 }
 
+/// Achieved amplitude traffic of one workload: `passes` state-sized
+/// traversals of a `dim`-amplitude vector (16 bytes per complex amplitude)
+/// over the fastest repetition's wall time.
+pub fn achieved_bytes_per_sec(passes: f64, dim: usize, wall_min: f64) -> f64 {
+    passes * dim as f64 * 16.0 / wall_min.max(1e-12)
+}
+
 /// A JSON value, sufficient for benchmark reports.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {

@@ -16,7 +16,11 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!(i * i, Complex::new(-1.0, 0.0));
 /// assert_eq!(Complex::new(3.0, 4.0).abs(), 5.0);
 /// ```
+// `repr(C)` guarantees the `re, im` interleaved layout the SIMD lane kernels
+// and the aligned amplitude storage rely on (a `[Complex; N]` is exactly
+// `2N` contiguous `f64`s).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

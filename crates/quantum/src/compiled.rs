@@ -28,23 +28,38 @@
 //! no heap allocation. [`CompiledHamiltonian`] caches the compiled term list
 //! so repeated applications inside a Taylor loop pay the compilation cost
 //! once, and writes each output index exactly once per term, which makes the
-//! amplitude loop trivially parallel: above
-//! [`PARALLEL_THRESHOLD_QUBITS`] the output vector is split into contiguous
-//! chunks handled by scoped threads (reads gather from the shared input).
+//! amplitude loop trivially parallel: execution is delegated to the
+//! [`crate::exec`] layer, which splits the output into contiguous
+//! lane-aligned chunks handled by the persistent worker pool above the
+//! configured parallel threshold (reads gather from the shared input), and
+//! dispatches each chunk to either the SIMD **lane path** (blocks of
+//! [`LANE_WIDTH`] amplitudes in
+//! [`F64x8`] registers) or the scalar reference path —
+//! see [`ExecutionContext`].
 //!
 //! The naive per-qubit reference implementation is retained as
 //! [`StateVector::apply_pauli_string`](crate::StateVector::apply_pauli_string)
 //! and [`crate::propagate::apply_hamiltonian_naive`]; the property tests in
-//! `tests/prop_propagation.rs` pin the two paths together.
+//! `tests/prop_propagation.rs` pin the two paths together, and the scalar
+//! element loop here is in turn the conformance reference the lane path is
+//! pinned against.
 
+use crate::exec::{self, ExecutionContext, F64x4, F64x8, KernelPath, LANE_WIDTH};
 use crate::state::StateVector;
 use crate::stepper::SpectralBound;
 use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
 use qturbo_math::Complex;
 
-/// State sizes of at least `2^PARALLEL_THRESHOLD_QUBITS` amplitudes are
-/// processed with scoped threads; smaller states stay single-threaded (the
-/// spawn overhead would dominate).
+/// Default parallel threshold: states of at least
+/// `2^PARALLEL_THRESHOLD_QUBITS` amplitudes are split across the persistent
+/// worker pool; smaller states stay on the calling thread (the dispatch
+/// handshake would dominate).
+///
+/// This is only the *default* of [`ExecutionContext::auto`] — override it
+/// per context with [`ExecutionContext::with_parallel_threshold`], and the
+/// worker count with [`ExecutionContext::with_threads`] or the
+/// `QTURBO_THREADS` environment variable (see
+/// [`ExecutionContext::worker_count`] for the full resolution rules).
 pub const PARALLEL_THRESHOLD_QUBITS: usize = 14;
 
 /// A Pauli string compiled to its `(x_mask, z_mask, weight)` bit-triple form,
@@ -505,14 +520,191 @@ impl FusedKernel<'_> {
         norm_sqr
     }
 
-    /// Computes `out = H|ψ⟩` and returns `‖H|ψ⟩‖`; threaded above
-    /// [`PARALLEL_THRESHOLD_QUBITS`]. `out` is fully overwritten.
+    // -- lane path ---------------------------------------------------------
+
+    /// `true` when the lane path can process this kernel/dimension: the
+    /// state must hold at least one full block, and a diagonal table (when
+    /// present) must cover at least one block so table lookups stay
+    /// contiguous. Otherwise the whole call falls back to the scalar path.
+    fn use_lanes(&self, context: &ExecutionContext, dim: usize) -> bool {
+        context.kernel_path() == KernelPath::Lane
+            && dim >= LANE_WIDTH
+            && (self.diag_table.is_empty() || self.diag_table.len() >= LANE_WIDTH)
+    }
+
+    /// One lane block of the fused kernel: `H|ψ⟩` at output indices
+    /// `b .. b + LANE_WIDTH` (with `b` block-aligned), assembled in an
+    /// [`F64x8`] register of interleaved complex amplitudes.
+    ///
+    /// Term classes lower as follows:
+    ///
+    /// * diagonal table — contiguous table block × contiguous input block;
+    /// * on-the-fly diagonal — per-lane mask parity into an [`F64x4`];
+    /// * pure flips — contiguous block load at `b ^ (x_mask & !3)` followed
+    ///   by an in-register XOR pair-permute for the low bits, × real weight;
+    /// * gathers — same permuted load, × the complex term weight, × per-lane
+    ///   signs split as `sign(i) = sign_hi(base & z_mask) ·
+    ///   low_sign((k^p) & z_mask & 3)` (the block base is lane-aligned, so
+    ///   the high and low sign parts factor exactly).
+    #[inline(always)]
+    fn lane_block(&self, input: &[Complex], b: usize, diag_index_mask: usize) -> F64x8 {
+        let mut acc = F64x8::ZERO;
+        if !self.diag_table.is_empty() {
+            let base = b & diag_index_mask;
+            let diag = F64x4::load(&self.diag_table[base..base + LANE_WIDTH]);
+            acc = load_block(input, b) * diag.dup_pairs();
+        }
+        if !self.diag_masks.is_empty() {
+            let mut diag = [0.0; LANE_WIDTH];
+            for (k, slot) in diag.iter_mut().enumerate() {
+                *slot = diagonal_value(self.diag_masks, self.diag_weights, b + k);
+            }
+            acc = acc + load_block(input, b) * F64x4(diag).dup_pairs();
+        }
+        // Two accumulators halve the floating-point dependency chain through
+        // the flip terms — the dominant term class of chain models.
+        let mut acc_odd = F64x8::ZERO;
+        let mask_pairs = self.flip_masks.chunks_exact(2);
+        let mask_tail = mask_pairs.remainder();
+        let weight_pairs = self.flip_weights.chunks_exact(2);
+        for (masks, weights) in mask_pairs.zip(weight_pairs) {
+            acc = acc + gather_block(input, b, masks[0]).scale(weights[0]);
+            acc_odd = acc_odd + gather_block(input, b, masks[1]).scale(weights[1]);
+        }
+        if let (Some(&x_mask), Some(&weight)) = (mask_tail.first(), self.flip_weights.last()) {
+            acc = acc + gather_block(input, b, x_mask).scale(weight);
+        }
+        acc = acc + acc_odd;
+        if self.gather_weights.is_empty() {
+            for term in self.gather_terms {
+                acc = acc + gather_term_block(input, b, term, 1.0);
+            }
+        } else {
+            for (term, &weight) in self.gather_terms.iter().zip(self.gather_weights) {
+                acc = acc + gather_term_block(input, b, term, weight);
+            }
+        }
+        acc
+    }
+
+    /// Lane twin of [`apply_range`](Self::apply_range): same contract, block
+    /// loop instead of element loop. Any non-block tail (never produced by
+    /// the lane-aligned chunk planner, kept for safety) runs scalar.
+    fn lane_apply_range(&self, input: &[Complex], out: &mut [Complex], offset: usize) -> f64 {
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        let mut norm_acc = F64x8::ZERO;
+        for (block, chunk) in out.chunks_exact_mut(LANE_WIDTH).enumerate() {
+            let acc = self.lane_block(input, offset + block * LANE_WIDTH, diag_index_mask);
+            norm_acc = norm_acc + acc * acc;
+            store_block(acc, chunk);
+        }
+        let mut norm_sqr = norm_acc.horizontal_sum();
+        for k in (out.len() / LANE_WIDTH) * LANE_WIDTH..out.len() {
+            let acc = self.element(input, offset + k, diag_index_mask);
+            norm_sqr += acc.norm_sqr();
+            out[k] = acc;
+        }
+        norm_sqr
+    }
+
+    /// Lane twin of [`apply_accumulate_range`](Self::apply_accumulate_range).
+    fn lane_apply_accumulate_range(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        target: &mut [Complex],
+        factor: Complex,
+        offset: usize,
+    ) -> f64 {
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        let mut norm_acc = F64x8::ZERO;
+        for (block, (out_chunk, target_chunk)) in out
+            .chunks_exact_mut(LANE_WIDTH)
+            .zip(target.chunks_exact_mut(LANE_WIDTH))
+            .enumerate()
+        {
+            let acc = self.lane_block(input, offset + block * LANE_WIDTH, diag_index_mask);
+            norm_acc = norm_acc + acc * acc;
+            store_block(acc, out_chunk);
+            let updated = load_block(target_chunk, 0) + acc.mul_complex(factor.re, factor.im);
+            store_block(updated, target_chunk);
+        }
+        let mut norm_sqr = norm_acc.horizontal_sum();
+        for k in (out.len() / LANE_WIDTH) * LANE_WIDTH..out.len() {
+            let acc = self.element(input, offset + k, diag_index_mask);
+            norm_sqr += acc.norm_sqr();
+            out[k] = acc;
+            target[k] += factor * acc;
+        }
+        norm_sqr
+    }
+
+    /// Lane twin of
+    /// [`apply_accumulate_both_range`](Self::apply_accumulate_both_range).
+    #[allow(clippy::too_many_arguments)]
+    fn lane_apply_accumulate_both_range(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        target: &mut [Complex],
+        f_input: Complex,
+        f_out: Complex,
+        offset: usize,
+    ) -> f64 {
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        let mut norm_acc = F64x8::ZERO;
+        for (block, (out_chunk, target_chunk)) in out
+            .chunks_exact_mut(LANE_WIDTH)
+            .zip(target.chunks_exact_mut(LANE_WIDTH))
+            .enumerate()
+        {
+            let b = offset + block * LANE_WIDTH;
+            let acc = self.lane_block(input, b, diag_index_mask);
+            norm_acc = norm_acc + acc * acc;
+            store_block(acc, out_chunk);
+            let update = load_block(input, b).mul_complex(f_input.re, f_input.im)
+                + acc.mul_complex(f_out.re, f_out.im);
+            store_block(load_block(target_chunk, 0) + update, target_chunk);
+        }
+        let mut norm_sqr = norm_acc.horizontal_sum();
+        for k in (out.len() / LANE_WIDTH) * LANE_WIDTH..out.len() {
+            let j = offset + k;
+            let acc = self.element(input, j, diag_index_mask);
+            norm_sqr += acc.norm_sqr();
+            out[k] = acc;
+            target[k] += f_input * input[j] + f_out * acc;
+        }
+        norm_sqr
+    }
+
+    // -- public entry points ------------------------------------------------
+
+    /// Computes `out = H|ψ⟩` and returns `‖H|ψ⟩‖` under the default
+    /// [`ExecutionContext::auto`]. `out` is fully overwritten.
     ///
     /// # Panics
     ///
     /// Panics if the dimensions of `input` and `out` differ, or the kernel
     /// acts on more qubits than the state has.
     pub fn apply_into(&self, input: &StateVector, out: &mut StateVector) -> f64 {
+        self.apply_into_with(&ExecutionContext::auto(), input, out)
+    }
+
+    /// [`apply_into`](Self::apply_into) under an explicit
+    /// [`ExecutionContext`]: the context picks the kernel path (lane vs
+    /// scalar) and splits the output across the persistent worker pool above
+    /// its parallel threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `input` and `out` differ, or the kernel
+    /// acts on more qubits than the state has.
+    pub fn apply_into_with(
+        &self,
+        context: &ExecutionContext,
+        input: &StateVector,
+        out: &mut StateVector,
+    ) -> f64 {
         assert_eq!(input.dim(), out.dim(), "state dimension mismatch");
         assert!(
             self.num_qubits <= input.num_qubits(),
@@ -521,37 +713,35 @@ impl FusedKernel<'_> {
         let dim = input.dim();
         let input = input.amplitudes();
         let out = out.amplitudes_mut();
-
-        let threads = worker_count(dim);
-        if threads <= 1 {
-            return self.apply_range(input, out, 0).sqrt();
+        let lanes = self.use_lanes(context, dim);
+        let (participants, chunk) = context.plan(dim);
+        if participants <= 1 {
+            let norm_sqr = if lanes {
+                self.lane_apply_range(input, out, 0)
+            } else {
+                self.apply_range(input, out, 0)
+            };
+            return norm_sqr.sqrt();
         }
-
-        // Each worker owns a contiguous chunk of the *output*; every output
-        // index is written exactly once, so chunks never race. Reads gather
-        // from the shared input vector.
-        let chunk = dim.div_ceil(threads);
-        let norm_sqr: f64 = std::thread::scope(|scope| {
-            let workers: Vec<_> = out
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(index, slice)| {
-                    scope.spawn(move || self.apply_range(input, slice, index * chunk))
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| {
-                    w.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .sum()
+        // Each participant owns a contiguous chunk of the *output*; every
+        // output index is written exactly once, so chunks never race. Reads
+        // gather from the shared input vector.
+        let shared_out = SharedAmps::new(out);
+        let norm_sqr = exec::pool_run(participants, &|participant: usize| {
+            let (start, len) = chunk_bounds(participant, chunk, dim);
+            // SAFETY: participants own disjoint output ranges.
+            let out_chunk = unsafe { shared_out.slice(start, len) };
+            if lanes {
+                self.lane_apply_range(input, out_chunk, start)
+            } else {
+                self.apply_range(input, out_chunk, start)
+            }
         });
         norm_sqr.sqrt()
     }
 
     /// [`apply_into`](Self::apply_into) with `target += factor · out` fused
-    /// into the same write pass.
+    /// into the same write pass, under the default [`ExecutionContext::auto`].
     ///
     /// # Panics
     ///
@@ -559,6 +749,24 @@ impl FusedKernel<'_> {
     /// than the state has.
     pub fn apply_accumulate_into(
         &self,
+        input: &StateVector,
+        out: &mut StateVector,
+        target: &mut StateVector,
+        factor: Complex,
+    ) -> f64 {
+        self.apply_accumulate_into_with(&ExecutionContext::auto(), input, out, target, factor)
+    }
+
+    /// [`apply_accumulate_into`](Self::apply_accumulate_into) under an
+    /// explicit [`ExecutionContext`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimensions differ, or the kernel acts on more qubits
+    /// than the state has.
+    pub fn apply_accumulate_into_with(
+        &self,
+        context: &ExecutionContext,
         input: &StateVector,
         out: &mut StateVector,
         target: &mut StateVector,
@@ -574,46 +782,36 @@ impl FusedKernel<'_> {
         let input = input.amplitudes();
         let out = out.amplitudes_mut();
         let target = target.amplitudes_mut();
-
-        let threads = worker_count(dim);
-        if threads <= 1 {
-            return self
-                .apply_accumulate_range(input, out, target, factor, 0)
-                .sqrt();
+        let lanes = self.use_lanes(context, dim);
+        let (participants, chunk) = context.plan(dim);
+        if participants <= 1 {
+            let norm_sqr = if lanes {
+                self.lane_apply_accumulate_range(input, out, target, factor, 0)
+            } else {
+                self.apply_accumulate_range(input, out, target, factor, 0)
+            };
+            return norm_sqr.sqrt();
         }
-
-        let chunk = dim.div_ceil(threads);
-        let norm_sqr: f64 = std::thread::scope(|scope| {
-            let workers: Vec<_> = out
-                .chunks_mut(chunk)
-                .zip(target.chunks_mut(chunk))
-                .enumerate()
-                .map(|(index, (out_slice, target_slice))| {
-                    scope.spawn(move || {
-                        self.apply_accumulate_range(
-                            input,
-                            out_slice,
-                            target_slice,
-                            factor,
-                            index * chunk,
-                        )
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| {
-                    w.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .sum()
+        let shared_out = SharedAmps::new(out);
+        let shared_target = SharedAmps::new(target);
+        let norm_sqr = exec::pool_run(participants, &|participant: usize| {
+            let (start, len) = chunk_bounds(participant, chunk, dim);
+            // SAFETY: participants own disjoint output/target ranges.
+            let out_chunk = unsafe { shared_out.slice(start, len) };
+            let target_chunk = unsafe { shared_target.slice(start, len) };
+            if lanes {
+                self.lane_apply_accumulate_range(input, out_chunk, target_chunk, factor, start)
+            } else {
+                self.apply_accumulate_range(input, out_chunk, target_chunk, factor, start)
+            }
         });
         norm_sqr.sqrt()
     }
 
     /// [`apply_accumulate_into`](Self::apply_accumulate_into) with **two**
     /// series terms retired in the same write pass:
-    /// `target += f_input·input + f_out·out`. Returns `‖out‖`.
+    /// `target += f_input·input + f_out·out`. Returns `‖out‖`. Runs under
+    /// the default [`ExecutionContext::auto`].
     ///
     /// This is the fused first-and-second-order pass of the batched
     /// multi-segment Taylor sweep: the first kernel application of a step
@@ -635,6 +833,32 @@ impl FusedKernel<'_> {
         f_input: Complex,
         f_out: Complex,
     ) -> f64 {
+        self.apply_accumulate_both_into_with(
+            &ExecutionContext::auto(),
+            input,
+            out,
+            target,
+            f_input,
+            f_out,
+        )
+    }
+
+    /// [`apply_accumulate_both_into`](Self::apply_accumulate_both_into)
+    /// under an explicit [`ExecutionContext`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimensions differ, or the kernel acts on more qubits
+    /// than the state has.
+    pub fn apply_accumulate_both_into_with(
+        &self,
+        context: &ExecutionContext,
+        input: &StateVector,
+        out: &mut StateVector,
+        target: &mut StateVector,
+        f_input: Complex,
+        f_out: Complex,
+    ) -> f64 {
         assert_eq!(input.dim(), out.dim(), "state dimension mismatch");
         assert_eq!(input.dim(), target.dim(), "state dimension mismatch");
         assert!(
@@ -645,43 +869,150 @@ impl FusedKernel<'_> {
         let input = input.amplitudes();
         let out = out.amplitudes_mut();
         let target = target.amplitudes_mut();
-
-        let threads = worker_count(dim);
-        if threads <= 1 {
-            return self
-                .apply_accumulate_both_range(input, out, target, f_input, f_out, 0)
-                .sqrt();
+        let lanes = self.use_lanes(context, dim);
+        let (participants, chunk) = context.plan(dim);
+        if participants <= 1 {
+            let norm_sqr = if lanes {
+                self.lane_apply_accumulate_both_range(input, out, target, f_input, f_out, 0)
+            } else {
+                self.apply_accumulate_both_range(input, out, target, f_input, f_out, 0)
+            };
+            return norm_sqr.sqrt();
         }
-
-        let chunk = dim.div_ceil(threads);
-        let norm_sqr: f64 = std::thread::scope(|scope| {
-            let workers: Vec<_> = out
-                .chunks_mut(chunk)
-                .zip(target.chunks_mut(chunk))
-                .enumerate()
-                .map(|(index, (out_slice, target_slice))| {
-                    scope.spawn(move || {
-                        self.apply_accumulate_both_range(
-                            input,
-                            out_slice,
-                            target_slice,
-                            f_input,
-                            f_out,
-                            index * chunk,
-                        )
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| {
-                    w.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .sum()
+        let shared_out = SharedAmps::new(out);
+        let shared_target = SharedAmps::new(target);
+        let norm_sqr = exec::pool_run(participants, &|participant: usize| {
+            let (start, len) = chunk_bounds(participant, chunk, dim);
+            // SAFETY: participants own disjoint output/target ranges.
+            let out_chunk = unsafe { shared_out.slice(start, len) };
+            let target_chunk = unsafe { shared_target.slice(start, len) };
+            if lanes {
+                self.lane_apply_accumulate_both_range(
+                    input,
+                    out_chunk,
+                    target_chunk,
+                    f_input,
+                    f_out,
+                    start,
+                )
+            } else {
+                self.apply_accumulate_both_range(
+                    input,
+                    out_chunk,
+                    target_chunk,
+                    f_input,
+                    f_out,
+                    start,
+                )
+            }
         });
         norm_sqr.sqrt()
     }
+}
+
+/// Loads one lane block of interleaved complex amplitudes starting at
+/// `base` into an [`F64x8`].
+#[inline(always)]
+fn load_block(amps: &[Complex], base: usize) -> F64x8 {
+    let mut out = [0.0; 2 * LANE_WIDTH];
+    // One slice bounds check for the whole block; the element loop then
+    // lowers to a single unmasked vector load.
+    for (k, amp) in amps[base..base + LANE_WIDTH].iter().enumerate() {
+        out[2 * k] = amp.re;
+        out[2 * k + 1] = amp.im;
+    }
+    F64x8(out)
+}
+
+/// Stores an [`F64x8`] block back into the first [`LANE_WIDTH`] amplitudes
+/// of `out`.
+#[inline(always)]
+fn store_block(block: F64x8, out: &mut [Complex]) {
+    for (k, slot) in out.iter_mut().take(LANE_WIDTH).enumerate() {
+        *slot = Complex::new(block.0[2 * k], block.0[2 * k + 1]);
+    }
+}
+
+/// Loads the block of `input[(b..b+LANE_WIDTH) ^ x_mask]` as a contiguous
+/// block load at the lane-aligned base `b ^ (x_mask & !3)` followed by an
+/// in-register pair permute for the low mask bits (`b` is block-aligned, so
+/// `(b + k) ^ x_mask = base + (k ^ p)`).
+#[inline(always)]
+fn gather_block(input: &[Complex], b: usize, x_mask: usize) -> F64x8 {
+    let base = (b ^ x_mask) & !(LANE_WIDTH - 1);
+    let block = load_block(input, base);
+    let p = x_mask & (LANE_WIDTH - 1);
+    if p == 0 {
+        block
+    } else {
+        block.permute_pairs_xor(p)
+    }
+}
+
+/// Per-lane low-bit `z_mask` signs for a permuted gather block: lane `k`
+/// holds `(−1)^popcount((k ^ p) & z_mask & 3)`.
+#[inline(always)]
+fn lane_signs(z_mask: usize, p: usize) -> F64x4 {
+    let z_lo = z_mask & (LANE_WIDTH - 1);
+    let mut signs = [0.0; LANE_WIDTH];
+    for (k, slot) in signs.iter_mut().enumerate() {
+        let parity = ((k ^ p) & z_lo).count_ones() & 1;
+        *slot = 1.0 - 2.0 * parity as f64;
+    }
+    F64x4(signs)
+}
+
+/// One gather term's contribution to a lane block: permuted source load ×
+/// complex term weight × per-lane signs (scaled by the columnar `weight`).
+#[inline(always)]
+fn gather_term_block(input: &[Complex], b: usize, term: &CompiledTerm, weight: f64) -> F64x8 {
+    let src = gather_block(input, b, term.x_mask);
+    let base = (b ^ term.x_mask) & !(LANE_WIDTH - 1);
+    // The base is lane-aligned (low bits zero), so the sign factors exactly
+    // into a per-block high part and a per-lane low part.
+    let sign_hi = 1.0 - 2.0 * ((base & term.z_mask).count_ones() & 1) as f64;
+    let p = term.x_mask & (LANE_WIDTH - 1);
+    let signs = lane_signs(term.z_mask, p).scale(sign_hi * weight);
+    src.mul_complex(term.weight.re, term.weight.im) * signs.dup_pairs()
+}
+
+/// A raw, length-tagged pointer to an amplitude buffer, sliced per
+/// participant inside a pool job. Chunks handed to distinct participants
+/// are disjoint by construction (the planner tiles `0..dim` contiguously).
+struct SharedAmps {
+    ptr: *mut Complex,
+    len: usize,
+}
+
+// SAFETY: participants only touch disjoint ranges (see `SharedAmps::slice`).
+unsafe impl Sync for SharedAmps {}
+
+impl SharedAmps {
+    fn new(slice: &mut [Complex]) -> Self {
+        SharedAmps {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Reborrows `start..start + len` as a mutable chunk.
+    ///
+    /// # Safety
+    ///
+    /// Callers must hand non-overlapping ranges to different participants,
+    /// and the range must lie inside the original slice.
+    #[allow(clippy::mut_from_ref)] // disjointness is the whole point
+    unsafe fn slice(&self, start: usize, len: usize) -> &mut [Complex] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+/// `(start, len)` of a participant's chunk in a `dim`-element tiling.
+#[inline(always)]
+fn chunk_bounds(participant: usize, chunk: usize, dim: usize) -> (usize, usize) {
+    let start = participant * chunk;
+    (start, chunk.min(dim - start))
 }
 
 /// `Σ_t w_t · (−1)^{parity(basis & z_t)}` — the diagonal contribution of
@@ -693,16 +1024,6 @@ pub(crate) fn diagonal_value(diag_masks: &[usize], diag_weights: &[f64], basis: 
         value += weight * (1.0 - 2.0 * ((basis & z_mask).count_ones() & 1) as f64);
     }
     value
-}
-
-/// Number of worker threads to use for a state of dimension `dim`.
-fn worker_count(dim: usize) -> usize {
-    if dim < 1 << PARALLEL_THRESHOLD_QUBITS {
-        return 1;
-    }
-    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
-    // Keep every worker busy with at least a threshold-sized chunk.
-    available.min(dim >> (PARALLEL_THRESHOLD_QUBITS - 1)).max(1)
 }
 
 #[cfg(test)]
@@ -807,6 +1128,139 @@ mod tests {
         assert_eq!(compiled.num_terms(), 3);
         assert!(!compiled.is_empty());
         assert!(CompiledHamiltonian::compile(&Hamiltonian::new(2)).is_empty());
+    }
+
+    /// A Hamiltonian exercising every kernel term class: a tabled diagonal
+    /// (Z + ZZ), aligned and unaligned pure flips, and weighted gathers with
+    /// both low- and high-bit `z_mask` parts (Y, ZY).
+    fn every_class_hamiltonian(num_qubits: usize) -> Hamiltonian {
+        Hamiltonian::from_terms(
+            num_qubits,
+            [
+                (0.7, PauliString::single(0, Pauli::Z)),
+                (-0.4, PauliString::two(1, Pauli::Z, 3, Pauli::Z)),
+                (0.9, PauliString::single(1, Pauli::X)),
+                (0.35, PauliString::single(3, Pauli::X)),
+                (-0.6, PauliString::single(0, Pauli::Y)),
+                (0.25, PauliString::two(2, Pauli::Z, 1, Pauli::Y)),
+            ],
+        )
+    }
+
+    fn ramp_state(num_qubits: usize) -> StateVector {
+        let dim = 1usize << num_qubits;
+        StateVector::from_amplitudes(
+            (0..dim)
+                .map(|k| Complex::new(0.3 + k as f64, 1.7 - 0.5 * k as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn lane_path_matches_scalar_reference() {
+        let compiled = CompiledHamiltonian::compile(&every_class_hamiltonian(4));
+        for num_qubits in 4..=6 {
+            let state = ramp_state(num_qubits);
+            let scalar_ctx = ExecutionContext::auto().with_kernel_path(KernelPath::Scalar);
+            let lane_ctx = ExecutionContext::auto().with_kernel_path(KernelPath::Lane);
+            let mut scalar = StateVector::zeros(num_qubits);
+            let mut lane = StateVector::zeros(num_qubits);
+            let scalar_norm = compiled
+                .kernel()
+                .apply_into_with(&scalar_ctx, &state, &mut scalar);
+            let lane_norm = compiled
+                .kernel()
+                .apply_into_with(&lane_ctx, &state, &mut lane);
+            for (a, b) in scalar.amplitudes().iter().zip(lane.amplitudes()) {
+                assert_close(*a, *b);
+            }
+            assert!((scalar_norm - lane_norm).abs() < 1e-10 * scalar_norm.max(1.0));
+        }
+    }
+
+    #[test]
+    fn lane_path_matches_scalar_for_fused_accumulations() {
+        let compiled = CompiledHamiltonian::compile(&every_class_hamiltonian(4));
+        let state = ramp_state(5);
+        let factor = Complex::new(0.3, -0.8);
+        let (f_input, f_out) = (Complex::new(-0.2, 0.45), Complex::new(0.15, 0.9));
+        let scalar_ctx = ExecutionContext::auto().with_kernel_path(KernelPath::Scalar);
+        let lane_ctx = ExecutionContext::auto().with_kernel_path(KernelPath::Lane);
+
+        let mut out_s = StateVector::zeros(5);
+        let mut out_l = StateVector::zeros(5);
+        let mut target_s = ramp_state(5);
+        let mut target_l = ramp_state(5);
+        compiled.kernel().apply_accumulate_into_with(
+            &scalar_ctx,
+            &state,
+            &mut out_s,
+            &mut target_s,
+            factor,
+        );
+        compiled.kernel().apply_accumulate_into_with(
+            &lane_ctx,
+            &state,
+            &mut out_l,
+            &mut target_l,
+            factor,
+        );
+        for (a, b) in target_s.amplitudes().iter().zip(target_l.amplitudes()) {
+            assert_close(*a, *b);
+        }
+
+        let mut target_s = ramp_state(5);
+        let mut target_l = ramp_state(5);
+        compiled.kernel().apply_accumulate_both_into_with(
+            &scalar_ctx,
+            &state,
+            &mut out_s,
+            &mut target_s,
+            f_input,
+            f_out,
+        );
+        compiled.kernel().apply_accumulate_both_into_with(
+            &lane_ctx,
+            &state,
+            &mut out_l,
+            &mut target_l,
+            f_input,
+            f_out,
+        );
+        for (a, b) in target_s.amplitudes().iter().zip(target_l.amplitudes()) {
+            assert_close(*a, *b);
+        }
+    }
+
+    #[test]
+    fn pooled_application_matches_inline() {
+        let compiled = CompiledHamiltonian::compile(&every_class_hamiltonian(4));
+        let state = ramp_state(5);
+        let inline_ctx = ExecutionContext::auto().with_threads(1);
+        let pooled_ctx = ExecutionContext::auto()
+            .with_threads(3)
+            .with_parallel_threshold(0);
+        let mut inline_out = StateVector::zeros(5);
+        let mut pooled_out = StateVector::zeros(5);
+        let inline_norm = compiled
+            .kernel()
+            .apply_into_with(&inline_ctx, &state, &mut inline_out);
+        let pooled_norm = compiled
+            .kernel()
+            .apply_into_with(&pooled_ctx, &state, &mut pooled_out);
+        assert_eq!(inline_out.amplitudes(), pooled_out.amplitudes());
+        assert!((inline_norm - pooled_norm).abs() < 1e-12 * inline_norm.max(1.0));
+    }
+
+    #[test]
+    fn tiny_states_fall_back_to_the_scalar_path() {
+        // dim 2 < LANE_WIDTH: the lane context must transparently run scalar.
+        let h = Hamiltonian::from_terms(1, [(1.0, PauliString::single(0, Pauli::X))]);
+        let compiled = CompiledHamiltonian::compile(&h);
+        let state = StateVector::zero_state(1);
+        let mut out = StateVector::zeros(1);
+        compiled.apply_into(&state, &mut out);
+        assert_close(out.amplitudes()[1], Complex::ONE);
     }
 
     #[test]

@@ -214,7 +214,11 @@ impl EmulatedDevice {
     }
 
     /// Selects the time-evolution backend (and tolerance) the device runs
-    /// its state-vector execution with.
+    /// its state-vector execution with — including the options'
+    /// [`crate::ExecutionContext`] (worker count, parallel threshold, kernel
+    /// path), which the one [`Propagator`] built per sweep reuses across
+    /// **every** noise realization: the worker pool is warmed once, not per
+    /// realization.
     pub fn with_options(mut self, options: EvolveOptions) -> Self {
         self.options = options;
         self

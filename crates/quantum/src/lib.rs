@@ -39,6 +39,39 @@
 //! assert!(z_average(&state) < 1.0); // the transverse field rotated the spins
 //! ```
 //!
+//! # Execution
+//!
+//! Every `H|ψ⟩` kernel application is routed through the [`exec`] layer's
+//! [`ExecutionContext`] — worker count, parallel threshold, and kernel path
+//! in one `Copy` value carried by [`EvolveOptions`] and stored by every
+//! stepper, so one configuration is reused across schedule segments and
+//! device noise realizations:
+//!
+//! * **Pool lifecycle.** Worker threads are spawned once per process on
+//!   first parallel use and parked on a condvar between calls
+//!   ([`exec::WorkerPool`]); a kernel application above the parallel
+//!   threshold costs one lock handshake, not a thread spawn. Below the
+//!   threshold everything runs inline on the calling thread — small states
+//!   never pay for the pool.
+//! * **Lane dispatch.** The default [`exec::KernelPath::Lane`] path
+//!   processes blocks of four amplitudes in [`exec::F64x8`] registers
+//!   (portable fixed-size-array newtypes the autovectorizer lowers to
+//!   packed instructions); the scalar path is retained as the conformance
+//!   reference and pinned to the lane path at 1e-10 by the test suite.
+//! * **Threshold tuning.** `EvolveOptions::with_threads(n)` /
+//!   `QTURBO_THREADS=n` pin the worker count;
+//!   [`exec::ExecutionContext::with_parallel_threshold`] moves the
+//!   dimension cutoff (default [`compiled::PARALLEL_THRESHOLD_QUBITS`]).
+//!   Chunks are lane-aligned and the participant count is recomputed from
+//!   the rounded chunk, so over-provisioned thread counts never strand idle
+//!   workers.
+//! * **Determinism.** For a fixed `(threads, kernel path)` configuration
+//!   results are bitwise reproducible; across configurations amplitudes
+//!   agree to round-off (only the norm reduction order changes), well
+//!   inside the 1e-10 conformance pin. Fault-injection recovery is
+//!   thread-count-independent (`tests/prop_faults.rs` runs its grid under
+//!   the pool).
+//!
 //! # Robustness
 //!
 //! The evolution pipeline is panic-free end to end: every entry point has a
@@ -89,6 +122,7 @@
 pub mod compiled;
 pub mod device;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod observable;
 pub mod propagate;
@@ -99,6 +133,7 @@ pub mod stepper;
 pub use compiled::{CompiledHamiltonian, CompiledTerm};
 pub use device::{ideal_run, DeviceRun, EmulatedDevice, NoiseModel};
 pub use error::{EvolveError, RecoveryEvent, RecoveryLog};
+pub use exec::{ExecutionContext, KernelPath};
 pub use fault::{Fault, FaultInjector};
 pub use observable::DiagonalObservables;
 pub use propagate::Propagator;

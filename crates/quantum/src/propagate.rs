@@ -137,14 +137,18 @@ impl Propagator {
         Propagator::with_options(EvolveOptions::default())
     }
 
-    /// Creates a propagator with explicit evolution options.
+    /// Creates a propagator with explicit evolution options. Every backend
+    /// is constructed over the options' [`crate::ExecutionContext`], so worker
+    /// count, parallel threshold, and kernel path are shared across all
+    /// segments (and, through [`crate::EmulatedDevice`], across noise
+    /// realizations) without re-resolving per call.
     pub fn with_options(options: EvolveOptions) -> Self {
         Propagator {
             options,
-            taylor: TaylorStepper::new(options.tolerance),
-            batched: BatchedTaylorStepper::new(options.tolerance),
-            krylov: KrylovStepper::new(options.tolerance),
-            chebyshev: ChebyshevStepper::new(options.tolerance),
+            taylor: TaylorStepper::with_context(options.tolerance, options.execution),
+            batched: BatchedTaylorStepper::with_context(options.tolerance, options.execution),
+            krylov: KrylovStepper::with_context(options.tolerance, options.execution),
+            chebyshev: ChebyshevStepper::with_context(options.tolerance, options.execution),
             decisions: Vec::new(),
             recovery: RecoveryLog::default(),
             injector: None,

@@ -25,10 +25,15 @@
 //! [`Hamiltonian::same_structure`]), so schedules that alternate between a
 //! few structures still reuse each layout.
 //!
-//! The per-segment kernels lower to the same threaded fused write pass the
+//! The per-segment kernels lower to the same fused write pass the
 //! constant-Hamiltonian path uses (`FusedKernel` in [`crate::compiled`]),
 //! which borrows masks from the layout and weights from the matrix row
-//! directly. Diagonal terms keep their table fast path: at *evolve* time the
+//! directly — and executes under the driving propagator's one
+//! [`ExecutionContext`](crate::ExecutionContext): the SIMD-lane path and the
+//! persistent worker pool are configured once per
+//! [`Propagator`](crate::Propagator) and reused by every segment of every
+//! schedule it runs, so a thousand-segment ramp pays zero per-segment
+//! thread-spawn or configuration cost. Diagonal terms keep their table fast path: at *evolve* time the
 //! segment's diagonal weight columns are folded into a propagator-owned
 //! scratch table — one `O(#diag · 2ⁿ)` fill per segment into a buffer reused
 //! across all of them, updated **incrementally** by weight deltas within a

@@ -3,12 +3,85 @@
 use qturbo_hamiltonian::{Pauli, PauliString};
 use qturbo_math::Complex;
 
+use crate::exec::LANE_WIDTH;
+
+/// One cache-line-aligned block of [`LANE_WIDTH`] amplitudes — the
+/// allocation unit of [`AlignedAmps`]. `repr(C)` + the 64-byte alignment
+/// make a `Vec<AmpBlock>` a contiguous, lane-block-aligned `Complex` array
+/// (64 bytes is exactly four 16-byte amplitudes, so there is no inter-block
+/// padding).
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct AmpBlock([Complex; LANE_WIDTH]);
+
+// The no-padding guarantee the slice casts below rely on.
+const _: () = assert!(std::mem::size_of::<AmpBlock>() == LANE_WIDTH * 16);
+
+/// Amplitude storage aligned to [`AmpBlock`] boundaries, so the SIMD lane
+/// kernels in [`crate::compiled`] always see cache-line-aligned blocks.
+/// Presents itself as a plain `&[Complex]` / `&mut [Complex]` of logical
+/// length `len` (which may be smaller than one block for 0- and 1-qubit
+/// states; the padding lanes of the final block are initialized but never
+/// observable through the slices).
+#[derive(Clone)]
+struct AlignedAmps {
+    blocks: Vec<AmpBlock>,
+    len: usize,
+}
+
+impl AlignedAmps {
+    /// `len` amplitudes, every one (padding lanes included) set to `value`.
+    fn filled(value: Complex, len: usize) -> Self {
+        AlignedAmps {
+            blocks: vec![AmpBlock([value; LANE_WIDTH]); len.div_ceil(LANE_WIDTH)],
+            len,
+        }
+    }
+
+    /// Copies a plain vector into aligned storage.
+    fn from_vec(values: Vec<Complex>) -> Self {
+        let mut amps = AlignedAmps::filled(Complex::ZERO, values.len());
+        amps.as_mut_slice().copy_from_slice(&values);
+        amps
+    }
+
+    fn as_slice(&self) -> &[Complex] {
+        // SAFETY: `AmpBlock` is `repr(C)` with no padding (checked above),
+        // so the blocks hold at least `len` contiguous initialized
+        // `Complex` values starting at the vec's base pointer.
+        unsafe { std::slice::from_raw_parts(self.blocks.as_ptr().cast::<Complex>(), self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [Complex] {
+        // SAFETY: as in `as_slice`, plus unique access through `&mut self`.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr().cast::<Complex>(), self.len)
+        }
+    }
+}
+
+impl std::fmt::Debug for AlignedAmps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for AlignedAmps {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// A pure quantum state of `num_qubits` qubits stored as a dense amplitude
 /// vector in the computational (Z) basis.
 ///
 /// Qubit `q` corresponds to bit `q` of the basis-state index (little-endian),
 /// and `|0⟩` is the `+1` eigenstate of `Z` — the convention used for the
 /// Rydberg ground state in the paper's device experiments.
+///
+/// Amplitudes live in cache-line-aligned storage (64-byte blocks of
+/// [`LANE_WIDTH`] amplitudes) so the execution layer's lane kernels load
+/// aligned blocks; see [`crate::exec`].
 ///
 /// # Example
 ///
@@ -23,7 +96,7 @@ use qturbo_math::Complex;
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateVector {
     num_qubits: usize,
-    amplitudes: Vec<Complex>,
+    amplitudes: AlignedAmps,
 }
 
 impl StateVector {
@@ -38,8 +111,8 @@ impl StateVector {
             num_qubits <= 26,
             "dense state vectors are limited to 26 qubits"
         );
-        let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
-        amplitudes[0] = Complex::ONE;
+        let mut amplitudes = AlignedAmps::filled(Complex::ZERO, 1 << num_qubits);
+        amplitudes.as_mut_slice()[0] = Complex::ONE;
         StateVector {
             num_qubits,
             amplitudes,
@@ -62,7 +135,7 @@ impl StateVector {
         );
         StateVector {
             num_qubits,
-            amplitudes: vec![Complex::ZERO; 1 << num_qubits],
+            amplitudes: AlignedAmps::filled(Complex::ZERO, 1 << num_qubits),
         }
     }
 
@@ -76,7 +149,7 @@ impl StateVector {
         let amp = Complex::from_real(1.0 / (dim as f64).sqrt());
         StateVector {
             num_qubits,
-            amplitudes: vec![amp; dim],
+            amplitudes: AlignedAmps::filled(amp, dim),
         }
     }
 
@@ -94,7 +167,7 @@ impl StateVector {
         let num_qubits = dim.trailing_zeros() as usize;
         let mut state = StateVector {
             num_qubits,
-            amplitudes,
+            amplitudes: AlignedAmps::from_vec(amplitudes),
         };
         let norm = state.norm();
         assert!(norm > 0.0, "cannot normalize the zero vector");
@@ -109,12 +182,12 @@ impl StateVector {
 
     /// Dimension of the underlying vector (`2^num_qubits`).
     pub fn dim(&self) -> usize {
-        self.amplitudes.len()
+        self.amplitudes.len
     }
 
     /// Immutable view of the amplitudes.
     pub fn amplitudes(&self) -> &[Complex] {
-        &self.amplitudes
+        self.amplitudes.as_slice()
     }
 
     /// Mutable view of the amplitudes, for in-place kernels.
@@ -123,7 +196,7 @@ impl StateVector {
     /// the propagation kernels deliberately work on unnormalized
     /// accumulators.
     pub fn amplitudes_mut(&mut self) -> &mut [Complex] {
-        &mut self.amplitudes
+        self.amplitudes.as_mut_slice()
     }
 
     /// Copies `other`'s amplitudes into this vector without allocating.
@@ -133,12 +206,15 @@ impl StateVector {
     /// Panics if the dimensions differ.
     pub fn copy_from(&mut self, other: &StateVector) {
         assert_eq!(self.dim(), other.dim(), "state dimension mismatch");
-        self.amplitudes.copy_from_slice(&other.amplitudes);
+        self.amplitudes
+            .as_mut_slice()
+            .copy_from_slice(other.amplitudes.as_slice());
     }
 
     /// Euclidean norm of the amplitude vector.
     pub fn norm(&self) -> f64 {
         self.amplitudes
+            .as_slice()
             .iter()
             .map(|a| a.norm_sqr())
             .sum::<f64>()
@@ -148,7 +224,7 @@ impl StateVector {
     /// Scales every amplitude by a real factor (used internally for
     /// normalization).
     pub fn scale(&mut self, factor: f64) {
-        for amp in &mut self.amplitudes {
+        for amp in self.amplitudes.as_mut_slice() {
             *amp = amp.scale(factor);
         }
     }
@@ -169,7 +245,12 @@ impl StateVector {
     pub fn inner_product(&self, other: &StateVector) -> Complex {
         assert_eq!(self.dim(), other.dim(), "state dimension mismatch");
         let mut acc = Complex::ZERO;
-        for (a, b) in self.amplitudes.iter().zip(other.amplitudes.iter()) {
+        for (a, b) in self
+            .amplitudes
+            .as_slice()
+            .iter()
+            .zip(other.amplitudes.as_slice())
+        {
             acc += a.conj() * *b;
         }
         acc
@@ -201,7 +282,7 @@ impl StateVector {
         }
         let mut out = vec![Complex::ZERO; self.dim()];
         let ops: Vec<(usize, Pauli)> = string.iter().collect();
-        for (basis, &amplitude) in self.amplitudes.iter().enumerate() {
+        for (basis, &amplitude) in self.amplitudes.as_slice().iter().enumerate() {
             if amplitude == Complex::ZERO {
                 continue;
             }
@@ -228,7 +309,7 @@ impl StateVector {
         }
         StateVector {
             num_qubits: self.num_qubits,
-            amplitudes: out,
+            amplitudes: AlignedAmps::from_vec(out),
         }
     }
 
@@ -248,13 +329,13 @@ impl StateVector {
             );
         }
         crate::compiled::CompiledTerm::compile(1.0, string)
-            .expectation(&self.amplitudes)
+            .expectation(self.amplitudes.as_slice())
             .re
     }
 
     /// Probability of measuring the computational basis state `basis`.
     pub fn probability(&self, basis: usize) -> f64 {
-        self.amplitudes[basis].norm_sqr()
+        self.amplitudes.as_slice()[basis].norm_sqr()
     }
 
     /// Adds `factor · other` to this state (used by the propagator's Taylor
@@ -265,9 +346,20 @@ impl StateVector {
     /// Panics if the dimensions differ.
     pub fn accumulate(&mut self, factor: Complex, other: &StateVector) {
         assert_eq!(self.dim(), other.dim(), "state dimension mismatch");
-        for (a, b) in self.amplitudes.iter_mut().zip(other.amplitudes.iter()) {
+        for (a, b) in self
+            .amplitudes
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.amplitudes.as_slice())
+        {
             *a += factor * *b;
         }
+    }
+
+    /// `true` when the amplitude storage base is 64-byte aligned (always
+    /// holds; exposed so the test suite can pin the allocation contract).
+    pub fn is_block_aligned(&self) -> bool {
+        (self.amplitudes.blocks.as_ptr() as usize).is_multiple_of(64)
     }
 }
 
@@ -363,6 +455,23 @@ mod tests {
             (2, Pauli::Z),
         ]));
         assert!((transformed.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_storage_is_block_aligned_at_every_size() {
+        // 0- and 1-qubit states (dims 1 and 2) exercise the partial final
+        // block; larger states exercise whole blocks.
+        for num_qubits in 0..=5 {
+            let state = StateVector::zeros(num_qubits);
+            assert!(state.is_block_aligned());
+            assert_eq!(state.dim(), 1 << num_qubits);
+        }
+        let plus = StateVector::plus_state(1);
+        assert!(plus.is_block_aligned());
+        assert_eq!(plus.amplitudes().len(), 2);
+        // Equality and cloning look through the padding lanes.
+        let clone = plus.clone();
+        assert_eq!(plus, clone);
     }
 
     #[test]

@@ -97,6 +97,7 @@
 
 use crate::compiled::FusedKernel;
 use crate::error::EvolveError;
+use crate::exec::{ExecutionContext, Passes};
 use crate::state::StateVector;
 use qturbo_math::chebyshev::{
     try_chebyshev_exp_coefficients, try_chebyshev_exp_order, MAX_EXP_SPAN,
@@ -205,6 +206,11 @@ pub struct EvolveOptions {
     /// The cost calibration [`StepperKind::Auto`] decides with; ignored by
     /// the fixed backends.
     pub auto_model: AutoCostModel,
+    /// How every `H|ψ⟩` kernel application executes: worker count, parallel
+    /// threshold, and kernel path (see [`ExecutionContext`]). Stored by each
+    /// stepper at construction, so one configuration is reused across all
+    /// schedule segments and device noise realizations.
+    pub execution: ExecutionContext,
 }
 
 impl Default for EvolveOptions {
@@ -213,6 +219,7 @@ impl Default for EvolveOptions {
             stepper: StepperKind::default(),
             tolerance: DEFAULT_TOLERANCE,
             auto_model: AutoCostModel::default(),
+            execution: ExecutionContext::auto(),
         }
     }
 }
@@ -269,6 +276,23 @@ impl EvolveOptions {
     /// knobs; a no-op unless the selected stepper is `Auto`).
     pub fn with_auto_model(mut self, model: AutoCostModel) -> Self {
         self.auto_model = model;
+        self
+    }
+
+    /// Pins the worker count every kernel application may fan out to
+    /// (`0` restores automatic resolution: the `QTURBO_THREADS` environment
+    /// variable, then the machine's available parallelism). The pool only
+    /// engages above the parallel threshold — tune that via
+    /// [`with_execution`](EvolveOptions::with_execution).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.execution = self.execution.with_threads(threads);
+        self
+    }
+
+    /// Replaces the whole [`ExecutionContext`] (worker count, parallel
+    /// threshold, and kernel path at once).
+    pub fn with_execution(mut self, execution: ExecutionContext) -> Self {
+        self.execution = execution;
         self
     }
 
@@ -679,8 +703,11 @@ pub trait Stepper {
     /// sweep exists to reduce — a fused kernel application costs ~4 passes
     /// (gather-read, output write, accumulator read + write), while the
     /// per-segment overhead (series copy, norm, rescale) is pure passes with
-    /// no arithmetic payload. Counted analytically at each operation site,
-    /// so the tally is exact for the deterministic backends.
+    /// no arithmetic payload. Ticked through the typed [`Passes`] counter at
+    /// each operation site, so the tally is exact by construction for every
+    /// backend — including Krylov's reorthogonalization sweeps and
+    /// Chebyshev's recurrence, whose adaptive iteration counts older
+    /// revisions could only estimate.
     fn state_passes(&self) -> u64;
 
     /// Resets the application and pass counters.
@@ -792,25 +819,38 @@ fn apply_identity_phase(state: &mut StateVector, center: f64, duration: f64) -> 
 pub struct TaylorStepper {
     series: StateVector,
     series_next: StateVector,
+    context: ExecutionContext,
     tolerance: f64,
     applications: u64,
-    passes: u64,
+    passes: Passes,
 }
 
 impl TaylorStepper {
     /// Creates the stepper with minimal scratch buffers (resized on first
-    /// use).
+    /// use), executing kernels under [`ExecutionContext::auto`].
     ///
     /// # Panics
     ///
     /// Panics if `tolerance` is not positive and finite.
     pub fn new(tolerance: f64) -> Self {
+        TaylorStepper::with_context(tolerance, ExecutionContext::auto())
+    }
+
+    /// Creates the stepper with an explicit [`ExecutionContext`] (worker
+    /// count, parallel threshold, kernel path) applied to every kernel
+    /// application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn with_context(tolerance: f64, context: ExecutionContext) -> Self {
         TaylorStepper {
             series: StateVector::zeros(0),
             series_next: StateVector::zeros(0),
+            context,
             tolerance: validated_tolerance(tolerance),
             applications: 0,
-            passes: 0,
+            passes: Passes::new(),
         }
     }
 
@@ -832,17 +872,22 @@ impl TaylorStepper {
         reference_norm: f64,
     ) -> Result<(), EvolveError> {
         self.series.copy_from(state);
-        self.passes += 2;
+        self.passes.copy();
         let mut factor = Complex::ONE;
         let threshold = self.tolerance * reference_norm;
         for k in 1..=MAX_TAYLOR_ORDER {
             factor = factor * Complex::new(0.0, -dt) / (k as f64);
             // One fused sweep: series_next = H·series, state += factor·
             // series_next, and ‖series_next‖ for the convergence check.
-            let series_norm =
-                kernel.apply_accumulate_into(&self.series, &mut self.series_next, state, factor);
+            let series_norm = kernel.apply_accumulate_into_with(
+                &self.context,
+                &self.series,
+                &mut self.series_next,
+                state,
+                factor,
+            );
             self.applications += 1;
-            self.passes += 4;
+            self.passes.apply_accumulate();
             std::mem::swap(&mut self.series, &mut self.series_next);
             guard_finite(series_norm, StepperKind::Taylor)?;
             if series_norm * factor.abs() < threshold {
@@ -869,7 +914,8 @@ impl Stepper for TaylorStepper {
             // H = center·I exactly: a global phase, zero kernel work (the
             // generic loop would split this into step_strength·t/½ steps of
             // pure-phase series — the zero-scale / pure-identity degeneracy).
-            self.passes += apply_identity_phase(state, bound.center, duration);
+            self.passes
+                .add(apply_identity_phase(state, bound.center, duration));
             return Ok(());
         }
         self.ensure_capacity(state.num_qubits());
@@ -880,7 +926,7 @@ impl Stepper for TaylorStepper {
         for _ in 0..steps {
             self.taylor_step(kernel, state, dt, reference_norm)?;
             checked_rescale_to(state, reference_norm, StepperKind::Taylor)?;
-            self.passes += 3;
+            self.passes.rescale();
         }
         Ok(())
     }
@@ -890,12 +936,12 @@ impl Stepper for TaylorStepper {
     }
 
     fn state_passes(&self) -> u64 {
-        self.passes
+        self.passes.count()
     }
 
     fn reset_kernel_applications(&mut self) {
         self.applications = 0;
-        self.passes = 0;
+        self.passes.reset();
     }
 }
 
@@ -956,27 +1002,39 @@ pub struct BatchedTaylorStepper {
     /// Whether the open run has applied any kernel work (drift corrections
     /// are only owed — and only meaningful — after real applications).
     dirty: bool,
+    context: ExecutionContext,
     tolerance: f64,
     applications: u64,
-    passes: u64,
+    passes: Passes,
 }
 
 impl BatchedTaylorStepper {
     /// Creates the stepper with minimal scratch buffers (resized on first
-    /// use).
+    /// use), executing kernels under [`ExecutionContext::auto`].
     ///
     /// # Panics
     ///
     /// Panics if `tolerance` is not positive and finite.
     pub fn new(tolerance: f64) -> Self {
+        BatchedTaylorStepper::with_context(tolerance, ExecutionContext::auto())
+    }
+
+    /// Creates the stepper with an explicit [`ExecutionContext`] applied to
+    /// every kernel application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn with_context(tolerance: f64, context: ExecutionContext) -> Self {
         BatchedTaylorStepper {
             series: StateVector::zeros(0),
             series_next: StateVector::zeros(0),
             reference_norm: 1.0,
             dirty: false,
+            context,
             tolerance: validated_tolerance(tolerance),
             applications: 0,
-            passes: 0,
+            passes: Passes::new(),
         }
     }
 
@@ -1040,7 +1098,8 @@ impl BatchedTaylorStepper {
         }
         if bound.radius == 0.0 {
             // H = center·I exactly: a global phase, zero kernel work.
-            self.passes += apply_identity_phase(state, bound.center, duration);
+            self.passes
+                .add(apply_identity_phase(state, bound.center, duration));
             return Ok(());
         }
         self.dirty = true;
@@ -1052,20 +1111,21 @@ impl BatchedTaylorStepper {
             // per-segment path would copy the state first). Its
             // accumulation is retired one pass later. ---
             let f1 = Complex::new(0.0, -dt);
-            let order1_norm = kernel.apply_into(state, &mut self.series);
+            let order1_norm = kernel.apply_into_with(&self.context, state, &mut self.series);
             self.applications += 1;
-            self.passes += 2;
+            self.passes.apply();
             guard_finite(order1_norm, StepperKind::BatchedTaylor)?;
             if order1_norm * f1.abs() < threshold {
                 // Single-order step: retire the lone term directly.
                 state.accumulate(f1, &self.series);
-                self.passes += 3;
+                self.passes.axpy();
                 continue;
             }
             // --- Order 2, fused with order 1's accumulation:
             // ψ += f₁·series + f₂·(H·series), one traversal. ---
             let mut factor = f1 * Complex::new(0.0, -dt) / 2.0;
-            let norm = kernel.apply_accumulate_both_into(
+            let norm = kernel.apply_accumulate_both_into_with(
+                &self.context,
                 &self.series,
                 &mut self.series_next,
                 state,
@@ -1073,7 +1133,7 @@ impl BatchedTaylorStepper {
                 factor,
             );
             self.applications += 1;
-            self.passes += 4;
+            self.passes.apply_accumulate();
             std::mem::swap(&mut self.series, &mut self.series_next);
             guard_finite(norm, StepperKind::BatchedTaylor)?;
             if norm * factor.abs() < threshold {
@@ -1083,14 +1143,15 @@ impl BatchedTaylorStepper {
             // apply-accumulate, unchanged. ---
             for k in 3..=MAX_TAYLOR_ORDER {
                 factor = factor * Complex::new(0.0, -dt) / (k as f64);
-                let norm = kernel.apply_accumulate_into(
+                let norm = kernel.apply_accumulate_into_with(
+                    &self.context,
                     &self.series,
                     &mut self.series_next,
                     state,
                     factor,
                 );
                 self.applications += 1;
-                self.passes += 4;
+                self.passes.apply_accumulate();
                 std::mem::swap(&mut self.series, &mut self.series_next);
                 guard_finite(norm, StepperKind::BatchedTaylor)?;
                 if norm * factor.abs() < threshold {
@@ -1121,7 +1182,7 @@ impl BatchedTaylorStepper {
         if self.dirty {
             self.dirty = false;
             checked_rescale_to(state, self.reference_norm, StepperKind::BatchedTaylor)?;
-            self.passes += 3;
+            self.passes.rescale();
         }
         // A clean run did no kernel work (only exact phases), so the norm
         // never moved and no correction is owed.
@@ -1150,12 +1211,12 @@ impl Stepper for BatchedTaylorStepper {
     }
 
     fn state_passes(&self) -> u64 {
-        self.passes
+        self.passes.count()
     }
 
     fn reset_kernel_applications(&mut self) {
         self.applications = 0;
-        self.passes = 0;
+        self.passes.reset();
     }
 }
 
@@ -1188,26 +1249,39 @@ pub struct KrylovStepper {
     /// (fault injection): the next projected eigensolve reports
     /// non-convergence instead of running.
     force_ql_failure: bool,
+    context: ExecutionContext,
     tolerance: f64,
     applications: u64,
-    passes: u64,
+    passes: Passes,
 }
 
 impl KrylovStepper {
     /// Creates the stepper; basis vectors are allocated lazily per register
-    /// size and reused across steps and segments.
+    /// size and reused across steps and segments. Kernels execute under
+    /// [`ExecutionContext::auto`].
     ///
     /// # Panics
     ///
     /// Panics if `tolerance` is not positive and finite.
     pub fn new(tolerance: f64) -> Self {
+        KrylovStepper::with_context(tolerance, ExecutionContext::auto())
+    }
+
+    /// Creates the stepper with an explicit [`ExecutionContext`] applied to
+    /// every kernel application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn with_context(tolerance: f64, context: ExecutionContext) -> Self {
         KrylovStepper {
             basis: Vec::new(),
             snapshot: StateVector::zeros(0),
             force_ql_failure: false,
+            context,
             tolerance: validated_tolerance(tolerance),
             applications: 0,
-            passes: 0,
+            passes: Passes::new(),
         }
     }
 
@@ -1304,7 +1378,8 @@ impl Stepper for KrylovStepper {
             // H = center·I exactly: a global phase. The generic path would
             // build a one-vector basis and β-normalize a zero residual —
             // correct via happy breakdown, but pure wasted passes.
-            self.passes += apply_identity_phase(state, bound.center, duration);
+            self.passes
+                .add(apply_identity_phase(state, bound.center, duration));
             return Ok(());
         }
         // Segment-entry snapshot: two passes per segment buy the rollback
@@ -1314,11 +1389,11 @@ impl Stepper for KrylovStepper {
             self.snapshot = StateVector::zeros(state.num_qubits());
         }
         self.snapshot.copy_from(state);
-        self.passes += 2;
+        self.passes.copy();
         let result = self.evolve_segment_body(kernel, state, duration, reference_norm);
         if result.is_err() {
             state.copy_from(&self.snapshot);
-            self.passes += 2;
+            self.passes.copy();
         }
         result
     }
@@ -1328,12 +1403,12 @@ impl Stepper for KrylovStepper {
     }
 
     fn state_passes(&self) -> u64 {
-        self.passes
+        self.passes.count()
     }
 
     fn reset_kernel_applications(&mut self) {
         self.applications = 0;
-        self.passes = 0;
+        self.passes.reset();
     }
 }
 
@@ -1351,8 +1426,9 @@ impl KrylovStepper {
             // --- Build the Lanczos basis from the current state. ---
             self.ensure_basis(2, num_qubits);
             self.basis[0].copy_from(state);
+            self.passes.copy();
             self.basis[0].scale(1.0 / reference_norm);
-            self.passes += 4;
+            self.passes.scale();
             let mut alphas: Vec<f64> = Vec::with_capacity(KRYLOV_MAX_DIM);
             let mut betas: Vec<f64> = Vec::with_capacity(KRYLOV_MAX_DIM);
             let mut eigen: Option<TridiagonalEigen> = None;
@@ -1370,14 +1446,17 @@ impl KrylovStepper {
                 let (head, tail) = self.basis.split_at_mut(m + 1);
                 let v_m = &head[m];
                 let w = &mut tail[0];
-                kernel.apply_into(v_m, w);
+                kernel.apply_into_with(&self.context, v_m, w);
                 self.applications += 1;
-                self.passes += 2 + 2 + 3 + if m > 0 { 3 } else { 0 };
+                self.passes.apply();
                 let alpha = v_m.inner_product(w).re;
+                self.passes.inner();
                 w.accumulate(Complex::from_real(-alpha), v_m);
+                self.passes.axpy();
                 if m > 0 {
                     let beta_prev = betas[m - 1];
                     w.accumulate(Complex::from_real(-beta_prev), &head[m - 1]);
+                    self.passes.axpy();
                 }
                 // Full reorthogonalization: one classical Gram–Schmidt pass
                 // against the whole basis. Without it, orthogonality decays
@@ -1385,15 +1464,15 @@ impl KrylovStepper {
                 // digits well before 1e-14.
                 for v in head.iter() {
                     let overlap = v.inner_product(w);
-                    self.passes += 2;
+                    self.passes.inner();
                     if overlap.abs() > 0.0 {
                         w.accumulate(-overlap, v);
-                        self.passes += 3;
+                        self.passes.axpy();
                     }
                 }
                 alphas.push(alpha);
                 let beta = w.norm();
-                self.passes += 1;
+                self.passes.norm();
                 betas.push(beta);
                 // Lanczos sanity: α and β are inner products / norms of the
                 // basis vectors — any NaN or infinity in the state surfaces
@@ -1434,7 +1513,7 @@ impl KrylovStepper {
                 // Extend the basis: v_{m+1} = w / β.
                 let w = &mut self.basis[m + 1];
                 w.scale(1.0 / beta);
-                self.passes += 2;
+                self.passes.scale();
             }
 
             let dim = alphas.len();
@@ -1465,11 +1544,13 @@ impl KrylovStepper {
 
             // --- Advance: ψ ← ‖ψ‖ · Σ_j φ_j · v_j. ---
             state.amplitudes_mut().fill(Complex::ZERO);
+            self.passes.fill();
             for (j, coefficient) in phi.iter().enumerate() {
                 state.accumulate(coefficient.scale(reference_norm), &self.basis[j]);
+                self.passes.axpy();
             }
             checked_rescale_to(state, reference_norm, StepperKind::Krylov)?;
-            self.passes += 1 + 3 * phi.len() as u64 + 3;
+            self.passes.rescale();
             remaining -= dt;
         }
         Ok(())
@@ -1495,27 +1576,39 @@ pub struct ChebyshevStepper {
     t_curr: StateVector,
     mapped: StateVector,
     accumulator: StateVector,
+    context: ExecutionContext,
     tolerance: f64,
     applications: u64,
-    passes: u64,
+    passes: Passes,
 }
 
 impl ChebyshevStepper {
     /// Creates the stepper with minimal scratch buffers (resized on first
-    /// use).
+    /// use), executing kernels under [`ExecutionContext::auto`].
     ///
     /// # Panics
     ///
     /// Panics if `tolerance` is not positive and finite.
     pub fn new(tolerance: f64) -> Self {
+        ChebyshevStepper::with_context(tolerance, ExecutionContext::auto())
+    }
+
+    /// Creates the stepper with an explicit [`ExecutionContext`] applied to
+    /// every kernel application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn with_context(tolerance: f64, context: ExecutionContext) -> Self {
         ChebyshevStepper {
             t_prev: StateVector::zeros(0),
             t_curr: StateVector::zeros(0),
             mapped: StateVector::zeros(0),
             accumulator: StateVector::zeros(0),
+            context,
             tolerance: validated_tolerance(tolerance),
             applications: 0,
-            passes: 0,
+            passes: Passes::new(),
         }
     }
 
@@ -1533,12 +1626,13 @@ impl ChebyshevStepper {
 /// onto the unit spectral interval the Chebyshev recurrence runs on.
 fn apply_mapped(
     kernel: FusedKernel<'_>,
+    context: &ExecutionContext,
     input: &StateVector,
     out: &mut StateVector,
     center: f64,
     radius: f64,
 ) {
-    kernel.apply_into(input, out);
+    kernel.apply_into_with(context, input, out);
     let inverse_radius = 1.0 / radius;
     for (slot, v) in out.amplitudes_mut().iter_mut().zip(input.amplitudes()) {
         *slot = (*slot - v.scale(center)).scale(inverse_radius);
@@ -1562,7 +1656,8 @@ impl Stepper for ChebyshevStepper {
         let global_phase = Complex::from_polar_angle(-center * duration);
         if radius == 0.0 {
             // Pure identity shift: a global phase, no kernel work at all.
-            self.passes += apply_identity_phase(state, center, duration);
+            self.passes
+                .add(apply_identity_phase(state, center, duration));
             return Ok(());
         }
         self.ensure_capacity(state.num_qubits());
@@ -1591,23 +1686,43 @@ impl Stepper for ChebyshevStepper {
 
         // T_0·ψ = ψ; accumulator starts at c_0·ψ.
         self.t_prev.copy_from(state);
+        self.passes.copy();
         self.accumulator.copy_from(state);
+        self.passes.copy();
         self.accumulator.scale(coefficients[0]);
-        self.passes += 6;
+        self.passes.scale();
 
         if coefficients.len() > 1 {
             // T_1·ψ = H̃·ψ.
-            apply_mapped(kernel, &self.t_prev, &mut self.t_curr, center, radius);
+            apply_mapped(
+                kernel,
+                &self.context,
+                &self.t_prev,
+                &mut self.t_curr,
+                center,
+                radius,
+            );
             self.applications += 1;
+            self.passes.apply();
+            self.passes.fused_map();
             // (−i)^k phase cycle, starting at k = 1.
             let mut phase = -Complex::I;
             self.accumulator
                 .accumulate(phase.scale(coefficients[1]), &self.t_curr);
-            self.passes += 5 + 3;
+            self.passes.axpy();
             for &coefficient in coefficients.iter().skip(2) {
                 // T_{k+1} = 2·H̃·T_k − T_{k−1}, reusing t_prev's storage.
-                apply_mapped(kernel, &self.t_curr, &mut self.mapped, center, radius);
+                apply_mapped(
+                    kernel,
+                    &self.context,
+                    &self.t_curr,
+                    &mut self.mapped,
+                    center,
+                    radius,
+                );
                 self.applications += 1;
+                self.passes.apply();
+                self.passes.fused_map();
                 for (prev, w) in self
                     .t_prev
                     .amplitudes_mut()
@@ -1616,11 +1731,14 @@ impl Stepper for ChebyshevStepper {
                 {
                     *prev = w.scale(2.0) - *prev;
                 }
+                // The recurrence traversal reads `mapped`, reads and writes
+                // `t_prev` — the same streams as an axpy.
+                self.passes.axpy();
                 std::mem::swap(&mut self.t_prev, &mut self.t_curr);
                 phase *= -Complex::I;
                 self.accumulator
                     .accumulate(phase.scale(coefficient), &self.t_curr);
-                self.passes += 5 + 3 + 3;
+                self.passes.axpy();
             }
         }
 
@@ -1630,7 +1748,7 @@ impl Stepper for ChebyshevStepper {
         // correction, fused into the write-back — 3 passes where the
         // unguarded path (write, then norm-and-rescale) paid 5.
         let norm = self.accumulator.norm();
-        self.passes += 1;
+        self.passes.norm();
         if !norm.is_finite() {
             return Err(EvolveError::NonFiniteState {
                 backend: StepperKind::Chebyshev,
@@ -1661,7 +1779,9 @@ impl Stepper for ChebyshevStepper {
         {
             *slot = correction * *acc;
         }
-        self.passes += 2;
+        // The write-back is a phase-and-rescale copy: read accumulator,
+        // write state.
+        self.passes.copy();
         Ok(())
     }
 
@@ -1670,12 +1790,12 @@ impl Stepper for ChebyshevStepper {
     }
 
     fn state_passes(&self) -> u64 {
-        self.passes
+        self.passes.count()
     }
 
     fn reset_kernel_applications(&mut self) {
         self.applications = 0;
-        self.passes = 0;
+        self.passes.reset();
     }
 }
 

@@ -26,7 +26,8 @@ use qturbo_quantum::fault::{Fault, FaultInjector};
 use qturbo_quantum::schedule::CompiledSchedule;
 use qturbo_quantum::stepper::{KrylovStepper, Stepper};
 use qturbo_quantum::{
-    EmulatedDevice, EvolveError, EvolveOptions, NoiseModel, Propagator, StateVector, StepperKind,
+    EmulatedDevice, EvolveError, EvolveOptions, ExecutionContext, NoiseModel, Propagator,
+    StateVector, StepperKind,
 };
 
 const AGREEMENT: f64 = 1e-10;
@@ -61,6 +62,22 @@ fn grid_segments() -> Vec<(Hamiltonian, f64)> {
 
 fn every_kind() -> [StepperKind; 5] {
     StepperKind::all()
+}
+
+/// The execution configurations the tentpole grid runs under: the inline
+/// default, and the persistent worker pool forced on (two workers, parallel
+/// threshold zero so the small grid registers genuinely fan out). Fault
+/// detection and recovery must be independent of which one executes.
+fn execution_contexts() -> [(&'static str, ExecutionContext); 2] {
+    [
+        ("inline", ExecutionContext::auto()),
+        (
+            "pooled",
+            ExecutionContext::auto()
+                .with_threads(2)
+                .with_parallel_threshold(0),
+        ),
+    ]
 }
 
 /// The uninjected result of the grid schedule under `kind`.
@@ -127,41 +144,66 @@ fn fault_grid_recovers_or_errors_never_lies() {
     for kind in every_kind() {
         let reference = clean_reference(&schedule, kind);
         for fault in &faults {
-            let mut propagator = Propagator::with_options(EvolveOptions::new(kind));
-            propagator.set_fault_injector(Some(
-                FaultInjector::new(SEED).with_fault(FAULT_SEGMENT, fault.clone()),
-            ));
-            let mut state = StateVector::plus_state(3);
-            let result = propagator.try_evolve_schedule_in_place(&schedule, &mut state);
-            match result {
-                Ok(()) => {
-                    assert_amplitudes_match(kind, fault, &state, &reference);
-                    if corrupts_state(fault) {
+            // (outcome, recovery count) per execution context — compared at
+            // the end: detection and recovery must not depend on whether
+            // the kernels ran inline or fanned out across the pool.
+            let mut outcomes: Vec<(&'static str, bool, usize)> = Vec::new();
+            for (context_name, context) in execution_contexts() {
+                let mut propagator =
+                    Propagator::with_options(EvolveOptions::new(kind).with_execution(context));
+                propagator.set_fault_injector(Some(
+                    FaultInjector::new(SEED).with_fault(FAULT_SEGMENT, fault.clone()),
+                ));
+                let mut state = StateVector::plus_state(3);
+                let result = propagator.try_evolve_schedule_in_place(&schedule, &mut state);
+                match result {
+                    Ok(()) => {
+                        assert_amplitudes_match(kind, fault, &state, &reference);
+                        if corrupts_state(fault) {
+                            assert!(
+                                !propagator.recovery_log().is_empty(),
+                                "{} x {fault:?} [{context_name}]: corruption returned Ok \
+                                 without a recovery event",
+                                kind.name()
+                            );
+                        }
+                        for event in propagator.recovery_log().events() {
+                            assert_eq!(
+                                event.segment,
+                                Some(FAULT_SEGMENT),
+                                "{} x {fault:?} [{context_name}]: recovery at the wrong segment",
+                                kind.name()
+                            );
+                            assert_eq!(event.fallback, StepperKind::Taylor);
+                        }
+                        outcomes.push((context_name, true, propagator.recovery_log().len()));
+                    }
+                    Err(error) => {
+                        // A typed error is the other lawful outcome; it must
+                        // not be an InvalidInput (the inputs here are valid).
                         assert!(
-                            !propagator.recovery_log().is_empty(),
-                            "{} x {fault:?}: corruption returned Ok without a recovery event",
+                            !matches!(error, EvolveError::InvalidInput { .. }),
+                            "{} x {fault:?} [{context_name}]: misclassified as invalid \
+                             input: {error}",
                             kind.name()
                         );
-                    }
-                    for event in propagator.recovery_log().events() {
-                        assert_eq!(
-                            event.segment,
-                            Some(FAULT_SEGMENT),
-                            "{} x {fault:?}: recovery at the wrong segment",
-                            kind.name()
-                        );
-                        assert_eq!(event.fallback, StepperKind::Taylor);
+                        outcomes.push((context_name, false, 0));
                     }
                 }
-                Err(error) => {
-                    // A typed error is the other lawful outcome; it must
-                    // not be an InvalidInput (the inputs here are valid).
-                    assert!(
-                        !matches!(error, EvolveError::InvalidInput { .. }),
-                        "{} x {fault:?}: misclassified as invalid input: {error}",
-                        kind.name()
-                    );
-                }
+            }
+            // Thread-count independence: the same cell lands on the same
+            // outcome (and the same number of recoveries) under every
+            // execution configuration.
+            let (_, first_ok, first_recoveries) = outcomes[0];
+            for (context_name, ok, recoveries) in &outcomes[1..] {
+                assert_eq!(
+                    (*ok, *recoveries),
+                    (first_ok, first_recoveries),
+                    "{} x {fault:?}: outcome under [{context_name}] diverged from \
+                     [{}]",
+                    kind.name(),
+                    outcomes[0].0
+                );
             }
         }
     }
