@@ -42,6 +42,14 @@ echo "==> tier-1 single-threaded: QTURBO_THREADS=1 cargo test -q"
 # the kernels running inline exactly as it does with the pool fanned out.
 QTURBO_THREADS=1 cargo test -q
 
+echo "==> tier-1 traced: QTURBO_TRACE=1 cargo test -q"
+# Flips the telemetry default on for the whole suite: every traced run must
+# produce the same numerics (tests/conformance_telemetry.rs additionally
+# pins traced == untraced bitwise and span sums == exact pass counters).
+# The traced *wall-time* gate lives in bench_schedule, which times a traced
+# dense-ramp batched run against the untraced Taylor bound.
+QTURBO_TRACE=1 cargo test -q
+
 if [[ "${1:-}" != "--quick" ]]; then
     echo "==> propagation benchmark (naive vs mask-compiled)"
     cargo run --release -p qturbo-bench --bin bench_propagation
@@ -50,7 +58,11 @@ if [[ "${1:-}" != "--quick" ]]; then
     # The dense-ramp entries assert the batched multi-segment sweep gates:
     # identical kernel applications, strictly fewer amplitude passes, wall
     # time never worse than per-segment Taylor, 1e-10 pairwise agreement,
-    # and Auto within 10% of the best backend including the batched one.
+    # and Auto within 10% of the best backend including the batched one —
+    # plus the traced gate: a telemetry-enabled batched run must match a
+    # back-to-back untraced run within the same 2 ms allowance, proving
+    # tracing stays off the hot path (and, chained with the batched-vs-
+    # taylor bound, that the dense-ramp wall gate holds with tracing on).
     cargo run --release -p qturbo-bench --bin bench_schedule
 
     echo "==> stepper benchmark (Taylor vs BatchedTaylor vs Krylov vs Chebyshev vs Auto backends)"

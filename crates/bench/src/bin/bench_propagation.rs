@@ -11,12 +11,13 @@
 //! there — which is exactly the point of the compiled kernel); its `H|ψ⟩`
 //! application is still timed at every size.
 
+use qturbo_bench::telemetry_report::{telemetry_json, traced_profile};
 use qturbo_bench::timing::{achieved_bytes_per_sec as bytes_per_sec, bench, Json, Sample};
 use qturbo_hamiltonian::models::ising_chain;
 use qturbo_quantum::compiled::CompiledHamiltonian;
 use qturbo_quantum::exec::LANE_WIDTH;
 use qturbo_quantum::propagate::{apply_hamiltonian_naive, evolve_naive, Propagator};
-use qturbo_quantum::{ExecutionContext, KernelPath, StateVector, StepperKind};
+use qturbo_quantum::{EvolveOptions, ExecutionContext, KernelPath, StateVector, StepperKind};
 
 const SIZES: [usize; 4] = [8, 12, 16, 20];
 const EVOLVE_TIME: f64 = 0.1;
@@ -160,8 +161,10 @@ fn main() {
         // Pin the Taylor backend: this benchmark isolates the kernel speedup
         // (naive vs mask-compiled) under identical stepping, so the default
         // automatic backend selection must not change the algorithm here —
-        // BENCH_stepper.json is where the backends compete.
-        let mut propagator = Propagator::with_stepper(StepperKind::Taylor);
+        // BENCH_stepper.json is where the backends compete. Telemetry is
+        // explicitly off so the timed runs stay untraced under QTURBO_TRACE.
+        let mut propagator =
+            Propagator::with_options(EvolveOptions::new(StepperKind::Taylor).with_telemetry(false));
         let mut work = StateVector::zeros(n);
         propagator.reset_kernel_applications();
         let compiled_evolve = bench(reps, || {
@@ -183,6 +186,17 @@ fn main() {
             bytes_per_sec(evolve_passes, 1 << n, compiled_evolve.min),
             note,
         ));
+
+        // One extra untimed traced run of the Taylor evolve attaches the
+        // workload's telemetry block (the timed runs above are untraced).
+        let profile = traced_profile(&state, StepperKind::Taylor, |propagator, work| {
+            propagator.evolve_in_place(&compiled_h, work, EVOLVE_TIME)
+        });
+        entries.push(Json::object(vec![
+            ("qubits", Json::Number(n as f64)),
+            ("kind", Json::string("telemetry")),
+            ("telemetry", telemetry_json(StepperKind::Taylor, &profile)),
+        ]));
     }
 
     // The SIMD-lane headline: on the 16q+ dense workloads the lane path

@@ -23,7 +23,11 @@
 //! backend and lands within 10% of the best fixed backend's wall time, and
 //! on every ramp workload the batched sweep runs the identical series with
 //! strictly fewer amplitude passes, never slower than per-segment Taylor.
+//! Every workload entry additionally carries a `telemetry` JSON block (work
+//! totals, recovery counts, worker-pool utilization) from one extra untimed
+//! traced run.
 
+use qturbo_bench::telemetry_report::{telemetry_json, traced_profile};
 use qturbo_bench::timing::{achieved_bytes_per_sec, bench, Json};
 use qturbo_hamiltonian::models::{heisenberg_chain, mis_chain};
 use qturbo_hamiltonian::Hamiltonian;
@@ -32,7 +36,7 @@ use qturbo_quantum::compiled::CompiledHamiltonian;
 use qturbo_quantum::exec::LANE_WIDTH;
 use qturbo_quantum::schedule::CompiledSchedule;
 use qturbo_quantum::stepper::StepperKind;
-use qturbo_quantum::{ExecutionContext, Propagator, StateVector};
+use qturbo_quantum::{EvolveOptions, ExecutionContext, Propagator, StateVector};
 
 const RAMP_SIZES: [usize; 2] = [8, 12];
 const RAMP_SEGMENTS: usize = 100;
@@ -132,7 +136,10 @@ fn run_backends(
     StepperKind::all()
         .into_iter()
         .map(|kind| {
-            let mut propagator = Propagator::with_stepper(kind);
+            // Telemetry explicitly off: the gated measurements must stay
+            // untraced even when `QTURBO_TRACE=1` flips the default.
+            let mut propagator =
+                Propagator::with_options(EvolveOptions::new(kind).with_telemetry(false));
             // Count kernel applications (and decisions) on one untimed run.
             let mut state = initial.clone();
             evolve(&mut propagator, &mut state);
@@ -278,11 +285,16 @@ fn ramp_entry(qubits: usize) -> Json {
     assert_auto_is_competitive(&results, &format!("{qubits}q MIS ramp"));
     assert_batched_beats_per_segment_taylor(&results, &format!("{qubits}q MIS ramp"));
     let reference = results[0].final_state.clone();
+    // One extra untimed traced run provides the workload's telemetry block.
+    let profile = traced_profile(&initial, StepperKind::Auto, |propagator, state| {
+        propagator.evolve_schedule_in_place(&schedule, state)
+    });
     Json::object(vec![
         ("workload", Json::string("mis_ramp")),
         ("qubits", Json::Number(qubits as f64)),
         ("segments", Json::Number(RAMP_SEGMENTS as f64)),
         ("total_time_us", Json::Number(RAMP_TOTAL_TIME)),
+        ("telemetry", telemetry_json(StepperKind::Auto, &profile)),
         (
             "backends",
             Json::Array(
@@ -322,11 +334,16 @@ fn quench_entry(qubits: usize) -> Json {
         "no high-order backend beat Taylor on the {qubits}-qubit quench"
     );
 
+    // One extra untimed traced run provides the workload's telemetry block.
+    let profile = traced_profile(&initial, StepperKind::Auto, |propagator, state| {
+        propagator.evolve_in_place(&compiled, state, QUENCH_TIME)
+    });
     Json::object(vec![
         ("workload", Json::string("heisenberg_quench")),
         ("qubits", Json::Number(qubits as f64)),
         ("time_us", Json::Number(QUENCH_TIME)),
         ("strength_time_product", Json::Number(phase)),
+        ("telemetry", telemetry_json(StepperKind::Auto, &profile)),
         (
             "backends",
             Json::Array(

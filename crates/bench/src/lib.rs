@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod telemetry_report;
 pub mod timing;
 
 use qturbo::{CompilationResult, QTurboCompiler};

@@ -1,0 +1,50 @@
+//! Shared telemetry reporting for the bench binaries.
+//!
+//! Each `BENCH_*.json` workload entry gains a `telemetry` block produced by
+//! one **extra, untimed** traced run of the workload — the timed (and gated)
+//! measurements always run with telemetry off, so the block never perturbs
+//! the wall-clock numbers it sits next to. (`bench_schedule` additionally
+//! runs one *timed* traced measurement to gate tracing off the hot path.)
+
+use crate::timing::Json;
+use qturbo_quantum::telemetry::RunProfile;
+use qturbo_quantum::{EvolveOptions, Propagator, StateVector, StepperKind};
+
+/// Runs one traced evolution — `evolve` is handed a telemetry-enabled
+/// [`Propagator`] and a clone of `initial` — and returns its [`RunProfile`].
+pub fn traced_profile(
+    initial: &StateVector,
+    kind: StepperKind,
+    evolve: impl FnOnce(&mut Propagator, &mut StateVector),
+) -> RunProfile {
+    let mut propagator = Propagator::with_options(EvolveOptions::new(kind).with_telemetry(true));
+    let mut state = initial.clone();
+    evolve(&mut propagator, &mut state);
+    propagator.run_profile().expect("telemetry enabled")
+}
+
+/// Renders a [`RunProfile`]'s aggregate metrics as the `telemetry` JSON
+/// block shared by the bench reports: work totals, recovery counts, and
+/// worker-pool busy time / utilization.
+pub fn telemetry_json(kind: StepperKind, profile: &RunProfile) -> Json {
+    let metrics = profile.metrics;
+    Json::object(vec![
+        ("backend", Json::string(kind.name())),
+        ("segments", Json::Number(metrics.segments as f64)),
+        (
+            "kernel_applications",
+            Json::Number(metrics.kernel_applications as f64),
+        ),
+        (
+            "amplitude_passes",
+            Json::Number(metrics.amplitude_passes as f64),
+        ),
+        ("recoveries", Json::Number(metrics.recoveries as f64)),
+        ("pool_busy_ns", Json::Number(metrics.pool_busy_ns as f64)),
+        ("pool_utilization", Json::Number(metrics.pool_utilization)),
+        (
+            "dropped_events",
+            Json::Number(profile.dropped_events as f64),
+        ),
+    ])
+}

@@ -47,6 +47,7 @@
 use crate::exec::{self, ExecutionContext, F64x4, F64x8, KernelPath, LANE_WIDTH};
 use crate::state::StateVector;
 use crate::stepper::SpectralBound;
+use crate::telemetry::{CompileSpan, CompileTiming};
 use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
 use qturbo_math::Complex;
 
@@ -207,6 +208,10 @@ pub struct CompiledHamiltonian {
     /// when no table was built.
     diag_table: Vec<f64>,
     bound: SpectralBound,
+    /// Compile wall time, for telemetry. Always-equal `PartialEq` (see
+    /// [`CompileTiming`]) so structural equality of compiled Hamiltonians
+    /// is unaffected.
+    timing: CompileTiming,
 }
 
 impl CompiledHamiltonian {
@@ -219,6 +224,7 @@ impl CompiledHamiltonian {
     /// that shrinks the Chebyshev expansion order (and informs automatic
     /// backend selection) on detuning-dominated models.
     pub fn compile(hamiltonian: &Hamiltonian) -> Self {
+        let started = std::time::Instant::now();
         let num_qubits = hamiltonian.num_qubits();
         let terms: Vec<CompiledTerm> = hamiltonian
             .terms()
@@ -278,6 +284,24 @@ impl CompiledHamiltonian {
             gather_terms,
             diag_table,
             bound,
+            timing: CompileTiming {
+                wall_ns: started.elapsed().as_nanos() as u64,
+            },
+        }
+    }
+
+    /// Wall nanoseconds spent in [`compile`](CompiledHamiltonian::compile).
+    pub fn compile_wall_ns(&self) -> u64 {
+        self.timing.wall_ns
+    }
+
+    /// Telemetry [`CompileSpan`] describing this compilation (a constant
+    /// Hamiltonian is one segment with one layout).
+    pub fn compile_span(&self) -> CompileSpan {
+        CompileSpan {
+            segments: 1,
+            layouts: 1,
+            wall_ns: self.timing.wall_ns,
         }
     }
 

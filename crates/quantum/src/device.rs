@@ -20,12 +20,13 @@
 //! * **Shot noise** — observables are estimated from a finite number of
 //!   Bernoulli samples (1000 shots in the paper).
 
-use crate::error::EvolveError;
+use crate::error::{EvolveError, RecoveryLog};
 use crate::observable::measure_z_zz;
 use crate::propagate::Propagator;
 use crate::schedule::CompiledSchedule;
 use crate::state::StateVector;
 use crate::stepper::EvolveOptions;
+use crate::telemetry::RunProfile;
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::rng::Rng;
 
@@ -155,7 +156,7 @@ impl Default for NoiseModel {
 }
 
 /// Result of one emulated device run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DeviceRun {
     /// Estimated `⟨Z_i⟩` per qubit.
     pub z: Vec<f64>,
@@ -163,6 +164,28 @@ pub struct DeviceRun {
     pub zz: Vec<f64>,
     /// Total machine execution time of the run.
     pub execution_time: f64,
+    /// Mid-schedule failures recovered during **this realization**'s
+    /// evolution (guardrail trip → Taylor fallback). Empty on every
+    /// healthy run; earlier revisions discarded the propagator's log, so
+    /// noisy-device callers could not see that fallbacks happened.
+    pub recoveries: RecoveryLog,
+    /// Per-realization telemetry profile, present when the device's
+    /// [`EvolveOptions`] enable telemetry (see [`crate::telemetry`]).
+    pub profile: Option<RunProfile>,
+}
+
+/// Equality deliberately ignores [`profile`](DeviceRun::profile): the
+/// profile carries wall-clock timings, which would break the exact
+/// reproducibility contract (`run` twice with one seed ⇒ equal results)
+/// the device tests pin. Observables, execution time, and the (fully
+/// deterministic) recovery log all participate.
+impl PartialEq for DeviceRun {
+    fn eq(&self, other: &Self) -> bool {
+        self.z == other.z
+            && self.zz == other.zz
+            && self.execution_time == other.execution_time
+            && self.recoveries == other.recoveries
+    }
 }
 
 impl DeviceRun {
@@ -401,7 +424,20 @@ impl EmulatedDevice {
                 };
 
                 let mut final_state = StateVector::zero_state(num_qubits);
+                // The propagator's recovery log accumulates across the
+                // sweep; remember where this realization starts so its own
+                // events can be sliced out below.
+                let recoveries_before = propagator.recovery_log().len();
                 propagator.try_evolve_schedule_in_place(effective, &mut final_state)?;
+                let recoveries = RecoveryLog::from_events(
+                    &propagator.recovery_log().events()[recoveries_before..],
+                );
+                // Draining resets the recorder, so each realization's
+                // profile covers exactly its own evolution.
+                let profile = propagator
+                    .drain_trace()
+                    .as_ref()
+                    .map(RunProfile::from_recorder);
 
                 let damp = |weight: f64| {
                     let depolarizing =
@@ -426,6 +462,8 @@ impl EmulatedDevice {
                     z,
                     zz,
                     execution_time,
+                    recoveries,
+                    profile,
                 })
             })
             .collect()

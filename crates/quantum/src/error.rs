@@ -186,7 +186,7 @@ pub struct RecoveryEvent {
 ///
 /// Cleared alongside the pass counters by
 /// [`Propagator::reset_kernel_applications`](crate::propagate::Propagator::reset_kernel_applications).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecoveryLog {
     events: Vec<RecoveryEvent>,
 }
@@ -195,6 +195,17 @@ pub struct RecoveryLog {
 const MAX_RECORDED_RECOVERIES: usize = 1 << 16;
 
 impl RecoveryLog {
+    /// Builds a log from a slice of events (truncated at the recording
+    /// cap). Used by [`EmulatedDevice`](crate::device::EmulatedDevice) to
+    /// slice a shared propagator's log into per-run views.
+    #[must_use]
+    pub fn from_events(events: &[RecoveryEvent]) -> RecoveryLog {
+        let take = events.len().min(MAX_RECORDED_RECOVERIES);
+        RecoveryLog {
+            events: events[..take].to_vec(),
+        }
+    }
+
     /// The recovered failures, in schedule order.
     #[must_use]
     pub fn events(&self) -> &[RecoveryEvent] {

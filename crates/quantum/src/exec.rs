@@ -40,6 +40,7 @@
 //! round-off (the per-chunk norm partial sums are reduced in a different
 //! order), far inside the 1e-10 conformance pin.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::compiled::PARALLEL_THRESHOLD_QUBITS;
@@ -362,6 +363,31 @@ impl ExecutionContext {
         let chunk = dim.div_ceil(available).next_multiple_of(LANE_WIDTH);
         (dim.div_ceil(chunk), chunk)
     }
+
+    /// Builds a telemetry [`ExecSpan`](crate::telemetry::ExecSpan)
+    /// describing the plan this context would use for a state of `dim`
+    /// amplitudes. Purely arithmetic — no workers are spawned, so calling
+    /// it never perturbs the pool.
+    pub fn exec_span(&self, dim: usize, pool_busy_ns: u64) -> crate::telemetry::ExecSpan {
+        let workers = self.worker_count(dim);
+        let (chunks, chunk_len) = if workers <= 1 || dim == 0 {
+            (1, dim)
+        } else {
+            let chunk = dim.div_ceil(workers).next_multiple_of(LANE_WIDTH);
+            (dim.div_ceil(chunk), chunk)
+        };
+        crate::telemetry::ExecSpan {
+            lane_width: LANE_WIDTH,
+            threads: self.resolved_threads(),
+            workers,
+            chunks,
+            chunk_len,
+            parallel_threshold_qubits: self.threshold_qubits,
+            kernel_path: self.kernels,
+            dim,
+            pool_busy_ns,
+        }
+    }
 }
 
 /// `QTURBO_THREADS` parsed once per process. `0`, empty, or unparsable
@@ -374,6 +400,36 @@ fn env_threads() -> Option<usize> {
             .and_then(|raw| raw.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
     })
+}
+
+// ---------------------------------------------------------------------------
+// Pool busy-time accounting (telemetry)
+// ---------------------------------------------------------------------------
+
+/// Nanoseconds helper threads have spent inside kernel jobs, process-wide.
+/// Only accumulated after [`enable_pool_timing`] — the untraced hot path
+/// pays one relaxed boolean load per job, nothing more.
+static POOL_BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Gates busy-time accounting so untraced runs never touch the clock.
+static POOL_TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Turns on worker-pool busy-time accounting for the rest of the process.
+///
+/// Called by a traced [`Propagator`](crate::propagate::Propagator) when
+/// telemetry is enabled; idempotent. There is deliberately no `disable`:
+/// once any traced run exists the per-job cost is two clock reads per
+/// helper, which is noise next to a kernel application.
+pub fn enable_pool_timing() {
+    POOL_TIMING.store(true, Ordering::Relaxed);
+}
+
+/// Cumulative helper-thread busy nanoseconds since [`enable_pool_timing`].
+///
+/// Monotonic and process-wide; telemetry consumers snapshot it before and
+/// after a traced call and report the delta.
+pub fn pool_busy_ns() -> u64 {
+    POOL_BUSY_NS.load(Ordering::Relaxed)
 }
 
 // ---------------------------------------------------------------------------
@@ -596,11 +652,17 @@ fn worker_loop(shared: &PoolShared, id: usize) {
         if participant >= job.participants {
             continue;
         }
+        let started = POOL_TIMING
+            .load(Ordering::Relaxed)
+            .then(std::time::Instant::now);
         // SAFETY: the submitter blocks in `run` until we decrement
         // `remaining` below, so the closure behind `job.work` is alive.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
             (*job.work)(participant)
         }));
+        if let Some(started) = started {
+            POOL_BUSY_NS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         let mut state = lock(&shared.state);
         match result {
             Ok(value) => state.results[participant] = value,

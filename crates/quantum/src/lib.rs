@@ -115,6 +115,43 @@
 //! The `tests/prop_faults.rs` conformance grid proves every failure class ×
 //! every backend either recovers to the 1e-10-correct answer or returns a
 //! typed error — never panics, never silently wrong.
+//!
+//! # Observability
+//!
+//! The [`telemetry`] module makes the pipeline's invisible decisions —
+//! per-segment `Auto` backend choices, batched-run chaining, recovery
+//! fallbacks, worker-pool chunk plans — inspectable without reading code.
+//!
+//! **Enabling.** Telemetry is opt-in and off by default. Turn it on
+//! programmatically with [`EvolveOptions::with_telemetry`] or process-wide
+//! with the `QTURBO_TRACE` environment variable (any value other than
+//! empty or `0`; read once and cached). A traced [`Propagator`] exposes the
+//! raw event buffer via [`Propagator::trace`] and an aggregated report via
+//! [`Propagator::run_profile`]; [`EmulatedDevice`] attaches a per-realization
+//! [`telemetry::RunProfile`] (and always a [`RecoveryLog`]) to every
+//! [`DeviceRun`].
+//!
+//! **Event taxonomy.** One traced evolution emits, in order: a
+//! [`telemetry::CompileSpan`] (schedule compile cost), one
+//! [`telemetry::SegmentSpan`] per executed segment (backend decision, the
+//! cost model's predicted applications vs. the measured count, pass deltas,
+//! recovery flag), a [`telemetry::RecoverySpan`] per fallback as it
+//! happens, then per-backend [`telemetry::StepperSpan`] counter snapshots,
+//! one [`telemetry::ExecSpan`] (lane width, threads, chunk plan, pool busy
+//! time), and a closing [`telemetry::ScheduleSpan`] with run totals. The
+//! taxonomy is closed and the accounting exact:
+//! `Σ segment passes + finalize passes = state_passes`
+//! (`tests/conformance_telemetry.rs` proves this for every backend).
+//!
+//! **Overhead guarantees.** Disabled telemetry is a no-op: one boolean
+//! check per evolution call, no allocation, no clock reads in the segment
+//! loop, and **no extra amplitude passes** — traced and untraced runs
+//! produce bitwise-identical states, and the relative bench gates
+//! (batched ≤ Taylor wall, Auto within 10% of best) run with telemetry
+//! off, so any accidental hot-path cost fails CI. Enabled telemetry adds
+//! two clock reads plus one buffered event per segment (bounded at
+//! [`telemetry::MAX_RECORDED_EVENTS`]), and `bench_schedule` additionally
+//! gates a traced run against the untraced Taylor wall time.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -129,6 +166,7 @@ pub mod propagate;
 pub mod schedule;
 pub mod state;
 pub mod stepper;
+pub mod telemetry;
 
 pub use compiled::{CompiledHamiltonian, CompiledTerm};
 pub use device::{ideal_run, DeviceRun, EmulatedDevice, NoiseModel};
@@ -140,3 +178,4 @@ pub use propagate::Propagator;
 pub use schedule::CompiledSchedule;
 pub use state::StateVector;
 pub use stepper::{AutoCostModel, EvolveOptions, SpectralBound, Stepper, StepperKind};
+pub use telemetry::{MetricsRegistry, MetricsSnapshot, Recorder, RunProfile, SpanEvent, TraceSink};

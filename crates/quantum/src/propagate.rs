@@ -60,6 +60,10 @@ use crate::stepper::{
     BatchedTaylorStepper, ChebyshevStepper, EvolveOptions, KrylovStepper, SpectralBound, Stepper,
     StepperKind, TaylorStepper, MAX_STEP_PHASE, MAX_TAYLOR_ORDER,
 };
+use crate::telemetry::{
+    CompileSpan, Recorder, RecoverySpan, RunProfile, ScheduleSpan, SegmentSpan, SpanEvent,
+    TraceSink,
+};
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::Complex;
 
@@ -122,6 +126,27 @@ pub struct Propagator {
     /// Pre-corruption snapshot of the state at a fault-injected segment's
     /// boundary, so even non-rollback-safe backends can be retried there.
     fault_snapshot: StateVector,
+    /// Telemetry recorder, present iff [`EvolveOptions::telemetry`] was set
+    /// at construction. Boxed so an untraced propagator carries one null
+    /// pointer of overhead; the hot paths gate on `is_some()` and nothing
+    /// else.
+    telemetry: Option<Box<Recorder>>,
+}
+
+/// Wall/counter snapshot opening one traced evolution call.
+struct TraceRun {
+    started: std::time::Instant,
+    applications: u64,
+    state_passes: u64,
+    recoveries: usize,
+    pool_busy_ns: u64,
+}
+
+/// Wall/counter snapshot opening one traced segment.
+struct TraceSegment {
+    started: std::time::Instant,
+    applications: u64,
+    state_passes: u64,
 }
 
 impl Default for Propagator {
@@ -153,6 +178,12 @@ impl Propagator {
             recovery: RecoveryLog::default(),
             injector: None,
             fault_snapshot: StateVector::zeros(0),
+            telemetry: options.telemetry.then(|| {
+                // Busy-time accounting is process-wide and idempotent to
+                // enable; the first traced propagator turns it on.
+                crate::exec::enable_pool_timing();
+                Box::new(Recorder::new())
+            }),
         }
     }
 
@@ -232,6 +263,9 @@ impl Propagator {
         self.chebyshev.reset_kernel_applications();
         self.decisions.clear();
         self.recovery.clear();
+        if let Some(recorder) = self.telemetry.as_mut() {
+            recorder.clear();
+        }
     }
 
     /// The recovered mid-schedule failures since construction or the last
@@ -241,6 +275,30 @@ impl Propagator {
     /// healthy run.
     pub fn recovery_log(&self) -> &RecoveryLog {
         &self.recovery
+    }
+
+    /// The telemetry trace recorded since construction or the last
+    /// [`reset_kernel_applications`](Propagator::reset_kernel_applications),
+    /// or `None` when telemetry is disabled (see
+    /// [`EvolveOptions::with_telemetry`] and [`crate::telemetry`]).
+    pub fn trace(&self) -> Option<&Recorder> {
+        self.telemetry.as_deref()
+    }
+
+    /// Takes the recorded trace, leaving a fresh empty recorder in place;
+    /// `None` when telemetry is disabled. This is how
+    /// [`EmulatedDevice`](crate::device::EmulatedDevice) slices one shared
+    /// propagator's telemetry into per-realization profiles.
+    pub fn drain_trace(&mut self) -> Option<Recorder> {
+        self.telemetry
+            .as_mut()
+            .map(|recorder| std::mem::take(recorder.as_mut()))
+    }
+
+    /// Aggregates the recorded trace into a [`RunProfile`]; `None` when
+    /// telemetry is disabled.
+    pub fn run_profile(&self) -> Option<RunProfile> {
+        self.telemetry.as_deref().map(RunProfile::from_recorder)
     }
 
     /// Attaches (or clears, with `None`) a [`FaultInjector`] corrupting
@@ -261,6 +319,134 @@ impl Propagator {
             self.decisions.push(kind);
         }
         kind
+    }
+
+    /// Opens one traced evolution call: records the compile span and
+    /// snapshots the counters the closing [`finish_trace`](Propagator::finish_trace)
+    /// diffs against. `None` (and nothing at all — no clock read, no
+    /// allocation) when telemetry is disabled.
+    fn begin_trace(&mut self, compile: CompileSpan) -> Option<TraceRun> {
+        self.telemetry.as_ref()?;
+        let applications = self.kernel_applications();
+        let state_passes = self.state_passes();
+        let recoveries = self.recovery.len();
+        let pool_busy_ns = crate::exec::pool_busy_ns();
+        if let Some(recorder) = self.telemetry.as_mut() {
+            recorder.record(SpanEvent::Compile(compile));
+        }
+        Some(TraceRun {
+            started: std::time::Instant::now(),
+            applications,
+            state_passes,
+            recoveries,
+            pool_busy_ns,
+        })
+    }
+
+    /// Closes one traced evolution call: emits the per-backend
+    /// [`StepperSpan`](crate::telemetry::StepperSpan)s (non-zero counters
+    /// only), the [`ExecSpan`](crate::telemetry::ExecSpan), and the
+    /// [`ScheduleSpan`] totals.
+    fn finish_trace(
+        &mut self,
+        run: TraceRun,
+        segments: usize,
+        executed_segments: usize,
+        total_time: f64,
+        finalize_passes: u64,
+        dim: usize,
+    ) {
+        let applications = self.kernel_applications() - run.applications;
+        let state_passes = self.state_passes() - run.state_passes;
+        let recoveries = (self.recovery.len() - run.recoveries) as u64;
+        let stepper_spans = [
+            self.taylor.telemetry_span(StepperKind::Taylor),
+            self.batched.telemetry_span(StepperKind::BatchedTaylor),
+            self.krylov.telemetry_span(StepperKind::Krylov),
+            self.chebyshev.telemetry_span(StepperKind::Chebyshev),
+        ];
+        // The pool accumulator is process-wide: concurrent traced runs (e.g.
+        // parallel test threads) may attribute slices of each other's busy
+        // time. Within one process doing one run at a time it is exact.
+        let pool_busy_ns = crate::exec::pool_busy_ns().saturating_sub(run.pool_busy_ns);
+        let exec_span = self.options.execution.exec_span(dim, pool_busy_ns);
+        let wall_ns = run.started.elapsed().as_nanos() as u64;
+        if let Some(recorder) = self.telemetry.as_mut() {
+            for span in stepper_spans {
+                if span.applications > 0 || span.state_passes > 0 {
+                    recorder.record(SpanEvent::Stepper(span));
+                }
+            }
+            recorder.record(SpanEvent::Exec(exec_span));
+            recorder.record(SpanEvent::Schedule(ScheduleSpan {
+                segments,
+                executed_segments,
+                total_time,
+                applications,
+                state_passes,
+                finalize_passes,
+                recoveries,
+                wall_ns,
+            }));
+        }
+    }
+
+    /// Opens one traced segment (counter snapshot + wall clock); `None`
+    /// when telemetry is disabled.
+    fn begin_segment_trace(&self) -> Option<TraceSegment> {
+        self.telemetry.as_ref()?;
+        Some(TraceSegment {
+            started: std::time::Instant::now(),
+            applications: self.kernel_applications(),
+            state_passes: self.state_passes(),
+        })
+    }
+
+    /// Closes one traced segment: emits the [`SegmentSpan`] with the
+    /// backend decision, the cost model's predicted applications for that
+    /// decision under the same (diagonal-tightened) bound the stepper saw,
+    /// and the measured application/pass deltas.
+    fn finish_segment_trace(
+        &mut self,
+        segment: TraceSegment,
+        index: Option<usize>,
+        backend: StepperKind,
+        duration: f64,
+        bound: &SpectralBound,
+        recovered: bool,
+    ) {
+        let applications = self.kernel_applications() - segment.applications;
+        let state_passes = self.state_passes() - segment.state_passes;
+        let predicted_applications = self.options.auto_model.estimated_applications(
+            backend,
+            bound,
+            duration,
+            self.options.tolerance,
+        );
+        let wall_ns = segment.started.elapsed().as_nanos() as u64;
+        if let Some(recorder) = self.telemetry.as_mut() {
+            recorder.record(SpanEvent::Segment(SegmentSpan {
+                index,
+                backend,
+                duration,
+                predicted_applications,
+                applications,
+                state_passes,
+                recovered,
+                wall_ns,
+            }));
+        }
+    }
+
+    /// Records a recovery event in the log and, when traced, as a
+    /// [`RecoverySpan`](crate::telemetry::RecoverySpan).
+    fn record_recovery(&mut self, event: RecoveryEvent) {
+        if let Some(recorder) = self.telemetry.as_mut() {
+            recorder.record(SpanEvent::Recovery(RecoverySpan {
+                event: event.clone(),
+            }));
+        }
+        self.recovery.push(event);
     }
 
     /// The stepper implementing a resolved (fixed) backend kind.
@@ -344,28 +530,40 @@ impl Propagator {
         }
         let kernel = hamiltonian.kernel();
         let bound = hamiltonian.spectral_bound();
+        let trace = self.begin_trace(hamiltonian.compile_span());
+        let segment_trace = self.begin_segment_trace();
         let kind = self.resolve_kind(&bound, time);
         let result =
             self.stepper_for(kind)
                 .try_evolve_segment(kernel, &bound, state, time, reference_norm);
+        let mut recovered = false;
         match result {
-            Ok(()) => Ok(()),
+            Ok(()) => {}
             // Krylov and Chebyshev restore the entry state on failure, so a
             // Taylor retry starts from clean data. Taylor/BatchedTaylor
             // leave mid-segment state behind — no safe retry point.
             Err(error) if matches!(kind, StepperKind::Krylov | StepperKind::Chebyshev) => {
                 self.taylor
                     .try_evolve_segment(kernel, &bound, state, time, reference_norm)?;
-                self.recovery.push(RecoveryEvent {
+                self.record_recovery(RecoveryEvent {
                     segment: None,
                     backend: kind,
                     fallback: StepperKind::Taylor,
                     error,
                 });
-                Ok(())
+                recovered = true;
             }
-            Err(error) => Err(error),
+            Err(error) => return Err(error),
         }
+        if let Some(segment) = segment_trace {
+            self.finish_segment_trace(segment, None, kind, time, &bound, recovered);
+        }
+        if let Some(run) = trace {
+            // A constant Hamiltonian traces as a one-segment schedule with
+            // no batched-run finalization.
+            self.finish_trace(run, 1, 1, time, 0, state.dim());
+        }
+        Ok(())
     }
 
     /// Evolves `state` in place through a sequence of `(Hamiltonian,
@@ -491,6 +689,8 @@ impl Propagator {
         if reference_norm == 0.0 {
             return Ok(());
         }
+        let trace = self.begin_trace(schedule.compile_span());
+        let mut executed_segments = 0usize;
         // Scratch for the per-segment diagonal tables: allocated once on the
         // first diagonal-bearing segment, then updated incrementally (only
         // the weight deltas of changed terms) for the rest of the run. The
@@ -554,6 +754,11 @@ impl Propagator {
             } else {
                 self.resolve_kind(&bound, duration)
             };
+            // Snapshot counters before fault arming so the flush of a
+            // previous batched run is attributed to the segment forcing it
+            // (same attribution as the layout-change flush below).
+            let segment_trace = self.begin_segment_trace();
+            let mut recovered = false;
             // Arm any faults registered for this segment (consume-once: the
             // Taylor retry below sees clean data).
             let faults = match self.injector.as_mut() {
@@ -649,12 +854,13 @@ impl Propagator {
                     reference_norm,
                 ) {
                     Ok(()) => {
-                        self.recovery.push(RecoveryEvent {
+                        self.record_recovery(RecoveryEvent {
                             segment: Some(index),
                             backend: kind,
                             fallback: StepperKind::Taylor,
                             error: error.with_segment(index),
                         });
+                        recovered = true;
                         match kind {
                             StepperKind::Krylov => demoted_krylov = true,
                             StepperKind::Chebyshev => demoted_chebyshev = true,
@@ -669,12 +875,30 @@ impl Propagator {
                     }
                 }
             }
+            executed_segments += 1;
+            if let Some(segment) = segment_trace {
+                self.finish_segment_trace(segment, Some(index), kind, duration, &bound, recovered);
+            }
         }
+        let pre_finalize_passes = match trace {
+            Some(_) => self.state_passes(),
+            None => 0,
+        };
         if open_run_layout.is_some() {
-            self.batched.try_finish_run(state)
-        } else {
-            Ok(())
+            self.batched.try_finish_run(state)?;
         }
+        if let Some(run) = trace {
+            let finalize_passes = self.state_passes() - pre_finalize_passes;
+            self.finish_trace(
+                run,
+                schedule.num_segments(),
+                executed_segments,
+                schedule.total_time(),
+                finalize_passes,
+                state.dim(),
+            );
+        }
+        Ok(())
     }
 }
 

@@ -73,6 +73,7 @@
 use crate::compiled::{CompiledTerm, FusedKernel};
 use crate::error::EvolveError;
 use crate::stepper::SpectralBound;
+use crate::telemetry::{CompileSpan, CompileTiming};
 use qturbo_hamiltonian::{Hamiltonian, PauliString, PiecewiseHamiltonian};
 use std::sync::Arc;
 
@@ -201,6 +202,11 @@ pub struct CompiledSchedule {
     /// `O(S · T)` state, one `f64` per term per segment.
     weights: Vec<Vec<f64>>,
     segments: Vec<CompiledSegment>,
+    /// Compile wall time, for telemetry. Always-equal `PartialEq`
+    /// (see [`CompileTiming`]) so structural schedule equality is
+    /// unaffected; scaled-weight views inherit it unchanged since they
+    /// avoid recompilation.
+    timing: CompileTiming,
 }
 
 impl CompiledSchedule {
@@ -216,6 +222,7 @@ impl CompiledSchedule {
     ///
     /// Panics if any duration is negative or not finite.
     pub fn compile(segments: &[(Hamiltonian, f64)]) -> Self {
+        let started = std::time::Instant::now();
         let num_qubits = segments
             .iter()
             .map(|(h, _)| h.num_qubits())
@@ -251,6 +258,9 @@ impl CompiledSchedule {
             layouts: Arc::new(layouts),
             weights,
             segments: compiled,
+            timing: CompileTiming {
+                wall_ns: started.elapsed().as_nanos() as u64,
+            },
         }
     }
 
@@ -521,7 +531,24 @@ impl CompiledSchedule {
             layouts: Arc::clone(&self.layouts),
             weights,
             segments,
+            timing: self.timing,
         })
+    }
+
+    /// Wall nanoseconds spent in [`compile`](CompiledSchedule::compile).
+    /// Scaled-weight views inherit the original compile cost — the
+    /// recompilation they avoid is still attributed to them.
+    pub fn compile_wall_ns(&self) -> u64 {
+        self.timing.wall_ns
+    }
+
+    /// Telemetry [`CompileSpan`] describing this schedule's compilation.
+    pub fn compile_span(&self) -> CompileSpan {
+        CompileSpan {
+            segments: self.segments.len(),
+            layouts: self.layouts.len(),
+            wall_ns: self.timing.wall_ns,
+        }
     }
 
     /// `true` when `other` shares this schedule's mask layouts (the

@@ -211,6 +211,14 @@ pub struct EvolveOptions {
     /// stepper at construction, so one configuration is reused across all
     /// schedule segments and device noise realizations.
     pub execution: ExecutionContext,
+    /// Whether a [`Propagator`](crate::propagate::Propagator) built from
+    /// these options records structured telemetry (see
+    /// [`crate::telemetry`]). Defaults to the process-wide `QTURBO_TRACE`
+    /// setting ([`crate::telemetry::env_enabled`]); override per run with
+    /// [`with_telemetry`](EvolveOptions::with_telemetry). When `false` the
+    /// propagation hot path performs a single boolean check — no
+    /// allocation, no clock reads, no extra amplitude passes.
+    pub telemetry: bool,
 }
 
 impl Default for EvolveOptions {
@@ -220,6 +228,7 @@ impl Default for EvolveOptions {
             tolerance: DEFAULT_TOLERANCE,
             auto_model: AutoCostModel::default(),
             execution: ExecutionContext::auto(),
+            telemetry: crate::telemetry::env_enabled(),
         }
     }
 }
@@ -293,6 +302,14 @@ impl EvolveOptions {
     /// threshold, and kernel path at once).
     pub fn with_execution(mut self, execution: ExecutionContext) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Enables or disables structured telemetry for propagators built from
+    /// these options, overriding the `QTURBO_TRACE` default (see
+    /// [`crate::telemetry`]).
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
         self
     }
 
@@ -712,6 +729,19 @@ pub trait Stepper {
 
     /// Resets the application and pass counters.
     fn reset_kernel_applications(&mut self);
+
+    /// Snapshots this backend's cumulative work counters as a telemetry
+    /// [`StepperSpan`](crate::telemetry::StepperSpan). `kind` names the
+    /// backend in the span (the trait object does not know its own
+    /// [`StepperKind`]). Counters are cumulative since construction or the
+    /// last reset.
+    fn telemetry_span(&self, kind: StepperKind) -> crate::telemetry::StepperSpan {
+        crate::telemetry::StepperSpan {
+            backend: kind,
+            applications: self.kernel_applications(),
+            state_passes: self.state_passes(),
+        }
+    }
 }
 
 /// Validates a stepper tolerance at the point of use: the [`EvolveOptions`]

@@ -10,7 +10,7 @@ use qturbo_baseline::{BaselineCompiler, BaselineOptions};
 use qturbo_hamiltonian::models::mis_chain;
 use qturbo_quantum::observable::measure_z_zz;
 use qturbo_quantum::schedule::CompiledSchedule;
-use qturbo_quantum::{Propagator, StateVector, StepperKind};
+use qturbo_quantum::{EvolveOptions, Propagator, StateVector, StepperKind};
 
 fn main() {
     let num_atoms = 5;
@@ -52,7 +52,9 @@ fn main() {
         compiled.num_segments(),
         compiled.batch_runs().len(),
     );
-    let mut propagator = Propagator::new();
+    // Telemetry is opt-in (`with_telemetry` / `QTURBO_TRACE=1`); with it on,
+    // the propagator records per-segment spans and a run profile.
+    let mut propagator = Propagator::with_options(EvolveOptions::auto().with_telemetry(true));
     let mut final_state = StateVector::zero_state(num_atoms);
     propagator.evolve_schedule_in_place(&compiled, &mut final_state);
     let batched_segments = propagator
@@ -77,6 +79,12 @@ fn main() {
             .collect::<Vec<_>>(),
         observables.zz_average()
     );
+
+    // The run profile narrates what the evolution above actually did: which
+    // backend each segment got, the cost model's predicted applications vs
+    // the measured count, recoveries, and worker-pool utilization.
+    let profile = propagator.run_profile().expect("telemetry enabled");
+    println!("\n{}", profile.summary());
 
     // Compare against the baseline, which solves the full mixed system once
     // per segment and typically produces a much longer schedule.

@@ -484,6 +484,55 @@ fn tightened_spectral_bound_cuts_chebyshev_order_on_mis_ramp() {
 }
 
 #[test]
+fn taylor_estimate_is_exact_on_pure_drive_ramp_segments() {
+    // The cost-model observability gap: `AutoCostModel::estimated_applications`
+    // predictions were never compared to actuals. On a pure transverse-drive
+    // ramp the Taylor estimate is provably exact: with `H = Ω·X₀`,
+    // `‖Hᵏψ‖ = Ωᵏ·‖ψ‖` for *any* state (X₀ is Ω times a unitary), so the
+    // spectral scale the estimate uses coincides with the norms the series
+    // actually truncates on, step for step, order for order. The telemetry
+    // `SegmentSpan` records both sides; any drift between the model and the
+    // stepper (step splitting, series order rule, truncation threshold)
+    // breaks the equality loudly.
+    use qturbo_quantum::SpanEvent;
+    let num_qubits = 3;
+    let num_segments = 16;
+    let segments: Vec<(Hamiltonian, f64)> = (0..num_segments)
+        .map(|index| {
+            let s = (index + 1) as f64 / num_segments as f64;
+            (
+                Hamiltonian::from_terms(num_qubits, [(1.8 * s, PauliString::single(0, Pauli::X))]),
+                0.25,
+            )
+        })
+        .collect();
+    let schedule = CompiledSchedule::compile(&segments);
+    for kind in [StepperKind::Taylor, StepperKind::BatchedTaylor] {
+        let mut propagator =
+            Propagator::with_options(EvolveOptions::new(kind).with_telemetry(true));
+        let mut state = StateVector::zero_state(num_qubits);
+        propagator.evolve_schedule_in_place(&schedule, &mut state);
+        let trace = propagator.trace().expect("telemetry enabled");
+        let mut checked = 0;
+        for event in trace.events() {
+            if let SpanEvent::Segment(span) = event {
+                let predicted = span.predicted_applications.expect("taylor has an estimate");
+                assert_eq!(
+                    predicted,
+                    span.applications as f64,
+                    "{}: segment {:?} predicted {predicted} != measured {}",
+                    kind.name(),
+                    span.index,
+                    span.applications
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, num_segments);
+    }
+}
+
+#[test]
 fn relaxed_tolerance_still_converges_reasonably() {
     // A user-loosened tolerance trades accuracy for work but must stay in
     // the right ballpark (no divergence, no garbage).
