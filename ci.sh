@@ -4,10 +4,11 @@
 #   ./ci.sh          # lint + docs + tier-1 build/test + benchmarks
 #   ./ci.sh --quick  # skip the benchmarks (lint + docs + tier-1 only)
 #
-# The benchmarks write BENCH_propagation.json, BENCH_schedule.json, and
-# BENCH_stepper.json in the repo root so the simulator hot path's perf
-# trajectory (constant-Hamiltonian kernel, schedule layout reuse, and
-# stepper-backend work counts) is tracked across PRs.
+# The benchmarks write BENCH_propagation.json, BENCH_schedule.json,
+# BENCH_stepper.json, and BENCH_device.json in the repo root so the
+# simulator hot path's perf trajectory (constant-Hamiltonian kernel,
+# schedule layout reuse, stepper-backend work counts, and the
+# realization-block device sweep) is tracked across PRs.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -71,6 +72,16 @@ if [[ "${1:-}" != "--quick" ]]; then
     # and the ramp-workload batched gates (identical series, fewer passes,
     # never slower than per-segment Taylor).
     cargo run --release -p qturbo-bench --bin bench_stepper
+
+    echo "==> device benchmark (sequential realizations vs SoA realization block)"
+    # The bench binary asserts the realization-block acceptance gates:
+    # block and sequential observables agree to 1e-10 on every
+    # size x realization-count entry, a seeded block sweep is bitwise
+    # reproducible across two runs, the sequential sweep's realization 0
+    # is bitwise identical to a standalone run(), and at 16 qubits the
+    # block path is at least as fast as sequential at R=16 and at least
+    # 1.5x its realizations/sec at R=64.
+    cargo run --release -p qturbo-bench --bin bench_device
 fi
 
 echo "==> CI OK"

@@ -45,7 +45,7 @@
 //! pinned against.
 
 use crate::exec::{self, ExecutionContext, F64x4, F64x8, KernelPath, LANE_WIDTH};
-use crate::state::StateVector;
+use crate::state::{RealizationBlock, StateVector};
 use crate::stepper::SpectralBound;
 use crate::telemetry::{CompileSpan, CompileTiming};
 use qturbo_hamiltonian::{Hamiltonian, Pauli, PauliString};
@@ -932,6 +932,636 @@ impl FusedKernel<'_> {
         });
         norm_sqr.sqrt()
     }
+}
+
+/// A borrowed kernel view driving one fused `H|ψ⟩` write pass over a
+/// [`RealizationBlock`]: R noise realizations in structure-of-arrays form,
+/// where the amplitude of basis state `j`, realization `r` lives at
+/// `j · stride + r`.
+///
+/// This is the realization-batched twin of [`FusedKernel`]. Every mask,
+/// diagonal-table entry, gather index, **and sign popcount** is read or
+/// computed **once** per basis state for all R realizations, and the
+/// [`F64x4`]/[`F64x8`] lanes vectorize *across realizations*: the source of
+/// the gather at output row `j` is the whole row `j ^ x_mask`, whose lane
+/// blocks are stride-aligned for every mask — no in-register permute,
+/// divergence-free SIMD even where gathers defeat within-state lanes.
+///
+/// Per-realization physics enters through exactly one multiply: coherent
+/// amplitude miscalibration scales the **whole** segment Hamiltonian, so
+/// `H_r|ψ_r⟩ = s_r · (H|ψ_r⟩)`. The kernel therefore keeps the *shared*
+/// scalar weight row of the segment (the same row [`FusedKernel`] reads) and
+/// applies the per-realization scale lane once per basis row at the end —
+/// the `R × S × T` weight product is formed in-register instead of being
+/// materialized, and every untabled diagonal term folds into **one** scalar
+/// per basis row before touching any amplitude lane.
+///
+/// Padding lanes (`realizations ≤ r < stride`) hold zero amplitudes and
+/// zero scales; every output lane only reads input lanes of the same
+/// realization index, so padding stays identically zero through any number
+/// of applications.
+#[derive(Clone, Copy)]
+pub struct BlockKernel<'a> {
+    pub(crate) num_qubits: usize,
+    /// Lane-aligned realization count: `realizations.next_multiple_of(4)`.
+    pub(crate) stride: usize,
+    /// Shared unscaled diagonal table, indexed by `basis & (len − 1)`.
+    pub(crate) diag_table: &'a [f64],
+    /// Untabled diagonal terms: masks and shared scalar weights from the
+    /// segment's columnar weight row.
+    pub(crate) diag_masks: &'a [usize],
+    pub(crate) diag_weights: &'a [f64],
+    /// Pure bit-flip terms, shared scalar weights.
+    pub(crate) flip_masks: &'a [usize],
+    pub(crate) flip_weights: &'a [f64],
+    /// Generic gather terms: each term's weight is its unit `i^{y_count}`
+    /// phase, the shared real coefficient rides in `gather_weights` (empty
+    /// means every coefficient is already folded into the term).
+    pub(crate) gather_terms: &'a [CompiledTerm],
+    pub(crate) gather_weights: &'a [f64],
+    /// Per-realization miscalibration scales duplicated into complex-pair
+    /// positions (`[s_0, s_0, s_1, s_1, …]`, length `2 · stride`, padding
+    /// zero): one [`F64x8`] load per lane block, no shuffle.
+    pub(crate) scale_pairs: &'a [f64],
+}
+
+impl BlockKernel<'_> {
+    /// `true` when the kernel has no terms at all (`H = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.diag_table.is_empty()
+            && self.diag_masks.is_empty()
+            && self.flip_masks.is_empty()
+            && self.gather_terms.is_empty()
+    }
+
+    /// One scalar element: `H_r|ψ_r⟩` at basis row `j`, realization lane
+    /// `r` — the conformance reference of the lane path below. The shared
+    /// unscaled element is assembled first, then scaled once by `s_r`.
+    #[inline(always)]
+    fn element(&self, input: &[Complex], j: usize, r: usize, diag_index_mask: usize) -> Complex {
+        let stride = self.stride;
+        let mut diag = if self.diag_table.is_empty() {
+            0.0
+        } else {
+            self.diag_table[j & diag_index_mask]
+        };
+        for (&z_mask, &weight) in self.diag_masks.iter().zip(self.diag_weights) {
+            let sign = 1.0 - 2.0 * ((j & z_mask).count_ones() & 1) as f64;
+            diag += sign * weight;
+        }
+        let has_diag = !self.diag_table.is_empty() || !self.diag_masks.is_empty();
+        let mut acc = if has_diag {
+            input[j * stride + r].scale(diag)
+        } else {
+            Complex::ZERO
+        };
+        for (&x_mask, &weight) in self.flip_masks.iter().zip(self.flip_weights) {
+            acc += input[(j ^ x_mask) * stride + r].scale(weight);
+        }
+        if self.gather_weights.is_empty() {
+            for term in self.gather_terms {
+                let i = j ^ term.x_mask;
+                acc += (term.weight * input[i * stride + r]).scale(term.sign(i));
+            }
+        } else {
+            for (term, &weight) in self.gather_terms.iter().zip(self.gather_weights) {
+                let i = j ^ term.x_mask;
+                acc += (term.weight * input[i * stride + r]).scale(weight * term.sign(i));
+            }
+        }
+        acc.scale(self.scale_pairs[2 * r])
+    }
+
+    /// One lane block of the fused kernel: basis row `j`, realization lanes
+    /// `lane .. lane + LANE_WIDTH`, assembled in an [`F64x8`] of interleaved
+    /// complex amplitudes.
+    ///
+    /// Every per-basis-state quantity — table value, diagonal sign, gather
+    /// sign, and the weight itself — is a **scalar** here, identical for all
+    /// realizations of the row: the whole diagonal class folds into one
+    /// scalar before touching amplitudes, each flip/gather term is one
+    /// aligned lane load and one scalar-broadcast multiply (never a permute,
+    /// never a per-lane sign), and the per-realization miscalibration scale
+    /// multiplies the finished row once at the end.
+    #[inline(always)]
+    fn lane_row(&self, input: &[Complex], j: usize, lane: usize, diag_index_mask: usize) -> F64x8 {
+        let stride = self.stride;
+        // Fold the table and every untabled diagonal column into one scalar
+        // first: one popcount per column per row, for all realizations.
+        let mut diag = if self.diag_table.is_empty() {
+            0.0
+        } else {
+            self.diag_table[j & diag_index_mask]
+        };
+        for (&z_mask, &weight) in self.diag_masks.iter().zip(self.diag_weights) {
+            let sign = 1.0 - 2.0 * ((j & z_mask).count_ones() & 1) as f64;
+            diag += sign * weight;
+        }
+        let has_diag = !self.diag_table.is_empty() || !self.diag_masks.is_empty();
+        let mut acc = if has_diag {
+            load_block(input, j * stride + lane).scale(diag)
+        } else {
+            F64x8::ZERO
+        };
+        // Two accumulators halve the floating-point dependency chain through
+        // the flip terms, mirroring the within-state lane kernel.
+        let mut acc_odd = F64x8::ZERO;
+        for (c, (&x_mask, &weight)) in self.flip_masks.iter().zip(self.flip_weights).enumerate() {
+            let contribution = load_block(input, (j ^ x_mask) * stride + lane).scale(weight);
+            if c & 1 == 0 {
+                acc = acc + contribution;
+            } else {
+                acc_odd = acc_odd + contribution;
+            }
+        }
+        acc = acc + acc_odd;
+        // Gather terms: real-weight contributions land in `acc` directly;
+        // imaginary-weight contributions (odd Y count, weight `±i`)
+        // accumulate **unrotated** in `acc_im` and pay the `i·(…)` pair swap
+        // once per row instead of once per term. The sign is one scalar per
+        // term per row — shared by every realization lane.
+        if !self.gather_terms.is_empty() {
+            let mut acc_im = F64x8::ZERO;
+            if self.gather_weights.is_empty() {
+                for term in self.gather_terms {
+                    let i = j ^ term.x_mask;
+                    let src = load_block(input, i * stride + lane);
+                    let sign = row_sign(i, term.z_mask);
+                    if term.weight.im == 0.0 {
+                        acc = acc + src.scale(term.weight.re * sign);
+                    } else {
+                        acc_im = acc_im + src.scale(term.weight.im * sign);
+                    }
+                }
+            } else {
+                for (term, &weight) in self.gather_terms.iter().zip(self.gather_weights) {
+                    let i = j ^ term.x_mask;
+                    let src = load_block(input, i * stride + lane);
+                    let w = weight * row_sign(i, term.z_mask);
+                    if term.weight.im == 0.0 {
+                        acc = acc + src.scale(term.weight.re * w);
+                    } else {
+                        acc_im = acc_im + src.scale(term.weight.im * w);
+                    }
+                }
+            }
+            // i · (a + b·i) = −b + a·i: swap each pair, negate the real lane.
+            acc = acc + acc_im.swap_pairs() * F64x8([-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0]);
+        }
+        acc * F64x8::load(&self.scale_pairs[2 * lane..])
+    }
+
+    /// Two adjacent lane blocks of basis row `j` (realization lanes
+    /// `lane .. lane + 2·LANE_WIDTH`) sharing one evaluation of the row's
+    /// scalar work: the diagonal fold, every gather sign, and every scalar
+    /// weight are computed **once** and drive both blocks. This is the hot
+    /// path for strides ≥ 8 — it halves the per-row scalar overhead that
+    /// [`lane_row`](Self::lane_row) would pay per block, and the two
+    /// accumulator chains give the same instruction-level parallelism as the
+    /// single-block path's odd/even split.
+    #[inline(always)]
+    fn lane_row_pair(
+        &self,
+        input: &[Complex],
+        j: usize,
+        lane: usize,
+        diag_index_mask: usize,
+    ) -> [F64x8; 2] {
+        let stride = self.stride;
+        let base = j * stride + lane;
+        let mut diag = if self.diag_table.is_empty() {
+            0.0
+        } else {
+            self.diag_table[j & diag_index_mask]
+        };
+        for (&z_mask, &weight) in self.diag_masks.iter().zip(self.diag_weights) {
+            let sign = 1.0 - 2.0 * ((j & z_mask).count_ones() & 1) as f64;
+            diag += sign * weight;
+        }
+        let has_diag = !self.diag_table.is_empty() || !self.diag_masks.is_empty();
+        let (mut acc0, mut acc1) = if has_diag {
+            (
+                load_block(input, base).scale(diag),
+                load_block(input, base + LANE_WIDTH).scale(diag),
+            )
+        } else {
+            (F64x8::ZERO, F64x8::ZERO)
+        };
+        for (&x_mask, &weight) in self.flip_masks.iter().zip(self.flip_weights) {
+            let src = (j ^ x_mask) * stride + lane;
+            acc0 = acc0 + load_block(input, src).scale(weight);
+            acc1 = acc1 + load_block(input, src + LANE_WIDTH).scale(weight);
+        }
+        if !self.gather_terms.is_empty() {
+            let mut im0 = F64x8::ZERO;
+            let mut im1 = F64x8::ZERO;
+            let mut column = self.gather_weights.iter();
+            for term in self.gather_terms {
+                let i = j ^ term.x_mask;
+                let src = i * stride + lane;
+                let mut w = row_sign(i, term.z_mask);
+                if let Some(&weight) = column.next() {
+                    w *= weight;
+                }
+                if term.weight.im == 0.0 {
+                    let w = term.weight.re * w;
+                    acc0 = acc0 + load_block(input, src).scale(w);
+                    acc1 = acc1 + load_block(input, src + LANE_WIDTH).scale(w);
+                } else {
+                    let w = term.weight.im * w;
+                    im0 = im0 + load_block(input, src).scale(w);
+                    im1 = im1 + load_block(input, src + LANE_WIDTH).scale(w);
+                }
+            }
+            let rot = F64x8([-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0]);
+            acc0 = acc0 + im0.swap_pairs() * rot;
+            acc1 = acc1 + im1.swap_pairs() * rot;
+        }
+        [
+            acc0 * F64x8::load(&self.scale_pairs[2 * lane..]),
+            acc1 * F64x8::load(&self.scale_pairs[2 * (lane + LANE_WIDTH)..]),
+        ]
+    }
+
+    /// The fused kernel over basis rows `row_offset ..` covering `out`
+    /// (`out.len()` is a multiple of `stride`): one write pass, returns the
+    /// chunk's squared norm summed over all realization lanes.
+    fn apply_rows(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        row_offset: usize,
+        lanes: bool,
+    ) -> f64 {
+        let stride = self.stride;
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        if lanes {
+            let mut norm_acc = F64x8::ZERO;
+            if stride.is_multiple_of(2 * LANE_WIDTH) {
+                for (k, row) in out.chunks_exact_mut(stride).enumerate() {
+                    let j = row_offset + k;
+                    for (pair, chunk) in row.chunks_exact_mut(2 * LANE_WIDTH).enumerate() {
+                        let accs =
+                            self.lane_row_pair(input, j, pair * 2 * LANE_WIDTH, diag_index_mask);
+                        for (n, acc) in accs.into_iter().enumerate() {
+                            norm_acc = norm_acc + acc * acc;
+                            store_block(acc, &mut chunk[n * LANE_WIDTH..]);
+                        }
+                    }
+                }
+            } else {
+                for (k, row) in out.chunks_exact_mut(stride).enumerate() {
+                    let j = row_offset + k;
+                    for (block, chunk) in row.chunks_exact_mut(LANE_WIDTH).enumerate() {
+                        let acc = self.lane_row(input, j, block * LANE_WIDTH, diag_index_mask);
+                        norm_acc = norm_acc + acc * acc;
+                        store_block(acc, chunk);
+                    }
+                }
+            }
+            return norm_acc.horizontal_sum();
+        }
+        let mut norm_sqr = 0.0;
+        for (k, row) in out.chunks_exact_mut(stride).enumerate() {
+            let j = row_offset + k;
+            for (r, slot) in row.iter_mut().enumerate() {
+                let acc = self.element(input, j, r, diag_index_mask);
+                norm_sqr += acc.norm_sqr();
+                *slot = acc;
+            }
+        }
+        norm_sqr
+    }
+
+    /// [`apply_rows`](Self::apply_rows) with the Taylor accumulation fused
+    /// into the same pass: `target += factor · out`, lane by lane.
+    fn apply_accumulate_rows(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        target: &mut [Complex],
+        factor: Complex,
+        row_offset: usize,
+        lanes: bool,
+    ) -> f64 {
+        let stride = self.stride;
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        if lanes {
+            let mut norm_acc = F64x8::ZERO;
+            if stride.is_multiple_of(2 * LANE_WIDTH) {
+                for (k, (row, target_row)) in out
+                    .chunks_exact_mut(stride)
+                    .zip(target.chunks_exact_mut(stride))
+                    .enumerate()
+                {
+                    let j = row_offset + k;
+                    for (pair, (chunk, target_chunk)) in row
+                        .chunks_exact_mut(2 * LANE_WIDTH)
+                        .zip(target_row.chunks_exact_mut(2 * LANE_WIDTH))
+                        .enumerate()
+                    {
+                        let accs =
+                            self.lane_row_pair(input, j, pair * 2 * LANE_WIDTH, diag_index_mask);
+                        for (n, acc) in accs.into_iter().enumerate() {
+                            let slot = &mut chunk[n * LANE_WIDTH..];
+                            norm_acc = norm_acc + acc * acc;
+                            store_block(acc, slot);
+                            let target_slot = &mut target_chunk[n * LANE_WIDTH..];
+                            let updated =
+                                load_block(target_slot, 0) + acc.mul_complex(factor.re, factor.im);
+                            store_block(updated, target_slot);
+                        }
+                    }
+                }
+            } else {
+                for (k, (row, target_row)) in out
+                    .chunks_exact_mut(stride)
+                    .zip(target.chunks_exact_mut(stride))
+                    .enumerate()
+                {
+                    let j = row_offset + k;
+                    for (block, (chunk, target_chunk)) in row
+                        .chunks_exact_mut(LANE_WIDTH)
+                        .zip(target_row.chunks_exact_mut(LANE_WIDTH))
+                        .enumerate()
+                    {
+                        let acc = self.lane_row(input, j, block * LANE_WIDTH, diag_index_mask);
+                        norm_acc = norm_acc + acc * acc;
+                        store_block(acc, chunk);
+                        let updated =
+                            load_block(target_chunk, 0) + acc.mul_complex(factor.re, factor.im);
+                        store_block(updated, target_chunk);
+                    }
+                }
+            }
+            return norm_acc.horizontal_sum();
+        }
+        let mut norm_sqr = 0.0;
+        for (k, (row, target_row)) in out
+            .chunks_exact_mut(stride)
+            .zip(target.chunks_exact_mut(stride))
+            .enumerate()
+        {
+            let j = row_offset + k;
+            for (r, (slot, target_slot)) in row.iter_mut().zip(target_row.iter_mut()).enumerate() {
+                let acc = self.element(input, j, r, diag_index_mask);
+                norm_sqr += acc.norm_sqr();
+                *slot = acc;
+                *target_slot += factor * acc;
+            }
+        }
+        norm_sqr
+    }
+
+    /// [`apply_accumulate_rows`](Self::apply_accumulate_rows) with **two**
+    /// Taylor terms retired in the same pass:
+    /// `target += f_input · input + f_out · out`.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_accumulate_both_rows(
+        &self,
+        input: &[Complex],
+        out: &mut [Complex],
+        target: &mut [Complex],
+        f_input: Complex,
+        f_out: Complex,
+        row_offset: usize,
+        lanes: bool,
+    ) -> f64 {
+        let stride = self.stride;
+        let diag_index_mask = self.diag_table.len().wrapping_sub(1);
+        if lanes {
+            let mut norm_acc = F64x8::ZERO;
+            if stride.is_multiple_of(2 * LANE_WIDTH) {
+                for (k, (row, target_row)) in out
+                    .chunks_exact_mut(stride)
+                    .zip(target.chunks_exact_mut(stride))
+                    .enumerate()
+                {
+                    let j = row_offset + k;
+                    for (pair, (chunk, target_chunk)) in row
+                        .chunks_exact_mut(2 * LANE_WIDTH)
+                        .zip(target_row.chunks_exact_mut(2 * LANE_WIDTH))
+                        .enumerate()
+                    {
+                        let lane = pair * 2 * LANE_WIDTH;
+                        let accs = self.lane_row_pair(input, j, lane, diag_index_mask);
+                        for (n, acc) in accs.into_iter().enumerate() {
+                            let base = j * stride + lane + n * LANE_WIDTH;
+                            let slot = &mut chunk[n * LANE_WIDTH..];
+                            norm_acc = norm_acc + acc * acc;
+                            store_block(acc, slot);
+                            let target_slot = &mut target_chunk[n * LANE_WIDTH..];
+                            let update = load_block(input, base)
+                                .mul_complex(f_input.re, f_input.im)
+                                + acc.mul_complex(f_out.re, f_out.im);
+                            store_block(load_block(target_slot, 0) + update, target_slot);
+                        }
+                    }
+                }
+            } else {
+                for (k, (row, target_row)) in out
+                    .chunks_exact_mut(stride)
+                    .zip(target.chunks_exact_mut(stride))
+                    .enumerate()
+                {
+                    let j = row_offset + k;
+                    for (block, (chunk, target_chunk)) in row
+                        .chunks_exact_mut(LANE_WIDTH)
+                        .zip(target_row.chunks_exact_mut(LANE_WIDTH))
+                        .enumerate()
+                    {
+                        let base = j * stride + block * LANE_WIDTH;
+                        let acc = self.lane_row(input, j, block * LANE_WIDTH, diag_index_mask);
+                        norm_acc = norm_acc + acc * acc;
+                        store_block(acc, chunk);
+                        let update = load_block(input, base).mul_complex(f_input.re, f_input.im)
+                            + acc.mul_complex(f_out.re, f_out.im);
+                        store_block(load_block(target_chunk, 0) + update, target_chunk);
+                    }
+                }
+            }
+            return norm_acc.horizontal_sum();
+        }
+        let mut norm_sqr = 0.0;
+        for (k, (row, target_row)) in out
+            .chunks_exact_mut(stride)
+            .zip(target.chunks_exact_mut(stride))
+            .enumerate()
+        {
+            let j = row_offset + k;
+            for (r, (slot, target_slot)) in row.iter_mut().zip(target_row.iter_mut()).enumerate() {
+                let acc = self.element(input, j, r, diag_index_mask);
+                norm_sqr += acc.norm_sqr();
+                *slot = acc;
+                *target_slot += f_input * input[j * stride + r] + f_out * acc;
+            }
+        }
+        norm_sqr
+    }
+
+    /// Shape check shared by the entry points.
+    fn check_shapes(&self, input: &RealizationBlock, out: &RealizationBlock) {
+        assert_eq!(input.dim(), out.dim(), "block dimension mismatch");
+        assert_eq!(input.stride(), out.stride(), "block stride mismatch");
+        assert_eq!(self.stride, input.stride(), "kernel stride mismatch");
+        assert!(
+            self.num_qubits <= input.num_qubits(),
+            "Hamiltonian acts on more qubits than the block"
+        );
+    }
+
+    /// Whether the realization-lane path runs: the stride is always a lane
+    /// multiple by construction, so only an explicit scalar-path request
+    /// falls back.
+    fn use_lanes(&self, context: &ExecutionContext) -> bool {
+        debug_assert_eq!(self.stride % LANE_WIDTH, 0, "stride must be lane-aligned");
+        context.kernel_path() == KernelPath::Lane
+    }
+
+    /// Computes `out_r = H_r|ψ_r⟩` for every realization lane `r` and
+    /// returns the Frobenius norm `√(Σ_r ‖H_r|ψ_r⟩‖²)` of the whole block.
+    /// `out` is fully overwritten. The worker pool splits the **basis rows**
+    /// above the context's parallel threshold; each participant owns whole
+    /// rows, so realization lanes never race.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block shapes or strides differ, or the kernel acts on
+    /// more qubits than the block has.
+    pub fn apply_into_with(
+        &self,
+        context: &ExecutionContext,
+        input: &RealizationBlock,
+        out: &mut RealizationBlock,
+    ) -> f64 {
+        self.check_shapes(input, out);
+        let dim = input.dim();
+        let stride = self.stride;
+        let input = input.as_slice();
+        let out = out.as_mut_slice();
+        let lanes = self.use_lanes(context);
+        let (participants, chunk) = context.plan(dim);
+        if participants <= 1 {
+            return self.apply_rows(input, out, 0, lanes).sqrt();
+        }
+        let shared_out = SharedAmps::new(out);
+        let norm_sqr = exec::pool_run(participants, &|participant: usize| {
+            let (start, len) = chunk_bounds(participant, chunk, dim);
+            // SAFETY: participants own disjoint row ranges.
+            let out_chunk = unsafe { shared_out.slice(start * stride, len * stride) };
+            self.apply_rows(input, out_chunk, start, lanes)
+        });
+        norm_sqr.sqrt()
+    }
+
+    /// [`apply_into_with`](Self::apply_into_with) with `target += factor ·
+    /// out` fused into the same write pass. Returns the block norm of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block shapes differ, or the kernel acts on more qubits
+    /// than the block has.
+    pub fn apply_accumulate_into_with(
+        &self,
+        context: &ExecutionContext,
+        input: &RealizationBlock,
+        out: &mut RealizationBlock,
+        target: &mut RealizationBlock,
+        factor: Complex,
+    ) -> f64 {
+        self.check_shapes(input, out);
+        self.check_shapes(input, target);
+        let dim = input.dim();
+        let stride = self.stride;
+        let input = input.as_slice();
+        let out = out.as_mut_slice();
+        let target = target.as_mut_slice();
+        let lanes = self.use_lanes(context);
+        let (participants, chunk) = context.plan(dim);
+        if participants <= 1 {
+            return self
+                .apply_accumulate_rows(input, out, target, factor, 0, lanes)
+                .sqrt();
+        }
+        let shared_out = SharedAmps::new(out);
+        let shared_target = SharedAmps::new(target);
+        let norm_sqr = exec::pool_run(participants, &|participant: usize| {
+            let (start, len) = chunk_bounds(participant, chunk, dim);
+            // SAFETY: participants own disjoint row ranges.
+            let out_chunk = unsafe { shared_out.slice(start * stride, len * stride) };
+            let target_chunk = unsafe { shared_target.slice(start * stride, len * stride) };
+            self.apply_accumulate_rows(input, out_chunk, target_chunk, factor, start, lanes)
+        });
+        norm_sqr.sqrt()
+    }
+
+    /// [`apply_accumulate_into_with`](Self::apply_accumulate_into_with) with
+    /// **two** series terms retired in the same write pass:
+    /// `target += f_input·input + f_out·out`. Returns the block norm of
+    /// `out`. This is the fused first-and-second-order pass of the block
+    /// Taylor sweep, exactly mirroring
+    /// [`FusedKernel::apply_accumulate_both_into_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block shapes differ, or the kernel acts on more qubits
+    /// than the block has.
+    pub fn apply_accumulate_both_into_with(
+        &self,
+        context: &ExecutionContext,
+        input: &RealizationBlock,
+        out: &mut RealizationBlock,
+        target: &mut RealizationBlock,
+        f_input: Complex,
+        f_out: Complex,
+    ) -> f64 {
+        self.check_shapes(input, out);
+        self.check_shapes(input, target);
+        let dim = input.dim();
+        let stride = self.stride;
+        let input = input.as_slice();
+        let out = out.as_mut_slice();
+        let target = target.as_mut_slice();
+        let lanes = self.use_lanes(context);
+        let (participants, chunk) = context.plan(dim);
+        if participants <= 1 {
+            return self
+                .apply_accumulate_both_rows(input, out, target, f_input, f_out, 0, lanes)
+                .sqrt();
+        }
+        let shared_out = SharedAmps::new(out);
+        let shared_target = SharedAmps::new(target);
+        let norm_sqr = exec::pool_run(participants, &|participant: usize| {
+            let (start, len) = chunk_bounds(participant, chunk, dim);
+            // SAFETY: participants own disjoint row ranges.
+            let out_chunk = unsafe { shared_out.slice(start * stride, len * stride) };
+            let target_chunk = unsafe { shared_target.slice(start * stride, len * stride) };
+            self.apply_accumulate_both_rows(
+                input,
+                out_chunk,
+                target_chunk,
+                f_input,
+                f_out,
+                start,
+                lanes,
+            )
+        });
+        norm_sqr.sqrt()
+    }
+}
+
+/// The `±1` sign of basis state `i` under a diagonal `z_mask`:
+/// `(−1)^popcount(i & z_mask)`. Single-bit masks (a lone `Y` or `Z` factor,
+/// the common case) take a two-instruction bit test; wider masks pay the
+/// portable popcount, which baseline targets lower as a bithack.
+#[inline(always)]
+fn row_sign(i: usize, z_mask: usize) -> f64 {
+    let parity = if z_mask & z_mask.wrapping_sub(1) == 0 {
+        (i & z_mask != 0) as u32
+    } else {
+        (i & z_mask).count_ones() & 1
+    };
+    1.0 - 2.0 * parity as f64
 }
 
 /// Loads one lane block of interleaved complex amplitudes starting at

@@ -24,11 +24,32 @@ use crate::error::{EvolveError, RecoveryLog};
 use crate::observable::measure_z_zz;
 use crate::propagate::Propagator;
 use crate::schedule::CompiledSchedule;
-use crate::state::StateVector;
+use crate::state::{RealizationBlock, StateVector};
 use crate::stepper::EvolveOptions;
 use crate::telemetry::RunProfile;
 use qturbo_hamiltonian::Hamiltonian;
 use qturbo_math::rng::Rng;
+
+/// Cap on the amplitudes of **one** realization-block buffer
+/// (`dim × tile`), sizing the block sweep's realization tiles. The block
+/// Taylor path keeps three such buffers alive (the block plus two series
+/// scratches); `2^17` amplitudes keeps that working set small enough to
+/// stay cache-resident on commodity parts at mid-size registers, so the SoA
+/// sweep keeps its read-amortization win instead of going DRAM-bound.
+const MAX_BLOCK_TILE_AMPS: usize = 1 << 17;
+
+/// Floor on realizations per tile: two full lane blocks, so the kernel's
+/// paired-lane path (one evaluation of each row's scalar work driving
+/// 2 × [`crate::exec::LANE_WIDTH`] realization lanes) engages even at the
+/// largest registers, where [`MAX_BLOCK_TILE_AMPS`] alone would shrink
+/// tiles to a single lane. At 16 qubits the row-scalar amortization is
+/// worth more than the last level of cache residency.
+const MIN_BLOCK_TILE: usize = 2 * crate::exec::LANE_WIDTH;
+
+/// Ceiling on realizations per tile: past ~four lane pairs the row-scalar
+/// amortization has flattened while the tile working set keeps growing, so
+/// wider sweeps only dilute cache residency at small registers.
+const MAX_BLOCK_TILE: usize = 4 * MIN_BLOCK_TILE;
 
 /// Phenomenological noise parameters of the emulated device.
 ///
@@ -302,18 +323,30 @@ impl EmulatedDevice {
         num_qubits: usize,
         cyclic: bool,
     ) -> Result<DeviceRun, EvolveError> {
+        // Evolve realization 0 directly — no realization `Vec` to pop, so
+        // the historical `unreachable!` (the last panicking site in the
+        // realization path) is gone by construction.
         let schedule = CompiledSchedule::compile(segments);
-        let mut runs = self.try_run_compiled(&schedule, num_qubits, cyclic, 1)?;
-        match runs.pop() {
-            Some(run) => Ok(run),
-            None => unreachable!("one realization requested"),
-        }
+        let execution_time = self.try_prepare(&schedule)?;
+        let mut propagator = Propagator::with_options(self.options);
+        self.run_realization(
+            &schedule,
+            num_qubits,
+            cyclic,
+            execution_time,
+            &mut propagator,
+            0,
+        )
     }
 
     /// [`run`](EmulatedDevice::run) repeated over `realizations` independent
     /// noise draws, compiling the schedule **once**. Realization `0`
     /// reproduces [`run`](EmulatedDevice::run) exactly; realization `r`
-    /// draws from the seed `seed + r`.
+    /// draws from an independent stream obtained by SplitMix64-mixing the
+    /// device seed with `r` ([`Rng::seed_from_pair`]) — the historical
+    /// additive `seed + r` composition made *distinct* device seeds share
+    /// realization streams (seed `s`, realization `r` replayed seed `s + 1`,
+    /// realization `r − 1`).
     ///
     /// # Panics
     ///
@@ -359,6 +392,15 @@ impl EmulatedDevice {
     /// many realizations are swept. One [`Propagator`] (with the device's
     /// [`EvolveOptions`]) carries its scratch buffers across all of them.
     ///
+    /// When the device's options request realization batching
+    /// ([`EvolveOptions::with_realization_block`]) and more than one
+    /// realization is swept, the realizations evolve together as
+    /// structure-of-arrays [`RealizationBlock`] tiles — every mask,
+    /// diagonal-table entry, and gather index is read once per basis state
+    /// for all realizations in a tile — and agree with the per-realization
+    /// reference path to 1e-10 (the conformance grid in
+    /// `tests/conformance_device.rs` pins this for every stepper kind).
+    ///
     /// # Panics
     ///
     /// Panics on the failures
@@ -392,6 +434,34 @@ impl EmulatedDevice {
         cyclic: bool,
         realizations: usize,
     ) -> Result<Vec<DeviceRun>, EvolveError> {
+        let execution_time = self.try_prepare(schedule)?;
+        if self.options.realization_block && realizations > 1 {
+            return self.try_run_compiled_block(
+                schedule,
+                num_qubits,
+                cyclic,
+                realizations,
+                execution_time,
+            );
+        }
+        let mut propagator = Propagator::with_options(self.options);
+        (0..realizations)
+            .map(|realization| {
+                self.run_realization(
+                    schedule,
+                    num_qubits,
+                    cyclic,
+                    execution_time,
+                    &mut propagator,
+                    realization,
+                )
+            })
+            .collect()
+    }
+
+    /// Shared entry validation of every run: noise-model range checks and
+    /// the non-empty-schedule rule. Returns the machine execution time.
+    fn try_prepare(&self, schedule: &CompiledSchedule) -> Result<f64, EvolveError> {
         self.noise.try_validate()?;
         if schedule.num_segments() == 0 {
             return Err(EvolveError::InvalidInput {
@@ -399,74 +469,189 @@ impl EmulatedDevice {
                     .to_string(),
             });
         }
-        let execution_time = schedule.total_time();
+        Ok(schedule.total_time())
+    }
+
+    /// The RNG stream of one noise realization: the device seed
+    /// SplitMix64-mixed with the realization index, so distinct device
+    /// seeds never share streams (the additive `seed + r` composition
+    /// aliased seed `s`, realization `r` onto seed `s + 1`, realization
+    /// `r − 1`).
+    fn realization_rng(&self, realization: usize) -> Rng {
+        Rng::seed_from_pair(self.seed, realization as u64)
+    }
+
+    /// Draws this realization's coherent amplitude-miscalibration scale —
+    /// or returns exactly `1.0`, **without touching the RNG**, when the
+    /// channel is disabled. The branch is on the noise model, not on the
+    /// drawn value: a Gaussian draw that happens to land on `1.0` still
+    /// takes the scaled-weights path every other realization took (the
+    /// historical `scale == 1.0` float test silently skipped it).
+    fn draw_scale(&self, rng: &mut Rng) -> f64 {
+        if self.miscalibration_enabled() {
+            1.0 + rng.next_gaussian() * self.noise.amplitude_miscalibration
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether the coherent amplitude-miscalibration channel is active —
+    /// the explicit branch both run paths key the scale draw off.
+    fn miscalibration_enabled(&self) -> bool {
+        self.noise.amplitude_miscalibration > 0.0
+    }
+
+    /// Evolves and measures **one** noise realization against a shared
+    /// propagator: the unit of the sequential (per-realization) reference
+    /// path, and the direct body of [`try_run`](EmulatedDevice::try_run).
+    fn run_realization(
+        &self,
+        schedule: &CompiledSchedule,
+        num_qubits: usize,
+        cyclic: bool,
+        execution_time: f64,
+        propagator: &mut Propagator,
+        realization: usize,
+    ) -> Result<DeviceRun, EvolveError> {
+        let mut rng = self.realization_rng(realization);
+
+        // Coherent amplitude miscalibration: one scale error per run.
+        let scaled;
+        let effective = if self.miscalibration_enabled() {
+            scaled = schedule.try_scaled_weights(self.draw_scale(&mut rng))?;
+            &scaled
+        } else {
+            schedule
+        };
+
+        let mut final_state = StateVector::zero_state(num_qubits);
+        // The propagator's recovery log accumulates across the
+        // sweep; remember where this realization starts so its own
+        // events can be sliced out below.
+        let recoveries_before = propagator.recovery_log().len();
+        propagator.try_evolve_schedule_in_place(effective, &mut final_state)?;
+        let recoveries =
+            RecoveryLog::from_events(&propagator.recovery_log().events()[recoveries_before..]);
+        // Draining resets the recorder, so each realization's
+        // profile covers exactly its own evolution.
+        let profile = propagator
+            .drain_trace()
+            .as_ref()
+            .map(RunProfile::from_recorder);
+
+        Ok(self.measure_run(
+            &final_state,
+            cyclic,
+            execution_time,
+            recoveries,
+            profile,
+            &mut rng,
+        ))
+    }
+
+    /// Converts a final state into a [`DeviceRun`]: damps the exact
+    /// observables by the depolarizing and readout channels, then applies
+    /// finite-shot estimation. Shared by the sequential and block paths so
+    /// both consume the realization RNG in the identical order (scale draw
+    /// first, then estimation draws).
+    fn measure_run(
+        &self,
+        final_state: &StateVector,
+        cyclic: bool,
+        execution_time: f64,
+        recoveries: RecoveryLog,
+        profile: Option<RunProfile>,
+        rng: &mut Rng,
+    ) -> DeviceRun {
+        let damp = |weight: f64| {
+            let depolarizing = (-self.noise.depolarizing_rate * weight * execution_time).exp();
+            let readout = (1.0 - 2.0 * self.noise.readout_error).powf(weight);
+            depolarizing * readout
+        };
+
+        let observables = measure_z_zz(final_state, cyclic);
+        let z: Vec<f64> = observables
+            .z
+            .into_iter()
+            .map(|e| self.estimate(e * damp(1.0), rng))
+            .collect();
+        let zz: Vec<f64> = observables
+            .zz
+            .into_iter()
+            .map(|e| self.estimate(e * damp(2.0), rng))
+            .collect();
+
+        DeviceRun {
+            z,
+            zz,
+            execution_time,
+            recoveries,
+            profile,
+        }
+    }
+
+    /// The structure-of-arrays sweep behind
+    /// [`EvolveOptions::with_realization_block`]: every realization's scale
+    /// is drawn first (in realization order, so the per-stream RNG draw
+    /// sequence matches the sequential path exactly), then realizations are
+    /// evolved as lane-aligned [`RealizationBlock`]s — masks, diagonal
+    /// tables, and gather indices read once per basis state for **all**
+    /// realizations in a block — and finally measured per realization with
+    /// the same RNGs.
+    ///
+    /// Blocks are tiled: a tile of realizations small enough to keep the
+    /// three block buffers cache-resident is evolved at a time (at most
+    /// [`MAX_BLOCK_TILE_AMPS`] amplitudes per buffer), which preserves the
+    /// SoA read-amortization win without turning the sweep DRAM-bound at
+    /// large registers.
+    fn try_run_compiled_block(
+        &self,
+        schedule: &CompiledSchedule,
+        num_qubits: usize,
+        cyclic: bool,
+        realizations: usize,
+        execution_time: f64,
+    ) -> Result<Vec<DeviceRun>, EvolveError> {
         let mut propagator = Propagator::with_options(self.options);
-        (0..realizations)
-            .map(|realization| {
-                let mut rng = Rng::seed_from_u64(
-                    self.seed
-                        .wrapping_add(realization as u64)
-                        .wrapping_add(0x9E37_79B9),
-                );
+        let mut rngs: Vec<Rng> = (0..realizations).map(|r| self.realization_rng(r)).collect();
+        let scales: Vec<f64> = rngs.iter_mut().map(|rng| self.draw_scale(rng)).collect();
 
-                // Coherent amplitude miscalibration: one scale error per run.
-                let scale = if self.noise.amplitude_miscalibration > 0.0 {
-                    1.0 + rng.next_gaussian() * self.noise.amplitude_miscalibration
-                } else {
-                    1.0
-                };
-                let scaled;
-                let effective = if scale == 1.0 {
-                    schedule
-                } else {
-                    scaled = schedule.try_scaled_weights(scale)?;
-                    &scaled
-                };
+        let dim = 1usize << num_qubits;
+        let tile = (MAX_BLOCK_TILE_AMPS / dim.max(1))
+            .clamp(MIN_BLOCK_TILE, MAX_BLOCK_TILE)
+            .min(realizations.next_multiple_of(crate::exec::LANE_WIDTH));
 
-                let mut final_state = StateVector::zero_state(num_qubits);
-                // The propagator's recovery log accumulates across the
-                // sweep; remember where this realization starts so its own
-                // events can be sliced out below.
-                let recoveries_before = propagator.recovery_log().len();
-                propagator.try_evolve_schedule_in_place(effective, &mut final_state)?;
-                let recoveries = RecoveryLog::from_events(
-                    &propagator.recovery_log().events()[recoveries_before..],
-                );
-                // Draining resets the recorder, so each realization's
-                // profile covers exactly its own evolution.
-                let profile = propagator
-                    .drain_trace()
-                    .as_ref()
-                    .map(RunProfile::from_recorder);
-
-                let damp = |weight: f64| {
-                    let depolarizing =
-                        (-self.noise.depolarizing_rate * weight * execution_time).exp();
-                    let readout = (1.0 - 2.0 * self.noise.readout_error).powf(weight);
-                    depolarizing * readout
-                };
-
-                let observables = measure_z_zz(&final_state, cyclic);
-                let z: Vec<f64> = observables
-                    .z
-                    .into_iter()
-                    .map(|e| self.estimate(e * damp(1.0), &mut rng))
-                    .collect();
-                let zz: Vec<f64> = observables
-                    .zz
-                    .into_iter()
-                    .map(|e| self.estimate(e * damp(2.0), &mut rng))
-                    .collect();
-
-                Ok(DeviceRun {
-                    z,
-                    zz,
+        let mut runs = Vec::with_capacity(realizations);
+        let mut start = 0usize;
+        while start < realizations {
+            let count = tile.min(realizations - start);
+            let mut block = RealizationBlock::zero_states(num_qubits, count);
+            let recoveries_before = propagator.recovery_log().len();
+            propagator.try_evolve_schedule_block(
+                schedule,
+                &mut block,
+                &scales[start..start + count],
+            )?;
+            let recoveries =
+                RecoveryLog::from_events(&propagator.recovery_log().events()[recoveries_before..]);
+            let profile = propagator
+                .drain_trace()
+                .as_ref()
+                .map(RunProfile::from_recorder);
+            for r in 0..count {
+                let final_state = block.extract(r);
+                runs.push(self.measure_run(
+                    &final_state,
+                    cyclic,
                     execution_time,
-                    recoveries,
-                    profile,
-                })
-            })
-            .collect()
+                    recoveries.clone(),
+                    profile.clone(),
+                    &mut rngs[start + r],
+                ));
+            }
+            start += count;
+        }
+        Ok(runs)
     }
 
     /// Converts an exact expectation value into a finite-shot estimate.
@@ -602,8 +787,9 @@ mod tests {
 
     #[test]
     fn realizations_reuse_one_compiled_schedule() {
-        // run_realizations must agree with independent per-seed runs: the
-        // shared-layout scaled_weights path changes no physics.
+        // The shared-layout scaled_weights path changes no physics:
+        // realization 0 reproduces `run` exactly, the sweep is
+        // deterministic, and the realization streams are mutually distinct.
         let noise = NoiseModel {
             depolarizing_rate: 0.1,
             amplitude_miscalibration: 0.1,
@@ -615,10 +801,17 @@ mod tests {
         let sweep = base.run_realizations(&segments, 2, false, 3);
         assert_eq!(sweep.len(), 3);
         assert_eq!(sweep[0], base.run(&segments, 2, false));
-        for (r, run) in sweep.iter().enumerate() {
-            let standalone = EmulatedDevice::new(noise.clone(), 40 + r as u64);
-            assert_eq!(*run, standalone.run(&segments, 2, false), "realization {r}");
-        }
+        assert_eq!(sweep, base.run_realizations(&segments, 2, false, 3));
+        assert_ne!(sweep[0], sweep[1]);
+        assert_ne!(sweep[1], sweep[2]);
+        // Decorrelation regression: with the historical additive `seed + r`
+        // streams, realization 1 of seed 40 replayed realization 0 of seed
+        // 41 draw for draw.
+        let neighbor = EmulatedDevice::new(noise, 41);
+        assert_ne!(
+            sweep[1],
+            neighbor.run_realizations(&segments, 2, false, 1)[0]
+        );
     }
 
     #[test]

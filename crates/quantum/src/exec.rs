@@ -117,6 +117,20 @@ impl F64x4 {
 }
 
 /// Lanewise sum.
+impl std::ops::Add for F64x4 {
+    type Output = F64x4;
+
+    #[inline(always)]
+    fn add(self, rhs: F64x4) -> F64x4 {
+        let mut out = self.0;
+        for (lane, r) in out.iter_mut().zip(rhs.0) {
+            *lane += r;
+        }
+        F64x4(out)
+    }
+}
+
+/// Lanewise sum.
 impl std::ops::Add for F64x8 {
     type Output = F64x8;
 
@@ -147,6 +161,18 @@ impl std::ops::Mul for F64x8 {
 impl F64x8 {
     /// All-zero lanes.
     pub const ZERO: F64x8 = F64x8([0.0; 8]);
+
+    /// Loads eight consecutive `f64`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has fewer than eight elements.
+    #[inline(always)]
+    pub fn load(src: &[f64]) -> F64x8 {
+        let mut out = [0.0; 8];
+        out.copy_from_slice(&src[..8]);
+        F64x8(out)
+    }
 
     /// Multiplies every lane by `factor`.
     #[inline(always)]

@@ -14,7 +14,7 @@
 
 use qturbo_math::rng::Rng;
 
-use crate::state::StateVector;
+use crate::state::{RealizationBlock, StateVector};
 
 /// A single injectable failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +117,44 @@ impl FaultInjector {
                 amplitudes[target].im *= factor;
             }
             Fault::BoundPerturbation { .. } | Fault::QlNonConvergence => {}
+        }
+    }
+
+    /// Corrupts one basis amplitude of **every** realization in `block`
+    /// according to `fault` — the block analog of
+    /// [`corrupt_state`](FaultInjector::corrupt_state), hitting the same
+    /// seed-chosen basis index so the block path reproduces the sequential
+    /// path's fault scenario across all lanes.
+    pub(crate) fn corrupt_block(
+        &self,
+        block: &mut RealizationBlock,
+        segment: usize,
+        fault: &Fault,
+    ) {
+        let dim = block.dim();
+        if dim == 0 {
+            return;
+        }
+        let mut rng =
+            Rng::seed_from_u64(self.seed ^ (segment as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let target = rng.next_usize(dim);
+        let (stride, realizations) = (block.stride(), block.realizations());
+        let amplitudes = block.as_mut_slice();
+        for r in 0..realizations {
+            let amp = &mut amplitudes[target * stride + r];
+            match fault {
+                Fault::NanAmplitude => {
+                    amp.re = f64::NAN;
+                }
+                Fault::InfAmplitude => {
+                    amp.im = f64::INFINITY;
+                }
+                Fault::AmplitudeSpike { factor } => {
+                    amp.re *= factor;
+                    amp.im *= factor;
+                }
+                Fault::BoundPerturbation { .. } | Fault::QlNonConvergence => {}
+            }
         }
     }
 }

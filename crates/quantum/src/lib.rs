@@ -71,6 +71,22 @@
 //!   inside the 1e-10 conformance pin. Fault-injection recovery is
 //!   thread-count-independent (`tests/prop_faults.rs` runs its grid under
 //!   the pool).
+//! * **Realization batching.** Device noise sweeps can evolve their
+//!   realizations as one structure-of-arrays [`state::RealizationBlock`]
+//!   (opt-in via [`EvolveOptions::with_realization_block`]): amplitude
+//!   `(j, r)` lives at `j · stride + r` with a lane-aligned stride, so a
+//!   [`compiled::BlockKernel`] application reads every mask,
+//!   diagonal-table entry, and gather index **once** per basis state for
+//!   all realizations, the SIMD lanes running *across* the realization
+//!   axis (gathers stay lane-aligned — basis-index XORs never cross
+//!   lanes). Coherent miscalibration is rank-1 — every realization scales
+//!   the *same* segment weights — so the kernel keeps one shared scalar
+//!   weight row plus one unscaled diagonal table and applies the
+//!   per-realization scale lane once per accumulated row, forming the
+//!   `R × S × T` weight product in-register instead of materializing it;
+//!   the sequential per-realization loop remains the 1e-10-pinned
+//!   conformance reference (`tests/conformance_device.rs`), and
+//!   `bench_device` gates the block path's realizations/sec against it.
 //!
 //! # Robustness
 //!
@@ -152,6 +168,14 @@
 //! two clock reads plus one buffered event per segment (bounded at
 //! [`telemetry::MAX_RECORDED_EVENTS`]), and `bench_schedule` additionally
 //! gates a traced run against the untraced Taylor wall time.
+//!
+//! **Realization batching.** A block sweep counts work per realization: one
+//! [`compiled::BlockKernel`] application over an `R`-realization block adds
+//! `R` to the application counter and `R`-fold pass deltas, so throughput
+//! numbers stay comparable with the sequential path. The block stepper
+//! reuses the batched-Taylor integration scheme, and its counters fold into
+//! the [`StepperKind::BatchedTaylor`] telemetry slot rather than adding a
+//! backend of their own.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -176,6 +200,6 @@ pub use fault::{Fault, FaultInjector};
 pub use observable::DiagonalObservables;
 pub use propagate::Propagator;
 pub use schedule::CompiledSchedule;
-pub use state::StateVector;
+pub use state::{RealizationBlock, StateVector};
 pub use stepper::{AutoCostModel, EvolveOptions, SpectralBound, Stepper, StepperKind};
 pub use telemetry::{MetricsRegistry, MetricsSnapshot, Recorder, RunProfile, SpanEvent, TraceSink};

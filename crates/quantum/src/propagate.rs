@@ -51,14 +51,14 @@
 //! [`CompiledSchedule`] under the hood, so one-shot callers get the
 //! layout-reuse win too.
 
-use crate::compiled::CompiledHamiltonian;
+use crate::compiled::{BlockKernel, CompiledHamiltonian};
 use crate::error::{EvolveError, RecoveryEvent, RecoveryLog};
 use crate::fault::{Fault, FaultInjector};
-use crate::schedule::{CompiledSchedule, DiagTableScratch};
-use crate::state::StateVector;
+use crate::schedule::{CompiledSchedule, DiagTableScratch, RealizationWeights};
+use crate::state::{RealizationBlock, StateVector};
 use crate::stepper::{
-    BatchedTaylorStepper, ChebyshevStepper, EvolveOptions, KrylovStepper, SpectralBound, Stepper,
-    StepperKind, TaylorStepper, MAX_STEP_PHASE, MAX_TAYLOR_ORDER,
+    BatchedTaylorStepper, BlockTaylorStepper, ChebyshevStepper, EvolveOptions, KrylovStepper,
+    SpectralBound, Stepper, StepperKind, TaylorStepper, MAX_STEP_PHASE, MAX_TAYLOR_ORDER,
 };
 use crate::telemetry::{
     CompileSpan, Recorder, RecoverySpan, RunProfile, ScheduleSpan, SegmentSpan, SpanEvent,
@@ -114,6 +114,10 @@ pub struct Propagator {
     batched: BatchedTaylorStepper,
     krylov: KrylovStepper,
     chebyshev: ChebyshevStepper,
+    /// Structure-of-arrays realization batching (see
+    /// [`Propagator::try_evolve_schedule_block`]); counters fold into the
+    /// [`StepperKind::BatchedTaylor`] slot, whose scheme it shares.
+    block: BlockTaylorStepper,
     /// The fixed backend that integrated each segment, in evolution order
     /// since the last reset (for `Auto`, the per-segment cost-model choice;
     /// for a fixed stepper, that stepper).
@@ -126,6 +130,8 @@ pub struct Propagator {
     /// Pre-corruption snapshot of the state at a fault-injected segment's
     /// boundary, so even non-rollback-safe backends can be retried there.
     fault_snapshot: StateVector,
+    /// Block twin of `fault_snapshot` for realization-batched sweeps.
+    block_snapshot: RealizationBlock,
     /// Telemetry recorder, present iff [`EvolveOptions::telemetry`] was set
     /// at construction. Boxed so an untraced propagator carries one null
     /// pointer of overhead; the hot paths gate on `is_some()` and nothing
@@ -174,10 +180,12 @@ impl Propagator {
             batched: BatchedTaylorStepper::with_context(options.tolerance, options.execution),
             krylov: KrylovStepper::with_context(options.tolerance, options.execution),
             chebyshev: ChebyshevStepper::with_context(options.tolerance, options.execution),
+            block: BlockTaylorStepper::with_context(options.tolerance, options.execution),
             decisions: Vec::new(),
             recovery: RecoveryLog::default(),
             injector: None,
             fault_snapshot: StateVector::zeros(0),
+            block_snapshot: RealizationBlock::zeros(0, 1),
             telemetry: options.telemetry.then(|| {
                 // Busy-time accounting is process-wide and idempotent to
                 // enable; the first traced propagator turns it on.
@@ -208,6 +216,7 @@ impl Propagator {
     pub fn kernel_applications(&self) -> u64 {
         self.taylor.kernel_applications()
             + self.batched.kernel_applications()
+            + self.block.kernel_applications()
             + self.krylov.kernel_applications()
             + self.chebyshev.kernel_applications()
     }
@@ -220,6 +229,7 @@ impl Propagator {
     pub fn state_passes(&self) -> u64 {
         self.taylor.state_passes()
             + self.batched.state_passes()
+            + self.block.state_passes()
             + self.krylov.state_passes()
             + self.chebyshev.state_passes()
     }
@@ -232,7 +242,7 @@ impl Propagator {
             (StepperKind::Taylor, self.taylor.kernel_applications()),
             (
                 StepperKind::BatchedTaylor,
-                self.batched.kernel_applications(),
+                self.batched.kernel_applications() + self.block.kernel_applications(),
             ),
             (StepperKind::Krylov, self.krylov.kernel_applications()),
             (StepperKind::Chebyshev, self.chebyshev.kernel_applications()),
@@ -259,6 +269,7 @@ impl Propagator {
     pub fn reset_kernel_applications(&mut self) {
         self.taylor.reset_kernel_applications();
         self.batched.reset_kernel_applications();
+        self.block.reset_kernel_applications();
         self.krylov.reset_kernel_applications();
         self.chebyshev.reset_kernel_applications();
         self.decisions.clear();
@@ -359,9 +370,14 @@ impl Propagator {
         let applications = self.kernel_applications() - run.applications;
         let state_passes = self.state_passes() - run.state_passes;
         let recoveries = (self.recovery.len() - run.recoveries) as u64;
+        // The block path shares the batched-Taylor scheme, so its counters
+        // report under the BatchedTaylor backend slot.
+        let mut batched_span = self.batched.telemetry_span(StepperKind::BatchedTaylor);
+        batched_span.applications += self.block.kernel_applications();
+        batched_span.state_passes += self.block.state_passes();
         let stepper_spans = [
             self.taylor.telemetry_span(StepperKind::Taylor),
-            self.batched.telemetry_span(StepperKind::BatchedTaylor),
+            batched_span,
             self.krylov.telemetry_span(StepperKind::Krylov),
             self.chebyshev.telemetry_span(StepperKind::Chebyshev),
         ];
@@ -896,6 +912,287 @@ impl Propagator {
                 schedule.total_time(),
                 finalize_passes,
                 state.dim(),
+            );
+        }
+        Ok(())
+    }
+
+    /// One block segment evolved and drift-checked as its own complete run —
+    /// used for fault-injected segments, where the guardrails must fire at
+    /// the segment (which has a snapshot retry point) rather than at the
+    /// chained run's end. The drift references are **not** recaptured from
+    /// `block` — [`BlockTaylorStepper::begin_run`] must already have seen the
+    /// pre-corruption state, or amplitude corruption would launder itself
+    /// into the references and sail through the drift check.
+    fn run_block_segment_standalone(
+        &mut self,
+        kernel: BlockKernel<'_>,
+        bound: &SpectralBound,
+        weights: &RealizationWeights,
+        block: &mut RealizationBlock,
+        duration: f64,
+    ) -> Result<(), EvolveError> {
+        self.block
+            .try_run_segment(kernel, bound, weights.scales(), block, duration)?;
+        self.block.try_finish_run(block)
+    }
+
+    /// Evolves every realization of `block` through a pre-compiled
+    /// [`CompiledSchedule`] **simultaneously**, realization `r` under the
+    /// amplitude-scaled Hamiltonian `s_r·H(t)` (`s_r = scales[r]`, the
+    /// per-realization miscalibration draw).
+    ///
+    /// This is the structure-of-arrays hot path behind
+    /// [`EvolveOptions::realization_block`]: one [`BlockKernel`]
+    /// application per series order reads every mask, diagonal-table entry,
+    /// and gather index **once** per basis state for all realizations, the
+    /// SIMD lanes running *across* the realization axis. The diagonal table
+    /// is materialized once, unscaled, and shared by the whole block (the
+    /// sequential path rebuilds it per realization); because coherent
+    /// miscalibration is rank-1, the kernel keeps the segment's shared
+    /// scalar weight row and applies the per-realization scale lane once
+    /// per accumulated row (`CompiledSchedule::realization_weights`
+    /// precomputes the lane-strided scale pairs). The entire schedule is
+    /// integrated with the batched-Taylor scheme as **one chained run** —
+    /// layout changes swap weight slices without flushing — closed by a
+    /// single per-realization drift correction.
+    ///
+    /// Faults registered through [`set_fault_injector`](Propagator::set_fault_injector)
+    /// fire exactly as on the sequential path: amplitude faults corrupt the
+    /// seed-chosen basis index of every realization, bound perturbations
+    /// stretch the shared segment bound, and the corrupted segment is
+    /// snapshotted at its boundary and retried with clean data on failure.
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvalidInput`] if the schedule acts on more qubits
+    /// than the block, `scales` does not hold one finite scale per
+    /// realization, or the block norm is non-finite; otherwise the guardrail
+    /// error of the failing segment (stamped with its index) when the fault
+    /// retry does not apply or itself fails.
+    pub fn try_evolve_schedule_block(
+        &mut self,
+        schedule: &CompiledSchedule,
+        block: &mut RealizationBlock,
+        scales: &[f64],
+    ) -> Result<(), EvolveError> {
+        if schedule.num_qubits() > block.num_qubits() {
+            return Err(EvolveError::InvalidInput {
+                context: "schedule acts on more qubits than the block".to_string(),
+            });
+        }
+        if scales.len() != block.realizations() {
+            return Err(EvolveError::InvalidInput {
+                context: format!(
+                    "one amplitude scale per realization required ({} scales, {} realizations)",
+                    scales.len(),
+                    block.realizations()
+                ),
+            });
+        }
+        let reference_norm = (0..block.realizations())
+            .map(|r| {
+                let norm = block.realization_norm(r);
+                norm * norm
+            })
+            .sum::<f64>()
+            .sqrt();
+        if !reference_norm.is_finite() {
+            return Err(EvolveError::InvalidInput {
+                context: format!("input block norm is not finite ({reference_norm})"),
+            });
+        }
+        if reference_norm == 0.0 {
+            return Ok(());
+        }
+        let weights = schedule.realization_weights(scales)?;
+        let trace = self.begin_trace(schedule.compile_span());
+        let mut executed_segments = 0usize;
+        let mut diag_scratch = DiagTableScratch::new();
+        // One chained run covers the whole schedule: the block stepper holds
+        // no per-layout state, so layout changes just hand it a different
+        // weight slice, and the per-realization drift correction is paid
+        // once at the end. Fault-injected segments are the exception — they
+        // flush the run and execute standalone (below), so their drift check
+        // fires at the faulted segment instead of the run end.
+        let mut run_open = false;
+        for index in 0..schedule.num_segments() {
+            let duration = schedule.segment_duration(index);
+            if duration == 0.0 {
+                continue;
+            }
+            let use_table = schedule.wants_diag_table(index);
+            if use_table {
+                schedule.update_diag_table(index, &mut diag_scratch);
+            }
+            let kernel = schedule.segment_block_kernel(
+                index,
+                if use_table { &diag_scratch.table } else { &[] },
+                &weights,
+            );
+            if kernel.is_empty() {
+                continue;
+            }
+            let bound = if use_table {
+                let (diag_min, diag_max) = diag_scratch.range;
+                schedule.segment_bound(index).with_exact_diagonal(
+                    diag_min,
+                    diag_max,
+                    schedule.segment_offdiag_radius(index),
+                )
+            } else {
+                schedule.segment_bound(index)
+            };
+            // The block path has exactly one backend; record the decision so
+            // introspection matches the sequential BatchedTaylor sweep.
+            if self.decisions.len() < MAX_RECORDED_DECISIONS {
+                self.decisions.push(StepperKind::BatchedTaylor);
+            }
+            let segment_trace = self.begin_segment_trace();
+            let mut recovered = false;
+            let faults = match self.injector.as_mut() {
+                Some(injector) => injector.take_faults(index),
+                None => Vec::new(),
+            };
+            let has_faults = !faults.is_empty();
+            if has_faults {
+                // Flush the open run first so the snapshot captures the true
+                // segment-boundary state (drift-corrected), not a mid-run
+                // one — mirroring the scalar path's batched-run flush.
+                if run_open {
+                    self.block
+                        .try_finish_run(block)
+                        .map_err(|error| error.with_segment(index))?;
+                    run_open = false;
+                }
+                if self.block_snapshot.num_qubits() != block.num_qubits()
+                    || self.block_snapshot.realizations() != block.realizations()
+                {
+                    self.block_snapshot =
+                        RealizationBlock::zeros(block.num_qubits(), block.realizations());
+                }
+                self.block_snapshot.copy_from(block);
+                let mut effective_bound = bound;
+                for fault in &faults {
+                    match fault {
+                        Fault::BoundPerturbation {
+                            radius_scale,
+                            center_shift,
+                        } => {
+                            effective_bound.radius *= radius_scale;
+                            effective_bound.center += center_shift;
+                        }
+                        // No Krylov runs inside a block sweep; consuming the
+                        // fault without arming anything mirrors a non-Krylov
+                        // backend handling the segment on the scalar path.
+                        Fault::QlNonConvergence => {}
+                        Fault::NanAmplitude
+                        | Fault::InfAmplitude
+                        | Fault::AmplitudeSpike { .. } => {
+                            if let Some(injector) = self.injector.as_ref() {
+                                injector.corrupt_block(block, index, fault);
+                            }
+                        }
+                    }
+                }
+                // The faulted segment executes as a standalone run (open,
+                // evolve, drift-check) so corruption trips the guardrails
+                // *here*, where the snapshot provides a safe retry point.
+                // The drift references come from the pre-corruption
+                // snapshot, so amplitude corruption registers as drift.
+                self.block.begin_run(&self.block_snapshot);
+                let result = self.run_block_segment_standalone(
+                    schedule.segment_block_kernel(
+                        index,
+                        if use_table { &diag_scratch.table } else { &[] },
+                        &weights,
+                    ),
+                    &effective_bound,
+                    &weights,
+                    block,
+                    duration,
+                );
+                if let Err(error) = result {
+                    block.copy_from(&self.block_snapshot);
+                    // Retry with clean data and the unperturbed bound; the
+                    // faults were consumed above.
+                    self.block.begin_run(block);
+                    match self.run_block_segment_standalone(
+                        schedule.segment_block_kernel(
+                            index,
+                            if use_table { &diag_scratch.table } else { &[] },
+                            &weights,
+                        ),
+                        &bound,
+                        &weights,
+                        block,
+                        duration,
+                    ) {
+                        Ok(()) => {
+                            self.record_recovery(RecoveryEvent {
+                                segment: Some(index),
+                                backend: StepperKind::BatchedTaylor,
+                                fallback: StepperKind::BatchedTaylor,
+                                error: error.with_segment(index),
+                            });
+                            recovered = true;
+                        }
+                        Err(retry_error) => {
+                            block.copy_from(&self.block_snapshot);
+                            return Err(retry_error.with_segment(index));
+                        }
+                    }
+                }
+            } else {
+                if !run_open {
+                    self.block.begin_run(block);
+                    run_open = true;
+                }
+                let result = self.block.try_run_segment(
+                    schedule.segment_block_kernel(
+                        index,
+                        if use_table { &diag_scratch.table } else { &[] },
+                        &weights,
+                    ),
+                    &bound,
+                    weights.scales(),
+                    block,
+                    duration,
+                );
+                if let Err(error) = result {
+                    // No fault snapshot: the batched scheme is not
+                    // rollback-safe mid-run, so there is no safe retry point.
+                    return Err(error.with_segment(index));
+                }
+            }
+            executed_segments += 1;
+            if let Some(segment) = segment_trace {
+                self.finish_segment_trace(
+                    segment,
+                    Some(index),
+                    StepperKind::BatchedTaylor,
+                    duration,
+                    &bound,
+                    recovered,
+                );
+            }
+        }
+        let pre_finalize_passes = match trace {
+            Some(_) => self.state_passes(),
+            None => 0,
+        };
+        if run_open {
+            self.block.try_finish_run(block)?;
+        }
+        if let Some(run) = trace {
+            let finalize_passes = self.state_passes() - pre_finalize_passes;
+            self.finish_trace(
+                run,
+                schedule.num_segments(),
+                executed_segments,
+                schedule.total_time(),
+                finalize_passes,
+                block.dim() * block.stride(),
             );
         }
         Ok(())

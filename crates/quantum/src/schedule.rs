@@ -70,8 +70,9 @@
 //! assert!((state.norm() - 1.0).abs() < 1e-10);
 //! ```
 
-use crate::compiled::{CompiledTerm, FusedKernel};
+use crate::compiled::{BlockKernel, CompiledTerm, FusedKernel};
 use crate::error::EvolveError;
+use crate::exec::LANE_WIDTH;
 use crate::stepper::SpectralBound;
 use crate::telemetry::{CompileSpan, CompileTiming};
 use qturbo_hamiltonian::{Hamiltonian, PauliString, PiecewiseHamiltonian};
@@ -672,6 +673,114 @@ impl CompiledSchedule {
             gather_terms: &layout.gather_terms,
             gather_weights: &row[gather_base..],
         }
+    }
+
+    /// Builds the per-realization scale lanes of the `R × S × T` weight
+    /// extension: coherent miscalibration is a rank-1 scaling (`w · s_r`),
+    /// so R scaled-schedule views collapse into this schedule's shared mask
+    /// layouts and weight rows plus one padded scale lane the
+    /// [`BlockKernel`] applies in-register — no `R`-fold weight
+    /// materialization, one structure-of-arrays sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`EvolveError::InvalidInput`] if `scales` is empty or contains a
+    /// non-finite scale (the same guard as
+    /// [`try_scaled_weights`](CompiledSchedule::try_scaled_weights)).
+    pub(crate) fn realization_weights(
+        &self,
+        scales: &[f64],
+    ) -> Result<RealizationWeights, EvolveError> {
+        if scales.is_empty() {
+            return Err(EvolveError::InvalidInput {
+                context: "realization batch needs at least one amplitude scale".to_string(),
+            });
+        }
+        if let Some(bad) = scales.iter().find(|scale| !scale.is_finite()) {
+            return Err(EvolveError::InvalidInput {
+                context: format!("amplitude scale must be finite, got {bad}"),
+            });
+        }
+        let realizations = scales.len();
+        let stride = realizations.next_multiple_of(LANE_WIDTH);
+        let mut padded = vec![0.0f64; stride];
+        padded[..realizations].copy_from_slice(scales);
+        let mut scale_pairs = vec![0.0f64; 2 * stride];
+        for (r, &scale) in padded.iter().enumerate() {
+            scale_pairs[2 * r] = scale;
+            scale_pairs[2 * r + 1] = scale;
+        }
+        Ok(RealizationWeights {
+            stride,
+            scales: padded,
+            scale_pairs,
+        })
+    }
+
+    /// The realization-batched kernel view of segment `index`: masks and
+    /// **shared scalar weights** borrowed exactly as in
+    /// [`segment_kernel`](CompiledSchedule::segment_kernel), plus the
+    /// per-realization scale lanes from `weights` (built once per sweep by
+    /// [`realization_weights`](CompiledSchedule::realization_weights)).
+    ///
+    /// `diag_table` follows the same contract as `segment_kernel` — but here
+    /// it is the **unscaled** table shared by every realization; the kernel
+    /// applies each realization's scale to the finished row, so one table
+    /// materialization serves the whole block.
+    pub(crate) fn segment_block_kernel<'a>(
+        &'a self,
+        index: usize,
+        diag_table: &'a [f64],
+        weights: &'a RealizationWeights,
+    ) -> BlockKernel<'a> {
+        let segment = &self.segments[index];
+        let layout = &self.layouts[segment.layout];
+        let row = self.segment_weight_row(index);
+        let flip_base = layout.diag_masks.len();
+        let gather_base = flip_base + layout.flip_masks.len();
+        let (diag_masks, diag_weights): (&[usize], &[f64]) = if diag_table.is_empty() {
+            (&layout.diag_masks, &row[..flip_base])
+        } else {
+            (&[], &[])
+        };
+        BlockKernel {
+            num_qubits: self.num_qubits,
+            stride: weights.stride,
+            diag_table,
+            diag_masks,
+            diag_weights,
+            flip_masks: &layout.flip_masks,
+            flip_weights: &row[flip_base..gather_base],
+            gather_terms: &layout.gather_terms,
+            gather_weights: &row[gather_base..],
+            scale_pairs: &weights.scale_pairs,
+        }
+    }
+}
+
+/// The per-realization weight extension of one [`CompiledSchedule`]:
+/// coherent miscalibration scales the whole segment Hamiltonian, so the
+/// `R × S × T` per-realization weight product is rank-1 (`w · s_r`) and is
+/// formed **in-register** by [`BlockKernel`] — this type carries only the
+/// scale lane, padded to the lane stride, in the two shapes the block path
+/// consumes: raw (for shared Taylor step sizing and run-end drift phases)
+/// and duplicated into complex-pair positions (for one unshuffled [`F64x8`]
+/// load per lane block).
+#[derive(Debug, Clone)]
+pub(crate) struct RealizationWeights {
+    /// Lane-aligned realization count (`realizations.next_multiple_of(4)`).
+    stride: usize,
+    /// The scales themselves, padded to `stride` with zeros.
+    scales: Vec<f64>,
+    /// Each padded scale duplicated: `[s_0, s_0, s_1, s_1, …]`, length
+    /// `2 · stride`.
+    scale_pairs: Vec<f64>,
+}
+
+impl RealizationWeights {
+    /// The realization scales, padded to the lane stride with zeros.
+    pub(crate) fn scales(&self) -> &[f64] {
+        &self.scales
     }
 }
 

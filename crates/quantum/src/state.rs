@@ -363,6 +363,204 @@ impl StateVector {
     }
 }
 
+/// A structure-of-arrays batch of noise-realization states: `realizations`
+/// state vectors over the same register, stored **realization-innermost** —
+/// the amplitude of basis state `i` in realization `r` lives at
+/// `i * stride + r`, where `stride` is the realization count rounded up to
+/// a whole SIMD lane ([`LANE_WIDTH`]).
+///
+/// This is the layout behind the device's batched realization sweep: a
+/// kernel walking basis states reads each mask, diagonal-table entry, and
+/// gather index **once** per basis state for all realizations, and the
+/// realization-innermost lanes are always contiguous and lane-aligned — so
+/// the [`crate::exec::F64x8`] lane path vectorizes across realizations with
+/// no permutes, even for gather terms whose within-state lanes would be
+/// misaligned.
+///
+/// The `stride − realizations` padding lanes hold amplitude `0` and are
+/// driven with zero weights by the block kernels, so they stay exactly `0`
+/// (and finite) through any evolution; no operation observes them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealizationBlock {
+    num_qubits: usize,
+    realizations: usize,
+    stride: usize,
+    amplitudes: AlignedAmps,
+}
+
+impl RealizationBlock {
+    fn layout(num_qubits: usize, realizations: usize) -> (usize, usize) {
+        assert!(
+            num_qubits <= 26,
+            "dense state vectors are limited to 26 qubits"
+        );
+        assert!(realizations > 0, "a realization block needs realizations");
+        let stride = realizations.next_multiple_of(LANE_WIDTH);
+        (1usize << num_qubits, stride)
+    }
+
+    /// A block of `realizations` copies of the all-zeros basis state
+    /// `|0…0⟩` — the initial state of every device realization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 26 or `realizations` is zero.
+    pub fn zero_states(num_qubits: usize, realizations: usize) -> Self {
+        let mut block = RealizationBlock::zeros(num_qubits, realizations);
+        let stride = block.stride;
+        for amp in &mut block.amplitudes.as_mut_slice()[..realizations.min(stride)] {
+            *amp = Complex::ONE;
+        }
+        block
+    }
+
+    /// A block of `realizations` zero *vectors* — the accumulator seed for
+    /// block `H|ψ⟩` kernels, mirroring [`StateVector::zeros`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` exceeds 26 or `realizations` is zero.
+    pub fn zeros(num_qubits: usize, realizations: usize) -> Self {
+        let (dim, stride) = RealizationBlock::layout(num_qubits, realizations);
+        RealizationBlock {
+            num_qubits,
+            realizations,
+            stride,
+            amplitudes: AlignedAmps::filled(Complex::ZERO, dim * stride),
+        }
+    }
+
+    /// Number of qubits of each realization's register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of live (non-padding) realizations in the block.
+    pub fn realizations(&self) -> usize {
+        self.realizations
+    }
+
+    /// Lane stride between consecutive basis states: the realization count
+    /// rounded up to a multiple of [`LANE_WIDTH`].
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Dimension of each realization's state vector (`2^num_qubits`).
+    pub fn dim(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// The interleaved amplitudes, `dim × stride` long, realization-innermost.
+    pub(crate) fn as_slice(&self) -> &[Complex] {
+        self.amplitudes.as_slice()
+    }
+
+    /// Mutable view of the interleaved amplitudes.
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [Complex] {
+        self.amplitudes.as_mut_slice()
+    }
+
+    /// Copies `other`'s amplitudes into this block without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block shapes differ.
+    pub(crate) fn copy_from(&mut self, other: &RealizationBlock) {
+        assert!(
+            self.num_qubits == other.num_qubits && self.stride == other.stride,
+            "realization block shape mismatch"
+        );
+        self.amplitudes
+            .as_mut_slice()
+            .copy_from_slice(other.amplitudes.as_slice());
+    }
+
+    /// Extracts realization `r` as a standalone [`StateVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a live realization index.
+    pub fn extract(&self, r: usize) -> StateVector {
+        assert!(r < self.realizations, "realization index out of range");
+        let amps = self.amplitudes.as_slice();
+        let mut out = StateVector::zeros(self.num_qubits);
+        for (i, amp) in out.amplitudes_mut().iter_mut().enumerate() {
+            *amp = amps[i * self.stride + r];
+        }
+        out
+    }
+
+    /// Euclidean norm of realization `r`'s amplitude vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a live realization index.
+    pub fn realization_norm(&self, r: usize) -> f64 {
+        assert!(r < self.realizations, "realization index out of range");
+        let amps = self.amplitudes.as_slice();
+        (0..self.dim())
+            .map(|i| amps[i * self.stride + r].norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Scales every amplitude of realization `r` by a real factor (the
+    /// per-realization drift correction of the block Taylor path).
+    pub(crate) fn scale_realization(&mut self, r: usize, factor: f64) {
+        debug_assert!(r < self.realizations, "realization index out of range");
+        let stride = self.stride;
+        for lane in self.amplitudes.as_mut_slice()[r..]
+            .iter_mut()
+            .step_by(stride)
+        {
+            *lane = lane.scale(factor);
+        }
+    }
+
+    /// Multiplies realization `r` by `phases[r]` for every live realization
+    /// — the exact evolution of an identity-shift segment, whose phase
+    /// differs per realization through the miscalibration scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is shorter than the live realization count.
+    pub(crate) fn apply_phases(&mut self, phases: &[Complex]) {
+        assert!(
+            phases.len() >= self.realizations,
+            "one phase per realization required"
+        );
+        let (stride, realizations) = (self.stride, self.realizations);
+        for row in self.amplitudes.as_mut_slice().chunks_exact_mut(stride) {
+            for (amp, &phase) in row[..realizations].iter_mut().zip(phases) {
+                *amp = phase * *amp;
+            }
+        }
+    }
+
+    /// Adds `factor · other` to this block (the block analog of
+    /// [`StateVector::accumulate`]; padding lanes are zero on both sides, so
+    /// they stay zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block shapes differ.
+    pub(crate) fn accumulate(&mut self, factor: Complex, other: &RealizationBlock) {
+        assert!(
+            self.num_qubits == other.num_qubits && self.stride == other.stride,
+            "realization block shape mismatch"
+        );
+        for (a, b) in self
+            .amplitudes
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.amplitudes.as_slice())
+        {
+            *a += factor * *b;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,5 +677,39 @@ mod tests {
     fn pauli_outside_register_panics() {
         let state = StateVector::zero_state(1);
         let _ = state.apply_pauli_string(&PauliString::single(3, Pauli::X));
+    }
+
+    #[test]
+    fn realization_block_layout_and_extraction() {
+        // 5 realizations pad to a stride of 8 (two SIMD lanes).
+        let block = RealizationBlock::zero_states(3, 5);
+        assert_eq!(block.stride(), 8);
+        assert_eq!(block.realizations(), 5);
+        assert_eq!(block.dim(), 8);
+        assert_eq!(block.as_slice().len(), 64);
+        for r in 0..5 {
+            assert_eq!(block.extract(r), StateVector::zero_state(3));
+            assert!((block.realization_norm(r) - 1.0).abs() < 1e-15);
+        }
+        // Padding lanes are exactly zero.
+        for i in 0..block.dim() {
+            for p in 5..8 {
+                assert_eq!(block.as_slice()[i * 8 + p], Complex::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn realization_block_per_realization_ops() {
+        let mut block = RealizationBlock::zero_states(2, 2);
+        block.scale_realization(1, 0.5);
+        assert!((block.realization_norm(0) - 1.0).abs() < 1e-15);
+        assert!((block.realization_norm(1) - 0.5).abs() < 1e-15);
+        block.apply_phases(&[Complex::I, Complex::ONE]);
+        assert_eq!(block.extract(0).amplitudes()[0], Complex::I);
+        assert_eq!(block.extract(1).amplitudes()[0], Complex::from_real(0.5));
+        let mut acc = RealizationBlock::zeros(2, 2);
+        acc.accumulate(Complex::from_real(2.0), &block);
+        assert_eq!(acc.extract(0).amplitudes()[0], Complex::new(0.0, 2.0));
     }
 }

@@ -95,10 +95,10 @@
 //! [`crate::EmulatedDevice`]) accepts an options value, so constant,
 //! piecewise, and compiled-schedule workloads can each pick their backend.
 
-use crate::compiled::FusedKernel;
+use crate::compiled::{BlockKernel, FusedKernel};
 use crate::error::EvolveError;
 use crate::exec::{ExecutionContext, Passes};
-use crate::state::StateVector;
+use crate::state::{RealizationBlock, StateVector};
 use qturbo_math::chebyshev::{
     try_chebyshev_exp_coefficients, try_chebyshev_exp_order, MAX_EXP_SPAN,
 };
@@ -219,6 +219,15 @@ pub struct EvolveOptions {
     /// propagation hot path performs a single boolean check — no
     /// allocation, no clock reads, no extra amplitude passes.
     pub telemetry: bool,
+    /// Whether an [`EmulatedDevice`](crate::device::EmulatedDevice) sweep
+    /// evolves its noise
+    /// realizations as one structure-of-arrays [`RealizationBlock`] (the
+    /// [`BlockTaylorStepper`]) instead of looping realizations sequentially.
+    /// The block path reads every mask, diagonal-table entry, and gather
+    /// index once per basis state for *all* realizations and vectorizes
+    /// across the realization lanes; the sequential loop stays available as
+    /// the conformance reference. Defaults to `false`.
+    pub realization_block: bool,
 }
 
 impl Default for EvolveOptions {
@@ -229,6 +238,7 @@ impl Default for EvolveOptions {
             auto_model: AutoCostModel::default(),
             execution: ExecutionContext::auto(),
             telemetry: crate::telemetry::env_enabled(),
+            realization_block: false,
         }
     }
 }
@@ -310,6 +320,13 @@ impl EvolveOptions {
     /// [`crate::telemetry`]).
     pub fn with_telemetry(mut self, enabled: bool) -> Self {
         self.telemetry = enabled;
+        self
+    }
+
+    /// Enables or disables structure-of-arrays realization batching for
+    /// device sweeps (see [`EvolveOptions::realization_block`]).
+    pub fn with_realization_block(mut self, enabled: bool) -> Self {
+        self.realization_block = enabled;
         self
     }
 
@@ -1245,6 +1262,277 @@ impl Stepper for BatchedTaylorStepper {
     }
 
     fn reset_kernel_applications(&mut self) {
+        self.applications = 0;
+        self.passes.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block Taylor (structure-of-arrays realization batching)
+// ---------------------------------------------------------------------------
+
+/// The batched Taylor scheme evaluated over a whole [`RealizationBlock`]:
+/// every noise realization of a device sweep advances together through one
+/// [`BlockKernel`] application per series order.
+///
+/// Numerics mirror [`BatchedTaylorStepper`] exactly — same step splitting
+/// (sized by the *largest* per-realization amplitude scale, so every
+/// realization's per-step phase stays under `MAX_STEP_PHASE`), same series
+/// orders and fused first-and-second-order traversal, same deferred run-end
+/// drift correction (applied per realization, since each realization drifts
+/// independently). The truncation threshold is relative to the block's
+/// Frobenius norm, which tightens — never loosens — the per-realization
+/// truncation against the sequential reference.
+///
+/// Counters report realization-equivalents: one block kernel application
+/// counts as `R` applications and `R`-fold amplitude passes, so telemetry
+/// stays comparable with the sequential per-realization loop.
+#[derive(Debug, Clone)]
+pub struct BlockTaylorStepper {
+    series: RealizationBlock,
+    series_next: RealizationBlock,
+    /// Per-realization run-entry norms (the drift-correction references).
+    reference_norms: Vec<f64>,
+    /// Frobenius norm of the whole block at run entry (the truncation
+    /// threshold reference).
+    reference_norm: f64,
+    /// Scratch for per-realization identity phases.
+    phases: Vec<Complex>,
+    /// Whether the open run has applied any kernel work (drift corrections
+    /// are only owed — and only meaningful — after real applications).
+    dirty: bool,
+    context: ExecutionContext,
+    tolerance: f64,
+    applications: u64,
+    passes: Passes,
+}
+
+impl BlockTaylorStepper {
+    /// Creates the stepper with minimal scratch buffers (resized on first
+    /// use), executing kernels under [`ExecutionContext::auto`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn new(tolerance: f64) -> Self {
+        BlockTaylorStepper::with_context(tolerance, ExecutionContext::auto())
+    }
+
+    /// Creates the stepper with an explicit [`ExecutionContext`] applied to
+    /// every kernel application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite.
+    pub fn with_context(tolerance: f64, context: ExecutionContext) -> Self {
+        BlockTaylorStepper {
+            series: RealizationBlock::zeros(0, 1),
+            series_next: RealizationBlock::zeros(0, 1),
+            reference_norms: Vec::new(),
+            reference_norm: 1.0,
+            phases: Vec::new(),
+            dirty: false,
+            context,
+            tolerance: validated_tolerance(tolerance),
+            applications: 0,
+            passes: Passes::new(),
+        }
+    }
+
+    fn ensure_capacity(&mut self, num_qubits: usize, realizations: usize) {
+        if self.series.num_qubits() != num_qubits || self.series.realizations() != realizations {
+            self.series = RealizationBlock::zeros(num_qubits, realizations);
+            self.series_next = RealizationBlock::zeros(num_qubits, realizations);
+        }
+    }
+
+    /// Opens a block run over `block`: sizes the scratch blocks and records
+    /// the per-realization reference norms every drift correction — and the
+    /// Frobenius norm every truncation threshold — is relative to.
+    ///
+    /// The caller drives any number of
+    /// [`try_run_segment`](BlockTaylorStepper::try_run_segment) calls
+    /// against the **same** block and closes the run with
+    /// [`try_finish_run`](BlockTaylorStepper::try_finish_run), which applies
+    /// the deferred per-realization drift corrections.
+    pub fn begin_run(&mut self, block: &RealizationBlock) {
+        self.ensure_capacity(block.num_qubits(), block.realizations());
+        self.reference_norms.clear();
+        self.reference_norms
+            .extend((0..block.realizations()).map(|r| block.realization_norm(r)));
+        self.reference_norm = self
+            .reference_norms
+            .iter()
+            .map(|n| n * n)
+            .sum::<f64>()
+            .sqrt();
+        self.dirty = false;
+    }
+
+    /// Evolves one segment inside an open run:
+    /// `|ψ_r⟩ ← exp(−i·s_r·H·duration)|ψ_r⟩` for every realization `r`,
+    /// where `H` is the base operator and `s_r` the per-realization
+    /// amplitude scale already folded into `kernel`'s weight lanes.
+    ///
+    /// `bound` is the **unscaled** segment bound and `scales` the
+    /// per-realization amplitude scales (padding entries beyond the live
+    /// realizations are ignored): steps are sized by `bound` stretched to
+    /// the largest `|s_r|`, so the fastest realization still satisfies the
+    /// `MAX_STEP_PHASE` splitting rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvolveError::NonFiniteState`] when a series norm turns NaN
+    /// or infinite mid-run. The block is left mid-segment (the deferred
+    /// drift correction makes segment-boundary rollback impossible inside a
+    /// chained run; callers snapshot before fault-suspect runs).
+    pub fn try_run_segment(
+        &mut self,
+        kernel: BlockKernel<'_>,
+        bound: &SpectralBound,
+        scales: &[f64],
+        block: &mut RealizationBlock,
+        duration: f64,
+    ) -> Result<(), EvolveError> {
+        if kernel.is_empty() || duration == 0.0 {
+            return Ok(());
+        }
+        let realizations = block.realizations() as u64;
+        if bound.radius == 0.0 {
+            // H = center·I exactly: a per-realization global phase (the
+            // miscalibration scale multiplies the identity shift), zero
+            // kernel work.
+            self.phases.clear();
+            self.phases.extend(
+                scales[..block.realizations()]
+                    .iter()
+                    .map(|s| Complex::from_polar_angle(-bound.center * s * duration)),
+            );
+            if self.phases.iter().any(|&phase| phase != Complex::ONE) {
+                block.apply_phases(&self.phases);
+                self.passes.add(2 * realizations);
+            }
+            return Ok(());
+        }
+        self.dirty = true;
+        let max_abs_scale = scales.iter().fold(0.0f64, |acc, s| acc.max(s.abs()));
+        let scaled_bound = SpectralBound {
+            center: bound.center * max_abs_scale,
+            radius: bound.radius * max_abs_scale,
+            step_strength: bound.step_strength * max_abs_scale,
+        };
+        let steps = taylor_steps(&scaled_bound, duration) as usize;
+        let dt = duration / steps as f64;
+        let threshold = self.tolerance * self.reference_norm;
+        for _ in 0..steps {
+            // --- Order 1: series = H·ψ, read straight off the block; its
+            // accumulation is retired one pass later. ---
+            let f1 = Complex::new(0.0, -dt);
+            let order1_norm = kernel.apply_into_with(&self.context, block, &mut self.series);
+            self.applications += realizations;
+            self.passes.add(2 * realizations);
+            guard_finite(order1_norm, StepperKind::BatchedTaylor)?;
+            if order1_norm * f1.abs() < threshold {
+                // Single-order step: retire the lone term directly.
+                block.accumulate(f1, &self.series);
+                self.passes.add(3 * realizations);
+                continue;
+            }
+            // --- Order 2, fused with order 1's accumulation:
+            // ψ += f₁·series + f₂·(H·series), one traversal. ---
+            let mut factor = f1 * Complex::new(0.0, -dt) / 2.0;
+            let norm = kernel.apply_accumulate_both_into_with(
+                &self.context,
+                &self.series,
+                &mut self.series_next,
+                block,
+                f1,
+                factor,
+            );
+            self.applications += realizations;
+            self.passes.add(4 * realizations);
+            std::mem::swap(&mut self.series, &mut self.series_next);
+            guard_finite(norm, StepperKind::BatchedTaylor)?;
+            if norm * factor.abs() < threshold {
+                continue;
+            }
+            // --- Orders 3..k: fused apply-accumulate, unchanged. ---
+            for k in 3..=MAX_TAYLOR_ORDER {
+                factor = factor * Complex::new(0.0, -dt) / (k as f64);
+                let norm = kernel.apply_accumulate_into_with(
+                    &self.context,
+                    &self.series,
+                    &mut self.series_next,
+                    block,
+                    factor,
+                );
+                self.applications += realizations;
+                self.passes.add(4 * realizations);
+                std::mem::swap(&mut self.series, &mut self.series_next);
+                guard_finite(norm, StepperKind::BatchedTaylor)?;
+                if norm * factor.abs() < threshold {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes a block run: applies the deferred drift correction per
+    /// realization, back to each realization's run-entry norm. The run-end
+    /// norms double as the run's guardrail check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvolveError::NonFiniteState`] or [`EvolveError::NormDrift`]
+    /// when any realization's run-end norm fails the health checks.
+    pub fn try_finish_run(&mut self, block: &mut RealizationBlock) -> Result<(), EvolveError> {
+        if !self.dirty {
+            // A clean run did no kernel work (only exact phases), so no norm
+            // moved and no correction is owed.
+            return Ok(());
+        }
+        self.dirty = false;
+        for r in 0..block.realizations() {
+            let reference = self.reference_norms[r];
+            let norm = block.realization_norm(r);
+            if !norm.is_finite() {
+                return Err(EvolveError::NonFiniteState {
+                    backend: StepperKind::BatchedTaylor,
+                    segment: None,
+                });
+            }
+            if reference > 0.0 {
+                let relative_drift = (norm - reference).abs() / reference;
+                if relative_drift > NORM_DRIFT_LIMIT {
+                    return Err(EvolveError::NormDrift {
+                        backend: StepperKind::BatchedTaylor,
+                        segment: None,
+                        relative_drift,
+                    });
+                }
+            }
+            if norm > 0.0 {
+                block.scale_realization(r, reference / norm);
+            }
+        }
+        self.passes.add(3 * block.realizations() as u64);
+        Ok(())
+    }
+
+    /// Total `H|ψ⟩` applications in realization-equivalents (one block
+    /// application counts `R`).
+    pub fn kernel_applications(&self) -> u64 {
+        self.applications
+    }
+
+    /// Total state-sized amplitude passes in realization-equivalents.
+    pub fn state_passes(&self) -> u64 {
+        self.passes.count()
+    }
+
+    /// Resets the application and pass counters.
+    pub fn reset_kernel_applications(&mut self) {
         self.applications = 0;
         self.passes.reset();
     }
