@@ -5,10 +5,11 @@
 #   ./ci.sh --quick  # skip the benchmarks (lint + docs + tier-1 only)
 #
 # The benchmarks write BENCH_propagation.json, BENCH_schedule.json,
-# BENCH_stepper.json, and BENCH_device.json in the repo root so the
-# simulator hot path's perf trajectory (constant-Hamiltonian kernel,
-# schedule layout reuse, stepper-backend work counts, and the
-# realization-block device sweep) is tracked across PRs.
+# BENCH_stepper.json, BENCH_device.json, and BENCH_e2e.json in the repo
+# root so the simulator hot path's perf trajectory (constant-Hamiltonian
+# kernel, schedule layout reuse, stepper-backend work counts, the
+# realization-block device sweep, and the compiler-in-the-loop scenario
+# matrix) is tracked across PRs.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -19,13 +20,14 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> clippy unwrap/expect gate (quantum + math library code)"
-# The evolution pipeline is panic-free by contract (see the Robustness
-# section of crates/quantum/src/lib.rs): library code in the quantum and
-# math crates must not grow new unwrap()/expect() calls. The few justified
+echo "==> clippy unwrap/expect gate (quantum + math + compiler library code)"
+# The evolution pipeline AND the compiler crates are panic-free by contract
+# (see the Robustness section of crates/quantum/src/lib.rs and the try_*
+# entry points of qturbo-aais / qturbo / qturbo-baseline): library code in
+# these crates must not grow new unwrap()/expect() calls. The few justified
 # sites carry statement-level #[allow]s with a reason. Test modules and doc
 # examples are exempt (--lib).
-cargo clippy -p qturbo-quantum -p qturbo-math --lib -- -D warnings -W clippy::unwrap-used -W clippy::expect-used
+cargo clippy -p qturbo-quantum -p qturbo-math -p qturbo -p qturbo-aais -p qturbo-baseline --lib -- -D warnings -W clippy::unwrap-used -W clippy::expect-used
 
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
@@ -82,6 +84,15 @@ if [[ "${1:-}" != "--quick" ]]; then
     # block path is at least as fast as sequential at R=16 and at least
     # 1.5x its realizations/sec at R=64.
     cargo run --release -p qturbo-bench --bin bench_device
+
+    echo "==> end-to-end benchmark (compile -> lower -> emulate, QTurbo vs baseline)"
+    # The bench binary asserts the compiler-in-the-loop acceptance gates on
+    # every cell of the scenario matrix: the mask-compiled fast path agrees
+    # with naive dense propagation of the lowered segments to 1e-10
+    # infidelity, every lowered schedule compiles to exactly one mask
+    # layout, and QTurbo's simulated observable error is no worse than the
+    # baseline's (plus tolerance) wherever the baseline yields a solution.
+    cargo run --release -p qturbo-bench --bin bench_e2e
 fi
 
 echo "==> CI OK"

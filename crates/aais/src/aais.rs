@@ -44,6 +44,20 @@ pub enum AaisError {
         /// Number of values provided.
         provided: usize,
     },
+    /// The machine description itself is invalid (bad variable bounds, an
+    /// instruction referencing unlisted variables, a layout the builder cannot
+    /// realize, …).
+    InvalidMachine {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A pulse schedule (or one of its segments) is malformed independently of
+    /// any device bound — e.g. a negative segment duration or an empty
+    /// schedule where dynamics are required.
+    InvalidSchedule {
+        /// Explanation of the problem.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for AaisError {
@@ -63,6 +77,8 @@ impl std::fmt::Display for AaisError {
             AaisError::WrongValueCount { expected, provided } => {
                 write!(f, "expected {expected} variable values, got {provided}")
             }
+            AaisError::InvalidMachine { reason } => write!(f, "invalid machine: {reason}"),
+            AaisError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
         }
     }
 }
@@ -99,7 +115,8 @@ impl Aais {
     /// # Panics
     ///
     /// Panics if `site_positions` references variables outside the registry
-    /// or `max_evolution_time` is not positive.
+    /// or `max_evolution_time` is not positive. Use [`Aais::try_new`] to
+    /// receive a typed [`AaisError`] instead.
     pub fn new(
         name: impl Into<String>,
         num_sites: usize,
@@ -109,19 +126,50 @@ impl Aais {
         min_site_spacing: Option<f64>,
         site_positions: Vec<Vec<VariableId>>,
     ) -> Self {
-        assert!(
-            max_evolution_time > 0.0,
-            "maximum evolution time must be positive"
-        );
+        Self::try_new(
+            name,
+            num_sites,
+            registry,
+            instructions,
+            max_evolution_time,
+            min_site_spacing,
+            site_positions,
+        )
+        .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of [`Aais::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AaisError::InvalidMachine`] when `max_evolution_time` is not
+    /// positive or `site_positions` references variables outside the registry.
+    pub fn try_new(
+        name: impl Into<String>,
+        num_sites: usize,
+        registry: VariableRegistry,
+        instructions: Vec<Instruction>,
+        max_evolution_time: f64,
+        min_site_spacing: Option<f64>,
+        site_positions: Vec<Vec<VariableId>>,
+    ) -> Result<Self, AaisError> {
+        // Negated comparison (not `<= 0.0`) so a NaN maximum is rejected too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(max_evolution_time > 0.0) {
+            return Err(AaisError::InvalidMachine {
+                reason: "maximum evolution time must be positive".to_string(),
+            });
+        }
         for coords in &site_positions {
             for id in coords {
-                assert!(
-                    id.index() < registry.len(),
-                    "site position variable out of range"
-                );
+                if id.index() >= registry.len() {
+                    return Err(AaisError::InvalidMachine {
+                        reason: "site position variable out of range".to_string(),
+                    });
+                }
             }
         }
-        Aais {
+        Ok(Aais {
             name: name.into(),
             num_sites,
             registry,
@@ -129,7 +177,7 @@ impl Aais {
             max_evolution_time,
             min_site_spacing,
             site_positions,
-        }
+        })
     }
 
     /// Device name (e.g. `"rydberg"`, `"heisenberg"`).
@@ -463,5 +511,41 @@ mod tests {
     fn rejects_non_positive_max_time() {
         let registry = VariableRegistry::new();
         let _ = Aais::new("bad", 1, registry, Vec::new(), 0.0, None, Vec::new());
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        let err = Aais::try_new(
+            "bad",
+            1,
+            VariableRegistry::new(),
+            Vec::new(),
+            0.0,
+            None,
+            Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AaisError::InvalidMachine { .. }));
+        assert!(err.to_string().contains("must be positive"));
+
+        // Position variables must exist in the registry.
+        let mut registry = VariableRegistry::new();
+        let x0 = registry.register("x_0", VariableKind::RuntimeFixed, 0.0, 75.0, 0.0);
+        let foreign = {
+            let mut other = VariableRegistry::new();
+            let _ = other.register("a", VariableKind::RuntimeFixed, 0.0, 1.0, 0.0);
+            other.register("b", VariableKind::RuntimeFixed, 0.0, 1.0, 0.0)
+        };
+        let err = Aais::try_new(
+            "bad",
+            2,
+            registry,
+            Vec::new(),
+            4.0,
+            None,
+            vec![vec![x0], vec![foreign]],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
     }
 }

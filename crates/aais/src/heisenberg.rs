@@ -10,7 +10,7 @@
 //! calibrations the paper cites (Qiskit Experiments / IonQ); absolute numbers
 //! only set the scale of the machine evolution time, not the comparison shape.
 
-use crate::aais::Aais;
+use crate::aais::{Aais, AaisError};
 use crate::expr::Expr;
 use crate::instruction::{Generator, Instruction, InstructionKind};
 use crate::variable::{VariableKind, VariableRegistry};
@@ -80,7 +80,7 @@ impl HeisenbergOptions {
 /// # Panics
 ///
 /// Panics if `num_qubits < 2` or the connectivity references qubits out of
-/// range.
+/// range. Use [`try_heisenberg_aais`] to receive a typed error instead.
 ///
 /// # Example
 ///
@@ -91,64 +91,80 @@ impl HeisenbergOptions {
 /// assert_eq!(aais.instructions().len(), 4 * 3 + 3 * 3);
 /// ```
 pub fn heisenberg_aais(num_qubits: usize, options: &HeisenbergOptions) -> Aais {
-    assert!(
-        num_qubits >= 2,
-        "a Heisenberg AAIS needs at least two qubits"
-    );
+    try_heisenberg_aais(num_qubits, options).unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible variant of [`heisenberg_aais`].
+///
+/// # Errors
+///
+/// Returns [`AaisError::InvalidMachine`] when `num_qubits < 2`, the
+/// connectivity references qubits out of range, or the options describe
+/// unrealizable hardware bounds (e.g. a negative amplitude maximum).
+pub fn try_heisenberg_aais(
+    num_qubits: usize,
+    options: &HeisenbergOptions,
+) -> Result<Aais, AaisError> {
+    if num_qubits < 2 {
+        return Err(AaisError::InvalidMachine {
+            reason: "a Heisenberg AAIS needs at least two qubits".to_string(),
+        });
+    }
     let mut registry = VariableRegistry::new();
     let mut instructions = Vec::new();
 
     for i in 0..num_qubits {
         for pauli in Pauli::NON_IDENTITY {
-            let amplitude = registry.register(
+            let amplitude = registry.try_register(
                 format!("a_{pauli}{i}"),
                 VariableKind::RuntimeDynamic,
                 -options.single_qubit_max,
                 options.single_qubit_max,
                 0.0,
-            );
-            let generator = Generator::new(
+            )?;
+            let generator = Generator::try_new(
                 Expr::var(amplitude),
                 vec![(PauliString::single(i, pauli), 1.0)],
-            );
-            instructions.push(Instruction::new(
+            )?;
+            instructions.push(Instruction::try_new(
                 format!("single_{pauli}_{i}"),
                 InstructionKind::Dynamic,
                 vec![amplitude],
                 vec![generator],
                 Some(amplitude),
-            ));
+            )?);
         }
     }
 
     for (i, j) in options.connectivity.edges(num_qubits) {
-        assert!(
-            i < num_qubits && j < num_qubits && i != j,
-            "invalid connectivity edge ({i}, {j})"
-        );
+        if i >= num_qubits || j >= num_qubits || i == j {
+            return Err(AaisError::InvalidMachine {
+                reason: format!("invalid connectivity edge ({i}, {j})"),
+            });
+        }
         for pauli in Pauli::NON_IDENTITY {
-            let amplitude = registry.register(
+            let amplitude = registry.try_register(
                 format!("a_{pauli}{i}{pauli}{j}"),
                 VariableKind::RuntimeDynamic,
                 -options.two_qubit_max,
                 options.two_qubit_max,
                 0.0,
-            );
-            let generator = Generator::new(
+            )?;
+            let generator = Generator::try_new(
                 Expr::var(amplitude),
                 vec![(PauliString::two(i, pauli, j, pauli), 1.0)],
-            );
-            instructions.push(Instruction::new(
+            )?;
+            instructions.push(Instruction::try_new(
                 format!("coupling_{pauli}_{i}_{j}"),
                 InstructionKind::Dynamic,
                 vec![amplitude],
                 vec![generator],
                 Some(amplitude),
-            ));
+            )?);
         }
     }
 
-    Aais::new(
+    Aais::try_new(
         "heisenberg",
         num_qubits,
         registry,
@@ -257,6 +273,25 @@ mod tests {
     #[should_panic(expected = "at least two qubits")]
     fn rejects_single_qubit_device() {
         let _ = heisenberg_aais(1, &HeisenbergOptions::default());
+    }
+
+    #[test]
+    fn try_builder_returns_typed_errors() {
+        let err = try_heisenberg_aais(1, &HeisenbergOptions::default()).unwrap_err();
+        assert!(matches!(err, AaisError::InvalidMachine { .. }));
+        assert!(err.to_string().contains("at least two qubits"));
+        let options = HeisenbergOptions {
+            connectivity: Connectivity::Custom(vec![(0, 0)]),
+            ..HeisenbergOptions::default()
+        };
+        let err = try_heisenberg_aais(3, &options).unwrap_err();
+        assert!(err.to_string().contains("invalid connectivity edge"));
+        let bad_bounds = HeisenbergOptions {
+            two_qubit_max: -2.0,
+            ..HeisenbergOptions::default()
+        };
+        assert!(try_heisenberg_aais(3, &bad_bounds).is_err());
+        assert!(try_heisenberg_aais(3, &HeisenbergOptions::default()).is_ok());
     }
 
     #[test]

@@ -29,17 +29,29 @@ impl Generator {
     ///
     /// # Panics
     ///
-    /// Panics if no non-identity effect remains.
+    /// Panics if no non-identity effect remains. Use [`Generator::try_new`]
+    /// to receive a typed error instead.
     pub fn new(expr: Expr, effects: Vec<(PauliString, f64)>) -> Self {
+        Self::try_new(expr, effects).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of [`Generator::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AaisError::InvalidMachine`] if no non-identity effect
+    /// remains after dropping identity and zero-weight effects.
+    pub fn try_new(expr: Expr, effects: Vec<(PauliString, f64)>) -> Result<Self, crate::AaisError> {
         let effects: Vec<(PauliString, f64)> = effects
             .into_iter()
             .filter(|(s, w)| !s.is_identity() && *w != 0.0)
             .collect();
-        assert!(
-            !effects.is_empty(),
-            "generator must affect at least one non-identity term"
-        );
-        Generator { expr, effects }
+        if effects.is_empty() {
+            return Err(crate::AaisError::InvalidMachine {
+                reason: "generator must affect at least one non-identity term".to_string(),
+            });
+        }
+        Ok(Generator { expr, effects })
     }
 
     /// The coefficient expression `g(x)`.
@@ -90,7 +102,8 @@ impl Instruction {
     ///
     /// Panics when the generator expressions reference variables outside
     /// `variables`, when `time_critical` is not one of `variables`, or when a
-    /// generator is not linear-homogeneous in the time-critical variable.
+    /// generator is not linear-homogeneous in the time-critical variable. Use
+    /// [`Instruction::try_new`] to receive a typed error instead.
     pub fn new(
         name: impl Into<String>,
         kind: InstructionKind,
@@ -98,40 +111,60 @@ impl Instruction {
         generators: Vec<Generator>,
         time_critical: Option<VariableId>,
     ) -> Self {
+        Self::try_new(name, kind, variables, generators, time_critical)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of [`Instruction::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AaisError::InvalidMachine`] for every condition listed
+    /// under [`Instruction::new`]'s panics.
+    pub fn try_new(
+        name: impl Into<String>,
+        kind: InstructionKind,
+        variables: Vec<VariableId>,
+        generators: Vec<Generator>,
+        time_critical: Option<VariableId>,
+    ) -> Result<Self, crate::AaisError> {
         let name = name.into();
-        assert!(
-            !generators.is_empty(),
-            "instruction {name} has no generators"
-        );
+        let invalid = |reason: String| crate::AaisError::InvalidMachine { reason };
+        if generators.is_empty() {
+            return Err(invalid(format!("instruction {name} has no generators")));
+        }
         for generator in &generators {
             for var in generator.expr().variables() {
-                assert!(
-                    variables.contains(&var),
-                    "instruction {name}: generator references unlisted variable {var}"
-                );
+                if !variables.contains(&var) {
+                    return Err(invalid(format!(
+                        "instruction {name}: generator references unlisted variable {var}"
+                    )));
+                }
             }
         }
         if let Some(tc) = time_critical {
-            assert!(
-                variables.contains(&tc),
-                "instruction {name}: time-critical variable {tc} is not listed"
-            );
+            if !variables.contains(&tc) {
+                return Err(invalid(format!(
+                    "instruction {name}: time-critical variable {tc} is not listed"
+                )));
+            }
             for generator in &generators {
-                assert!(
-                    generator.expr().is_linear_homogeneous_in(tc),
-                    "instruction {name}: generator {} is not linear-homogeneous in its \
-                     time-critical variable {tc}",
-                    generator.expr()
-                );
+                if !generator.expr().is_linear_homogeneous_in(tc) {
+                    return Err(invalid(format!(
+                        "instruction {name}: generator {} is not linear-homogeneous in its \
+                         time-critical variable {tc}",
+                        generator.expr()
+                    )));
+                }
             }
         }
-        Instruction {
+        Ok(Instruction {
             name,
             kind,
             variables,
             generators,
             time_critical,
-        }
+        })
     }
 
     /// Instruction name (e.g. `"vdw_0_1"`, `"rabi_2"`).

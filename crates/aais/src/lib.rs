@@ -34,6 +34,7 @@ pub mod aais;
 pub mod expr;
 pub mod heisenberg;
 pub mod instruction;
+pub mod lowering;
 pub mod pulse;
 pub mod rydberg;
 pub mod variable;
@@ -41,5 +42,6 @@ pub mod variable;
 pub use aais::{Aais, AaisError};
 pub use expr::Expr;
 pub use instruction::{Generator, GeneratorRef, Instruction, InstructionKind};
+pub use lowering::{lower, try_lower, LoweredSchedule};
 pub use pulse::{PulseSchedule, PulseSegment};
 pub use variable::{Variable, VariableId, VariableKind, VariableRegistry};

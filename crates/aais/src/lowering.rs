@@ -1,0 +1,311 @@
+//! Lowering: turn a compiled [`PulseSchedule`] into a simulator-ready
+//! [`PiecewiseHamiltonian`].
+//!
+//! This is the bridge between the compiler half of the workspace (`qturbo`,
+//! `qturbo-baseline` produce pulse schedules for an [`Aais`] machine) and the
+//! emulator half (`qturbo-quantum` propagates piecewise Hamiltonians through
+//! `CompiledSchedule` / `Propagator` / `EmulatedDevice`). Lowering evaluates
+//! every segment's instruction expressions into concrete Hamiltonian terms and
+//! — crucially for the emulator's compile-once economics — *stabilizes the
+//! term structure across segments*.
+//!
+//! # Why padding matters
+//!
+//! [`Aais::hamiltonian`] skips generators whose coefficient evaluates to zero,
+//! so a segment with its Rabi drive off simply has no `X`/`Y` strings. Two
+//! adjacent segments then disagree on their canonical string set, the
+//! piecewise Hamiltonian's structure run breaks, and a mask-compiled schedule
+//! must build (and cache) one layout per run instead of one for the whole
+//! pulse. Lowering therefore pads every segment with zero-coefficient
+//! placeholders for the union of strings appearing anywhere in the schedule:
+//! the dynamics are untouched (the placeholders contribute nothing) while
+//! `Hamiltonian::structure_fingerprint` becomes identical across segments, so
+//! the lowered schedule always compiles to a single shared mask layout.
+
+use crate::aais::{Aais, AaisError};
+use crate::pulse::PulseSchedule;
+use qturbo_hamiltonian::{Hamiltonian, PauliString, PiecewiseHamiltonian, Segment};
+use std::collections::BTreeSet;
+
+/// A pulse schedule lowered to concrete per-segment Hamiltonians, with the
+/// term structure stabilized for mask-layout sharing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredSchedule {
+    piecewise: PiecewiseHamiltonian,
+    num_qubits: usize,
+    raw_structure_runs: usize,
+    padded_terms: usize,
+}
+
+impl LoweredSchedule {
+    /// The lowered piecewise Hamiltonian (padded, single structure run).
+    pub fn piecewise(&self) -> &PiecewiseHamiltonian {
+        &self.piecewise
+    }
+
+    /// Consumes the lowering and returns the piecewise Hamiltonian.
+    pub fn into_piecewise(self) -> PiecewiseHamiltonian {
+        self.piecewise
+    }
+
+    /// The per-segment `(Hamiltonian, duration)` pairs, cloned into the shape
+    /// accepted by the segment-slice emulator APIs (`evolve_piecewise`,
+    /// `EmulatedDevice::run`).
+    pub fn hamiltonian_segments(&self) -> Vec<(Hamiltonian, f64)> {
+        self.piecewise
+            .segments()
+            .iter()
+            .map(|segment| (segment.hamiltonian.clone(), segment.duration))
+            .collect()
+    }
+
+    /// Number of device sites (every segment Hamiltonian has this many qubits).
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.piecewise.num_segments()
+    }
+
+    /// Total machine execution time of the lowered schedule.
+    pub fn total_duration(&self) -> f64 {
+        self.piecewise.total_time()
+    }
+
+    /// Number of structure runs after padding (always 1: padding gives every
+    /// segment the same canonical string set).
+    pub fn structure_runs(&self) -> usize {
+        self.piecewise.structure_runs().len()
+    }
+
+    /// Number of structure runs the raw (unpadded) segment Hamiltonians would
+    /// have had — a diagnostic for how much layout sharing the padding
+    /// recovered.
+    pub fn raw_structure_runs(&self) -> usize {
+        self.raw_structure_runs
+    }
+
+    /// Total number of zero-coefficient placeholder terms inserted across all
+    /// segments to stabilize the structure.
+    pub fn padded_terms(&self) -> usize {
+        self.padded_terms
+    }
+}
+
+/// Lowers a pulse schedule against its machine.
+///
+/// Validates the schedule (hardware bounds, site spacing, total duration,
+/// runtime-fixed immutability), evaluates every segment's Hamiltonian, and
+/// pads each segment with the union of Pauli strings appearing anywhere in
+/// the schedule so the result carries a single structure run.
+///
+/// # Errors
+///
+/// * [`AaisError::InvalidSchedule`] for an empty schedule,
+/// * any validation error from [`PulseSchedule::validate`],
+/// * [`AaisError::WrongValueCount`] when a segment's assignment does not
+///   match the machine's variable registry.
+pub fn try_lower(schedule: &PulseSchedule, aais: &Aais) -> Result<LoweredSchedule, AaisError> {
+    if schedule.is_empty() {
+        return Err(AaisError::InvalidSchedule {
+            reason: "cannot lower an empty pulse schedule".to_string(),
+        });
+    }
+    schedule.validate(aais)?;
+
+    let mut evaluated: Vec<(Hamiltonian, f64)> = Vec::with_capacity(schedule.num_segments());
+    for segment in schedule.segments() {
+        evaluated.push((aais.hamiltonian(segment.values())?, segment.duration()));
+    }
+
+    // Union of every Pauli string any segment realizes. Padding to this set
+    // (rather than the machine's full producible-term set) keeps the layouts
+    // minimal while still making all segments structure-equal.
+    let mut union: BTreeSet<PauliString> = BTreeSet::new();
+    for (hamiltonian, _) in &evaluated {
+        for (_, string) in hamiltonian.terms() {
+            union.insert(string.clone());
+        }
+    }
+
+    let raw_structure_runs = 1 + evaluated
+        .windows(2)
+        .filter(|pair| !pair[0].0.same_structure(&pair[1].0))
+        .count();
+
+    let mut padded_terms = 0usize;
+    let segments: Vec<Segment> = evaluated
+        .into_iter()
+        .map(|(mut hamiltonian, duration)| {
+            padded_terms += union.len() - hamiltonian.num_terms();
+            hamiltonian.pad_structure(&union);
+            Segment {
+                hamiltonian,
+                duration,
+            }
+        })
+        .collect();
+
+    Ok(LoweredSchedule {
+        piecewise: PiecewiseHamiltonian::new(segments),
+        num_qubits: aais.num_sites(),
+        raw_structure_runs,
+        padded_terms,
+    })
+}
+
+/// Panicking variant of [`try_lower`].
+///
+/// # Panics
+///
+/// Panics on any [`AaisError`] that [`try_lower`] would return.
+pub fn lower(schedule: &PulseSchedule, aais: &Aais) -> LoweredSchedule {
+    try_lower(schedule, aais).unwrap_or_else(|error| panic!("{error}"))
+}
+
+impl PulseSchedule {
+    /// Lowers this schedule against its machine; see [`try_lower`].
+    ///
+    /// # Errors
+    ///
+    /// See [`try_lower`].
+    pub fn try_lower(&self, aais: &Aais) -> Result<LoweredSchedule, AaisError> {
+        try_lower(self, aais)
+    }
+
+    /// Panicking variant of [`PulseSchedule::try_lower`]; see [`lower`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`AaisError`] that [`try_lower`] would return.
+    pub fn lower(&self, aais: &Aais) -> LoweredSchedule {
+        lower(self, aais)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pulse::PulseSegment;
+    use crate::rydberg::{rydberg_aais, RydbergOptions};
+    use qturbo_hamiltonian::Pauli;
+
+    /// A two-segment schedule whose first segment has the Rabi drive on and
+    /// whose second has it off — the structure-breaking case.
+    fn drive_on_off_schedule(aais: &Aais) -> PulseSchedule {
+        let mut on = aais.default_values();
+        let omega_0 = aais
+            .registry()
+            .iter()
+            .find(|v| v.name() == "Omega_0")
+            .map(|v| v.id().index())
+            .unwrap();
+        on[omega_0] = 1.0;
+        let off = aais.default_values();
+        PulseSchedule::from_segments(vec![
+            PulseSegment::new(0.3, on),
+            PulseSegment::new(0.3, off),
+        ])
+    }
+
+    #[test]
+    fn lowering_pads_to_a_single_structure_run() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let schedule = drive_on_off_schedule(&aais);
+        let lowered = schedule.try_lower(&aais).unwrap();
+        assert_eq!(lowered.num_segments(), 2);
+        assert_eq!(lowered.num_qubits(), 3);
+        // Unpadded, the drive-off segment loses its X string and the run
+        // breaks; padding restores a single run.
+        assert_eq!(lowered.raw_structure_runs(), 2);
+        assert_eq!(lowered.structure_runs(), 1);
+        assert!(lowered.padded_terms() > 0);
+        assert!((lowered.total_duration() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padding_does_not_change_coefficients() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let schedule = drive_on_off_schedule(&aais);
+        let lowered = schedule.try_lower(&aais).unwrap();
+        let raw = schedule.hamiltonians(&aais).unwrap();
+        for ((padded, duration), (unpadded, raw_duration)) in lowered
+            .piecewise()
+            .segments()
+            .iter()
+            .map(|s| (&s.hamiltonian, s.duration))
+            .zip(raw.iter().map(|(h, d)| (h, *d)))
+        {
+            assert_eq!(duration, raw_duration);
+            // Every unpadded coefficient survives unchanged...
+            for (coefficient, string) in unpadded.terms() {
+                assert_eq!(padded.coefficient(string), coefficient);
+            }
+            // ...and every extra term is a zero placeholder.
+            for (coefficient, string) in padded.terms() {
+                if unpadded.coefficient(string) == 0.0 {
+                    assert_eq!(coefficient, 0.0, "placeholder {string} must be zero");
+                }
+            }
+        }
+        // The X string the off segment lost is back as a placeholder.
+        let off_segment = &lowered.piecewise().segments()[1].hamiltonian;
+        assert_eq!(
+            off_segment.coefficient(&PauliString::single(0, Pauli::X)),
+            0.0
+        );
+        assert!(off_segment
+            .terms()
+            .any(|(_, s)| *s == PauliString::single(0, Pauli::X)));
+    }
+
+    #[test]
+    fn empty_schedules_are_rejected_with_a_typed_error() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let err = PulseSchedule::new().try_lower(&aais).unwrap_err();
+        assert!(matches!(err, AaisError::InvalidSchedule { .. }));
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn invalid_schedules_propagate_validation_errors() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        // Exceeds the device's maximum evolution time.
+        let long =
+            PulseSchedule::from_segments(vec![PulseSegment::new(10.0, aais.default_values())]);
+        assert!(matches!(
+            long.try_lower(&aais),
+            Err(AaisError::EvolutionTooLong { .. })
+        ));
+        // Wrong value count.
+        let short = PulseSchedule::from_segments(vec![PulseSegment::new(0.1, vec![0.0; 2])]);
+        assert!(matches!(
+            short.try_lower(&aais),
+            Err(AaisError::WrongValueCount { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn panicking_wrapper_reports_the_error() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let _ = PulseSchedule::new().lower(&aais);
+    }
+
+    #[test]
+    fn hamiltonian_segments_match_the_piecewise_form() {
+        let aais = rydberg_aais(3, &RydbergOptions::default());
+        let schedule = drive_on_off_schedule(&aais);
+        let lowered = schedule.try_lower(&aais).unwrap();
+        let pairs = lowered.hamiltonian_segments();
+        assert_eq!(pairs.len(), lowered.num_segments());
+        for ((hamiltonian, duration), segment) in pairs.iter().zip(lowered.piecewise().segments()) {
+            assert_eq!(*hamiltonian, segment.hamiltonian);
+            assert_eq!(*duration, segment.duration);
+        }
+        let piecewise = lowered.clone().into_piecewise();
+        assert_eq!(piecewise.num_segments(), 2);
+    }
+}

@@ -18,13 +18,25 @@ impl PulseSegment {
     ///
     /// # Panics
     ///
-    /// Panics if the duration is negative or not finite.
+    /// Panics if the duration is negative or not finite. Use
+    /// [`PulseSegment::try_new`] to receive a typed error instead.
     pub fn new(duration: f64, values: Vec<f64>) -> Self {
-        assert!(
-            duration.is_finite() && duration >= 0.0,
-            "segment duration must be non-negative"
-        );
-        PulseSegment { duration, values }
+        Self::try_new(duration, values).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of [`PulseSegment::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AaisError::InvalidSchedule`] if the duration is negative or
+    /// not finite.
+    pub fn try_new(duration: f64, values: Vec<f64>) -> Result<Self, AaisError> {
+        if !(duration.is_finite() && duration >= 0.0) {
+            return Err(AaisError::InvalidSchedule {
+                reason: format!("segment duration must be non-negative and finite, got {duration}"),
+            });
+        }
+        Ok(PulseSegment { duration, values })
     }
 
     /// Duration of the segment (machine time).

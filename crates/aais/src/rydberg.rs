@@ -22,7 +22,7 @@
 //!   spacing the coupling is already 64× weaker, and the paper's
 //!   "Ising cycle +" model captures exactly that next-nearest tail.
 
-use crate::aais::Aais;
+use crate::aais::{Aais, AaisError};
 use crate::expr::Expr;
 use crate::instruction::{Generator, Instruction, InstructionKind};
 use crate::variable::{VariableId, VariableKind, VariableRegistry};
@@ -129,7 +129,7 @@ impl RydbergOptions {
 /// # Panics
 ///
 /// Panics if `num_atoms < 2`, or if a ring layout is requested with 1-D
-/// positions.
+/// positions. Use [`try_rydberg_aais`] to receive a typed error instead.
 ///
 /// # Example
 ///
@@ -142,12 +142,26 @@ impl RydbergOptions {
 /// assert_eq!(aais.num_sites(), 3);
 /// ```
 pub fn rydberg_aais(num_atoms: usize, options: &RydbergOptions) -> Aais {
-    assert!(num_atoms >= 2, "a Rydberg AAIS needs at least two atoms");
-    if matches!(options.layout, Layout::Ring { .. }) {
-        assert!(
-            options.dimensions == Dimensions::Two,
-            "a ring layout requires two-dimensional positions"
-        );
+    try_rydberg_aais(num_atoms, options).unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible variant of [`rydberg_aais`].
+///
+/// # Errors
+///
+/// Returns [`AaisError::InvalidMachine`] when `num_atoms < 2`, a ring layout
+/// is combined with 1-D positions, or the options describe unrealizable
+/// hardware bounds (e.g. a negative `delta_max`).
+pub fn try_rydberg_aais(num_atoms: usize, options: &RydbergOptions) -> Result<Aais, AaisError> {
+    if num_atoms < 2 {
+        return Err(AaisError::InvalidMachine {
+            reason: "a Rydberg AAIS needs at least two atoms".to_string(),
+        });
+    }
+    if matches!(options.layout, Layout::Ring { .. }) && options.dimensions != Dimensions::Two {
+        return Err(AaisError::InvalidMachine {
+            reason: "a ring layout requires two-dimensional positions".to_string(),
+        });
     }
 
     let initial_positions = initial_positions(num_atoms, options);
@@ -166,13 +180,13 @@ pub fn rydberg_aais(num_atoms: usize, options: &RydbergOptions) -> Aais {
         let mut ids = Vec::with_capacity(coords.len());
         for (axis, &value) in coords.iter().enumerate() {
             let axis_name = ["x", "y"][axis];
-            let id = registry.register(
+            let id = registry.try_register(
                 format!("{axis_name}_{i}"),
                 VariableKind::RuntimeFixed,
                 0.0,
                 window,
                 value,
-            );
+            )?;
             ids.push(id);
         }
         site_positions.push(ids);
@@ -195,88 +209,88 @@ pub fn rydberg_aais(num_atoms: usize, options: &RydbergOptions) -> Aais {
             let expr = pair_coupling_expr(options.c6, &site_positions[i], &site_positions[j]);
             let mut variables: Vec<VariableId> = site_positions[i].clone();
             variables.extend(site_positions[j].iter().copied());
-            let generator = Generator::new(
+            let generator = Generator::try_new(
                 expr,
                 vec![
                     (PauliString::two(i, Pauli::Z, j, Pauli::Z), 1.0),
                     (PauliString::single(i, Pauli::Z), -1.0),
                     (PauliString::single(j, Pauli::Z), -1.0),
                 ],
-            );
-            instructions.push(Instruction::new(
+            )?;
+            instructions.push(Instruction::try_new(
                 format!("vdw_{i}_{j}"),
                 InstructionKind::Fixed,
                 variables,
                 vec![generator],
                 None,
-            ));
+            )?);
         }
     }
 
     // Detuning instructions: −Δ_i n̂_i contributes +Δ_i/2 to Z_i.
     for i in 0..num_atoms {
-        let delta = registry.register(
+        let delta = registry.try_register(
             format!("Delta_{i}"),
             VariableKind::RuntimeDynamic,
             -options.delta_max,
             options.delta_max,
             0.0,
-        );
-        let generator = Generator::new(
+        )?;
+        let generator = Generator::try_new(
             Expr::var(delta).scaled(0.5),
             vec![(PauliString::single(i, Pauli::Z), 1.0)],
-        );
-        instructions.push(Instruction::new(
+        )?;
+        instructions.push(Instruction::try_new(
             format!("detuning_{i}"),
             InstructionKind::Dynamic,
             vec![delta],
             vec![generator],
             Some(delta),
-        ));
+        )?);
     }
 
     // Rabi drives: Ω_i/2 cos φ_i X_i  −  Ω_i/2 sin φ_i Y_i.
     for i in 0..num_atoms {
-        let omega = registry.register(
+        let omega = registry.try_register(
             format!("Omega_{i}"),
             VariableKind::RuntimeDynamic,
             0.0,
             options.omega_max,
             0.0,
-        );
-        let phi = registry.register(
+        )?;
+        let phi = registry.try_register(
             format!("phi_{i}"),
             VariableKind::RuntimeDynamic,
             -std::f64::consts::PI,
             std::f64::consts::PI,
             0.0,
-        );
-        let cos_generator = Generator::new(
+        )?;
+        let cos_generator = Generator::try_new(
             Expr::Product(vec![
                 Expr::var(omega),
                 Expr::constant(0.5),
                 Expr::Cos(Box::new(Expr::var(phi))),
             ]),
             vec![(PauliString::single(i, Pauli::X), 1.0)],
-        );
-        let sin_generator = Generator::new(
+        )?;
+        let sin_generator = Generator::try_new(
             Expr::Product(vec![
                 Expr::var(omega),
                 Expr::constant(-0.5),
                 Expr::Sin(Box::new(Expr::var(phi))),
             ]),
             vec![(PauliString::single(i, Pauli::Y), 1.0)],
-        );
-        instructions.push(Instruction::new(
+        )?;
+        instructions.push(Instruction::try_new(
             format!("rabi_{i}"),
             InstructionKind::Dynamic,
             vec![omega, phi],
             vec![cos_generator, sin_generator],
             Some(omega),
-        ));
+        )?);
     }
 
-    Aais::new(
+    Aais::try_new(
         "rydberg",
         num_atoms,
         registry,
@@ -469,6 +483,20 @@ mod tests {
     #[should_panic(expected = "at least two atoms")]
     fn rejects_single_atom() {
         let _ = rydberg_aais(1, &RydbergOptions::default());
+    }
+
+    #[test]
+    fn try_builder_returns_typed_errors() {
+        let err = try_rydberg_aais(1, &RydbergOptions::default()).unwrap_err();
+        assert!(matches!(err, crate::AaisError::InvalidMachine { .. }));
+        assert!(err.to_string().contains("at least two atoms"));
+        let bad_bounds = RydbergOptions {
+            delta_max: -1.0,
+            ..RydbergOptions::default()
+        };
+        let err = try_rydberg_aais(3, &bad_bounds).unwrap_err();
+        assert!(matches!(err, crate::AaisError::InvalidMachine { .. }));
+        assert!(try_rydberg_aais(3, &RydbergOptions::default()).is_ok());
     }
 
     #[test]

@@ -100,7 +100,8 @@ impl VariableRegistry {
     ///
     /// # Panics
     ///
-    /// Panics if `lower > upper`.
+    /// Panics if `lower > upper`. Use [`VariableRegistry::try_register`] to
+    /// receive a typed error instead.
     pub fn register(
         &mut self,
         name: impl Into<String>,
@@ -109,17 +110,44 @@ impl VariableRegistry {
         upper: f64,
         initial_guess: f64,
     ) -> VariableId {
-        assert!(lower <= upper, "variable lower bound exceeds upper bound");
+        self.try_register(name, kind, lower, upper, initial_guess)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Fallible variant of [`VariableRegistry::register`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AaisError::InvalidMachine`] if `lower > upper`.
+    pub fn try_register(
+        &mut self,
+        name: impl Into<String>,
+        kind: VariableKind,
+        lower: f64,
+        upper: f64,
+        initial_guess: f64,
+    ) -> Result<VariableId, crate::AaisError> {
+        let name = name.into();
+        // Written as a negated `<=` (rather than `lower > upper`) so NaN
+        // bounds are rejected too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(lower <= upper) {
+            return Err(crate::AaisError::InvalidMachine {
+                reason: format!(
+                    "variable {name}: variable lower bound exceeds upper bound ({lower} > {upper})"
+                ),
+            });
+        }
         let id = VariableId(self.variables.len());
         self.variables.push(Variable {
             id,
-            name: name.into(),
+            name,
             kind,
             lower,
             upper,
             initial_guess: initial_guess.clamp(lower, upper),
         });
-        id
+        Ok(id)
     }
 
     /// Number of registered variables.

@@ -2,7 +2,7 @@
 //! monolithically with a multi-start nonlinear solver and indicator rounding.
 
 use crate::system::GlobalMixedSystem;
-use qturbo_aais::{Aais, AaisError, PulseSchedule, PulseSegment, VariableKind};
+use qturbo_aais::{Aais, AaisError, LoweredSchedule, PulseSchedule, PulseSegment, VariableKind};
 use qturbo_hamiltonian::{Hamiltonian, PiecewiseHamiltonian};
 use qturbo_math::rng::Rng;
 use qturbo_math::{LevenbergMarquardt, MathError, Vector};
@@ -93,6 +93,28 @@ impl Default for BaselineOptions {
     }
 }
 
+impl BaselineOptions {
+    /// Options for benchmark comparisons against QTurbo.
+    ///
+    /// The default [`failure_threshold`](BaselineOptions::failure_threshold)
+    /// of 25% models the paper's notion of the baseline "failing to yield a
+    /// solution": a pulse that misses a quarter of the target norm is not a
+    /// usable compilation. On targets the machine cannot fully realize the
+    /// solver's best effort genuinely lands above that line — e.g. a
+    /// Heisenberg chain on the Rydberg machine (which has no XX/YY
+    /// couplings) bottoms out near 54% relative error — so with the default
+    /// threshold those cells return [`BaselineError::NoSolution`]. Benchmarks
+    /// instead want to *quantify* how much worse the degraded solution is
+    /// rather than discard the cell, so this preset accepts anything up to
+    /// 60% and leaves the failure classification to the comparison harness.
+    pub fn benchmark() -> Self {
+        BaselineOptions {
+            failure_threshold: 0.6,
+            ..BaselineOptions::default()
+        }
+    }
+}
+
 /// Statistics of one baseline compilation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BaselineStats {
@@ -129,6 +151,18 @@ impl BaselineResult {
         } else {
             self.absolute_error / self.target_norm
         }
+    }
+
+    /// Lowers the compiled pulse schedule into a simulator-ready
+    /// [`LoweredSchedule`] (see [`qturbo_aais::lowering`]). `aais` must be the
+    /// machine the schedule was compiled for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::DeviceConstraint`] wrapping the underlying
+    /// [`AaisError`] if the schedule does not validate against `aais`.
+    pub fn try_lower(&self, aais: &Aais) -> Result<LoweredSchedule, BaselineError> {
+        Ok(self.schedule.try_lower(aais)?)
     }
 }
 
@@ -223,7 +257,9 @@ impl BaselineCompiler {
                     ),
                 });
             }
-            if hamiltonian.without_identity().is_empty() || *duration <= 0.0 {
+            if hamiltonian.without_identity().is_empty()
+                || !(duration.is_finite() && *duration > 0.0)
+            {
                 return Err(BaselineError::InvalidTarget {
                     reason: "empty segment or non-positive duration".to_string(),
                 });
@@ -325,7 +361,9 @@ impl BaselineCompiler {
                     best = Some((cost, outcome.solution));
                 }
             }
-            let (_, mut solution) = best.expect("at least one restart runs");
+            let (_, mut solution) = best.ok_or(BaselineError::NoSolution {
+                best_relative_error: f64::INFINITY,
+            })?;
 
             // Round the indicator variables and polish with them pinned. An
             // indicator is rounded to 1 whenever the relaxed instruction makes
@@ -534,6 +572,50 @@ mod tests {
             for id in coords {
                 assert!((first[id.index()] - second[id.index()]).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn benchmark_preset_relaxes_only_the_threshold() {
+        let preset = BaselineOptions::benchmark();
+        assert_eq!(preset.failure_threshold, 0.6);
+        assert_eq!(
+            BaselineOptions {
+                failure_threshold: BaselineOptions::default().failure_threshold,
+                ..preset
+            },
+            BaselineOptions::default()
+        );
+    }
+
+    #[test]
+    fn results_lower_into_one_structure_run() {
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        let target = ising_chain(3, 1.0, 1.0);
+        let result = BaselineCompiler::new()
+            .compile(&target, 1.0, &aais)
+            .unwrap();
+        let lowered = result.try_lower(&aais).unwrap();
+        assert_eq!(lowered.num_segments(), 1);
+        assert_eq!(lowered.structure_runs(), 1);
+        assert!((lowered.total_duration() - result.execution_time).abs() < 1e-9);
+        // A mismatched machine yields a typed error.
+        let other = rydberg_aais(3, &RydbergOptions::default());
+        assert!(matches!(
+            result.try_lower(&other),
+            Err(BaselineError::DeviceConstraint(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_durations() {
+        let aais = heisenberg_aais(2, &HeisenbergOptions::default());
+        let target = ising_chain(2, 1.0, 1.0);
+        for time in [f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                BaselineCompiler::new().compile(&target, time, &aais),
+                Err(BaselineError::InvalidTarget { .. })
+            ));
         }
     }
 

@@ -1,0 +1,149 @@
+//! End-to-end compiler-in-the-loop benchmark: for every cell of the
+//! [`qturbo_bench::e2e::scenario_matrix`] (open/cyclic Ising chains, the
+//! Heisenberg and Kitaev chains, a Rydberg Ising chain and a PXP-style
+//! detuned MIS ramp), compile the target with QTurbo and the SimuQ-style
+//! baseline, lower both pulse schedules into the fast emulator, and compare
+//! the *simulated* observables of each against the ideal target evolution.
+//!
+//! Writes `BENCH_e2e.json` into the current directory and **asserts** the
+//! acceptance gates (ci.sh runs this binary, so they are CI gates):
+//!
+//! * the mask-compiled fast path agrees with naive dense propagation of the
+//!   same lowered segments to 1e-10 infidelity, for every compiled pulse;
+//! * every lowered schedule compiles to exactly one mask layout (the
+//!   lowering's structure padding holds on real compiler output);
+//! * QTurbo's simulated observable error is no worse than the baseline's
+//!   plus a small tolerance, on every cell where the baseline yields a
+//!   solution — and the baseline must yield one on most of the matrix.
+
+use qturbo_bench::e2e::{run_cell, scenario_matrix, LoweredOutcome};
+use qturbo_bench::timing::Json;
+
+/// Fast-vs-naive conformance bound (infidelity) per lowered schedule.
+const CONFORMANCE: f64 = 1e-10;
+/// Slack on the `QTurbo ≤ baseline` simulated-observable gate: both errors
+/// are physical observables in `[-1, 1]` units, so 0.02 absorbs cells where
+/// both compilers are essentially exact and ordering is numerical noise.
+const OBSERVABLE_TOLERANCE: f64 = 0.02;
+/// Minimum number of cells where the baseline must produce a solution.
+const MIN_BASELINE_SOLUTIONS: usize = 4;
+
+fn outcome_json(outcome: &LoweredOutcome) -> Json {
+    Json::object(vec![
+        ("compile_s", Json::Number(outcome.compile_s)),
+        ("lower_s", Json::Number(outcome.lower_s)),
+        ("relative_error", Json::Number(outcome.relative_error)),
+        ("execution_time_us", Json::Number(outcome.execution_time)),
+        ("observable_error", Json::Number(outcome.observable_error)),
+        (
+            "vs_naive_infidelity",
+            Json::Number(outcome.vs_naive_infidelity),
+        ),
+        ("layouts", Json::Number(outcome.layouts as f64)),
+        (
+            "raw_structure_runs",
+            Json::Number(outcome.raw_structure_runs as f64),
+        ),
+    ])
+}
+
+fn main() {
+    let matrix = scenario_matrix();
+    println!("end-to-end matrix: {} cells", matrix.len());
+    let mut entries: Vec<Json> = Vec::new();
+    let mut baseline_solutions = 0usize;
+
+    for scenario in &matrix {
+        let cell = run_cell(scenario);
+
+        // --- Conformance gates: the fast emulator path must reproduce the
+        // naive dense propagation, through exactly one shared mask layout. ---
+        assert!(
+            cell.qturbo.vs_naive_infidelity < CONFORMANCE,
+            "{}: QTurbo fast-vs-naive infidelity {} exceeds {CONFORMANCE}",
+            cell.name,
+            cell.qturbo.vs_naive_infidelity
+        );
+        assert_eq!(
+            cell.qturbo.layouts, 1,
+            "{}: lowered QTurbo schedule split into {} mask layouts",
+            cell.name, cell.qturbo.layouts
+        );
+
+        // --- Comparison gate: simulated observable error, QTurbo vs baseline. ---
+        if let Some(baseline) = &cell.baseline {
+            baseline_solutions += 1;
+            assert!(
+                baseline.vs_naive_infidelity < CONFORMANCE,
+                "{}: baseline fast-vs-naive infidelity {} exceeds {CONFORMANCE}",
+                cell.name,
+                baseline.vs_naive_infidelity
+            );
+            assert_eq!(
+                baseline.layouts, 1,
+                "{}: lowered baseline schedule split into {} mask layouts",
+                cell.name, baseline.layouts
+            );
+            assert!(
+                cell.qturbo.observable_error <= baseline.observable_error + OBSERVABLE_TOLERANCE,
+                "{}: QTurbo simulated observable error {} is worse than baseline {}",
+                cell.name,
+                cell.qturbo.observable_error,
+                baseline.observable_error
+            );
+        }
+
+        let baseline_note = match (&cell.baseline, &cell.baseline_failure) {
+            (Some(b), _) => format!(
+                "baseline obs err {:.4} ({:.3}s)",
+                b.observable_error, b.compile_s
+            ),
+            (None, Some(reason)) => format!("baseline failed: {reason}"),
+            (None, None) => "baseline not run".to_string(),
+        };
+        println!(
+            "  {:<28} {}q {:<9} | QTurbo obs err {:.4} ({:.3}s compile, {:.2e} lower, {:.1e} vs naive) | {}",
+            cell.name,
+            cell.num_qubits,
+            cell.device.to_string(),
+            cell.qturbo.observable_error,
+            cell.qturbo.compile_s,
+            cell.qturbo.lower_s,
+            cell.qturbo.vs_naive_infidelity,
+            baseline_note
+        );
+
+        let mut fields = vec![
+            ("name", Json::string(cell.name)),
+            ("device", Json::string(cell.device.to_string())),
+            ("qubits", Json::Number(cell.num_qubits as f64)),
+            ("qturbo", outcome_json(&cell.qturbo)),
+        ];
+        match (&cell.baseline, &cell.baseline_failure) {
+            (Some(baseline), _) => fields.push(("baseline", outcome_json(baseline))),
+            (None, Some(reason)) => fields.push(("baseline_failure", Json::string(reason))),
+            (None, None) => fields.push(("baseline", Json::Null)),
+        }
+        entries.push(Json::object(fields));
+    }
+
+    assert!(
+        baseline_solutions >= MIN_BASELINE_SOLUTIONS,
+        "baseline produced only {baseline_solutions} solutions on the matrix \
+         (expected at least {MIN_BASELINE_SOLUTIONS})"
+    );
+
+    let report = Json::object(vec![
+        ("benchmark", Json::string("e2e")),
+        ("conformance_threshold", Json::Number(CONFORMANCE)),
+        ("observable_tolerance", Json::Number(OBSERVABLE_TOLERANCE)),
+        (
+            "baseline_solutions",
+            Json::Number(baseline_solutions as f64),
+        ),
+        ("entries", Json::Array(entries)),
+    ]);
+    let path = "BENCH_e2e.json";
+    std::fs::write(path, report.render() + "\n").expect("write benchmark report");
+    println!("wrote {path}");
+}

@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod e2e;
 pub mod telemetry_report;
 pub mod timing;
 
@@ -165,12 +166,12 @@ pub fn compare(model: Model, n: usize, device: Device, run_baseline: bool) -> Co
     row
 }
 
-/// The baseline compiler configuration used throughout the harness.
+/// The baseline compiler configuration used throughout the harness: the
+/// documented [`BaselineOptions::benchmark`] preset, which accepts degraded
+/// solutions the default threshold would classify as failures so comparisons
+/// can quantify them.
 pub fn baseline_compiler() -> BaselineCompiler {
-    BaselineCompiler::with_options(BaselineOptions {
-        failure_threshold: 0.5,
-        ..BaselineOptions::default()
-    })
+    BaselineCompiler::with_options(BaselineOptions::benchmark())
 }
 
 /// Convenience: compile with QTurbo, panicking on failure (harness-internal).

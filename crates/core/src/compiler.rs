@@ -12,7 +12,7 @@ use crate::local_system::{
 use crate::mapping::{greedy_line_mapping, Mapping};
 use crate::metrics::theorem1_bound;
 use crate::refine::refined_targets;
-use qturbo_aais::{Aais, GeneratorRef, PulseSchedule, PulseSegment, VariableId};
+use qturbo_aais::{Aais, GeneratorRef, LoweredSchedule, PulseSchedule, PulseSegment, VariableId};
 use qturbo_hamiltonian::{Hamiltonian, PiecewiseHamiltonian};
 use qturbo_math::Vector;
 use std::collections::BTreeMap;
@@ -115,6 +115,20 @@ impl CompilationResult {
             self.absolute_error / self.target_norm
         }
     }
+
+    /// Lowers the compiled pulse schedule into a simulator-ready
+    /// [`LoweredSchedule`] (per-segment Hamiltonians with a stabilized term
+    /// structure, see [`qturbo_aais::lowering`]). `aais` must be the machine
+    /// the schedule was compiled for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::DeviceConstraint`] wrapping the underlying
+    /// [`qturbo_aais::AaisError`] if the schedule does not validate against
+    /// `aais` — in practice this means a different machine was passed in.
+    pub fn try_lower(&self, aais: &Aais) -> Result<LoweredSchedule, CompileError> {
+        Ok(self.schedule.try_lower(aais)?)
+    }
 }
 
 /// The QTurbo compiler (paper §4–§6).
@@ -166,6 +180,9 @@ impl QTurboCompiler {
         target_time: f64,
         aais: &Aais,
     ) -> Result<CompilationResult, CompileError> {
+        if !(target_time.is_finite() && target_time > 0.0) {
+            return Err(CompileError::InvalidTargetTime { time: target_time });
+        }
         self.compile_segments(&[(target.clone(), target_time)], aais)
     }
 
@@ -197,6 +214,11 @@ impl QTurboCompiler {
         if segments.is_empty() {
             return Err(CompileError::EmptyTarget);
         }
+        for (_, duration) in segments {
+            if !(duration.is_finite() && *duration > 0.0) {
+                return Err(CompileError::InvalidTargetTime { time: *duration });
+            }
+        }
 
         // -- Mapping -------------------------------------------------------
         let num_target_qubits = segments
@@ -220,6 +242,10 @@ impl QTurboCompiler {
         let component_of_column: Vec<usize> = generator_refs
             .iter()
             .map(|gref| {
+                // `partition` assigns every generator of the AAIS to exactly
+                // one component, so the lookup cannot fail; a miss would be a
+                // bug in `partition`, not a recoverable compile error.
+                #[allow(clippy::expect_used)]
                 components
                     .iter()
                     .position(|c| c.generators.contains(gref))
@@ -733,6 +759,55 @@ mod tests {
             .compile(&target, 1.0, &aais)
             .unwrap();
         assert!(with.absolute_error <= without.absolute_error + 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_positive_target_times() {
+        let aais = heisenberg_aais(3, &HeisenbergOptions::default());
+        let target = ising_chain(3, 1.0, 1.0);
+        for time in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let result = QTurboCompiler::new().compile(&target, time, &aais);
+            assert!(
+                matches!(result, Err(CompileError::InvalidTargetTime { .. })),
+                "time {time} must be rejected"
+            );
+        }
+        use qturbo_hamiltonian::Segment;
+        let piecewise = PiecewiseHamiltonian::new(vec![
+            Segment {
+                hamiltonian: target.clone(),
+                duration: 0.5,
+            },
+            Segment {
+                hamiltonian: target,
+                duration: -0.5,
+            },
+        ]);
+        assert!(matches!(
+            QTurboCompiler::new().compile_piecewise(&piecewise, &aais),
+            Err(CompileError::InvalidTargetTime { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_results_lower_into_one_structure_run() {
+        let aais = rydberg_aais(4, &RydbergOptions::default());
+        let target = mis_chain(4, 1.0, 1.0, 1.0, 1.0, 4);
+        let result = QTurboCompiler::new()
+            .compile_piecewise(&target, &aais)
+            .unwrap();
+        let lowered = result.try_lower(&aais).unwrap();
+        assert_eq!(lowered.num_segments(), result.stats.num_segments);
+        assert_eq!(lowered.num_qubits(), aais.num_sites());
+        assert_eq!(lowered.structure_runs(), 1);
+        assert!((lowered.total_duration() - result.execution_time).abs() < 1e-9);
+        // Lowering against a machine with a different variable registry is a
+        // typed error, not a panic.
+        let other = heisenberg_aais(4, &HeisenbergOptions::default());
+        assert!(matches!(
+            result.try_lower(&other),
+            Err(CompileError::DeviceConstraint(_))
+        ));
     }
 
     #[test]

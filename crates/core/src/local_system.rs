@@ -197,7 +197,10 @@ fn absorbed_minimal_time(
             break;
         }
     }
-    let outcome = best.expect("at least one start ran");
+    let outcome = best.ok_or_else(|| CompileError::LocalSolveFailed {
+        component: instruction.name().to_string(),
+        residual: f64::INFINITY,
+    })?;
     let residual = outcome.residual_l1();
     if residual > 1e-6 * alpha_scale.max(1.0) * equations.len() as f64 {
         return Err(CompileError::LocalSolveFailed {

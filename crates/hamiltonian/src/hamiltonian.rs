@@ -93,6 +93,39 @@ impl Hamiltonian {
         }
     }
 
+    /// Inserts a zero-coefficient placeholder for every listed string not
+    /// already present, so the Hamiltonian's *term structure* (the canonical
+    /// string set behind [`Hamiltonian::structure_fingerprint`]) matches a
+    /// chosen superset while the dynamics are untouched.
+    ///
+    /// [`Hamiltonian::add_term`] keeps the form canonical by dropping
+    /// coefficients below its internal epsilon, which is exactly right for
+    /// physics but wrong for layout sharing: a pulse segment whose Rabi drive
+    /// is off would lose its `X`/`Y` strings and break the structure run a
+    /// mask-compiled schedule relies on. Padding restores a stable structure
+    /// across such segments. Note that a subsequent [`Hamiltonian::add_term`]
+    /// re-canonicalizes and may drop the placeholders again, so pad *after*
+    /// all real terms are in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a string acts on a qubit `≥ num_qubits`.
+    pub fn pad_structure<'a, I>(&mut self, strings: I)
+    where
+        I: IntoIterator<Item = &'a PauliString>,
+    {
+        for string in strings {
+            if let Some(max) = string.max_qubit() {
+                assert!(
+                    max < self.num_qubits,
+                    "Pauli string {string} acts on qubit {max} but the Hamiltonian has {} qubits",
+                    self.num_qubits
+                );
+            }
+            self.terms.entry(string.clone()).or_insert(0.0);
+        }
+    }
+
     /// Iterates over `(coefficient, Pauli string)` pairs in canonical order.
     pub fn terms(&self) -> impl Iterator<Item = (f64, &PauliString)> + '_ {
         self.terms.iter().map(|(s, &c)| (c, s))
@@ -368,6 +401,32 @@ mod tests {
         assert_eq!(h.num_terms(), 1);
         h.add_term(-1.5, zz(0, 1));
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn pad_structure_stabilizes_the_term_set() {
+        let x0 = PauliString::single(0, Pauli::X);
+        let mut on = Hamiltonian::from_terms(2, [(1.0, zz(0, 1)), (0.5, x0.clone())]);
+        let mut off = Hamiltonian::from_terms(2, [(2.0, zz(0, 1))]);
+        assert!(!on.same_structure(&off));
+
+        let union: Vec<PauliString> = on.pauli_strings();
+        off.pad_structure(union.iter());
+        on.pad_structure(union.iter()); // already complete: no-op
+        assert!(on.same_structure(&off));
+        assert_eq!(on.structure_fingerprint(), off.structure_fingerprint());
+        // Padding is physically inert.
+        assert_eq!(off.coefficient(&x0), 0.0);
+        assert_eq!(off.coefficient(&zz(0, 1)), 2.0);
+        assert_eq!(off.num_terms(), 2);
+        assert_eq!(off.coefficient_l1_norm(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "acts on qubit")]
+    fn pad_structure_rejects_out_of_range_qubits() {
+        let mut h = Hamiltonian::new(2);
+        h.pad_structure([PauliString::single(4, Pauli::X)].iter());
     }
 
     #[test]

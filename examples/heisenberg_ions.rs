@@ -2,12 +2,17 @@
 //! device (the Heisenberg AAIS) and verify the compiled pulse reproduces the
 //! target dynamics with a state-vector simulation.
 //!
+//! The compiled schedule is lowered through [`qturbo_aais::lowering`] into a
+//! structure-stable piecewise Hamiltonian, so the emulator's fast path
+//! compiles exactly one mask layout for the whole pulse.
+//!
 //! Run with: `cargo run --release --example heisenberg_ions`
 
 use qturbo::QTurboCompiler;
 use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
 use qturbo_hamiltonian::models::heisenberg_chain;
-use qturbo_quantum::propagate::{evolve, evolve_piecewise};
+use qturbo_quantum::propagate::{evolve, evolve_schedule};
+use qturbo_quantum::schedule::CompiledSchedule;
 use qturbo_quantum::StateVector;
 
 fn main() {
@@ -31,15 +36,29 @@ fn main() {
         result.relative_error() * 100.0
     );
 
+    // Lower the pulse schedule into the emulator's fast path: one padded
+    // piecewise Hamiltonian, mask-compiled into a single shared layout.
+    let lowered = result
+        .try_lower(&aais)
+        .expect("the compiled schedule lowers against its own machine");
+    let schedule = CompiledSchedule::compile_piecewise(lowered.piecewise());
+    println!(
+        "  lowered pulse    : {} segments, {} mask layout(s), {} padded term(s)",
+        lowered.num_segments(),
+        schedule.num_layouts(),
+        lowered.padded_terms()
+    );
+    assert_eq!(
+        schedule.num_layouts(),
+        1,
+        "lowering stabilizes the structure"
+    );
+
     // Verify the dynamics: evolve |0…0⟩ under the target Hamiltonian for the
     // target time, and under the compiled pulse for the machine time.
     let initial = StateVector::zero_state(num_qubits);
     let ideal = evolve(&initial, &target, target_time);
-    let segments = result
-        .schedule
-        .hamiltonians(&aais)
-        .expect("schedule evaluates");
-    let compiled = evolve_piecewise(&initial, &segments);
+    let compiled = evolve_schedule(&initial, &schedule);
     let fidelity = ideal.fidelity(&compiled);
     println!("  state fidelity between target evolution and compiled pulse: {fidelity:.6}");
     assert!(

@@ -1,0 +1,101 @@
+//! End-to-end scenario matrix conformance: every cell of
+//! [`qturbo_bench::e2e::scenario_matrix`] is compiled with QTurbo and the
+//! baseline, lowered into the fast emulator, and simulated — asserting the
+//! same gates `bench_e2e` enforces in CI:
+//!
+//! * the mask-compiled fast path reproduces naive dense propagation of the
+//!   lowered segments to 1e-10 infidelity on every compiled pulse,
+//! * every lowered schedule compiles to exactly one mask layout,
+//! * QTurbo's *simulated* observable error is no worse than the baseline's
+//!   (plus a small tolerance) wherever the baseline yields a solution, and
+//!   strictly better on the Rydberg cells where the baseline degrades.
+
+use qturbo_bench::e2e::{ideal_final_state, run_cell, scenario_matrix};
+use qturbo_bench::Device;
+
+const CONFORMANCE: f64 = 1e-10;
+const OBSERVABLE_TOLERANCE: f64 = 0.02;
+
+#[test]
+fn full_matrix_meets_end_to_end_gates() {
+    let matrix = scenario_matrix();
+    assert!(matrix.len() >= 6, "matrix shrank below six cells");
+    let mut baseline_solutions = 0usize;
+
+    for scenario in &matrix {
+        let cell = run_cell(scenario);
+
+        assert!(
+            cell.qturbo.vs_naive_infidelity < CONFORMANCE,
+            "{}: QTurbo fast-vs-naive infidelity {}",
+            cell.name,
+            cell.qturbo.vs_naive_infidelity
+        );
+        assert_eq!(
+            cell.qturbo.layouts, 1,
+            "{}: QTurbo lowered schedule used {} layouts",
+            cell.name, cell.qturbo.layouts
+        );
+        assert!(
+            cell.qturbo.observable_error < 0.05,
+            "{}: QTurbo simulated observable error {} is not small",
+            cell.name,
+            cell.qturbo.observable_error
+        );
+
+        if let Some(baseline) = &cell.baseline {
+            baseline_solutions += 1;
+            assert!(
+                baseline.vs_naive_infidelity < CONFORMANCE,
+                "{}: baseline fast-vs-naive infidelity {}",
+                cell.name,
+                baseline.vs_naive_infidelity
+            );
+            assert_eq!(
+                baseline.layouts, 1,
+                "{}: baseline lowered schedule used {} layouts",
+                cell.name, baseline.layouts
+            );
+            assert!(
+                cell.qturbo.observable_error <= baseline.observable_error + OBSERVABLE_TOLERANCE,
+                "{}: QTurbo simulated error {} worse than baseline {}",
+                cell.name,
+                cell.qturbo.observable_error,
+                baseline.observable_error
+            );
+            // The Rydberg machine is where the monolithic baseline degrades:
+            // its accepted (threshold-0.6) solutions drift visibly while
+            // QTurbo stays near the ideal observables.
+            if scenario.device == Device::Rydberg {
+                assert!(
+                    cell.qturbo.observable_error < baseline.observable_error,
+                    "{}: expected a strict simulated advantage, got QTurbo {} vs baseline {}",
+                    cell.name,
+                    cell.qturbo.observable_error,
+                    baseline.observable_error
+                );
+            }
+        } else {
+            // A baseline failure must carry its typed error's rendering.
+            let reason = cell
+                .baseline_failure
+                .as_deref()
+                .unwrap_or_else(|| panic!("{}: baseline absent without a reason", cell.name));
+            assert!(!reason.is_empty());
+        }
+    }
+
+    assert!(
+        baseline_solutions >= 4,
+        "baseline produced only {baseline_solutions} solutions across the matrix"
+    );
+}
+
+#[test]
+fn ideal_states_are_normalized_and_sized_to_the_cell() {
+    for scenario in scenario_matrix() {
+        let ideal = ideal_final_state(&scenario);
+        assert_eq!(ideal.num_qubits(), scenario.num_qubits);
+        assert!((ideal.norm() - 1.0).abs() < 1e-9, "{}", scenario.name);
+    }
+}

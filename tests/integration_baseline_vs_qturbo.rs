@@ -5,7 +5,7 @@
 use qturbo::QTurboCompiler;
 use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
 use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
-use qturbo_baseline::{BaselineCompiler, BaselineOptions};
+use qturbo_baseline::{BaselineCompiler, BaselineError, BaselineOptions};
 use qturbo_hamiltonian::models::{ising_chain, kitaev};
 
 #[test]
@@ -15,12 +15,11 @@ fn qturbo_beats_baseline_on_the_heisenberg_device() {
     let aais = heisenberg_aais(n, &HeisenbergOptions::default());
 
     let qturbo = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
-    let baseline = BaselineCompiler::with_options(BaselineOptions {
-        failure_threshold: 0.6,
-        ..BaselineOptions::default()
-    })
-    .compile(&target, 1.0, &aais)
-    .unwrap();
+    // The documented benchmark preset (the comparison harness accepts
+    // degraded solutions up to 60% so they are measured, not discarded).
+    let baseline = BaselineCompiler::with_options(BaselineOptions::benchmark())
+        .compile(&target, 1.0, &aais)
+        .unwrap();
 
     // Compilation speed: the decomposed solve must be faster than the
     // monolithic one (the paper reports orders of magnitude at larger sizes).
@@ -43,11 +42,8 @@ fn qturbo_beats_baseline_on_the_rydberg_device() {
     let aais = rydberg_aais(n, &RydbergOptions::default());
 
     let qturbo = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
-    let baseline = match BaselineCompiler::with_options(BaselineOptions {
-        failure_threshold: 0.6,
-        ..BaselineOptions::default()
-    })
-    .compile(&target, 1.0, &aais)
+    let baseline = match BaselineCompiler::with_options(BaselineOptions::benchmark())
+        .compile(&target, 1.0, &aais)
     {
         Ok(result) => result,
         // An occasional baseline failure is itself one of the paper's
@@ -96,12 +92,44 @@ fn kitaev_execution_times_can_tie_but_qturbo_compiles_faster() {
     let target = kitaev(n, 1.0, 1.0, 1.0);
     let aais = heisenberg_aais(n, &HeisenbergOptions::default());
     let qturbo = QTurboCompiler::new().compile(&target, 1.0, &aais).unwrap();
-    let baseline = BaselineCompiler::with_options(BaselineOptions {
-        failure_threshold: 0.6,
-        ..BaselineOptions::default()
-    })
-    .compile(&target, 1.0, &aais)
-    .unwrap();
+    let baseline = BaselineCompiler::with_options(BaselineOptions::benchmark())
+        .compile(&target, 1.0, &aais)
+        .unwrap();
     assert!(qturbo.stats.compile_time < baseline.stats.compile_time);
     assert!(qturbo.execution_time <= baseline.execution_time + 1e-9);
+}
+
+#[test]
+fn default_threshold_reports_a_typed_failure_where_the_preset_accepts() {
+    // A Heisenberg chain on the Rydberg machine: the device has no XX/YY
+    // couplings, so the baseline's best effort misses roughly half the
+    // target norm. The honest default threshold (25%) classifies that as a
+    // failure — with a typed error carrying the error the solver actually
+    // achieved — while the documented benchmark preset accepts the same
+    // degraded solution for measurement.
+    use qturbo_hamiltonian::models::heisenberg_chain;
+    let n = 4;
+    let target = heisenberg_chain(n, 1.0, 1.0);
+    let aais = rydberg_aais(n, &RydbergOptions::default());
+
+    let default_result = BaselineCompiler::new().compile(&target, 1.0, &aais);
+    match default_result {
+        Err(BaselineError::NoSolution {
+            best_relative_error,
+        }) => {
+            assert!(
+                best_relative_error > BaselineOptions::default().failure_threshold,
+                "typed failure must report the achieved error, got {best_relative_error}"
+            );
+            assert!(
+                best_relative_error <= BaselineOptions::benchmark().failure_threshold,
+                "the benchmark preset is documented to accept this cell, \
+                 but the solver landed at {best_relative_error}"
+            );
+        }
+        other => panic!("expected a typed NoSolution failure, got {other:?}"),
+    }
+    assert!(BaselineCompiler::with_options(BaselineOptions::benchmark())
+        .compile(&target, 1.0, &aais)
+        .is_ok());
 }

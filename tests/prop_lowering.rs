@@ -1,0 +1,139 @@
+//! Property tests for the pulse-schedule lowering layer
+//! ([`qturbo_aais::lowering`]): on random in-bounds schedules for both
+//! machine families,
+//!
+//! * lowering always produces a single structure run, so the emulator
+//!   compiles exactly one mask layout regardless of which drives each
+//!   segment switches off (the raw, unpadded segments routinely split into
+//!   several runs — the property is that padding always repairs this),
+//! * the inserted zero-coefficient placeholders never change the dynamics:
+//!   propagating the padded segments matches propagating the raw ones,
+//! * the padded piecewise form and the raw segment list report identical
+//!   durations.
+//!
+//! Deterministically seeded sampling via `qturbo_math::rng::Rng` (no external
+//! property-testing framework is vendored in this environment).
+
+use qturbo_aais::heisenberg::{heisenberg_aais, HeisenbergOptions};
+use qturbo_aais::rydberg::{rydberg_aais, RydbergOptions};
+use qturbo_aais::{Aais, PulseSchedule, PulseSegment};
+use qturbo_math::rng::Rng;
+use qturbo_math::Complex;
+use qturbo_quantum::propagate::evolve_piecewise;
+use qturbo_quantum::schedule::CompiledSchedule;
+use qturbo_quantum::StateVector;
+
+fn random_state(rng: &mut Rng, num_qubits: usize) -> StateVector {
+    let amplitudes: Vec<Complex> = (0..1usize << num_qubits)
+        .map(|_| Complex::new(rng.next_range(-1.0, 1.0), rng.next_range(-1.0, 1.0)))
+        .collect();
+    let mut state = StateVector::from_amplitudes(amplitudes);
+    state.normalize();
+    state
+}
+
+/// A random schedule varying only the runtime-dynamic variables (the
+/// runtime-fixed atom positions must stay put across segments). Each dynamic
+/// variable is switched off with probability 1/2, so segments routinely
+/// realize different term structures.
+fn random_schedule(rng: &mut Rng, aais: &Aais, num_segments: usize) -> PulseSchedule {
+    let budget = aais.max_evolution_time() / num_segments as f64;
+    let mut schedule = PulseSchedule::new();
+    for _ in 0..num_segments {
+        let mut values = aais.default_values();
+        for id in aais.dynamic_variables() {
+            if rng.next_usize(2) == 0 {
+                continue;
+            }
+            let variable = aais.registry().get(id);
+            values[id.index()] = rng.next_range(variable.lower(), variable.upper());
+        }
+        schedule.push(PulseSegment::new(
+            rng.next_range(0.05, budget.min(0.5)),
+            values,
+        ));
+    }
+    schedule
+}
+
+fn assert_lowering_properties(rng: &mut Rng, aais: &Aais, samples: usize) {
+    let mut raw_run_splits = 0usize;
+    for sample in 0..samples {
+        let num_segments = 2 + rng.next_usize(4);
+        let schedule = random_schedule(rng, aais, num_segments);
+        let lowered = schedule
+            .try_lower(aais)
+            .unwrap_or_else(|e| panic!("sample {sample}: lowering failed: {e}"));
+        if lowered.raw_structure_runs() > 1 {
+            raw_run_splits += 1;
+        }
+
+        // One structure run, one mask layout — always.
+        assert_eq!(
+            lowered.structure_runs(),
+            1,
+            "sample {sample}: padding left {} structure runs",
+            lowered.structure_runs()
+        );
+        let compiled = CompiledSchedule::compile_piecewise(lowered.piecewise());
+        assert_eq!(
+            compiled.num_layouts(),
+            1,
+            "sample {sample}: emulator compiled {} layouts",
+            compiled.num_layouts()
+        );
+        assert!(compiled.shares_layouts_with(&compiled));
+
+        // Durations survive lowering unchanged.
+        let raw = schedule.hamiltonians(aais).unwrap();
+        let padded = lowered.hamiltonian_segments();
+        assert_eq!(raw.len(), padded.len());
+        for ((_, raw_duration), (_, padded_duration)) in raw.iter().zip(&padded) {
+            assert_eq!(raw_duration, padded_duration, "sample {sample}");
+        }
+
+        // Zero placeholders are dynamically inert: both segment lists
+        // propagate a random state to the same result.
+        let initial = random_state(rng, aais.num_sites());
+        let via_raw = evolve_piecewise(&initial, &raw);
+        let via_padded = evolve_piecewise(&initial, &padded);
+        let fidelity = via_raw.fidelity(&via_padded);
+        assert!(
+            fidelity > 1.0 - 1e-12,
+            "sample {sample}: padded dynamics drifted (fidelity {fidelity})"
+        );
+    }
+    // The property is only interesting if the raw segments actually split;
+    // with drives switched off at random this happens in most samples.
+    assert!(
+        raw_run_splits * 2 >= samples,
+        "only {raw_run_splits}/{samples} samples exercised a raw structure split"
+    );
+}
+
+#[test]
+fn lowering_properties_hold_on_the_heisenberg_machine() {
+    let mut rng = Rng::seed_from_u64(0x10_77E2);
+    let aais = heisenberg_aais(4, &HeisenbergOptions::default());
+    assert_lowering_properties(&mut rng, &aais, 25);
+}
+
+#[test]
+fn lowering_properties_hold_on_the_rydberg_machine() {
+    let mut rng = Rng::seed_from_u64(0x52_D8E6);
+    let aais = rydberg_aais(4, &RydbergOptions::default());
+    assert_lowering_properties(&mut rng, &aais, 25);
+}
+
+#[test]
+fn lowering_properties_hold_without_interaction_cutoff() {
+    let mut rng = Rng::seed_from_u64(0xA11_CE5);
+    let aais = rydberg_aais(
+        3,
+        &RydbergOptions {
+            interaction_cutoff: None,
+            ..RydbergOptions::default()
+        },
+    );
+    assert_lowering_properties(&mut rng, &aais, 15);
+}
